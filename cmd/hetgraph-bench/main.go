@@ -1,0 +1,108 @@
+// Command hetgraph-bench regenerates the paper's evaluation artifacts —
+// Figures 5(a)–5(f), Figure 6, and Table II — plus the ablation sweeps, on
+// the simulated CPU/MIC node. Reported numbers are simulated device seconds
+// from the cost model over real executions; the shape notes under each
+// table state the corresponding observation from the paper for comparison.
+//
+// Usage:
+//
+//	hetgraph-bench                 # everything, full scale
+//	hetgraph-bench -scale small    # quicker, smaller workloads
+//	hetgraph-bench -only 5a,6,t2   # selected artifacts
+//	hetgraph-bench -out results/   # also write one text file per artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hetgraph/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetgraph-bench: ")
+	var (
+		scaleName = flag.String("scale", "full", "workload scale: small | full")
+		only      = flag.String("only", "", "comma-separated artifact list (5a,5b,5c,5d,5e,5f,6,t2,ablation); empty = all")
+		outDir    = flag.String("out", "", "directory to write per-artifact text files (optional)")
+	)
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.ScaleSmall()
+	case "full":
+		scale = bench.ScaleFull()
+	default:
+		log.Fatalf("unknown -scale %q", *scaleName)
+	}
+	fmt.Printf("generating workloads (%s scale)...\n", scale.Name)
+	w, err := bench.Load(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := bench.Specs(w)
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(s))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[strings.ToLower(id)] }
+
+	emit := func(fig bench.Figure, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", fig.ID, err)
+		}
+		text := bench.Format(fig)
+		fmt.Print(text)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*outDir, "fig"+fig.ID+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	for _, spec := range specs {
+		id := map[string]string{"PageRank": "5a", "BFS": "5b", "SC": "5c", "SSSP": "5d", "TopoSort": "5e"}[spec.Name]
+		if sel(id) {
+			emit(bench.Fig5(spec))
+		}
+	}
+	if sel("5f") {
+		emit(bench.Fig5f(w))
+	}
+	if sel("6") {
+		emit(bench.Fig6(w))
+	}
+	if sel("t2") {
+		emit(bench.Table2(w))
+	}
+	if sel("ablation") {
+		pr, err := bench.SpecByName(specs, "PageRank")
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo, err := bench.SpecByName(specs, "TopoSort")
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(bench.AblationCSBMode(topo))
+		emit(bench.AblationGroupFactor(pr))
+		emit(bench.AblationMoverSplit(topo))
+		emit(bench.AblationMetisBlocks(pr))
+		emit(bench.AblationChunkSize(pr))
+		emit(bench.AblationRatioSweep(pr))
+	}
+}

@@ -1,0 +1,211 @@
+// Command hetgraph-run executes one of the five evaluated applications on a
+// graph file, on a single modeled device or heterogeneously across CPU and
+// MIC with a partition file.
+//
+// Usage:
+//
+//	hetgraph-run -graph pokec.adj -app bfs -device mic -scheme lock
+//	hetgraph-run -graph pokecw.adj -app sssp -device both -partition pokec.part
+//	hetgraph-run -graph pokec.adj -app pagerank -iters 10 -device cpu -baseline omp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hetgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetgraph-run: ")
+	var (
+		graphPath = flag.String("graph", "", "input graph file (required)")
+		appName   = flag.String("app", "pagerank", "application: pagerank | bfs | sssp | toposort | semicluster")
+		device    = flag.String("device", "mic", "device: cpu | mic | both")
+		scheme    = flag.String("scheme", "pipe", "message generation scheme: lock | pipe")
+		baseline  = flag.String("baseline", "", "run a baseline instead: omp")
+		partPath  = flag.String("partition", "", "partition file for -device both")
+		source    = flag.Int("source", 0, "source vertex for bfs/sssp")
+		iters     = flag.Int("iters", 0, "iteration bound (0 = converge; pagerank default 10)")
+		novec     = flag.Bool("novec", false, "disable SIMD message reduction")
+		traceCSV  = flag.String("trace", "", "write a per-superstep phase timeline CSV to this path")
+		verify    = flag.Bool("verify", false, "check the result against the sequential reference")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := hetgraph.LoadGraph(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *appName == "pagerank" && *iters == 0 {
+		*iters = 10
+	}
+
+	schemeOf := func(s string) hetgraph.Scheme {
+		if s == "lock" {
+			return hetgraph.SchemeLocking
+		}
+		return hetgraph.SchemePipelined
+	}
+	devOf := func(s string) hetgraph.DeviceSpec {
+		if s == "cpu" {
+			return hetgraph.CPU()
+		}
+		return hetgraph.MIC()
+	}
+
+	if *appName == "semicluster" {
+		runSC(g, *device, schemeOf(*scheme), *partPath, *iters)
+		return
+	}
+
+	var app hetgraph.AppF32
+	switch *appName {
+	case "pagerank":
+		app = hetgraph.NewPageRank()
+	case "bfs":
+		app = hetgraph.NewBFS(hetgraph.VertexID(*source))
+	case "sssp":
+		app = hetgraph.NewSSSP(hetgraph.VertexID(*source))
+	case "toposort":
+		app = hetgraph.NewTopoSort()
+	case "cc":
+		app = hetgraph.NewConnectedComponents()
+	default:
+		log.Fatalf("unknown -app %q", *appName)
+	}
+
+	if *baseline == "omp" {
+		res, err := hetgraph.RunOMP(app, g, devOf(*device), 0, *iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s OMP on %s: %d iterations, sim %.6fs, wall %.3fs\n",
+			*appName, *device, res.Iterations, res.SimSeconds, res.WallSeconds)
+		return
+	}
+
+	var rec *hetgraph.TraceRecorder
+	if *traceCSV != "" {
+		rec = hetgraph.NewTraceRecorder()
+	}
+	opt := hetgraph.Options{
+		Scheme:        schemeOf(*scheme),
+		Vectorized:    !*novec,
+		MaxIterations: *iters,
+		Trace:         rec,
+	}
+	switch *device {
+	case "cpu", "mic":
+		opt.Dev = devOf(*device)
+		res, err := hetgraph.Run(app, g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %s (%v, vec=%v): %d iterations, sim %.6fs (gen %.6f, proc %.6f, upd %.6f), wall %.3fs\n",
+			*appName, *device, opt.Scheme, opt.Vectorized, res.Iterations, res.SimSeconds,
+			res.Phases.Generate, res.Phases.Process, res.Phases.Update, res.WallSeconds)
+		if *verify {
+			verifyResult(*appName, app, g, *source, *iters)
+		}
+	case "both":
+		if *partPath == "" {
+			log.Fatal("-device both requires -partition")
+		}
+		assign, err := hetgraph.LoadPartition(*partPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optCPU := opt
+		optCPU.Dev = hetgraph.CPU()
+		optCPU.Scheme = hetgraph.SchemeLocking
+		optMIC := opt
+		optMIC.Dev = hetgraph.MIC()
+		res, err := hetgraph.RunHetero(app, g, assign, optCPU, optMIC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
+			*appName, res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+		if *verify {
+			verifyResult(*appName, app, g, *source, *iters)
+		}
+	default:
+		log.Fatalf("unknown -device %q", *device)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("trace summary:")
+		fmt.Print(hetgraph.FormatTraceSummary(rec.Summarize()))
+		fmt.Printf("timeline written to %s\n", *traceCSV)
+	}
+}
+
+// verifyResult re-runs the application through the sequential reference and
+// compares, reporting PASS/FAIL.
+func verifyResult(appName string, app hetgraph.AppF32, g *hetgraph.Graph, source, iters int) {
+	ok, detail := hetgraph.VerifyAgainstSequential(appName, app, g, hetgraph.VertexID(source), iters)
+	if ok {
+		fmt.Println("verify: PASS —", detail)
+	} else {
+		log.Fatalf("verify: FAIL — %s", detail)
+	}
+}
+
+func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath string, iters int) {
+	if iters == 0 {
+		iters = 5
+	}
+	app := hetgraph.NewSemiClustering(3, 4, 0.2)
+	opt := hetgraph.Options{Scheme: scheme, MaxIterations: iters}
+	switch device {
+	case "cpu", "mic":
+		if device == "cpu" {
+			opt.Dev = hetgraph.CPU()
+		} else {
+			opt.Dev = hetgraph.MIC()
+		}
+		res, err := hetgraph.RunSemiClustering(app, g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("semicluster on %s: %d iterations, sim %.6fs, wall %.3fs\n",
+			device, res.Iterations, res.SimSeconds, res.WallSeconds)
+	case "both":
+		if partPath == "" {
+			log.Fatal("-device both requires -partition")
+		}
+		assign, err := hetgraph.LoadPartition(partPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optCPU := opt
+		optCPU.Dev = hetgraph.CPU()
+		optCPU.Scheme = hetgraph.SchemeLocking
+		optMIC := opt
+		optMIC.Dev = hetgraph.MIC()
+		res, err := hetgraph.RunSemiClusteringHetero(app, g, assign, optCPU, optMIC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("semicluster on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
+			res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+	default:
+		log.Fatalf("unknown -device %q", device)
+	}
+}

@@ -1,0 +1,94 @@
+// Command hetgraph-stats inspects a graph file: degree statistics, in/out
+// degree histograms and percentiles, DAG check, and the estimated Condensed
+// Static Buffer footprint on both devices — everything one needs to know
+// before choosing a partitioning ratio and scheme.
+//
+// Usage:
+//
+//	hetgraph-stats -graph pokec.adj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hetgraph"
+	"hetgraph/internal/csb"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetgraph-stats: ")
+	graphPath := flag.String("graph", "", "input graph file (required)")
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := hetgraph.LoadGraph(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(hetgraph.Stats(g))
+	fmt.Println("weighted:", g.Weighted(), " DAG:", g.IsDAG())
+
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	fmt.Printf("\nout-degree percentiles: p50=%d p90=%d p99=%d max=%d\n",
+		graph.Percentile(out, 50), graph.Percentile(out, 90), graph.Percentile(out, 99), graph.Percentile(out, 100))
+	fmt.Printf("in-degree  percentiles: p50=%d p90=%d p99=%d max=%d\n",
+		graph.Percentile(in, 50), graph.Percentile(in, 90), graph.Percentile(in, 99), graph.Percentile(in, 100))
+
+	fmt.Println("\nin-degree histogram (power-of-two bins):")
+	printHistogram(graph.DegreeHistogram(in))
+
+	// CSB footprint per device (k = 2, the default).
+	for _, dev := range []machine.DeviceSpec{machine.CPU(), machine.MIC()} {
+		buf, err := csb.BuildFromDegrees(in, csb.Config{Width: dev.SIMDWidth, K: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nCSB on %s (width %d, k=2): %.2f MB condensed vs %.2f MB naive (%.1fx saving), %d groups, %d tasks\n",
+			dev.Name, dev.SIMDWidth,
+			float64(buf.FootprintBytes())/(1<<20), float64(buf.NaiveFootprintBytes())/(1<<20),
+			float64(buf.NaiveFootprintBytes())/float64(buf.FootprintBytes()),
+			buf.NumGroups(), buf.NumTasks())
+	}
+}
+
+func printHistogram(bins []int64) {
+	var maxCount int64
+	for _, c := range bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		fmt.Println("  (empty)")
+		return
+	}
+	for i, c := range bins {
+		lo, hi := 0, 0
+		if i > 0 {
+			lo, hi = 1<<(i-1), 1<<i-1
+		}
+		bar := int(40 * c / maxCount)
+		label := fmt.Sprintf("%d-%d", lo, hi)
+		if i == 0 {
+			label = "0"
+		}
+		fmt.Printf("  %-12s %10d %s\n", label, c, stars(bar))
+	}
+}
+
+func stars(n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = '#'
+	}
+	return string(s)
+}

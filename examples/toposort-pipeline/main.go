@@ -1,0 +1,43 @@
+// TopoSort on a dense layered DAG, comparing locking-based and pipelined
+// message generation on the simulated MIC — the contention experiment of
+// Figure 5(e): a large number of messages converge on single vertices, so
+// per-column locking collapses and the worker/mover pipeline wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := hetgraph.GenerateDAG(hetgraph.DefaultDAG(2000, 400000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DAG:", hetgraph.Stats(g))
+
+	for _, scheme := range []hetgraph.Scheme{hetgraph.SchemeLocking, hetgraph.SchemePipelined} {
+		app := hetgraph.NewTopoSort()
+		res, err := hetgraph.Run(app, g, hetgraph.Options{
+			Dev:        hetgraph.MIC(),
+			Scheme:     scheme,
+			Vectorized: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !app.Ordered() {
+			log.Fatal("not a DAG: some vertices unordered")
+		}
+		fmt.Printf("MIC %-5v: %3d supersteps, sim %8.3f ms (generate %8.3f), wall %.3fs\n",
+			scheme, res.Iterations, 1e3*res.SimSeconds, 1e3*res.Phases.Generate, res.WallSeconds)
+		if scheme == hetgraph.SchemeLocking {
+			fmt.Printf("          expected lock conflicts: %.0f (hot columns drive these)\n",
+				res.Counters.ConflictExpected)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module hetgraph
+
+go 1.22

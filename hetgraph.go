@@ -1,0 +1,387 @@
+// Package hetgraph is a vertex-centric graph processing framework for a
+// heterogeneous CPU + Intel Xeon Phi (MIC) node, reproducing Chen, Huo,
+// Ren, Jain & Agrawal, "Efficient and Simplified Parallel Graph Processing
+// over CPU and MIC" (IPDPS 2015).
+//
+// Applications are written as three user functions — message generation,
+// message processing, and vertex updating — over a BSP iteration (§III of
+// the paper). The runtime provides:
+//
+//   - a Condensed Static Buffer that stores messages SIMD-aligned per
+//     degree-sorted vertex group, enabling vectorized message reduction at
+//     low memory cost;
+//   - locking and pipelined (worker/mover) message-generation schemes;
+//   - dynamic intra-device load balancing;
+//   - hybrid Metis-style CPU/MIC graph partitioning with MPI-symmetric-mode
+//     style message exchange.
+//
+// Because this reproduction targets commodity hardware, the two devices are
+// simulated: all data structures and concurrency run for real (goroutines,
+// lock-free queues, real buffers), while per-device time is computed by a
+// calibrated cost model from the counted events of that real execution.
+// See DESIGN.md and the internal/machine package documentation.
+//
+// Quick start:
+//
+//	g, _ := hetgraph.GeneratePowerLaw(hetgraph.DefaultPowerLaw(10000))
+//	wg, _ := hetgraph.AddRandomWeights(g, 0, 10, 1)
+//	app := hetgraph.NewSSSP(0)
+//	res, _ := hetgraph.Run(app, wg, hetgraph.Options{
+//	    Dev: hetgraph.MIC(), Scheme: hetgraph.SchemePipelined, Vectorized: true,
+//	})
+//	fmt.Println(res.SimSeconds, app.Dist[42])
+package hetgraph
+
+import (
+	"fmt"
+	"math"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/autotune"
+	"hetgraph/internal/core"
+	"hetgraph/internal/csb"
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/metis"
+	"hetgraph/internal/ompbase"
+	"hetgraph/internal/partition"
+	"hetgraph/internal/seqref"
+	"hetgraph/internal/trace"
+	"hetgraph/internal/vec"
+)
+
+// Graph and construction.
+type (
+	// Graph is a directed graph in CSR form.
+	Graph = graph.CSR
+	// VertexID indexes a vertex.
+	VertexID = graph.VertexID
+	// GraphBuilder accumulates edges into a Graph.
+	GraphBuilder = graph.Builder
+	// GraphStats summarizes degree structure.
+	GraphStats = graph.Stats
+)
+
+// NewGraphBuilder creates a builder for n vertices.
+func NewGraphBuilder(n int, weighted bool) *GraphBuilder { return graph.NewBuilder(n, weighted) }
+
+// LoadGraph reads a graph file in either the adjacency-list text format or
+// the binary CSR format (auto-detected).
+func LoadGraph(path string) (*Graph, error) { return graph.LoadAuto(path) }
+
+// SaveGraph writes a graph in the adjacency-list text format.
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// SaveGraphBinary writes a graph in the compact binary CSR format, which
+// loads much faster for large graphs.
+func SaveGraphBinary(path string, g *Graph) error { return graph.SaveBinaryFile(path, g) }
+
+// Stats computes degree statistics.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// PaperExampleGraph returns the 16-vertex example of the paper's Figure 1.
+func PaperExampleGraph() *Graph { return graph.PaperExample() }
+
+// Synthetic workload generators.
+type (
+	// PowerLawConfig parameterizes the Pokec-like generator.
+	PowerLawConfig = gen.PowerLawConfig
+	// CommunityConfig parameterizes the DBLP-like generator.
+	CommunityConfig = gen.CommunityConfig
+	// DAGConfig parameterizes the dense random DAG generator.
+	DAGConfig = gen.DAGConfig
+)
+
+// DefaultPowerLaw returns the Pokec-substitute configuration for n vertices.
+func DefaultPowerLaw(n int) PowerLawConfig { return gen.DefaultPowerLaw(n) }
+
+// DefaultCommunity returns the DBLP-substitute configuration for n vertices.
+func DefaultCommunity(n int) CommunityConfig { return gen.DefaultCommunity(n) }
+
+// DefaultDAG returns the TopoSort DAG configuration.
+func DefaultDAG(n, m int) DAGConfig { return gen.DefaultDAG(n, m) }
+
+// GeneratePowerLaw builds a directed power-law graph.
+func GeneratePowerLaw(cfg PowerLawConfig) (*Graph, error) { return gen.PowerLaw(cfg) }
+
+// GenerateCommunity builds an undirected community graph (directed form).
+func GenerateCommunity(cfg CommunityConfig) (*Graph, error) { return gen.Community(cfg) }
+
+// GenerateDAG builds a random DAG.
+func GenerateDAG(cfg DAGConfig) (*Graph, error) { return gen.RandomDAG(cfg) }
+
+// GenerateUniform builds an Erdős–Rényi-style random directed multigraph.
+func GenerateUniform(n, m int, seed int64) (*Graph, error) { return gen.Uniform(n, m, seed) }
+
+// RMATConfig parameterizes the Graph500-style R-MAT generator.
+type RMATConfig = gen.RMATConfig
+
+// DefaultRMAT returns the Graph500 parameterization at the given scale
+// (2^scale vertices, 16 edges per vertex).
+func DefaultRMAT(scale int) RMATConfig { return gen.DefaultRMAT(scale) }
+
+// GenerateRMAT builds an R-MAT directed multigraph.
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) { return gen.RMAT(cfg) }
+
+// AddRandomWeights attaches uniform random weights in (lo, hi] to g.
+func AddRandomWeights(g *Graph, lo, hi float32, seed int64) (*Graph, error) {
+	return gen.WithWeights(g, lo, hi, seed)
+}
+
+// Devices and execution.
+type (
+	// DeviceSpec models one compute device.
+	DeviceSpec = machine.DeviceSpec
+	// AppProfile describes an application's per-event costs.
+	AppProfile = machine.AppProfile
+	// Options configures an engine run.
+	Options = core.Options
+	// Result reports a single-device run.
+	Result = core.Result
+	// HeteroResult reports a CPU+MIC run.
+	HeteroResult = core.HeteroResult
+	// Scheme selects the message-generation scheme.
+	Scheme = core.Scheme
+	// InsertMode selects the CSB column mapping policy.
+	InsertMode = csb.InsertMode
+	// AppF32 is a float32-message vertex program.
+	AppF32 = core.AppF32
+	// VecArrayF32 is an aligned SIMD vector array (used by ReduceVec).
+	VecArrayF32 = vec.ArrayF32
+	// OMPResult reports an OpenMP-baseline run.
+	OMPResult = ompbase.Result
+)
+
+// Generation schemes (§IV-C).
+const (
+	SchemeLocking   = core.SchemeLocking
+	SchemePipelined = core.SchemePipelined
+)
+
+// CSB column mapping policies (§IV-B).
+const (
+	CSBDynamic  = csb.Dynamic
+	CSBOneToOne = csb.OneToOne
+)
+
+// CPU returns the modeled Xeon E5-2680 (16 cores, SSE4.2).
+func CPU() DeviceSpec { return machine.CPU() }
+
+// MIC returns the modeled Xeon Phi SE10P (60x4 threads, IMCI).
+func MIC() DeviceSpec { return machine.MIC() }
+
+// Run executes a float32-message application on one modeled device.
+func Run(app AppF32, g *Graph, opt Options) (Result, error) { return core.RunF32(app, g, opt) }
+
+// RunHetero executes a float32-message application across CPU and MIC.
+// assign maps each vertex to device 0 (CPU) or 1 (MIC).
+func RunHetero(app AppF32, g *Graph, assign []int32, optCPU, optMIC Options) (HeteroResult, error) {
+	return core.RunF32Hetero(app, g, assign, optCPU, optMIC)
+}
+
+// RunOMP executes the OpenMP-style baseline for comparison (§V-C).
+func RunOMP(app AppF32, g *Graph, dev DeviceSpec, threads, maxIters int) (OMPResult, error) {
+	return ompbase.RunF32(app, g, dev, threads, maxIters)
+}
+
+// Partitioning (§IV-E).
+type (
+	// Ratio is the CPU:MIC workload ratio.
+	Ratio = partition.Ratio
+	// PartitionMethod identifies a partitioning scheme.
+	PartitionMethod = partition.Method
+)
+
+// Partitioning methods.
+const (
+	PartitionContinuous = partition.MethodContinuous
+	PartitionRoundRobin = partition.MethodRoundRobin
+	PartitionHybrid     = partition.MethodHybrid
+)
+
+// Partition computes a device assignment with the given method at ratio r.
+func Partition(method PartitionMethod, g *Graph, r Ratio) ([]int32, error) {
+	return partition.Make(method, g, r)
+}
+
+// PartitionHybridBlocks runs the hybrid scheme with an explicit block count
+// and Metis options.
+func PartitionHybridBlocks(g *Graph, r Ratio, blocks int) ([]int32, error) {
+	return partition.Hybrid(g, r, blocks, metis.DefaultOptions())
+}
+
+// CrossEdges counts edges crossing the device boundary under assign.
+func CrossEdges(g *Graph, assign []int32) int64 { return partition.CrossEdges(g, assign) }
+
+// SavePartition / LoadPartition persist device assignments (the paper's
+// "graph partitioning file").
+func SavePartition(path string, assign []int32) error { return partition.SaveFile(path, assign) }
+
+// LoadPartition reads a device assignment file.
+func LoadPartition(path string) ([]int32, error) { return partition.LoadFile(path) }
+
+// Built-in applications (§V-B).
+type (
+	// PageRank ranks vertices by link structure.
+	PageRank = apps.PageRank
+	// BFS is breadth-first traversal.
+	BFS = apps.BFS
+	// SSSP is single-source shortest paths (the paper's running example).
+	SSSP = apps.SSSP
+	// TopoSort is topological sorting of a DAG.
+	TopoSort = apps.TopoSort
+	// SemiClustering finds overlapping interaction clusters.
+	SemiClustering = apps.SemiClustering
+	// ConnectedComponents labels weakly connected components.
+	ConnectedComponents = apps.ConnectedComponents
+	// LabelPropagation detects communities by majority label propagation.
+	LabelPropagation = apps.LabelPropagation
+	// LPAMsg is LabelPropagation's message type (a vote tally).
+	LPAMsg = apps.LPAMsg
+	// SCMsg is Semi-Clustering's message type.
+	SCMsg = apps.SCMsg
+	// SemiClusterValue is one semi-cluster.
+	SemiClusterValue = apps.SemiCluster
+)
+
+// NewPageRank creates a PageRank app (damping 0.85; run length set by
+// Options.MaxIterations).
+func NewPageRank() *PageRank { return apps.NewPageRank() }
+
+// NewBFS creates a BFS app from the given source.
+func NewBFS(source VertexID) *BFS { return apps.NewBFS(source) }
+
+// NewSSSP creates an SSSP app from the given source (weighted graph).
+func NewSSSP(source VertexID) *SSSP { return apps.NewSSSP(source) }
+
+// NewTopoSort creates a TopoSort app (DAG input).
+func NewTopoSort() *TopoSort { return apps.NewTopoSort() }
+
+// NewConnectedComponents creates a weakly-connected-components app
+// (min-label propagation; run on a symmetrized graph for undirected
+// semantics).
+func NewConnectedComponents() *ConnectedComponents { return apps.NewConnectedComponents() }
+
+// NewLabelPropagation creates a community-detection app (synchronous LPA;
+// structured messages, so it runs on the generic path like Semi-Clustering).
+func NewLabelPropagation() *LabelPropagation { return apps.NewLabelPropagation() }
+
+// RunLabelPropagation executes Label Propagation on one modeled device.
+// Bound the run with Options.MaxIterations (synchronous LPA can oscillate).
+func RunLabelPropagation(app *LabelPropagation, g *Graph, opt Options) (Result, error) {
+	return core.RunGeneric[apps.LPAMsg](app, g, opt)
+}
+
+// RunLabelPropagationHetero executes Label Propagation across CPU and MIC.
+func RunLabelPropagationHetero(app *LabelPropagation, g *Graph, assign []int32, optCPU, optMIC Options) (HeteroResult, error) {
+	return core.RunGenericHetero[apps.LPAMsg](app, g, assign, optCPU, optMIC)
+}
+
+// NewSemiClustering creates a Semi-Clustering app.
+func NewSemiClustering(maxClusters, maxMembers int, boundaryFactor float32) *SemiClustering {
+	return apps.NewSemiClustering(maxClusters, maxMembers, boundaryFactor)
+}
+
+// RunSemiClustering executes Semi-Clustering on one modeled device (it uses
+// the structured-message path, not SIMD reduction).
+func RunSemiClustering(app *SemiClustering, g *Graph, opt Options) (Result, error) {
+	return core.RunGeneric[apps.SCMsg](app, g, opt)
+}
+
+// RunSemiClusteringHetero executes Semi-Clustering across CPU and MIC.
+func RunSemiClusteringHetero(app *SemiClustering, g *Graph, assign []int32, optCPU, optMIC Options) (HeteroResult, error) {
+	return core.RunGenericHetero[apps.SCMsg](app, g, assign, optCPU, optMIC)
+}
+
+// VerifyAgainstSequential checks an already-run application's vertex state
+// against an independent classical reference implementation (Dijkstra,
+// queue BFS, power iteration, Kahn, union-find). It returns whether the
+// result matches and a human-readable detail line. iters must equal the
+// parallel run's iteration bound for fixed-length apps (PageRank).
+func VerifyAgainstSequential(appName string, app AppF32, g *Graph, source VertexID, iters int) (bool, string) {
+	switch a := app.(type) {
+	case *SSSP:
+		want := seqref.ClassicSSSP(g, source)
+		for v := range want {
+			if a.Dist[v] != want[v] {
+				return false, fmt.Sprintf("sssp: dist[%d] = %v, Dijkstra says %v", v, a.Dist[v], want[v])
+			}
+		}
+		return true, fmt.Sprintf("sssp distances match Dijkstra on %d vertices", g.NumVertices())
+	case *BFS:
+		want := seqref.ClassicBFS(g, source)
+		for v := range want {
+			if a.Levels[v] != want[v] {
+				return false, fmt.Sprintf("bfs: level[%d] = %d, reference says %d", v, a.Levels[v], want[v])
+			}
+		}
+		return true, fmt.Sprintf("bfs levels match reference on %d vertices", g.NumVertices())
+	case *TopoSort:
+		if !seqref.ValidTopoOrder(g, a.Order) {
+			return false, "toposort: order violates an edge or is not a permutation"
+		}
+		return true, fmt.Sprintf("toposort order valid for all %d edges", g.NumEdges())
+	case *PageRank:
+		if iters <= 0 {
+			return false, "pagerank verification needs the iteration count"
+		}
+		want := seqref.ClassicPageRank(g, 0.85, iters)
+		for v := range want {
+			diff := math.Abs(float64(a.Ranks[v] - want[v]))
+			if diff > 1e-3*math.Max(1, float64(want[v])) {
+				return false, fmt.Sprintf("pagerank: rank[%d] = %v, power iteration says %v", v, a.Ranks[v], want[v])
+			}
+		}
+		return true, fmt.Sprintf("pagerank matches %d power iterations (tol 1e-3)", iters)
+	case *ConnectedComponents:
+		want := seqref.ClassicWCC(g)
+		for v := range want {
+			if a.Labels[v] != float32(want[v]) {
+				return false, fmt.Sprintf("cc: label[%d] = %v, union-find says %d", v, a.Labels[v], want[v])
+			}
+		}
+		return true, fmt.Sprintf("component labels match union-find (%d components)", a.NumComponents())
+	default:
+		return false, fmt.Sprintf("no sequential reference for app %q", appName)
+	}
+}
+
+// Tracing.
+type (
+	// TraceRecorder collects a per-superstep, per-phase timeline of a run;
+	// attach one via Options.Trace.
+	TraceRecorder = trace.Recorder
+	// TraceSample is one phase of one superstep on one device.
+	TraceSample = trace.Sample
+	// TraceSummary aggregates a recording.
+	TraceSummary = trace.Summary
+)
+
+// NewTraceRecorder creates an empty run-timeline recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// FormatTraceSummary renders a trace summary as text.
+func FormatTraceSummary(s TraceSummary) string { return trace.FormatSummary(s) }
+
+// Auto-tuning (the paper's §VII future work, implemented).
+type (
+	// TuneBudget bounds auto-tuning probe effort.
+	TuneBudget = autotune.Budget
+	// SplitResult reports a worker/mover tuning outcome.
+	SplitResult = autotune.SplitResult
+	// RatioResult reports a partitioning-ratio tuning outcome.
+	RatioResult = autotune.RatioResult
+)
+
+// TuneWorkerMoverSplit searches the pipelined scheme's worker/mover split
+// for one device by probing short real runs of the application.
+func TuneWorkerMoverSplit(newApp func() AppF32, g *Graph, dev DeviceSpec, budget TuneBudget) (SplitResult, error) {
+	return autotune.TuneSplit(autotune.AppFactory(newApp), g, dev, budget)
+}
+
+// TunePartitionRatio searches the CPU:MIC workload ratio for heterogeneous
+// execution under the given partitioning method.
+func TunePartitionRatio(newApp func() AppF32, g *Graph, method PartitionMethod, optCPU, optMIC Options, budget TuneBudget) (RatioResult, error) {
+	return autotune.TuneRatio(autotune.AppFactory(newApp), g, method, optCPU, optMIC, budget)
+}

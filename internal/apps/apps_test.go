@@ -1,0 +1,310 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/vec"
+)
+
+func TestPageRankInitAndGenerate(t *testing.T) {
+	g := graph.PaperExample()
+	app := NewPageRank()
+	active := app.Init(g)
+	if len(active) != 16 {
+		t.Fatalf("active = %d, want all 16", len(active))
+	}
+	if !app.FixedActiveSet() {
+		t.Fatal("PageRank must declare a fixed active set")
+	}
+	// Vertex 9 has out-degree 4: each message carries rank/4.
+	var got []float32
+	app.Generate(9, func(dst graph.VertexID, v float32) { got = append(got, v) })
+	if len(got) != 4 {
+		t.Fatalf("generated %d messages", len(got))
+	}
+	for _, v := range got {
+		if v != 0.25 {
+			t.Fatalf("share = %v, want 0.25", v)
+		}
+	}
+	// Update refreshes rank and share.
+	app.Update(9, 2.0)
+	want := float32(0.15 + 0.85*2.0)
+	if app.Ranks[9] != want {
+		t.Fatalf("rank = %v, want %v", app.Ranks[9], want)
+	}
+	app.Generate(9, func(_ graph.VertexID, v float32) {
+		if v != want/4 {
+			t.Fatalf("post-update share = %v, want %v", v, want/4)
+		}
+	})
+	if app.Identity() != 0 || app.ReduceScalar(2, 3) != 5 {
+		t.Error("reduction primitives wrong")
+	}
+}
+
+func TestBFSUpdateSemantics(t *testing.T) {
+	g := graph.PaperExample()
+	app := NewBFS(1)
+	active := app.Init(g)
+	if len(active) != 1 || active[0] != 1 {
+		t.Fatalf("initial active = %v", active)
+	}
+	if app.Levels[1] != 0 {
+		t.Fatal("source level not 0")
+	}
+	if !app.Update(5, 1) {
+		t.Fatal("first visit must activate")
+	}
+	if app.Update(5, 2) {
+		t.Fatal("revisit must not activate")
+	}
+	if app.Levels[5] != 1 {
+		t.Fatalf("level = %d", app.Levels[5])
+	}
+	if app.ReduceScalar(3, 2) != 2 || app.ReduceScalar(2, 3) != 2 {
+		t.Error("BFS reduce must be min")
+	}
+	if !math.IsInf(float64(app.Identity()), 1) {
+		t.Error("identity must be +Inf")
+	}
+}
+
+func TestSSSPRequiresWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SSSP accepted unweighted graph")
+		}
+	}()
+	NewSSSP(0).Init(graph.PaperExample())
+}
+
+func TestSSSPGenerateAddsWeights(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1, 2.5)
+	b.AddEdge(0, 2, 4.0)
+	g, _ := b.Build()
+	app := NewSSSP(0)
+	app.Init(g)
+	got := map[graph.VertexID]float32{}
+	app.Generate(0, func(dst graph.VertexID, v float32) { got[dst] = v })
+	if got[1] != 2.5 || got[2] != 4.0 {
+		t.Fatalf("messages = %v", got)
+	}
+	if !app.Update(1, 2.5) {
+		t.Fatal("shorter distance must activate")
+	}
+	if app.Update(1, 3.0) {
+		t.Fatal("longer distance must not activate")
+	}
+}
+
+func TestTopoSortInitAndCycleDetection(t *testing.T) {
+	// Chain 0 -> 1 -> 2 plus isolated 3.
+	b := graph.NewBuilder(4, false)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	g, _ := b.Build()
+	app := NewTopoSort()
+	active := app.Init(g)
+	if len(active) != 2 { // 0 and 3 have in-degree 0
+		t.Fatalf("initial active = %v", active)
+	}
+	if app.Order[0] < 0 || app.Order[3] < 0 {
+		t.Fatal("sources not ordered at init")
+	}
+	if app.Ordered() {
+		t.Fatal("Ordered true before completion")
+	}
+	if !app.Update(1, 1) {
+		t.Fatal("in-degree 1 vertex must activate after one message")
+	}
+	// A cycle leaves vertices unordered.
+	b2 := graph.NewBuilder(2, false)
+	b2.AddEdge(0, 1, 0)
+	b2.AddEdge(1, 0, 0)
+	g2, _ := b2.Build()
+	app2 := NewTopoSort()
+	if got := app2.Init(g2); len(got) != 0 {
+		t.Fatal("cycle has no zero in-degree vertex")
+	}
+	if app2.Ordered() {
+		t.Fatal("cyclic graph reported ordered")
+	}
+}
+
+func TestTopoSortNegativePanic(t *testing.T) {
+	b := graph.NewBuilder(2, false)
+	b.AddEdge(0, 1, 0)
+	g, _ := b.Build()
+	app := NewTopoSort()
+	app.Init(g)
+	app.Update(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-delivery did not panic")
+		}
+	}()
+	app.Update(1, 1)
+}
+
+func TestSemiClusterContainsAndKey(t *testing.T) {
+	c := SemiCluster{Members: []graph.VertexID{2, 5, 9}}
+	if !c.contains(5) || c.contains(3) {
+		t.Error("contains wrong")
+	}
+	c2 := SemiCluster{Members: []graph.VertexID{2, 5, 9}, Score: 1}
+	if c.key() != c2.key() {
+		t.Error("same members, different keys")
+	}
+	c3 := SemiCluster{Members: []graph.VertexID{2, 5}}
+	if c.key() == c3.key() {
+		t.Error("different members, same key")
+	}
+}
+
+func TestSemiClusterScore(t *testing.T) {
+	// Triangle 0-1-2 all weight 1, plus boundary edge 2-3 weight 1.
+	b := graph.NewBuilder(4, true)
+	b.AddUndirected(0, 1, 1)
+	b.AddUndirected(1, 2, 1)
+	b.AddUndirected(0, 2, 1)
+	b.AddUndirected(2, 3, 1)
+	g, _ := b.Build()
+	sc := NewSemiClustering(4, 4, 0.5)
+	sc.Init(g)
+	// Cluster {0,1,2}: I = 3, B = 1, pairs = 3 -> (3 - 0.5*1)/3.
+	got := sc.score([]graph.VertexID{0, 1, 2})
+	want := float32((3 - 0.5) / 3)
+	if math.Abs(float64(got-want)) > 1e-6 {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+	if sc.score([]graph.VertexID{0}) != 0 {
+		t.Error("singleton score must be 0")
+	}
+}
+
+func TestSemiClusterMergeTop(t *testing.T) {
+	sc := NewSemiClustering(2, 4, 0.2)
+	a := SemiCluster{Members: []graph.VertexID{0}, Score: 1}
+	bb := SemiCluster{Members: []graph.VertexID{1}, Score: 3}
+	c := SemiCluster{Members: []graph.VertexID{2}, Score: 2}
+	dup := SemiCluster{Members: []graph.VertexID{1}, Score: 5} // same set, better score
+	out := sc.mergeTop(SCMsg{a, bb, c, dup})
+	if len(out) != 2 {
+		t.Fatalf("kept %d clusters, want 2", len(out))
+	}
+	if out[0].Score != 5 || out[1].Score != 2 {
+		t.Fatalf("merge order wrong: %v", out)
+	}
+}
+
+func TestSemiClusterBoundsClamped(t *testing.T) {
+	sc := NewSemiClustering(0, 1, 0.2)
+	if sc.MaxClusters != 1 || sc.MaxMembers != 2 {
+		t.Fatalf("bounds not clamped: %d %d", sc.MaxClusters, sc.MaxMembers)
+	}
+}
+
+func TestSemiClusterUpdateExtends(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddUndirected(0, 1, 1)
+	b.AddUndirected(1, 2, 1)
+	g, _ := b.Build()
+	sc := NewSemiClustering(3, 3, 0.2)
+	sc.Init(g)
+	// Vertex 1 receives the singleton {0}: it should extend to {0,1}.
+	changed := sc.Update(1, SCMsg{{Members: []graph.VertexID{0}, Score: 0}})
+	if !changed {
+		t.Fatal("update reported no change")
+	}
+	found := false
+	for _, c := range sc.Clusters[1] {
+		if len(c.Members) == 2 && c.Members[0] == 0 && c.Members[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("extended cluster missing: %v", sc.Clusters[1])
+	}
+	// Same message again: no change, inactive.
+	if sc.Update(1, SCMsg{{Members: []graph.VertexID{0}, Score: 0}}) {
+		t.Fatal("idempotent update reported change")
+	}
+}
+
+func TestSemiClusterCombineBounded(t *testing.T) {
+	sc := NewSemiClustering(2, 4, 0.2)
+	var msgs SCMsg
+	for i := 0; i < 10; i++ {
+		msgs = append(msgs, SemiCluster{Members: []graph.VertexID{graph.VertexID(i)}, Score: float32(i)})
+	}
+	out := sc.Combine(msgs[:5], msgs[5:])
+	if len(out) != 2 {
+		t.Fatalf("combine kept %d, want 2", len(out))
+	}
+	if out[0].Score != 9 || out[1].Score != 8 {
+		t.Fatalf("combine kept wrong clusters: %v", out)
+	}
+}
+
+// property: mergeTop output is sorted by descending score and has no
+// duplicate member sets.
+func TestQuickMergeTopInvariant(t *testing.T) {
+	sc := NewSemiClustering(4, 4, 0.2)
+	f := func(raw []uint8) bool {
+		var in SCMsg
+		for _, r := range raw {
+			in = append(in, SemiCluster{
+				Members: []graph.VertexID{graph.VertexID(r % 8)},
+				Score:   float32(r % 16),
+			})
+		}
+		out := sc.mergeTop(in)
+		if len(out) > sc.MaxClusters {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, c := range out {
+			if i > 0 && out[i-1].Score < c.Score {
+				return false
+			}
+			if seen[c.key()] {
+				return false
+			}
+			seen[c.key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceVecImplementations(t *testing.T) {
+	arr := vec.MustArrayF32(4, 2)
+	copy(arr.Row(0), []float32{1, 5, 3, 7})
+	copy(arr.Row(1), []float32{2, 4, 6, 1})
+	s := NewSSSP(0)
+	s.ReduceVec(arr, 2)
+	want := []float32{1, 4, 3, 1}
+	for i, w := range want {
+		if arr.Row(0)[i] != w {
+			t.Fatalf("SSSP ReduceVec lane %d = %v, want %v", i, arr.Row(0)[i], w)
+		}
+	}
+	arr2 := vec.MustArrayF32(4, 2)
+	copy(arr2.Row(0), []float32{1, 5, 3, 7})
+	copy(arr2.Row(1), []float32{2, 4, 6, 1})
+	p := NewPageRank()
+	p.ReduceVec(arr2, 2)
+	wantSum := []float32{3, 9, 9, 8}
+	for i, w := range wantSum {
+		if arr2.Row(0)[i] != w {
+			t.Fatalf("PageRank ReduceVec lane %d = %v, want %v", i, arr2.Row(0)[i], w)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package apps
+
+import (
+	"math"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/vec"
+)
+
+// ConnectedComponents labels the weakly connected components of a graph by
+// min-label propagation: every vertex starts with its own ID as label and
+// repeatedly adopts the smallest label it hears about; at the fixed point,
+// two vertices share a label iff they are connected (treating edges as
+// undirected — run it on a symmetrized graph, or accept directed-reachability
+// components otherwise).
+//
+// This is not one of the paper's five evaluated applications; it is the
+// kind of extension §VII anticipates ("providing additional functionality
+// for graph applications"), and it exercises the same SIMD min-reduction
+// path as SSSP — labels are float32-encoded vertex IDs, exactly
+// representable up to 2^24 vertices.
+type ConnectedComponents struct {
+	g *graph.CSR
+	// Labels holds each vertex's current component label (a vertex ID).
+	Labels []float32
+}
+
+// ccMaxVertices bounds the graph so float32 encodes every ID exactly.
+const ccMaxVertices = 1 << 24
+
+// NewConnectedComponents creates the app.
+func NewConnectedComponents() *ConnectedComponents { return &ConnectedComponents{} }
+
+// CCProfile reuses SSSP's cost profile: identical message structure (one
+// float32, min reduction) and near-identical user-function bodies.
+func ccProfile() machine.AppProfile {
+	p := machine.SSSPProfile
+	p.Name = "ConnectedComponents"
+	return p
+}
+
+// Profile implements AppF32.
+func (c *ConnectedComponents) Profile() machine.AppProfile { return ccProfile() }
+
+// Init implements AppF32: every vertex starts active with its own label.
+func (c *ConnectedComponents) Init(g *graph.CSR) []graph.VertexID {
+	if g.NumVertices() >= ccMaxVertices {
+		panic("apps: ConnectedComponents requires < 2^24 vertices (float32-exact labels)")
+	}
+	c.g = g
+	n := g.NumVertices()
+	c.Labels = make([]float32, n)
+	active := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		c.Labels[v] = float32(v)
+		active[v] = graph.VertexID(v)
+	}
+	return active
+}
+
+// Generate implements AppF32: propagate the current label.
+func (c *ConnectedComponents) Generate(v graph.VertexID, emit func(graph.VertexID, float32)) {
+	label := c.Labels[v]
+	for _, d := range c.g.Neighbors(v) {
+		emit(d, label)
+	}
+}
+
+// Identity implements AppF32.
+func (c *ConnectedComponents) Identity() float32 { return float32(math.Inf(1)) }
+
+// ReduceVec implements AppF32: SIMD min over received labels.
+func (c *ConnectedComponents) ReduceVec(arr *vec.ArrayF32, rows int) { arr.ReduceMin(rows) }
+
+// ReduceScalar implements AppF32.
+func (c *ConnectedComponents) ReduceScalar(a, b float32) float32 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// Update implements AppF32: adopt a smaller label and stay active.
+func (c *ConnectedComponents) Update(v graph.VertexID, msg float32) bool {
+	if msg < c.Labels[v] {
+		c.Labels[v] = msg
+		return true
+	}
+	return false
+}
+
+// NumComponents counts distinct labels after a converged run.
+func (c *ConnectedComponents) NumComponents() int {
+	seen := make(map[float32]struct{})
+	for _, l := range c.Labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SameComponent reports whether u and v converged to the same label.
+func (c *ConnectedComponents) SameComponent(u, v graph.VertexID) bool {
+	return c.Labels[u] == c.Labels[v]
+}

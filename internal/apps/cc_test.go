@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"testing"
+
+	"hetgraph/internal/graph"
+)
+
+func TestCCInitAndUpdate(t *testing.T) {
+	b := graph.NewBuilder(4, false)
+	b.AddUndirected(0, 1, 0)
+	b.AddUndirected(2, 3, 0)
+	g, _ := b.Build()
+	cc := NewConnectedComponents()
+	active := cc.Init(g)
+	if len(active) != 4 {
+		t.Fatalf("initial active = %d", len(active))
+	}
+	for v := 0; v < 4; v++ {
+		if cc.Labels[v] != float32(v) {
+			t.Fatalf("label[%d] = %v", v, cc.Labels[v])
+		}
+	}
+	if !cc.Update(1, 0) {
+		t.Fatal("smaller label must activate")
+	}
+	if cc.Update(1, 0.5) {
+		t.Fatal("larger label must not activate")
+	}
+	if cc.ReduceScalar(3, 2) != 2 || cc.ReduceScalar(2, 3) != 2 {
+		t.Fatal("reduce must be min")
+	}
+	var got []float32
+	cc.Generate(1, func(_ graph.VertexID, l float32) { got = append(got, l) })
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("generate sent %v, want the updated label 0", got)
+	}
+	if cc.Profile().Name != "ConnectedComponents" || !cc.Profile().Reducible {
+		t.Fatal("profile wrong")
+	}
+}
+
+func TestCCRejectsHugeGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted graph beyond float32-exact range")
+		}
+	}()
+	// Fake a CSR with 2^24 vertices without allocating edges.
+	g := &graph.CSR{Offsets: make([]int64, (1<<24)+1)}
+	NewConnectedComponents().Init(g)
+}
+
+func TestCCHelpers(t *testing.T) {
+	b := graph.NewBuilder(3, false)
+	g, _ := b.Build()
+	cc := NewConnectedComponents()
+	cc.Init(g)
+	if cc.NumComponents() != 3 {
+		t.Fatalf("isolated vertices: %d components, want 3", cc.NumComponents())
+	}
+	cc.Labels[2] = 0
+	if cc.NumComponents() != 2 || !cc.SameComponent(0, 2) || cc.SameComponent(0, 1) {
+		t.Fatal("helpers wrong")
+	}
+}

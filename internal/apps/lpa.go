@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"sort"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+)
+
+// LabelVote is one candidate community label and the number of neighbors
+// voting for it.
+type LabelVote struct {
+	Label graph.VertexID
+	Count int32
+}
+
+// LPAMsg is the Label Propagation message: a vote tally, sorted by label.
+// Majority voting is not an associative scalar reduction, so LPA uses the
+// framework's structured-message (generic) path — like Semi-Clustering —
+// but its Combine (tally merge) IS associative, so remote messages still
+// combine before each cross-device exchange.
+type LPAMsg []LabelVote
+
+// LabelPropagation detects communities by synchronous label propagation:
+// every vertex starts with its own ID as label and repeatedly adopts the
+// label held by the majority of its in-neighbors (smallest label on ties).
+// The run converges when no label changes, or stops at MaxIterations —
+// synchronous LPA can oscillate on bipartite-ish structures, which the
+// iteration bound absorbs.
+//
+// A second structured-message application (beyond §V-B's Semi-Clustering)
+// exercising the AppGeneric path end to end.
+type LabelPropagation struct {
+	g *graph.CSR
+	// Labels holds the current community label per vertex.
+	Labels []graph.VertexID
+}
+
+// NewLabelPropagation creates the app.
+func NewLabelPropagation() *LabelPropagation { return &LabelPropagation{} }
+
+// lpaProfile: light generation (send one small message per edge), moderate
+// branchy processing (tally merge), small updates.
+func lpaProfile() machine.AppProfile {
+	return machine.AppProfile{
+		Name: "LabelPropagation", GenOps: 3, ProcOps: 8, UpdOps: 4,
+		Branchy: true, MsgBytes: 8, Reducible: false,
+	}
+}
+
+// Profile implements AppGeneric.
+func (l *LabelPropagation) Profile() machine.AppProfile { return lpaProfile() }
+
+// Init implements AppGeneric: singleton labels, everyone active.
+func (l *LabelPropagation) Init(g *graph.CSR) []graph.VertexID {
+	l.g = g
+	n := g.NumVertices()
+	l.Labels = make([]graph.VertexID, n)
+	active := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		l.Labels[v] = graph.VertexID(v)
+		active[v] = graph.VertexID(v)
+	}
+	return active
+}
+
+// Generate implements AppGeneric: send the current label as a single vote.
+func (l *LabelPropagation) Generate(v graph.VertexID, emit func(graph.VertexID, LPAMsg)) {
+	msg := LPAMsg{{Label: l.Labels[v], Count: 1}}
+	for _, d := range l.g.Neighbors(v) {
+		emit(d, msg)
+	}
+}
+
+// Combine implements AppGeneric: merge two tallies (associative and
+// commutative, so remote combination is sound).
+func (l *LabelPropagation) Combine(a, b LPAMsg) LPAMsg { return mergeVotes(a, b) }
+
+// Process implements AppGeneric: fold all received tallies into one.
+func (l *LabelPropagation) Process(v graph.VertexID, msgs []LPAMsg) LPAMsg {
+	var acc LPAMsg
+	for _, m := range msgs {
+		acc = mergeVotes(acc, m)
+	}
+	return acc
+}
+
+// Update implements AppGeneric: adopt the majority label (smallest label on
+// ties); stay active only when the label changed.
+func (l *LabelPropagation) Update(v graph.VertexID, votes LPAMsg) bool {
+	if len(votes) == 0 {
+		return false
+	}
+	best := votes[0]
+	for _, c := range votes[1:] {
+		if c.Count > best.Count || (c.Count == best.Count && c.Label < best.Label) {
+			best = c
+		}
+	}
+	if best.Label == l.Labels[v] {
+		return false
+	}
+	l.Labels[v] = best.Label
+	return true
+}
+
+// mergeVotes merges two label-sorted tallies.
+func mergeVotes(a, b LPAMsg) LPAMsg {
+	out := make(LPAMsg, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Label < b[j].Label:
+			out = append(out, a[i])
+			i++
+		case a[i].Label > b[j].Label:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, LabelVote{Label: a[i].Label, Count: a[i].Count + b[j].Count})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// NumCommunities counts distinct labels.
+func (l *LabelPropagation) NumCommunities() int {
+	seen := map[graph.VertexID]struct{}{}
+	for _, lb := range l.Labels {
+		seen[lb] = struct{}{}
+	}
+	return len(seen)
+}
+
+// CommunitySizes returns the sorted (descending) sizes of all communities.
+func (l *LabelPropagation) CommunitySizes() []int {
+	count := map[graph.VertexID]int{}
+	for _, lb := range l.Labels {
+		count[lb]++
+	}
+	sizes := make([]int, 0, len(count))
+	for _, c := range count {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"hetgraph/internal/graph"
+)
+
+func TestMergeVotes(t *testing.T) {
+	a := LPAMsg{{Label: 1, Count: 2}, {Label: 5, Count: 1}}
+	b := LPAMsg{{Label: 1, Count: 1}, {Label: 3, Count: 4}}
+	got := mergeVotes(a, b)
+	want := LPAMsg{{Label: 1, Count: 3}, {Label: 3, Count: 4}, {Label: 5, Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	if got := mergeVotes(nil, b); !reflect.DeepEqual(got, b) {
+		t.Fatalf("merge with empty = %v", got)
+	}
+	// Associativity on a small case: (a+b)+c == a+(b+c).
+	c := LPAMsg{{Label: 3, Count: 1}, {Label: 9, Count: 2}}
+	left := mergeVotes(mergeVotes(a, b), c)
+	right := mergeVotes(a, mergeVotes(b, c))
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative: %v vs %v", left, right)
+	}
+}
+
+func TestLPAUpdateMajorityAndTies(t *testing.T) {
+	b := graph.NewBuilder(4, false)
+	b.AddEdge(0, 1, 0)
+	g, _ := b.Build()
+	l := NewLabelPropagation()
+	l.Init(g)
+	// Majority wins.
+	if !l.Update(1, LPAMsg{{Label: 7, Count: 3}, {Label: 2, Count: 1}}) {
+		t.Fatal("majority label not adopted")
+	}
+	if l.Labels[1] != 7 {
+		t.Fatalf("label = %d", l.Labels[1])
+	}
+	// Tie: smaller label wins.
+	l.Update(1, LPAMsg{{Label: 9, Count: 2}, {Label: 4, Count: 2}})
+	if l.Labels[1] != 4 {
+		t.Fatalf("tie broke to %d, want 4", l.Labels[1])
+	}
+	// Unchanged label: inactive.
+	if l.Update(1, LPAMsg{{Label: 4, Count: 1}}) {
+		t.Fatal("unchanged label reported active")
+	}
+	if l.Update(1, nil) {
+		t.Fatal("empty votes reported active")
+	}
+}
+
+func TestLPAGenerateAndHelpers(t *testing.T) {
+	b := graph.NewBuilder(3, false)
+	b.AddUndirected(0, 1, 0)
+	g, _ := b.Build()
+	l := NewLabelPropagation()
+	active := l.Init(g)
+	if len(active) != 3 {
+		t.Fatalf("active = %d", len(active))
+	}
+	var sent []LPAMsg
+	l.Generate(0, func(_ graph.VertexID, m LPAMsg) { sent = append(sent, m) })
+	if len(sent) != 1 || sent[0][0].Label != 0 || sent[0][0].Count != 1 {
+		t.Fatalf("generate sent %v", sent)
+	}
+	if l.NumCommunities() != 3 {
+		t.Fatalf("communities = %d", l.NumCommunities())
+	}
+	l.Labels[1] = 0
+	if l.NumCommunities() != 2 {
+		t.Fatal("label change not reflected")
+	}
+	sizes := l.CommunitySizes()
+	if !reflect.DeepEqual(sizes, []int{2, 1}) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if !l.Profile().Branchy || l.Profile().Reducible {
+		t.Fatal("profile flags wrong")
+	}
+}

@@ -1,0 +1,213 @@
+// Package apps implements the paper's five evaluation applications on the
+// framework API (§V-B): PageRank, BFS, Semi-Clustering, SSSP, and
+// Topological Sorting. Each is a direct transcription of the three
+// user-defined functions the paper describes; the float32 applications use
+// the SIMD vector API for their message reductions, exactly as Listing 1
+// does for SSSP.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/vec"
+)
+
+// PageRank ranks vertices by incoming link structure. Message generation
+// propagates rank/out_degree along every out-edge; message processing sums
+// (SIMD); vertex update applies the damping rule. Every vertex stays active
+// for a fixed number of iterations, driven by Options.MaxIterations.
+type PageRank struct {
+	g       *graph.CSR
+	damping float32
+	// Ranks holds the current PageRank value per vertex.
+	Ranks []float32
+	// contribution per out-edge, refreshed in Update (value/out_degree).
+	share []float32
+}
+
+// NewPageRank creates the app with the standard damping factor 0.85.
+func NewPageRank() *PageRank { return &PageRank{damping: 0.85} }
+
+// Profile implements AppF32.
+func (p *PageRank) Profile() machine.AppProfile { return machine.PageRankProfile }
+
+// FixedActiveSet marks PageRank as an always-active application: all
+// vertices generate messages along all edges every iteration (§V-C). The
+// run length is set by Options.MaxIterations.
+func (p *PageRank) FixedActiveSet() bool { return true }
+
+// Init implements AppF32: every vertex starts with rank 1 and is active.
+func (p *PageRank) Init(g *graph.CSR) []graph.VertexID {
+	p.g = g
+	n := g.NumVertices()
+	p.Ranks = make([]float32, n)
+	p.share = make([]float32, n)
+	active := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		p.Ranks[v] = 1
+		if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+			p.share[v] = 1 / float32(d)
+		}
+		active[v] = graph.VertexID(v)
+	}
+	return active
+}
+
+// Generate implements AppF32: propagate rank divided by out-degree.
+func (p *PageRank) Generate(v graph.VertexID, emit func(graph.VertexID, float32)) {
+	share := p.share[v]
+	for _, d := range p.g.Neighbors(v) {
+		emit(d, share)
+	}
+}
+
+// Identity implements AppF32: the sum identity.
+func (p *PageRank) Identity() float32 { return 0 }
+
+// ReduceVec implements AppF32: SIMD sum of the received contributions.
+func (p *PageRank) ReduceVec(arr *vec.ArrayF32, rows int) { arr.ReduceSum(rows) }
+
+// ReduceScalar implements AppF32.
+func (p *PageRank) ReduceScalar(a, b float32) float32 { return a + b }
+
+// Update implements AppF32: damped rank update; vertices stay active (the
+// run length is bounded by MaxIterations, as in the paper's fixed-iteration
+// PageRank).
+func (p *PageRank) Update(v graph.VertexID, sum float32) bool {
+	p.Ranks[v] = (1 - p.damping) + p.damping*sum
+	if d := p.g.OutDegree(v); d > 0 {
+		p.share[v] = p.Ranks[v] / float32(d)
+	}
+	return true
+}
+
+// BFS performs breadth-first traversal from a source. Active vertices send
+// level+1; unvisited receivers adopt any received level ("message reduction
+// is not needed" — the framework still stores messages in the CSB, and the
+// scalar min over duplicates implements 'any').
+type BFS struct {
+	g      *graph.CSR
+	source graph.VertexID
+	// Levels holds the BFS depth per vertex, -1 if unreached.
+	Levels []int32
+}
+
+// NewBFS creates the app for the given source vertex.
+func NewBFS(source graph.VertexID) *BFS { return &BFS{source: source} }
+
+// Profile implements AppF32.
+func (b *BFS) Profile() machine.AppProfile { return machine.BFSProfile }
+
+// Init implements AppF32.
+func (b *BFS) Init(g *graph.CSR) []graph.VertexID {
+	b.g = g
+	b.Levels = make([]int32, g.NumVertices())
+	for v := range b.Levels {
+		b.Levels[v] = -1
+	}
+	b.Levels[b.source] = 0
+	return []graph.VertexID{b.source}
+}
+
+// Generate implements AppF32: active vertices send their level plus one.
+func (b *BFS) Generate(v graph.VertexID, emit func(graph.VertexID, float32)) {
+	next := float32(b.Levels[v] + 1)
+	for _, d := range b.g.Neighbors(v) {
+		emit(d, next)
+	}
+}
+
+// Identity implements AppF32.
+func (b *BFS) Identity() float32 { return float32(math.Inf(1)) }
+
+// ReduceVec implements AppF32 (unused in the paper's BFS configuration, but
+// correct: min over duplicates picks one of the equal levels).
+func (b *BFS) ReduceVec(arr *vec.ArrayF32, rows int) { arr.ReduceMin(rows) }
+
+// ReduceScalar implements AppF32.
+func (b *BFS) ReduceScalar(a, x float32) float32 {
+	if x < a {
+		return x
+	}
+	return a
+}
+
+// Update implements AppF32: unvisited vertices adopt the level and become
+// active; visited ones stay inactive.
+func (b *BFS) Update(v graph.VertexID, msg float32) bool {
+	if b.Levels[v] >= 0 {
+		return false
+	}
+	b.Levels[v] = int32(msg)
+	return true
+}
+
+// SSSP computes single-source shortest paths on a positively weighted
+// directed graph — the paper's running example (Listing 1).
+type SSSP struct {
+	g      *graph.CSR
+	source graph.VertexID
+	// Dist holds the current tentative distance per vertex (+Inf if
+	// unreached).
+	Dist []float32
+}
+
+// NewSSSP creates the app for the given source vertex.
+func NewSSSP(source graph.VertexID) *SSSP { return &SSSP{source: source} }
+
+// Profile implements AppF32.
+func (s *SSSP) Profile() machine.AppProfile { return machine.SSSPProfile }
+
+// Init implements AppF32. The graph must be weighted.
+func (s *SSSP) Init(g *graph.CSR) []graph.VertexID {
+	if !g.Weighted() {
+		panic(fmt.Sprintf("apps: SSSP requires a weighted graph (source %d)", s.source))
+	}
+	s.g = g
+	s.Dist = make([]float32, g.NumVertices())
+	inf := float32(math.Inf(1))
+	for v := range s.Dist {
+		s.Dist[v] = inf
+	}
+	s.Dist[s.source] = 0
+	return []graph.VertexID{s.source}
+}
+
+// Generate implements AppF32: Listing 1's generate_messages — propagate
+// my_dist + edge weight along every out-edge.
+func (s *SSSP) Generate(v graph.VertexID, emit func(graph.VertexID, float32)) {
+	my := s.Dist[v]
+	nb := s.g.Neighbors(v)
+	ws := s.g.EdgeWeights(v)
+	for i, d := range nb {
+		emit(d, my+ws[i])
+	}
+}
+
+// Identity implements AppF32.
+func (s *SSSP) Identity() float32 { return float32(math.Inf(1)) }
+
+// ReduceVec implements AppF32: Listing 1's process_messages — SIMD min
+// folding all rows into row 0 (_mm512_min_ps on the MIC).
+func (s *SSSP) ReduceVec(arr *vec.ArrayF32, rows int) { arr.ReduceMin(rows) }
+
+// ReduceScalar implements AppF32.
+func (s *SSSP) ReduceScalar(a, x float32) float32 {
+	if x < a {
+		return x
+	}
+	return a
+}
+
+// Update implements AppF32: Listing 1's update_vertex — adopt a shorter
+// distance and become active, else go inactive.
+func (s *SSSP) Update(v graph.VertexID, msg float32) bool {
+	if msg < s.Dist[v] {
+		s.Dist[v] = msg
+		return true
+	}
+	return false
+}

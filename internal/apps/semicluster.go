@@ -1,0 +1,218 @@
+package apps
+
+import (
+	"sort"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+)
+
+// SemiCluster is one semi-cluster: a small set of members and its score.
+// The score follows the Pregel formulation: S_c = (I_c - f_B*B_c) / (V_c
+// choose 2), with I_c the weight of edges inside the cluster and B_c the
+// weight of boundary edges.
+type SemiCluster struct {
+	Members []graph.VertexID // sorted ascending
+	Score   float32
+}
+
+// contains reports membership (members are sorted).
+func (c SemiCluster) contains(v graph.VertexID) bool {
+	i := sort.Search(len(c.Members), func(i int) bool { return c.Members[i] >= v })
+	return i < len(c.Members) && c.Members[i] == v
+}
+
+// key returns a canonical identity for deduplication.
+func (c SemiCluster) key() string {
+	b := make([]byte, 0, len(c.Members)*4)
+	for _, m := range c.Members {
+		b = append(b, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return string(b)
+}
+
+// SCMsg is the Semi-Clustering message type: a list of semi-clusters. It is
+// not a basic SSE type, so the framework uses the generic (non-SIMD) path
+// for this application, as §V-D notes.
+type SCMsg []SemiCluster
+
+// SemiClustering finds overlapping groups of people who interact
+// frequently (§V-B), on an undirected graph represented as a directed graph
+// with duplicated edges. Each vertex maintains at most MaxClusters
+// semi-clusters of at most MaxMembers members, sorted by score.
+type SemiClustering struct {
+	g *graph.CSR
+	// MaxClusters bounds the cluster list per vertex and per message.
+	MaxClusters int
+	// MaxMembers bounds the semi-cluster size.
+	MaxMembers int
+	// BoundaryFactor is f_B in the score formula.
+	BoundaryFactor float32
+	// Clusters holds each vertex's current semi-cluster list, sorted by
+	// descending score.
+	Clusters []SCMsg
+	changed  []bool
+}
+
+// NewSemiClustering creates the app with the given bounds.
+func NewSemiClustering(maxClusters, maxMembers int, boundaryFactor float32) *SemiClustering {
+	if maxClusters < 1 {
+		maxClusters = 1
+	}
+	if maxMembers < 2 {
+		maxMembers = 2
+	}
+	return &SemiClustering{MaxClusters: maxClusters, MaxMembers: maxMembers, BoundaryFactor: boundaryFactor}
+}
+
+// Profile implements AppGeneric.
+func (s *SemiClustering) Profile() machine.AppProfile { return machine.SCProfile }
+
+// Init implements AppGeneric: every vertex starts with the singleton
+// cluster {v} and is active.
+func (s *SemiClustering) Init(g *graph.CSR) []graph.VertexID {
+	s.g = g
+	n := g.NumVertices()
+	s.Clusters = make([]SCMsg, n)
+	s.changed = make([]bool, n)
+	active := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		s.Clusters[v] = SCMsg{{Members: []graph.VertexID{graph.VertexID(v)}, Score: 0}}
+		active[v] = graph.VertexID(v)
+	}
+	return active
+}
+
+// Generate implements AppGeneric: send the top-score clusters to all
+// neighbors.
+func (s *SemiClustering) Generate(v graph.VertexID, emit func(graph.VertexID, SCMsg)) {
+	top := s.Clusters[v]
+	if len(top) > s.MaxClusters {
+		top = top[:s.MaxClusters]
+	}
+	for _, d := range s.g.Neighbors(v) {
+		emit(d, top)
+	}
+}
+
+// Combine implements AppGeneric: merging two cluster lists keeps the
+// highest-scoring distinct clusters — the remote-buffer combination.
+func (s *SemiClustering) Combine(a, b SCMsg) SCMsg {
+	return s.mergeTop(append(append(SCMsg{}, a...), b...))
+}
+
+// Process implements AppGeneric: reduce all received lists into one.
+func (s *SemiClustering) Process(v graph.VertexID, msgs []SCMsg) SCMsg {
+	var all SCMsg
+	for _, m := range msgs {
+		all = append(all, m...)
+	}
+	return s.mergeTop(all)
+}
+
+// Update implements AppGeneric: extend received clusters with v where
+// possible, merge with v's own list, keep the top; stay active only if the
+// list changed (the fixed-point termination).
+func (s *SemiClustering) Update(v graph.VertexID, received SCMsg) bool {
+	cand := append(SCMsg{}, s.Clusters[v]...)
+	for _, c := range received {
+		cand = append(cand, c)
+		if !c.contains(v) && len(c.Members) < s.MaxMembers {
+			ext := s.extend(c, v)
+			cand = append(cand, ext)
+		}
+	}
+	merged := s.mergeTop(cand)
+	if equalClusterLists(merged, s.Clusters[v]) {
+		return false
+	}
+	s.Clusters[v] = merged
+	return true
+}
+
+// extend returns cluster c with v added and the score recomputed.
+func (s *SemiClustering) extend(c SemiCluster, v graph.VertexID) SemiCluster {
+	members := make([]graph.VertexID, 0, len(c.Members)+1)
+	members = append(members, c.Members...)
+	members = append(members, v)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	ext := SemiCluster{Members: members}
+	ext.Score = s.score(members)
+	return ext
+}
+
+// score computes S_c from the real graph: internal edge weight I (each
+// undirected edge appears as two directed ones, so halve), boundary weight
+// B, normalized by the pair count.
+func (s *SemiClustering) score(members []graph.VertexID) float32 {
+	if len(members) < 2 {
+		return 0
+	}
+	inSet := func(v graph.VertexID) bool {
+		i := sort.Search(len(members), func(i int) bool { return members[i] >= v })
+		return i < len(members) && members[i] == v
+	}
+	var internal2, boundary float32
+	for _, u := range members {
+		ws := s.g.EdgeWeights(u)
+		for i, d := range s.g.Neighbors(u) {
+			w := float32(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			if inSet(d) {
+				internal2 += w
+			} else {
+				boundary += w
+			}
+		}
+	}
+	pairs := float32(len(members)*(len(members)-1)) / 2
+	return (internal2/2 - s.BoundaryFactor*boundary) / pairs
+}
+
+// mergeTop deduplicates and keeps the MaxClusters best by score (ties by
+// canonical key, for determinism).
+func (s *SemiClustering) mergeTop(all SCMsg) SCMsg {
+	seen := make(map[string]int, len(all))
+	out := make(SCMsg, 0, len(all))
+	for _, c := range all {
+		k := c.key()
+		if i, ok := seen[k]; ok {
+			if c.Score > out[i].Score {
+				out[i] = c
+			}
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].key() < out[j].key()
+	})
+	if len(out) > s.MaxClusters {
+		out = out[:s.MaxClusters]
+	}
+	return out
+}
+
+// equalClusterLists compares two sorted cluster lists.
+func equalClusterLists(a, b SCMsg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || len(a[i].Members) != len(b[i].Members) {
+			return false
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

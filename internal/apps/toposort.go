@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/vec"
+)
+
+// TopoSort produces a topological order of a DAG (§V-B): zero-in-degree
+// vertices start active and send 1 to their neighbors; receivers sum the
+// messages (SIMD), subtract from their remaining in-degree, and activate
+// when it reaches zero. Order positions are issued from a monotone counter
+// at activation time: a vertex's position is always issued in a later
+// superstep than all of its predecessors', so the result is a valid
+// topological order.
+type TopoSort struct {
+	g      *graph.CSR
+	remain []int32
+	seq    atomic.Int64
+	// Order holds each vertex's position in the topological order, -1
+	// until assigned.
+	Order []int64
+}
+
+// NewTopoSort creates the app.
+func NewTopoSort() *TopoSort { return &TopoSort{} }
+
+// Profile implements AppF32.
+func (t *TopoSort) Profile() machine.AppProfile { return machine.TopoSortProfile }
+
+// Init implements AppF32. The graph must be a DAG; cycles leave their
+// vertices unordered (detectable as Order[v] == -1 after the run).
+func (t *TopoSort) Init(g *graph.CSR) []graph.VertexID {
+	t.g = g
+	t.remain = g.InDegrees()
+	t.Order = make([]int64, g.NumVertices())
+	t.seq.Store(0)
+	var active []graph.VertexID
+	for v := range t.Order {
+		t.Order[v] = -1
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if t.remain[v] == 0 {
+			t.Order[v] = t.seq.Add(1) - 1
+			active = append(active, graph.VertexID(v))
+		}
+	}
+	return active
+}
+
+// Generate implements AppF32: send the constant 1 along every out-edge;
+// the sender then goes inactive (it is not re-activated by Update).
+func (t *TopoSort) Generate(v graph.VertexID, emit func(graph.VertexID, float32)) {
+	for _, d := range t.g.Neighbors(v) {
+		emit(d, 1)
+	}
+}
+
+// Identity implements AppF32.
+func (t *TopoSort) Identity() float32 { return 0 }
+
+// ReduceVec implements AppF32: SIMD sum of removed-edge counts.
+func (t *TopoSort) ReduceVec(arr *vec.ArrayF32, rows int) { arr.ReduceSum(rows) }
+
+// ReduceScalar implements AppF32.
+func (t *TopoSort) ReduceScalar(a, b float32) float32 { return a + b }
+
+// Update implements AppF32: subtract the removed-edge count; on reaching
+// zero, take the next order position and activate.
+func (t *TopoSort) Update(v graph.VertexID, sum float32) bool {
+	removed := int32(sum + 0.5)
+	t.remain[v] -= removed
+	if t.remain[v] < 0 {
+		panic(fmt.Sprintf("apps: TopoSort vertex %d in-degree went negative (cyclic input or duplicate delivery)", v))
+	}
+	if t.remain[v] == 0 {
+		t.Order[v] = t.seq.Add(1) - 1
+		return true
+	}
+	return false
+}
+
+// Ordered reports whether every vertex received a position (false for
+// cyclic inputs).
+func (t *TopoSort) Ordered() bool {
+	for _, o := range t.Order {
+		if o < 0 {
+			return false
+		}
+	}
+	return true
+}

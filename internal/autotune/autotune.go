@@ -1,0 +1,197 @@
+// Package autotune implements the paper's stated future work (§VII): "our
+// future work includes ... auto-tuning for deciding the optimal number of
+// worker/mover threads, as well as the partitioning ratio between CPU and
+// MIC."
+//
+// Both tuners probe the real system: they execute short bounded runs of the
+// actual application on the actual graph under candidate configurations and
+// keep the one with the lowest simulated device time. Probes are bounded by
+// iteration count, so tuning costs a small multiple of a few supersteps
+// rather than full runs.
+package autotune
+
+import (
+	"fmt"
+
+	"hetgraph/internal/core"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/partition"
+)
+
+// Budget bounds the probing effort.
+type Budget struct {
+	// ProbeIters is the superstep bound per probe run (default 3).
+	ProbeIters int
+	// MaxProbes bounds the number of candidate configurations tried
+	// (default 12).
+	MaxProbes int
+}
+
+func (b Budget) withDefaults() Budget {
+	if b.ProbeIters <= 0 {
+		b.ProbeIters = 3
+	}
+	if b.MaxProbes <= 0 {
+		b.MaxProbes = 12
+	}
+	return b
+}
+
+// AppFactory produces a fresh application instance per probe (probes mutate
+// vertex state, so each needs its own).
+type AppFactory func() core.AppF32
+
+// SplitResult reports the worker/mover tuning outcome.
+type SplitResult struct {
+	Workers, Movers int
+	// ProbeSimSeconds is the winning probe's simulated time.
+	ProbeSimSeconds float64
+	// Probes lists every tried split with its probe time.
+	Probes []SplitProbe
+}
+
+// SplitProbe is one candidate's measurement.
+type SplitProbe struct {
+	Workers, Movers int
+	SimSeconds      float64
+}
+
+// TuneSplit searches the worker/mover split for the pipelined scheme on one
+// device. Candidates sweep the mover share geometrically around the
+// device's default split; each candidate runs ProbeIters supersteps of the
+// real application.
+func TuneSplit(newApp AppFactory, g *graph.CSR, dev machine.DeviceSpec, budget Budget) (SplitResult, error) {
+	budget = budget.withDefaults()
+	total := dev.Threads()
+	if total < 4 {
+		return SplitResult{}, fmt.Errorf("autotune: device %s has too few threads (%d)", dev.Name, total)
+	}
+	// Candidate mover shares: 1/16 .. 1/2 of the device's threads.
+	shares := []int{16, 12, 8, 6, 4, 3, 2}
+	var res SplitResult
+	for _, s := range shares {
+		if len(res.Probes) >= budget.MaxProbes {
+			break
+		}
+		movers := total / s
+		if movers < 1 {
+			movers = 1
+		}
+		workers := total - movers
+		if workers < 1 {
+			continue
+		}
+		run, err := core.RunF32(newApp(), g, core.Options{
+			Dev:           dev,
+			Scheme:        core.SchemePipelined,
+			Vectorized:    true,
+			Workers:       workers,
+			Movers:        movers,
+			MaxIterations: budget.ProbeIters,
+		})
+		if err != nil {
+			return SplitResult{}, err
+		}
+		probe := SplitProbe{Workers: workers, Movers: movers, SimSeconds: run.SimSeconds}
+		res.Probes = append(res.Probes, probe)
+		if res.Workers == 0 || probe.SimSeconds < res.ProbeSimSeconds {
+			res.Workers, res.Movers = workers, movers
+			res.ProbeSimSeconds = probe.SimSeconds
+		}
+	}
+	if res.Workers == 0 {
+		return res, fmt.Errorf("autotune: no feasible split for %s", dev.Name)
+	}
+	return res, nil
+}
+
+// RatioResult reports the partitioning-ratio tuning outcome.
+type RatioResult struct {
+	Ratio partition.Ratio
+	// ProbeSimSeconds is the winning probe's simulated time (exec+comm).
+	ProbeSimSeconds float64
+	// Probes lists every tried ratio.
+	Probes []RatioProbe
+}
+
+// RatioProbe is one candidate ratio's measurement.
+type RatioProbe struct {
+	Ratio      partition.Ratio
+	SimSeconds float64
+}
+
+// TuneRatio searches the CPU:MIC workload ratio for heterogeneous
+// execution. It first estimates the ratio from single-device probe speeds
+// (the §IV-E balance criterion), then probes that ratio's neighborhood with
+// real heterogeneous runs under the given partitioning method.
+func TuneRatio(newApp AppFactory, g *graph.CSR, method partition.Method,
+	optCPU, optMIC core.Options, budget Budget) (RatioResult, error) {
+	budget = budget.withDefaults()
+
+	probeOpt := func(o core.Options) core.Options {
+		o.MaxIterations = budget.ProbeIters
+		return o
+	}
+	cpuRun, err := core.RunF32(newApp(), g, probeOpt(optCPU))
+	if err != nil {
+		return RatioResult{}, err
+	}
+	micRun, err := core.RunF32(newApp(), g, probeOpt(optMIC))
+	if err != nil {
+		return RatioResult{}, err
+	}
+	center := ratioFromSpeeds(cpuRun.SimSeconds, micRun.SimSeconds)
+
+	tried := map[[2]int]bool{}
+	var res RatioResult
+	for _, delta := range []int{0, -1, 1, -2, 2} {
+		if len(res.Probes) >= budget.MaxProbes {
+			break
+		}
+		a := center.A + delta
+		if a < 1 || a > 7 {
+			continue
+		}
+		r := partition.Ratio{A: a, B: 8 - a}
+		if tried[[2]int{r.A, r.B}] {
+			continue
+		}
+		tried[[2]int{r.A, r.B}] = true
+		assign, err := partition.Make(method, g, r)
+		if err != nil {
+			return RatioResult{}, err
+		}
+		run, err := core.RunF32Hetero(newApp(), g, assign, probeOpt(optCPU), probeOpt(optMIC))
+		if err != nil {
+			return RatioResult{}, err
+		}
+		probe := RatioProbe{Ratio: r, SimSeconds: run.SimSeconds}
+		res.Probes = append(res.Probes, probe)
+		if res.Ratio.A == 0 || probe.SimSeconds < res.ProbeSimSeconds {
+			res.Ratio = r
+			res.ProbeSimSeconds = probe.SimSeconds
+		}
+	}
+	if res.Ratio.A == 0 {
+		return res, fmt.Errorf("autotune: no feasible ratio probed")
+	}
+	return res, nil
+}
+
+// ratioFromSpeeds mirrors the harness quantization: the faster device gets
+// proportionally more work, in eighths, clamped to [1,7].
+func ratioFromSpeeds(tCPU, tMIC float64) partition.Ratio {
+	if tCPU <= 0 || tMIC <= 0 {
+		return partition.Ratio{A: 4, B: 4}
+	}
+	wCPU, wMIC := 1/tCPU, 1/tMIC
+	a := int(8*wCPU/(wCPU+wMIC) + 0.5)
+	if a < 1 {
+		a = 1
+	}
+	if a > 7 {
+		a = 7
+	}
+	return partition.Ratio{A: a, B: 8 - a}
+}

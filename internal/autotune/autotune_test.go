@@ -1,0 +1,150 @@
+package autotune
+
+import (
+	"testing"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/core"
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/partition"
+)
+
+func tuneGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 4000, MeanDeg: 10, Alpha: 2.2, FrontBias: 0.7, Locality: 0.6, LocalWindow: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBudgetDefaults(t *testing.T) {
+	b := Budget{}.withDefaults()
+	if b.ProbeIters != 3 || b.MaxProbes != 12 {
+		t.Fatalf("defaults = %+v", b)
+	}
+	b = Budget{ProbeIters: 5, MaxProbes: 2}.withDefaults()
+	if b.ProbeIters != 5 || b.MaxProbes != 2 {
+		t.Fatalf("explicit budget overridden: %+v", b)
+	}
+}
+
+func TestTuneSplitFindsValidSplit(t *testing.T) {
+	g := tuneGraph(t)
+	res, err := TuneSplit(func() core.AppF32 { return apps.NewPageRank() }, g, machine.MIC(), Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers+res.Movers != machine.MIC().Threads() {
+		t.Fatalf("split %d+%d does not cover device threads", res.Workers, res.Movers)
+	}
+	if res.Workers < 1 || res.Movers < 1 {
+		t.Fatalf("degenerate split %d+%d", res.Workers, res.Movers)
+	}
+	if len(res.Probes) < 3 {
+		t.Fatalf("only %d probes", len(res.Probes))
+	}
+	// The winner must be the minimum over the probes.
+	for _, p := range res.Probes {
+		if p.SimSeconds < res.ProbeSimSeconds {
+			t.Fatalf("probe %d+%d (%v) beats reported winner (%v)",
+				p.Workers, p.Movers, p.SimSeconds, res.ProbeSimSeconds)
+		}
+	}
+}
+
+func TestTuneSplitBudgetRespected(t *testing.T) {
+	g := tuneGraph(t)
+	res, err := TuneSplit(func() core.AppF32 { return apps.NewPageRank() }, g, machine.MIC(), Budget{MaxProbes: 2, ProbeIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) > 2 {
+		t.Fatalf("%d probes despite MaxProbes=2", len(res.Probes))
+	}
+}
+
+func TestTuneSplitRejectsTinyDevice(t *testing.T) {
+	tiny := machine.CPU()
+	tiny.Cores = 2
+	tiny.ThreadsPerCore = 1
+	if _, err := TuneSplit(func() core.AppF32 { return apps.NewPageRank() }, tuneGraph(t), tiny, Budget{}); err == nil {
+		t.Fatal("accepted 2-thread device")
+	}
+}
+
+func TestTuneRatioFindsValidRatio(t *testing.T) {
+	g := tuneGraph(t)
+	optCPU := core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true}
+	optMIC := core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true}
+	res, err := TuneRatio(func() core.AppF32 { return apps.NewPageRank() }, g,
+		partition.MethodRoundRobin, optCPU, optMIC, Budget{ProbeIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Ratio.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.A+res.Ratio.B != 8 {
+		t.Fatalf("ratio %d:%d not in eighths", res.Ratio.A, res.Ratio.B)
+	}
+	if len(res.Probes) < 2 {
+		t.Fatalf("only %d ratio probes", len(res.Probes))
+	}
+	for _, p := range res.Probes {
+		if p.SimSeconds < res.ProbeSimSeconds {
+			t.Fatalf("probe %v beats winner", p)
+		}
+	}
+}
+
+func TestRatioFromSpeeds(t *testing.T) {
+	if r := ratioFromSpeeds(1, 1); r.A != 4 {
+		t.Errorf("equal -> %v", r)
+	}
+	if r := ratioFromSpeeds(0, 1); r.A != 4 {
+		t.Errorf("degenerate -> %v", r)
+	}
+	if r := ratioFromSpeeds(100, 1); r.A != 1 {
+		t.Errorf("slow CPU -> %v", r)
+	}
+	if r := ratioFromSpeeds(1, 100); r.A != 7 {
+		t.Errorf("slow MIC -> %v", r)
+	}
+}
+
+// The tuned split should not be catastrophically worse than the paper's
+// default split on a contention-heavy workload (it usually matches or beats
+// it, since both favor a large worker share).
+func TestTunedSplitQuality(t *testing.T) {
+	dag, err := gen.RandomDAG(gen.DefaultDAG(800, 120000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newApp := func() core.AppF32 { return apps.NewTopoSort() }
+	res, err := TuneSplit(newApp, dag, machine.MIC(), Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defW, defM := machine.DefaultPipeSplit(machine.MIC())
+	defRun, err := core.RunF32(newApp(), dag, core.Options{
+		Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true,
+		Workers: defW, Movers: defM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunedRun, err := core.RunF32(newApp(), dag, core.Options{
+		Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true,
+		Workers: res.Workers, Movers: res.Movers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tunedRun.SimSeconds > 1.5*defRun.SimSeconds {
+		t.Errorf("tuned split %d+%d (%v) much worse than default %d+%d (%v)",
+			res.Workers, res.Movers, tunedRun.SimSeconds, defW, defM, defRun.SimSeconds)
+	}
+}

@@ -1,0 +1,397 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"hetgraph/internal/core"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/partition"
+)
+
+// The harness tests run at small scale and assert the *directional* shapes
+// of the paper's headline results — who wins, not by how much. The full
+// magnitudes are produced by cmd/hetgraph-bench and recorded in
+// EXPERIMENTS.md.
+
+var testWorkloads Workloads
+
+func loadTestWorkloads(t *testing.T) Workloads {
+	t.Helper()
+	if testWorkloads.Pokec == nil {
+		w, err := Load(ScaleSmall())
+		if err != nil {
+			t.Fatal(err)
+		}
+		testWorkloads = w
+	}
+	return testWorkloads
+}
+
+func TestLoadWorkloads(t *testing.T) {
+	w := loadTestWorkloads(t)
+	if w.Pokec == nil || w.PokecW == nil || w.DBLP == nil || w.DAG == nil {
+		t.Fatal("missing workloads")
+	}
+	if !w.PokecW.Weighted() {
+		t.Error("PokecW must be weighted")
+	}
+	if !w.DAG.IsDAG() {
+		t.Error("DAG workload is cyclic")
+	}
+	if !w.DBLP.Weighted() {
+		t.Error("DBLP must carry interaction weights")
+	}
+}
+
+func TestSpecs(t *testing.T) {
+	w := loadTestWorkloads(t)
+	specs := Specs(w)
+	if len(specs) != 5 {
+		t.Fatalf("%d specs, want 5", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		if err := s.Ratio.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.IsGeneric() != (s.Name == "SC") {
+			t.Errorf("%s: IsGeneric wrong", s.Name)
+		}
+	}
+	for _, want := range []string{"PageRank", "BFS", "SC", "SSSP", "TopoSort"} {
+		if !names[want] {
+			t.Errorf("missing spec %s", want)
+		}
+	}
+	if _, err := SpecByName(specs, "PageRank"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SpecByName(specs, "nope"); err == nil {
+		t.Error("found nonexistent spec")
+	}
+	// BFS is the one app whose best MIC scheme is locking (§V-C).
+	bfs, _ := SpecByName(specs, "BFS")
+	if bfs.MICScheme != core.SchemeLocking {
+		t.Error("BFS must use locking on the MIC")
+	}
+}
+
+func TestRatioFromSpeeds(t *testing.T) {
+	if r := RatioFromSpeeds(1, 1); r.A != 4 || r.B != 4 {
+		t.Errorf("equal speeds -> %d:%d, want 4:4", r.A, r.B)
+	}
+	if r := RatioFromSpeeds(3, 1); r.A != 2 || r.B != 6 {
+		// CPU 3x slower -> CPU gets 1/4 of the work.
+		t.Errorf("3:1 times -> %d:%d, want 2:6", r.A, r.B)
+	}
+	if r := RatioFromSpeeds(0, 1); r.A != 1 || r.B != 1 {
+		t.Errorf("degenerate -> %d:%d, want 1:1", r.A, r.B)
+	}
+	// Extremes are clamped so neither device idles completely.
+	if r := RatioFromSpeeds(1, 1000); r.A != 7 || r.B != 1 {
+		t.Errorf("extreme -> %d:%d, want 7:1", r.A, r.B)
+	}
+}
+
+func TestFig5PageRankShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	spec := specByName(t, "PageRank")
+	fig, err := Fig5(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(fig.Rows))
+	}
+	get := func(name string) float64 {
+		r, ok := fig.FindRow(name)
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		return r.Total()
+	}
+	// §V-C headline shapes for PageRank.
+	if get("MIC Pipe") >= get("MIC Lock") {
+		t.Errorf("MIC pipe (%v) not faster than lock (%v)", get("MIC Pipe"), get("MIC Lock"))
+	}
+	if get("MIC Pipe") >= get("MIC OMP") {
+		t.Errorf("MIC pipe (%v) not faster than OMP (%v)", get("MIC Pipe"), get("MIC OMP"))
+	}
+	if get("CPU Lock") >= get("CPU Pipe") {
+		t.Errorf("CPU lock (%v) not faster than pipe (%v)", get("CPU Lock"), get("CPU Pipe"))
+	}
+	if len(fig.Notes) == 0 || !strings.Contains(Format(fig), "note:") {
+		t.Error("missing shape notes")
+	}
+}
+
+func TestFig5TopoSortContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	spec := specByName(t, "TopoSort")
+	fig, err := Fig5(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, _ := fig.FindRow("MIC Lock")
+	pipe, _ := fig.FindRow("MIC Pipe")
+	// At small scale contention is milder than the full-scale 3.2x, but
+	// pipelining must still win clearly.
+	if lock.Total() < 1.3*pipe.Total() {
+		t.Errorf("TopoSort contention shape missing: lock %v < 1.3x pipe %v", lock.Total(), pipe.Total())
+	}
+}
+
+func TestFig5fVectorizationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	w := loadTestWorkloads(t)
+	fig, err := Fig5f(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 12 {
+		t.Fatalf("%d rows, want 12 (3 apps x 2 devices x 2 modes)", len(fig.Rows))
+	}
+	// Vectorized message processing must beat scalar everywhere, and
+	// PageRank's MIC gain must exceed its CPU gain (wider lanes).
+	speedup := func(app, dev string) float64 {
+		no, ok1 := fig.FindRow(app + " " + dev + " novec")
+		ye, ok2 := fig.FindRow(app + " " + dev + " vec")
+		if !ok1 || !ok2 {
+			t.Fatalf("missing rows for %s %s", app, dev)
+		}
+		return no.Extra["msgproc"] / ye.Extra["msgproc"]
+	}
+	for _, app := range []string{"PageRank", "SSSP", "TopoSort"} {
+		for _, dev := range []string{"CPU", "MIC"} {
+			if s := speedup(app, dev); s <= 1 {
+				t.Errorf("%s %s: vec speedup %v <= 1", app, dev, s)
+			}
+		}
+	}
+	if speedup("PageRank", "MIC") <= speedup("PageRank", "CPU") {
+		t.Error("MIC vectorization gain not larger than CPU's for PageRank")
+	}
+}
+
+func TestFig6HybridShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	w := loadTestWorkloads(t)
+	fig, err := Fig6(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 15 {
+		t.Fatalf("%d rows, want 15 (5 apps x 3 methods)", len(fig.Rows))
+	}
+	// PageRank on the front-loaded power-law graph: hybrid must beat
+	// continuous clearly (the paper's central Fig. 6 claim), and hybrid's
+	// communication must be below round-robin's.
+	get := func(name string) Row {
+		r, ok := fig.FindRow(name)
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		return r
+	}
+	hyb := get("PageRank hybrid")
+	cont := get("PageRank continuous")
+	rr := get("PageRank roundrobin")
+	if hyb.Total() >= cont.Total() {
+		t.Errorf("hybrid (%v) not faster than continuous (%v)", hyb.Total(), cont.Total())
+	}
+	if hyb.CommSim >= rr.CommSim {
+		t.Errorf("hybrid comm (%v) not below roundrobin comm (%v)", hyb.CommSim, rr.CommSim)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	w := loadTestWorkloads(t)
+	fig, err := Table2(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 25 {
+		t.Fatalf("%d rows, want 25 (5 apps x 5 configs)", len(fig.Rows))
+	}
+	for _, app := range []string{"PageRank", "BFS", "SC", "SSSP", "TopoSort"} {
+		cpuSeq, _ := fig.FindRow(app + " CPU Seq")
+		micSeq, _ := fig.FindRow(app + " MIC Seq")
+		cpuPar, _ := fig.FindRow(app + " CPU Multi-core")
+		micPar, _ := fig.FindRow(app + " MIC Many-core")
+		// Sequential gap ~11x (§V-F), parallel always beats sequential on
+		// the same device, and the MIC's parallel speedup exceeds the
+		// CPU's (240 threads vs 16).
+		gap := micSeq.ExecSim / cpuSeq.ExecSim
+		if gap < 9 || gap > 30 {
+			t.Errorf("%s: MIC/CPU seq gap %v out of range", app, gap)
+		}
+		if cpuPar.ExecSim >= cpuSeq.ExecSim {
+			t.Errorf("%s: CPU parallel not faster than sequential", app)
+		}
+		if micPar.ExecSim >= micSeq.ExecSim {
+			t.Errorf("%s: MIC parallel not faster than sequential", app)
+		}
+		if micSeq.ExecSim/micPar.ExecSim <= cpuSeq.ExecSim/cpuPar.ExecSim {
+			t.Errorf("%s: MIC speedup not above CPU speedup", app)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	pr := specByName(t, "PageRank")
+	topo := specByName(t, "TopoSort")
+
+	mode, err := AblationCSBMode(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oto, _ := mode.FindRow("one-to-one")
+	dyn, _ := mode.FindRow("dynamic")
+	if dyn.Extra["vecRows"] > oto.Extra["vecRows"] {
+		t.Error("dynamic allocation used more SIMD rows than one-to-one")
+	}
+
+	kfig, err := AblationGroupFactor(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kfig.Rows) != 3 {
+		t.Fatalf("group factor rows = %d", len(kfig.Rows))
+	}
+	// Larger k means coarser groups and a bigger buffer.
+	if kfig.Rows[0].Extra["bufMB"] > kfig.Rows[2].Extra["bufMB"] {
+		t.Error("buffer should grow with k")
+	}
+	for _, r := range kfig.Rows {
+		if r.Extra["bufMB"] > r.Extra["naiveMB"] {
+			t.Errorf("%s: condensed buffer larger than naive", r.Config)
+		}
+	}
+
+	split, err := AblationMoverSplit(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Rows) != 5 {
+		t.Fatalf("mover split rows = %d", len(split.Rows))
+	}
+
+	blocks, err := AblationMetisBlocks(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range blocks.Rows {
+		if r.Extra["crossEdges"] <= 0 {
+			t.Errorf("%s: no cross edges measured", r.Config)
+		}
+		if r.Extra["balanceErr"] > 0.2 {
+			t.Errorf("%s: balance error %v too high", r.Config, r.Extra["balanceErr"])
+		}
+	}
+
+	chunk, err := AblationChunkSize(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range chunk.Rows {
+		if r.Extra["taskFetches"] <= 0 {
+			t.Errorf("%s: no fetches", r.Config)
+		}
+		if r.Extra["fetchNSShare"] > 10 {
+			t.Errorf("%s: scheduling overhead %v%% of runtime — chunking broken", r.Config, r.Extra["fetchNSShare"])
+		}
+	}
+}
+
+func TestFormatRendering(t *testing.T) {
+	fig := Figure{ID: "x", Title: "T", Rows: []Row{{Config: "a", ExecSim: 1, Extra: map[string]float64{"k": 2}}}}
+	fig.note("hello %d", 7)
+	out := Format(fig)
+	for _, want := range []string{"== T ==", "a", "k=2", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeteroMethodOverride(t *testing.T) {
+	spec := specByName(t, "TopoSort")
+	if spec.HeteroMethod != partition.MethodRoundRobin {
+		t.Error("TopoSort must default to round-robin (layer-aligned hybrid blocks serialize devices)")
+	}
+	assign, err := spec.HeteroAssign(spec.HeteroMethod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != spec.Graph.NumVertices() {
+		t.Fatal("assignment length wrong")
+	}
+}
+
+func TestRunSeqCountsForAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	w := loadTestWorkloads(t)
+	for _, spec := range Specs(w) {
+		sim, c, err := spec.RunSeq(machine.CPU())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if sim <= 0 || c.Messages == 0 {
+			t.Errorf("%s: empty sequential run (sim=%v msgs=%d)", spec.Name, sim, c.Messages)
+		}
+	}
+}
+
+func specByName(t *testing.T, name string) AppSpec {
+	t.Helper()
+	spec, err := SpecByName(Specs(loadTestWorkloads(t)), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestAblationRatioSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	fig, err := AblationRatioSweep(specByName(t, "PageRank"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 7 {
+		t.Fatalf("ratio sweep rows = %d, want 7", len(fig.Rows))
+	}
+	// The curve must be meaningful: the best ratio beats the worst by a
+	// clear margin (an imbalanced split wastes the faster device).
+	best, worst := fig.Rows[0].Total(), fig.Rows[0].Total()
+	for _, r := range fig.Rows {
+		if r.Total() < best {
+			best = r.Total()
+		}
+		if r.Total() > worst {
+			worst = r.Total()
+		}
+	}
+	if worst < 1.2*best {
+		t.Errorf("ratio sweep flat: best %v, worst %v", best, worst)
+	}
+}

@@ -1,0 +1,76 @@
+// Package bench is the harness that regenerates every table and figure of
+// the paper's evaluation (§V) on the simulated CPU/MIC node: Figures
+// 5(a)–5(e) (execution-scheme comparison per application), Figure 5(f)
+// (SIMD message processing), Figure 6 (partitioning schemes), Table I (the
+// worked example, checked in csb's tests), and Table II (parallel
+// efficiency), plus ablation sweeps over the design choices DESIGN.md
+// calls out.
+//
+// Reported numbers are simulated device seconds from the cost model over
+// real execution counters (see internal/machine); wall-clock seconds on
+// the host are included for reference only.
+package bench
+
+import (
+	"fmt"
+
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+)
+
+// Workloads bundles the synthetic stand-ins for the paper's datasets.
+type Workloads struct {
+	// Pokec is the power-law social graph substitute (paper: 1.6M
+	// vertices, 31M edges, used by PageRank/BFS/SSSP).
+	Pokec *graph.CSR
+	// PokecW is Pokec with uniformly random positive edge weights (SSSP).
+	PokecW *graph.CSR
+	// DBLP is the undirected community graph substitute (SC).
+	DBLP *graph.CSR
+	// DAG is the dense random DAG (TopoSort; paper: 40K vertices, 200M
+	// edges — density direction preserved at reduced scale).
+	DAG *graph.CSR
+}
+
+// Scale selects workload sizes.
+type Scale struct {
+	Name   string
+	PokecN int
+	DBLPN  int
+	DAGN   int
+	DAGM   int
+}
+
+// ScaleSmall is used by unit benches and tests (seconds per run).
+func ScaleSmall() Scale {
+	return Scale{Name: "small", PokecN: 20000, DBLPN: 8000, DAGN: 1200, DAGM: 700_000}
+}
+
+// ScaleFull is used by cmd/hetgraph-bench (tens of seconds per figure on
+// this host).
+func ScaleFull() Scale {
+	return Scale{Name: "full", PokecN: 60000, DBLPN: 24000, DAGN: 2500, DAGM: 3_000_000}
+}
+
+// Load generates the workloads for a scale (deterministic seeds).
+func Load(s Scale) (Workloads, error) {
+	var w Workloads
+	pokec, err := gen.PowerLaw(gen.DefaultPowerLaw(s.PokecN))
+	if err != nil {
+		return w, fmt.Errorf("bench: pokec: %w", err)
+	}
+	pokecW, err := gen.WithWeights(pokec, 0, 100, 4242)
+	if err != nil {
+		return w, fmt.Errorf("bench: pokec weights: %w", err)
+	}
+	dblp, err := gen.Community(gen.DefaultCommunity(s.DBLPN))
+	if err != nil {
+		return w, fmt.Errorf("bench: dblp: %w", err)
+	}
+	dag, err := gen.RandomDAG(gen.DefaultDAG(s.DAGN, s.DAGM))
+	if err != nil {
+		return w, fmt.Errorf("bench: dag: %w", err)
+	}
+	w.Pokec, w.PokecW, w.DBLP, w.DAG = pokec, pokecW, dblp, dag
+	return w, nil
+}

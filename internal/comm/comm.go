@@ -1,0 +1,160 @@
+// Package comm provides the cross-device message exchange of the
+// heterogeneous runtime. The paper runs MPI in symmetric mode — CPU as rank
+// 0, MIC as rank 1, connected by PCIe — and between the message-generation
+// and message-processing steps each device combines its remote message
+// buffer and ships the combined result to the other device as a single MPI
+// message (§IV-A).
+//
+// Here the two ranks are in-process engines; the transport is a pair of
+// buffered channels (real data movement, real synchronization), and the
+// PCIe cost is computed from the actual bytes shipped using the machine
+// package's link model.
+package comm
+
+import (
+	"fmt"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+)
+
+// Msg is one combined remote message <dst_id, value>.
+type Msg[T any] struct {
+	Dst graph.VertexID
+	Val T
+}
+
+// packet is one exchange round's payload: the combined messages plus the
+// sender's active-vertex count, which the BSP termination check needs.
+type packet[T any] struct {
+	msgs   []Msg[T]
+	active int64
+}
+
+// Net is the two-rank interconnect.
+type Net[T any] struct {
+	link     machine.Link
+	msgBytes int
+	chans    [2]chan packet[T]
+}
+
+// NewNet creates the interconnect. msgBytes is the wire size of one
+// message's value; 4 bytes of destination ID are added per message.
+func NewNet[T any](link machine.Link, msgBytes int) (*Net[T], error) {
+	if msgBytes <= 0 {
+		return nil, fmt.Errorf("comm: msgBytes %d <= 0", msgBytes)
+	}
+	n := &Net[T]{link: link, msgBytes: msgBytes}
+	// Capacity 1 lets both ranks send before either receives, so a
+	// symmetric Exchange cannot deadlock.
+	n.chans[0] = make(chan packet[T], 1)
+	n.chans[1] = make(chan packet[T], 1)
+	return n, nil
+}
+
+// Endpoint returns rank r's view of the interconnect.
+func (n *Net[T]) Endpoint(rank int) (*Endpoint[T], error) {
+	if rank != 0 && rank != 1 {
+		return nil, fmt.Errorf("comm: rank %d not in {0,1}", rank)
+	}
+	return &Endpoint[T]{net: n, rank: rank}, nil
+}
+
+// Endpoint is one rank's exchange port.
+type Endpoint[T any] struct {
+	net  *Net[T]
+	rank int
+}
+
+// Stats describes one exchange round from this endpoint's perspective.
+type Stats struct {
+	// MsgsSent and MsgsRecv are combined message counts.
+	MsgsSent, MsgsRecv int64
+	// BytesSent and BytesRecv are the wire sizes.
+	BytesSent, BytesRecv int64
+	// SimSeconds is the modeled PCIe time of the round: one latency plus
+	// the slower direction's payload (the link is full duplex).
+	SimSeconds float64
+}
+
+// Exchange ships this rank's combined remote messages and local
+// active-vertex count to the peer, and receives the peer's. Both ranks must
+// call Exchange once per iteration; the call blocks until the peer's
+// payload arrives, which is the implicit cross-device synchronization point
+// of the BSP superstep.
+func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T], activeRemote int64, st Stats) {
+	e.net.chans[e.rank] <- packet[T]{msgs: msgs, active: activeLocal}
+	p := <-e.net.chans[1-e.rank]
+	perMsg := int64(e.net.msgBytes + 4)
+	st.MsgsSent = int64(len(msgs))
+	st.MsgsRecv = int64(len(p.msgs))
+	st.BytesSent = st.MsgsSent * perMsg
+	st.BytesRecv = st.MsgsRecv * perMsg
+	slower := st.BytesSent
+	if st.BytesRecv > slower {
+		slower = st.BytesRecv
+	}
+	st.SimSeconds = e.net.link.TransferSeconds(slower)
+	return p.msgs, p.active, st
+}
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint[T]) Rank() int { return e.rank }
+
+// Combiner accumulates remote messages per destination and combines
+// duplicates with a user reduction before the exchange ("to reduce the
+// communication overhead, a combination is conducted to the remote message
+// buffer"). It is the remote message buffer of Fig. 2 for reducible types.
+type Combiner[T any] struct {
+	combine func(a, b T) T
+	has     []bool
+	vals    []T
+	touched []graph.VertexID
+}
+
+// NewCombiner creates a combiner over n destination vertices.
+func NewCombiner[T any](n int, combine func(a, b T) T) *Combiner[T] {
+	return &Combiner[T]{
+		combine: combine,
+		has:     make([]bool, n),
+		vals:    make([]T, n),
+	}
+}
+
+// Add merges one remote message. Not safe for concurrent use; the engine
+// shards combiners per thread and merges, or guards with the generation
+// scheme's ownership, depending on the scheme.
+func (c *Combiner[T]) Add(dst graph.VertexID, v T) {
+	if c.has[dst] {
+		c.vals[dst] = c.combine(c.vals[dst], v)
+		return
+	}
+	c.has[dst] = true
+	c.vals[dst] = v
+	c.touched = append(c.touched, dst)
+}
+
+// Merge folds another combiner into this one (used to join per-thread
+// shards before the exchange).
+func (c *Combiner[T]) Merge(o *Combiner[T]) {
+	for _, dst := range o.touched {
+		c.Add(dst, o.vals[dst])
+	}
+}
+
+// Drain appends the combined messages to out, resets the combiner, and
+// returns out. Message order follows first-touch order, which is
+// deterministic for a deterministic generation order.
+func (c *Combiner[T]) Drain(out []Msg[T]) []Msg[T] {
+	var zero T
+	for _, dst := range c.touched {
+		out = append(out, Msg[T]{Dst: dst, Val: c.vals[dst]})
+		c.has[dst] = false
+		c.vals[dst] = zero
+	}
+	c.touched = c.touched[:0]
+	return out
+}
+
+// Len returns the number of distinct destinations currently held.
+func (c *Combiner[T]) Len() int { return len(c.touched) }

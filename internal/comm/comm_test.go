@@ -1,0 +1,277 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hetgraph/internal/machine"
+)
+
+func TestNetValidation(t *testing.T) {
+	if _, err := NewNet[float32](machine.PCIe(), 0); err == nil {
+		t.Error("accepted zero msgBytes")
+	}
+	n, err := NewNet[float32](machine.PCIe(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint(2); err == nil {
+		t.Error("accepted rank 2")
+	}
+	e0, err := n.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e0.Rank() != 0 {
+		t.Error("rank wrong")
+	}
+}
+
+func TestExchangeBothDirections(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var recv0, recv1 []Msg[float32]
+	var act0, act1 int64
+	var st0, st1 Stats
+	go func() {
+		defer wg.Done()
+		recv0, act0, st0 = e0.Exchange([]Msg[float32]{{Dst: 1, Val: 10}, {Dst: 2, Val: 20}}, 7)
+	}()
+	go func() {
+		defer wg.Done()
+		recv1, act1, st1 = e1.Exchange([]Msg[float32]{{Dst: 9, Val: 90}}, 3)
+	}()
+	wg.Wait()
+	if len(recv0) != 1 || recv0[0].Dst != 9 || recv0[0].Val != 90 {
+		t.Errorf("rank 0 received %v", recv0)
+	}
+	if len(recv1) != 2 || recv1[0].Val != 10 {
+		t.Errorf("rank 1 received %v", recv1)
+	}
+	if act0 != 3 || act1 != 7 {
+		t.Errorf("active counts: %d %d", act0, act1)
+	}
+	if st0.MsgsSent != 2 || st0.MsgsRecv != 1 || st0.BytesSent != 16 || st0.BytesRecv != 8 {
+		t.Errorf("rank 0 stats %+v", st0)
+	}
+	// Full-duplex: both ranks see the same round time (slower direction).
+	if st0.SimSeconds != st1.SimSeconds {
+		t.Errorf("asymmetric sim time: %v vs %v", st0.SimSeconds, st1.SimSeconds)
+	}
+	if st0.SimSeconds <= 0 {
+		t.Error("non-positive sim time")
+	}
+}
+
+func TestExchangeEmptyPayloadsNoDeadlock(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for r, e := range []*Endpoint[float32]{e0, e1} {
+		go func(r int, e *Endpoint[float32]) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				recv, _, st := e.Exchange(nil, 0)
+				if len(recv) != 0 {
+					t.Errorf("unexpected messages")
+					return
+				}
+				if st.SimSeconds < machine.PCIe().LatencyUS*1e-6 {
+					t.Errorf("round cheaper than latency")
+					return
+				}
+			}
+		}(r, e)
+	}
+	wg.Wait()
+}
+
+func TestExchangeTimeGrowsWithBytes(t *testing.T) {
+	link := machine.PCIe()
+	n, _ := NewNet[float32](link, 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	run := func(k int) float64 {
+		msgs := make([]Msg[float32], k)
+		var st Stats
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); _, _, st = e0.Exchange(msgs, 0) }()
+		go func() { defer wg.Done(); e1.Exchange(nil, 0) }()
+		wg.Wait()
+		return st.SimSeconds
+	}
+	small, big := run(10), run(1_000_000)
+	if big <= small {
+		t.Errorf("1M messages (%v s) not slower than 10 (%v s)", big, small)
+	}
+}
+
+func TestCombinerCombines(t *testing.T) {
+	min := func(a, b float32) float32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	c := NewCombiner(8, min)
+	c.Add(3, 5)
+	c.Add(3, 2)
+	c.Add(3, 9)
+	c.Add(1, 7)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	out := c.Drain(nil)
+	if len(out) != 2 {
+		t.Fatalf("Drain len %d", len(out))
+	}
+	// First-touch order: 3 then 1.
+	if out[0].Dst != 3 || out[0].Val != 2 {
+		t.Errorf("combined[0] = %+v, want {3 2}", out[0])
+	}
+	if out[1].Dst != 1 || out[1].Val != 7 {
+		t.Errorf("combined[1] = %+v", out[1])
+	}
+	// Drain resets.
+	if c.Len() != 0 {
+		t.Error("Drain did not reset")
+	}
+	c.Add(3, 100)
+	out = c.Drain(nil)
+	if out[0].Val != 100 {
+		t.Errorf("stale value after reset: %v", out[0].Val)
+	}
+}
+
+func TestCombinerMerge(t *testing.T) {
+	sum := func(a, b float32) float32 { return a + b }
+	a := NewCombiner(4, sum)
+	b := NewCombiner(4, sum)
+	a.Add(0, 1)
+	a.Add(2, 5)
+	b.Add(2, 7)
+	b.Add(3, 9)
+	a.Merge(b)
+	got := map[int32]float32{}
+	for _, m := range a.Drain(nil) {
+		got[m.Dst] = m.Val
+	}
+	if got[0] != 1 || got[2] != 12 || got[3] != 9 {
+		t.Errorf("merged = %v", got)
+	}
+}
+
+func TestExchangeCombinedFlow(t *testing.T) {
+	// Remote messages for the same destination combine before the wire:
+	// the peer receives one message per destination.
+	min := func(a, b float32) float32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	c := NewCombiner(16, min)
+	for i := 0; i < 100; i++ {
+		c.Add(5, float32(100-i))
+	}
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var recv []Msg[float32]
+	go func() { defer wg.Done(); e0.Exchange(c.Drain(nil), 0) }()
+	go func() { defer wg.Done(); recv, _, _ = e1.Exchange(nil, 0) }()
+	wg.Wait()
+	if len(recv) != 1 || recv[0].Dst != 5 || recv[0].Val != 1 {
+		t.Errorf("combined exchange delivered %v", recv)
+	}
+}
+
+// property: for a commutative, associative reduction, the combiner's result
+// per destination is order-independent.
+func TestQuickCombinerOrderIndependent(t *testing.T) {
+	min := func(a, b float32) float32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c1 := NewCombiner(16, min)
+		c2 := NewCombiner(16, min)
+		for _, r := range raw {
+			c1.Add(int32(r%16), float32(r/16))
+		}
+		for i := len(raw) - 1; i >= 0; i-- {
+			c2.Add(int32(raw[i]%16), float32(raw[i]/16))
+		}
+		m1 := map[int32]float32{}
+		for _, m := range c1.Drain(nil) {
+			m1[m.Dst] = m.Val
+		}
+		m2 := map[int32]float32{}
+		for _, m := range c2.Drain(nil) {
+			m2[m.Dst] = m.Val
+		}
+		if len(m1) != len(m2) {
+			return false
+		}
+		for k, v := range m1 {
+			if m2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExchangeManyRounds(t *testing.T) {
+	// Sustained ping-pong: per-round payloads must never cross rounds.
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan string, 2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			recv, _, _ := e0.Exchange([]Msg[float32]{{Dst: 0, Val: float32(i)}}, int64(i))
+			if len(recv) != 1 || recv[0].Val != float32(-i) {
+				errs <- "rank 0 round payload mismatch"
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			recv, active, _ := e1.Exchange([]Msg[float32]{{Dst: 1, Val: float32(-i)}}, 0)
+			if len(recv) != 1 || recv[0].Val != float32(i) || active != int64(i) {
+				errs <- "rank 1 round payload mismatch"
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}

@@ -1,0 +1,206 @@
+// Package core is the paper's primary contribution: the vertex-centric BSP
+// runtime of Fig. 2. Each iteration runs message generation (locking or
+// pipelined), an implicit cross-device remote-message exchange, message
+// processing (SIMD reduction over the Condensed Static Buffer where the
+// application's reduction allows it), and vertex updating, with dynamic
+// intra-device load balancing in every step.
+//
+// Applications implement the three user functions of §III —
+// GenerateMessages, ProcessMessages, UpdateVertex — through the App
+// interfaces below. Float32-message applications (PageRank, BFS, SSSP,
+// TopoSort) use AppF32 and get CSB storage plus SIMD reduction;
+// applications with structured messages (Semi-Clustering) use AppGeneric
+// and a per-vertex list buffer, exactly as the paper excludes them from
+// SIMD reduction.
+package core
+
+import (
+	"fmt"
+
+	"hetgraph/internal/csb"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/trace"
+	"hetgraph/internal/vec"
+)
+
+// AppF32 is a vertex program whose messages are float32 values with an
+// associative, commutative reduction.
+type AppF32 interface {
+	// Profile describes the app's per-event costs for the device model.
+	Profile() machine.AppProfile
+	// Init (re)initializes vertex state for graph g and returns the
+	// initially active vertices.
+	Init(g *graph.CSR) []graph.VertexID
+	// Generate is the user generate_messages(): called once per active
+	// vertex per iteration; it must emit every outgoing message.
+	Generate(v graph.VertexID, emit func(dst graph.VertexID, val float32))
+	// Identity is the reduction identity stored in empty buffer cells.
+	Identity() float32
+	// ReduceVec is the user process_messages() on the SIMD path: it must
+	// reduce rows [0, rows) of arr into row 0 using vec operations.
+	ReduceVec(arr *vec.ArrayF32, rows int)
+	// ReduceScalar is the scalar reduction used on the no-vectorization
+	// path and for combining remote messages.
+	ReduceScalar(a, b float32) float32
+	// Update is the user update_vertex(): applies the reduced message and
+	// reports whether the vertex is active in the next iteration.
+	Update(v graph.VertexID, msg float32) bool
+}
+
+// AppGeneric is a vertex program with structured messages of type T, which
+// cannot use SIMD reduction (§III).
+type AppGeneric[T any] interface {
+	Profile() machine.AppProfile
+	Init(g *graph.CSR) []graph.VertexID
+	Generate(v graph.VertexID, emit func(dst graph.VertexID, val T))
+	// Combine merges two messages for the same destination; used for the
+	// remote-buffer combination before a cross-device exchange.
+	Combine(a, b T) T
+	// Process reduces a vertex's received messages to one result.
+	Process(v graph.VertexID, msgs []T) T
+	Update(v graph.VertexID, res T) bool
+}
+
+// FixedActiveSet is optionally implemented by applications whose active set
+// never changes — PageRank, where "all vertices generate messages along all
+// edges every iteration" (§V-C). The engine then reuses the initial active
+// set each iteration instead of deriving it from updates, and the run is
+// bounded by MaxIterations.
+type FixedActiveSet interface {
+	FixedActiveSet() bool
+}
+
+// IsFixedActive reports whether app declares a fixed active set.
+func IsFixedActive(app any) bool {
+	f, ok := app.(FixedActiveSet)
+	return ok && f.FixedActiveSet()
+}
+
+// Scheme selects the message-generation scheme of §IV-C.
+type Scheme int
+
+const (
+	// SchemeLocking inserts messages directly under per-column
+	// synchronization.
+	SchemeLocking Scheme = iota
+	// SchemePipelined splits threads into workers and movers connected by
+	// SPSC queues.
+	SchemePipelined
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeLocking:
+		return "lock"
+	case SchemePipelined:
+		return "pipe"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options configures one device's engine.
+type Options struct {
+	// Dev is the modeled device this engine simulates time for.
+	Dev machine.DeviceSpec
+	// Scheme is the message-generation scheme.
+	Scheme Scheme
+	// Vectorized enables the SIMD reduction path (ignored for apps whose
+	// profile is not reducible).
+	Vectorized bool
+	// K is the CSB vertex-group width factor (default 2).
+	K int
+	// CSBMode selects dynamic column allocation (default) or the
+	// one-to-one ablation mapping.
+	CSBMode csb.InsertMode
+	// MaxIterations bounds the BSP loop; 0 means DefaultMaxIterations.
+	MaxIterations int
+	// Threads overrides the device's hardware thread count for the real
+	// goroutine pool (0 = Dev.Threads()). Simulated time always uses the
+	// modeled device's geometry.
+	Threads int
+	// Workers/Movers override the pipelined split (0 = paper's best split
+	// via machine.DefaultPipeSplit).
+	Workers, Movers int
+	// Trace, when non-nil, records a per-superstep per-phase timeline of
+	// the run (see internal/trace).
+	Trace *trace.Recorder
+}
+
+// DefaultMaxIterations guards against non-terminating vertex programs.
+const DefaultMaxIterations = 10000
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = DefaultMaxIterations
+	}
+	if o.Threads == 0 {
+		o.Threads = o.Dev.Threads()
+	}
+	if o.Workers == 0 || o.Movers == 0 {
+		o.Workers, o.Movers = machine.DefaultPipeSplit(o.Dev)
+	}
+	return o
+}
+
+// validate checks the resolved options.
+func (o Options) validate() error {
+	if err := o.Dev.Validate(); err != nil {
+		return err
+	}
+	if o.Scheme != SchemeLocking && o.Scheme != SchemePipelined {
+		return fmt.Errorf("core: unknown scheme %d", int(o.Scheme))
+	}
+	if o.Threads < 1 || o.Workers < 1 || o.Movers < 1 {
+		return fmt.Errorf("core: non-positive thread configuration")
+	}
+	if o.MaxIterations < 1 {
+		return fmt.Errorf("core: MaxIterations %d < 1", o.MaxIterations)
+	}
+	return nil
+}
+
+// PhaseTimes is the simulated per-phase time breakdown (seconds on the
+// modeled device).
+type PhaseTimes struct {
+	Generate float64
+	Process  float64
+	Update   float64
+	Exchange float64
+}
+
+// Total sums all phases.
+func (p PhaseTimes) Total() float64 {
+	return p.Generate + p.Process + p.Update + p.Exchange
+}
+
+// Add accumulates o into p.
+func (p *PhaseTimes) Add(o PhaseTimes) {
+	p.Generate += o.Generate
+	p.Process += o.Process
+	p.Update += o.Update
+	p.Exchange += o.Exchange
+}
+
+// Result reports one engine run.
+type Result struct {
+	// Iterations actually executed.
+	Iterations int64
+	// Converged is true when the run ended because no vertex stayed
+	// active (as opposed to hitting MaxIterations).
+	Converged bool
+	// Counters aggregates the real event counts of the whole run.
+	Counters machine.Counters
+	// Phases is the simulated per-phase time on the modeled device.
+	Phases PhaseTimes
+	// SimSeconds is Phases.Total(): the modeled device time of the run.
+	SimSeconds float64
+	// WallSeconds is host wall-clock time (no cross-device meaning; see
+	// machine package docs).
+	WallSeconds float64
+}

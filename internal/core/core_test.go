@@ -1,0 +1,692 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/core"
+	"hetgraph/internal/csb"
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/partition"
+	"hetgraph/internal/seqref"
+	"hetgraph/internal/trace"
+	"hetgraph/internal/vec"
+)
+
+// testGraph is a mid-size weighted power-law graph shared by the tests.
+func testGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 3000, MeanDeg: 8, Alpha: 2.2, FrontBias: 0.7, Locality: 0.6, LocalWindow: 0.02, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := gen.WithWeights(g, 0, 10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wg
+}
+
+// allConfigs enumerates the engine configurations correctness must hold
+// under.
+func allConfigs() []core.Options {
+	var out []core.Options
+	for _, dev := range []machine.DeviceSpec{machine.CPU(), machine.MIC()} {
+		for _, scheme := range []core.Scheme{core.SchemeLocking, core.SchemePipelined} {
+			for _, vecOn := range []bool{true, false} {
+				for _, mode := range []csb.InsertMode{csb.Dynamic, csb.OneToOne} {
+					out = append(out, core.Options{Dev: dev, Scheme: scheme, Vectorized: vecOn, CSBMode: mode})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := graph.PaperExample()
+	app := apps.NewBFS(0)
+	if _, err := core.RunF32(app, g, core.Options{Dev: machine.CPU(), Scheme: core.Scheme(9)}); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+	bad := machine.CPU()
+	bad.Cores = 0
+	if _, err := core.RunF32(app, g, core.Options{Dev: bad}); err == nil {
+		t.Error("accepted invalid device")
+	}
+	if _, err := core.RunF32(app, g, core.Options{Dev: machine.CPU(), MaxIterations: -1}); err == nil {
+		t.Error("accepted negative MaxIterations")
+	}
+	if core.SchemeLocking.String() != "lock" || core.SchemePipelined.String() != "pipe" || core.Scheme(9).String() == "" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestSSSPAllConfigsMatchDijkstra(t *testing.T) {
+	g := testGraph(t)
+	want := seqref.ClassicSSSP(g, 0)
+	for _, opt := range allConfigs() {
+		app := apps.NewSSSP(0)
+		res, err := core.RunF32(app, g, opt)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", opt.Dev.Name, opt.Scheme, err)
+		}
+		if !res.Converged {
+			t.Errorf("%s/%v: did not converge", opt.Dev.Name, opt.Scheme)
+		}
+		for v := range want {
+			if app.Dist[v] != want[v] {
+				t.Fatalf("%s/%v/vec=%v/mode=%v: dist[%d] = %v, want %v",
+					opt.Dev.Name, opt.Scheme, opt.Vectorized, opt.CSBMode, v, app.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSMatchesClassic(t *testing.T) {
+	g := testGraph(t)
+	want := seqref.ClassicBFS(g, 0)
+	for _, opt := range allConfigs()[:4] { // CPU configs suffice; full matrix covered by SSSP
+		app := apps.NewBFS(0)
+		if _, err := core.RunF32(app, g, opt); err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if app.Levels[v] != want[v] {
+				t.Fatalf("level[%d] = %d, want %d", v, app.Levels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPageRankMatchesClassic(t *testing.T) {
+	g := testGraph(t)
+	const iters = 10
+	want := seqref.ClassicPageRank(g, 0.85, iters)
+	app := apps.NewPageRank()
+	res, err := core.RunF32(app, g, core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true, MaxIterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != iters {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, iters)
+	}
+	for v := range want {
+		diff := math.Abs(float64(app.Ranks[v] - want[v]))
+		if diff > 1e-3*math.Max(1, float64(want[v])) {
+			t.Fatalf("rank[%d] = %v, want %v (diff %v)", v, app.Ranks[v], want[v], diff)
+		}
+	}
+}
+
+func TestTopoSortProducesValidOrder(t *testing.T) {
+	g, err := gen.RandomDAG(gen.DAGConfig{N: 800, M: 40000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []core.Scheme{core.SchemeLocking, core.SchemePipelined} {
+		app := apps.NewTopoSort()
+		res, err := core.RunF32(app, g, core.Options{Dev: machine.MIC(), Scheme: scheme, Vectorized: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("toposort did not converge")
+		}
+		if !app.Ordered() {
+			t.Fatal("some vertices unordered")
+		}
+		if !seqref.ValidTopoOrder(g, app.Order) {
+			t.Fatalf("%v: invalid topological order", scheme)
+		}
+	}
+}
+
+func TestSeqRefMatchesEngineSSSP(t *testing.T) {
+	// The sequential BSP driver and the parallel engine must agree exactly.
+	g := testGraph(t)
+	seqApp := apps.NewSSSP(0)
+	iters, c := seqref.RunF32Seq(seqApp, g, 10000)
+	if iters == 0 || c.Messages == 0 {
+		t.Fatal("sequential run did nothing")
+	}
+	parApp := apps.NewSSSP(0)
+	res, err := core.RunF32(parApp, g, core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != iters {
+		t.Errorf("iterations differ: engine %d, seq %d", res.Iterations, iters)
+	}
+	for v := range parApp.Dist {
+		if parApp.Dist[v] != seqApp.Dist[v] {
+			t.Fatalf("dist[%d]: engine %v, seq %v", v, parApp.Dist[v], seqApp.Dist[v])
+		}
+	}
+	// Message counts must agree too: same algorithm, same schedule.
+	if res.Counters.Messages != c.Messages {
+		t.Errorf("messages: engine %d, seq %d", res.Counters.Messages, c.Messages)
+	}
+}
+
+func TestHeteroMatchesSingleDevice(t *testing.T) {
+	g := testGraph(t)
+	assign, err := partition.Make(partition.MethodHybrid, g, partition.Ratio{A: 1, B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqref.ClassicSSSP(g, 0)
+	app := apps.NewSSSP(0)
+	optCPU := core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true}
+	optMIC := core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true}
+	res, err := core.RunF32Hetero(app, g, assign, optCPU, optMIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("hetero SSSP did not converge")
+	}
+	for v := range want {
+		if app.Dist[v] != want[v] {
+			t.Fatalf("hetero dist[%d] = %v, want %v", v, app.Dist[v], want[v])
+		}
+	}
+	if res.Dev[0].Counters.RemoteMessages == 0 || res.Dev[1].Counters.RemoteMessages == 0 {
+		t.Error("no remote messages despite cross edges")
+	}
+	if res.CommSeconds <= 0 || res.ExecSeconds <= 0 {
+		t.Error("missing time components")
+	}
+	if res.SimSeconds != res.ExecSeconds+res.CommSeconds {
+		t.Error("SimSeconds != Exec + Comm")
+	}
+}
+
+func TestHeteroPageRankMatchesClassic(t *testing.T) {
+	g := testGraph(t)
+	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 3, B: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 6
+	want := seqref.ClassicPageRank(g, 0.85, iters)
+	app := apps.NewPageRank()
+	opt0 := core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true, MaxIterations: iters}
+	opt1 := core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true, MaxIterations: iters}
+	res, err := core.RunF32Hetero(app, g, assign, opt0, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != iters {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, iters)
+	}
+	for v := range want {
+		diff := math.Abs(float64(app.Ranks[v] - want[v]))
+		if diff > 1e-3*math.Max(1, float64(want[v])) {
+			t.Fatalf("hetero rank[%d] = %v, want %v", v, app.Ranks[v], want[v])
+		}
+	}
+}
+
+func TestHeteroValidatesAssignment(t *testing.T) {
+	g := testGraph(t)
+	app := apps.NewSSSP(0)
+	opt := core.Options{Dev: machine.CPU()}
+	if _, err := core.RunF32Hetero(app, g, make([]int32, 3), opt, opt); err == nil {
+		t.Error("accepted short assignment")
+	}
+	bad := make([]int32, g.NumVertices())
+	bad[5] = 7
+	if _, err := core.RunF32Hetero(app, g, bad, opt, opt); err == nil {
+		t.Error("accepted rank 7")
+	}
+}
+
+func TestSemiClusteringEngineMatchesSeq(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 600, Communities: 6, IntraDeg: 3, InterFrac: 0.05, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxIters = 5
+	seqApp := apps.NewSemiClustering(3, 4, 0.2)
+	seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters)
+
+	for _, scheme := range []core.Scheme{core.SchemeLocking, core.SchemePipelined} {
+		parApp := apps.NewSemiClustering(3, 4, 0.2)
+		_, err := core.RunGeneric[apps.SCMsg](parApp, g, core.Options{Dev: machine.MIC(), Scheme: scheme, MaxIterations: maxIters})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range seqApp.Clusters {
+			a, b := seqApp.Clusters[v], parApp.Clusters[v]
+			if len(a) != len(b) {
+				t.Fatalf("%v: vertex %d cluster count %d vs %d", scheme, v, len(b), len(a))
+			}
+			for i := range a {
+				if a[i].Score != b[i].Score {
+					t.Fatalf("%v: vertex %d cluster %d score %v vs %v", scheme, v, i, b[i].Score, a[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestSemiClusteringHetero(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 400, Communities: 4, IntraDeg: 3, InterFrac: 0.05, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxIters = 4
+	seqApp := apps.NewSemiClustering(3, 4, 0.2)
+	seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters)
+
+	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 2, B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetApp := apps.NewSemiClustering(3, 4, 0.2)
+	opt0 := core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, MaxIterations: maxIters}
+	opt1 := core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, MaxIterations: maxIters}
+	res, err := core.RunGenericHetero[apps.SCMsg](hetApp, g, assign, opt0, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+	for v := range seqApp.Clusters {
+		a, b := seqApp.Clusters[v], hetApp.Clusters[v]
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d cluster count %d vs %d", v, len(b), len(a))
+		}
+		for i := range a {
+			if a[i].Score != b[i].Score {
+				t.Fatalf("vertex %d cluster %d score %v vs %v", v, i, b[i].Score, a[i].Score)
+			}
+		}
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	g := testGraph(t)
+	app := apps.NewPageRank()
+	const iters = 3
+	res, err := core.RunF32(app, g, core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true, MaxIterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Iterations != iters {
+		t.Errorf("Iterations = %d", c.Iterations)
+	}
+	// Every iteration sends one message per edge.
+	if want := int64(iters) * g.NumEdges(); c.Messages != want {
+		t.Errorf("Messages = %d, want %d", c.Messages, want)
+	}
+	if c.QueueOps != 2*c.Messages {
+		t.Errorf("QueueOps = %d, want %d", c.QueueOps, 2*c.Messages)
+	}
+	if c.VecRows == 0 || c.ReducedMessages != c.Messages {
+		t.Errorf("reduction counters: rows=%d reduced=%d", c.VecRows, c.ReducedMessages)
+	}
+	if c.TaskFetches == 0 || c.Steps != 3*iters {
+		t.Errorf("fetches=%d steps=%d", c.TaskFetches, c.Steps)
+	}
+	if res.Phases.Generate <= 0 || res.Phases.Process <= 0 || res.Phases.Update <= 0 {
+		t.Errorf("phases not populated: %+v", res.Phases)
+	}
+	if res.SimSeconds != res.Phases.Total() {
+		t.Error("SimSeconds mismatch")
+	}
+	// Locking run populates contention stats on a skewed graph.
+	res2, err := core.RunF32(apps.NewPageRank(), g, core.Options{Dev: machine.MIC(), Scheme: core.SchemeLocking, Vectorized: true, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters.ConflictExpected <= 0 {
+		t.Error("locking run recorded no expected conflicts")
+	}
+}
+
+func TestVectorizedAndScalarSameResultDifferentCost(t *testing.T) {
+	g := testGraph(t)
+	run := func(vecOn bool) (*apps.SSSP, core.Result) {
+		app := apps.NewSSSP(0)
+		res, err := core.RunF32(app, g, core.Options{Dev: machine.MIC(), Scheme: core.SchemeLocking, Vectorized: vecOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app, res
+	}
+	appV, resV := run(true)
+	appS, resS := run(false)
+	for v := range appV.Dist {
+		if appV.Dist[v] != appS.Dist[v] {
+			t.Fatalf("vec/scalar disagree at %d", v)
+		}
+	}
+	if resV.Phases.Process >= resS.Phases.Process {
+		t.Errorf("vectorized processing %v not cheaper than scalar %v", resV.Phases.Process, resS.Phases.Process)
+	}
+	if resV.Counters.VecRows == 0 || resS.Counters.VecRows != 0 {
+		t.Errorf("VecRows accounting wrong: %d / %d", resV.Counters.VecRows, resS.Counters.VecRows)
+	}
+}
+
+func TestMaxIterationsBoundsRun(t *testing.T) {
+	g := testGraph(t)
+	app := apps.NewPageRank()
+	res, err := core.RunF32(app, g, core.Options{Dev: machine.CPU(), MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 2 || res.Converged {
+		t.Errorf("fixed-active run: iters=%d converged=%v", res.Iterations, res.Converged)
+	}
+}
+
+func TestEmptyActiveConvergesImmediately(t *testing.T) {
+	// A BFS from an isolated source converges after one iteration.
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(1, 2, 1)
+	g, _ := b.Build()
+	app := apps.NewBFS(3)
+	res, err := core.RunF32(app, g, core.Options{Dev: machine.CPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1 (source generates nothing)", res.Iterations)
+	}
+}
+
+func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
+	// Symmetrized community graph: min-label propagation must agree with
+	// the union-find oracle under every scheme.
+	g, err := gen.Community(gen.CommunityConfig{N: 1500, Communities: 12, IntraDeg: 2, InterFrac: 0.02, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqref.ClassicWCC(g)
+	for _, scheme := range []core.Scheme{core.SchemeLocking, core.SchemePipelined} {
+		app := apps.NewConnectedComponents()
+		res, err := core.RunF32(app, g, core.Options{Dev: machine.MIC(), Scheme: scheme, Vectorized: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("CC did not converge")
+		}
+		for v := range want {
+			if app.Labels[v] != float32(want[v]) {
+				t.Fatalf("%v: label[%d] = %v, want %d", scheme, v, app.Labels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsHetero(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 1000, Communities: 8, IntraDeg: 2, InterFrac: 0.02, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqref.ClassicWCC(g)
+	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 1, B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.NewConnectedComponents()
+	_, err = core.RunF32Hetero(app, g, assign,
+		core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true},
+		core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if app.Labels[v] != float32(want[v]) {
+			t.Fatalf("hetero label[%d] = %v, want %d", v, app.Labels[v], want[v])
+		}
+	}
+}
+
+func TestEnginePanicSurfacedAsError(t *testing.T) {
+	// A vertex program that panics during generation must fail the run
+	// with an error, not kill the process.
+	g := testGraph(t)
+	app := &panickyApp{inner: apps.NewPageRank()}
+	_, err := core.RunF32(app, g, core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, MaxIterations: 2})
+	if err == nil {
+		t.Fatal("panic in Generate not surfaced")
+	}
+}
+
+// panickyApp wraps PageRank and panics on one vertex.
+type panickyApp struct{ inner *apps.PageRank }
+
+func (p *panickyApp) Profile() machine.AppProfile        { return p.inner.Profile() }
+func (p *panickyApp) Init(g *graph.CSR) []graph.VertexID { return p.inner.Init(g) }
+func (p *panickyApp) Generate(v graph.VertexID, emit func(graph.VertexID, float32)) {
+	if v == 100 {
+		panic("user bug")
+	}
+	p.inner.Generate(v, emit)
+}
+func (p *panickyApp) Identity() float32                         { return p.inner.Identity() }
+func (p *panickyApp) ReduceVec(arr *vec.ArrayF32, rows int)     { p.inner.ReduceVec(arr, rows) }
+func (p *panickyApp) ReduceScalar(a, b float32) float32         { return p.inner.ReduceScalar(a, b) }
+func (p *panickyApp) Update(v graph.VertexID, msg float32) bool { return p.inner.Update(v, msg) }
+
+func TestTraceRecordsPhases(t *testing.T) {
+	g := testGraph(t)
+	rec := trace.NewRecorder()
+	app := apps.NewPageRank()
+	res, err := core.RunF32(app, g, core.Options{
+		Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true,
+		MaxIterations: 3, Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 samples per iteration (no exchange on a single device).
+	if got := rec.Len(); got != int(3*res.Iterations) {
+		t.Fatalf("samples = %d, want %d", got, 3*res.Iterations)
+	}
+	sum := rec.Summarize()
+	if sum.Iterations["MIC"] != res.Iterations {
+		t.Fatalf("trace iterations = %d", sum.Iterations["MIC"])
+	}
+	// Trace totals must reconcile with the run's phase totals.
+	var gen float64
+	for _, pt := range sum.Totals {
+		if pt.Phase == trace.PhaseGenerate {
+			gen += pt.SimSeconds
+		}
+	}
+	if diff := gen - res.Phases.Generate; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("trace generate total %v != result %v", gen, res.Phases.Generate)
+	}
+}
+
+func TestTraceHeteroIncludesExchange(t *testing.T) {
+	g := testGraph(t)
+	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 1, B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	app := apps.NewSSSP(0)
+	opt0 := core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true, Trace: rec}
+	opt1 := core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true, Trace: rec}
+	if _, err := core.RunF32Hetero(app, g, assign, opt0, opt1); err != nil {
+		t.Fatal(err)
+	}
+	sum := rec.Summarize()
+	devs := map[string]bool{}
+	phases := map[string]bool{}
+	for _, pt := range sum.Totals {
+		devs[pt.Device] = true
+		phases[pt.Phase] = true
+	}
+	if !devs["CPU"] || !devs["MIC"] {
+		t.Fatalf("trace missing a device: %v", devs)
+	}
+	if !phases[trace.PhaseExchange] {
+		t.Fatal("hetero trace has no exchange samples")
+	}
+}
+
+func TestTopoSortHetero(t *testing.T) {
+	g, err := gen.RandomDAG(gen.DAGConfig{N: 600, M: 60000, Seed: 8, Layers: 10, HotFrac: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 1, B: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.NewTopoSort()
+	res, err := core.RunF32Hetero(app, g, assign,
+		core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true},
+		core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !app.Ordered() {
+		t.Fatal("hetero toposort incomplete")
+	}
+	if !seqref.ValidTopoOrder(g, app.Order) {
+		t.Fatal("hetero toposort order invalid")
+	}
+}
+
+func TestDeterministicSimSeconds(t *testing.T) {
+	// The cost model is a pure function of the counted events, and the
+	// engine's counting is deterministic for a fixed input, so two
+	// identical runs must report identical simulated time (wall time will
+	// differ — that is the point of the split).
+	g := testGraph(t)
+	run := func() core.Result {
+		res, err := core.RunF32(apps.NewSSSP(0), g, core.Options{
+			Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.SimSeconds != b.SimSeconds {
+		t.Errorf("sim time not deterministic: %v vs %v", a.SimSeconds, b.SimSeconds)
+	}
+	if a.Counters.Messages != b.Counters.Messages || a.Counters.VecRows != b.Counters.VecRows {
+		t.Errorf("counters not deterministic")
+	}
+}
+
+func TestThreadsOverride(t *testing.T) {
+	// Real goroutine count can be overridden (e.g. for debugging) without
+	// changing the modeled device's simulated time basis.
+	g := testGraph(t)
+	app := apps.NewSSSP(0)
+	res, err := core.RunF32(app, g, core.Options{
+		Dev: machine.MIC(), Scheme: core.SchemeLocking, Vectorized: true, Threads: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqref.ClassicSSSP(g, 0)
+	for v := range want {
+		if app.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] wrong under thread override", v)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+func TestGenericEnginePanicContained(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 200, Communities: 2, IntraDeg: 3, InterFrac: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &panickySC{inner: apps.NewSemiClustering(2, 3, 0.2)}
+	_, err = core.RunGeneric[apps.SCMsg](app, g, core.Options{Dev: machine.CPU(), MaxIterations: 3})
+	if err == nil {
+		t.Fatal("generic engine did not surface user panic")
+	}
+}
+
+type panickySC struct{ inner *apps.SemiClustering }
+
+func (p *panickySC) Profile() machine.AppProfile        { return p.inner.Profile() }
+func (p *panickySC) Init(g *graph.CSR) []graph.VertexID { return p.inner.Init(g) }
+func (p *panickySC) Combine(a, b apps.SCMsg) apps.SCMsg { return p.inner.Combine(a, b) }
+func (p *panickySC) Process(v graph.VertexID, m []apps.SCMsg) apps.SCMsg {
+	return p.inner.Process(v, m)
+}
+func (p *panickySC) Update(v graph.VertexID, r apps.SCMsg) bool { return p.inner.Update(v, r) }
+func (p *panickySC) Generate(v graph.VertexID, emit func(graph.VertexID, apps.SCMsg)) {
+	if v == 50 {
+		panic("sc user bug")
+	}
+	p.inner.Generate(v, emit)
+}
+
+func TestLabelPropagationEngineMatchesSeq(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 800, Communities: 8, IntraDeg: 3, InterFrac: 0.03, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxIters = 8
+	seqApp := apps.NewLabelPropagation()
+	seqref.RunGenericSeq[apps.LPAMsg](seqApp, g, maxIters)
+
+	parApp := apps.NewLabelPropagation()
+	_, err = core.RunGeneric[apps.LPAMsg](parApp, g, core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, MaxIterations: maxIters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seqApp.Labels {
+		if parApp.Labels[v] != seqApp.Labels[v] {
+			t.Fatalf("label[%d]: engine %d, seq %d", v, parApp.Labels[v], seqApp.Labels[v])
+		}
+	}
+	// On a community graph LPA must find far fewer communities than
+	// vertices.
+	if parApp.NumCommunities() > g.NumVertices()/4 {
+		t.Errorf("LPA found %d communities of %d vertices", parApp.NumCommunities(), g.NumVertices())
+	}
+}
+
+func TestLabelPropagationHetero(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 500, Communities: 5, IntraDeg: 3, InterFrac: 0.03, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxIters = 6
+	seqApp := apps.NewLabelPropagation()
+	seqref.RunGenericSeq[apps.LPAMsg](seqApp, g, maxIters)
+	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 1, B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetApp := apps.NewLabelPropagation()
+	_, err = core.RunGenericHetero[apps.LPAMsg](hetApp, g, assign,
+		core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, MaxIterations: maxIters},
+		core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, MaxIterations: maxIters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seqApp.Labels {
+		if hetApp.Labels[v] != seqApp.Labels[v] {
+			t.Fatalf("hetero label[%d]: %d vs %d", v, hetApp.Labels[v], seqApp.Labels[v])
+		}
+	}
+}

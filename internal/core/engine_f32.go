@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetgraph/internal/comm"
+	"hetgraph/internal/csb"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/pipeline"
+	"hetgraph/internal/sched"
+	"hetgraph/internal/trace"
+)
+
+// delivery is one reduced message ready for vertex updating.
+type delivery struct {
+	v   graph.VertexID
+	val float32
+}
+
+// deviceF32 is one device's engine state for a float32-message application.
+// For single-device runs assign is nil; for heterogeneous runs it maps each
+// vertex to its owner rank and ep connects to the peer device.
+type deviceF32 struct {
+	app    AppF32
+	g      *graph.CSR
+	opt    Options
+	cm     machine.CostModel
+	buf    *csb.Buffer
+	rank   int
+	assign []int32
+	ep     *comm.Endpoint[float32]
+
+	remoteMu sync.Mutex
+	remote   *comm.Combiner[float32]
+	remCount atomic.Int64
+
+	fillScratch []int32
+	pipe        *pipeline.Pipelined[float32]
+}
+
+func newDeviceF32(app AppF32, g *graph.CSR, opt Options, rank int, assign []int32, ep *comm.Endpoint[float32]) (*deviceF32, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cm, err := machine.NewCostModel(opt.Dev, app.Profile())
+	if err != nil {
+		return nil, err
+	}
+	buf, err := csb.Build(g, csb.Config{
+		Width:    opt.Dev.SIMDWidth,
+		K:        opt.K,
+		Identity: app.Identity(),
+		Mode:     opt.CSBMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &deviceF32{app: app, g: g, opt: opt, cm: cm, buf: buf, rank: rank, assign: assign, ep: ep}
+	if opt.Scheme == SchemePipelined {
+		d.pipe, err = pipeline.NewPipelined[float32](opt.Workers, opt.Movers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if assign != nil {
+		d.remote = comm.NewCombiner(g.NumVertices(), app.ReduceScalar)
+	}
+	return d, nil
+}
+
+// local reports whether this device owns v.
+func (d *deviceF32) local(v graph.VertexID) bool {
+	return d.assign == nil || d.assign[v] == int32(d.rank)
+}
+
+// route is the emit target used by the generation schemes: local messages
+// enter the CSB, remote ones accumulate in the combiner.
+func (d *deviceF32) route(dst graph.VertexID, val float32) {
+	if d.local(dst) {
+		d.buf.Insert(dst, val)
+		return
+	}
+	d.remoteMu.Lock()
+	d.remote.Add(dst, val)
+	d.remoteMu.Unlock()
+	d.remCount.Add(1)
+}
+
+// generate runs the configured message-generation scheme for the active
+// vertices and fills in the generation counters.
+func (d *deviceF32) generate(active []graph.VertexID, c *machine.Counters) error {
+	gen := func(v graph.VertexID, emit func(graph.VertexID, float32)) {
+		d.app.Generate(v, emit)
+	}
+	var st pipeline.Stats
+	var err error
+	switch d.opt.Scheme {
+	case SchemeLocking:
+		st, err = pipeline.RunLocking(active, d.opt.Threads, gen, d.route)
+	case SchemePipelined:
+		st, err = d.pipe.Run(active, gen, d.route)
+	default:
+		err = fmt.Errorf("core: unknown scheme %v", d.opt.Scheme)
+	}
+	if err != nil {
+		return err
+	}
+	c.ActiveVertices += int64(len(active))
+	c.EdgesTraversed += st.Messages
+	c.Messages += st.Messages
+	c.TaskFetches += st.TaskFetches
+	c.QueueOps += st.QueueOps
+	c.RemoteMessages += d.remCount.Swap(0)
+	c.ColumnsUsed += d.buf.ColumnsUsed()
+	c.Steps++
+	if d.opt.Scheme == SchemeLocking {
+		// Contention statistics from the real per-column insert counts,
+		// priced for the modeled device's thread count.
+		d.fillScratch = d.buf.ColumnFills(d.fillScratch[:0])
+		exp, floor := machine.ContentionStats(d.fillScratch, d.opt.Dev.Threads())
+		c.ConflictExpected += exp
+		if floor > c.SerialFloorMsgs {
+			c.SerialFloorMsgs = floor
+		}
+	}
+	return nil
+}
+
+// exchange performs the cross-device round: drains the remote combiner,
+// swaps payloads with the peer, and inserts received messages locally. It
+// returns the peer's active count from the previous update step.
+func (d *deviceF32) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) int64 {
+	// Drain into a fresh slice: the payload crosses to the peer, which may
+	// still be reading it while this device runs ahead — reusing a scratch
+	// buffer here would race with the receiver.
+	send := d.remote.Drain(nil)
+	recv, activeRemote, st := d.ep.Exchange(send, activeLocal)
+	for _, m := range recv {
+		d.buf.Insert(m.Dst, m.Val)
+	}
+	c.Messages += int64(len(recv))
+	c.BytesSent += st.BytesSent
+	c.Exchanges++
+	pt.Exchange += st.SimSeconds
+	return activeRemote
+}
+
+// process runs message processing over the CSB task units with dynamic
+// scheduling, on the vectorized or scalar path, and returns the reduced
+// deliveries.
+func (d *deviceF32) process(c *machine.Counters) ([]delivery, error) {
+	nTasks := int64(d.buf.NumTasks())
+	s, err := sched.New(nTasks, sched.ChunkFor(nTasks, d.opt.Threads))
+	if err != nil {
+		return nil, err
+	}
+	vectorized := d.opt.Vectorized && d.app.Profile().Reducible
+	perThread := make([][]delivery, d.opt.Threads)
+	var vecRows, reduced atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < d.opt.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			var out []delivery
+			var lanes []csb.Lane
+			var localRows, localReduced int64
+			for {
+				lo, hi, ok := s.Next()
+				if !ok {
+					break
+				}
+				for task := lo; task < hi; task++ {
+					arr, rows := d.buf.Task(int(task))
+					if rows == 0 {
+						continue
+					}
+					lanes = d.buf.Lanes(int(task), lanes[:0])
+					if vectorized {
+						d.app.ReduceVec(arr, rows)
+						localRows += int64(rows)
+						for _, l := range lanes {
+							out = append(out, delivery{l.Vertex, arr.At(0, l.Lane)})
+							localReduced += int64(l.Count)
+						}
+					} else {
+						for _, l := range lanes {
+							v := arr.At(0, l.Lane)
+							for r := 1; r < int(l.Count); r++ {
+								v = d.app.ReduceScalar(v, arr.At(r, l.Lane))
+							}
+							out = append(out, delivery{l.Vertex, v})
+							localReduced += int64(l.Count)
+						}
+					}
+				}
+			}
+			perThread[t] = out
+			vecRows.Add(localRows)
+			reduced.Add(localReduced)
+		}(t)
+	}
+	wg.Wait()
+	var total int
+	for _, out := range perThread {
+		total += len(out)
+	}
+	deliveries := make([]delivery, 0, total)
+	for _, out := range perThread {
+		deliveries = append(deliveries, out...)
+	}
+	c.VecRows += vecRows.Load()
+	c.ReducedMessages += reduced.Load()
+	c.TaskFetches += s.Fetches()
+	c.Steps++
+	return deliveries, nil
+}
+
+// update applies the reduced messages with dynamic scheduling and returns
+// the vertices active in the next iteration.
+func (d *deviceF32) update(deliveries []delivery, c *machine.Counters) ([]graph.VertexID, error) {
+	n := int64(len(deliveries))
+	s, err := sched.New(n, sched.ChunkFor(n, d.opt.Threads))
+	if err != nil {
+		return nil, err
+	}
+	perThread := make([][]graph.VertexID, d.opt.Threads)
+	var wg sync.WaitGroup
+	for t := 0; t < d.opt.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			var act []graph.VertexID
+			for {
+				lo, hi, ok := s.Next()
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					dl := deliveries[i]
+					if d.app.Update(dl.v, dl.val) {
+						act = append(act, dl.v)
+					}
+				}
+			}
+			perThread[t] = act
+		}(t)
+	}
+	wg.Wait()
+	var next []graph.VertexID
+	for _, act := range perThread {
+		next = append(next, act...)
+	}
+	c.UpdatedVertices += n
+	c.TaskFetches += s.Fetches()
+	c.Steps++
+	return next, nil
+}
+
+// phaseTimes prices one iteration's counters on the modeled device.
+func (d *deviceF32) phaseTimes(c machine.Counters) PhaseTimes {
+	var pt PhaseTimes
+	switch d.opt.Scheme {
+	case SchemePipelined:
+		pt.Generate = d.cm.GeneratePipelined(c, d.opt.Dev.Threads()-machineMovers(d.opt), machineMovers(d.opt))
+	default:
+		pt.Generate = d.cm.GenerateLocking(c, d.opt.Dev.Threads())
+	}
+	pt.Process = d.cm.Process(c, d.opt.Dev.Threads(), d.opt.Vectorized)
+	pt.Update = d.cm.Update(c, d.opt.Dev.Threads())
+	return pt
+}
+
+// machineMovers returns the mover count scaled to the modeled device (the
+// real goroutine split may differ when Threads is overridden).
+func machineMovers(o Options) int {
+	_, movers := machine.DefaultPipeSplit(o.Dev)
+	if o.Movers > 0 && o.Workers > 0 && o.Workers+o.Movers == o.Dev.Threads() {
+		return o.Movers
+	}
+	return movers
+}
+
+// recordTrace emits the iteration's phase samples to the configured
+// recorder, if any.
+func (d *deviceF32) recordTrace(iter int64, c machine.Counters, pt PhaseTimes) {
+	r := d.opt.Trace
+	if r == nil {
+		return
+	}
+	dev := d.opt.Dev.Name
+	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseGenerate, SimSeconds: pt.Generate, Events: c.Messages})
+	if c.Exchanges > 0 {
+		r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseExchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
+	}
+	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseProcess, SimSeconds: pt.Process, Events: c.ReducedMessages})
+	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseUpdate, SimSeconds: pt.Update, Events: c.UpdatedVertices})
+}
+
+// runIteration executes one full superstep (without exchange) and returns
+// the next active set, the iteration counters, and their simulated time.
+func (d *deviceF32) runIteration(active []graph.VertexID) ([]graph.VertexID, machine.Counters, PhaseTimes, error) {
+	var c machine.Counters
+	c.Iterations = 1
+	c.BufferResetBytes = d.buf.Reset()
+	if err := d.generate(active, &c); err != nil {
+		return nil, c, PhaseTimes{}, err
+	}
+	deliveries, err := d.process(&c)
+	if err != nil {
+		return nil, c, PhaseTimes{}, err
+	}
+	next, err := d.update(deliveries, &c)
+	if err != nil {
+		return nil, c, PhaseTimes{}, err
+	}
+	return next, c, d.phaseTimes(c), nil
+}
+
+// RunF32 executes app on a single modeled device until no vertex is active
+// or MaxIterations is reached.
+func RunF32(app AppF32, g *graph.CSR, opt Options) (Result, error) {
+	start := time.Now()
+	d, err := newDeviceF32(app, g, opt, 0, nil, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	active := app.Init(g)
+	fixed := IsFixedActive(app)
+	initial := active
+	for iter := 0; iter < d.opt.MaxIterations; iter++ {
+		if len(active) == 0 {
+			res.Converged = true
+			break
+		}
+		next, c, pt, err := d.runIteration(active)
+		if err != nil {
+			return Result{}, err
+		}
+		d.recordTrace(res.Iterations, c, pt)
+		res.Iterations++
+		res.Counters.Add(c)
+		res.Phases.Add(pt)
+		if fixed {
+			active = initial
+		} else {
+			active = next
+		}
+	}
+	if len(active) == 0 {
+		res.Converged = true
+	}
+	res.SimSeconds = res.Phases.Total()
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetgraph/internal/comm"
+	"hetgraph/internal/csb"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/pipeline"
+	"hetgraph/internal/sched"
+)
+
+// deviceGeneric is one device's engine for structured-message applications
+// (Semi-Clustering). Messages live in a per-vertex list buffer; there is no
+// SIMD reduction path (§III), so processing always walks the lists.
+type deviceGeneric[T any] struct {
+	app    AppGeneric[T]
+	g      *graph.CSR
+	opt    Options
+	cm     machine.CostModel
+	buf    *csb.GenericBuffer[T]
+	rank   int
+	assign []int32
+	ep     *comm.Endpoint[T]
+
+	remoteMu sync.Mutex
+	remote   *comm.Combiner[T]
+	remCount atomic.Int64
+
+	fillScratch []int32
+	pipe        *pipeline.Pipelined[T]
+}
+
+func newDeviceGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options, rank int, assign []int32, ep *comm.Endpoint[T]) (*deviceGeneric[T], error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cm, err := machine.NewCostModel(opt.Dev, app.Profile())
+	if err != nil {
+		return nil, err
+	}
+	d := &deviceGeneric[T]{
+		app:  app,
+		g:    g,
+		opt:  opt,
+		cm:   cm,
+		buf:  csb.NewGenericBuffer[T](g.NumVertices(), 4*opt.Threads),
+		rank: rank, assign: assign, ep: ep,
+	}
+	if opt.Scheme == SchemePipelined {
+		d.pipe, err = pipeline.NewPipelined[T](opt.Workers, opt.Movers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if assign != nil {
+		d.remote = comm.NewCombiner(g.NumVertices(), app.Combine)
+	}
+	return d, nil
+}
+
+func (d *deviceGeneric[T]) local(v graph.VertexID) bool {
+	return d.assign == nil || d.assign[v] == int32(d.rank)
+}
+
+// routeLocked is the locking-scheme emit target.
+func (d *deviceGeneric[T]) routeLocked(dst graph.VertexID, val T) {
+	if d.local(dst) {
+		d.buf.Insert(dst, val)
+		return
+	}
+	d.remoteMu.Lock()
+	d.remote.Add(dst, val)
+	d.remoteMu.Unlock()
+	d.remCount.Add(1)
+}
+
+// routeOwned is the pipelined-scheme emit target: the caller is the unique
+// mover for dst's class, so the local insert needs no lock. The remote
+// combiner is still shared across movers and keeps its mutex.
+func (d *deviceGeneric[T]) routeOwned(dst graph.VertexID, val T) {
+	if d.local(dst) {
+		d.buf.InsertOwned(dst, val)
+		return
+	}
+	d.remoteMu.Lock()
+	d.remote.Add(dst, val)
+	d.remoteMu.Unlock()
+	d.remCount.Add(1)
+}
+
+func (d *deviceGeneric[T]) generate(active []graph.VertexID, c *machine.Counters) error {
+	gen := func(v graph.VertexID, emit func(graph.VertexID, T)) {
+		d.app.Generate(v, emit)
+	}
+	var st pipeline.Stats
+	var err error
+	switch d.opt.Scheme {
+	case SchemePipelined:
+		st, err = d.pipe.Run(active, gen, d.routeOwned)
+	default:
+		st, err = pipeline.RunLocking(active, d.opt.Threads, gen, d.routeLocked)
+	}
+	if err != nil {
+		return err
+	}
+	c.ActiveVertices += int64(len(active))
+	c.EdgesTraversed += st.Messages
+	c.Messages += st.Messages
+	c.TaskFetches += st.TaskFetches
+	c.QueueOps += st.QueueOps
+	c.RemoteMessages += d.remCount.Swap(0)
+	c.Steps++
+	if d.opt.Scheme == SchemeLocking {
+		d.fillScratch = d.buf.ColumnFills(d.fillScratch[:0])
+		exp, floor := machine.ContentionStats(d.fillScratch, d.opt.Dev.Threads())
+		c.ConflictExpected += exp
+		if floor > c.SerialFloorMsgs {
+			c.SerialFloorMsgs = floor
+		}
+		c.ColumnsUsed += int64(len(d.fillScratch))
+	}
+	return nil
+}
+
+func (d *deviceGeneric[T]) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) int64 {
+	// Fresh slice per exchange: the receiver may still be reading the
+	// previous payload while this device runs ahead (see deviceF32).
+	send := d.remote.Drain(nil)
+	recv, activeRemote, st := d.ep.Exchange(send, activeLocal)
+	for _, m := range recv {
+		d.buf.InsertOwned(m.Dst, m.Val)
+	}
+	c.Messages += int64(len(recv))
+	c.BytesSent += st.BytesSent
+	c.Exchanges++
+	pt.Exchange += st.SimSeconds
+	return activeRemote
+}
+
+// processAndUpdate walks every vertex with messages, reduces its list via
+// the user Process, applies Update, and returns the next active set. The
+// two steps are fused over the vertex-chunk schedule (each vertex's
+// messages are consumed exactly once), but counted as two steps, matching
+// the runtime structure.
+func (d *deviceGeneric[T]) processAndUpdate(c *machine.Counters) ([]graph.VertexID, error) {
+	n := int64(d.g.NumVertices())
+	s, err := sched.New(n, sched.ChunkFor(n, d.opt.Threads))
+	if err != nil {
+		return nil, err
+	}
+	perThread := make([][]graph.VertexID, d.opt.Threads)
+	var reduced, updated atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < d.opt.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			var act []graph.VertexID
+			var localReduced, localUpdated int64
+			for {
+				lo, hi, ok := s.Next()
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					v := graph.VertexID(i)
+					if !d.buf.Has(v) {
+						continue
+					}
+					msgs := d.buf.Drain(v)
+					res := d.app.Process(v, msgs)
+					localReduced += int64(len(msgs))
+					localUpdated++
+					if d.app.Update(v, res) {
+						act = append(act, v)
+					}
+				}
+			}
+			perThread[t] = act
+			reduced.Add(localReduced)
+			updated.Add(localUpdated)
+		}(t)
+	}
+	wg.Wait()
+	var next []graph.VertexID
+	for _, act := range perThread {
+		next = append(next, act...)
+	}
+	c.ReducedMessages += reduced.Load()
+	c.UpdatedVertices += updated.Load()
+	c.TaskFetches += s.Fetches()
+	c.Steps += 2
+	return next, nil
+}
+
+func (d *deviceGeneric[T]) phaseTimes(c machine.Counters) PhaseTimes {
+	var pt PhaseTimes
+	switch d.opt.Scheme {
+	case SchemePipelined:
+		pt.Generate = d.cm.GeneratePipelined(c, d.opt.Dev.Threads()-machineMovers(d.opt), machineMovers(d.opt))
+	default:
+		pt.Generate = d.cm.GenerateLocking(c, d.opt.Dev.Threads())
+	}
+	pt.Process = d.cm.Process(c, d.opt.Dev.Threads(), false)
+	pt.Update = d.cm.Update(c, d.opt.Dev.Threads())
+	return pt
+}
+
+// RunGeneric executes a structured-message app on a single modeled device.
+func RunGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options) (Result, error) {
+	start := time.Now()
+	d, err := newDeviceGeneric(app, g, opt, 0, nil, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	active := app.Init(g)
+	fixed := IsFixedActive(app)
+	initial := active
+	for iter := 0; iter < d.opt.MaxIterations; iter++ {
+		if len(active) == 0 {
+			res.Converged = true
+			break
+		}
+		var c machine.Counters
+		c.Iterations = 1
+		d.buf.Reset()
+		if err := d.generate(active, &c); err != nil {
+			return Result{}, err
+		}
+		next, err := d.processAndUpdate(&c)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Iterations++
+		res.Counters.Add(c)
+		res.Phases.Add(d.phaseTimes(c))
+		if fixed {
+			active = initial
+		} else {
+			active = next
+		}
+	}
+	if len(active) == 0 {
+		res.Converged = true
+	}
+	res.SimSeconds = res.Phases.Total()
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// RunGenericHetero executes a structured-message app across two modeled
+// devices, mirroring RunF32Hetero.
+func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, optDev0, optDev1 Options) (HeteroResult, error) {
+	start := time.Now()
+	if err := validAssign(g, assign); err != nil {
+		return HeteroResult{}, err
+	}
+	net, err := comm.NewNet[T](machine.PCIe(), app.Profile().MsgBytes)
+	if err != nil {
+		return HeteroResult{}, err
+	}
+	opts := [2]Options{optDev0, optDev1}
+	devs := [2]*deviceGeneric[T]{}
+	for r := 0; r < 2; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			return HeteroResult{}, err
+		}
+		devs[r], err = newDeviceGeneric(app, g, opts[r], r, assign, ep)
+		if err != nil {
+			return HeteroResult{}, err
+		}
+	}
+	maxIter := devs[0].opt.MaxIterations
+	if devs[1].opt.MaxIterations < maxIter {
+		maxIter = devs[1].opt.MaxIterations
+	}
+	active := app.Init(g)
+	a0, a1 := splitActive(active, assign)
+	actives := [2][]graph.VertexID{a0, a1}
+
+	var (
+		res       HeteroResult
+		iterTimes [2][]float64
+		wg        sync.WaitGroup
+		runErr    [2]error
+	)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			d := devs[r]
+			active := actives[r]
+			fixed := IsFixedActive(d.app)
+			initial := active
+			for iter := 0; iter < maxIter; iter++ {
+				var c machine.Counters
+				var pt PhaseTimes
+				c.Iterations = 1
+				d.buf.Reset()
+				if err := d.generate(active, &c); err != nil {
+					runErr[r] = err
+					return
+				}
+				d.exchange(int64(len(active)), &c, &pt)
+				next, err := d.processAndUpdate(&c)
+				if err != nil {
+					runErr[r] = err
+					return
+				}
+				compute := d.phaseTimes(c)
+				pt.Generate, pt.Process, pt.Update = compute.Generate, compute.Process, compute.Update
+				_, remoteActive, st := d.ep.Exchange(nil, int64(len(next)))
+				c.Exchanges++
+				pt.Exchange += st.SimSeconds
+
+				res.Dev[r].Iterations++
+				res.Dev[r].Counters.Add(c)
+				res.Dev[r].Phases.Add(pt)
+				res.Dev[r].SimSeconds = res.Dev[r].Phases.Total()
+				iterTimes[r] = append(iterTimes[r], pt.Generate+pt.Process+pt.Update)
+				if fixed {
+					active = initial
+				} else {
+					active = next
+				}
+				if int64(len(next))+remoteActive == 0 && !fixed {
+					res.Dev[r].Converged = true
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if runErr[r] != nil {
+			return HeteroResult{}, runErr[r]
+		}
+	}
+	res.Iterations = res.Dev[0].Iterations
+	res.Converged = res.Dev[0].Converged && res.Dev[1].Converged
+	for i := range iterTimes[0] {
+		t0 := iterTimes[0][i]
+		if i < len(iterTimes[1]) && iterTimes[1][i] > t0 {
+			t0 = iterTimes[1][i]
+		}
+		res.ExecSeconds += t0
+	}
+	res.CommSeconds = res.Dev[0].Phases.Exchange
+	res.SimSeconds = res.ExecSeconds + res.CommSeconds
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

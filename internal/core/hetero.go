@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetgraph/internal/comm"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+)
+
+// HeteroResult reports a CPU+MIC run. Per-iteration the devices run in
+// lockstep (the exchange is the synchronization point), so the combined
+// execution time is the sum over iterations of the slower device's phase
+// time, plus the communication time.
+type HeteroResult struct {
+	Iterations int64
+	Converged  bool
+	// Dev holds each device's own result (its counters and phase times).
+	Dev [2]Result
+	// ExecSeconds is sum_i max(dev0_i, dev1_i) over compute phases.
+	ExecSeconds float64
+	// CommSeconds is the modeled PCIe exchange time (including the
+	// per-iteration active-count allreduce).
+	CommSeconds float64
+	// SimSeconds = ExecSeconds + CommSeconds.
+	SimSeconds float64
+	// WallSeconds is host wall-clock time.
+	WallSeconds float64
+}
+
+// validAssign checks a device assignment vector against g.
+func validAssign(g *graph.CSR, assign []int32) error {
+	if len(assign) != g.NumVertices() {
+		return fmt.Errorf("core: assignment covers %d vertices, graph has %d", len(assign), g.NumVertices())
+	}
+	for v, a := range assign {
+		if a != 0 && a != 1 {
+			return fmt.Errorf("core: vertex %d assigned to device %d (want 0 or 1)", v, a)
+		}
+	}
+	return nil
+}
+
+// splitActive partitions the initially active vertices by owner.
+func splitActive(active []graph.VertexID, assign []int32) (a0, a1 []graph.VertexID) {
+	for _, v := range active {
+		if assign[v] == 0 {
+			a0 = append(a0, v)
+		} else {
+			a1 = append(a1, v)
+		}
+	}
+	return a0, a1
+}
+
+// RunF32Hetero executes app across two modeled devices. assign maps each
+// vertex to its owner (0 = optDev0's device, conventionally the CPU;
+// 1 = optDev1's, the MIC). Vertex state is partitioned by ownership: each
+// device generates from and updates only its own vertices, so the shared
+// state arrays carry no cross-device races.
+func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Options) (HeteroResult, error) {
+	start := time.Now()
+	if err := validAssign(g, assign); err != nil {
+		return HeteroResult{}, err
+	}
+	net, err := comm.NewNet[float32](machine.PCIe(), app.Profile().MsgBytes)
+	if err != nil {
+		return HeteroResult{}, err
+	}
+	opts := [2]Options{optDev0, optDev1}
+	devs := [2]*deviceF32{}
+	for r := 0; r < 2; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			return HeteroResult{}, err
+		}
+		devs[r], err = newDeviceF32(app, g, opts[r], r, assign, ep)
+		if err != nil {
+			return HeteroResult{}, err
+		}
+	}
+	maxIter := devs[0].opt.MaxIterations
+	if devs[1].opt.MaxIterations < maxIter {
+		maxIter = devs[1].opt.MaxIterations
+	}
+
+	active := app.Init(g)
+	a0, a1 := splitActive(active, assign)
+	actives := [2][]graph.VertexID{a0, a1}
+
+	var (
+		res       HeteroResult
+		iterTimes [2][]float64 // per-iteration compute time per device
+		wg        sync.WaitGroup
+		runErr    [2]error
+	)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			d := devs[r]
+			active := actives[r]
+			fixed := IsFixedActive(d.app)
+			initial := active
+			for iter := 0; iter < maxIter; iter++ {
+				var c machine.Counters
+				var pt PhaseTimes
+				c.Iterations = 1
+				c.BufferResetBytes = d.buf.Reset()
+				// Generate (local inserts + remote accumulation).
+				if err := d.generate(active, &c); err != nil {
+					runErr[r] = err
+					return
+				}
+				// Implicit remote message exchange (Fig. 2). It carries this
+				// iteration's active count, which doubles as the BSP
+				// termination allreduce: when no vertex was active anywhere,
+				// nothing was generated and the run is over.
+				remoteActive := d.exchange(int64(len(active)), &c, &pt)
+				if int64(len(active))+remoteActive == 0 && !fixed {
+					devs[r].recordIter(&res.Dev[r], c, pt)
+					res.Dev[r].Converged = true
+					return
+				}
+				// Process + update locally.
+				deliveries, err := d.process(&c)
+				if err != nil {
+					runErr[r] = err
+					return
+				}
+				next, err := d.update(deliveries, &c)
+				if err != nil {
+					runErr[r] = err
+					return
+				}
+				compute := d.phaseTimes(c)
+				pt.Generate = compute.Generate
+				pt.Process = compute.Process
+				pt.Update = compute.Update
+
+				d.recordTrace(res.Dev[r].Iterations, c, pt)
+				devs[r].recordIter(&res.Dev[r], c, pt)
+				iterTimes[r] = append(iterTimes[r], pt.Generate+pt.Process+pt.Update)
+				if fixed {
+					active = initial
+				} else {
+					active = next
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if runErr[r] != nil {
+			return HeteroResult{}, runErr[r]
+		}
+	}
+	res.Iterations = res.Dev[0].Iterations
+	res.Converged = res.Dev[0].Converged && res.Dev[1].Converged
+	// Lockstep combination: per iteration the node waits for the slower
+	// device; communication time is identical on both sides (full-duplex
+	// model), so take device 0's.
+	for i := range iterTimes[0] {
+		t0 := iterTimes[0][i]
+		t1 := 0.0
+		if i < len(iterTimes[1]) {
+			t1 = iterTimes[1][i]
+		}
+		if t1 > t0 {
+			t0 = t1
+		}
+		res.ExecSeconds += t0
+	}
+	res.CommSeconds = res.Dev[0].Phases.Exchange
+	res.SimSeconds = res.ExecSeconds + res.CommSeconds
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// recordIter accumulates one iteration into a device's Result.
+func (d *deviceF32) recordIter(r *Result, c machine.Counters, pt PhaseTimes) {
+	r.Iterations++
+	r.Counters.Add(c)
+	r.Phases.Add(pt)
+	r.SimSeconds = r.Phases.Total()
+}

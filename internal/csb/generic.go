@@ -1,0 +1,82 @@
+package csb
+
+import (
+	"sync"
+
+	"hetgraph/internal/graph"
+)
+
+// GenericBuffer is the message buffer for applications whose messages are
+// not basic SSE-supported types — Semi-Clustering sends cluster lists — and
+// which therefore cannot use the SIMD-reducible Condensed Static Buffer
+// (§III: "SIMD processing of messages only applies to messages with basic
+// data types"). It stores per-vertex message lists under sharded locks.
+type GenericBuffer[T any] struct {
+	shards int
+	mu     []sync.Mutex
+	lists  [][]T
+}
+
+// NewGenericBuffer creates a buffer for n destination vertices with the
+// given number of lock shards (vertex v is guarded by shard v%shards).
+func NewGenericBuffer[T any](n, shards int) *GenericBuffer[T] {
+	if shards < 1 {
+		shards = 1
+	}
+	return &GenericBuffer[T]{
+		shards: shards,
+		mu:     make([]sync.Mutex, shards),
+		lists:  make([][]T, n),
+	}
+}
+
+// Insert appends one message for dst. Safe for concurrent use.
+func (b *GenericBuffer[T]) Insert(dst graph.VertexID, msg T) {
+	s := int(dst) % b.shards
+	b.mu[s].Lock()
+	b.lists[dst] = append(b.lists[dst], msg)
+	b.mu[s].Unlock()
+}
+
+// InsertOwned appends without locking; the pipelined scheme's movers own
+// disjoint destination classes (dst mod movers), making this race-free.
+func (b *GenericBuffer[T]) InsertOwned(dst graph.VertexID, msg T) {
+	b.lists[dst] = append(b.lists[dst], msg)
+}
+
+// Drain returns the messages of v (nil if none). The returned slice is
+// owned by the caller until the next Reset.
+func (b *GenericBuffer[T]) Drain(v graph.VertexID) []T { return b.lists[v] }
+
+// Has reports whether v received any message.
+func (b *GenericBuffer[T]) Has(v graph.VertexID) bool { return len(b.lists[v]) > 0 }
+
+// Messages returns the total message count of this iteration.
+func (b *GenericBuffer[T]) Messages() int64 {
+	var total int64
+	for _, l := range b.lists {
+		total += int64(len(l))
+	}
+	return total
+}
+
+// ColumnFills appends per-vertex message counts (for the contention
+// estimator), mirroring Buffer.ColumnFills.
+func (b *GenericBuffer[T]) ColumnFills(dst []int32) []int32 {
+	for _, l := range b.lists {
+		if len(l) > 0 {
+			dst = append(dst, int32(len(l)))
+		}
+	}
+	return dst
+}
+
+// NumVertices returns the destination count.
+func (b *GenericBuffer[T]) NumVertices() int { return len(b.lists) }
+
+// Reset clears all lists, retaining their capacity for the next iteration.
+func (b *GenericBuffer[T]) Reset() {
+	for i := range b.lists {
+		b.lists[i] = b.lists[i][:0]
+	}
+}

@@ -1,0 +1,440 @@
+// Package gen produces the seeded synthetic input graphs used in place of
+// the paper's datasets. The paper evaluates on Pokec (power-law social graph,
+// high-degree vertices concentrated at the front of the ID range), DBLP
+// (undirected co-authorship graph with community structure, duplicated into a
+// directed graph), and a dense random DAG for TopoSort. Each generator is
+// parameterized to reproduce the property that drives the corresponding
+// experiment, and is fully deterministic for a given seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hetgraph/internal/graph"
+)
+
+// PowerLawConfig parameterizes the Pokec-like generator.
+type PowerLawConfig struct {
+	N       int     // number of vertices
+	MeanDeg float64 // target mean out-degree
+	// Alpha is the Pareto tail exponent of the out-degree distribution.
+	// Pokec-like social graphs sit around 2.0–2.5.
+	Alpha float64
+	// FrontBias controls how strongly high out-degree vertices concentrate
+	// in the low ID range (0 = none, 1 = perfectly sorted descending).
+	// The paper's Fig. 6 discussion requires this Pokec property: it is what
+	// makes continuous partitioning imbalanced.
+	FrontBias float64
+	// Locality is the fraction of edges whose destination is drawn from a
+	// window near the source ID instead of globally. Crawl-ordered social
+	// graphs like Pokec exhibit strong ID locality; it is what lets a
+	// min-connectivity partitioner find a low cut where round-robin cannot.
+	Locality float64
+	// LocalWindow is the half-width of the locality window as a fraction
+	// of N (defaulting to 0.02 when zero).
+	LocalWindow float64
+	Seed        int64
+}
+
+// DefaultPowerLaw returns the configuration used by the benchmark harness
+// for the Pokec substitute, scaled to this machine (~1/8 of Pokec's vertex
+// count, same mean degree ~19).
+func DefaultPowerLaw(n int) PowerLawConfig {
+	return PowerLawConfig{N: n, MeanDeg: 19, Alpha: 2.1, FrontBias: 0.85, Locality: 0.75, LocalWindow: 0.02, Seed: 42}
+}
+
+// PowerLaw generates a directed power-law graph. Out-degrees are Pareto
+// samples rescaled to the target mean; destinations are chosen by
+// preferential attachment over in-degree so the in-degree distribution is
+// skewed as well (which is what exercises the CSB's degree-sorted grouping).
+func PowerLaw(cfg PowerLawConfig) (*graph.CSR, error) {
+	if cfg.N <= 1 {
+		return nil, fmt.Errorf("gen: PowerLaw needs N > 1, got %d", cfg.N)
+	}
+	if cfg.MeanDeg <= 0 || cfg.Alpha <= 1 {
+		return nil, fmt.Errorf("gen: PowerLaw needs MeanDeg > 0 and Alpha > 1 (got %v, %v)", cfg.MeanDeg, cfg.Alpha)
+	}
+	if cfg.FrontBias < 0 || cfg.FrontBias > 1 {
+		return nil, fmt.Errorf("gen: FrontBias %v out of [0,1]", cfg.FrontBias)
+	}
+	if cfg.Locality < 0 || cfg.Locality > 1 {
+		return nil, fmt.Errorf("gen: Locality %v out of [0,1]", cfg.Locality)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.N
+
+	// Sample raw Pareto(alpha) out-degrees and rescale to the target mean.
+	raw := make([]float64, n)
+	var sum float64
+	for i := range raw {
+		u := rng.Float64()
+		raw[i] = math.Pow(1-u, -1/(cfg.Alpha-1)) // Pareto with xm=1
+		sum += raw[i]
+	}
+	scale := cfg.MeanDeg * float64(n) / sum
+	degs := make([]int, n)
+	for i := range degs {
+		d := int(raw[i] * scale)
+		if d >= n-1 {
+			d = n - 1
+		}
+		degs[i] = d
+	}
+
+	// Front-load: sort degrees descending, then displace each by a random
+	// offset proportional to (1-FrontBias) so the trend survives with noise.
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	if cfg.FrontBias < 1 {
+		window := int(float64(n) * (1 - cfg.FrontBias))
+		if window > 1 {
+			for i := range degs {
+				j := i + rng.Intn(window)
+				if j >= n {
+					j = n - 1
+				}
+				degs[i], degs[j] = degs[j], degs[i]
+			}
+		}
+	}
+
+	// Preferential-attachment destination sampling: maintain a repeated-ID
+	// pool where each vertex appears once plus once per in-edge received.
+	pool := make([]graph.VertexID, 0, n+int(cfg.MeanDeg)*n)
+	for v := 0; v < n; v++ {
+		pool = append(pool, graph.VertexID(v))
+	}
+	window := int(cfg.LocalWindow * float64(n))
+	if window < 1 {
+		window = int(0.02 * float64(n))
+		if window < 1 {
+			window = 1
+		}
+	}
+	b := graph.NewBuilder(n, false)
+	for v := 0; v < n; v++ {
+		src := graph.VertexID(v)
+		need := degs[v]
+		for k := 0; k < need; k++ {
+			var dst graph.VertexID
+			if rng.Float64() < cfg.Locality {
+				// Local edge: destination within +-window of the source.
+				off := rng.Intn(2*window+1) - window
+				d := v + off
+				if d < 0 {
+					d += n
+				}
+				if d >= n {
+					d -= n
+				}
+				dst = graph.VertexID(d)
+			} else {
+				dst = pool[rng.Intn(len(pool))]
+			}
+			if dst == src {
+				dst = graph.VertexID((v + 1 + rng.Intn(n-1)) % n)
+			}
+			b.AddEdge(src, dst, 0)
+			pool = append(pool, dst)
+		}
+	}
+	return b.Build()
+}
+
+// CommunityConfig parameterizes the DBLP-like undirected generator.
+type CommunityConfig struct {
+	N           int     // number of vertices
+	Communities int     // number of communities
+	IntraDeg    float64 // mean undirected intra-community degree
+	// InterFrac is the fraction of a vertex's edges that cross communities.
+	InterFrac float64
+	Seed      int64
+}
+
+// DefaultCommunity returns the DBLP-substitute configuration (mean degree
+// ~2.5 undirected, strong community locality).
+func DefaultCommunity(n int) CommunityConfig {
+	return CommunityConfig{N: n, Communities: n / 200, IntraDeg: 2.5, InterFrac: 0.05, Seed: 7}
+}
+
+// Community generates an undirected community graph, returned as a directed
+// CSR with every edge duplicated in both directions (the paper's DBLP
+// conversion). Edge weights model interaction frequency, higher within
+// communities. Community membership is contiguous in vertex IDs with
+// variable community sizes, giving the hybrid partitioner real structure to
+// find.
+func Community(cfg CommunityConfig) (*graph.CSR, error) {
+	if cfg.N <= 1 {
+		return nil, fmt.Errorf("gen: Community needs N > 1, got %d", cfg.N)
+	}
+	if cfg.Communities <= 0 {
+		return nil, fmt.Errorf("gen: Communities must be positive, got %d", cfg.Communities)
+	}
+	if cfg.InterFrac < 0 || cfg.InterFrac > 1 {
+		return nil, fmt.Errorf("gen: InterFrac %v out of [0,1]", cfg.InterFrac)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n, c := cfg.N, cfg.Communities
+	if c > n {
+		c = n
+	}
+
+	// Variable community sizes: sample cut points.
+	cuts := make([]int, c+1)
+	cuts[c] = n
+	for i := 1; i < c; i++ {
+		cuts[i] = 1 + rng.Intn(n-1)
+	}
+	sort.Ints(cuts)
+
+	b := graph.NewBuilder(n, true)
+	seen := map[[2]graph.VertexID]bool{}
+	addOnce := func(u, v graph.VertexID, w float32) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]graph.VertexID{u, v}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		b.AddUndirected(u, v, w)
+	}
+	for ci := 0; ci < c; ci++ {
+		lo, hi := cuts[ci], cuts[ci+1]
+		size := hi - lo
+		if size < 2 {
+			continue
+		}
+		// Denser communities sit at the front of the ID range (prolific
+		// collaborations cluster among early-crawled authors); this skew is
+		// what breaks continuous partitioning on the DBLP-like input.
+		slope := 1.6 - 1.2*float64(lo)/float64(n)
+		edges := int(cfg.IntraDeg * slope * float64(size) / 2)
+		for e := 0; e < edges; e++ {
+			u := graph.VertexID(lo + rng.Intn(size))
+			if rng.Float64() < cfg.InterFrac {
+				// Cross-community edge, weaker interaction.
+				v := graph.VertexID(rng.Intn(n))
+				addOnce(u, v, 0.1+0.4*rng.Float32())
+			} else {
+				v := graph.VertexID(lo + rng.Intn(size))
+				addOnce(u, v, 0.5+0.5*rng.Float32())
+			}
+		}
+	}
+	// Guarantee no isolated vertex: link each untouched vertex to a
+	// community peer so every vertex participates in SC.
+	touched := make([]bool, n)
+	for k := range seen {
+		touched[k[0]], touched[k[1]] = true, true
+	}
+	for ci := 0; ci < c; ci++ {
+		lo, hi := cuts[ci], cuts[ci+1]
+		for v := lo; v < hi; v++ {
+			if touched[v] {
+				continue
+			}
+			peer := lo + rng.Intn(maxInt(hi-lo, 1))
+			if peer == v {
+				peer = (v + 1) % n
+			}
+			addOnce(graph.VertexID(v), graph.VertexID(peer), 0.5)
+		}
+	}
+	return b.Build()
+}
+
+// DAGConfig parameterizes the dense random DAG generator for TopoSort.
+type DAGConfig struct {
+	N    int // number of vertices
+	M    int // target number of edges (N*(N-1)/2 max)
+	Seed int64
+	// Layers, when positive, produces a layered DAG: vertices are split
+	// into equal contiguous layers and every edge points from a layer to a
+	// strictly higher one, so the TopoSort wavefront has exactly `Layers`
+	// supersteps with M/Layers messages each — the "highly connected
+	// graph... large number of messages sent to a single vertex" regime of
+	// §V-B. Zero gives the unconstrained u<v random DAG, whose wavefront
+	// is deep and thin.
+	Layers int
+	// HotFrac, in (0,1], concentrates a layered DAG's edges onto the first
+	// HotFrac fraction of each target layer, creating the hot receive
+	// columns that drive the locking-contention results (0 = uniform).
+	HotFrac float64
+}
+
+// DefaultDAG returns the TopoSort input configuration: a highly connected
+// layered DAG where edges vastly outnumber vertices (the paper uses 40K
+// vertices and 200M edges; we scale down keeping the density direction and
+// the few-deep-supersteps/hot-columns shape).
+func DefaultDAG(n, m int) DAGConfig {
+	return DAGConfig{N: n, M: m, Seed: 99, Layers: 16, HotFrac: 0.1}
+}
+
+// RandomDAG generates a random DAG: every edge points from a lower to a
+// higher vertex ID, so acyclicity holds by construction. Duplicate edges are
+// avoided. The mean out-degree is uniform over feasible sources, producing
+// the high fan-in on late vertices that makes TopoSort contention-heavy.
+func RandomDAG(cfg DAGConfig) (*graph.CSR, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("gen: RandomDAG needs N >= 2, got %d", cfg.N)
+	}
+	maxEdges := int64(cfg.N) * int64(cfg.N-1) / 2
+	if int64(cfg.M) > maxEdges {
+		return nil, fmt.Errorf("gen: RandomDAG M=%d exceeds max %d for N=%d", cfg.M, maxEdges, cfg.N)
+	}
+	if cfg.Layers < 0 || cfg.Layers > cfg.N {
+		return nil, fmt.Errorf("gen: RandomDAG Layers=%d out of [0,%d]", cfg.Layers, cfg.N)
+	}
+	if cfg.HotFrac < 0 || cfg.HotFrac > 1 {
+		return nil, fmt.Errorf("gen: RandomDAG HotFrac=%v out of [0,1]", cfg.HotFrac)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Layers > 1 {
+		return layeredDAG(cfg, rng)
+	}
+	b := graph.NewBuilder(cfg.N, false)
+	// Spread the edge budget evenly over sources; late vertices have small
+	// forward spans, so walk sources from high to low IDs and carry any
+	// unsatisfiable remainder to earlier vertices, which always have room
+	// (total capacity was checked above).
+	perSrc := cfg.M / (cfg.N - 1)
+	extra := cfg.M % (cfg.N - 1)
+	carry := 0
+	for u := cfg.N - 2; u >= 0; u-- {
+		want := perSrc + carry
+		if u < extra {
+			want++
+		}
+		span := cfg.N - 1 - u
+		if want > span {
+			carry = want - span
+			want = span
+		} else {
+			carry = 0
+		}
+		if want == 0 {
+			continue
+		}
+		if want*2 >= span {
+			// Dense source: partial Fisher-Yates over the full target range.
+			targets := make([]int, span)
+			for i := range targets {
+				targets[i] = u + 1 + i
+			}
+			rng.Shuffle(span, func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+			for _, v := range targets[:want] {
+				b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0)
+			}
+		} else {
+			seen := make(map[int]bool, want)
+			for len(seen) < want {
+				v := u + 1 + rng.Intn(span)
+				if !seen[v] {
+					seen[v] = true
+					b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// layeredDAG builds the Layers-deep DAG described in DAGConfig. Sources are
+// spread uniformly over layers 0..L-2; each edge targets a vertex in a
+// strictly higher layer (biased to the next layer), and within the target
+// layer the destination falls in the hot prefix with probability 1/2 when
+// HotFrac is set. Parallel edges are permitted (multiple interactions); the
+// TopoSort semantics counts them in the in-degree, so correctness holds.
+func layeredDAG(cfg DAGConfig, rng *rand.Rand) (*graph.CSR, error) {
+	n, L := cfg.N, cfg.Layers
+	layerSize := (n + L - 1) / L
+	layerOf := func(v int) int { return v / layerSize }
+	layerLo := func(l int) int { return l * layerSize }
+	layerLen := func(l int) int {
+		hi := (l + 1) * layerSize
+		if hi > n {
+			hi = n
+		}
+		return hi - layerLo(l)
+	}
+	b := graph.NewBuilder(n, false)
+	numLayers := layerOf(n-1) + 1
+	for e := 0; e < cfg.M; e++ {
+		// Source: any vertex not in the last layer.
+		var u int
+		for {
+			u = rng.Intn(n)
+			if layerOf(u) < numLayers-1 {
+				break
+			}
+		}
+		// Target layer: usually the next one, occasionally further.
+		tl := layerOf(u) + 1
+		if rng.Intn(4) == 0 && tl < numLayers-1 {
+			tl += 1 + rng.Intn(numLayers-1-tl)
+		}
+		span := layerLen(tl)
+		off := rng.Intn(span)
+		if cfg.HotFrac > 0 && rng.Intn(2) == 0 {
+			hot := int(cfg.HotFrac * float64(span))
+			if hot < 1 {
+				hot = 1
+			}
+			off = rng.Intn(hot)
+		}
+		b.AddEdge(graph.VertexID(u), graph.VertexID(layerLo(tl)+off), 0)
+	}
+	return b.Build()
+}
+
+// Uniform generates m uniformly random directed edges over n vertices
+// (self-loops excluded, duplicates possible, as in an Erdős–Rényi multigraph).
+func Uniform(n, m int, seed int64) (*graph.CSR, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Uniform needs n >= 2, got %d", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("gen: negative edge count %d", m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0)
+	}
+	return b.Build()
+}
+
+// WithWeights returns a copy of g carrying uniformly random edge weights in
+// (lo, hi], the paper's SSSP setup ("randomly generated weight value for
+// each edge", positive). The topology is shared with g; only the weight
+// array is new.
+func WithWeights(g *graph.CSR, lo, hi float32, seed int64) (*graph.CSR, error) {
+	if lo < 0 || hi <= lo {
+		return nil, fmt.Errorf("gen: bad weight range (%v, %v]", lo, hi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, len(g.Edges))
+	for i := range w {
+		w[i] = lo + (hi-lo)*(1-rng.Float32()) // in (lo, hi]
+	}
+	return &graph.CSR{Offsets: g.Offsets, Edges: g.Edges, Weights: w}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

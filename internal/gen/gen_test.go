@@ -1,0 +1,416 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetgraph/internal/graph"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	cfg := DefaultPowerLaw(5000)
+	g, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.MeanDegree < cfg.MeanDeg*0.5 || s.MeanDegree > cfg.MeanDeg*1.5 {
+		t.Errorf("mean degree %v too far from target %v", s.MeanDegree, cfg.MeanDeg)
+	}
+	// Power-law graph must be skewed...
+	if s.GiniOut < 0.4 {
+		t.Errorf("GiniOut = %v, want skew >= 0.4", s.GiniOut)
+	}
+	// ...and front-loaded (the Pokec property Fig. 6 depends on).
+	if s.FrontLoad < 0.6 {
+		t.Errorf("FrontLoad = %v, want >= 0.6", s.FrontLoad)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	cfg := DefaultPowerLaw(1000)
+	g1, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatalf("same seed, different edge %d", i)
+		}
+	}
+	cfg.Seed++
+	g3, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g3.NumEdges() == g1.NumEdges()
+	if same {
+		for i := range g1.Edges {
+			if g1.Edges[i] != g3.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPowerLawRejectsBadConfig(t *testing.T) {
+	bad := []PowerLawConfig{
+		{N: 1, MeanDeg: 5, Alpha: 2},
+		{N: 100, MeanDeg: 0, Alpha: 2},
+		{N: 100, MeanDeg: 5, Alpha: 1},
+		{N: 100, MeanDeg: 5, Alpha: 2, FrontBias: 1.5},
+		{N: 100, MeanDeg: 5, Alpha: 2, FrontBias: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := PowerLaw(cfg); err == nil {
+			t.Errorf("case %d: PowerLaw accepted bad config %+v", i, cfg)
+		}
+	}
+}
+
+func TestPowerLawNoSelfLoops(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{N: 500, MeanDeg: 8, Alpha: 2.2, FrontBias: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			if d == graph.VertexID(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestCommunityShape(t *testing.T) {
+	cfg := DefaultCommunity(4000)
+	g, err := Community(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("community graph must carry interaction weights")
+	}
+	// Directed representation of an undirected graph: symmetric.
+	tr := g.Transpose()
+	if tr.NumEdges() != g.NumEdges() {
+		t.Fatal("edge counts differ under transpose")
+	}
+	in := g.InDegrees()
+	out := g.OutDegrees()
+	for v := range in {
+		if in[v] != out[v] {
+			t.Fatalf("vertex %d: in %d != out %d (not symmetric)", v, in[v], out[v])
+		}
+	}
+	// No isolated vertices (SC requires every vertex to participate).
+	for v, d := range out {
+		if d == 0 {
+			t.Fatalf("isolated vertex %d", v)
+		}
+	}
+	// Weights positive.
+	for i, w := range g.Weights {
+		if w <= 0 {
+			t.Fatalf("non-positive weight %v at %d", w, i)
+		}
+	}
+}
+
+func TestCommunityLocality(t *testing.T) {
+	// Most edges should be short-range (within contiguous communities):
+	// that locality is what the hybrid partitioner exploits.
+	g, err := Community(CommunityConfig{N: 6000, Communities: 30, IntraDeg: 3, InterFrac: 0.05, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := int32(6000 / 30 * 2)
+	var local, total int
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			diff := d - int32(v)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= span {
+				local++
+			}
+			total++
+		}
+	}
+	if frac := float64(local) / float64(total); frac < 0.7 {
+		t.Errorf("local edge fraction = %v, want >= 0.7", frac)
+	}
+}
+
+func TestCommunityRejectsBadConfig(t *testing.T) {
+	bad := []CommunityConfig{
+		{N: 1, Communities: 1},
+		{N: 100, Communities: 0},
+		{N: 100, Communities: 5, InterFrac: -1},
+		{N: 100, Communities: 5, InterFrac: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Community(cfg); err == nil {
+			t.Errorf("case %d: Community accepted bad config", i)
+		}
+	}
+}
+
+func TestRandomDAGIsDAG(t *testing.T) {
+	g, err := RandomDAG(DefaultDAG(500, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDAG() {
+		t.Fatal("RandomDAG produced a cycle")
+	}
+	if got := g.NumEdges(); got != 20000 {
+		t.Fatalf("edges = %d, want 20000", got)
+	}
+}
+
+func TestRandomDAGNoDuplicates(t *testing.T) {
+	g, err := RandomDAG(DAGConfig{N: 100, M: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		seen := map[graph.VertexID]bool{}
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			if seen[d] {
+				t.Fatalf("duplicate edge %d->%d", v, d)
+			}
+			if d <= graph.VertexID(v) {
+				t.Fatalf("backward edge %d->%d", v, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestRandomDAGDense(t *testing.T) {
+	// Near-complete DAG exercises the dense (Fisher-Yates) path.
+	n := 40
+	m := n * (n - 1) / 2
+	g, err := RandomDAG(DAGConfig{N: n, M: m, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(g.NumEdges()) != m {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), m)
+	}
+	if !g.IsDAG() {
+		t.Fatal("dense DAG has cycle")
+	}
+}
+
+func TestRandomDAGRejectsBadConfig(t *testing.T) {
+	if _, err := RandomDAG(DAGConfig{N: 1, M: 0}); err == nil {
+		t.Error("accepted N=1")
+	}
+	if _, err := RandomDAG(DAGConfig{N: 4, M: 100}); err == nil {
+		t.Error("accepted M above max")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g, err := Uniform(200, 5000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 5000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			if d == graph.VertexID(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+	if _, err := Uniform(1, 5, 0); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := Uniform(10, -1, 0); err == nil {
+		t.Error("accepted negative m")
+	}
+}
+
+func TestWithWeights(t *testing.T) {
+	g := graph.PaperExample()
+	wg, err := WithWeights(g, 0, 10, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wg.Weighted() {
+		t.Fatal("no weights")
+	}
+	if len(wg.Weights) != len(g.Edges) {
+		t.Fatalf("weight count %d != edge count %d", len(wg.Weights), len(g.Edges))
+	}
+	for i, w := range wg.Weights {
+		if w <= 0 || w > 10 {
+			t.Fatalf("weight[%d] = %v out of (0,10]", i, w)
+		}
+	}
+	// Topology shared, not copied.
+	if &wg.Edges[0] != &g.Edges[0] {
+		t.Error("WithWeights copied topology")
+	}
+	if _, err := WithWeights(g, 5, 5, 0); err == nil {
+		t.Error("accepted empty weight range")
+	}
+	if _, err := WithWeights(g, -1, 5, 0); err == nil {
+		t.Error("accepted negative lo")
+	}
+}
+
+// property: Uniform always yields a valid CSR with the requested edge count.
+func TestQuickUniformValid(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 2 + int(nRaw)%64
+		m := int(mRaw)
+		g, err := Uniform(n, m, seed)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && int(g.NumEdges()) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayeredDAG(t *testing.T) {
+	cfg := DefaultDAG(800, 60000)
+	if cfg.Layers < 2 {
+		t.Fatal("default DAG must be layered")
+	}
+	g, err := RandomDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDAG() {
+		t.Fatal("layered DAG has a cycle")
+	}
+	if g.NumEdges() != 60000 {
+		t.Fatalf("edges = %d, want 60000", g.NumEdges())
+	}
+	// Every edge must point to a strictly higher layer.
+	layerSize := (cfg.N + cfg.Layers - 1) / cfg.Layers
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			if int(d)/layerSize <= v/layerSize {
+				t.Fatalf("edge %d->%d does not advance layers", v, d)
+			}
+		}
+	}
+	// The wavefront depth equals the layer count (all supersteps wide), and
+	// hot columns exist (HotFrac concentrates in-degree).
+	in := g.InDegrees()
+	var maxIn int32
+	for _, d := range in {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	meanIn := float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(maxIn) < 3*meanIn {
+		t.Errorf("max in-degree %d not hot vs mean %.1f", maxIn, meanIn)
+	}
+}
+
+func TestLayeredDAGValidation(t *testing.T) {
+	if _, err := RandomDAG(DAGConfig{N: 10, M: 5, Layers: -1}); err == nil {
+		t.Error("accepted negative layers")
+	}
+	if _, err := RandomDAG(DAGConfig{N: 10, M: 5, Layers: 11}); err == nil {
+		t.Error("accepted layers > N")
+	}
+	if _, err := RandomDAG(DAGConfig{N: 10, M: 5, Layers: 2, HotFrac: 1.5}); err == nil {
+		t.Error("accepted HotFrac > 1")
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	cfg := DefaultRMAT(12)
+	g, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1<<12 || int(g.NumEdges()) != 16<<12 {
+		t.Fatalf("shape = %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	s := graph.ComputeStats(g)
+	// R-MAT with Graph500 parameters is strongly skewed.
+	if s.GiniOut < 0.5 {
+		t.Errorf("RMAT GiniOut = %v, want >= 0.5", s.GiniOut)
+	}
+	// No self loops.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			if d == graph.VertexID(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := RMAT(DefaultRMAT(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(DefaultRMAT(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: 0, EdgeFactor: 4, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 30, EdgeFactor: 4, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 8, EdgeFactor: 0, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 8, EdgeFactor: 4, A: 0.9, B: 0.2, C: 0.2}, // D < 0
+		{Scale: 8, EdgeFactor: 4, A: -0.1, B: 0.2, C: 0.2},
+		{Scale: 8, EdgeFactor: 4, A: 0.5, B: 0.2, C: 0.2, Noise: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := RMAT(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary CSR format, for graphs too large for the text adjacency format to
+// load quickly (the text parser spends most of its time in integer
+// parsing; the binary loader is a few sequential reads).
+//
+// Layout (little endian):
+//
+//	magic   [4]byte  "HGB1"
+//	flags   uint32   bit 0: weighted
+//	n       uint64   vertex count
+//	m       uint64   edge count
+//	offsets [n+1]int64
+//	edges   [m]int32
+//	weights [m]float32   (present iff weighted)
+
+var binMagic = [4]byte{'H', 'G', 'B', '1'}
+
+const binFlagWeighted = 1
+
+// WriteBinary writes g in the binary CSR format.
+func WriteBinary(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Weighted() {
+		flags |= binFlagWeighted
+	}
+	if err := binary.Write(bw, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Edges); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxBinaryVertices/Edges bound allocations against corrupt headers.
+const (
+	maxBinaryVertices = 1 << 31
+	maxBinaryEdges    = 1 << 35
+)
+
+// ReadBinary parses the binary CSR format and validates the result.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (want %q)", magic, binMagic)
+	}
+	var flags uint32
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	if flags&^uint32(binFlagWeighted) != 0 {
+		return nil, fmt.Errorf("graph: unknown flags %#x", flags)
+	}
+	var n, m uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n >= maxBinaryVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds limit", n)
+	}
+	if m >= maxBinaryEdges {
+		return nil, fmt.Errorf("graph: edge count %d exceeds limit", m)
+	}
+	g := &CSR{
+		Offsets: make([]int64, n+1),
+		Edges:   make([]VertexID, m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Edges); err != nil {
+		return nil, fmt.Errorf("graph: edges: %w", err)
+	}
+	if flags&binFlagWeighted != 0 {
+		g.Weights = make([]float32, m)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, fmt.Errorf("graph: weights: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveBinaryFile writes g to path in the binary format.
+func SaveBinaryFile(path string, g *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads a binary-format graph from path.
+func LoadBinaryFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// LoadAuto loads a graph file in either format, detecting the binary magic.
+func LoadAuto(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if magic == binMagic {
+		return ReadBinary(f)
+	}
+	return ReadAdjacency(f)
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := PaperExample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Offsets, g2.Offsets) || !reflect.DeepEqual(g.Edges, g2.Edges) {
+		t.Fatal("binary round trip changed graph")
+	}
+	if g2.Weighted() {
+		t.Fatal("unweighted graph gained weights")
+	}
+}
+
+func TestBinaryRoundTripWeighted(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(1, 2, -2.25)
+	g, _ := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Weights, g2.Weights) {
+		t.Fatalf("weights changed: %v vs %v", g.Weights, g2.Weights)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := PaperExample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { c := clone(b); c[0] = 'X'; return c }},
+		{"unknown flags", func(b []byte) []byte { c := clone(b); c[4] = 0xFF; return c }},
+		{"truncated", func(b []byte) []byte { return clone(b)[:len(b)/2] }},
+		{"huge vertex count", func(b []byte) []byte {
+			c := clone(b)
+			for i := 8; i < 16; i++ {
+				c[i] = 0xFF
+			}
+			return c
+		}},
+		{"edge out of range", func(b []byte) []byte {
+			c := clone(b)
+			// First edge entry lives after 4+4+8+8 + 17*8 bytes of offsets.
+			off := 24 + 17*8
+			c[off] = 0xFF
+			c[off+1] = 0xFF
+			c[off+2] = 0xFF
+			c[off+3] = 0x7F
+			return c
+		}},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		if _, err := ReadBinary(bytes.NewReader(tc.mutate(good))); err == nil {
+			t.Errorf("%s: ReadBinary succeeded on corrupt input", tc.name)
+		}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func TestBinaryFileAndAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	g := PaperExample()
+	binPath := dir + "/g.bin"
+	txtPath := dir + "/g.adj"
+	if err := SaveBinaryFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(txtPath, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{binPath, txtPath} {
+		got, err := LoadAuto(path)
+		if err != nil {
+			t.Fatalf("LoadAuto(%s): %v", path, err)
+		}
+		if got.NumEdges() != g.NumEdges() {
+			t.Fatalf("LoadAuto(%s) lost edges", path)
+		}
+	}
+	if _, err := LoadBinaryFile(txtPath); err == nil {
+		t.Fatal("binary loader accepted text file")
+	}
+	if _, err := LoadAuto(dir + "/missing"); err == nil {
+		t.Fatal("LoadAuto of missing file succeeded")
+	}
+	if _, err := LoadBinaryFile(dir + "/missing"); err == nil {
+		t.Fatal("LoadBinaryFile of missing file succeeded")
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := &CSR{Offsets: []int64{0}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 0 || g2.NumEdges() != 0 {
+		t.Fatal("empty graph changed")
+	}
+}

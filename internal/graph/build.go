@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one directed edge with an optional weight, the unit the Builder
+// accumulates before freezing into CSR.
+type Edge struct {
+	Src, Dst VertexID
+	Weight   float32
+}
+
+// Builder accumulates edges and freezes them into a validated CSR. It is not
+// safe for concurrent use; build graphs before launching the runtime.
+type Builder struct {
+	n        int
+	weighted bool
+	edges    []Edge
+}
+
+// NewBuilder creates a builder for a graph with n vertices. If weighted is
+// false, AddEdge weights are ignored and the CSR carries no weight array.
+func NewBuilder(n int, weighted bool) *Builder {
+	return &Builder{n: n, weighted: weighted}
+}
+
+// AddEdge records a directed edge src -> dst.
+func (b *Builder) AddEdge(src, dst VertexID, w float32) {
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
+}
+
+// AddUndirected records both directions of an undirected edge, the paper's
+// recipe for fitting DBLP into the directed framework ("duplicating each
+// edge").
+func (b *Builder) AddUndirected(u, v VertexID, w float32) {
+	b.AddEdge(u, v, w)
+	b.AddEdge(v, u, w)
+}
+
+// NumEdges returns the number of edges recorded so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the accumulated edges into a CSR. Edges are grouped by
+// source (stable on insertion order within a source, so adjacency order is
+// deterministic). Endpoints are range-checked.
+func (b *Builder) Build() (*CSR, error) {
+	for _, e := range b.edges {
+		if e.Src < 0 || int(e.Src) >= b.n {
+			return nil, fmt.Errorf("graph: edge source %d out of range [0,%d)", e.Src, b.n)
+		}
+		if e.Dst < 0 || int(e.Dst) >= b.n {
+			return nil, fmt.Errorf("graph: edge destination %d out of range [0,%d)", e.Dst, b.n)
+		}
+	}
+	sort.SliceStable(b.edges, func(i, j int) bool { return b.edges[i].Src < b.edges[j].Src })
+	g := &CSR{
+		Offsets: make([]int64, b.n+1),
+		Edges:   make([]VertexID, len(b.edges)),
+	}
+	if b.weighted {
+		g.Weights = make([]float32, len(b.edges))
+	}
+	for _, e := range b.edges {
+		g.Offsets[e.Src+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, g.Offsets[:b.n])
+	for _, e := range b.edges {
+		p := cursor[e.Src]
+		cursor[e.Src]++
+		g.Edges[p] = e.Dst
+		if b.weighted {
+			g.Weights[p] = e.Weight
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FromArrays constructs a CSR directly from raw arrays (used by tests and by
+// the paper's Figure-1 example) and validates it.
+func FromArrays(offsets []int64, edges []VertexID, weights []float32) (*CSR, error) {
+	g := &CSR{Offsets: offsets, Edges: edges, Weights: weights}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Subgraph extracts the induced subgraph on the vertices where keep[v] is
+// true, relabeling kept vertices densely in ascending original order. It
+// returns the subgraph and the mapping from new IDs to original IDs. Edges
+// with either endpoint dropped are discarded.
+func Subgraph(g *CSR, keep []bool) (*CSR, []VertexID, error) {
+	n := g.NumVertices()
+	if len(keep) != n {
+		return nil, nil, fmt.Errorf("graph: keep mask length %d != %d vertices", len(keep), n)
+	}
+	newID := make([]VertexID, n)
+	var toOld []VertexID
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			newID[v] = VertexID(len(toOld))
+			toOld = append(toOld, VertexID(v))
+		} else {
+			newID[v] = -1
+		}
+	}
+	b := NewBuilder(len(toOld), g.Weighted())
+	for _, old := range toOld {
+		ws := g.EdgeWeights(old)
+		for i, d := range g.Neighbors(old) {
+			if newID[d] < 0 {
+				continue
+			}
+			var w float32
+			if ws != nil {
+				w = ws[i]
+			}
+			b.AddEdge(newID[old], newID[d], w)
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, toOld, nil
+}

@@ -1,0 +1,40 @@
+package graph
+
+// PaperExample returns the 16-vertex directed graph of Figure 1 in the
+// paper, built from the exact CSR arrays shown there. It is the fixture for
+// the CSB construction and Table-I message tests.
+//
+//	offsets: 0 2 5 8 8 11 12 13 14 15 19 20 22 24 26 27 28
+//	edges:   4 5 | 0 2 5 | 3 5 7 | - | 5 8 9 | 2 | 2 | 2 | 0 |
+//	         4 5 6 8 | 11 | 6 9 | 8 13 | 9 12 | 10 | 7
+func PaperExample() *CSR {
+	g := &CSR{
+		Offsets: []int64{0, 2, 5, 8, 8, 11, 12, 13, 14, 15, 19, 20, 22, 24, 26, 27, 28},
+		Edges: []VertexID{
+			4, 5, // 0
+			0, 2, 5, // 1
+			3, 5, 7, // 2
+			// 3: none
+			5, 8, 9, // 4
+			2,          // 5
+			2,          // 6
+			2,          // 7
+			0,          // 8
+			4, 5, 6, 8, // 9
+			11,   // 10
+			6, 9, // 11
+			8, 13, // 12
+			9, 12, // 13
+			10, // 14
+			7,  // 15
+		},
+	}
+	if err := g.Validate(); err != nil {
+		panic("graph: paper example invalid: " + err.Error())
+	}
+	return g
+}
+
+// PaperExampleSortedByInDegree is the descending in-degree vertex order of
+// the Figure-3 table, used to pin the CSB construction against the paper.
+var PaperExampleSortedByInDegree = []VertexID{5, 2, 8, 9, 0, 4, 6, 7, 3, 10, 11, 12, 13, 1, 14, 15}

@@ -1,0 +1,174 @@
+// Package graph provides the Compressed Sparse Row (CSR) graph substrate the
+// framework operates on, together with builders, loaders, transposition, and
+// validation. It mirrors Section II-B of the paper: vertices are dense
+// integer IDs, the out-edge structure is an offsets array with a trailing
+// dummy vertex whose offset equals the edge count, and edge destinations (and
+// optional float32 weights) are stored contiguously.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VertexID indexes a vertex. Graphs in this reproduction are bounded well
+// below 2^31 vertices, so 32-bit IDs keep the edge array compact, which is
+// the same consideration the paper's memory-constrained MIC forces.
+type VertexID = int32
+
+// CSR is a directed graph in Compressed Sparse Row form. Offsets has
+// NumVertices+1 entries ("dummy vertex, offset = num_edges" in Fig. 1);
+// the out-edges of vertex v are Edges[Offsets[v]:Offsets[v+1]], and
+// Weights, when non-nil, is parallel to Edges.
+type CSR struct {
+	Offsets []int64
+	Edges   []VertexID
+	Weights []float32
+}
+
+// NumVertices returns the vertex count.
+func (g *CSR) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the edge count.
+func (g *CSR) NumEdges() int64 {
+	if len(g.Offsets) == 0 {
+		return 0
+	}
+	return g.Offsets[len(g.Offsets)-1]
+}
+
+// OutDegree returns the out-degree of v.
+func (g *CSR) OutDegree(v VertexID) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the out-neighbor slice of v, aliasing the edge array.
+func (g *CSR) Neighbors(v VertexID) []VertexID {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// EdgeWeights returns the weights of v's out-edges, parallel to Neighbors(v).
+// It returns nil for unweighted graphs.
+func (g *CSR) EdgeWeights(v VertexID) []float32 {
+	if g.Weights == nil {
+		return nil
+	}
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *CSR) Weighted() bool { return g.Weights != nil }
+
+// InDegrees computes the in-degree of every vertex in one pass over the
+// edge array. The CSB construction sorts by these.
+func (g *CSR) InDegrees() []int32 {
+	deg := make([]int32, g.NumVertices())
+	for _, d := range g.Edges {
+		deg[d]++
+	}
+	return deg
+}
+
+// OutDegrees returns the out-degree of every vertex.
+func (g *CSR) OutDegrees() []int32 {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Offsets[v+1] - g.Offsets[v])
+	}
+	return deg
+}
+
+// Transpose returns the reverse graph (CSC of g): an edge u->v in g becomes
+// v->u. Weights follow their edges. Within each reversed adjacency list the
+// sources appear in ascending order, making the result deterministic.
+func (g *CSR) Transpose() *CSR {
+	n := g.NumVertices()
+	t := &CSR{
+		Offsets: make([]int64, n+1),
+		Edges:   make([]VertexID, len(g.Edges)),
+	}
+	if g.Weights != nil {
+		t.Weights = make([]float32, len(g.Weights))
+	}
+	// Counting sort by destination.
+	for _, d := range g.Edges {
+		t.Offsets[d+1]++
+	}
+	for v := 0; v < n; v++ {
+		t.Offsets[v+1] += t.Offsets[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, t.Offsets[:n])
+	for u := 0; u < n; u++ {
+		for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+			d := g.Edges[i]
+			p := cursor[d]
+			cursor[d]++
+			t.Edges[p] = VertexID(u)
+			if t.Weights != nil {
+				t.Weights[p] = g.Weights[i]
+			}
+		}
+	}
+	return t
+}
+
+// ErrInvalid is wrapped by all Validate failures.
+var ErrInvalid = errors.New("graph: invalid CSR")
+
+// Validate checks the CSR structural invariants: a non-empty offsets array
+// starting at 0, monotonically non-decreasing, ending at len(Edges); every
+// edge destination in range; weights, if present, parallel to edges.
+func (g *CSR) Validate() error {
+	if len(g.Offsets) == 0 {
+		return fmt.Errorf("%w: empty offsets", ErrInvalid)
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("%w: offsets[0] = %d, want 0", ErrInvalid, g.Offsets[0])
+	}
+	for v := 1; v < len(g.Offsets); v++ {
+		if g.Offsets[v] < g.Offsets[v-1] {
+			return fmt.Errorf("%w: offsets not monotone at %d", ErrInvalid, v)
+		}
+	}
+	if g.Offsets[len(g.Offsets)-1] != int64(len(g.Edges)) {
+		return fmt.Errorf("%w: offsets end %d != %d edges", ErrInvalid, g.Offsets[len(g.Offsets)-1], len(g.Edges))
+	}
+	n := VertexID(g.NumVertices())
+	for i, d := range g.Edges {
+		if d < 0 || d >= n {
+			return fmt.Errorf("%w: edge %d destination %d out of range [0,%d)", ErrInvalid, i, d, n)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("%w: %d weights for %d edges", ErrInvalid, len(g.Weights), len(g.Edges))
+	}
+	return nil
+}
+
+// IsDAG reports whether the graph has no directed cycle, using Kahn's
+// algorithm (TopoSort's input contract).
+func (g *CSR) IsDAG() bool {
+	n := g.NumVertices()
+	indeg := g.InDegrees()
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, d := range g.Neighbors(u) {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	return seen == n
+}

@@ -1,0 +1,461 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExampleShape(t *testing.T) {
+	g := PaperExample()
+	if g.NumVertices() != 16 {
+		t.Fatalf("NumVertices = %d, want 16", g.NumVertices())
+	}
+	if g.NumEdges() != 28 {
+		t.Fatalf("NumEdges = %d, want 28", g.NumEdges())
+	}
+	if g.OutDegree(3) != 0 {
+		t.Errorf("vertex 3 out-degree = %d, want 0", g.OutDegree(3))
+	}
+	if got := g.Neighbors(9); !reflect.DeepEqual(got, []VertexID{4, 5, 6, 8}) {
+		t.Errorf("Neighbors(9) = %v", got)
+	}
+}
+
+func TestPaperExampleInDegrees(t *testing.T) {
+	// Pinned against Figure 3's sorted table.
+	g := PaperExample()
+	in := g.InDegrees()
+	want := map[VertexID]int32{5: 5, 2: 4, 8: 3, 9: 3, 0: 2, 4: 2, 6: 2, 7: 2,
+		3: 1, 10: 1, 11: 1, 12: 1, 13: 1, 1: 0, 14: 0, 15: 0}
+	for v, d := range want {
+		if in[v] != d {
+			t.Errorf("in-degree of %d = %d, want %d", v, in[v], d)
+		}
+	}
+	// The figure's descending sort order must be reproducible with a
+	// stable tie-break on vertex ID.
+	prev := int32(1 << 30)
+	for _, v := range PaperExampleSortedByInDegree {
+		if in[v] > prev {
+			t.Errorf("PaperExampleSortedByInDegree not descending at vertex %d", v)
+		}
+		prev = in[v]
+	}
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddEdge(2, 0, 1.5)
+	b.AddEdge(0, 1, 2.5)
+	b.AddEdge(0, 3, 3.5)
+	b.AddEdge(2, 1, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Neighbors(0), []VertexID{1, 3}) {
+		t.Errorf("Neighbors(0) = %v", g.Neighbors(0))
+	}
+	if !reflect.DeepEqual(g.EdgeWeights(2), []float32{1.5, 0.5}) {
+		t.Errorf("EdgeWeights(2) = %v", g.EdgeWeights(2))
+	}
+	if g.OutDegree(1) != 0 || g.OutDegree(3) != 0 {
+		t.Errorf("isolated vertices have edges")
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.AddEdge(0, 5, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted out-of-range destination")
+	}
+	b = NewBuilder(2, false)
+	b.AddEdge(-1, 0, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted negative source")
+	}
+}
+
+func TestBuilderUndirected(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddUndirected(0, 2, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Neighbors(0)[0] != 2 || g.Neighbors(2)[0] != 0 {
+		t.Fatalf("undirected edge not duplicated")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		g    CSR
+	}{
+		{"empty offsets", CSR{}},
+		{"nonzero start", CSR{Offsets: []int64{1, 1}, Edges: nil}},
+		{"non-monotone", CSR{Offsets: []int64{0, 2, 1}, Edges: []VertexID{0, 1}}},
+		{"end mismatch", CSR{Offsets: []int64{0, 1}, Edges: []VertexID{0, 0}}},
+		{"edge out of range", CSR{Offsets: []int64{0, 1}, Edges: []VertexID{5}}},
+		{"negative edge", CSR{Offsets: []int64{0, 1}, Edges: []VertexID{-1}}},
+		{"weights mismatch", CSR{Offsets: []int64{0, 1}, Edges: []VertexID{0}, Weights: []float32{1, 2}}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", c.name)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := PaperExample()
+	tt := g.Transpose().Transpose()
+	if !reflect.DeepEqual(g.Offsets, tt.Offsets) {
+		t.Fatal("transpose twice changed offsets")
+	}
+	if !reflect.DeepEqual(g.Edges, tt.Edges) {
+		t.Fatal("transpose twice changed edges")
+	}
+}
+
+func TestTransposeDegrees(t *testing.T) {
+	g := PaperExample()
+	tr := g.Transpose()
+	in := g.InDegrees()
+	for v := 0; v < g.NumVertices(); v++ {
+		if int32(tr.OutDegree(VertexID(v))) != in[v] {
+			t.Errorf("transpose out-degree(%d) = %d, want in-degree %d", v, tr.OutDegree(VertexID(v)), in[v])
+		}
+	}
+}
+
+func TestTransposeWeightsFollowEdges(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 2, 10)
+	b.AddEdge(1, 2, 20)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Transpose()
+	nb := tr.Neighbors(2)
+	ws := tr.EdgeWeights(2)
+	if len(nb) != 2 {
+		t.Fatalf("transposed in-edges of 2: %v", nb)
+	}
+	for i, u := range nb {
+		want := float32(10)
+		if u == 1 {
+			want = 20
+		}
+		if ws[i] != want {
+			t.Errorf("weight of %d->2 = %v, want %v", u, ws[i], want)
+		}
+	}
+}
+
+// property: for random edge lists, transpose preserves the edge multiset.
+func TestQuickTransposePreservesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n, false)
+		m := rng.Intn(100)
+		type pair struct{ u, v VertexID }
+		count := map[pair]int{}
+		for i := 0; i < m; i++ {
+			u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+			b.AddEdge(u, v, 0)
+			count[pair{u, v}]++
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		tr := g.Transpose()
+		for v := 0; v < n; v++ {
+			for _, u := range tr.Neighbors(VertexID(v)) {
+				count[pair{u, VertexID(v)}]--
+			}
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsDAG(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(0, 3, 0)
+	g, _ := b.Build()
+	if !g.IsDAG() {
+		t.Error("acyclic graph reported cyclic")
+	}
+	b = NewBuilder(3, false)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(2, 0, 0)
+	g, _ = b.Build()
+	if g.IsDAG() {
+		t.Error("3-cycle reported acyclic")
+	}
+	if !PaperExample().IsDAG() == PaperExample().IsDAG() {
+		t.Error("IsDAG not deterministic")
+	}
+}
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	g := PaperExample()
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Offsets, g2.Offsets) || !reflect.DeepEqual(g.Edges, g2.Edges) {
+		t.Fatal("round trip changed graph")
+	}
+}
+
+func TestAdjacencyRoundTripWeighted(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 1.25)
+	b.AddEdge(0, 2, 3.5)
+	b.AddEdge(2, 1, 0.125)
+	g, _ := b.Build()
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Weighted() {
+		t.Fatal("weights lost")
+	}
+	if !reflect.DeepEqual(g.Weights, g2.Weights) {
+		t.Fatalf("weights changed: %v vs %v", g.Weights, g2.Weights)
+	}
+}
+
+func TestReadAdjacencyErrors(t *testing.T) {
+	bad := []string{
+		"",                        // empty
+		"x y",                     // bad header ints
+		"3 1 wrong\n0 1",          // bad flag
+		"2 2\n0 1",                // edge count mismatch
+		"2 1\n0 9",                // out of range (caught by Build)
+		"2 1\nzz 1",               // bad source
+		"2 1\n0 q",                // bad destination
+		"2 1 weighted\n0 1:abc",   // bad weight
+		"2 1 weighted extra\n0 1", // too many header fields
+	}
+	for _, s := range bad {
+		if _, err := ReadAdjacency(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadAdjacency(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestReadAdjacencySkipsCommentsAndBlank(t *testing.T) {
+	in := "# header comment\n\n3 2\n# edge comment\n0 1 2\n"
+	g, err := ReadAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.OutDegree(0) != 2 {
+		t.Fatalf("parsed wrong graph: %v edges", g.NumEdges())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := PaperExample()
+	path := t.TempDir() + "/g.adj"
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", g2.NumEdges(), g.NumEdges())
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("LoadFile of missing path succeeded")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := PaperExample()
+	keep := make([]bool, 16)
+	for _, v := range []VertexID{0, 1, 2, 5} {
+		keep[v] = true
+	}
+	sub, toOld, err := Subgraph(g, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 4 {
+		t.Fatalf("sub vertices = %d", sub.NumVertices())
+	}
+	if !reflect.DeepEqual(toOld, []VertexID{0, 1, 2, 5}) {
+		t.Fatalf("toOld = %v", toOld)
+	}
+	// Edges inside {0,1,2,5}: 0->5, 1->0, 1->2, 1->5, 2->5, 5->2.
+	if sub.NumEdges() != 6 {
+		t.Fatalf("sub edges = %d, want 6", sub.NumEdges())
+	}
+	if _, _, err := Subgraph(g, keep[:3]); err == nil {
+		t.Fatal("Subgraph accepted short mask")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := PaperExample()
+	s := ComputeStats(g)
+	if s.NumVertices != 16 || s.NumEdges != 28 {
+		t.Fatalf("stats counts wrong: %+v", s)
+	}
+	if s.MaxIn != 5 {
+		t.Errorf("MaxIn = %d, want 5 (vertex 5)", s.MaxIn)
+	}
+	if s.MaxOut != 4 {
+		t.Errorf("MaxOut = %d, want 4 (vertex 9)", s.MaxOut)
+	}
+	if s.GiniOut < 0 || s.GiniOut > 1 {
+		t.Errorf("GiniOut = %v out of [0,1]", s.GiniOut)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	// Uniform distribution has Gini 0.
+	b := NewBuilder(4, false)
+	for v := VertexID(0); v < 4; v++ {
+		b.AddEdge(v, (v+1)%4, 0)
+	}
+	u, _ := b.Build()
+	if gs := ComputeStats(u); gs.GiniOut > 1e-9 {
+		t.Errorf("uniform Gini = %v, want 0", gs.GiniOut)
+	}
+	if es := ComputeStats(&CSR{Offsets: []int64{0}}); es.NumVertices != 0 {
+		t.Errorf("empty graph stats wrong")
+	}
+}
+
+// property: the text adjacency format round-trips arbitrary weighted graphs.
+func TestQuickAdjacencyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		b := NewBuilder(n, true)
+		m := rng.Intn(120)
+		for i := 0; i < m; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), rng.Float32()*100)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteAdjacency(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadAdjacency(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.Offsets, g2.Offsets) &&
+			reflect.DeepEqual(g.Edges, g2.Edges) &&
+			reflect.DeepEqual(g.Weights, g2.Weights)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// property: the binary format round-trips arbitrary graphs bit-exactly.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, weighted bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		b := NewBuilder(n, weighted)
+		m := rng.Intn(120)
+		for i := 0; i < m; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), rng.Float32())
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.Offsets, g2.Offsets) &&
+			reflect.DeepEqual(g.Edges, g2.Edges) &&
+			reflect.DeepEqual(g.Weights, g2.Weights)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	deg := []int32{0, 0, 1, 1, 2, 3, 4, 7, 8}
+	bins := DegreeHistogram(deg)
+	// bin 0: degree 0 (x2); bin 1: degree 1 (x2); bin 2: 2-3 (x2);
+	// bin 3: 4-7 (x2); bin 4: 8-15 (x1).
+	want := []int64{2, 2, 2, 2, 1}
+	if len(bins) != len(want) {
+		t.Fatalf("bins = %v, want %v", bins, want)
+	}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("bin %d = %d, want %d", i, bins[i], want[i])
+		}
+	}
+	if got := DegreeHistogram(nil); len(got) != 0 {
+		t.Fatal("empty histogram not empty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	deg := []int32{5, 1, 9, 3, 7}
+	if Percentile(deg, 0) != 1 || Percentile(deg, 100) != 9 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(deg, 50) != 5 {
+		t.Fatalf("median = %d, want 5", Percentile(deg, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+	if Percentile(deg, -5) != 1 || Percentile(deg, 200) != 9 {
+		t.Fatal("clamping wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Adjacency-list text format (the paper's "graph file stored in an adjacency
+// list format"):
+//
+//	# comment lines and blank lines are ignored
+//	<numVertices> <numEdges> [weighted]
+//	<src> <dst1>[:w1] <dst2>[:w2] ...
+//
+// Vertices with no out-edges may be omitted. The header edge count is
+// checked against the body.
+
+// WriteAdjacency writes g in the adjacency-list text format.
+func WriteAdjacency(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	header := fmt.Sprintf("%d %d", g.NumVertices(), g.NumEdges())
+	if g.Weighted() {
+		header += " weighted"
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(VertexID(v))
+		if len(nb) == 0 {
+			continue
+		}
+		bw.WriteString(strconv.Itoa(v))
+		ws := g.EdgeWeights(VertexID(v))
+		for i, d := range nb {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(int(d)))
+			if ws != nil {
+				bw.WriteByte(':')
+				bw.WriteString(strconv.FormatFloat(float64(ws[i]), 'g', -1, 32))
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacency parses the adjacency-list text format into a validated CSR.
+func ReadAdjacency(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var (
+		b        *Builder
+		declared int64
+		lineNo   int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if b == nil {
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("graph: line %d: bad header %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[0])
+			}
+			m, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", lineNo, fields[1])
+			}
+			weighted := false
+			if len(fields) == 3 {
+				if fields[2] != "weighted" {
+					return nil, fmt.Errorf("graph: line %d: bad header flag %q", lineNo, fields[2])
+				}
+				weighted = true
+			}
+			b = NewBuilder(n, weighted)
+			declared = m
+			continue
+		}
+		src64, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+		}
+		src := VertexID(src64)
+		for _, tok := range fields[1:] {
+			dstTok, wTok, hasW := strings.Cut(tok, ":")
+			dst64, err := strconv.ParseInt(dstTok, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad destination %q", lineNo, tok)
+			}
+			var w float32
+			if hasW {
+				wf, err := strconv.ParseFloat(wTok, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, tok)
+				}
+				w = float32(wf)
+			}
+			b.AddEdge(src, VertexID(dst64), w)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if int64(b.NumEdges()) != declared {
+		return nil, fmt.Errorf("graph: header declares %d edges, body has %d", declared, b.NumEdges())
+	}
+	return b.Build()
+}
+
+// LoadFile reads an adjacency-list graph file from disk.
+func LoadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAdjacency(f)
+}
+
+// SaveFile writes g to disk in the adjacency-list format.
+func SaveFile(path string, g *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAdjacency(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

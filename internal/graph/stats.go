@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph's degree structure. The partitioning experiments
+// (Fig. 6) depend on skew: power-law graphs concentrate high out-degree
+// vertices, which is what breaks continuous partitioning.
+type Stats struct {
+	NumVertices int
+	NumEdges    int64
+	MaxOut      int32
+	MaxIn       int32
+	MeanDegree  float64
+	// GiniOut is the Gini coefficient of the out-degree distribution:
+	// 0 = perfectly uniform, →1 = extremely skewed.
+	GiniOut float64
+	// FrontLoad is the fraction of all edges owned by the first half of the
+	// vertex ID range; >0.5 means high-degree vertices cluster at the front
+	// (the Pokec property the paper calls out).
+	FrontLoad float64
+}
+
+// ComputeStats scans g once per metric and returns its Stats.
+func ComputeStats(g *CSR) Stats {
+	n := g.NumVertices()
+	s := Stats{NumVertices: n, NumEdges: g.NumEdges()}
+	if n == 0 {
+		return s
+	}
+	s.MeanDegree = float64(s.NumEdges) / float64(n)
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	for v := 0; v < n; v++ {
+		if out[v] > s.MaxOut {
+			s.MaxOut = out[v]
+		}
+		if in[v] > s.MaxIn {
+			s.MaxIn = in[v]
+		}
+	}
+	var front int64
+	for v := 0; v < n/2; v++ {
+		front += int64(out[v])
+	}
+	if s.NumEdges > 0 {
+		s.FrontLoad = float64(front) / float64(s.NumEdges)
+	}
+	s.GiniOut = gini(out)
+	return s
+}
+
+// gini computes the Gini coefficient of a non-negative integer distribution.
+func gini(deg []int32) float64 {
+	n := len(deg)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int32, n)
+	copy(sorted, deg)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var cum, weighted float64
+	for i, d := range sorted {
+		cum += float64(d)
+		weighted += float64(d) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("V=%d E=%d maxOut=%d maxIn=%d mean=%.2f gini=%.3f frontLoad=%.3f",
+		s.NumVertices, s.NumEdges, s.MaxOut, s.MaxIn, s.MeanDegree, s.GiniOut, s.FrontLoad)
+}
+
+// DegreeHistogram buckets a degree distribution into power-of-two bins:
+// bin i counts vertices with degree in [2^(i-1), 2^i) (bin 0 counts degree
+// 0). The log-log shape of this histogram is the standard power-law
+// diagnostic.
+func DegreeHistogram(deg []int32) []int64 {
+	var bins []int64
+	grow := func(i int) {
+		for len(bins) <= i {
+			bins = append(bins, 0)
+		}
+	}
+	for _, d := range deg {
+		i := 0
+		for v := d; v > 0; v >>= 1 {
+			i++
+		}
+		grow(i)
+		bins[i]++
+	}
+	return bins
+}
+
+// Percentile returns the p-th percentile (0..100) of a degree distribution
+// using nearest-rank.
+func Percentile(deg []int32, p float64) int32 {
+	if len(deg) == 0 {
+		return 0
+	}
+	sorted := make([]int32, len(deg))
+	copy(sorted, deg)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,400 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetgraph/internal/vec"
+)
+
+func TestDeviceSpecs(t *testing.T) {
+	cpu, mic := CPU(), MIC()
+	if err := cpu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mic.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Threads() != 16 {
+		t.Errorf("CPU threads = %d, want 16", cpu.Threads())
+	}
+	if mic.Threads() != 240 {
+		t.Errorf("MIC threads = %d, want 240 (60 cores x 4)", mic.Threads())
+	}
+	if cpu.SIMDWidth != vec.WidthCPU || mic.SIMDWidth != vec.WidthMIC {
+		t.Error("SIMD widths do not match paper's devices")
+	}
+	// Paper §V-F: ~11x sequential gap despite 2.45x clock gap.
+	ratio := mic.ScalarNS / cpu.ScalarNS
+	if ratio < 9 || ratio > 13 {
+		t.Errorf("MIC/CPU scalar cost ratio = %.1f, want ~11", ratio)
+	}
+	if mic.OMPLockNS <= mic.LockNS || cpu.OMPLockNS <= cpu.LockNS {
+		t.Error("OpenMP locks must be costlier than framework locks (paper §V-C)")
+	}
+	if mic.MemBandwidthGBs <= cpu.MemBandwidthGBs {
+		t.Error("MIC must have higher aggregate bandwidth than CPU")
+	}
+}
+
+func TestDeviceSpecValidate(t *testing.T) {
+	d := CPU()
+	d.Cores = 0
+	if d.Validate() == nil {
+		t.Error("accepted zero cores")
+	}
+	d = CPU()
+	d.SIMDWidth = 3
+	if d.Validate() == nil {
+		t.Error("accepted invalid SIMD width")
+	}
+	d = CPU()
+	d.ScalarNS = 0
+	if d.Validate() == nil {
+		t.Error("accepted zero scalar cost")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := PCIe()
+	zero := l.TransferSeconds(0)
+	if zero != l.LatencyUS*1e-6 {
+		t.Errorf("zero-byte transfer = %v, want pure latency", zero)
+	}
+	oneMB := l.TransferSeconds(1 << 20)
+	if oneMB <= zero {
+		t.Error("transfer time must grow with bytes")
+	}
+	// 1 GB at 5.5 GB/s ~ 0.18 s.
+	oneGB := l.TransferSeconds(1 << 30)
+	if oneGB < 0.15 || oneGB > 0.25 {
+		t.Errorf("1GB transfer = %v s, want ~0.18", oneGB)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Messages: 10, VecRows: 3, SerialFloorMsgs: 5, Exchanges: 1}
+	b := Counters{Messages: 5, VecRows: 2, SerialFloorMsgs: 9, BytesSent: 100}
+	a.Add(b)
+	if a.Messages != 15 || a.VecRows != 5 || a.BytesSent != 100 || a.Exchanges != 1 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.SerialFloorMsgs != 9 {
+		t.Errorf("SerialFloorMsgs should take max, got %d", a.SerialFloorMsgs)
+	}
+}
+
+func TestContentionStatsBasics(t *testing.T) {
+	// Single thread: no contention by definition.
+	if e, f := ContentionStats([]int32{100, 100}, 1); e != 0 || f != 0 {
+		t.Errorf("1 thread: expected %v floor %v, want 0,0", e, f)
+	}
+	if e, f := ContentionStats(nil, 8); e != 0 || f != 0 {
+		t.Errorf("empty: %v %v", e, f)
+	}
+	if e, f := ContentionStats([]int32{0, 0}, 8); e != 0 || f != 0 {
+		t.Errorf("zero messages: %v %v", e, f)
+	}
+	// Uniform spread over many columns, few threads: tiny contention.
+	cols := make([]int32, 10000)
+	for i := range cols {
+		cols[i] = 10
+	}
+	e, f := ContentionStats(cols, 16)
+	if f != 10 {
+		t.Errorf("uniform: hottest column = %d, want 10", f)
+	}
+	// expected = sum (15 * 10/100000) * 10 = 10000 * 0.015 = 150
+	if math.Abs(e-150) > 1e-6 {
+		t.Errorf("uniform expected = %v, want 150", e)
+	}
+	// One hot column with everything: saturates (one collision per
+	// message, capped).
+	e, f = ContentionStats([]int32{100000, 1}, 240)
+	if f != 100000 {
+		t.Errorf("hottest column = %d, want 100000", f)
+	}
+	if e < 100000 || e > 100001 {
+		t.Errorf("hot column expected = %v, want ~100000 (capped)", e)
+	}
+}
+
+// property: contention expectation is bounded by total messages and
+// monotone in thread count.
+func TestQuickContentionBounds(t *testing.T) {
+	f := func(raw []uint16, threadsRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cols := make([]int32, len(raw))
+		var total float64
+		for i, v := range raw {
+			cols[i] = int32(v % 1000)
+			total += float64(cols[i])
+		}
+		threads := 2 + int(threadsRaw)%256
+		e1, _ := ContentionStats(cols, threads)
+		e2, _ := ContentionStats(cols, threads+10)
+		return e1 >= 0 && e1 <= total+1e-9 && e2+1e-9 >= e1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []AppProfile{PageRankProfile, BFSProfile, SSSPProfile, SCProfile, TopoSortProfile} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if !SCProfile.Branchy {
+		t.Error("SC must be branchy (paper: CPU wins on SC due to conditionals)")
+	}
+	if BFSProfile.Reducible || SCProfile.Reducible {
+		t.Error("BFS and SC must not use SIMD reduction (paper §V-D)")
+	}
+	bad := AppProfile{Name: "x", GenOps: 0, ProcOps: 1, UpdOps: 1, MsgBytes: 4}
+	if bad.Validate() == nil {
+		t.Error("accepted zero GenOps")
+	}
+	bad = AppProfile{Name: "x", GenOps: 1, ProcOps: 1, UpdOps: 1, MsgBytes: 0}
+	if bad.Validate() == nil {
+		t.Error("accepted zero MsgBytes")
+	}
+}
+
+func TestNewCostModel(t *testing.T) {
+	if _, err := NewCostModel(CPU(), PageRankProfile); err != nil {
+		t.Fatal(err)
+	}
+	bad := CPU()
+	bad.Cores = -1
+	if _, err := NewCostModel(bad, PageRankProfile); err == nil {
+		t.Error("accepted invalid device")
+	}
+	if _, err := NewCostModel(CPU(), AppProfile{}); err == nil {
+		t.Error("accepted invalid profile")
+	}
+	m, _ := NewCostModel(MIC(), SSSPProfile)
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// A medium iteration's counters for cost sanity checks.
+func sampleCounters() Counters {
+	return Counters{
+		Iterations:      1,
+		Steps:           3,
+		ActiveVertices:  100000,
+		EdgesTraversed:  2000000,
+		Messages:        2000000,
+		ColumnsUsed:     90000,
+		VecRows:         220000, // ~9.1 lanes of 16 occupied
+		ReducedMessages: 2000000,
+		UpdatedVertices: 95000,
+		TaskFetches:     5000,
+	}
+}
+
+func TestVectorizationSpeedupDirection(t *testing.T) {
+	c := sampleCounters()
+	for _, dev := range []DeviceSpec{CPU(), MIC()} {
+		m, _ := NewCostModel(dev, PageRankProfile)
+		vecT := m.Process(c, dev.Threads(), true)
+		novecT := m.Process(c, dev.Threads(), false)
+		if vecT >= novecT {
+			t.Errorf("%s: vectorized %v >= scalar %v", dev.Name, vecT, novecT)
+		}
+	}
+	// MIC gains more from vectorization than CPU (wider lanes) when lane
+	// occupancy is comparable.
+	cCPU := c
+	cCPU.VecRows = 625000 // 2M/4 lanes * 0.8 occupancy
+	mCPU, _ := NewCostModel(CPU(), PageRankProfile)
+	mMIC, _ := NewCostModel(MIC(), PageRankProfile)
+	spCPU := mCPU.Process(cCPU, 16, false) / mCPU.Process(cCPU, 16, true)
+	spMIC := mMIC.Process(c, 240, false) / mMIC.Process(c, 240, true)
+	if spMIC <= spCPU {
+		t.Errorf("MIC vec speedup %v <= CPU %v", spMIC, spCPU)
+	}
+}
+
+func TestNonReducibleAppIgnoresVectorFlag(t *testing.T) {
+	c := sampleCounters()
+	m, _ := NewCostModel(MIC(), SCProfile)
+	if m.Process(c, 240, true) != m.Process(c, 240, false) {
+		t.Error("SC must cost the same with and without the vector flag")
+	}
+}
+
+func TestConflictsRaiseLockingCost(t *testing.T) {
+	c := sampleCounters()
+	c.ConflictExpected = 800000 // hot receive pattern
+	m, _ := NewCostModel(MIC(), TopoSortProfile)
+	with := m.GenerateLocking(c, 240)
+	c2 := c
+	c2.ConflictExpected = 0
+	without := m.GenerateLocking(c2, 240)
+	if with <= without {
+		t.Errorf("conflicts did not raise locking cost: %v <= %v", with, without)
+	}
+	wantDelta := 800000 * m.Dev.ConflictNS * 1e-9 / 240
+	if got := with - without; got < wantDelta*0.99 || got > wantDelta*1.01 {
+		t.Errorf("conflict surcharge = %v, want ~%v", got, wantDelta)
+	}
+	// OMP pays the same collision structure with its own lock cost.
+	if m.OMP(c, 240) <= m.OMP(c2, 240) {
+		t.Error("OMP ignored conflicts")
+	}
+}
+
+func TestPipeliningBeatsLockingUnderContention(t *testing.T) {
+	// High fan-in counters (TopoSort-like on MIC): locking should lose.
+	c := sampleCounters()
+	c.ConflictExpected = 800000
+	c.SerialFloorMsgs = 120000
+	m, _ := NewCostModel(MIC(), TopoSortProfile)
+	w, mv := DefaultPipeSplit(MIC())
+	lock := m.GenerateLocking(c, 240)
+	pipe := m.GeneratePipelined(c, w, mv)
+	if pipe >= lock {
+		t.Errorf("under heavy contention, pipe %v >= lock %v", pipe, lock)
+	}
+	// Low-volume counters (BFS-like): locking should win on MIC too,
+	// because the pipeline's extra fork/join coordination dominates when
+	// there is little to move.
+	c = Counters{Steps: 3, ActiveVertices: 3000, EdgesTraversed: 15000,
+		Messages: 15000, ColumnsUsed: 9000, ReducedMessages: 15000,
+		UpdatedVertices: 3000, TaskFetches: 400}
+	mb, _ := NewCostModel(MIC(), BFSProfile)
+	lock = mb.GenerateLocking(c, 240)
+	pipe = mb.GeneratePipelined(c, w, mv)
+	if lock >= pipe {
+		t.Errorf("for sparse messaging, lock %v >= pipe %v", lock, pipe)
+	}
+}
+
+func TestSequentialGap(t *testing.T) {
+	c := sampleCounters()
+	mc, _ := NewCostModel(CPU(), PageRankProfile)
+	mm, _ := NewCostModel(MIC(), PageRankProfile)
+	gap := mm.Sequential(c) / mc.Sequential(c)
+	if gap < 9 || gap > 13 {
+		t.Errorf("MIC/CPU sequential gap = %v, want ~11 (paper §V-F)", gap)
+	}
+}
+
+func TestUpdateAndExchangeCosts(t *testing.T) {
+	c := sampleCounters()
+	m, _ := NewCostModel(CPU(), PageRankProfile)
+	u16 := m.Update(c, 16)
+	u1 := m.Update(c, 1)
+	if u16 >= u1 {
+		t.Errorf("more threads should reduce update time: %v >= %v", u16, u1)
+	}
+}
+
+func TestDefaultPipeSplit(t *testing.T) {
+	w, m := DefaultPipeSplit(MIC())
+	if w != 180 || m != 60 {
+		t.Errorf("MIC split = %d+%d, want 180+60 (paper's best)", w, m)
+	}
+	w, m = DefaultPipeSplit(CPU())
+	if w != 12 || m != 4 {
+		t.Errorf("CPU split = %d+%d, want 12+4", w, m)
+	}
+	one := DeviceSpec{Cores: 1, ThreadsPerCore: 1}
+	w, m = DefaultPipeSplit(one)
+	if m < 1 || w < 0 {
+		t.Errorf("degenerate split = %d+%d", w, m)
+	}
+}
+
+// property: all phase costs are non-negative and monotone in message volume.
+func TestQuickCostMonotone(t *testing.T) {
+	m, _ := NewCostModel(MIC(), SSSPProfile)
+	f := func(msgsRaw uint32) bool {
+		msgs := int64(msgsRaw % 10_000_000)
+		c := Counters{EdgesTraversed: msgs, Messages: msgs, ReducedMessages: msgs,
+			VecRows: msgs / 10, UpdatedVertices: msgs / 20, ColumnsUsed: msgs / 30}
+		c2 := c
+		c2.EdgesTraversed *= 2
+		c2.Messages *= 2
+		c2.ReducedMessages *= 2
+		c2.VecRows *= 2
+		lock1 := m.GenerateLocking(c, 240)
+		lock2 := m.GenerateLocking(c2, 240)
+		proc1 := m.Process(c, 240, true)
+		proc2 := m.Process(c2, 240, true)
+		return lock1 >= 0 && lock2 >= lock1 && proc1 >= 0 && proc2 >= proc1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOMPCostStructure(t *testing.T) {
+	c := sampleCounters()
+	for _, dev := range []DeviceSpec{CPU(), MIC()} {
+		m, _ := NewCostModel(dev, PageRankProfile)
+		omp := m.OMP(c, dev.Threads())
+		if omp <= 0 {
+			t.Errorf("%s: OMP time %v", dev.Name, omp)
+		}
+		// More threads help.
+		if m.OMP(c, 2) <= omp {
+			t.Errorf("%s: OMP time not reduced by threads", dev.Name)
+		}
+	}
+	// OpenMP locks cost more per message than the framework's.
+	mic, _ := NewCostModel(MIC(), PageRankProfile)
+	lockOnly := Counters{Messages: 1_000_000}
+	frameworkLocks := mic.GenerateLocking(lockOnly, 240)
+	ompLocks := mic.OMP(lockOnly, 240)
+	if ompLocks <= frameworkLocks {
+		t.Errorf("OMP per-message lock cost (%v) not above framework's (%v)", ompLocks, frameworkLocks)
+	}
+}
+
+func TestGeneratePipelinedBottleneck(t *testing.T) {
+	// The pipelined step takes as long as its slower side: starving the
+	// movers must raise the time.
+	m, _ := NewCostModel(MIC(), PageRankProfile)
+	c := Counters{EdgesTraversed: 2_000_000, Messages: 2_000_000, QueueOps: 4_000_000, ColumnsUsed: 60_000}
+	balanced := m.GeneratePipelined(c, 180, 60)
+	moverStarved := m.GeneratePipelined(c, 235, 5)
+	if moverStarved <= balanced {
+		t.Errorf("5 movers (%v) not slower than 60 (%v)", moverStarved, balanced)
+	}
+	workerStarved := m.GeneratePipelined(c, 5, 235)
+	if workerStarved <= balanced {
+		t.Errorf("5 workers (%v) not slower than 180 (%v)", workerStarved, balanced)
+	}
+}
+
+func TestSequentialScalesWithBranchiness(t *testing.T) {
+	c := sampleCounters()
+	plain, _ := NewCostModel(MIC(), PageRankProfile)
+	branchy, _ := NewCostModel(MIC(), SCProfile)
+	// Same counters: the branchy profile must cost more per op.
+	opsPlain := plain.Sequential(c) / (PageRankProfile.GenOps + PageRankProfile.ProcOps + PageRankProfile.UpdOps)
+	opsBranchy := branchy.Sequential(c) / (SCProfile.GenOps + SCProfile.ProcOps + SCProfile.UpdOps)
+	if opsBranchy <= opsPlain {
+		t.Errorf("branch penalty missing: %v <= %v", opsBranchy, opsPlain)
+	}
+}
+
+func TestProcessLaunchFloor(t *testing.T) {
+	// Even an empty processing step costs one launch.
+	m, _ := NewCostModel(MIC(), SSSPProfile)
+	empty := Counters{}
+	if got := m.Process(empty, 240, true); got < MIC().StepLaunchNS*1e-9 {
+		t.Errorf("empty process %v below launch floor", got)
+	}
+	if got := m.Update(empty, 240); got < MIC().StepLaunchNS*1e-9 {
+		t.Errorf("empty update %v below launch floor", got)
+	}
+}

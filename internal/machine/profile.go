@@ -1,0 +1,54 @@
+package machine
+
+import "fmt"
+
+// AppProfile characterizes an application's per-event work for the cost
+// model: how many edge-grain scalar operations one event of each kind costs.
+// These are properties of the user functions (Listing 1 and §V-B of the
+// paper), not of the device.
+type AppProfile struct {
+	Name string
+	// GenOps: scalar ops to generate one message (read edge, compute
+	// value, form the message).
+	GenOps float64
+	// ProcOps: scalar ops to reduce one message (or, on the vector path,
+	// per-lane work of one row op relative to VecOpNS).
+	ProcOps float64
+	// UpdOps: scalar ops to update one vertex from its reduced message.
+	UpdOps float64
+	// Branchy marks branch-heavy user functions (SC's sort-and-merge),
+	// which pay the device's BranchPenalty.
+	Branchy bool
+	// MsgBytes is the size of one message value on the wire and in the
+	// buffer (plus a 4-byte destination ID accounted separately).
+	MsgBytes int
+	// Reducible reports whether message processing is an associative,
+	// commutative reduction over a basic type, i.e. whether the SIMD path
+	// applies (true for PageRank/SSSP/TopoSort; false for BFS, which has
+	// no reduction, and SC, whose messages are cluster lists).
+	Reducible bool
+}
+
+// Validate checks the profile's constants.
+func (p AppProfile) Validate() error {
+	if p.GenOps <= 0 || p.ProcOps < 0 || p.UpdOps <= 0 {
+		return fmt.Errorf("machine: profile %q has non-positive op costs", p.Name)
+	}
+	if p.MsgBytes <= 0 {
+		return fmt.Errorf("machine: profile %q has non-positive MsgBytes", p.Name)
+	}
+	return nil
+}
+
+// Profiles for the five evaluated applications. Op weights follow the
+// user-function bodies: PageRank divides by out-degree during generation;
+// SSSP adds a weight and compares; BFS writes level+1 with no reduction;
+// TopoSort sends constant 1 and decrements a counter; SC builds, merges and
+// sorts cluster lists (heavily branchy, large messages).
+var (
+	PageRankProfile = AppProfile{Name: "PageRank", GenOps: 4.0, ProcOps: 2.0, UpdOps: 4.0, MsgBytes: 4, Reducible: true}
+	BFSProfile      = AppProfile{Name: "BFS", GenOps: 3.0, ProcOps: 1.0, UpdOps: 3.0, MsgBytes: 4, Reducible: false}
+	SSSPProfile     = AppProfile{Name: "SSSP", GenOps: 4.0, ProcOps: 2.0, UpdOps: 4.0, MsgBytes: 4, Reducible: true}
+	SCProfile       = AppProfile{Name: "SC", GenOps: 12.0, ProcOps: 20.0, UpdOps: 15.0, Branchy: true, MsgBytes: 96, Reducible: false}
+	TopoSortProfile = AppProfile{Name: "TopoSort", GenOps: 3.0, ProcOps: 2.0, UpdOps: 3.0, MsgBytes: 4, Reducible: true}
+)

@@ -1,0 +1,144 @@
+// Package machine models the two devices of the paper's evaluation node —
+// an Intel Xeon E5-2680 CPU and an Intel Xeon Phi SE10P coprocessor — plus
+// the PCIe link between them.
+//
+// Reproduction note (see DESIGN.md §2): this repository runs on commodity
+// hardware without a Xeon Phi, SIMD intrinsics, or 240 hardware threads. The
+// runtime therefore executes all data structures and concurrency logic for
+// real (goroutines, real locks, real queues, real buffers — correctness is
+// never simulated), while *time* on each modeled device is computed by the
+// CostModel in this package from event counters recorded during that real
+// execution. All cross-device and cross-scheme performance comparisons in the
+// benchmark harness are over this simulated time; wall-clock time on the host
+// is reported separately and makes no CPU-vs-MIC claim.
+package machine
+
+import (
+	"fmt"
+
+	"hetgraph/internal/vec"
+)
+
+// DeviceSpec describes one compute device. Cost constants are in
+// nanoseconds of simulated device time; see calib.go for their derivation.
+type DeviceSpec struct {
+	Name           string
+	Cores          int
+	ThreadsPerCore int
+	ClockGHz       float64
+	SIMDWidth      vec.Width // float32 lanes per SIMD register
+
+	// ScalarNS is the cost of one edge-grain scalar operation (read an
+	// edge, compute a candidate message value, touch the destination) on
+	// one thread. The MIC's in-order low-frequency cores run this class of
+	// irregular code ~11x slower than a CPU core (paper §V-F).
+	ScalarNS float64
+	// BranchPenalty multiplies ScalarNS for branch-heavy user functions
+	// (Semi-Clustering's sort-and-merge); the paper attributes the CPU's SC
+	// advantage to "the more complex conditional instructions involved,
+	// which CPU is better at".
+	BranchPenalty float64
+	// VecOpNS is the cost of one SIMD row operation over SIMDWidth lanes.
+	VecOpNS float64
+	// MemBandwidthGBs is the aggregate streaming bandwidth shared by all
+	// threads; the CPU's is much smaller, which is why message buffering
+	// costs offset the framework's benefits there (paper §V-C).
+	MemBandwidthGBs float64
+	// LockNS is the uncontended cost of a lock acquire+release.
+	LockNS float64
+	// ConflictNS is the extra cost when an acquisition collides with
+	// another thread (serialization + coherence traffic across the ring).
+	ConflictNS float64
+	// OMPLockNS is the cost of an OpenMP lock operation used by the
+	// baseline codes; the paper observes these are more expensive than the
+	// framework's hand-rolled spinlocks, severely so on the MIC.
+	OMPLockNS float64
+	// QueueOpNS is one SPSC message-queue push or pop in the pipelining
+	// scheme.
+	QueueOpNS float64
+	// FetchNS is one dynamic-scheduler task fetch (atomic fetch-and-add).
+	FetchNS float64
+	// StepLaunchNS is the fork/join overhead of launching one parallel
+	// step across all threads; with 240+ threads on in-order cores this is
+	// what makes light iterations (BFS tails) expensive on the MIC.
+	StepLaunchNS float64
+}
+
+// Threads returns the total hardware thread count.
+func (d DeviceSpec) Threads() int { return d.Cores * d.ThreadsPerCore }
+
+// Validate checks that the spec is usable.
+func (d DeviceSpec) Validate() error {
+	if d.Cores <= 0 || d.ThreadsPerCore <= 0 {
+		return fmt.Errorf("machine: %s: non-positive thread geometry", d.Name)
+	}
+	if err := d.SIMDWidth.Validate(); err != nil {
+		return fmt.Errorf("machine: %s: %w", d.Name, err)
+	}
+	if d.ScalarNS <= 0 || d.VecOpNS <= 0 || d.MemBandwidthGBs <= 0 {
+		return fmt.Errorf("machine: %s: non-positive cost constants", d.Name)
+	}
+	return nil
+}
+
+// CPU returns the spec of the evaluation node's Xeon E5-2680
+// (16 cores, 2.7 GHz, SSE4.2).
+func CPU() DeviceSpec {
+	return DeviceSpec{
+		Name:            "CPU",
+		Cores:           16,
+		ThreadsPerCore:  1,
+		ClockGHz:        2.7,
+		SIMDWidth:       vec.WidthCPU,
+		ScalarNS:        cpuScalarNS,
+		BranchPenalty:   cpuBranchPenalty,
+		VecOpNS:         cpuVecOpNS,
+		MemBandwidthGBs: cpuMemBWGBs,
+		LockNS:          cpuLockNS,
+		ConflictNS:      cpuConflictNS,
+		OMPLockNS:       cpuOMPLockNS,
+		QueueOpNS:       cpuQueueOpNS,
+		FetchNS:         cpuFetchNS,
+		StepLaunchNS:    cpuStepLaunchNS,
+	}
+}
+
+// MIC returns the spec of the Xeon Phi SE10P (61 cores at 1.1 GHz, 4
+// hyperthreads each, IMCI). One core is conventionally reserved for the OS,
+// matching the paper's best configurations of 240 threads.
+func MIC() DeviceSpec {
+	return DeviceSpec{
+		Name:            "MIC",
+		Cores:           60,
+		ThreadsPerCore:  4,
+		ClockGHz:        1.1,
+		SIMDWidth:       vec.WidthMIC,
+		ScalarNS:        micScalarNS,
+		BranchPenalty:   micBranchPenalty,
+		VecOpNS:         micVecOpNS,
+		MemBandwidthGBs: micMemBWGBs,
+		LockNS:          micLockNS,
+		ConflictNS:      micConflictNS,
+		OMPLockNS:       micOMPLockNS,
+		QueueOpNS:       micQueueOpNS,
+		FetchNS:         micFetchNS,
+		StepLaunchNS:    micStepLaunchNS,
+	}
+}
+
+// Link models the PCIe interconnect used by MPI symmetric mode.
+type Link struct {
+	BandwidthGBs float64 // sustained host<->device bandwidth
+	LatencyUS    float64 // per-exchange latency (MPI message setup)
+}
+
+// PCIe returns the modeled PCIe 2.0 x16 link of the evaluation node.
+func PCIe() Link {
+	return Link{BandwidthGBs: pcieBWGBs, LatencyUS: pcieLatencyUS}
+}
+
+// TransferSeconds returns the simulated time to move b bytes in one
+// exchange over the link.
+func (l Link) TransferSeconds(b int64) float64 {
+	return l.LatencyUS*1e-6 + float64(b)/(l.BandwidthGBs*1e9)
+}

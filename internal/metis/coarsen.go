@@ -1,0 +1,151 @@
+package metis
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// level is one rung of the multilevel hierarchy: the coarse graph plus the
+// mapping from the finer graph's vertices to coarse vertices.
+type level struct {
+	g    *wgraph
+	map_ []int32 // finer vertex -> coarse vertex (nil at the finest level)
+}
+
+// coarsenOnce contracts g by heavy-edge matching: each unmatched vertex, in
+// randomized order, matches with its heaviest-edge unmatched neighbor (or
+// stays single). Returns the coarse graph and the fine→coarse map, or ok =
+// false when matching stopped making progress (graph too tangled to shrink).
+func coarsenOnce(g *wgraph, rng *rand.Rand) (coarse *wgraph, fineToCoarse []int32, ok bool) {
+	n := g.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit low-degree vertices first (random within a degree class): they
+	// have few matching options, and letting hubs match early would glue
+	// unrelated regions together through them — ruinous on power-law
+	// graphs. This is Metis' sorted heavy-edge matching.
+	order := rng.Perm(n)
+	sort.SliceStable(order, func(i, j int) bool {
+		di := g.xadj[order[i]+1] - g.xadj[order[i]]
+		dj := g.xadj[order[j]+1] - g.xadj[order[j]]
+		return di < dj
+	})
+	matched := 0
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		var bestDeg int64 = 1 << 62
+		for i := g.xadj[u]; i < g.xadj[u+1]; i++ {
+			v := g.adjncy[i]
+			if match[v] >= 0 || int(v) == u {
+				continue
+			}
+			// Heaviest edge wins; ties prefer the lowest-degree partner.
+			// Without hub avoidance, power-law graphs match everything
+			// through a few hubs and the coarse graph loses all locality.
+			vdeg := g.xadj[v+1] - g.xadj[v]
+			if g.adjwgt[i] > bestW || (g.adjwgt[i] == bestW && vdeg < bestDeg) {
+				bestW = g.adjwgt[i]
+				bestDeg = vdeg
+				best = v
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = int32(u)
+			matched += 2
+		} else {
+			match[u] = int32(u)
+		}
+	}
+	if matched < n/10 {
+		return nil, nil, false
+	}
+	// Assign coarse IDs: the lower endpoint of each pair owns the ID.
+	fineToCoarse = make([]int32, n)
+	next := int32(0)
+	for u := 0; u < n; u++ {
+		m := int(match[u])
+		if m >= u {
+			fineToCoarse[u] = next
+			if m != u {
+				fineToCoarse[m] = next
+			}
+			next++
+		}
+	}
+	// Build the coarse graph: sum vertex weights, merge adjacency.
+	cn := int(next)
+	cvwgt := make([]int64, cn)
+	for u := 0; u < n; u++ {
+		cvwgt[fineToCoarse[u]] += g.vwgt[u]
+	}
+	// Accumulate coarse adjacency with a per-vertex scatter map.
+	type pair struct {
+		v int32
+		w int64
+	}
+	lists := make([][]pair, cn)
+	markVal := make([]int32, cn) // coarse neighbor -> slot+1 marker
+	markOwner := make([]int32, cn)
+	for i := range markOwner {
+		markOwner[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		cu := fineToCoarse[u]
+		for i := g.xadj[u]; i < g.xadj[u+1]; i++ {
+			cv := fineToCoarse[g.adjncy[i]]
+			if cv == cu {
+				continue
+			}
+			if markOwner[cv] == cu {
+				lists[cu][markVal[cv]].w += g.adjwgt[i]
+			} else {
+				markOwner[cv] = cu
+				markVal[cv] = int32(len(lists[cu]))
+				lists[cu] = append(lists[cu], pair{cv, g.adjwgt[i]})
+			}
+		}
+	}
+	coarse = &wgraph{xadj: make([]int64, cn+1), vwgt: cvwgt}
+	for u := 0; u < cn; u++ {
+		coarse.xadj[u+1] = coarse.xadj[u] + int64(len(lists[u]))
+	}
+	m := coarse.xadj[cn]
+	coarse.adjncy = make([]int32, m)
+	coarse.adjwgt = make([]int64, m)
+	for u := 0; u < cn; u++ {
+		p := coarse.xadj[u]
+		for _, e := range lists[u] {
+			coarse.adjncy[p] = e.v
+			coarse.adjwgt[p] = e.w
+			p++
+		}
+	}
+	return coarse, fineToCoarse, true
+}
+
+// coarsen builds the hierarchy down to ~coarseTarget vertices (but never
+// fewer than 4*k so the initial partitioner has room to balance).
+func coarsen(g *wgraph, k int, coarseTarget int, rng *rand.Rand) []level {
+	levels := []level{{g: g}}
+	floor := 4 * k
+	if coarseTarget < floor {
+		coarseTarget = floor
+	}
+	cur := g
+	for cur.n() > coarseTarget {
+		coarse, f2c, ok := coarsenOnce(cur, rng)
+		if !ok {
+			break
+		}
+		levels = append(levels, level{g: coarse, map_: f2c})
+		cur = coarse
+	}
+	return levels
+}

@@ -1,0 +1,234 @@
+package metis
+
+import "math/rand"
+
+// initialPartition produces a k-way partition of the coarsest graph by
+// recursive bisection, the strategy of the original Metis: split the graph
+// into two sides with weight proportion floor(k/2):(k-floor(k/2)) using
+// region-growing bisection plus 2-way FM refinement, then recurse into the
+// induced subgraphs. Recursive bisection finds far better cuts than direct
+// k-way greedy growing because every split is globally refined.
+func initialPartition(g *wgraph, k int, rng *rand.Rand) []int32 {
+	part := make([]int32, g.n())
+	kwayRecurse(g, k, 0, part, identity(g.n()), rng)
+	return part
+}
+
+func identity(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+// kwayRecurse assigns parts [base, base+k) to the vertices of sub, whose
+// vertex i corresponds to origIDs[i] in the coarsest graph, writing results
+// into part.
+func kwayRecurse(sub *wgraph, k int, base int32, part []int32, origIDs []int32, rng *rand.Rand) {
+	if k <= 1 || sub.n() == 0 {
+		for _, ov := range origIDs {
+			part[ov] = base
+		}
+		return
+	}
+	k0 := k / 2
+	frac := float64(k0) / float64(k)
+	side := bisect(sub, frac, rng)
+	g0, ids0 := extract(sub, side, 0)
+	g1, ids1 := extract(sub, side, 1)
+	orig0 := make([]int32, len(ids0))
+	for i, v := range ids0 {
+		orig0[i] = origIDs[v]
+	}
+	orig1 := make([]int32, len(ids1))
+	for i, v := range ids1 {
+		orig1[i] = origIDs[v]
+	}
+	kwayRecurse(g0, k0, base, part, orig0, rng)
+	kwayRecurse(g1, k-k0, base+int32(k0), part, orig1, rng)
+}
+
+// bisect splits g into sides {0,1} with side 0 holding ~frac of the total
+// vertex weight. It grows side 0 by Prim-style region growing from several
+// seeds, keeps the best cut, and polishes it with 2-way FM passes.
+func bisect(g *wgraph, frac float64, rng *rand.Rand) []int32 {
+	target := int64(frac * float64(g.totalVWgt()))
+	if target < 1 {
+		target = 1
+	}
+	const tries = 4
+	var best []int32
+	var bestCut int64 = -1
+	for trial := 0; trial < tries; trial++ {
+		side := growRegion(g, target, rng)
+		fm2way(g, side, target, g.totalVWgt()-target, 0.08, 8)
+		if c := g.cut(side); bestCut < 0 || c < bestCut {
+			bestCut = c
+			best = side
+		}
+	}
+	return best
+}
+
+// growRegion grows side 0 from a random seed until it reaches the weight
+// target, always absorbing the frontier vertex most connected to the grown
+// region (Prim-like, keeps the region compact). Everything else is side 1.
+func growRegion(g *wgraph, target int64, rng *rand.Rand) []int32 {
+	n := g.n()
+	side := make([]int32, n)
+	for i := range side {
+		side[i] = 1
+	}
+	inFrontier := make([]bool, n)
+	conn := make([]int64, n) // connectivity of frontier vertices to side 0
+	var frontier []int32
+	var w int64
+	seed := int32(rng.Intn(n))
+	absorb := func(v int32) {
+		side[v] = 0
+		w += g.vwgt[v]
+		for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+			u := g.adjncy[e]
+			if side[u] == 1 {
+				conn[u] += g.adjwgt[e]
+				if !inFrontier[u] {
+					inFrontier[u] = true
+					frontier = append(frontier, u)
+				}
+			}
+		}
+	}
+	absorb(seed)
+	for w < target && len(frontier) > 0 {
+		bestI := -1
+		var bestConn int64 = -1
+		for i, v := range frontier {
+			if side[v] == 0 {
+				continue // already absorbed, lazy removal
+			}
+			if conn[v] > bestConn {
+				bestConn, bestI = conn[v], i
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		v := frontier[bestI]
+		frontier[bestI] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		absorb(v)
+	}
+	// Disconnected remainder: absorb arbitrary side-1 vertices if the
+	// region could not reach its weight target through edges.
+	if w < target {
+		for v := int32(0); v < int32(n) && w < target; v++ {
+			if side[v] == 1 {
+				side[v] = 0
+				w += g.vwgt[v]
+			}
+		}
+	}
+	return side
+}
+
+// fm2way runs greedy boundary passes moving vertices between the two sides
+// when the move reduces the cut and keeps both sides within (1+tol) of
+// their weight targets. Zero-gain moves are allowed when they improve
+// balance, which lets the pass escape plateaus.
+func fm2way(g *wgraph, side []int32, target0, target1 int64, tol float64, maxPasses int) {
+	n := g.n()
+	var w0, w1 int64
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			w0 += g.vwgt[v]
+		} else {
+			w1 += g.vwgt[v]
+		}
+	}
+	max0 := int64(float64(target0) * (1 + tol))
+	max1 := int64(float64(target1) * (1 + tol))
+	for pass := 0; pass < maxPasses; pass++ {
+		moves := 0
+		for v := 0; v < n; v++ {
+			var internal, external int64
+			s := side[v]
+			for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+				if side[g.adjncy[e]] == s {
+					internal += g.adjwgt[e]
+				} else {
+					external += g.adjwgt[e]
+				}
+			}
+			gain := external - internal
+			if gain < 0 {
+				continue
+			}
+			if s == 0 {
+				overshoot := w1+g.vwgt[v] > max1
+				balanceHelps := w0 > max0
+				if (gain > 0 && !overshoot) || (gain == 0 && balanceHelps) {
+					side[v] = 1
+					w0 -= g.vwgt[v]
+					w1 += g.vwgt[v]
+					moves++
+				}
+			} else {
+				overshoot := w0+g.vwgt[v] > max0
+				balanceHelps := w1 > max1
+				if (gain > 0 && !overshoot) || (gain == 0 && balanceHelps) {
+					side[v] = 0
+					w1 -= g.vwgt[v]
+					w0 += g.vwgt[v]
+					moves++
+				}
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+}
+
+// extract returns the induced subgraph of the vertices on the given side,
+// along with the sub→parent vertex mapping. Edges to the other side drop.
+func extract(g *wgraph, side []int32, which int32) (*wgraph, []int32) {
+	n := g.n()
+	subID := make([]int32, n)
+	var ids []int32
+	for v := 0; v < n; v++ {
+		if side[v] == which {
+			subID[v] = int32(len(ids))
+			ids = append(ids, int32(v))
+		} else {
+			subID[v] = -1
+		}
+	}
+	sub := &wgraph{
+		xadj: make([]int64, len(ids)+1),
+		vwgt: make([]int64, len(ids)),
+	}
+	var m int64
+	for i, ov := range ids {
+		sub.vwgt[i] = g.vwgt[ov]
+		for e := g.xadj[ov]; e < g.xadj[ov+1]; e++ {
+			if subID[g.adjncy[e]] >= 0 {
+				m++
+			}
+		}
+		sub.xadj[i+1] = m
+	}
+	sub.adjncy = make([]int32, m)
+	sub.adjwgt = make([]int64, m)
+	var p int64
+	for _, ov := range ids {
+		for e := g.xadj[ov]; e < g.xadj[ov+1]; e++ {
+			if nv := subID[g.adjncy[e]]; nv >= 0 {
+				sub.adjncy[p] = nv
+				sub.adjwgt[p] = g.adjwgt[e]
+				p++
+			}
+		}
+	}
+	return sub, ids
+}

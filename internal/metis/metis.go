@@ -1,0 +1,104 @@
+package metis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetgraph/internal/graph"
+)
+
+// Options tunes the partitioner.
+type Options struct {
+	// Imbalance is the allowed per-part weight overshoot (Metis' ufactor);
+	// 0.05 means parts may weigh up to 5% above average.
+	Imbalance float64
+	// CoarseTarget stops coarsening near this many vertices.
+	CoarseTarget int
+	// RefinePasses bounds boundary-refinement sweeps per level.
+	RefinePasses int
+	// Seed drives the randomized matching and seeding; fixed seed gives a
+	// deterministic partition.
+	Seed int64
+}
+
+// DefaultOptions returns the options used by the hybrid partitioning module.
+func DefaultOptions() Options {
+	return Options{Imbalance: 0.05, CoarseTarget: 2000, RefinePasses: 8, Seed: 1}
+}
+
+// Partition splits g into k blocks, minimizing the number of directed edges
+// whose endpoints fall into different blocks while balancing per-block
+// workload (vertex weight = 1 + out-degree). It returns part[v] in [0,k).
+func Partition(g *graph.CSR, k int, opts Options) ([]int32, error) {
+	n := g.NumVertices()
+	if k < 1 {
+		return nil, fmt.Errorf("metis: k = %d < 1", k)
+	}
+	if opts.Imbalance < 0 {
+		return nil, fmt.Errorf("metis: negative imbalance %v", opts.Imbalance)
+	}
+	if opts.RefinePasses < 0 {
+		return nil, fmt.Errorf("metis: negative refine passes %d", opts.RefinePasses)
+	}
+	if n == 0 {
+		return []int32{}, nil
+	}
+	if k == 1 {
+		return make([]int32, n), nil
+	}
+	if k >= n {
+		// Trivial: one vertex (or none) per block.
+		part := make([]int32, n)
+		for v := range part {
+			part[v] = int32(v)
+		}
+		return part, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	w := symmetrize(g)
+	levels := coarsen(w, k, opts.CoarseTarget, rng)
+	coarsest := levels[len(levels)-1].g
+	part := initialPartition(coarsest, k, rng)
+	refine(coarsest, part, k, opts.Imbalance, opts.RefinePasses)
+	for li := len(levels) - 1; li >= 1; li-- {
+		part = project(part, levels[li].map_)
+		refine(levels[li-1].g, part, k, opts.Imbalance, opts.RefinePasses)
+	}
+	return part, nil
+}
+
+// EdgeCut counts the directed edges of g crossing between different parts.
+func EdgeCut(g *graph.CSR, part []int32) int64 {
+	var cut int64
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		pu := part[u]
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			if part[v] != pu {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// BalanceStats reports per-part workload (1 + out-degree summed) and the
+// max/avg imbalance factor.
+func BalanceStats(g *graph.CSR, part []int32, k int) (weights []int64, imbalance float64) {
+	weights = make([]int64, k)
+	for v := 0; v < g.NumVertices(); v++ {
+		weights[part[v]] += 1 + int64(g.OutDegree(graph.VertexID(v)))
+	}
+	var total, maxW int64
+	for _, w := range weights {
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if total == 0 || k == 0 {
+		return weights, 0
+	}
+	avg := float64(total) / float64(k)
+	return weights, float64(maxW)/avg - 1
+}

@@ -1,0 +1,355 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+)
+
+func TestPartitionValidation(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := Partition(g, 0, DefaultOptions()); err == nil {
+		t.Error("accepted k=0")
+	}
+	o := DefaultOptions()
+	o.Imbalance = -1
+	if _, err := Partition(g, 2, o); err == nil {
+		t.Error("accepted negative imbalance")
+	}
+	o = DefaultOptions()
+	o.RefinePasses = -1
+	if _, err := Partition(g, 2, o); err == nil {
+		t.Error("accepted negative passes")
+	}
+}
+
+func TestPartitionTrivialCases(t *testing.T) {
+	g := graph.PaperExample()
+	p1, err := Partition(g, 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range p1 {
+		if p != 0 {
+			t.Fatal("k=1 must put everything in part 0")
+		}
+	}
+	p16, err := Partition(g, 16, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, p := range p16 {
+		if p < 0 || p >= 16 {
+			t.Fatalf("part %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("k>=n case: %d distinct parts, want 16", len(seen))
+	}
+	// Empty graph.
+	empty := &graph.CSR{Offsets: []int64{0}}
+	pe, err := Partition(empty, 4, DefaultOptions())
+	if err != nil || len(pe) != 0 {
+		t.Fatalf("empty graph: %v %v", pe, err)
+	}
+}
+
+func TestPartitionRangeAndDeterminism(t *testing.T) {
+	g, err := gen.Community(gen.DefaultCommunity(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	pa, err := Partition(g, k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Partition(g, k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range pa {
+		if pa[v] < 0 || pa[v] >= k {
+			t.Fatalf("part[%d] = %d out of range", v, pa[v])
+		}
+		if pa[v] != pb[v] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	g, err := gen.Community(gen.DefaultCommunity(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	part, err := Partition(g, k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imb := BalanceStats(g, part, k)
+	if imb > 0.30 {
+		t.Errorf("imbalance = %.3f, want <= 0.30", imb)
+	}
+}
+
+// randomAssign is the baseline the partitioner must beat on cut size.
+func randomAssign(n, k int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	part := make([]int32, n)
+	for v := range part {
+		part[v] = int32(rng.Intn(k))
+	}
+	return part
+}
+
+func TestPartitionBeatsRandomCutOnCommunityGraph(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 5000, Communities: 25, IntraDeg: 3, InterFrac: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	part, err := Partition(g, k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := EdgeCut(g, part)
+	randCut := EdgeCut(g, randomAssign(g.NumVertices(), k, 9))
+	if cut*3 > randCut {
+		t.Errorf("metis cut %d not well below random cut %d", cut, randCut)
+	}
+}
+
+func TestPartitionBeatsRandomCutOnPowerLaw(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 4000, MeanDeg: 10, Alpha: 2.2, FrontBias: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	part, err := Partition(g, k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut, randCut := EdgeCut(g, part), EdgeCut(g, randomAssign(g.NumVertices(), k, 9)); cut >= randCut {
+		t.Errorf("metis cut %d >= random cut %d even on power-law", cut, randCut)
+	}
+}
+
+func TestEdgeCutCounts(t *testing.T) {
+	g := graph.PaperExample()
+	all0 := make([]int32, 16)
+	if EdgeCut(g, all0) != 0 {
+		t.Error("single part must have zero cut")
+	}
+	alt := make([]int32, 16)
+	for v := range alt {
+		alt[v] = int32(v % 2)
+	}
+	cut := EdgeCut(g, alt)
+	// Oracle: count directed edges with different-parity endpoints.
+	var want int64
+	for u := 0; u < 16; u++ {
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			if u%2 != int(v)%2 {
+				want++
+			}
+		}
+	}
+	if cut != want {
+		t.Errorf("cut = %d, want %d", cut, want)
+	}
+}
+
+func TestBalanceStats(t *testing.T) {
+	g := graph.PaperExample()
+	part := make([]int32, 16)
+	for v := 8; v < 16; v++ {
+		part[v] = 1
+	}
+	weights, imb := BalanceStats(g, part, 2)
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	if total != 16+28 {
+		t.Errorf("total weight = %d, want 44 (n + edges)", total)
+	}
+	if imb < 0 {
+		t.Errorf("imbalance = %v", imb)
+	}
+	if _, z := BalanceStats(&graph.CSR{Offsets: []int64{0}}, nil, 0); z != 0 {
+		t.Error("degenerate BalanceStats not zero")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	// 0->1 twice and 1->0 once collapse into one undirected edge weight 3.
+	b := graph.NewBuilder(3, false)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 0, 0)
+	b.AddEdge(2, 2, 0) // self loop must vanish
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := symmetrize(g)
+	if w.n() != 3 {
+		t.Fatal("vertex count changed")
+	}
+	if got := w.xadj[1] - w.xadj[0]; got != 1 {
+		t.Fatalf("vertex 0 has %d undirected neighbors, want 1", got)
+	}
+	if w.adjwgt[w.xadj[0]] != 3 {
+		t.Fatalf("collapsed weight = %d, want 3", w.adjwgt[w.xadj[0]])
+	}
+	if got := w.xadj[3] - w.xadj[2]; got != 0 {
+		t.Fatalf("self loop survived: vertex 2 has %d neighbors", got)
+	}
+	// Vertex weights: 1 + out-degree.
+	if w.vwgt[0] != 3 || w.vwgt[1] != 2 || w.vwgt[2] != 2 {
+		t.Fatalf("vwgt = %v", w.vwgt)
+	}
+}
+
+func TestCoarsenShrinks(t *testing.T) {
+	g, err := gen.Community(gen.DefaultCommunity(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := symmetrize(g)
+	rng := rand.New(rand.NewSource(4))
+	levels := coarsen(w, 8, 200, rng)
+	if len(levels) < 2 {
+		t.Fatal("no coarsening happened")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].g.n() >= levels[i-1].g.n() {
+			t.Fatalf("level %d did not shrink: %d -> %d", i, levels[i-1].g.n(), levels[i].g.n())
+		}
+		// Total vertex weight is conserved by contraction.
+		if levels[i].g.totalVWgt() != levels[i-1].g.totalVWgt() {
+			t.Fatalf("level %d lost vertex weight", i)
+		}
+	}
+}
+
+func TestRefineNeverWorsensCut(t *testing.T) {
+	g, err := gen.Community(gen.DefaultCommunity(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := symmetrize(g)
+	rng := rand.New(rand.NewSource(6))
+	const k = 6
+	part := make([]int32, w.n())
+	for v := range part {
+		part[v] = int32(rng.Intn(k))
+	}
+	before := w.cut(part)
+	refine(w, part, k, 0.10, 6)
+	after := w.cut(part)
+	if after > before {
+		t.Errorf("refine worsened cut: %d -> %d", before, after)
+	}
+	if after == before {
+		t.Errorf("refine made no progress on a random partition (before=%d)", before)
+	}
+}
+
+func TestProject(t *testing.T) {
+	coarse := []int32{7, 9}
+	f2c := []int32{0, 1, 1, 0}
+	fine := project(coarse, f2c)
+	want := []int32{7, 9, 9, 7}
+	for i := range want {
+		if fine[i] != want[i] {
+			t.Fatalf("project = %v, want %v", fine, want)
+		}
+	}
+}
+
+// property: for arbitrary small random graphs and any k, the partition is
+// total, in range, and deterministic.
+func TestQuickPartitionWellFormed(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%80
+		k := 1 + int(kRaw)%10
+		b := graph.NewBuilder(n, false)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		p1, err := Partition(g, k, DefaultOptions())
+		if err != nil || len(p1) != n {
+			return false
+		}
+		for _, p := range p1 {
+			if p < 0 || int(p) >= max(k, n) {
+				return false
+			}
+		}
+		p2, err := Partition(g, k, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionStarGraph(t *testing.T) {
+	// A star graph has no good cut; the partitioner must still terminate
+	// with a balanced result.
+	n := 600
+	b := graph.NewBuilder(n, false)
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.VertexID(v), 0, 0)
+	}
+	g, _ := b.Build()
+	part, err := Partition(g, 4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imb := BalanceStats(g, part, 4)
+	if imb > 0.5 {
+		t.Errorf("star graph imbalance %.3f", imb)
+	}
+}
+
+func TestPartitionEdgelessGraph(t *testing.T) {
+	g := &graph.CSR{Offsets: make([]int64, 101)}
+	part, err := Partition(g, 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int32]int{}
+	for _, p := range part {
+		counts[p]++
+	}
+	// Balance must still hold with no edges to guide anything.
+	for p, c := range counts {
+		if c > 40 {
+			t.Errorf("part %d holds %d of 100 isolated vertices", p, c)
+		}
+	}
+}

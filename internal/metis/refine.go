@@ -1,0 +1,129 @@
+package metis
+
+// refine improves a k-way partition with greedy boundary passes in the
+// FM/KL spirit: every boundary vertex is examined for the gain of moving to
+// its best-connected other part; positive-gain moves that keep every part
+// within the balance tolerance are applied immediately. Passes repeat until
+// a pass makes no move or maxPasses is hit. Gains are recomputed on the
+// fly, which is O(boundary * degree) per pass — fine at the scales this
+// reproduction targets, and far simpler than bucket gain structures.
+func refine(g *wgraph, part []int32, k int, imbalance float64, maxPasses int) {
+	n := g.n()
+	pw := g.partWeights(part, k)
+	maxW := int64(float64(g.totalVWgt()) / float64(k) * (1 + imbalance))
+	if maxW < 1 {
+		maxW = 1
+	}
+	rebalance(g, part, pw, maxW)
+	conn := make([]int64, k) // scratch: connectivity of one vertex per part
+	for pass := 0; pass < maxPasses; pass++ {
+		moves := 0
+		for v := 0; v < n; v++ {
+			home := part[v]
+			// Compute connectivity to each part; skip interior vertices.
+			boundary := false
+			touched := []int32{}
+			for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+				p := part[g.adjncy[e]]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += g.adjwgt[e]
+				if p != home {
+					boundary = true
+				}
+			}
+			if boundary {
+				best, bestGain := home, int64(0)
+				for _, p := range touched {
+					if p == home {
+						continue
+					}
+					gain := conn[p] - conn[home]
+					if gain > bestGain && pw[p]+g.vwgt[v] <= maxW {
+						bestGain, best = gain, p
+					}
+				}
+				if best != home {
+					pw[home] -= g.vwgt[v]
+					pw[best] += g.vwgt[v]
+					part[v] = best
+					moves++
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+}
+
+// rebalance drains overweight parts before gain refinement runs: vertices
+// in parts above maxW move to their most-connected part with room (or the
+// lightest part if none of their neighbors' parts have room). Cut quality is
+// secondary here; the subsequent gain passes recover it.
+func rebalance(g *wgraph, part []int32, pw []int64, maxW int64) {
+	k := len(pw)
+	conn := make([]int64, k)
+	for sweep := 0; sweep < 4; sweep++ {
+		over := false
+		for _, w := range pw {
+			if w > maxW {
+				over = true
+				break
+			}
+		}
+		if !over {
+			return
+		}
+		for v := 0; v < g.n(); v++ {
+			home := part[v]
+			if pw[home] <= maxW {
+				continue
+			}
+			var touched []int32
+			for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+				p := part[g.adjncy[e]]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += g.adjwgt[e]
+			}
+			best := int32(-1)
+			var bestConn int64 = -1
+			for _, p := range touched {
+				if p != home && pw[p]+g.vwgt[v] <= maxW && conn[p] > bestConn {
+					bestConn, best = conn[p], p
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+			if best < 0 {
+				for p := int32(0); p < int32(k); p++ {
+					if p != home && pw[p]+g.vwgt[v] <= maxW && (best < 0 || pw[p] < pw[best]) {
+						best = p
+					}
+				}
+			}
+			if best >= 0 {
+				pw[home] -= g.vwgt[v]
+				pw[best] += g.vwgt[v]
+				part[v] = best
+			}
+		}
+	}
+}
+
+// project lifts a coarse partition to the finer level through the
+// fine→coarse map.
+func project(coarsePart []int32, fineToCoarse []int32) []int32 {
+	fine := make([]int32, len(fineToCoarse))
+	for v, cv := range fineToCoarse {
+		fine[v] = coarsePart[cv]
+	}
+	return fine
+}

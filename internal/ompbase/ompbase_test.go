@@ -1,0 +1,150 @@
+package ompbase
+
+import (
+	"math"
+	"testing"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/seqref"
+)
+
+func TestOMPSSSPMatchesDijkstra(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 2000, MeanDeg: 6, Alpha: 2.2, FrontBias: 0.6, Locality: 0.5, LocalWindow: 0.02, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := gen.WithWeights(g, 0, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqref.ClassicSSSP(wg, 0)
+	for _, dev := range []machine.DeviceSpec{machine.CPU(), machine.MIC()} {
+		app := apps.NewSSSP(0)
+		res, err := RunF32(app, wg, dev, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("%s: did not converge", dev.Name)
+		}
+		for v := range want {
+			if app.Dist[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %v, want %v", dev.Name, v, app.Dist[v], want[v])
+			}
+		}
+		if res.Counters.Messages == 0 || res.SimSeconds <= 0 {
+			t.Errorf("%s: counters/time empty", dev.Name)
+		}
+	}
+}
+
+func TestOMPBFSMatchesClassic(t *testing.T) {
+	g, err := gen.Uniform(1500, 9000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqref.ClassicBFS(g, 0)
+	app := apps.NewBFS(0)
+	if _, err := RunF32(app, g, machine.CPU(), 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if app.Levels[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, app.Levels[v], want[v])
+		}
+	}
+}
+
+func TestOMPPageRankFixedIterations(t *testing.T) {
+	g, err := gen.Uniform(800, 6000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 5
+	want := seqref.ClassicPageRank(g, 0.85, iters)
+	app := apps.NewPageRank()
+	res, err := RunF32(app, g, machine.MIC(), 8, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != iters {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, iters)
+	}
+	for v := range want {
+		if diff := math.Abs(float64(app.Ranks[v] - want[v])); diff > 1e-3 {
+			t.Fatalf("rank[%d] = %v, want %v", v, app.Ranks[v], want[v])
+		}
+	}
+}
+
+func TestOMPTopoSortValid(t *testing.T) {
+	g, err := gen.RandomDAG(gen.DAGConfig{N: 500, M: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.NewTopoSort()
+	res, err := RunF32(app, g, machine.MIC(), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !app.Ordered() {
+		t.Fatal("toposort incomplete")
+	}
+	if !seqref.ValidTopoOrder(g, app.Order) {
+		t.Fatal("invalid order")
+	}
+	// The dense DAG must show contention for the model (hot columns).
+	if res.Counters.ConflictExpected <= 0 {
+		t.Error("no contention recorded on dense DAG")
+	}
+}
+
+func TestOMPGenericSemiClustering(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 400, Communities: 4, IntraDeg: 3, InterFrac: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxIters = 4
+	seqApp := apps.NewSemiClustering(3, 4, 0.2)
+	seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters)
+	app := apps.NewSemiClustering(3, 4, 0.2)
+	res, err := RunGeneric[apps.SCMsg](app, g, machine.CPU(), 8, maxIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations")
+	}
+	for v := range seqApp.Clusters {
+		if len(seqApp.Clusters[v]) != len(app.Clusters[v]) {
+			t.Fatalf("vertex %d cluster counts differ", v)
+		}
+		for i := range seqApp.Clusters[v] {
+			if seqApp.Clusters[v][i].Score != app.Clusters[v][i].Score {
+				t.Fatalf("vertex %d cluster %d scores differ", v, i)
+			}
+		}
+	}
+}
+
+func TestOMPInvalidDevice(t *testing.T) {
+	bad := machine.CPU()
+	bad.ScalarNS = 0
+	if _, err := RunF32(apps.NewBFS(0), genSmall(t), bad, 4, 0); err == nil {
+		t.Error("accepted invalid device")
+	}
+	if _, err := RunGeneric[apps.SCMsg](apps.NewSemiClustering(2, 3, 0.2), genSmall(t), bad, 4, 3); err == nil {
+		t.Error("generic accepted invalid device")
+	}
+}
+
+func genSmall(t *testing.T) *graph.CSR {
+	g, err := gen.Uniform(10, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,226 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/metis"
+)
+
+func TestRatioValidate(t *testing.T) {
+	for _, r := range []Ratio{{0, 0}, {-1, 2}, {2, -1}} {
+		if r.Validate() == nil {
+			t.Errorf("accepted ratio %v", r)
+		}
+	}
+	if (Ratio{3, 5}).Validate() != nil {
+		t.Error("rejected 3:5")
+	}
+	if f := (Ratio{3, 5}).Frac0(); f != 0.375 {
+		t.Errorf("Frac0 = %v", f)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodContinuous.String() != "continuous" || MethodRoundRobin.String() != "roundrobin" ||
+		MethodHybrid.String() != "hybrid" || Method(7).String() == "" {
+		t.Error("method names wrong")
+	}
+}
+
+func TestContinuous(t *testing.T) {
+	assign, err := Continuous(10, Ratio{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if assign[v] != 0 {
+			t.Fatalf("vertex %d on device %d", v, assign[v])
+		}
+	}
+	for v := 5; v < 10; v++ {
+		if assign[v] != 1 {
+			t.Fatalf("vertex %d on device %d", v, assign[v])
+		}
+	}
+	if _, err := Continuous(10, Ratio{}); err == nil {
+		t.Error("accepted zero ratio")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	assign, err := RoundRobin(8, Ratio{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 1, 1, 0, 1, 1, 1}
+	for v := range want {
+		if assign[v] != want[v] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+	if _, err := RoundRobin(8, Ratio{0, 0}); err == nil {
+		t.Error("accepted zero ratio")
+	}
+}
+
+func TestHybridFromBlocks(t *testing.T) {
+	blockOf := []int32{0, 0, 1, 1, 2, 2, 3, 3}
+	assign, err := HybridFromBlocks(blockOf, Ratio{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0,2 -> device 0; blocks 1,3 -> device 1.
+	want := []int32{0, 0, 1, 1, 0, 0, 1, 1}
+	for v := range want {
+		if assign[v] != want[v] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+	if _, err := HybridFromBlocks(blockOf, Ratio{}); err == nil {
+		t.Error("accepted zero ratio")
+	}
+}
+
+func TestCrossEdgesAndWorkload(t *testing.T) {
+	g := graph.PaperExample()
+	all0 := make([]int32, 16)
+	if CrossEdges(g, all0) != 0 {
+		t.Error("single-device cross edges != 0")
+	}
+	e0, e1 := WorkloadSplit(g, all0)
+	if e0 != 28 || e1 != 0 {
+		t.Errorf("workload = %d,%d", e0, e1)
+	}
+	if BalanceError(g, all0, Ratio{1, 0}) != 0 {
+		t.Error("perfect assignment has nonzero balance error")
+	}
+	// Empty graph degenerate case.
+	if BalanceError(&graph.CSR{Offsets: []int64{0}}, nil, Ratio{1, 1}) != 0 {
+		t.Error("empty graph balance error != 0")
+	}
+}
+
+// The Fig. 6 mechanism on a Pokec-like graph: continuous partitioning is
+// imbalanced, round-robin is balanced but high-cut, hybrid is balanced and
+// low-cut.
+func TestSchemeTradeoffsOnPowerLaw(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 6000, MeanDeg: 12, Alpha: 2.1, FrontBias: 0.85, Locality: 0.75, LocalWindow: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Ratio{3, 5}
+	cont, err := Make(MethodContinuous, g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Make(MethodRoundRobin, g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Hybrid(g, r, BlocksFor(g.NumVertices()), metis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balance: continuous must be far off; round-robin and hybrid close.
+	if be := BalanceError(g, cont, r); be < 0.10 {
+		t.Errorf("continuous balance error = %.3f, want >= 0.10 on front-loaded graph", be)
+	}
+	if be := BalanceError(g, rr, r); be > 0.05 {
+		t.Errorf("roundrobin balance error = %.3f, want <= 0.05", be)
+	}
+	if be := BalanceError(g, hyb, r); be > 0.12 {
+		t.Errorf("hybrid balance error = %.3f, want <= 0.12", be)
+	}
+	// Cut: hybrid must cut far fewer edges than round-robin.
+	if ch, cr := CrossEdges(g, hyb), CrossEdges(g, rr); ch*2 > cr {
+		t.Errorf("hybrid cross edges %d not well below roundrobin %d", ch, cr)
+	}
+}
+
+func TestMakeDispatch(t *testing.T) {
+	g := graph.PaperExample()
+	for _, m := range []Method{MethodContinuous, MethodRoundRobin, MethodHybrid} {
+		assign, err := Make(m, g, Ratio{1, 1})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(assign) != 16 {
+			t.Fatalf("%v: length %d", m, len(assign))
+		}
+		for _, a := range assign {
+			if a != 0 && a != 1 {
+				t.Fatalf("%v: device %d", m, a)
+			}
+		}
+	}
+	if _, err := Make(Method(9), g, Ratio{1, 1}); err == nil {
+		t.Error("accepted unknown method")
+	}
+	if _, err := Blocks(g, 0, metis.DefaultOptions()); err == nil {
+		t.Error("accepted zero blocks")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	assign := []int32{0, 1, 1, 0, 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, assign); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(assign) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range assign {
+		if got[i] != assign[i] {
+			t.Fatalf("round trip changed entry %d", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"",         // empty
+		"abc",      // bad header
+		"-3",       // negative count
+		"2\n0",     // short body
+		"1\n0\n1",  // long body
+		"2\n0\n-1", // negative rank
+		"1\nxyz",   // bad rank
+	}
+	for _, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("Read(%q) succeeded", s)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := Read(strings.NewReader("# partition\n2\n\n0\n1\n"))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("comment handling: %v %v", got, err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := t.TempDir() + "/p.part"
+	assign := []int32{1, 0, 1}
+	if err := SaveFile(path, assign); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("LoadFile = %v", got)
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("loaded missing file")
+	}
+}

@@ -1,0 +1,279 @@
+// Package pipeline implements the two message-generation schemes of §IV-C.
+//
+// Locking: every thread runs the user's generate function for its vertices
+// and inserts the resulting messages straight into the message buffer; the
+// buffer's per-column critical section is paid per message, and collides
+// when two threads target the same destination column.
+//
+// Pipelined: threads are split into workers and movers. Workers generate
+// messages into private SPSC queues — one queue per (worker, mover) pair —
+// choosing the queue by destination class (dst mod movers). Mover m drains
+// queue class m of every worker and inserts into the buffer. Because all
+// messages for a destination flow through exactly one mover, a buffer
+// column is only ever touched by one thread, and no per-insert locking is
+// needed; computation and memory traffic overlap across the two stages.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hetgraph/internal/graph"
+	"hetgraph/internal/queue"
+	"hetgraph/internal/sched"
+)
+
+// Message is one in-flight value pair <dst_id, msg_value>.
+type Message[T any] struct {
+	Dst graph.VertexID
+	Val T
+}
+
+// Gen is the application's message-generation callback: it must call emit
+// for every message vertex v sends (the paper's send_messages primitive
+// inside generate_messages).
+type Gen[T any] func(v graph.VertexID, emit func(dst graph.VertexID, val T))
+
+// Stats reports what a generation run actually did; the cost model prices
+// these events.
+type Stats struct {
+	// Messages generated (== edges traversed for the evaluated apps).
+	Messages int64
+	// TaskFetches performed against the dynamic scheduler.
+	TaskFetches int64
+	// QueueOps is SPSC pushes plus pops (pipelined scheme only).
+	QueueOps int64
+}
+
+// queueCap is the per-(worker,mover) ring capacity. Small enough that
+// backpressure engages when movers lag, large enough to amortize handoff.
+const queueCap = 1024
+
+// RunLocking generates messages for the active vertices on `threads`
+// goroutines, inserting each message immediately through insert, which must
+// be safe for concurrent use (the CSB's locking path).
+func RunLocking[T any](active []graph.VertexID, threads int, gen Gen[T], insert func(graph.VertexID, T)) (Stats, error) {
+	if threads < 1 {
+		return Stats{}, fmt.Errorf("pipeline: threads %d < 1", threads)
+	}
+	s, err := sched.New(int64(len(active)), sched.ChunkFor(int64(len(active)), threads))
+	if err != nil {
+		return Stats{}, err
+	}
+	var msgs atomic.Int64
+	var wg sync.WaitGroup
+	var pc panicCollector
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer pc.capture()
+			var local int64
+			emit := func(dst graph.VertexID, val T) {
+				insert(dst, val)
+				local++
+			}
+			for {
+				lo, hi, ok := s.Next()
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					gen(active[i], emit)
+				}
+			}
+			msgs.Add(local)
+		}()
+	}
+	wg.Wait()
+	if err := pc.err(); err != nil {
+		return Stats{}, err
+	}
+	return Stats{Messages: msgs.Load(), TaskFetches: s.Fetches()}, nil
+}
+
+// panicCollector contains panics escaping user functions on worker
+// goroutines: without it, a panicking generate_messages would kill the
+// process (or deadlock the movers waiting for workers that died). The first
+// panic is kept and surfaced as an error from the generation call.
+type panicCollector struct {
+	once sync.Once
+	val  atomic.Value
+}
+
+// capture must be deferred in each goroutine that runs user code.
+func (p *panicCollector) capture() {
+	if r := recover(); r != nil {
+		p.once.Do(func() { p.val.Store(fmt.Sprintf("%v", r)) })
+	}
+}
+
+// err returns the captured panic as an error, or nil.
+func (p *panicCollector) err() error {
+	if v := p.val.Load(); v != nil {
+		return fmt.Errorf("pipeline: user function panicked: %s", v)
+	}
+	return nil
+}
+
+// Pipelined is a reusable worker/mover generation engine: the SPSC queue
+// matrix is allocated once and reused across iterations (queues are empty
+// between runs, so reuse is safe).
+type Pipelined[T any] struct {
+	workers, movers int
+	// queues[w][m] is written only by worker w and read only by mover m.
+	queues [][]*queue.SPSC[Message[T]]
+}
+
+// NewPipelined allocates the engine for a fixed worker/mover split.
+func NewPipelined[T any](workers, movers int) (*Pipelined[T], error) {
+	if workers < 1 || movers < 1 {
+		return nil, fmt.Errorf("pipeline: need >=1 worker and mover, got %d/%d", workers, movers)
+	}
+	p := &Pipelined[T]{workers: workers, movers: movers}
+	p.queues = make([][]*queue.SPSC[Message[T]], workers)
+	for w := range p.queues {
+		p.queues[w] = make([]*queue.SPSC[Message[T]], movers)
+		for m := range p.queues[w] {
+			q, err := queue.NewSPSC[Message[T]](queueCap)
+			if err != nil {
+				return nil, err
+			}
+			p.queues[w][m] = q
+		}
+	}
+	return p, nil
+}
+
+// RunPipelined is the one-shot form of Pipelined.Run.
+func RunPipelined[T any](active []graph.VertexID, workers, movers int, gen Gen[T], insertOwned func(graph.VertexID, T)) (Stats, error) {
+	p, err := NewPipelined[T](workers, movers)
+	if err != nil {
+		return Stats{}, err
+	}
+	return p.Run(active, gen, insertOwned)
+}
+
+// Run generates messages with the engine's worker goroutines and mover
+// goroutines. insertOwned is called only by the single mover that owns the
+// destination's class (dst mod movers), so it may be lock-free; column
+// allocation inside the buffer remains the only synchronized operation,
+// exactly as in §IV-C.
+func (p *Pipelined[T]) Run(active []graph.VertexID, gen Gen[T], insertOwned func(graph.VertexID, T)) (Stats, error) {
+	workers, movers, queues := p.workers, p.movers, p.queues
+	s, err := sched.New(int64(len(active)), sched.ChunkFor(int64(len(active)), workers))
+	if err != nil {
+		return Stats{}, err
+	}
+	var (
+		msgs        atomic.Int64
+		pops        atomic.Int64
+		workersLeft atomic.Int64
+		wg          sync.WaitGroup
+		pc          panicCollector
+	)
+	workersLeft.Store(int64(workers))
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer workersLeft.Add(-1)
+			defer pc.capture()
+			mine := queues[w]
+			var local int64
+			emit := func(dst graph.VertexID, val T) {
+				// "queue_id = dst_id mod num_mover_threads"
+				mine[int(dst)%movers].Push(Message[T]{Dst: dst, Val: val})
+				local++
+			}
+			for {
+				lo, hi, ok := s.Next()
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					gen(active[i], emit)
+				}
+			}
+			msgs.Add(local)
+		}(w)
+	}
+
+	for m := 0; m < movers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			discard := func() {
+				for w := 0; w < workers; w++ {
+					for {
+						if _, ok := queues[w][m].TryPop(); !ok {
+							break
+						}
+					}
+				}
+			}
+			func() {
+				defer pc.capture()
+				drain := func() int64 {
+					var n int64
+					for w := 0; w < workers; w++ {
+						q := queues[w][m]
+						for {
+							msg, ok := q.TryPop()
+							if !ok {
+								break
+							}
+							insertOwned(msg.Dst, msg.Val)
+							n++
+						}
+					}
+					return n
+				}
+				for {
+					if drain() > 0 {
+						continue
+					}
+					if workersLeft.Load() == 0 {
+						// Workers finished before our empty sweep; one final
+						// drain observes all their pushes (the counter
+						// decrement is ordered after the last push).
+						drain()
+						return
+					}
+					runtime.Gosched()
+				}
+			}()
+			// Reached after a normal return (queues already empty) or a
+			// panic in insertOwned. In the panic case, keep discarding this
+			// mover's classes so no worker blocks forever on a full ring.
+			for workersLeft.Load() != 0 {
+				discard()
+				runtime.Gosched()
+			}
+			discard()
+		}(m)
+	}
+	wg.Wait()
+	if err := pc.err(); err != nil {
+		// Drain any residue so the queues are clean for the next run.
+		for w := range queues {
+			for m := range queues[w] {
+				for {
+					if _, ok := queues[w][m].TryPop(); !ok {
+						break
+					}
+				}
+			}
+		}
+		return Stats{}, err
+	}
+	pops.Store(msgs.Load()) // every pushed message was popped exactly once
+	return Stats{
+		Messages:    msgs.Load(),
+		TaskFetches: s.Fetches(),
+		QueueOps:    msgs.Load() + pops.Load(),
+	}, nil
+}

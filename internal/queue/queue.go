@@ -1,0 +1,80 @@
+// Package queue provides the bounded single-producer single-consumer ring
+// buffers that carry messages from worker threads to mover threads in the
+// pipelined message-generation scheme (§IV-C). The pipelining design
+// guarantees "each message queue is only written by only one thread, as well
+// as read by only one thread", which is exactly the SPSC contract: the ring
+// needs no locks, only two monotone cursors with release/acquire ordering.
+package queue
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// SPSC is a bounded lock-free single-producer single-consumer ring.
+// Exactly one goroutine may call Push and exactly one may call Pop.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	_    [48]byte // keep head and tail on separate cache lines
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+}
+
+// NewSPSC creates a ring with the given capacity, rounded up to a power of
+// two (minimum 2).
+func NewSPSC[T any](capacity int) (*SPSC[T], error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("queue: capacity %d < 1", capacity)
+	}
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, size), mask: uint64(size - 1)}, nil
+}
+
+// Cap returns the ring capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// TryPush enqueues v if there is room, reporting success.
+func (q *SPSC[T]) TryPush(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() >= uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Push enqueues v, yielding the processor while the ring is full. This is
+// the worker-side backpressure of the pipeline: when movers fall behind,
+// workers stall, which the cost model charges to the slower stage.
+func (q *SPSC[T]) Push(v T) {
+	for !q.TryPush(v) {
+		runtime.Gosched()
+	}
+}
+
+// TryPop dequeues the oldest element, reporting whether one was available.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero // release references for GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the number of buffered elements (approximate under
+// concurrency, exact when quiescent).
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// Empty reports whether the ring is empty.
+func (q *SPSC[T]) Empty() bool { return q.Len() == 0 }

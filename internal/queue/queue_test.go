@@ -1,0 +1,169 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSPSC(t *testing.T) {
+	if _, err := NewSPSC[int](0); err == nil {
+		t.Error("accepted capacity 0")
+	}
+	q, err := NewSPSC[int](5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8 (rounded up)", q.Cap())
+	}
+	q1, _ := NewSPSC[int](1)
+	if q1.Cap() != 2 {
+		t.Errorf("min cap = %d, want 2", q1.Cap())
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q, _ := NewSPSC[int](8)
+	for i := 0; i < 8; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if q.Len() != 8 || q.Empty() {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %v,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	if !q.Empty() {
+		t.Fatal("ring not empty")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	q, _ := NewSPSC[int](4)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(round*10 + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: pop = %v,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	q, _ := NewSPSC[int](64)
+	const n = 50000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	var sum, count int64
+	go func() {
+		defer wg.Done()
+		expect := 0
+		for count < n {
+			v, ok := q.TryPop()
+			if !ok {
+				// On a single-core host, busy-spinning starves the
+				// producer; yield instead.
+				runtime.Gosched()
+				continue
+			}
+			if v != expect {
+				t.Errorf("out of order: got %d, want %d", v, expect)
+				return
+			}
+			expect++
+			sum += int64(v)
+			count++
+		}
+	}()
+	wg.Wait()
+	if count != n {
+		t.Fatalf("consumed %d, want %d", count, n)
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestGCRelease(t *testing.T) {
+	q, _ := NewSPSC[*int](2)
+	x := new(int)
+	q.Push(x)
+	q.TryPop()
+	// The slot must have been cleared so the pointer is collectable.
+	if q.buf[0] != nil {
+		t.Fatal("popped slot still holds pointer")
+	}
+}
+
+// property: any interleaved sequence of pushes and pops preserves FIFO and
+// never loses or duplicates elements.
+func TestQuickFIFO(t *testing.T) {
+	f := func(ops []bool) bool {
+		q, _ := NewSPSC[int](4)
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				if q.TryPush(next) {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := q.TryPop()
+				if ok {
+					if len(model) == 0 || model[0] != v {
+						return false
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					return false
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLenApproximationQuiescent(t *testing.T) {
+	q, _ := NewSPSC[int](16)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.TryPop()
+	q.TryPop()
+	if q.Len() != 3 || q.Empty() {
+		t.Fatalf("Len after pops = %d", q.Len())
+	}
+}

@@ -1,0 +1,77 @@
+// Package sched implements the intra-device dynamic load balancing of
+// §IV-D: task units (vertices, vertex blocks, or vector arrays) are handed
+// out through a shared scheduling offset that threads advance atomically,
+// several tasks at a time "to lower the task retrieving frequency and thus
+// the scheduling overhead".
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Scheduler hands out half-open index ranges [lo, hi) over a task space of
+// `total` units in chunks of `chunk`. It is safe for concurrent use.
+type Scheduler struct {
+	total   int64
+	chunk   int64
+	next    atomic.Int64
+	fetches atomic.Int64
+}
+
+// New creates a scheduler over total task units with the given chunk size.
+func New(total, chunk int64) (*Scheduler, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("sched: negative total %d", total)
+	}
+	if chunk < 1 {
+		return nil, fmt.Errorf("sched: chunk %d < 1", chunk)
+	}
+	return &Scheduler{total: total, chunk: chunk}, nil
+}
+
+// Next returns the next chunk of work. ok is false when the task space is
+// exhausted.
+func (s *Scheduler) Next() (lo, hi int64, ok bool) {
+	lo = s.next.Add(s.chunk) - s.chunk
+	if lo >= s.total {
+		return 0, 0, false
+	}
+	s.fetches.Add(1)
+	hi = lo + s.chunk
+	if hi > s.total {
+		hi = s.total
+	}
+	return lo, hi, true
+}
+
+// Fetches returns how many chunks were handed out; the cost model prices
+// each at the device's atomic fetch cost.
+func (s *Scheduler) Fetches() int64 { return s.fetches.Load() }
+
+// Total returns the task-space size.
+func (s *Scheduler) Total() int64 { return s.total }
+
+// Reset rewinds the scheduler for reuse in the next step.
+func (s *Scheduler) Reset(total int64) {
+	s.total = total
+	s.next.Store(0)
+	s.fetches.Store(0)
+}
+
+// ChunkFor picks a chunk size that amortizes fetch overhead while keeping
+// roughly 8 chunks per thread for balance, clamped to [1, 4096]. This is
+// the heuristic the engine uses for all three steps.
+func ChunkFor(total int64, threads int) int64 {
+	if threads < 1 {
+		threads = 1
+	}
+	c := total / int64(threads*8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 4096 {
+		c = 4096
+	}
+	return c
+}

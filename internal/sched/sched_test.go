@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 1); err == nil {
+		t.Error("accepted negative total")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("accepted zero chunk")
+	}
+}
+
+func TestSequentialCoverage(t *testing.T) {
+	s, err := New(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		lo, hi, ok := s.Next()
+		if !ok {
+			break
+		}
+		for i := lo; i < hi; i++ {
+			got = append(got, i)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("covered %d units, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("unit %d out of order: %d", i, v)
+		}
+	}
+	if s.Fetches() != 4 {
+		t.Errorf("Fetches = %d, want 4 (3+3+3+1)", s.Fetches())
+	}
+	if s.Total() != 10 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}
+
+func TestEmptyTotal(t *testing.T) {
+	s, _ := New(0, 5)
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("empty scheduler handed out work")
+	}
+	if s.Fetches() != 0 {
+		t.Fatal("empty fetch counted")
+	}
+}
+
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const total, chunk, workers = 100000, 7, 8
+	s, _ := New(total, chunk)
+	seen := make([]int32, total)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, total/workers)
+			for {
+				lo, hi, ok := s.Next()
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					local = append(local, i)
+				}
+			}
+			mu.Lock()
+			for _, i := range local {
+				seen[i]++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("unit %d scheduled %d times", i, c)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(5, 2)
+	for {
+		if _, _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	s.Reset(4)
+	lo, hi, ok := s.Next()
+	if !ok || lo != 0 || hi != 2 {
+		t.Fatalf("after Reset: %d %d %v", lo, hi, ok)
+	}
+	if s.Fetches() != 1 {
+		t.Fatalf("Fetches after reset = %d", s.Fetches())
+	}
+}
+
+func TestChunkFor(t *testing.T) {
+	if c := ChunkFor(0, 16); c != 1 {
+		t.Errorf("ChunkFor(0,16) = %d, want 1", c)
+	}
+	if c := ChunkFor(1_000_000_000, 16); c != 4096 {
+		t.Errorf("huge total chunk = %d, want cap 4096", c)
+	}
+	if c := ChunkFor(1280, 16); c != 10 {
+		t.Errorf("ChunkFor(1280,16) = %d, want 10", c)
+	}
+	if c := ChunkFor(100, 0); c < 1 {
+		t.Errorf("degenerate threads chunk = %d", c)
+	}
+}
+
+// property: the scheduler covers [0,total) exactly once for any chunk size.
+func TestQuickCoverage(t *testing.T) {
+	f := func(totalRaw, chunkRaw uint16) bool {
+		total := int64(totalRaw % 2000)
+		chunk := int64(chunkRaw%50) + 1
+		s, err := New(total, chunk)
+		if err != nil {
+			return false
+		}
+		var count int64
+		prevHi := int64(0)
+		for {
+			lo, hi, ok := s.Next()
+			if !ok {
+				break
+			}
+			if lo != prevHi || hi <= lo || hi > total {
+				return false
+			}
+			prevHi = hi
+			count += hi - lo
+		}
+		return count == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFetchesCountedUnderConcurrency(t *testing.T) {
+	s, _ := New(10000, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, _, ok := s.Next(); !ok {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Fetches() != 100 {
+		t.Fatalf("fetches = %d, want 100", s.Fetches())
+	}
+}

@@ -1,0 +1,333 @@
+// Package seqref provides sequential reference implementations: the
+// single-core baselines of Table II, and correctness oracles for the
+// parallel runtime.
+//
+// Two independent layers are provided. RunF32Seq / RunGenericSeq execute a
+// vertex program with plain single-threaded BSP semantics — no CSB, no
+// pipeline, no scheduler — which is what the paper's hand-written sequential
+// C/C++ versions do, and they report the event counters the cost model needs
+// for Table II. The classic algorithms (Dijkstra-like SSSP, queue BFS, Kahn
+// toposort, power-iteration PageRank) are written independently of the
+// framework's abstractions and validate the vertex programs themselves.
+package seqref
+
+import (
+	"container/heap"
+	"math"
+
+	"hetgraph/internal/core"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+)
+
+// RunF32Seq executes an AppF32 with sequential BSP semantics and returns
+// the iteration count and the run's event counters.
+func RunF32Seq(app core.AppF32, g *graph.CSR, maxIters int) (int64, machine.Counters) {
+	var c machine.Counters
+	n := g.NumVertices()
+	active := app.Init(g)
+	fixed := core.IsFixedActive(app)
+	initial := append([]graph.VertexID(nil), active...)
+	vals := make([]float32, n)
+	has := make([]bool, n)
+	var touched []graph.VertexID
+	var iters int64
+	for len(active) > 0 && iters < int64(maxIters) {
+		iters++
+		c.Iterations++
+		c.ActiveVertices += int64(len(active))
+		// Message generation with immediate scalar combination (the
+		// sequential code has no buffer to fill).
+		for _, v := range active {
+			app.Generate(v, func(dst graph.VertexID, val float32) {
+				c.EdgesTraversed++
+				c.Messages++
+				if has[dst] {
+					vals[dst] = app.ReduceScalar(vals[dst], val)
+					c.ReducedMessages++
+				} else {
+					has[dst] = true
+					vals[dst] = val
+					touched = append(touched, dst)
+				}
+			})
+		}
+		// Vertex updating.
+		active = active[:0]
+		for _, dst := range touched {
+			c.UpdatedVertices++
+			if app.Update(dst, vals[dst]) {
+				active = append(active, dst)
+			}
+			has[dst] = false
+		}
+		touched = touched[:0]
+		if fixed {
+			active = append(active[:0], initial...)
+		}
+	}
+	return iters, c
+}
+
+// RunGenericSeq executes an AppGeneric with sequential BSP semantics.
+func RunGenericSeq[T any](app core.AppGeneric[T], g *graph.CSR, maxIters int) (int64, machine.Counters) {
+	var c machine.Counters
+	n := g.NumVertices()
+	active := app.Init(g)
+	fixed := core.IsFixedActive(app)
+	initial := append([]graph.VertexID(nil), active...)
+	lists := make([][]T, n)
+	var touched []graph.VertexID
+	var iters int64
+	for len(active) > 0 && iters < int64(maxIters) {
+		iters++
+		c.Iterations++
+		c.ActiveVertices += int64(len(active))
+		for _, v := range active {
+			app.Generate(v, func(dst graph.VertexID, val T) {
+				c.EdgesTraversed++
+				c.Messages++
+				if len(lists[dst]) == 0 {
+					touched = append(touched, dst)
+				}
+				lists[dst] = append(lists[dst], val)
+			})
+		}
+		active = active[:0]
+		for _, dst := range touched {
+			res := app.Process(dst, lists[dst])
+			c.ReducedMessages += int64(len(lists[dst]))
+			c.UpdatedVertices++
+			if app.Update(dst, res) {
+				active = append(active, dst)
+			}
+			lists[dst] = lists[dst][:0]
+		}
+		touched = touched[:0]
+		if fixed {
+			active = append(active[:0], initial...)
+		}
+	}
+	return iters, c
+}
+
+// ClassicPageRank is an independent power-iteration PageRank matching the
+// vertex program's update rule (rank = (1-d) + d*sum over in-neighbors of
+// rank/outdeg), run for exactly iters iterations.
+func ClassicPageRank(g *graph.CSR, damping float32, iters int) []float32 {
+	n := g.NumVertices()
+	rank := make([]float32, n)
+	for v := range rank {
+		rank[v] = 1
+	}
+	sums := make([]float32, n)
+	for it := 0; it < iters; it++ {
+		for i := range sums {
+			sums[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			d := g.OutDegree(graph.VertexID(v))
+			if d == 0 {
+				continue
+			}
+			share := rank[v] / float32(d)
+			for _, u := range g.Neighbors(graph.VertexID(v)) {
+				sums[u] += share
+			}
+		}
+		for v := 0; v < n; v++ {
+			// Vertices with no in-edges receive no message and keep their
+			// rank, matching the message-driven framework semantics.
+			if in := sums[v]; in != 0 || hasInEdge(g, graph.VertexID(v)) {
+				rank[v] = (1 - damping) + damping*in
+			}
+		}
+	}
+	return rank
+}
+
+var inDegCache struct {
+	g  *graph.CSR
+	in []int32
+}
+
+func hasInEdge(g *graph.CSR, v graph.VertexID) bool {
+	if inDegCache.g != g {
+		inDegCache.g = g
+		inDegCache.in = g.InDegrees()
+	}
+	return inDegCache.in[v] > 0
+}
+
+// ClassicBFS is a queue-based BFS returning levels (-1 unreached).
+func ClassicBFS(g *graph.CSR, src graph.VertexID) []int32 {
+	levels := make([]int32, g.NumVertices())
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+	queue := []graph.VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range g.Neighbors(v) {
+			if levels[d] < 0 {
+				levels[d] = levels[v] + 1
+				queue = append(queue, d)
+			}
+		}
+	}
+	return levels
+}
+
+// ClassicSSSP is a Dijkstra shortest-path returning float32 distances
+// (+Inf unreached). Distances accumulate along paths exactly as the vertex
+// program does (dist[u] + w), so converged values match bit-for-bit.
+func ClassicSSSP(g *graph.CSR, src graph.VertexID) []float32 {
+	n := g.NumVertices()
+	dist := make([]float32, n)
+	inf := float32(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		ws := g.EdgeWeights(it.v)
+		for i, u := range g.Neighbors(it.v) {
+			nd := dist[it.v] + ws[i]
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v graph.VertexID
+	d float32
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// ClassicTopoSort is Kahn's algorithm returning order positions (-1 when
+// the input has a cycle).
+func ClassicTopoSort(g *graph.CSR) []int64 {
+	n := g.NumVertices()
+	remain := g.InDegrees()
+	order := make([]int64, n)
+	for i := range order {
+		order[i] = -1
+	}
+	var queue []graph.VertexID
+	for v := 0; v < n; v++ {
+		if remain[v] == 0 {
+			queue = append(queue, graph.VertexID(v))
+		}
+	}
+	var pos int64
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order[v] = pos
+		pos++
+		for _, d := range g.Neighbors(v) {
+			remain[d]--
+			if remain[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	return order
+}
+
+// ValidTopoOrder checks that order is a permutation assignment consistent
+// with g's edges (every edge points forward).
+func ValidTopoOrder(g *graph.CSR, order []int64) bool {
+	n := g.NumVertices()
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, o := range order {
+		if o < 0 || o >= int64(n) || seen[o] {
+			return false
+		}
+		seen[o] = true
+	}
+	for v := 0; v < n; v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			if order[v] >= order[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ClassicWCC labels weakly connected components with union-find (path
+// compression + union by size), the oracle for the ConnectedComponents
+// vertex program. Returned labels are the minimum vertex ID per component.
+func ClassicWCC(g *graph.CSR) []graph.VertexID {
+	n := g.NumVertices()
+	parent := make([]graph.VertexID, n)
+	size := make([]int32, n)
+	for v := range parent {
+		parent[v] = graph.VertexID(v)
+		size[v] = 1
+	}
+	var find func(v graph.VertexID) graph.VertexID
+	find = func(v graph.VertexID) graph.VertexID {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	union := func(a, b graph.VertexID) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			union(graph.VertexID(u), v)
+		}
+	}
+	// Canonicalize to the minimum member ID per component.
+	minOf := make(map[graph.VertexID]graph.VertexID)
+	for v := 0; v < n; v++ {
+		r := find(graph.VertexID(v))
+		if m, ok := minOf[r]; !ok || graph.VertexID(v) < m {
+			minOf[r] = graph.VertexID(v)
+		}
+	}
+	labels := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		labels[v] = minOf[find(graph.VertexID(v))]
+	}
+	return labels
+}

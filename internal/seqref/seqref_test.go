@@ -1,0 +1,172 @@
+package seqref
+
+import (
+	"math"
+	"testing"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+)
+
+func TestClassicBFSPaperGraph(t *testing.T) {
+	g := graph.PaperExample()
+	levels := ClassicBFS(g, 1)
+	// 1 -> {0,2,5}; 0 -> {4,5}; 2 -> {3,7}; ...
+	want := map[int]int32{1: 0, 0: 1, 2: 1, 5: 1, 4: 2, 3: 2, 7: 2}
+	for v, l := range want {
+		if levels[v] != l {
+			t.Errorf("level[%d] = %d, want %d", v, levels[v], l)
+		}
+	}
+	// Vertices 14, 15 are unreachable from 1.
+	if levels[14] != -1 || levels[15] != -1 {
+		t.Error("unreachable vertices got levels")
+	}
+}
+
+func TestClassicSSSPSmall(t *testing.T) {
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(2, 1, 1)
+	b.AddEdge(1, 3, 1)
+	g, _ := b.Build()
+	d := ClassicSSSP(g, 0)
+	if d[1] != 2 || d[2] != 1 || d[3] != 3 {
+		t.Fatalf("distances = %v", d)
+	}
+}
+
+func TestClassicTopoSortAndValidation(t *testing.T) {
+	g, err := gen.RandomDAG(gen.DAGConfig{N: 200, M: 3000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := ClassicTopoSort(g)
+	if !ValidTopoOrder(g, order) {
+		t.Fatal("Kahn order invalid")
+	}
+	// Corrupt it: swap two adjacent-ordered endpoints of some edge.
+	bad := append([]int64(nil), order...)
+	for v := 0; v < g.NumVertices(); v++ {
+		nb := g.Neighbors(graph.VertexID(v))
+		if len(nb) > 0 {
+			u := nb[0]
+			bad[v], bad[u] = bad[u], bad[v]
+			break
+		}
+	}
+	if ValidTopoOrder(g, bad) {
+		t.Fatal("validation accepted corrupted order")
+	}
+	if ValidTopoOrder(g, bad[:10]) {
+		t.Fatal("validation accepted short order")
+	}
+	dup := append([]int64(nil), order...)
+	dup[0] = dup[1]
+	if ValidTopoOrder(g, dup) {
+		t.Fatal("validation accepted duplicate positions")
+	}
+	// Cyclic graph: Kahn leaves -1s.
+	b := graph.NewBuilder(2, false)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 0, 0)
+	cg, _ := b.Build()
+	cyc := ClassicTopoSort(cg)
+	if cyc[0] != -1 || cyc[1] != -1 {
+		t.Fatal("cycle got ordered")
+	}
+}
+
+func TestClassicPageRankConservation(t *testing.T) {
+	// On a graph where every vertex has in- and out-edges, total rank is
+	// conserved at n by the damping formulation.
+	n := 50
+	b := graph.NewBuilder(n, false)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%n), 0)
+		b.AddEdge(graph.VertexID(v), graph.VertexID((v+7)%n), 0)
+	}
+	g, _ := b.Build()
+	rank := ClassicPageRank(g, 0.85, 20)
+	var sum float64
+	for _, r := range rank {
+		sum += float64(r)
+	}
+	if math.Abs(sum-float64(n)) > 0.01*float64(n) {
+		t.Fatalf("total rank = %v, want ~%d", sum, n)
+	}
+}
+
+func TestRunF32SeqCountsEvents(t *testing.T) {
+	g := graph.PaperExample()
+	wg, err := gen.WithWeights(g, 0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.NewSSSP(0)
+	iters, c := RunF32Seq(app, wg, 1000)
+	if iters < 2 {
+		t.Fatalf("iters = %d", iters)
+	}
+	if c.Messages == 0 || c.EdgesTraversed != c.Messages {
+		t.Errorf("message counters wrong: %+v", c)
+	}
+	if c.UpdatedVertices == 0 || c.ActiveVertices == 0 {
+		t.Errorf("activity counters wrong: %+v", c)
+	}
+	want := ClassicSSSP(wg, 0)
+	for v := range want {
+		if app.Dist[v] != want[v] {
+			t.Fatalf("seq driver dist[%d] = %v, want %v", v, app.Dist[v], want[v])
+		}
+	}
+}
+
+func TestRunF32SeqFixedActive(t *testing.T) {
+	g := graph.PaperExample()
+	app := apps.NewPageRank()
+	iters, c := RunF32Seq(app, g, 5)
+	if iters != 5 {
+		t.Fatalf("fixed-active seq ran %d iters, want 5", iters)
+	}
+	if c.Messages != 5*g.NumEdges() {
+		t.Fatalf("messages = %d, want %d", c.Messages, 5*g.NumEdges())
+	}
+}
+
+func TestRunGenericSeqTerminates(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 200, Communities: 2, IntraDeg: 3, InterFrac: 0.05, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.NewSemiClustering(3, 4, 0.2)
+	iters, c := RunGenericSeq[apps.SCMsg](app, g, 50)
+	if iters == 0 || iters == 50 {
+		t.Fatalf("SC seq iters = %d (no fixed point?)", iters)
+	}
+	if c.ReducedMessages == 0 {
+		t.Error("no messages processed")
+	}
+	for v := range app.Clusters {
+		if len(app.Clusters[v]) == 0 {
+			t.Fatalf("vertex %d has no clusters", v)
+		}
+	}
+}
+
+func TestClassicWCC(t *testing.T) {
+	b := graph.NewBuilder(7, false)
+	b.AddUndirected(0, 1, 0)
+	b.AddUndirected(1, 2, 0)
+	b.AddUndirected(4, 5, 0)
+	g, _ := b.Build()
+	labels := ClassicWCC(g)
+	want := []graph.VertexID{0, 0, 0, 3, 4, 4, 6}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}

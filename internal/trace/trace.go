@@ -1,0 +1,196 @@
+// Package trace records per-superstep, per-phase timelines of engine runs:
+// which phase of which iteration cost how much simulated time and processed
+// how many events, on which device. It is the observability layer a user
+// needs to see *why* a run costs what it does — e.g. that a TopoSort run is
+// generation-bound on hot iterations, or that BFS's tail iterations are
+// pure launch overhead.
+//
+// A Recorder is attached to a run through core.Options.Trace; nil disables
+// recording with no overhead on the hot path (one nil check per iteration).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Phase names used by the engine.
+const (
+	PhaseGenerate = "generate"
+	PhaseExchange = "exchange"
+	PhaseProcess  = "process"
+	PhaseUpdate   = "update"
+)
+
+// Sample is one phase of one superstep on one device.
+type Sample struct {
+	// Device is the modeled device name ("CPU", "MIC").
+	Device string
+	// Iteration is the superstep index (0-based).
+	Iteration int64
+	// Phase is one of the Phase* constants.
+	Phase string
+	// SimSeconds is the phase's simulated device time.
+	SimSeconds float64
+	// Events is the phase's primary event count (messages generated,
+	// messages reduced, vertices updated, bytes exchanged).
+	Events int64
+}
+
+// Recorder accumulates samples; safe for concurrent use (the heterogeneous
+// runner records from two device goroutines).
+type Recorder struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one sample.
+func (r *Recorder) Record(s Sample) {
+	r.mu.Lock()
+	r.samples = append(r.samples, s)
+	r.mu.Unlock()
+}
+
+// Samples returns a copy of everything recorded, ordered by (device,
+// iteration, recording order).
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	out := append([]Sample(nil), r.samples...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Iteration < out[j].Iteration
+	})
+	return out
+}
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// PhaseTotal is one phase's aggregate across a run.
+type PhaseTotal struct {
+	Device     string
+	Phase      string
+	SimSeconds float64
+	Events     int64
+	Samples    int
+}
+
+// Summary aggregates the recording.
+type Summary struct {
+	// Totals per (device, phase), sorted by device then phase.
+	Totals []PhaseTotal
+	// Iterations per device.
+	Iterations map[string]int64
+	// HottestIteration per device: the superstep with the largest summed
+	// simulated time, and that time.
+	HottestIteration map[string]int64
+	HottestSeconds   map[string]float64
+}
+
+// Summarize computes the Summary.
+func (r *Recorder) Summarize() Summary {
+	samples := r.Samples()
+	type key struct{ dev, phase string }
+	totals := map[key]*PhaseTotal{}
+	iters := map[string]int64{}
+	perIter := map[string]map[int64]float64{}
+	for _, s := range samples {
+		k := key{s.Device, s.Phase}
+		t := totals[k]
+		if t == nil {
+			t = &PhaseTotal{Device: s.Device, Phase: s.Phase}
+			totals[k] = t
+		}
+		t.SimSeconds += s.SimSeconds
+		t.Events += s.Events
+		t.Samples++
+		if s.Iteration+1 > iters[s.Device] {
+			iters[s.Device] = s.Iteration + 1
+		}
+		if perIter[s.Device] == nil {
+			perIter[s.Device] = map[int64]float64{}
+		}
+		perIter[s.Device][s.Iteration] += s.SimSeconds
+	}
+	sum := Summary{
+		Iterations:       iters,
+		HottestIteration: map[string]int64{},
+		HottestSeconds:   map[string]float64{},
+	}
+	for _, t := range totals {
+		sum.Totals = append(sum.Totals, *t)
+	}
+	sort.Slice(sum.Totals, func(i, j int) bool {
+		if sum.Totals[i].Device != sum.Totals[j].Device {
+			return sum.Totals[i].Device < sum.Totals[j].Device
+		}
+		return sum.Totals[i].Phase < sum.Totals[j].Phase
+	})
+	for dev, byIter := range perIter {
+		best, bestT := int64(-1), -1.0
+		for it, t := range byIter {
+			if t > bestT || (t == bestT && it < best) {
+				best, bestT = it, t
+			}
+		}
+		sum.HottestIteration[dev] = best
+		sum.HottestSeconds[dev] = bestT
+	}
+	return sum
+}
+
+// WriteCSV emits the samples as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"device", "iteration", "phase", "sim_seconds", "events"}); err != nil {
+		return err
+	}
+	for _, s := range r.Samples() {
+		err := cw.Write([]string{
+			s.Device,
+			strconv.FormatInt(s.Iteration, 10),
+			s.Phase,
+			strconv.FormatFloat(s.SimSeconds, 'g', -1, 64),
+			strconv.FormatInt(s.Events, 10),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatSummary renders the summary as an aligned text block.
+func FormatSummary(s Summary) string {
+	out := fmt.Sprintf("%-6s %-9s %14s %12s %8s\n", "device", "phase", "sim(s)", "events", "samples")
+	for _, t := range s.Totals {
+		out += fmt.Sprintf("%-6s %-9s %14.6f %12d %8d\n", t.Device, t.Phase, t.SimSeconds, t.Events, t.Samples)
+	}
+	for dev := range s.Iterations {
+		out += fmt.Sprintf("%s: %d iterations, hottest #%d (%.6fs)\n",
+			dev, s.Iterations[dev], s.HottestIteration[dev], s.HottestSeconds[dev])
+	}
+	return out
+}

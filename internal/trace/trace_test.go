@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Record(Sample{Device: "MIC", Iteration: 1, Phase: PhaseGenerate, SimSeconds: 0.5, Events: 10})
+	r.Record(Sample{Device: "CPU", Iteration: 0, Phase: PhaseProcess, SimSeconds: 0.2, Events: 5})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	s := r.Samples()
+	// Ordered by device, then iteration.
+	if s[0].Device != "CPU" || s[1].Device != "MIC" {
+		t.Fatalf("ordering wrong: %+v", s)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for d := 0; d < 4; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				r.Record(Sample{Device: "D", Iteration: int64(i), Phase: PhaseUpdate, Events: 1})
+			}
+		}(d)
+	}
+	wg.Wait()
+	if r.Len() != 1000 {
+		t.Fatalf("lost samples: %d", r.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Sample{Device: "MIC", Iteration: 0, Phase: PhaseGenerate, SimSeconds: 1, Events: 100})
+	r.Record(Sample{Device: "MIC", Iteration: 0, Phase: PhaseProcess, SimSeconds: 0.5, Events: 100})
+	r.Record(Sample{Device: "MIC", Iteration: 1, Phase: PhaseGenerate, SimSeconds: 3, Events: 300})
+	r.Record(Sample{Device: "MIC", Iteration: 1, Phase: PhaseProcess, SimSeconds: 0.5, Events: 300})
+	r.Record(Sample{Device: "CPU", Iteration: 0, Phase: PhaseGenerate, SimSeconds: 2, Events: 50})
+	s := r.Summarize()
+	if s.Iterations["MIC"] != 2 || s.Iterations["CPU"] != 1 {
+		t.Fatalf("iterations: %+v", s.Iterations)
+	}
+	if s.HottestIteration["MIC"] != 1 || s.HottestSeconds["MIC"] != 3.5 {
+		t.Fatalf("hottest: %+v / %+v", s.HottestIteration, s.HottestSeconds)
+	}
+	// Totals per device+phase.
+	var micGen *PhaseTotal
+	for i := range s.Totals {
+		if s.Totals[i].Device == "MIC" && s.Totals[i].Phase == PhaseGenerate {
+			micGen = &s.Totals[i]
+		}
+	}
+	if micGen == nil || micGen.SimSeconds != 4 || micGen.Events != 400 || micGen.Samples != 2 {
+		t.Fatalf("MIC generate total wrong: %+v", micGen)
+	}
+	out := FormatSummary(s)
+	if !strings.Contains(out, "MIC") || !strings.Contains(out, "generate") || !strings.Contains(out, "hottest #1") {
+		t.Fatalf("summary rendering:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Sample{Device: "CPU", Iteration: 0, Phase: PhaseUpdate, SimSeconds: 0.125, Events: 7})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines: %v", lines)
+	}
+	if lines[0] != "device,iteration,phase,sim_seconds,events" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "CPU,0,update,0.125,7" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewRecorder().Summarize()
+	if len(s.Totals) != 0 || len(s.Iterations) != 0 {
+		t.Fatal("empty recorder produced totals")
+	}
+	if FormatSummary(s) == "" {
+		t.Fatal("empty summary renders nothing (want header)")
+	}
+}

@@ -1,0 +1,40 @@
+package vec
+
+import "math/bits"
+
+// Mask is a per-lane write mask, one bit per lane (bit i = lane i), mirroring
+// the hardware mask registers of IMCI. Lane widths are capped at 64 so a
+// mask always fits.
+type Mask uint64
+
+// FullMask returns a mask with the low n lanes set.
+func FullMask(n int) Mask {
+	if n >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// Bit reports whether lane i is enabled.
+func (m Mask) Bit(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Set returns m with lane i enabled.
+func (m Mask) Set(i int) Mask { return m | 1<<uint(i) }
+
+// Clear returns m with lane i disabled.
+func (m Mask) Clear(i int) Mask { return m &^ (1 << uint(i)) }
+
+// Count returns the number of enabled lanes.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// None reports whether no lane is enabled.
+func (m Mask) None() bool { return m == 0 }
+
+// And returns the intersection of two masks.
+func (m Mask) And(o Mask) Mask { return m & o }
+
+// Or returns the union of two masks.
+func (m Mask) Or(o Mask) Mask { return m | o }
+
+// AndNot returns lanes in m that are not in o.
+func (m Mask) AndNot(o Mask) Mask { return m &^ o }

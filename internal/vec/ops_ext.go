@@ -1,0 +1,287 @@
+package vec
+
+import "math"
+
+// Extended row operations completing the paper's vtype surface: fused
+// multiply-add (one IMCI instruction), absolute value, negation, square
+// root, comparisons in both directions, lane conversions between vint and
+// vfloat, and horizontal argmin. These round out the overloaded-operator
+// set ("+, -, x, ÷, etc.") of §IV-C for user-defined reductions beyond the
+// five evaluated applications.
+
+// FMAF32 sets dst[i] = a[i]*b[i] + c[i] (vfmadd).
+func FMAF32(dst, a, b, c []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i]*b[i] + c[i]
+	}
+}
+
+// AbsF32 sets dst[i] = |a[i]|.
+func AbsF32(dst, a []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = float32(math.Abs(float64(a[i])))
+	}
+}
+
+// NegF32 sets dst[i] = -a[i].
+func NegF32(dst, a []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = -a[i]
+	}
+}
+
+// SqrtF32 sets dst[i] = sqrt(a[i]).
+func SqrtF32(dst, a []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = float32(math.Sqrt(float64(a[i])))
+	}
+}
+
+// CmpLeF32 returns a mask of lanes where a[i] <= b[i].
+func CmpLeF32(a, b []float32) Mask {
+	var m Mask
+	for i := range a {
+		if a[i] <= b[i] {
+			m = m.Set(i)
+		}
+	}
+	return m
+}
+
+// CmpGtF32 returns a mask of lanes where a[i] > b[i].
+func CmpGtF32(a, b []float32) Mask {
+	var m Mask
+	for i := range a {
+		if a[i] > b[i] {
+			m = m.Set(i)
+		}
+	}
+	return m
+}
+
+// CmpEqF32 returns a mask of lanes where a[i] == b[i].
+func CmpEqF32(a, b []float32) Mask {
+	var m Mask
+	for i := range a {
+		if a[i] == b[i] {
+			m = m.Set(i)
+		}
+	}
+	return m
+}
+
+// MaskSubF32 sets dst[i] = a[i] - b[i] for enabled lanes.
+func MaskSubF32(dst, a, b []float32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			dst[i] = a[i] - b[i]
+		}
+	}
+}
+
+// MaskMulF32 sets dst[i] = a[i] * b[i] for enabled lanes.
+func MaskMulF32(dst, a, b []float32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			dst[i] = a[i] * b[i]
+		}
+	}
+}
+
+// HArgMinF32 returns the lane index of the row minimum (lowest index on
+// ties) and the minimum itself. Panics on an empty row.
+func HArgMinF32(a []float32) (lane int, min float32) {
+	lane, min = 0, a[0]
+	for i, v := range a[1:] {
+		if v < min {
+			min = v
+			lane = i + 1
+		}
+	}
+	return lane, min
+}
+
+// HCountF32 returns the number of lanes equal to v (useful for counting
+// identity bubbles in diagnostics).
+func HCountF32(a []float32, v float32) int {
+	n := 0
+	for _, x := range a {
+		if x == v {
+			n++
+		}
+	}
+	return n
+}
+
+// CvtI32toF32 converts int32 lanes to float32 (vcvtdq2ps).
+func CvtI32toF32(dst []float32, a []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = float32(a[i])
+	}
+}
+
+// CvtF32toI32 converts float32 lanes to int32, truncating toward zero
+// (vcvttps2dq).
+func CvtF32toI32(dst []int32, a []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = int32(a[i])
+	}
+}
+
+// AndI32 sets dst[i] = a[i] & b[i].
+func AndI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// OrI32 sets dst[i] = a[i] | b[i].
+func OrI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+// XorI32 sets dst[i] = a[i] ^ b[i].
+func XorI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// ShlI32 sets dst[i] = a[i] << s.
+func ShlI32(dst, a []int32, s uint) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] << s
+	}
+}
+
+// ShrI32 sets dst[i] = a[i] >> s (arithmetic shift).
+func ShrI32(dst, a []int32, s uint) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] >> s
+	}
+}
+
+// MulI32 sets dst[i] = a[i] * b[i].
+func MulI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// DivF64 sets dst[i] = a[i] / b[i].
+func DivF64(dst, a, b []float64) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] / b[i]
+	}
+}
+
+// MaskMinF64 sets dst[i] = min(a[i], b[i]) for enabled lanes.
+func MaskMinF64(dst, a, b []float64, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			if b[i] < a[i] {
+				dst[i] = b[i]
+			} else {
+				dst[i] = a[i]
+			}
+		}
+	}
+}
+
+// GatherF64 emulates a gather: dst[i] = base[idx[i]].
+func GatherF64(dst []float64, base []float64, idx []int32) {
+	_ = dst[len(idx)-1]
+	for i := range idx {
+		dst[i] = base[idx[i]]
+	}
+}
+
+// HMaxF64 returns the horizontal maximum of the row.
+func HMaxF64(a []float64) float64 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArrayF64 is the float64 vector array (vdouble); a register of the same
+// physical width holds Width.Lanes64() lanes.
+type ArrayF64 struct {
+	width int
+	data  []float64
+}
+
+// NewArrayF64 allocates a zeroed float64 vector array. w is the register's
+// float32 lane width; rows use w/2 float64 lanes.
+func NewArrayF64(w Width, rows int) (*ArrayF64, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if rows < 0 {
+		return nil, errNegativeRows(rows)
+	}
+	lanes := w.Lanes64()
+	return &ArrayF64{width: lanes, data: make([]float64, rows*lanes)}, nil
+}
+
+func errNegativeRows(rows int) error {
+	return &rowError{rows}
+}
+
+type rowError struct{ rows int }
+
+func (e *rowError) Error() string { return "vec: negative row count" }
+
+// Width returns the float64 lane count per row.
+func (a *ArrayF64) Width() int { return a.width }
+
+// Rows returns the number of rows.
+func (a *ArrayF64) Rows() int { return len(a.data) / a.width }
+
+// Row returns row i, aliasing the backing store.
+func (a *ArrayF64) Row(i int) []float64 {
+	off := i * a.width
+	return a.data[off : off+a.width : off+a.width]
+}
+
+// Fill broadcasts v into every element.
+func (a *ArrayF64) Fill(v float64) { FillF64(a.data, v) }
+
+// ReduceMin folds rows [0,n) with MinF64 into row 0 and returns it.
+func (a *ArrayF64) ReduceMin(n int) []float64 {
+	r0 := a.Row(0)
+	for i := 1; i < n; i++ {
+		MinF64(r0, r0, a.Row(i))
+	}
+	return r0
+}
+
+// ReduceSum folds rows [0,n) with AddF64 into row 0 and returns it.
+func (a *ArrayF64) ReduceSum(n int) []float64 {
+	r0 := a.Row(0)
+	for i := 1; i < n; i++ {
+		AddF64(r0, r0, a.Row(i))
+	}
+	return r0
+}

@@ -1,0 +1,216 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFMAF32(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{2, 2, 2, 2}
+	c := []float32{10, 10, 10, 10}
+	dst := make([]float32, 4)
+	FMAF32(dst, a, b, c)
+	want := []float32{12, 14, 16, 18}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("FMA lane %d = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestAbsNegSqrtF32(t *testing.T) {
+	a := []float32{-4, 9, -16, 25}
+	dst := make([]float32, 4)
+	AbsF32(dst, a)
+	if dst[0] != 4 || dst[2] != 16 {
+		t.Fatalf("Abs = %v", dst)
+	}
+	NegF32(dst, a)
+	if dst[0] != 4 || dst[1] != -9 {
+		t.Fatalf("Neg = %v", dst)
+	}
+	SqrtF32(dst, []float32{4, 9, 16, 25})
+	want := []float32{2, 3, 4, 5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Sqrt lane %d = %v", i, dst[i])
+		}
+	}
+}
+
+func TestComparisonsF32(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{2, 2, 2, 2}
+	if m := CmpLeF32(a, b); m != 0b0011 {
+		t.Errorf("CmpLe = %#b", uint64(m))
+	}
+	if m := CmpGtF32(a, b); m != 0b1100 {
+		t.Errorf("CmpGt = %#b", uint64(m))
+	}
+	if m := CmpEqF32(a, b); m != 0b0010 {
+		t.Errorf("CmpEq = %#b", uint64(m))
+	}
+	// Lt | Eq == Le, Gt == ^Le (over 4 lanes).
+	lt := CmpLtF32(a, b)
+	if lt.Or(CmpEqF32(a, b)) != CmpLeF32(a, b) {
+		t.Error("Lt|Eq != Le")
+	}
+	if CmpGtF32(a, b) != CmpLeF32(a, b).AndNot(FullMask(4)).Or(FullMask(4).AndNot(CmpLeF32(a, b))) {
+		t.Error("Gt != ~Le")
+	}
+}
+
+func TestMaskedExtF32(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{10, 20, 30, 40}
+	dst := []float32{0, 0, 0, 0}
+	MaskSubF32(dst, b, a, Mask(0b0101))
+	if dst[0] != 9 || dst[1] != 0 || dst[2] != 27 || dst[3] != 0 {
+		t.Fatalf("MaskSub = %v", dst)
+	}
+	FillF32(dst, 0)
+	MaskMulF32(dst, a, b, Mask(0b1010))
+	if dst[0] != 0 || dst[1] != 40 || dst[2] != 0 || dst[3] != 160 {
+		t.Fatalf("MaskMul = %v", dst)
+	}
+}
+
+func TestHArgMinAndCount(t *testing.T) {
+	a := []float32{3, 1, 4, 1}
+	lane, min := HArgMinF32(a)
+	if lane != 1 || min != 1 {
+		t.Fatalf("HArgMin = %d,%v (ties must pick lowest index)", lane, min)
+	}
+	if HCountF32(a, 1) != 2 || HCountF32(a, 9) != 0 {
+		t.Fatal("HCount wrong")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	i := []int32{-3, 0, 7, 100}
+	f := make([]float32, 4)
+	CvtI32toF32(f, i)
+	if f[0] != -3 || f[3] != 100 {
+		t.Fatalf("CvtI32toF32 = %v", f)
+	}
+	back := make([]int32, 4)
+	CvtF32toI32(back, []float32{-3.9, 0.5, 7.1, 100})
+	want := []int32{-3, 0, 7, 100} // truncation toward zero
+	for k := range want {
+		if back[k] != want[k] {
+			t.Fatalf("CvtF32toI32 lane %d = %d, want %d", k, back[k], want[k])
+		}
+	}
+}
+
+func TestBitwiseI32(t *testing.T) {
+	a := []int32{0b1100, 0b1010}
+	b := []int32{0b1010, 0b0110}
+	dst := make([]int32, 2)
+	AndI32(dst, a, b)
+	if dst[0] != 0b1000 || dst[1] != 0b0010 {
+		t.Fatalf("And = %v", dst)
+	}
+	OrI32(dst, a, b)
+	if dst[0] != 0b1110 || dst[1] != 0b1110 {
+		t.Fatalf("Or = %v", dst)
+	}
+	XorI32(dst, a, b)
+	if dst[0] != 0b0110 || dst[1] != 0b1100 {
+		t.Fatalf("Xor = %v", dst)
+	}
+	ShlI32(dst, a, 2)
+	if dst[0] != 0b110000 {
+		t.Fatalf("Shl = %v", dst)
+	}
+	ShrI32(dst, []int32{-8, 8}, 1)
+	if dst[0] != -4 || dst[1] != 4 {
+		t.Fatalf("Shr (arithmetic) = %v", dst)
+	}
+	MulI32(dst, []int32{3, -4}, []int32{5, 6})
+	if dst[0] != 15 || dst[1] != -24 {
+		t.Fatalf("Mul = %v", dst)
+	}
+}
+
+func TestF64Extensions(t *testing.T) {
+	a := []float64{8, 18}
+	b := []float64{2, 3}
+	dst := make([]float64, 2)
+	DivF64(dst, a, b)
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("DivF64 = %v", dst)
+	}
+	FillF64(dst, 100)
+	MaskMinF64(dst, a, b, Mask(0b01))
+	if dst[0] != 2 || dst[1] != 100 {
+		t.Fatalf("MaskMinF64 = %v", dst)
+	}
+	base := []float64{0, 10, 20, 30}
+	GatherF64(dst, base, []int32{3, 1})
+	if dst[0] != 30 || dst[1] != 10 {
+		t.Fatalf("GatherF64 = %v", dst)
+	}
+	if HMaxF64([]float64{1, 7, 3}) != 7 {
+		t.Fatal("HMaxF64 wrong")
+	}
+}
+
+func TestArrayF64(t *testing.T) {
+	a, err := NewArrayF64(WidthMIC, 3) // 8 float64 lanes per row
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Width() != 8 || a.Rows() != 3 {
+		t.Fatalf("shape = %dx%d", a.Rows(), a.Width())
+	}
+	a.Fill(5)
+	copy(a.Row(1), []float64{1, 9, 2, 9, 3, 9, 4, 9})
+	got := a.ReduceMin(2)
+	want := []float64{1, 5, 2, 5, 3, 5, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReduceMin lane %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	a.Fill(2)
+	sum := a.ReduceSum(3)
+	for _, v := range sum {
+		if v != 6 {
+			t.Fatalf("ReduceSum = %v", sum)
+		}
+	}
+	if _, err := NewArrayF64(Width(5), 2); err == nil {
+		t.Fatal("accepted bad width")
+	}
+	if _, err := NewArrayF64(WidthCPU, -1); err == nil {
+		t.Fatal("accepted negative rows")
+	}
+	if cap(a.Row(0)) != 8 {
+		t.Fatal("row capacity not clamped")
+	}
+}
+
+// property: FMA equals separate mul+add for finite inputs.
+func TestQuickFMAConsistency(t *testing.T) {
+	f := func(av, bv, cv [4]float32) bool {
+		a, b, c := av[:], bv[:], cv[:]
+		fma := make([]float32, 4)
+		FMAF32(fma, a, b, c)
+		mul := make([]float32, 4)
+		MulF32(mul, a, b)
+		add := make([]float32, 4)
+		AddF32(add, mul, c)
+		for i := range fma {
+			if fma[i] != add[i] && !(math.IsNaN(float64(fma[i])) && math.IsNaN(float64(add[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

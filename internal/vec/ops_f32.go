@@ -1,0 +1,211 @@
+package vec
+
+// Row operations on float32 lanes. Each function is the portable equivalent
+// of one SIMD instruction: it touches exactly len(dst) lanes and performs the
+// same operation in every lane. Slices must have equal length; this is the
+// caller's contract, as with real intrinsics, and is checked in debug builds
+// via the tests rather than per call (these sit on the hottest path of the
+// message-processing step).
+
+// AddF32 sets dst[i] = a[i] + b[i].
+func AddF32(dst, a, b []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubF32 sets dst[i] = a[i] - b[i].
+func SubF32(dst, a, b []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// MulF32 sets dst[i] = a[i] * b[i].
+func MulF32(dst, a, b []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// DivF32 sets dst[i] = a[i] / b[i].
+func DivF32(dst, a, b []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] / b[i]
+	}
+}
+
+// MinF32 sets dst[i] = min(a[i], b[i]). The wrapped intrinsic on MIC is
+// _mm512_min_ps (the paper's SSSP reduction).
+func MinF32(dst, a, b []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if b[i] < a[i] {
+			dst[i] = b[i]
+		} else {
+			dst[i] = a[i]
+		}
+	}
+}
+
+// MaxF32 sets dst[i] = max(a[i], b[i]).
+func MaxF32(dst, a, b []float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if b[i] > a[i] {
+			dst[i] = b[i]
+		} else {
+			dst[i] = a[i]
+		}
+	}
+}
+
+// FillF32 broadcasts s into every lane of dst.
+func FillF32(dst []float32, s float32) {
+	for i := range dst {
+		dst[i] = s
+	}
+}
+
+// AddScalarF32 sets dst[i] = a[i] + s.
+func AddScalarF32(dst, a []float32, s float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] + s
+	}
+}
+
+// MulScalarF32 sets dst[i] = a[i] * s.
+func MulScalarF32(dst, a []float32, s float32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] * s
+	}
+}
+
+// MaskAddF32 sets dst[i] = a[i] + b[i] for lanes enabled in m; other lanes
+// of dst are left unchanged (write-mask semantics).
+func MaskAddF32(dst, a, b []float32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			dst[i] = a[i] + b[i]
+		}
+	}
+}
+
+// MaskMinF32 sets dst[i] = min(a[i], b[i]) for lanes enabled in m.
+func MaskMinF32(dst, a, b []float32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			if b[i] < a[i] {
+				dst[i] = b[i]
+			} else {
+				dst[i] = a[i]
+			}
+		}
+	}
+}
+
+// MaskMaxF32 sets dst[i] = max(a[i], b[i]) for lanes enabled in m.
+func MaskMaxF32(dst, a, b []float32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			if b[i] > a[i] {
+				dst[i] = b[i]
+			} else {
+				dst[i] = a[i]
+			}
+		}
+	}
+}
+
+// MaskFillF32 broadcasts s into enabled lanes of dst.
+func MaskFillF32(dst []float32, s float32, m Mask) {
+	for i := range dst {
+		if m.Bit(i) {
+			dst[i] = s
+		}
+	}
+}
+
+// BlendF32 sets dst[i] = b[i] where m is set, else a[i] (vector select).
+func BlendF32(dst, a, b []float32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			dst[i] = b[i]
+		} else {
+			dst[i] = a[i]
+		}
+	}
+}
+
+// CmpLtF32 returns a mask of lanes where a[i] < b[i].
+func CmpLtF32(a, b []float32) Mask {
+	var m Mask
+	for i := range a {
+		if a[i] < b[i] {
+			m = m.Set(i)
+		}
+	}
+	return m
+}
+
+// HSumF32 returns the horizontal sum of the row.
+func HSumF32(a []float32) float32 {
+	var s float32
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// HMinF32 returns the horizontal minimum of the row.
+// It panics on an empty row, as there is no identity to return.
+func HMinF32(a []float32) float32 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// HMaxF32 returns the horizontal maximum of the row.
+func HMaxF32(a []float32) float32 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// GatherF32 emulates a gather: dst[i] = base[idx[i]].
+func GatherF32(dst []float32, base []float32, idx []int32) {
+	_ = dst[len(idx)-1]
+	for i := range idx {
+		dst[i] = base[idx[i]]
+	}
+}
+
+// ScatterF32 emulates a scatter: base[idx[i]] = src[i] for enabled lanes.
+// Colliding indices within one scatter resolve to the highest enabled lane,
+// matching IMCI's defined behaviour.
+func ScatterF32(base []float32, src []float32, idx []int32, m Mask) {
+	_ = src[len(idx)-1]
+	for i := range idx {
+		if m.Bit(i) {
+			base[idx[i]] = src[i]
+		}
+	}
+}

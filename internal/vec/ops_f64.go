@@ -1,0 +1,89 @@
+package vec
+
+// float64 row operations. A register of the same physical width holds half
+// as many float64 lanes (Width.Lanes64); callers size rows accordingly.
+
+// AddF64 sets dst[i] = a[i] + b[i].
+func AddF64(dst, a, b []float64) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubF64 sets dst[i] = a[i] - b[i].
+func SubF64(dst, a, b []float64) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// MulF64 sets dst[i] = a[i] * b[i].
+func MulF64(dst, a, b []float64) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// MinF64 sets dst[i] = min(a[i], b[i]).
+func MinF64(dst, a, b []float64) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if b[i] < a[i] {
+			dst[i] = b[i]
+		} else {
+			dst[i] = a[i]
+		}
+	}
+}
+
+// MaxF64 sets dst[i] = max(a[i], b[i]).
+func MaxF64(dst, a, b []float64) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if b[i] > a[i] {
+			dst[i] = b[i]
+		} else {
+			dst[i] = a[i]
+		}
+	}
+}
+
+// FillF64 broadcasts s into every lane of dst.
+func FillF64(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] = s
+	}
+}
+
+// MaskAddF64 sets dst[i] = a[i] + b[i] for enabled lanes.
+func MaskAddF64(dst, a, b []float64, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			dst[i] = a[i] + b[i]
+		}
+	}
+}
+
+// HSumF64 returns the horizontal sum of the row.
+func HSumF64(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// HMinF64 returns the horizontal minimum of the row.
+func HMinF64(a []float64) float64 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

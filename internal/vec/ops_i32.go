@@ -1,0 +1,106 @@
+package vec
+
+// int32 row operations (vint in the paper's API). TopoSort's in-degree
+// decrement and BFS levels use these.
+
+// AddI32 sets dst[i] = a[i] + b[i].
+func AddI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubI32 sets dst[i] = a[i] - b[i].
+func SubI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// MinI32 sets dst[i] = min(a[i], b[i]).
+func MinI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if b[i] < a[i] {
+			dst[i] = b[i]
+		} else {
+			dst[i] = a[i]
+		}
+	}
+}
+
+// MaxI32 sets dst[i] = max(a[i], b[i]).
+func MaxI32(dst, a, b []int32) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if b[i] > a[i] {
+			dst[i] = b[i]
+		} else {
+			dst[i] = a[i]
+		}
+	}
+}
+
+// FillI32 broadcasts s into every lane of dst.
+func FillI32(dst []int32, s int32) {
+	for i := range dst {
+		dst[i] = s
+	}
+}
+
+// MaskAddI32 sets dst[i] = a[i] + b[i] for enabled lanes.
+func MaskAddI32(dst, a, b []int32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			dst[i] = a[i] + b[i]
+		}
+	}
+}
+
+// MaskMinI32 sets dst[i] = min(a[i], b[i]) for enabled lanes.
+func MaskMinI32(dst, a, b []int32, m Mask) {
+	_ = dst[len(a)-1]
+	for i := range a {
+		if m.Bit(i) {
+			if b[i] < a[i] {
+				dst[i] = b[i]
+			} else {
+				dst[i] = a[i]
+			}
+		}
+	}
+}
+
+// HSumI32 returns the horizontal sum of the row.
+func HSumI32(a []int32) int32 {
+	var s int32
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// HMinI32 returns the horizontal minimum of the row.
+func HMinI32(a []int32) int32 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CmpEqI32 returns a mask of lanes where a[i] == b[i].
+func CmpEqI32(a, b []int32) Mask {
+	var m Mask
+	for i := range a {
+		if a[i] == b[i] {
+			m = m.Set(i)
+		}
+	}
+	return m
+}

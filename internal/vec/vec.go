@@ -1,0 +1,60 @@
+// Package vec provides portable SIMD-style vector primitives.
+//
+// The paper's framework exposes vector types (vint, vfloat, vdouble) whose
+// operations wrap architecture intrinsics: IMCI on the MIC (512-bit, 16
+// float32 lanes) and SSE4.2 on the CPU (128-bit, 4 float32 lanes). Go has no
+// intrinsics, so this package reproduces the *semantics*: fixed-width lane
+// groups, element-wise arithmetic, write-masked variants, and horizontal
+// reductions. The lane width is a runtime parameter so the same code serves
+// both simulated devices, exactly as the paper's API is portable between KNC
+// and SSE.
+//
+// All operations are defined on rows: slices whose length equals the lane
+// width. A row is the unit the Condensed Static Buffer stores and reduces.
+package vec
+
+import "fmt"
+
+// Standard lane widths for the two devices modeled in this reproduction,
+// in float32 lanes (w / msgSize with w the SIMD register width in bytes).
+const (
+	// WidthCPU is the SSE4.2 width: 128-bit registers, 4 float32 lanes.
+	WidthCPU = 4
+	// WidthMIC is the IMCI width: 512-bit registers, 16 float32 lanes.
+	WidthMIC = 16
+	// MaxWidth bounds lane widths so masks fit in a uint64.
+	MaxWidth = 64
+)
+
+// Width is a SIMD lane width in scalar elements.
+type Width int
+
+// Valid reports whether w is a supported lane width: a power of two
+// between 2 and MaxWidth.
+func (w Width) Valid() bool {
+	return w >= 2 && w <= MaxWidth && w&(w-1) == 0
+}
+
+// Validate returns an error describing why w is not a usable lane width.
+func (w Width) Validate() error {
+	if !w.Valid() {
+		return fmt.Errorf("vec: invalid lane width %d (want power of two in [2,%d])", int(w), MaxWidth)
+	}
+	return nil
+}
+
+// Lanes64 returns the number of float64 lanes for the same register width.
+// A 512-bit register holds 16 float32 or 8 float64.
+func (w Width) Lanes64() int { return int(w) / 2 }
+
+// RoundUp returns the smallest multiple of w that is >= n.
+func (w Width) RoundUp(n int) int {
+	k := int(w)
+	return (n + k - 1) / k * k
+}
+
+// Groups returns how many rows of width w are needed to cover n elements.
+func (w Width) Groups(n int) int {
+	k := int(w)
+	return (n + k - 1) / k
+}
