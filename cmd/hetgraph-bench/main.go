@@ -104,5 +104,6 @@ func main() {
 		emit(bench.AblationMetisBlocks(pr))
 		emit(bench.AblationChunkSize(pr))
 		emit(bench.AblationRatioSweep(pr))
+		emit(bench.AblationGenScheme(pr))
 	}
 }

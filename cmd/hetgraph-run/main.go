@@ -31,6 +31,7 @@ func main() {
 		source    = flag.Int("source", 0, "source vertex for bfs/sssp")
 		iters     = flag.Int("iters", 0, "iteration bound (0 = converge; pagerank default 10)")
 		novec     = flag.Bool("novec", false, "disable SIMD message reduction")
+		genBatch  = flag.Int("genbatch", 0, "pipelined handoff batch size (0/1 = per-element; try 64)")
 		traceCSV  = flag.String("trace", "", "write a per-superstep phase timeline CSV to this path")
 		verify    = flag.Bool("verify", false, "check the result against the sequential reference")
 	)
@@ -99,6 +100,7 @@ func main() {
 		Scheme:        schemeOf(*scheme),
 		Vectorized:    !*novec,
 		MaxIterations: *iters,
+		GenBatchSize:  *genBatch,
 		Trace:         rec,
 	}
 	switch *device {

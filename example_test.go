@@ -1,0 +1,80 @@
+package hetgraph_test
+
+import (
+	"fmt"
+
+	"hetgraph"
+)
+
+// Example_quickstart runs single-source shortest paths on a generated
+// Pokec-like power-law graph, on the simulated Xeon Phi with pipelined
+// generation and SIMD message reduction, then checks the distances
+// against an independent Dijkstra implementation.
+func Example_quickstart() {
+	g, err := hetgraph.GeneratePowerLaw(hetgraph.DefaultPowerLaw(10000))
+	if err != nil {
+		panic(err)
+	}
+	wg, err := hetgraph.AddRandomWeights(g, 0, 10, 1)
+	if err != nil {
+		panic(err)
+	}
+
+	app := hetgraph.NewSSSP(0)
+	res, err := hetgraph.Run(app, wg, hetgraph.Options{
+		Dev:        hetgraph.MIC(),
+		Scheme:     hetgraph.SchemePipelined,
+		Vectorized: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	ok, detail := hetgraph.VerifyAgainstSequential("sssp", app, wg, 0, int(res.Iterations))
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("verified:", ok, "-", detail)
+	// Output:
+	// converged: true
+	// verified: true - sssp distances match Dijkstra on 10000 vertices
+}
+
+// ExampleRun_pipelined contrasts the pipelined scheme's per-element SPSC
+// handoff (the default, GenBatchSize 1) with the batched handoff
+// (DefaultGenBatch): the same messages flow, but batching publishes the
+// queue cursors once per batch instead of once per message. See
+// docs/pipeline.md.
+func ExampleRun_pipelined() {
+	g, err := hetgraph.GeneratePowerLaw(hetgraph.DefaultPowerLaw(4000))
+	if err != nil {
+		panic(err)
+	}
+
+	perElem := hetgraph.NewBFS(0)
+	pres, err := hetgraph.Run(perElem, g, hetgraph.Options{
+		Dev: hetgraph.MIC(), Scheme: hetgraph.SchemePipelined, Vectorized: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("per-element queue ops per message:",
+		pres.Counters.QueueOps/pres.Counters.Messages)
+
+	batched := hetgraph.NewBFS(0)
+	bres, err := hetgraph.Run(batched, g, hetgraph.Options{
+		Dev: hetgraph.MIC(), Scheme: hetgraph.SchemePipelined, Vectorized: true,
+		GenBatchSize: hetgraph.DefaultGenBatch,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same messages generated:", bres.Counters.Messages == pres.Counters.Messages)
+	fmt.Println("batched publications below per-element ops:",
+		bres.Counters.QueueBatchOps < pres.Counters.QueueOps)
+	fmt.Println("batched generation simulated faster:",
+		bres.Phases.Generate < pres.Phases.Generate)
+	// Output:
+	// per-element queue ops per message: 2
+	// same messages generated: true
+	// batched publications below per-element ops: true
+	// batched generation simulated faster: true
+}

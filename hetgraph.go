@@ -165,6 +165,11 @@ const (
 	CSBOneToOne = csb.OneToOne
 )
 
+// DefaultGenBatch is the recommended Options.GenBatchSize for batched
+// pipelined message generation; the default (0 or 1) is the paper's
+// per-element SPSC handoff. See docs/pipeline.md.
+const DefaultGenBatch = core.DefaultGenBatch
+
 // CPU returns the modeled Xeon E5-2680 (16 cores, SSE4.2).
 func CPU() DeviceSpec { return machine.CPU() }
 
@@ -372,6 +377,10 @@ type (
 	SplitResult = autotune.SplitResult
 	// RatioResult reports a partitioning-ratio tuning outcome.
 	RatioResult = autotune.RatioResult
+	// BatchResult reports a generation-batch-size tuning outcome.
+	BatchResult = autotune.BatchResult
+	// BatchProbe is one candidate batch size's measurement.
+	BatchProbe = autotune.BatchProbe
 )
 
 // TuneWorkerMoverSplit searches the pipelined scheme's worker/mover split
@@ -384,4 +393,11 @@ func TuneWorkerMoverSplit(newApp func() AppF32, g *Graph, dev DeviceSpec, budget
 // execution under the given partitioning method.
 func TunePartitionRatio(newApp func() AppF32, g *Graph, method PartitionMethod, optCPU, optMIC Options, budget TuneBudget) (RatioResult, error) {
 	return autotune.TuneRatio(autotune.AppFactory(newApp), g, method, optCPU, optMIC, budget)
+}
+
+// TuneGenBatchSize searches the pipelined scheme's worker→mover handoff
+// batch size (Options.GenBatchSize) for one device by probing short real
+// runs of the application, including the per-element baseline (batch 1).
+func TuneGenBatchSize(newApp func() AppF32, g *Graph, dev DeviceSpec, budget TuneBudget) (BatchResult, error) {
+	return autotune.TuneGenBatch(autotune.AppFactory(newApp), g, dev, budget)
 }

@@ -106,6 +106,59 @@ func TuneSplit(newApp AppFactory, g *graph.CSR, dev machine.DeviceSpec, budget B
 	return res, nil
 }
 
+// BatchResult reports the generation-batch-size tuning outcome.
+type BatchResult struct {
+	// BatchSize is the winning GenBatchSize (1 = per-element handoff).
+	BatchSize int
+	// ProbeSimSeconds is the winning probe's simulated time.
+	ProbeSimSeconds float64
+	// Probes lists every tried batch size with its probe time.
+	Probes []BatchProbe
+}
+
+// BatchProbe is one candidate batch size's measurement.
+type BatchProbe struct {
+	BatchSize  int
+	SimSeconds float64
+}
+
+// TuneGenBatch searches the worker→mover handoff batch size for the
+// pipelined scheme on one device, sweeping powers of two around the default
+// (1 probes the paper's per-element handoff as the baseline). Each candidate
+// runs ProbeIters supersteps of the real application; the winner is the
+// lowest simulated device time, which trades the amortized cursor handshake
+// against the latency of messages parked in worker-local buffers.
+func TuneGenBatch(newApp AppFactory, g *graph.CSR, dev machine.DeviceSpec, budget Budget) (BatchResult, error) {
+	budget = budget.withDefaults()
+	candidates := []int{1, 8, 16, 32, 64, 128, 256}
+	var res BatchResult
+	for _, batch := range candidates {
+		if len(res.Probes) >= budget.MaxProbes {
+			break
+		}
+		run, err := core.RunF32(newApp(), g, core.Options{
+			Dev:           dev,
+			Scheme:        core.SchemePipelined,
+			Vectorized:    true,
+			GenBatchSize:  batch,
+			MaxIterations: budget.ProbeIters,
+		})
+		if err != nil {
+			return BatchResult{}, err
+		}
+		probe := BatchProbe{BatchSize: batch, SimSeconds: run.SimSeconds}
+		res.Probes = append(res.Probes, probe)
+		if res.BatchSize == 0 || probe.SimSeconds < res.ProbeSimSeconds {
+			res.BatchSize = batch
+			res.ProbeSimSeconds = probe.SimSeconds
+		}
+	}
+	if res.BatchSize == 0 {
+		return res, fmt.Errorf("autotune: no batch size probed")
+	}
+	return res, nil
+}
+
 // RatioResult reports the partitioning-ratio tuning outcome.
 type RatioResult struct {
 	Ratio partition.Ratio

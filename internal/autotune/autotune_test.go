@@ -148,3 +148,45 @@ func TestTunedSplitQuality(t *testing.T) {
 			res.Workers, res.Movers, tunedRun.SimSeconds, defW, defM, defRun.SimSeconds)
 	}
 }
+
+func TestTuneGenBatchFindsValidBatch(t *testing.T) {
+	g := tuneGraph(t)
+	res, err := TuneGenBatch(func() core.AppF32 { return apps.NewPageRank() }, g, machine.MIC(), Budget{ProbeIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchSize < 1 {
+		t.Fatalf("degenerate batch size %d", res.BatchSize)
+	}
+	if len(res.Probes) < 3 {
+		t.Fatalf("only %d probes", len(res.Probes))
+	}
+	sawBaseline := false
+	for _, p := range res.Probes {
+		if p.BatchSize == 1 {
+			sawBaseline = true
+		}
+		if p.SimSeconds < res.ProbeSimSeconds {
+			t.Fatalf("probe b=%d (%v) beats reported winner (%v)", p.BatchSize, p.SimSeconds, res.ProbeSimSeconds)
+		}
+	}
+	if !sawBaseline {
+		t.Error("per-element baseline (batch 1) was not probed")
+	}
+	// On the MIC's power-law workload the amortized handoff must win over
+	// the per-element baseline.
+	if res.BatchSize == 1 {
+		t.Error("tuner picked the per-element handoff on the MIC power-law workload")
+	}
+}
+
+func TestTuneGenBatchBudgetRespected(t *testing.T) {
+	g := tuneGraph(t)
+	res, err := TuneGenBatch(func() core.AppF32 { return apps.NewPageRank() }, g, machine.MIC(), Budget{MaxProbes: 2, ProbeIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 2 {
+		t.Fatalf("probes = %d, want 2 (budget)", len(res.Probes))
+	}
+}

@@ -141,6 +141,56 @@ func AblationChunkSize(spec AppSpec) (Figure, error) {
 	return fig, nil
 }
 
+// AblationGenScheme compares the three message-generation handoffs on the
+// MIC for one application: locking, pipelined with the paper's per-element
+// SPSC handoff (GenBatchSize 1), and pipelined with the batched handoff
+// (DefaultGenBatch). The queue-event columns show what batching buys —
+// cursor publications per message drop from 2 (one push + one pop each) to
+// 2/batch — and the generate-phase simulated time shows the cost model
+// pricing that cheaper handoff.
+func AblationGenScheme(spec AppSpec) (Figure, error) {
+	fig := Figure{ID: "A7", Title: fmt.Sprintf("Ablation: generation handoff lock vs pipe vs pipe-batched (%s, MIC)", spec.Name)}
+	type config struct {
+		name   string
+		scheme core.Scheme
+		batch  int
+	}
+	configs := []config{
+		{"lock", core.SchemeLocking, 0},
+		{"pipe", core.SchemePipelined, 1},
+		{fmt.Sprintf("pipe-b%d", core.DefaultGenBatch), core.SchemePipelined, core.DefaultGenBatch},
+	}
+	var genTimes [3]float64
+	var evtPerMsg [3]float64
+	for i, cfg := range configs {
+		res, err := spec.RunFramework(core.Options{
+			Dev: machine.MIC(), Scheme: cfg.scheme, Vectorized: true, GenBatchSize: cfg.batch,
+		})
+		if err != nil {
+			return fig, err
+		}
+		c := res.Counters
+		if c.Messages > 0 {
+			evtPerMsg[i] = float64(c.QueueOps+c.QueueBatchOps) / float64(c.Messages)
+		}
+		genTimes[i] = res.Phases.Generate
+		fig.Rows = append(fig.Rows, Row{
+			Config:  cfg.name,
+			ExecSim: res.SimSeconds,
+			Wall:    res.WallSeconds,
+			Extra: map[string]float64{
+				"generateSim":    res.Phases.Generate,
+				"queueOps":       float64(c.QueueOps),
+				"queueBatchOps":  float64(c.QueueBatchOps),
+				"queueEvtPerMsg": evtPerMsg[i],
+			},
+		})
+	}
+	fig.note("batching cuts queue events/message %.2f -> %.2f and generate time %.2fx vs per-element (%.2fx vs locking)",
+		evtPerMsg[1], evtPerMsg[2], genTimes[1]/genTimes[2], genTimes[0]/genTimes[2])
+	return fig, nil
+}
+
 // AblationRatioSweep sweeps the CPU:MIC workload ratio for one application
 // under its partitioning method, producing the balance curve behind the
 // paper's "we tried different partitioning ratios and report the best"

@@ -319,6 +319,54 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestAblationGenScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	pr := specByName(t, "PageRank")
+	fig, err := AblationGenScheme(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(fig.Rows))
+	}
+	lock, ok := fig.FindRow("lock")
+	if !ok {
+		t.Fatal("no lock row")
+	}
+	pipe, ok := fig.FindRow("pipe")
+	if !ok {
+		t.Fatal("no pipe row")
+	}
+	batched := fig.Rows[2]
+	// Per-element pipelining pays two cursor publications per message; the
+	// batched handoff must pay far fewer events per message.
+	if got := pipe.Extra["queueEvtPerMsg"]; got != 2 {
+		t.Errorf("per-element queue events/message = %v, want 2", got)
+	}
+	if got := batched.Extra["queueEvtPerMsg"]; got >= 0.5 {
+		t.Errorf("batched queue events/message = %v, want well below per-element 2", got)
+	}
+	if batched.Extra["queueOps"] != 0 || pipe.Extra["queueBatchOps"] != 0 {
+		t.Error("per-element and batched op counters not disjoint across configs")
+	}
+	// The cost model must price the cheaper handoff: batched generation is
+	// faster than per-element, which in turn beats locking on the MIC's
+	// power-law workload (§V-C).
+	if batched.Extra["generateSim"] >= pipe.Extra["generateSim"] {
+		t.Errorf("batched generate %v not faster than per-element %v",
+			batched.Extra["generateSim"], pipe.Extra["generateSim"])
+	}
+	if pipe.Extra["generateSim"] >= lock.Extra["generateSim"] {
+		t.Errorf("pipelined generate %v not faster than locking %v on MIC",
+			pipe.Extra["generateSim"], lock.Extra["generateSim"])
+	}
+	if batched.ExecSim >= pipe.ExecSim {
+		t.Errorf("batched total sim %v not below per-element %v", batched.ExecSim, pipe.ExecSim)
+	}
+}
+
 func TestFormatRendering(t *testing.T) {
 	fig := Figure{ID: "x", Title: "T", Rows: []Row{{Config: "a", ExecSim: 1, Extra: map[string]float64{"k": 2}}}}
 	fig.note("hello %d", 7)

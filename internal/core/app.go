@@ -20,6 +20,7 @@ import (
 	"hetgraph/internal/csb"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
+	"hetgraph/internal/pipeline"
 	"hetgraph/internal/trace"
 	"hetgraph/internal/vec"
 )
@@ -123,6 +124,14 @@ type Options struct {
 	// Workers/Movers override the pipelined split (0 = paper's best split
 	// via machine.DefaultPipeSplit).
 	Workers, Movers int
+	// GenBatchSize is the worker→mover SPSC handoff batch size under the
+	// pipelined scheme: workers flush per-mover-class buffers of this many
+	// messages through a single cursor publication, and movers drain whole
+	// batches into the buffer. 0 resolves to 1 — the paper's per-element
+	// handoff, which keeps simulated times bit-identical to the original
+	// scheme; set DefaultGenBatch (or tune with autotune.TuneGenBatch) to
+	// amortize the handshake. Ignored by the locking scheme.
+	GenBatchSize int
 	// Trace, when non-nil, records a per-superstep per-phase timeline of
 	// the run (see internal/trace).
 	Trace *trace.Recorder
@@ -130,6 +139,10 @@ type Options struct {
 
 // DefaultMaxIterations guards against non-terminating vertex programs.
 const DefaultMaxIterations = 10000
+
+// DefaultGenBatch is the recommended GenBatchSize for batched pipelined
+// generation (re-exported from the pipeline package).
+const DefaultGenBatch = pipeline.DefaultBatch
 
 // withDefaults resolves zero fields.
 func (o Options) withDefaults() Options {
@@ -145,6 +158,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers == 0 || o.Movers == 0 {
 		o.Workers, o.Movers = machine.DefaultPipeSplit(o.Dev)
 	}
+	if o.GenBatchSize == 0 {
+		o.GenBatchSize = 1
+	}
 	return o
 }
 
@@ -158,6 +174,9 @@ func (o Options) validate() error {
 	}
 	if o.Threads < 1 || o.Workers < 1 || o.Movers < 1 {
 		return fmt.Errorf("core: non-positive thread configuration")
+	}
+	if o.GenBatchSize < 1 {
+		return fmt.Errorf("core: GenBatchSize %d < 1", o.GenBatchSize)
 	}
 	if o.MaxIterations < 1 {
 		return fmt.Errorf("core: MaxIterations %d < 1", o.MaxIterations)

@@ -351,6 +351,48 @@ func TestCountersPopulated(t *testing.T) {
 	}
 }
 
+func TestBatchedGenerationCountersAndResults(t *testing.T) {
+	g := testGraph(t)
+	const iters = 3
+	run := func(batch int) (*apps.PageRank, core.Result) {
+		app := apps.NewPageRank()
+		res, err := core.RunF32(app, g, core.Options{
+			Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true,
+			MaxIterations: iters, GenBatchSize: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app, res
+	}
+	perApp, perRes := run(1)
+	batApp, batRes := run(core.DefaultGenBatch)
+	// Same results: the handoff granularity must not change what the
+	// application computes (up to float summation order inside a column).
+	for v := range perApp.Ranks {
+		diff := math.Abs(float64(perApp.Ranks[v] - batApp.Ranks[v]))
+		if diff > 1e-4*math.Max(1, float64(perApp.Ranks[v])) {
+			t.Fatalf("rank[%d]: per-element %v, batched %v", v, perApp.Ranks[v], batApp.Ranks[v])
+		}
+	}
+	pc, bc := perRes.Counters, batRes.Counters
+	if pc.Messages != bc.Messages {
+		t.Fatalf("message counts differ: %d vs %d", pc.Messages, bc.Messages)
+	}
+	// Disjoint accounting: per-element runs report QueueOps (exactly two
+	// per message), batched runs report only QueueBatchOps.
+	if pc.QueueOps != 2*pc.Messages || pc.QueueBatchOps != 0 {
+		t.Errorf("per-element counters: QueueOps=%d QueueBatchOps=%d Messages=%d", pc.QueueOps, pc.QueueBatchOps, pc.Messages)
+	}
+	if bc.QueueOps != 0 || bc.QueueBatchOps < 1 || bc.QueueBatchOps >= 2*bc.Messages {
+		t.Errorf("batched counters: QueueOps=%d QueueBatchOps=%d Messages=%d", bc.QueueOps, bc.QueueBatchOps, bc.Messages)
+	}
+	// The cost model prices the amortized handoff cheaper.
+	if batRes.Phases.Generate >= perRes.Phases.Generate {
+		t.Errorf("batched generate %v not below per-element %v", batRes.Phases.Generate, perRes.Phases.Generate)
+	}
+}
+
 func TestVectorizedAndScalarSameResultDifferentCost(t *testing.T) {
 	g := testGraph(t)
 	run := func(vecOn bool) (*apps.SSSP, core.Result) {

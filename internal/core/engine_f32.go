@@ -62,7 +62,7 @@ func newDeviceF32(app AppF32, g *graph.CSR, opt Options, rank int, assign []int3
 	}
 	d := &deviceF32{app: app, g: g, opt: opt, cm: cm, buf: buf, rank: rank, assign: assign, ep: ep}
 	if opt.Scheme == SchemePipelined {
-		d.pipe, err = pipeline.NewPipelined[float32](opt.Workers, opt.Movers)
+		d.pipe, err = pipeline.NewPipelined[float32](opt.Workers, opt.Movers, opt.GenBatchSize)
 		if err != nil {
 			return nil, err
 		}
@@ -78,8 +78,8 @@ func (d *deviceF32) local(v graph.VertexID) bool {
 	return d.assign == nil || d.assign[v] == int32(d.rank)
 }
 
-// route is the emit target used by the generation schemes: local messages
-// enter the CSB, remote ones accumulate in the combiner.
+// route is the locking-scheme emit target: local messages enter the CSB
+// through its synchronized insert, remote ones accumulate in the combiner.
 func (d *deviceF32) route(dst graph.VertexID, val float32) {
 	if d.local(dst) {
 		d.buf.Insert(dst, val)
@@ -89,6 +89,30 @@ func (d *deviceF32) route(dst graph.VertexID, val float32) {
 	d.remote.Add(dst, val)
 	d.remoteMu.Unlock()
 	d.remCount.Add(1)
+}
+
+// routeOwnedBatch is the pipelined-scheme sink: the calling mover is the
+// unique owner of every destination in the batch, so local runs go through
+// the CSB's lock-free batch insert. The remote combiner is shared across
+// movers and keeps its mutex (remote messages are rare relative to local
+// ones for any sensible partition).
+func (d *deviceF32) routeOwnedBatch(dsts []graph.VertexID, vals []float32) {
+	for i := 0; i < len(dsts); {
+		if d.local(dsts[i]) {
+			j := i + 1
+			for j < len(dsts) && d.local(dsts[j]) {
+				j++
+			}
+			d.buf.InsertOwnedBatch(dsts[i:j], vals[i:j])
+			i = j
+			continue
+		}
+		d.remoteMu.Lock()
+		d.remote.Add(dsts[i], vals[i])
+		d.remoteMu.Unlock()
+		d.remCount.Add(1)
+		i++
+	}
 }
 
 // generate runs the configured message-generation scheme for the active
@@ -103,7 +127,7 @@ func (d *deviceF32) generate(active []graph.VertexID, c *machine.Counters) error
 	case SchemeLocking:
 		st, err = pipeline.RunLocking(active, d.opt.Threads, gen, d.route)
 	case SchemePipelined:
-		st, err = d.pipe.Run(active, gen, d.route)
+		st, err = d.pipe.RunBatched(active, gen, d.routeOwnedBatch)
 	default:
 		err = fmt.Errorf("core: unknown scheme %v", d.opt.Scheme)
 	}
@@ -115,6 +139,7 @@ func (d *deviceF32) generate(active []graph.VertexID, c *machine.Counters) error
 	c.Messages += st.Messages
 	c.TaskFetches += st.TaskFetches
 	c.QueueOps += st.QueueOps
+	c.QueueBatchOps += st.QueueBatchOps
 	c.RemoteMessages += d.remCount.Swap(0)
 	c.ColumnsUsed += d.buf.ColumnsUsed()
 	c.Steps++

@@ -52,7 +52,7 @@ func newDeviceGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options, rank 
 		rank: rank, assign: assign, ep: ep,
 	}
 	if opt.Scheme == SchemePipelined {
-		d.pipe, err = pipeline.NewPipelined[T](opt.Workers, opt.Movers)
+		d.pipe, err = pipeline.NewPipelined[T](opt.Workers, opt.Movers, opt.GenBatchSize)
 		if err != nil {
 			return nil, err
 		}
@@ -79,18 +79,27 @@ func (d *deviceGeneric[T]) routeLocked(dst graph.VertexID, val T) {
 	d.remCount.Add(1)
 }
 
-// routeOwned is the pipelined-scheme emit target: the caller is the unique
-// mover for dst's class, so the local insert needs no lock. The remote
-// combiner is still shared across movers and keeps its mutex.
-func (d *deviceGeneric[T]) routeOwned(dst graph.VertexID, val T) {
-	if d.local(dst) {
-		d.buf.InsertOwned(dst, val)
-		return
+// routeOwnedBatch is the pipelined-scheme sink: the calling mover is the
+// unique mover for every destination in the batch, so local runs use the
+// lock-free batch insert. The remote combiner is still shared across movers
+// and keeps its mutex.
+func (d *deviceGeneric[T]) routeOwnedBatch(dsts []graph.VertexID, vals []T) {
+	for i := 0; i < len(dsts); {
+		if d.local(dsts[i]) {
+			j := i + 1
+			for j < len(dsts) && d.local(dsts[j]) {
+				j++
+			}
+			d.buf.InsertOwnedBatch(dsts[i:j], vals[i:j])
+			i = j
+			continue
+		}
+		d.remoteMu.Lock()
+		d.remote.Add(dsts[i], vals[i])
+		d.remoteMu.Unlock()
+		d.remCount.Add(1)
+		i++
 	}
-	d.remoteMu.Lock()
-	d.remote.Add(dst, val)
-	d.remoteMu.Unlock()
-	d.remCount.Add(1)
 }
 
 func (d *deviceGeneric[T]) generate(active []graph.VertexID, c *machine.Counters) error {
@@ -101,7 +110,7 @@ func (d *deviceGeneric[T]) generate(active []graph.VertexID, c *machine.Counters
 	var err error
 	switch d.opt.Scheme {
 	case SchemePipelined:
-		st, err = d.pipe.Run(active, gen, d.routeOwned)
+		st, err = d.pipe.RunBatched(active, gen, d.routeOwnedBatch)
 	default:
 		st, err = pipeline.RunLocking(active, d.opt.Threads, gen, d.routeLocked)
 	}
@@ -113,6 +122,7 @@ func (d *deviceGeneric[T]) generate(active []graph.VertexID, c *machine.Counters
 	c.Messages += st.Messages
 	c.TaskFetches += st.TaskFetches
 	c.QueueOps += st.QueueOps
+	c.QueueBatchOps += st.QueueBatchOps
 	c.RemoteMessages += d.remCount.Swap(0)
 	c.Steps++
 	if d.opt.Scheme == SchemeLocking {

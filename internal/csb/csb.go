@@ -328,15 +328,7 @@ func (b *Buffer) Insert(dst graph.VertexID, val float32) {
 		// iteration, under the group's allocation lock (§IV-B). Distinct
 		// vertices per group never exceed the group width, so the offset
 		// stays in range.
-		gr.allocMu.Lock()
-		col = atomic.LoadInt32(&gr.index[posIn])
-		if col < 0 {
-			col = gr.colOffset
-			gr.colOffset++
-			atomic.StoreInt32(&gr.owner[col], int32(posIn))
-			atomic.StoreInt32(&gr.index[posIn], col)
-		}
-		gr.allocMu.Unlock()
+		col = b.allocColumn(gr, posIn)
 	}
 	row := atomic.AddInt32(&gr.fill[col], 1) - 1
 	if int(row) >= gr.maxDeg {
@@ -344,6 +336,56 @@ func (b *Buffer) Insert(dst graph.VertexID, val float32) {
 	}
 	arr := gr.arrays[int(col)/int(b.cfg.Width)]
 	arr.Set(int(row), int(col)%int(b.cfg.Width), val)
+}
+
+// InsertOwned places one message for dst without per-message atomics. The
+// caller must guarantee single-threaded ownership of dst for the iteration —
+// the pipelined scheme does: each destination class (dst mod movers) is
+// drained by exactly one mover, so dst's index entry and its column's fill
+// count are touched by one goroutine only. Column allocation still takes the
+// group's allocMu, because colOffset is shared by every vertex of the group
+// and movers owning different classes can allocate in the same group
+// concurrently. Visibility to post-run readers (ColumnFills, reduction) is
+// established by the pipeline's WaitGroup.
+func (b *Buffer) InsertOwned(dst graph.VertexID, val float32) {
+	gi, posIn := b.locate(dst)
+	gr := &b.groups[gi]
+	col := gr.index[posIn]
+	if col < 0 {
+		col = b.allocColumn(gr, posIn)
+	}
+	row := gr.fill[col]
+	gr.fill[col] = row + 1
+	if int(row) >= gr.maxDeg {
+		panic(fmt.Sprintf("csb: vertex %d received %d messages, exceeding group max in-degree %d", dst, row+1, gr.maxDeg))
+	}
+	arr := gr.arrays[int(col)/int(b.cfg.Width)]
+	arr.Set(int(row), int(col)%int(b.cfg.Width), val)
+}
+
+// InsertOwnedBatch places one message per (dsts[i], vals[i]) pair under the
+// same ownership contract as InsertOwned. This is the batch-insert path the
+// movers use when draining whole SPSC batches: one call per drained batch
+// instead of one per message.
+func (b *Buffer) InsertOwnedBatch(dsts []graph.VertexID, vals []float32) {
+	for i, dst := range dsts {
+		b.InsertOwned(dst, vals[i])
+	}
+}
+
+// allocColumn allocates the next available column of gr for posIn under the
+// group's allocation lock and returns it.
+func (b *Buffer) allocColumn(gr *group, posIn int) int32 {
+	gr.allocMu.Lock()
+	col := atomic.LoadInt32(&gr.index[posIn])
+	if col < 0 {
+		col = gr.colOffset
+		gr.colOffset++
+		atomic.StoreInt32(&gr.owner[col], int32(posIn))
+		atomic.StoreInt32(&gr.index[posIn], col)
+	}
+	gr.allocMu.Unlock()
+	return col
 }
 
 // ColumnFills appends the per-column message counts of this iteration to

@@ -44,6 +44,15 @@ func (b *GenericBuffer[T]) InsertOwned(dst graph.VertexID, msg T) {
 	b.lists[dst] = append(b.lists[dst], msg)
 }
 
+// InsertOwnedBatch appends one message per (dsts[i], msgs[i]) pair under the
+// InsertOwned ownership contract — the batch-insert path for movers draining
+// whole SPSC batches.
+func (b *GenericBuffer[T]) InsertOwnedBatch(dsts []graph.VertexID, msgs []T) {
+	for i, dst := range dsts {
+		b.lists[dst] = append(b.lists[dst], msgs[i])
+	}
+}
+
 // Drain returns the messages of v (nil if none). The returned slice is
 // owned by the caller until the next Reset.
 func (b *GenericBuffer[T]) Drain(v graph.VertexID) []T { return b.lists[v] }

@@ -39,7 +39,11 @@ const (
 	cpuConflictNS = 150.0
 	cpuOMPLockNS  = 26.0
 	cpuQueueOpNS  = 10.0
-	cpuFetchNS    = 12.0
+	// Per-message cost inside a batched queue transfer: a plain store into
+	// an exclusively-held ring line, no cross-core handshake (that is paid
+	// once per batch at QueueOpNS).
+	cpuQueueBatchNS = 1.0
+	cpuFetchNS      = 12.0
 	// Forking 16 threads via a pool.
 	cpuStepLaunchNS = 2500.0
 
@@ -59,7 +63,12 @@ const (
 	micConflictNS = 500.0
 	micOMPLockNS  = 600.0
 	micQueueOpNS  = 16.0
-	micFetchNS    = 40.0
+	// Batched per-message ring store on the in-order core: dearer than the
+	// CPU's (no store buffer magic) but still far below the per-element
+	// handshake and below micScalarNS — it is a sequential streaming store,
+	// not an edge-grain irregular access.
+	micQueueBatchNS = 4.0
+	micFetchNS      = 40.0
 	// Forking 240 threads of in-order cores.
 	micStepLaunchNS = 15000.0
 

@@ -74,16 +74,36 @@ func (m CostModel) GenerateLocking(c Counters, threads int) float64 {
 // step under the worker/mover pipelining scheme. Workers and movers run
 // concurrently; the step takes as long as the slower side (they overlap, per
 // §IV-C), and movers lock only to allocate columns.
+//
+// The handoff is priced from the counters the pipeline actually reports:
+// per-element runs charge one QueueOpNS push per message to the workers and
+// one QueueOpNS pop per message to the movers (QueueOps == 2*Messages);
+// batched runs instead charge QueueOpNS once per cursor publication
+// (QueueBatchOps, split evenly between the pushing and popping side) plus a
+// QueueBatchNS plain ring store per message on each side — which is the
+// entire point of batching: the cross-core handshake is amortized over the
+// batch.
 func (m CostModel) GeneratePipelined(c Counters, workers, movers int) float64 {
+	pushes := float64(c.QueueOps) / 2
+	pops := pushes
+	batchPushPubs := float64(c.QueueBatchOps) / 2
+	batchPopPubs := float64(c.QueueBatchOps) - batchPushPubs
+	var batchedMsgs float64
+	if c.QueueBatchOps > 0 {
+		batchedMsgs = float64(c.Messages)
+	}
 	worker := (float64(c.EdgesTraversed)*m.App.GenOps*m.scalarNS() +
-		float64(c.Messages)*m.Dev.QueueOpNS +
+		pushes*m.Dev.QueueOpNS +
+		batchPushPubs*m.Dev.QueueOpNS + batchedMsgs*m.Dev.QueueBatchNS +
 		float64(c.TaskFetches)*m.Dev.FetchNS) * 1e-9 / float64(workers)
 	// Each message is popped and stored; insertNS models the redirection
 	// lookup plus the store (one edge-grain op: the mover's access pattern
 	// is far more cache-friendly than the workers' — it only walks its own
 	// columns).
 	insertNS := m.Dev.ScalarNS
-	mover := (float64(c.Messages)*(m.Dev.QueueOpNS+insertNS) +
+	mover := (pops*m.Dev.QueueOpNS +
+		batchPopPubs*m.Dev.QueueOpNS + batchedMsgs*m.Dev.QueueBatchNS +
+		float64(c.Messages)*insertNS +
 		float64(c.ColumnsUsed)*m.Dev.LockNS) * 1e-9 / float64(movers)
 	compute := worker
 	if mover > compute {

@@ -30,8 +30,17 @@ type Counters struct {
 	// (0 when no column saturates); inserts to a saturated column fully
 	// serialize, bounding the step from below.
 	SerialFloorMsgs int64
-	// QueueOps counts SPSC queue pushes plus pops in the pipelined scheme.
+	// QueueOps counts per-element SPSC cursor publications (pushes plus
+	// pops) in the pipelined scheme with batch size 1; zero for batched
+	// runs.
 	QueueOps int64
+	// QueueBatchOps counts batched SPSC cursor publications (PushBatch and
+	// PopBatch calls that moved data) in the pipelined scheme with batch
+	// size > 1; zero for per-element runs. Each publication covers up to a
+	// whole batch of messages, so the model prices the cross-core handshake
+	// per publication and the per-message element store at the far cheaper
+	// QueueBatchNS.
+	QueueBatchOps int64
 	// BufferResetBytes is the message-buffer memory rewritten at the start
 	// of the iteration (the CSB identity fill); it charges the framework's
 	// buffer-storage overhead, which matters on the bandwidth-poor CPU.
@@ -65,6 +74,7 @@ func (c *Counters) Add(o Counters) {
 		c.SerialFloorMsgs = o.SerialFloorMsgs
 	}
 	c.QueueOps += o.QueueOps
+	c.QueueBatchOps += o.QueueBatchOps
 	c.BufferResetBytes += o.BufferResetBytes
 	c.VecRows += o.VecRows
 	c.ReducedMessages += o.ReducedMessages

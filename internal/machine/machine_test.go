@@ -398,3 +398,33 @@ func TestProcessLaunchFloor(t *testing.T) {
 		t.Errorf("empty update %v below launch floor", got)
 	}
 }
+
+func TestBatchedHandoffCheaperThanPerElement(t *testing.T) {
+	// Same workload counted two ways: per-element (QueueOps = 2 per
+	// message) vs. batched at 64 (QueueBatchOps = 2*Messages/64 cursor
+	// publications). The batched handoff must be priced cheaper on both
+	// devices — that is the point of PushBatch/PopBatch.
+	perElem := sampleCounters()
+	perElem.QueueOps = 2 * perElem.Messages
+	batched := sampleCounters()
+	batched.QueueBatchOps = 2 * batched.Messages / 64
+	for _, dev := range []DeviceSpec{CPU(), MIC()} {
+		m, _ := NewCostModel(dev, PageRankProfile)
+		w, mv := DefaultPipeSplit(dev)
+		tPer := m.GeneratePipelined(perElem, w, mv)
+		tBat := m.GeneratePipelined(batched, w, mv)
+		if tBat >= tPer {
+			t.Errorf("%s: batched %v >= per-element %v", dev.Name, tBat, tPer)
+		}
+	}
+}
+
+func TestQueueBatchNSBelowQueueOpNS(t *testing.T) {
+	// The calibration must keep the batched per-message store cheaper than
+	// a full cursor handshake, or batching could never win.
+	for _, dev := range []DeviceSpec{CPU(), MIC()} {
+		if dev.QueueBatchNS <= 0 || dev.QueueBatchNS >= dev.QueueOpNS {
+			t.Errorf("%s: QueueBatchNS = %v not in (0, QueueOpNS=%v)", dev.Name, dev.QueueBatchNS, dev.QueueOpNS)
+		}
+	}
+}

@@ -54,8 +54,15 @@ type DeviceSpec struct {
 	// framework's hand-rolled spinlocks, severely so on the MIC.
 	OMPLockNS float64
 	// QueueOpNS is one SPSC message-queue push or pop in the pipelining
-	// scheme.
+	// scheme: a release cursor store plus, typically, one acquire load of
+	// the peer's cursor line — a cross-core handshake per message.
 	QueueOpNS float64
+	// QueueBatchNS is the per-message cost of moving one element inside a
+	// *batched* queue transfer, where the cursor handshake (QueueOpNS) is
+	// paid once per batch rather than once per message. What remains per
+	// message is a plain store/load into a ring the producer/consumer
+	// already owns in cache, far below QueueOpNS on both devices.
+	QueueBatchNS float64
 	// FetchNS is one dynamic-scheduler task fetch (atomic fetch-and-add).
 	FetchNS float64
 	// StepLaunchNS is the fork/join overhead of launching one parallel
@@ -98,6 +105,7 @@ func CPU() DeviceSpec {
 		ConflictNS:      cpuConflictNS,
 		OMPLockNS:       cpuOMPLockNS,
 		QueueOpNS:       cpuQueueOpNS,
+		QueueBatchNS:    cpuQueueBatchNS,
 		FetchNS:         cpuFetchNS,
 		StepLaunchNS:    cpuStepLaunchNS,
 	}
@@ -121,6 +129,7 @@ func MIC() DeviceSpec {
 		ConflictNS:      micConflictNS,
 		OMPLockNS:       micOMPLockNS,
 		QueueOpNS:       micQueueOpNS,
+		QueueBatchNS:    micQueueBatchNS,
 		FetchNS:         micFetchNS,
 		StepLaunchNS:    micStepLaunchNS,
 	}

@@ -319,11 +319,169 @@ func TestPipelinedContainsMoverPanic(t *testing.T) {
 	}
 }
 
+func TestNewPipelinedRejectsBadBatch(t *testing.T) {
+	if _, err := NewPipelined[float32](2, 2, 0); err == nil {
+		t.Error("accepted batch size 0")
+	}
+	if _, err := NewPipelined[float32](2, 2, -4); err == nil {
+		t.Error("accepted negative batch size")
+	}
+}
+
+func TestBatchedGeneratesAllMessages(t *testing.T) {
+	g := graph.PaperExample()
+	const movers = 3
+	received := make(map[graph.VertexID]int, 16)
+	var mu sync.Mutex
+	stats, err := RunPipelinedBatched(allVertices(16), 5, movers, 4, fanoutGen(g), func(dsts []graph.VertexID, vals []float32) {
+		if len(dsts) != len(vals) {
+			t.Errorf("batch slices disagree: %d dsts, %d vals", len(dsts), len(vals))
+		}
+		mu.Lock()
+		for i, dst := range dsts {
+			if int(dst)%movers != int(dsts[0])%movers {
+				t.Errorf("batch mixes mover classes: dst %d with dst %d", dst, dsts[0])
+			}
+			_ = vals[i]
+			received[dst]++
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 28 {
+		t.Fatalf("Messages = %d, want 28", stats.Messages)
+	}
+	if stats.QueueOps != 0 {
+		t.Errorf("batched run reported per-element QueueOps = %d", stats.QueueOps)
+	}
+	if stats.QueueBatchOps < 1 {
+		t.Errorf("batched run reported no batch publications")
+	}
+	if stats.QueueBatchOps >= 2*stats.Messages {
+		t.Errorf("QueueBatchOps = %d, not cheaper than per-element 2*Messages = %d", stats.QueueBatchOps, 2*stats.Messages)
+	}
+	in := g.InDegrees()
+	for v := 0; v < 16; v++ {
+		if received[graph.VertexID(v)] != int(in[v]) {
+			t.Errorf("vertex %d received %d, want %d", v, received[graph.VertexID(v)], in[v])
+		}
+	}
+}
+
+func TestBatchedAmortizesPublications(t *testing.T) {
+	// On a heavy workload, batched cursor publications must be a small
+	// fraction of the per-element count — that is the whole point.
+	g, err := gridGraph(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	var delivered atomic.Int64
+	stats, err := RunPipelinedBatched(allVertices(g.NumVertices()), 4, 2, batch, fanoutGen(g), func(dsts []graph.VertexID, vals []float32) {
+		delivered.Add(int64(len(dsts)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered.Load() != stats.Messages {
+		t.Fatalf("delivered %d, stats say %d", delivered.Load(), stats.Messages)
+	}
+	perElement := 2 * stats.Messages
+	if stats.QueueBatchOps*4 > perElement {
+		t.Errorf("QueueBatchOps = %d, want < 1/4 of per-element %d", stats.QueueBatchOps, perElement)
+	}
+}
+
+func TestBatchedIntoCSBMatchesLocking(t *testing.T) {
+	cfgGraph := graph.PaperExample()
+	inf := float32(math.Inf(1))
+	build := func() *csb.Buffer {
+		b, err := csb.Build(cfgGraph, csb.Config{Width: 4, K: 2, Identity: inf, Mode: csb.Dynamic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	genFn := func(v graph.VertexID, emit func(graph.VertexID, float32)) {
+		for i, d := range cfgGraph.Neighbors(v) {
+			emit(d, float32(v)*10+float32(i))
+		}
+	}
+	lockBuf := build()
+	if _, err := RunLocking(allVertices(16), 4, genFn, lockBuf.Insert); err != nil {
+		t.Fatal(err)
+	}
+	batchBuf := build()
+	if _, err := RunPipelinedBatched(allVertices(16), 3, 2, 8, genFn, batchBuf.InsertOwnedBatch); err != nil {
+		t.Fatal(err)
+	}
+	redLock := reduceMinAll(lockBuf)
+	redBatch := reduceMinAll(batchBuf)
+	if len(redLock) != len(redBatch) {
+		t.Fatalf("destination sets differ: %d vs %d", len(redLock), len(redBatch))
+	}
+	for v, want := range redLock {
+		if redBatch[v] != want {
+			t.Errorf("vertex %d: batched %v, lock %v", v, redBatch[v], want)
+		}
+	}
+}
+
+func TestBatchedContainsSinkPanic(t *testing.T) {
+	// A panicking sink (mover side) must not deadlock the workers under
+	// batched handoff, even with enough volume to fill the rings.
+	n := 300
+	b := graph.NewBuilder(n, false)
+	for v := 0; v < n; v++ {
+		for k := 0; k < 40; k++ {
+			b.AddEdge(graph.VertexID(v), graph.VertexID((v+k+1)%n), 0)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	sink := func(dsts []graph.VertexID, _ []float32) {
+		if count.Add(int64(len(dsts))) >= 100 {
+			panic("sink boom")
+		}
+	}
+	_, err = RunPipelinedBatched(allVertices(n), 4, 2, 32, fanoutGen(g), sink)
+	if err == nil || !strings.Contains(err.Error(), "sink boom") {
+		t.Fatalf("sink panic not surfaced: %v", err)
+	}
+}
+
+func TestBatchedReusableAfterPanic(t *testing.T) {
+	g := graph.PaperExample()
+	p, err := NewPipelined[float32](3, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(v graph.VertexID, emit func(graph.VertexID, float32)) { panic("first run dies") }
+	if _, err := p.RunBatched(allVertices(16), bad, func([]graph.VertexID, []float32) {}); err == nil {
+		t.Fatal("no error from panicking run")
+	}
+	var delivered atomic.Int64
+	stats, err := p.RunBatched(allVertices(16), fanoutGen(g), func(dsts []graph.VertexID, _ []float32) {
+		delivered.Add(int64(len(dsts)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 28 || delivered.Load() != 28 {
+		t.Fatalf("post-panic run delivered %d/%d, want 28/28", stats.Messages, delivered.Load())
+	}
+}
+
 func TestPipelinedReusableAfterPanic(t *testing.T) {
 	// The engine must be clean after a contained panic: a subsequent run
 	// delivers exactly the expected messages.
 	g := graph.PaperExample()
-	p, err := NewPipelined[float32](3, 2)
+	p, err := NewPipelined[float32](3, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

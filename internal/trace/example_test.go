@@ -1,0 +1,28 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"hetgraph/internal/trace"
+)
+
+// ExampleRecorder_WriteCSV shows the CSV schema: one row per recorded
+// sample, columns device, iteration, phase, sim_seconds, events.
+func ExampleRecorder_WriteCSV() {
+	r := trace.NewRecorder()
+	r.Record(trace.Sample{Device: "CPU", Iteration: 0, Phase: trace.PhaseGenerate, SimSeconds: 0.002, Events: 1500})
+	r.Record(trace.Sample{Device: "CPU", Iteration: 0, Phase: trace.PhaseProcess, SimSeconds: 0.0015, Events: 1500})
+	r.Record(trace.Sample{Device: "MIC", Iteration: 0, Phase: trace.PhaseGenerate, SimSeconds: 0.004, Events: 6200})
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		panic(err)
+	}
+	fmt.Print(buf.String())
+	// Output:
+	// device,iteration,phase,sim_seconds,events
+	// CPU,0,generate,0.002,1500
+	// CPU,0,process,0.0015,1500
+	// MIC,0,generate,0.004,6200
+}
