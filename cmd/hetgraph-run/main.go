@@ -34,6 +34,9 @@ func main() {
 		genBatch  = flag.Int("genbatch", 0, "pipelined handoff batch size (0/1 = per-element; try 64)")
 		traceCSV  = flag.String("trace", "", "write a per-superstep phase timeline CSV to this path")
 		verify    = flag.Bool("verify", false, "check the result against the sequential reference")
+		ckEvery   = flag.Int("checkpoint-every", 0, "checkpoint vertex state every N supersteps (0 = off; -device both)")
+		exTimeout = flag.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
+		faultPlan = flag.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -96,12 +99,25 @@ func main() {
 	if *traceCSV != "" {
 		rec = hetgraph.NewTraceRecorder()
 	}
+	var inj *hetgraph.FaultInjector
+	if *faultPlan != "" {
+		plan, err := hetgraph.ParseFaultPlan(*faultPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inj, err = hetgraph.NewFaultInjector(plan); err != nil {
+			log.Fatal(err)
+		}
+	}
 	opt := hetgraph.Options{
-		Scheme:        schemeOf(*scheme),
-		Vectorized:    !*novec,
-		MaxIterations: *iters,
-		GenBatchSize:  *genBatch,
-		Trace:         rec,
+		Scheme:          schemeOf(*scheme),
+		Vectorized:      !*novec,
+		MaxIterations:   *iters,
+		GenBatchSize:    *genBatch,
+		Trace:           rec,
+		CheckpointEvery: *ckEvery,
+		ExchangeTimeout: *exTimeout,
+		Fault:           inj,
 	}
 	switch *device {
 	case "cpu", "mic":
@@ -135,6 +151,14 @@ func main() {
 		}
 		fmt.Printf("%s on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
 			*appName, res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+		if res.Degraded {
+			at := "" // a panic failure carries no exchange superstep
+			if res.FailedSuperstep >= 0 {
+				at = fmt.Sprintf(" at superstep %d", res.FailedSuperstep)
+			}
+			fmt.Printf("degraded: rank %d failed%s; resumed single-device from checkpointed superstep %d (%d recovery iterations)\n",
+				res.FailedRank, at, res.ResumedSuperstep, res.Recovery.Iterations)
+		}
 		if *verify {
 			verifyResult(*appName, app, g, *source, *iters)
 		}

@@ -38,8 +38,11 @@ import (
 
 	"hetgraph/internal/apps"
 	"hetgraph/internal/autotune"
+	"hetgraph/internal/checkpoint"
+	"hetgraph/internal/comm"
 	"hetgraph/internal/core"
 	"hetgraph/internal/csb"
+	"hetgraph/internal/fault"
 	"hetgraph/internal/gen"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
@@ -189,6 +192,53 @@ func RunHetero(app AppF32, g *Graph, assign []int32, optCPU, optMIC Options) (He
 func RunOMP(app AppF32, g *Graph, dev DeviceSpec, threads, maxIters int) (OMPResult, error) {
 	return ompbase.RunF32(app, g, dev, threads, maxIters)
 }
+
+// Fault tolerance (see docs/robustness.md).
+type (
+	// FaultPlan is a deterministic schedule of injected faults.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault (rank, kind, superstep, ...).
+	FaultEvent = fault.Event
+	// FaultInjector executes a plan; set it on Options.Fault.
+	FaultInjector = fault.Injector
+	// FaultKind is the fault class (drop, delay, fail, panic).
+	FaultKind = fault.Kind
+	// FaultPhase names the engine phase a panic fault fires in.
+	FaultPhase = fault.Phase
+	// DeviceFailedError reports a rank that died, stalled past the
+	// exchange deadline, or exhausted link retries in a hetero run.
+	DeviceFailedError = comm.DeviceFailedError
+	// InvalidOptionsError reports a rejected Options field or nil
+	// app/graph argument at Run entry.
+	InvalidOptionsError = core.InvalidOptionsError
+	// Snapshotter is implemented by applications whose vertex state can be
+	// checkpointed (required when Options.CheckpointEvery > 0). The bundled
+	// PageRank, BFS, SSSP, and ConnectedComponents apps implement it.
+	Snapshotter = checkpoint.Snapshotter
+)
+
+// Fault kinds and phases for hand-built plans.
+const (
+	FaultDrop  = fault.KindDrop
+	FaultDelay = fault.KindDelay
+	FaultFail  = fault.KindFail
+	FaultPanic = fault.KindPanic
+
+	FaultPhaseGenerate = fault.PhaseGenerate
+	FaultPhaseProcess  = fault.PhaseProcess
+	FaultPhaseUpdate   = fault.PhaseUpdate
+)
+
+// ParseFaultPlan parses a fault-plan spec like
+// "rank1:drop@3;rank0:delay@2:5ms;rank1:fail@2x3;rank0:panic@4:generate".
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.Parse(spec) }
+
+// NewFaultInjector builds an injector for a validated plan.
+func NewFaultInjector(p FaultPlan) (*FaultInjector, error) { return fault.NewInjector(p) }
+
+// RandomFaultPlan draws n valid fault events with supersteps below maxStep,
+// deterministically from seed — handy for chaos testing.
+func RandomFaultPlan(seed, maxStep int64, n int) FaultPlan { return fault.Random(seed, maxStep, n) }
 
 // Partitioning (§IV-E).
 type (

@@ -118,10 +118,14 @@ func (s AppSpec) RunHetero(assign []int32, opt0, opt1 core.Options) (core.Hetero
 // RunSeq runs the sequential reference and prices it on dev (Table II).
 func (s AppSpec) RunSeq(dev machine.DeviceSpec) (float64, machine.Counters, error) {
 	var c machine.Counters
+	var err error
 	if s.IsGeneric() {
-		_, c = seqref.RunGenericSeq(s.newGen(), s.Graph, orDefault(s.MaxIters))
+		_, c, err = seqref.RunGenericSeq(s.newGen(), s.Graph, orDefault(s.MaxIters))
 	} else {
-		_, c = seqref.RunF32Seq(s.newF32(), s.Graph, orDefault(s.MaxIters))
+		_, c, err = seqref.RunF32Seq(s.newF32(), s.Graph, orDefault(s.MaxIters))
+	}
+	if err != nil {
+		return 0, c, err
 	}
 	var app machine.AppProfile
 	if s.IsGeneric() {

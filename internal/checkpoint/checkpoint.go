@@ -1,0 +1,317 @@
+// Package checkpoint provides superstep-boundary checkpointing for the
+// heterogeneous runtime. A checkpoint captures the application's vertex
+// state plus both ranks' next-superstep frontiers at a point where neither
+// rank is mutating state, so that after a device failure the surviving
+// device can restore the last checkpoint, merge the dead rank's partition
+// into its own, and finish the run single-device.
+//
+// The capture point is a two-party barrier (Coordinator) placed after the
+// vertex-update step: both ranks arrive, rank 0 snapshots the shared state
+// arrays while rank 1 is parked, and rank 0 then releases rank 1. Because
+// the BSP loop's only state writers are the update steps, and both ranks
+// have finished update for the superstep when they arrive, the snapshot is
+// a consistent global cut. The barrier degrades safely: a rank that dies
+// marks itself dead and wakes any peer waiting at the barrier, and an
+// optional deadline bounds the wait for a silently stalled peer.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hetgraph/internal/graph"
+)
+
+// Snapshotter is implemented by applications that support checkpointing:
+// Snapshot serializes the full vertex state, Restore replaces it. The
+// built-in float32 applications (PageRank, BFS, SSSP, ConnectedComponents)
+// implement it.
+type Snapshotter interface {
+	// Snapshot returns an opaque serialization of the application's vertex
+	// state. It is called only when no update step is running.
+	Snapshot() ([]byte, error)
+	// Restore replaces the application's vertex state from a Snapshot
+	// payload, recomputing any derived state.
+	Restore(state []byte) error
+}
+
+// Snapshot is one superstep-boundary checkpoint.
+type Snapshot struct {
+	// Superstep is the number of completed supersteps at capture: restoring
+	// this snapshot resumes the run at superstep Superstep.
+	Superstep int64
+	// State is the application's serialized vertex state.
+	State []byte
+	// Frontier holds each rank's active set for superstep Superstep.
+	Frontier [2][]graph.VertexID
+}
+
+// MergedFrontier returns both ranks' frontiers joined — the active set a
+// single surviving device continues with. Ownership partitions the vertex
+// space, so the union is concatenation.
+func (s *Snapshot) MergedFrontier() []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(s.Frontier[0])+len(s.Frontier[1]))
+	out = append(out, s.Frontier[0]...)
+	out = append(out, s.Frontier[1]...)
+	return out
+}
+
+// Binary checkpoint format: magic, version, superstep, the two frontiers,
+// then the state blob. All integers little-endian.
+const (
+	snapMagic   = 0x4847_434b // "HGCK"
+	snapVersion = 1
+)
+
+// Encode serializes the snapshot to the versioned binary checkpoint format.
+func (s *Snapshot) Encode() []byte {
+	size := 4 + 1 + 8 + 4 + 4 + 4*(len(s.Frontier[0])+len(s.Frontier[1])) + 4 + len(s.State)
+	b := make([]byte, 0, size)
+	b = binary.LittleEndian.AppendUint32(b, snapMagic)
+	b = append(b, snapVersion)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Superstep))
+	for r := 0; r < 2; r++ {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Frontier[r])))
+		for _, v := range s.Frontier[r] {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.State)))
+	b = append(b, s.State...)
+	return b
+}
+
+// Decode parses a snapshot from the binary checkpoint format.
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < 4+1+8 {
+		return nil, errors.New("checkpoint: truncated header")
+	}
+	if binary.LittleEndian.Uint32(b) != snapMagic {
+		return nil, errors.New("checkpoint: bad magic")
+	}
+	if b[4] != snapVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", b[4])
+	}
+	s := &Snapshot{Superstep: int64(binary.LittleEndian.Uint64(b[5:]))}
+	off := 13
+	for r := 0; r < 2; r++ {
+		if len(b) < off+4 {
+			return nil, errors.New("checkpoint: truncated frontier length")
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if len(b) < off+4*n {
+			return nil, errors.New("checkpoint: truncated frontier")
+		}
+		if n > 0 {
+			f := make([]graph.VertexID, n)
+			for i := range f {
+				f[i] = graph.VertexID(binary.LittleEndian.Uint32(b[off+4*i:]))
+			}
+			s.Frontier[r] = f
+		}
+		off += 4 * n
+	}
+	if len(b) < off+4 {
+		return nil, errors.New("checkpoint: truncated state length")
+	}
+	n := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) != off+n {
+		return nil, fmt.Errorf("checkpoint: state is %d bytes, header says %d", len(b)-off, n)
+	}
+	if n > 0 {
+		s.State = append([]byte(nil), b[off:]...)
+	}
+	return s, nil
+}
+
+// EncodeF32 serializes a float32 slice (little-endian IEEE 754 bits) — a
+// helper for Snapshotter implementations whose state is float32 arrays.
+func EncodeF32(xs []float32) []byte {
+	b := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(x))
+	}
+	return b
+}
+
+// DecodeF32 parses a float32 slice written by EncodeF32.
+func DecodeF32(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("checkpoint: float32 payload length %d not a multiple of 4", len(b))
+	}
+	xs := make([]float32, len(b)/4)
+	for i := range xs {
+		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return xs, nil
+}
+
+// EncodeI32 serializes an int32 slice little-endian.
+func EncodeI32(xs []int32) []byte {
+	b := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
+	}
+	return b
+}
+
+// DecodeI32 parses an int32 slice written by EncodeI32.
+func DecodeI32(b []byte) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("checkpoint: int32 payload length %d not a multiple of 4", len(b))
+	}
+	xs := make([]int32, len(b)/4)
+	for i := range xs {
+		xs[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return xs, nil
+}
+
+// ErrPeerDead is returned from Checkpoint when the other rank died (or
+// stalled past the deadline) instead of arriving at the barrier.
+var ErrPeerDead = errors.New("checkpoint: peer rank died before the checkpoint barrier")
+
+// Coordinator runs the two-party checkpoint barrier for one heterogeneous
+// run. Rank 0 is the capturing side.
+type Coordinator struct {
+	every   int64
+	state   Snapshotter
+	timeout time.Duration
+
+	// arrive carries rank 1's frontier to rank 0; release carries the
+	// capture result back to rank 1.
+	arrive  chan []graph.VertexID
+	release chan error
+
+	deadOnce sync.Once
+	deadCh   chan struct{}
+
+	mu     sync.Mutex
+	latest *Snapshot
+}
+
+// NewCoordinator creates a coordinator that checkpoints every `every`
+// completed supersteps. timeout bounds each barrier wait (0 = unbounded,
+// relying on dead-rank notification alone).
+func NewCoordinator(state Snapshotter, every int, timeout time.Duration) (*Coordinator, error) {
+	if state == nil {
+		return nil, errors.New("checkpoint: nil snapshotter")
+	}
+	if every < 1 {
+		return nil, fmt.Errorf("checkpoint: interval %d < 1", every)
+	}
+	return &Coordinator{
+		every:   int64(every),
+		state:   state,
+		timeout: timeout,
+		arrive:  make(chan []graph.VertexID),
+		release: make(chan error),
+		deadCh:  make(chan struct{}),
+	}, nil
+}
+
+// Due reports whether a checkpoint is taken after `completed` supersteps.
+func (c *Coordinator) Due(completed int64) bool {
+	return completed > 0 && completed%c.every == 0
+}
+
+// Initial captures the superstep-0 snapshot before the rank loops start
+// (single-threaded), guaranteeing recovery is always possible.
+func (c *Coordinator) Initial(frontier0, frontier1 []graph.VertexID) error {
+	return c.capture(0, frontier0, frontier1)
+}
+
+// Checkpoint is the per-rank barrier call, made by both ranks after they
+// finish the update step of superstep completed-1. frontier is the caller's
+// active set for superstep `completed`. It returns ErrPeerDead (possibly
+// wrapped) when the peer never arrives.
+func (c *Coordinator) Checkpoint(rank int, completed int64, frontier []graph.VertexID) error {
+	var timeoutC <-chan time.Time
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	if rank == 1 {
+		select {
+		case c.arrive <- frontier:
+		case <-c.deadCh:
+			return ErrPeerDead
+		case <-timeoutC:
+			return fmt.Errorf("checkpoint: barrier wait exceeded %s: %w", c.timeout, ErrPeerDead)
+		}
+		select {
+		case err := <-c.release:
+			return err
+		case <-c.deadCh:
+			return ErrPeerDead
+		case <-timeoutC:
+			return fmt.Errorf("checkpoint: barrier wait exceeded %s: %w", c.timeout, ErrPeerDead)
+		}
+	}
+	var peerFrontier []graph.VertexID
+	select {
+	case peerFrontier = <-c.arrive:
+	case <-c.deadCh:
+		return ErrPeerDead
+	case <-timeoutC:
+		return fmt.Errorf("checkpoint: barrier wait exceeded %s: %w", c.timeout, ErrPeerDead)
+	}
+	// Rank 1 is parked in the release wait; no update step is running
+	// anywhere, so the shared state arrays are quiescent.
+	err := c.capture(completed, frontier, peerFrontier)
+	select {
+	case c.release <- err:
+	case <-c.deadCh:
+		return ErrPeerDead
+	}
+	return err
+}
+
+// capture snapshots state and stores the checkpoint.
+func (c *Coordinator) capture(completed int64, frontier0, frontier1 []graph.VertexID) error {
+	state, err := c.state.Snapshot()
+	if err != nil {
+		return fmt.Errorf("checkpoint: snapshot failed: %w", err)
+	}
+	snap := &Snapshot{Superstep: completed, State: state}
+	snap.Frontier[0] = append([]graph.VertexID(nil), frontier0...)
+	snap.Frontier[1] = append([]graph.VertexID(nil), frontier1...)
+	c.mu.Lock()
+	c.latest = snap
+	c.mu.Unlock()
+	return nil
+}
+
+// MarkDead records that a rank died, waking any peer waiting at the
+// barrier and failing all future barrier calls.
+func (c *Coordinator) MarkDead(rank int) {
+	c.deadOnce.Do(func() { close(c.deadCh) })
+}
+
+// Latest returns the most recent checkpoint (nil if none was taken).
+func (c *Coordinator) Latest() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latest
+}
+
+// Restore applies the latest checkpoint's state to the application and
+// returns the snapshot; it is called single-threaded, after both rank
+// loops have exited.
+func (c *Coordinator) Restore() (*Snapshot, error) {
+	snap := c.Latest()
+	if snap == nil {
+		return nil, errors.New("checkpoint: no checkpoint to restore")
+	}
+	if err := c.state.Restore(snap.State); err != nil {
+		return nil, fmt.Errorf("checkpoint: restore failed: %w", err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,220 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hetgraph/internal/graph"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(superstep int64, state []byte, f0, f1 []int32) bool {
+		if superstep < 0 {
+			superstep = -superstep
+		}
+		s := &Snapshot{Superstep: superstep, State: state}
+		for _, v := range f0 {
+			s.Frontier[0] = append(s.Frontier[0], graph.VertexID(v&0x7fffffff))
+		}
+		for _, v := range f1 {
+			s.Frontier[1] = append(s.Frontier[1], graph.VertexID(v&0x7fffffff))
+		}
+		got, err := Decode(s.Encode())
+		if err != nil {
+			t.Logf("Decode: %v", err)
+			return false
+		}
+		if got.Superstep != s.Superstep || !bytes.Equal(got.State, s.State) {
+			return false
+		}
+		for r := 0; r < 2; r++ {
+			if len(got.Frontier[r]) != len(s.Frontier[r]) {
+				return false
+			}
+			for i := range got.Frontier[r] {
+				if got.Frontier[r][i] != s.Frontier[r][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := &Snapshot{Superstep: 7, State: []byte{1, 2, 3}}
+	s.Frontier[0] = []graph.VertexID{4, 5}
+	s.Frontier[1] = []graph.VertexID{6}
+	b := s.Encode()
+	if _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := Decode(b[:5]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), b...)
+	bad[4] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestF32I32Helpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fs := make([]float32, 100)
+	for i := range fs {
+		fs[i] = rng.Float32()
+	}
+	back, err := DecodeF32(EncodeF32(fs))
+	if err != nil || !reflect.DeepEqual(fs, back) {
+		t.Fatalf("f32 round trip failed: %v", err)
+	}
+	is := make([]int32, 100)
+	for i := range is {
+		is[i] = rng.Int31() - rng.Int31()
+	}
+	iback, err := DecodeI32(EncodeI32(is))
+	if err != nil || !reflect.DeepEqual(is, iback) {
+		t.Fatalf("i32 round trip failed: %v", err)
+	}
+	if _, err := DecodeF32(make([]byte, 5)); err == nil {
+		t.Error("DecodeF32 accepted ragged payload")
+	}
+	if _, err := DecodeI32(make([]byte, 7)); err == nil {
+		t.Error("DecodeI32 accepted ragged payload")
+	}
+}
+
+// fakeApp is a Snapshotter over a float32 array.
+type fakeApp struct {
+	mu   sync.Mutex
+	vals []float32
+}
+
+func (a *fakeApp) Snapshot() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return EncodeF32(a.vals), nil
+}
+
+func (a *fakeApp) Restore(state []byte) error {
+	vs, err := DecodeF32(state)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.vals = vs
+	a.mu.Unlock()
+	return nil
+}
+
+func TestCoordinatorBarrierCaptures(t *testing.T) {
+	app := &fakeApp{vals: []float32{1, 2, 3}}
+	c, err := NewCoordinator(app, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Due(0) || c.Due(1) || !c.Due(2) || c.Due(3) || !c.Due(4) {
+		t.Error("Due schedule wrong for every=2")
+	}
+	if err := c.Initial([]graph.VertexID{0}, []graph.VertexID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Latest(); s == nil || s.Superstep != 0 {
+		t.Fatalf("initial snapshot missing: %+v", s)
+	}
+
+	app.vals = []float32{9, 8, 7}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = c.Checkpoint(0, 2, []graph.VertexID{0, 2}) }()
+	go func() { defer wg.Done(); errs[1] = c.Checkpoint(1, 2, []graph.VertexID{1}) }()
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("barrier errors: %v, %v", errs[0], errs[1])
+	}
+	s := c.Latest()
+	if s.Superstep != 2 {
+		t.Fatalf("superstep = %d, want 2", s.Superstep)
+	}
+	if got := s.MergedFrontier(); len(got) != 3 {
+		t.Fatalf("merged frontier = %v", got)
+	}
+	vs, err := DecodeF32(s.State)
+	if err != nil || !reflect.DeepEqual(vs, []float32{9, 8, 7}) {
+		t.Fatalf("captured state = %v (%v)", vs, err)
+	}
+
+	// Restore rolls the app back to the captured values.
+	app.vals = []float32{0, 0, 0}
+	snap, err := c.Restore()
+	if err != nil || snap.Superstep != 2 {
+		t.Fatalf("Restore: %v, %+v", err, snap)
+	}
+	if !reflect.DeepEqual(app.vals, []float32{9, 8, 7}) {
+		t.Fatalf("restored vals = %v", app.vals)
+	}
+}
+
+func TestCoordinatorMarkDeadWakesWaiter(t *testing.T) {
+	app := &fakeApp{vals: []float32{1}}
+	c, err := NewCoordinator(app, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Checkpoint(0, 1, nil) }()
+	time.Sleep(5 * time.Millisecond)
+	c.MarkDead(1)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPeerDead) {
+			t.Fatalf("got %v, want ErrPeerDead", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by MarkDead")
+	}
+	// Later barrier calls fail immediately from either side.
+	if err := c.Checkpoint(1, 2, nil); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("post-death checkpoint: %v", err)
+	}
+}
+
+func TestCoordinatorTimeout(t *testing.T) {
+	app := &fakeApp{vals: []float32{1}}
+	c, err := NewCoordinator(app, 1, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Checkpoint(1, 1, nil); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("got %v, want wrapped ErrPeerDead", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout took far too long")
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(nil, 1, 0); err == nil {
+		t.Error("nil snapshotter accepted")
+	}
+	if _, err := NewCoordinator(&fakeApp{}, 0, 0); err == nil {
+		t.Error("every=0 accepted")
+	}
+}

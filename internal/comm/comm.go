@@ -13,7 +13,10 @@ package comm
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
+	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
 )
@@ -31,11 +34,52 @@ type packet[T any] struct {
 	active int64
 }
 
+// DeviceFailedError reports that a rank died, stalled past the exchange
+// deadline, or lost its link permanently. Rank names the rank that failed
+// (which may be the caller's own rank, when the failure was injected into it
+// or its peer declared it dead).
+type DeviceFailedError struct {
+	// Rank is the rank that failed.
+	Rank int
+	// Superstep is the exchange round at which the failure was detected.
+	Superstep int64
+	// Injected is true when the failure came from the fault injector.
+	Injected bool
+	// Reason describes the failure.
+	Reason string
+}
+
+func (e *DeviceFailedError) Error() string {
+	return fmt.Sprintf("comm: device rank %d failed at superstep %d: %s", e.Rank, e.Superstep, e.Reason)
+}
+
+// Retry policy for transient link faults: capped exponential backoff. A
+// fault that persists past maxLinkRetries attempts declares the link — and
+// with it the peer — dead.
+const (
+	maxLinkRetries   = 6
+	defaultRetryBase = 200 * time.Microsecond
+	maxRetryBackoff  = 5 * time.Millisecond
+)
+
 // Net is the two-rank interconnect.
 type Net[T any] struct {
 	link     machine.Link
 	msgBytes int
 	chans    [2]chan packet[T]
+
+	// timeout bounds each Exchange round (0 = wait forever, the classic
+	// deadlock-prone MPI behavior).
+	timeout time.Duration
+	// inj, when non-nil, injects planned faults into exchanges.
+	inj *fault.Injector
+	// retryBase is the first backoff interval for transient link faults.
+	retryBase time.Duration
+	// dead[r] is closed once rank r is declared dead (by fault injection,
+	// or by its peer giving up on it); pending and future exchanges then
+	// fail fast instead of waiting out the full deadline again.
+	dead     [2]chan struct{}
+	deadOnce [2]sync.Once
 }
 
 // NewNet creates the interconnect. msgBytes is the wire size of one
@@ -44,12 +88,44 @@ func NewNet[T any](link machine.Link, msgBytes int) (*Net[T], error) {
 	if msgBytes <= 0 {
 		return nil, fmt.Errorf("comm: msgBytes %d <= 0", msgBytes)
 	}
-	n := &Net[T]{link: link, msgBytes: msgBytes}
+	n := &Net[T]{link: link, msgBytes: msgBytes, retryBase: defaultRetryBase}
 	// Capacity 1 lets both ranks send before either receives, so a
 	// symmetric Exchange cannot deadlock.
 	n.chans[0] = make(chan packet[T], 1)
 	n.chans[1] = make(chan packet[T], 1)
+	n.dead[0] = make(chan struct{})
+	n.dead[1] = make(chan struct{})
 	return n, nil
+}
+
+// SetTimeout bounds every subsequent Exchange round; 0 restores unbounded
+// waiting. Call before the run starts.
+func (n *Net[T]) SetTimeout(d time.Duration) { n.timeout = d }
+
+// SetInjector attaches a fault injector. Call before the run starts.
+func (n *Net[T]) SetInjector(inj *fault.Injector) { n.inj = inj }
+
+// SetRetryBase overrides the first backoff interval for transient link
+// faults (tests use tiny values to keep chaos runs fast).
+func (n *Net[T]) SetRetryBase(d time.Duration) {
+	if d > 0 {
+		n.retryBase = d
+	}
+}
+
+// markDead declares rank r dead, waking any exchange that waits on it.
+func (n *Net[T]) markDead(r int) {
+	n.deadOnce[r].Do(func() { close(n.dead[r]) })
+}
+
+// isDead reports whether rank r has been declared dead.
+func (n *Net[T]) isDead(r int) bool {
+	select {
+	case <-n.dead[r]:
+		return true
+	default:
+		return false
+	}
 }
 
 // Endpoint returns rank r's view of the interconnect.
@@ -60,10 +136,15 @@ func (n *Net[T]) Endpoint(rank int) (*Endpoint[T], error) {
 	return &Endpoint[T]{net: n, rank: rank}, nil
 }
 
-// Endpoint is one rank's exchange port.
+// Endpoint is one rank's exchange port. An endpoint is used by a single
+// goroutine (its rank's engine loop); the Net underneath carries the
+// cross-rank synchronization.
 type Endpoint[T any] struct {
 	net  *Net[T]
 	rank int
+	// step counts exchange rounds initiated by this endpoint; fault plans
+	// index rounds with it.
+	step int64
 }
 
 // Stats describes one exchange round from this endpoint's perspective.
@@ -75,6 +156,9 @@ type Stats struct {
 	// SimSeconds is the modeled PCIe time of the round: one latency plus
 	// the slower direction's payload (the link is full duplex).
 	SimSeconds float64
+	// Retries is the number of transient link faults retried away this
+	// round.
+	Retries int64
 }
 
 // Exchange ships this rank's combined remote messages and local
@@ -82,10 +166,93 @@ type Stats struct {
 // call Exchange once per iteration; the call blocks until the peer's
 // payload arrives, which is the implicit cross-device synchronization point
 // of the BSP superstep.
-func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T], activeRemote int64, st Stats) {
-	e.net.chans[e.rank] <- packet[T]{msgs: msgs, active: activeLocal}
-	p := <-e.net.chans[1-e.rank]
-	perMsg := int64(e.net.msgBytes + 4)
+//
+// The round is bounded by the net's timeout (SetTimeout): a peer that does
+// not show up within the deadline is declared dead and a *DeviceFailedError
+// naming it is returned, instead of the unbounded wait that would otherwise
+// deadlock the run. Injected faults (SetInjector) can drop this rank, delay
+// it, or fail the link transiently; transient faults are retried with
+// capped exponential backoff and reported in Stats.Retries.
+func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T], activeRemote int64, st Stats, err error) {
+	n := e.net
+	peer := 1 - e.rank
+	step := e.step
+	e.step++
+
+	// A rank declared dead stays dead: fail fast on every later round.
+	if n.isDead(e.rank) {
+		return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "rank previously declared dead"}
+	}
+	if n.inj != nil {
+		if n.inj.Drop(e.rank, step) {
+			// The device dies here: it never sends this round, and the
+			// closed dead channel lets the peer fail fast instead of
+			// waiting out its deadline.
+			n.markDead(e.rank)
+			return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Injected: true, Reason: "injected exchange drop"}
+		}
+		if d := n.inj.Delay(e.rank, step); d > 0 {
+			time.Sleep(d)
+		}
+		// Transient link faults: retry with capped exponential backoff. A
+		// fault that outlives the retry budget is a permanent link loss —
+		// indistinguishable from a dead peer, and treated as one.
+		backoff := n.retryBase
+		for attempt := 0; n.inj.LinkFails(e.rank, step, attempt); attempt++ {
+			if attempt >= maxLinkRetries {
+				n.markDead(peer)
+				return nil, 0, st, &DeviceFailedError{
+					Rank: peer, Superstep: step, Injected: true,
+					Reason: fmt.Sprintf("link failed %d consecutive attempts", attempt+1),
+				}
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
+			st.Retries++
+		}
+	}
+
+	// One deadline covers the whole round (send + receive).
+	var timeoutC <-chan time.Time
+	if n.timeout > 0 {
+		timer := time.NewTimer(n.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+
+	pkt := packet[T]{msgs: msgs, active: activeLocal}
+	select {
+	case n.chans[e.rank] <- pkt:
+	case <-n.dead[peer]:
+		return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer dead before send"}
+	case <-n.dead[e.rank]:
+		return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
+	case <-timeoutC:
+		n.markDead(peer)
+		return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange send timed out after %s", n.timeout)}
+	}
+
+	var p packet[T]
+	select {
+	case p = <-n.chans[peer]:
+	case <-n.dead[peer]:
+		// The peer died, but it may have sent this round's payload before
+		// dying — drain it if so, otherwise the round is lost.
+		select {
+		case p = <-n.chans[peer]:
+		default:
+			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died mid-round"}
+		}
+	case <-n.dead[e.rank]:
+		return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
+	case <-timeoutC:
+		n.markDead(peer)
+		return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange timed out after %s", n.timeout)}
+	}
+
+	perMsg := int64(n.msgBytes + 4)
 	st.MsgsSent = int64(len(msgs))
 	st.MsgsRecv = int64(len(p.msgs))
 	st.BytesSent = st.MsgsSent * perMsg
@@ -94,9 +261,18 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 	if st.BytesRecv > slower {
 		slower = st.BytesRecv
 	}
-	st.SimSeconds = e.net.link.TransferSeconds(slower)
-	return p.msgs, p.active, st
+	st.SimSeconds = n.link.TransferSeconds(slower)
+	return p.msgs, p.active, st, nil
 }
+
+// Abort declares this endpoint's own rank dead — called by an engine whose
+// superstep failed outside the exchange (for example a recovered panic in a
+// user function), so the peer's next exchange fails fast instead of timing
+// out.
+func (e *Endpoint[T]) Abort() { e.net.markDead(e.rank) }
+
+// Step returns the number of exchange rounds this endpoint has initiated.
+func (e *Endpoint[T]) Step() int64 { return e.step }
 
 // Rank returns this endpoint's rank.
 func (e *Endpoint[T]) Rank() int { return e.rank }

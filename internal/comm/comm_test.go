@@ -1,10 +1,14 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"hetgraph/internal/fault"
+	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
 )
 
@@ -37,15 +41,19 @@ func TestExchangeBothDirections(t *testing.T) {
 	var recv0, recv1 []Msg[float32]
 	var act0, act1 int64
 	var st0, st1 Stats
+	var err0, err1 error
 	go func() {
 		defer wg.Done()
-		recv0, act0, st0 = e0.Exchange([]Msg[float32]{{Dst: 1, Val: 10}, {Dst: 2, Val: 20}}, 7)
+		recv0, act0, st0, err0 = e0.Exchange([]Msg[float32]{{Dst: 1, Val: 10}, {Dst: 2, Val: 20}}, 7)
 	}()
 	go func() {
 		defer wg.Done()
-		recv1, act1, st1 = e1.Exchange([]Msg[float32]{{Dst: 9, Val: 90}}, 3)
+		recv1, act1, st1, err1 = e1.Exchange([]Msg[float32]{{Dst: 9, Val: 90}}, 3)
 	}()
 	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("exchange errors: %v, %v", err0, err1)
+	}
 	if len(recv0) != 1 || recv0[0].Dst != 9 || recv0[0].Val != 90 {
 		t.Errorf("rank 0 received %v", recv0)
 	}
@@ -77,7 +85,11 @@ func TestExchangeEmptyPayloadsNoDeadlock(t *testing.T) {
 		go func(r int, e *Endpoint[float32]) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				recv, _, st := e.Exchange(nil, 0)
+				recv, _, st, err := e.Exchange(nil, 0)
+				if err != nil {
+					t.Errorf("zero-message round %d: %v", i, err)
+					return
+				}
 				if len(recv) != 0 {
 					t.Errorf("unexpected messages")
 					return
@@ -102,8 +114,8 @@ func TestExchangeTimeGrowsWithBytes(t *testing.T) {
 		var st Stats
 		var wg sync.WaitGroup
 		wg.Add(2)
-		go func() { defer wg.Done(); _, _, st = e0.Exchange(msgs, 0) }()
-		go func() { defer wg.Done(); e1.Exchange(nil, 0) }()
+		go func() { defer wg.Done(); _, _, st, _ = e0.Exchange(msgs, 0) }()
+		go func() { defer wg.Done(); _, _, _, _ = e1.Exchange(nil, 0) }()
 		wg.Wait()
 		return st.SimSeconds
 	}
@@ -187,8 +199,8 @@ func TestExchangeCombinedFlow(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(2)
 	var recv []Msg[float32]
-	go func() { defer wg.Done(); e0.Exchange(c.Drain(nil), 0) }()
-	go func() { defer wg.Done(); recv, _, _ = e1.Exchange(nil, 0) }()
+	go func() { defer wg.Done(); _, _, _, _ = e0.Exchange(c.Drain(nil), 0) }()
+	go func() { defer wg.Done(); recv, _, _, _ = e1.Exchange(nil, 0) }()
 	wg.Wait()
 	if len(recv) != 1 || recv[0].Dst != 5 || recv[0].Val != 1 {
 		t.Errorf("combined exchange delivered %v", recv)
@@ -251,8 +263,8 @@ func TestExchangeManyRounds(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			recv, _, _ := e0.Exchange([]Msg[float32]{{Dst: 0, Val: float32(i)}}, int64(i))
-			if len(recv) != 1 || recv[0].Val != float32(-i) {
+			recv, _, _, err := e0.Exchange([]Msg[float32]{{Dst: 0, Val: float32(i)}}, int64(i))
+			if err != nil || len(recv) != 1 || recv[0].Val != float32(-i) {
 				errs <- "rank 0 round payload mismatch"
 				return
 			}
@@ -261,8 +273,8 @@ func TestExchangeManyRounds(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			recv, active, _ := e1.Exchange([]Msg[float32]{{Dst: 1, Val: float32(-i)}}, 0)
-			if len(recv) != 1 || recv[0].Val != float32(i) || active != int64(i) {
+			recv, active, _, err := e1.Exchange([]Msg[float32]{{Dst: 1, Val: float32(-i)}}, 0)
+			if err != nil || len(recv) != 1 || recv[0].Val != float32(i) || active != int64(i) {
 				errs <- "rank 1 round payload mismatch"
 				return
 			}
@@ -273,5 +285,233 @@ func TestExchangeManyRounds(t *testing.T) {
 	case e := <-errs:
 		t.Fatal(e)
 	default:
+	}
+}
+
+// --- fault tolerance ---
+
+func TestExchangeTimeoutReturnsDeviceFailed(t *testing.T) {
+	// Regression: a rank whose peer never shows up must get a typed
+	// DeviceFailedError within the deadline instead of hanging forever.
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.SetTimeout(30 * time.Millisecond)
+	e0, _ := n.Endpoint(0)
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := e0.Exchange([]Msg[float32]{{Dst: 1, Val: 1}}, 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var dfe *DeviceFailedError
+		if !errors.As(err, &dfe) {
+			t.Fatalf("want DeviceFailedError, got %v", err)
+		}
+		if dfe.Rank != 1 {
+			t.Errorf("blamed rank %d, want peer rank 1", dfe.Rank)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("exchange hung past its deadline")
+	}
+	// Once declared dead, the next round fails fast from either side.
+	start := time.Now()
+	_, _, _, err := e0.Exchange(nil, 0)
+	if err == nil {
+		t.Fatal("second exchange succeeded against a dead peer")
+	}
+	if time.Since(start) > 20*time.Millisecond {
+		t.Errorf("dead-peer exchange waited %v; want fast failure", time.Since(start))
+	}
+	e1, _ := n.Endpoint(1)
+	if _, _, _, err := e1.Exchange(nil, 0); err == nil {
+		t.Error("dead rank's own exchange succeeded")
+	}
+}
+
+func TestExchangeAsymmetricPayloads(t *testing.T) {
+	// One side floods, the other sends nothing; both directions complete
+	// and the stats reflect each side's own view.
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	big := make([]Msg[float32], 10_000)
+	for i := range big {
+		big[i] = Msg[float32]{Dst: graph.VertexID(i), Val: float32(i)}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var st0, st1 Stats
+	var recv1 []Msg[float32]
+	go func() { defer wg.Done(); _, _, st0, _ = e0.Exchange(big, 5) }()
+	go func() { defer wg.Done(); recv1, _, st1, _ = e1.Exchange(nil, 0) }()
+	wg.Wait()
+	if len(recv1) != len(big) || recv1[9999].Val != 9999 {
+		t.Fatalf("rank 1 received %d messages", len(recv1))
+	}
+	if st0.MsgsSent != 10_000 || st0.MsgsRecv != 0 || st1.MsgsSent != 0 || st1.MsgsRecv != 10_000 {
+		t.Errorf("asymmetric stats wrong: %+v / %+v", st0, st1)
+	}
+	if st0.SimSeconds != st1.SimSeconds {
+		t.Errorf("full-duplex round time differs: %v vs %v", st0.SimSeconds, st1.SimSeconds)
+	}
+}
+
+func TestExchangeInjectedDrop(t *testing.T) {
+	plan, err := fault.Parse("rank1:drop@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.SetInjector(inj)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := [2]error{}
+	steps := [2]int{}
+	run := func(r int, e *Endpoint[float32]) {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, _, _, err := e.Exchange(nil, 0); err != nil {
+				errs[r] = err
+				return
+			}
+			steps[r]++
+		}
+	}
+	go run(0, e0)
+	go run(1, e1)
+	wg.Wait()
+	var d0, d1 *DeviceFailedError
+	if !errors.As(errs[0], &d0) || !errors.As(errs[1], &d1) {
+		t.Fatalf("want DeviceFailedError on both ranks, got %v / %v", errs[0], errs[1])
+	}
+	if d0.Rank != 1 || d1.Rank != 1 {
+		t.Errorf("both ranks must blame rank 1, got %d / %d", d0.Rank, d1.Rank)
+	}
+	if !d1.Injected {
+		t.Error("victim's error not marked injected")
+	}
+	if steps[0] != 2 || steps[1] != 2 {
+		t.Errorf("completed rounds %v, want 2 on each rank before the drop at step 2", steps)
+	}
+}
+
+func TestExchangeTransientLinkFaultRetries(t *testing.T) {
+	plan, err := fault.Parse("rank0:fail@1x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.SetInjector(inj)
+	n.SetRetryBase(10 * time.Microsecond)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var st0 Stats
+	var err0 error
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			var st Stats
+			_, _, st, err0 = e0.Exchange(nil, 0)
+			st0.Retries += st.Retries
+			if err0 != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, _, _, err := e1.Exchange(nil, 0); err != nil {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err0 != nil {
+		t.Fatalf("transient fault not retried away: %v", err0)
+	}
+	if st0.Retries != 3 {
+		t.Errorf("retries = %d, want 3", st0.Retries)
+	}
+}
+
+func TestExchangePersistentLinkFaultDeclaresPeerDead(t *testing.T) {
+	plan, err := fault.Parse("rank0:fail@0x100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.SetInjector(inj)
+	n.SetRetryBase(10 * time.Microsecond)
+	e0, _ := n.Endpoint(0)
+	_, _, _, err = e0.Exchange(nil, 0)
+	var dfe *DeviceFailedError
+	if !errors.As(err, &dfe) || dfe.Rank != 1 {
+		t.Fatalf("persistent link fault: got %v, want DeviceFailedError blaming rank 1", err)
+	}
+}
+
+func TestAbortWakesPeer(t *testing.T) {
+	// A rank that fails outside the exchange (recovered panic) aborts; its
+	// peer, already waiting in Exchange with no deadline set, must wake.
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := e0.Exchange(nil, 0)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	e1.Abort()
+	select {
+	case err := <-done:
+		var dfe *DeviceFailedError
+		if !errors.As(err, &dfe) || dfe.Rank != 1 {
+			t.Fatalf("got %v, want DeviceFailedError blaming rank 1", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer did not wake after Abort")
+	}
+}
+
+func TestExchangeInjectedDelayUnderDeadline(t *testing.T) {
+	plan, err := fault.Parse("rank0:delay@0:2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.SetInjector(inj)
+	n.SetTimeout(500 * time.Millisecond)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var err0, err1 error
+	go func() { defer wg.Done(); _, _, _, err0 = e0.Exchange(nil, 0) }()
+	go func() { defer wg.Done(); _, _, _, err1 = e1.Exchange(nil, 0) }()
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("delayed-but-alive round failed: %v / %v", err0, err1)
 	}
 }

@@ -16,8 +16,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hetgraph/internal/csb"
+	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
 	"hetgraph/internal/pipeline"
@@ -135,6 +137,24 @@ type Options struct {
 	// Trace, when non-nil, records a per-superstep per-phase timeline of
 	// the run (see internal/trace).
 	Trace *trace.Recorder
+	// ExchangeTimeout bounds every cross-device exchange round in a
+	// heterogeneous run: a peer that does not show up within the deadline
+	// is declared dead and the run fails (or degrades to single-device when
+	// checkpointing is on) instead of deadlocking. 0 = unbounded. For a
+	// hetero run the first non-zero value across the two device options
+	// wins (the interconnect is shared).
+	ExchangeTimeout time.Duration
+	// CheckpointEvery takes a superstep-boundary checkpoint of vertex
+	// state and the active frontier every N completed supersteps; the app
+	// must implement checkpoint.Snapshotter. After a device failure the
+	// survivor restores the last checkpoint and finishes single-device.
+	// 0 disables checkpointing. Hetero runs use the first non-zero value
+	// across the two device options.
+	CheckpointEvery int
+	// Fault, when non-nil, injects the planned faults (exchange drops,
+	// delays, transient link failures, user-function panics) into the run.
+	// Hetero runs use the first non-nil injector across the two options.
+	Fault *fault.Injector
 }
 
 // DefaultMaxIterations guards against non-terminating vertex programs.
@@ -164,22 +184,60 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// InvalidOptionsError reports a rejected Options field (or a nil app/graph
+// argument) at Run entry. Callers can errors.As against it to distinguish
+// configuration mistakes from runtime failures.
+type InvalidOptionsError struct {
+	// Field names the offending Options field or argument.
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *InvalidOptionsError) Error() string {
+	return fmt.Sprintf("core: invalid options: %s: %s", e.Field, e.Reason)
+}
+
 // validate checks the resolved options.
 func (o Options) validate() error {
 	if err := o.Dev.Validate(); err != nil {
-		return err
+		return &InvalidOptionsError{Field: "Dev", Reason: err.Error()}
 	}
 	if o.Scheme != SchemeLocking && o.Scheme != SchemePipelined {
-		return fmt.Errorf("core: unknown scheme %d", int(o.Scheme))
+		return &InvalidOptionsError{Field: "Scheme", Reason: fmt.Sprintf("unknown scheme %d", int(o.Scheme))}
 	}
-	if o.Threads < 1 || o.Workers < 1 || o.Movers < 1 {
-		return fmt.Errorf("core: non-positive thread configuration")
+	if o.Threads < 1 {
+		return &InvalidOptionsError{Field: "Threads", Reason: fmt.Sprintf("%d < 1", o.Threads)}
+	}
+	if o.Workers < 1 || o.Movers < 1 {
+		return &InvalidOptionsError{Field: "Workers/Movers", Reason: fmt.Sprintf("%d/%d, both must be >= 1", o.Workers, o.Movers)}
+	}
+	if o.K < 1 {
+		return &InvalidOptionsError{Field: "K", Reason: fmt.Sprintf("%d < 1", o.K)}
 	}
 	if o.GenBatchSize < 1 {
-		return fmt.Errorf("core: GenBatchSize %d < 1", o.GenBatchSize)
+		return &InvalidOptionsError{Field: "GenBatchSize", Reason: fmt.Sprintf("%d < 1", o.GenBatchSize)}
 	}
 	if o.MaxIterations < 1 {
-		return fmt.Errorf("core: MaxIterations %d < 1", o.MaxIterations)
+		return &InvalidOptionsError{Field: "MaxIterations", Reason: fmt.Sprintf("%d < 1", o.MaxIterations)}
+	}
+	if o.CheckpointEvery < 0 {
+		return &InvalidOptionsError{Field: "CheckpointEvery", Reason: fmt.Sprintf("%d < 0", o.CheckpointEvery)}
+	}
+	if o.ExchangeTimeout < 0 {
+		return &InvalidOptionsError{Field: "ExchangeTimeout", Reason: fmt.Sprintf("%s < 0", o.ExchangeTimeout)}
+	}
+	return nil
+}
+
+// validateRunArgs rejects nil app/graph arguments with a typed error before
+// any engine state is built.
+func validateRunArgs(app any, g *graph.CSR) error {
+	if app == nil {
+		return &InvalidOptionsError{Field: "app", Reason: "nil application"}
+	}
+	if g == nil {
+		return &InvalidOptionsError{Field: "graph", Reason: "nil graph"}
 	}
 	return nil
 }

@@ -149,7 +149,10 @@ func TestSeqRefMatchesEngineSSSP(t *testing.T) {
 	// The sequential BSP driver and the parallel engine must agree exactly.
 	g := testGraph(t)
 	seqApp := apps.NewSSSP(0)
-	iters, c := seqref.RunF32Seq(seqApp, g, 10000)
+	iters, c, err := seqref.RunF32Seq(seqApp, g, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if iters == 0 || c.Messages == 0 {
 		t.Fatal("sequential run did nothing")
 	}
@@ -252,7 +255,9 @@ func TestSemiClusteringEngineMatchesSeq(t *testing.T) {
 	}
 	const maxIters = 5
 	seqApp := apps.NewSemiClustering(3, 4, 0.2)
-	seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters)
+	if _, _, err := seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters); err != nil {
+		t.Fatal(err)
+	}
 
 	for _, scheme := range []core.Scheme{core.SchemeLocking, core.SchemePipelined} {
 		parApp := apps.NewSemiClustering(3, 4, 0.2)
@@ -281,7 +286,9 @@ func TestSemiClusteringHetero(t *testing.T) {
 	}
 	const maxIters = 4
 	seqApp := apps.NewSemiClustering(3, 4, 0.2)
-	seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters)
+	if _, _, err := seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters); err != nil {
+		t.Fatal(err)
+	}
 
 	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 2, B: 1})
 	if err != nil {
@@ -688,7 +695,9 @@ func TestLabelPropagationEngineMatchesSeq(t *testing.T) {
 	}
 	const maxIters = 8
 	seqApp := apps.NewLabelPropagation()
-	seqref.RunGenericSeq[apps.LPAMsg](seqApp, g, maxIters)
+	if _, _, err := seqref.RunGenericSeq[apps.LPAMsg](seqApp, g, maxIters); err != nil {
+		t.Fatal(err)
+	}
 
 	parApp := apps.NewLabelPropagation()
 	_, err = core.RunGeneric[apps.LPAMsg](parApp, g, core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, MaxIterations: maxIters})
@@ -714,7 +723,9 @@ func TestLabelPropagationHetero(t *testing.T) {
 	}
 	const maxIters = 6
 	seqApp := apps.NewLabelPropagation()
-	seqref.RunGenericSeq[apps.LPAMsg](seqApp, g, maxIters)
+	if _, _, err := seqref.RunGenericSeq[apps.LPAMsg](seqApp, g, maxIters); err != nil {
+		t.Fatal(err)
+	}
 	assign, err := partition.Make(partition.MethodRoundRobin, g, partition.Ratio{A: 1, B: 1})
 	if err != nil {
 		t.Fatal(err)

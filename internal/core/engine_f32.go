@@ -8,6 +8,7 @@ import (
 
 	"hetgraph/internal/comm"
 	"hetgraph/internal/csb"
+	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
 	"hetgraph/internal/pipeline"
@@ -33,6 +34,8 @@ type deviceF32 struct {
 	rank   int
 	assign []int32
 	ep     *comm.Endpoint[float32]
+	// step is the current superstep, used to index injected faults.
+	step int64
 
 	remoteMu sync.Mutex
 	remote   *comm.Combiner[float32]
@@ -119,6 +122,9 @@ func (d *deviceF32) routeOwnedBatch(dsts []graph.VertexID, vals []float32) {
 // vertices and fills in the generation counters.
 func (d *deviceF32) generate(active []graph.VertexID, c *machine.Counters) error {
 	gen := func(v graph.VertexID, emit func(graph.VertexID, float32)) {
+		if d.opt.Fault.PanicNow(d.rank, d.step, fault.PhaseGenerate) {
+			panic(fmt.Sprintf("fault: injected panic, rank %d superstep %d phase generate", d.rank, d.step))
+		}
 		d.app.Generate(v, emit)
 	}
 	var st pipeline.Stats
@@ -158,13 +164,18 @@ func (d *deviceF32) generate(active []graph.VertexID, c *machine.Counters) error
 
 // exchange performs the cross-device round: drains the remote combiner,
 // swaps payloads with the peer, and inserts received messages locally. It
-// returns the peer's active count from the previous update step.
-func (d *deviceF32) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) int64 {
+// returns the peer's active count from the previous update step, or a
+// *comm.DeviceFailedError when the round failed (timeout, dead peer, or an
+// injected fault on this rank).
+func (d *deviceF32) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) (int64, error) {
 	// Drain into a fresh slice: the payload crosses to the peer, which may
 	// still be reading it while this device runs ahead — reusing a scratch
 	// buffer here would race with the receiver.
 	send := d.remote.Drain(nil)
-	recv, activeRemote, st := d.ep.Exchange(send, activeLocal)
+	recv, activeRemote, st, err := d.ep.Exchange(send, activeLocal)
+	if err != nil {
+		return 0, err
+	}
 	for _, m := range recv {
 		d.buf.Insert(m.Dst, m.Val)
 	}
@@ -172,7 +183,7 @@ func (d *deviceF32) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTi
 	c.BytesSent += st.BytesSent
 	c.Exchanges++
 	pt.Exchange += st.SimSeconds
-	return activeRemote
+	return activeRemote, nil
 }
 
 // process runs message processing over the CSB task units with dynamic
@@ -188,10 +199,15 @@ func (d *deviceF32) process(c *machine.Counters) ([]delivery, error) {
 	perThread := make([][]delivery, d.opt.Threads)
 	var vecRows, reduced atomic.Int64
 	var wg sync.WaitGroup
+	var pc pipeline.PanicCollector
 	for t := 0; t < d.opt.Threads; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
+			defer pc.Capture()
+			if d.opt.Fault.PanicNow(d.rank, d.step, fault.PhaseProcess) {
+				panic(fmt.Sprintf("fault: injected panic, rank %d superstep %d phase process", d.rank, d.step))
+			}
 			var out []delivery
 			var lanes []csb.Lane
 			var localRows, localReduced int64
@@ -231,6 +247,9 @@ func (d *deviceF32) process(c *machine.Counters) ([]delivery, error) {
 		}(t)
 	}
 	wg.Wait()
+	if err := pc.Err(); err != nil {
+		return nil, err
+	}
 	var total int
 	for _, out := range perThread {
 		total += len(out)
@@ -256,10 +275,15 @@ func (d *deviceF32) update(deliveries []delivery, c *machine.Counters) ([]graph.
 	}
 	perThread := make([][]graph.VertexID, d.opt.Threads)
 	var wg sync.WaitGroup
+	var pc pipeline.PanicCollector
 	for t := 0; t < d.opt.Threads; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
+			defer pc.Capture()
+			if d.opt.Fault.PanicNow(d.rank, d.step, fault.PhaseUpdate) {
+				panic(fmt.Sprintf("fault: injected panic, rank %d superstep %d phase update", d.rank, d.step))
+			}
 			var act []graph.VertexID
 			for {
 				lo, hi, ok := s.Next()
@@ -277,6 +301,9 @@ func (d *deviceF32) update(deliveries []delivery, c *machine.Counters) ([]graph.
 		}(t)
 	}
 	wg.Wait()
+	if err := pc.Err(); err != nil {
+		return nil, err
+	}
 	var next []graph.VertexID
 	for _, act := range perThread {
 		next = append(next, act...)
@@ -350,16 +377,26 @@ func (d *deviceF32) runIteration(active []graph.VertexID) ([]graph.VertexID, mac
 // RunF32 executes app on a single modeled device until no vertex is active
 // or MaxIterations is reached.
 func RunF32(app AppF32, g *graph.CSR, opt Options) (Result, error) {
-	start := time.Now()
+	if err := validateRunArgs(app, g); err != nil {
+		return Result{}, err
+	}
 	d, err := newDeviceF32(app, g, opt, 0, nil, nil)
 	if err != nil {
 		return Result{}, err
 	}
+	return runF32Loop(d, app.Init(g), d.opt.MaxIterations)
+}
+
+// runF32Loop drives the single-device BSP loop for at most maxIter
+// iterations starting from the given active set. It is shared by RunF32 and
+// by the degraded single-device continuation after a heterogeneous failure.
+func runF32Loop(d *deviceF32, active []graph.VertexID, maxIter int) (Result, error) {
+	start := time.Now()
 	var res Result
-	active := app.Init(g)
-	fixed := IsFixedActive(app)
+	fixed := IsFixedActive(d.app)
 	initial := active
-	for iter := 0; iter < d.opt.MaxIterations; iter++ {
+	for iter := 0; iter < maxIter; iter++ {
+		d.step = int64(iter)
 		if len(active) == 0 {
 			res.Converged = true
 			break

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hetgraph/internal/comm"
 	"hetgraph/internal/csb"
+	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
 	"hetgraph/internal/pipeline"
@@ -25,6 +27,11 @@ type deviceGeneric[T any] struct {
 	rank   int
 	assign []int32
 	ep     *comm.Endpoint[T]
+	// step is the current superstep, used to index injected faults. Note
+	// the generic engine performs two exchange rounds per superstep, so
+	// fault-plan steps that target the exchange count rounds, not
+	// supersteps (see docs/robustness.md).
+	step int64
 
 	remoteMu sync.Mutex
 	remote   *comm.Combiner[T]
@@ -104,6 +111,9 @@ func (d *deviceGeneric[T]) routeOwnedBatch(dsts []graph.VertexID, vals []T) {
 
 func (d *deviceGeneric[T]) generate(active []graph.VertexID, c *machine.Counters) error {
 	gen := func(v graph.VertexID, emit func(graph.VertexID, T)) {
+		if d.opt.Fault.PanicNow(d.rank, d.step, fault.PhaseGenerate) {
+			panic(fmt.Sprintf("fault: injected panic, rank %d superstep %d phase generate", d.rank, d.step))
+		}
 		d.app.Generate(v, emit)
 	}
 	var st pipeline.Stats
@@ -137,11 +147,14 @@ func (d *deviceGeneric[T]) generate(active []graph.VertexID, c *machine.Counters
 	return nil
 }
 
-func (d *deviceGeneric[T]) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) int64 {
+func (d *deviceGeneric[T]) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) (int64, error) {
 	// Fresh slice per exchange: the receiver may still be reading the
 	// previous payload while this device runs ahead (see deviceF32).
 	send := d.remote.Drain(nil)
-	recv, activeRemote, st := d.ep.Exchange(send, activeLocal)
+	recv, activeRemote, st, err := d.ep.Exchange(send, activeLocal)
+	if err != nil {
+		return 0, err
+	}
 	for _, m := range recv {
 		d.buf.InsertOwned(m.Dst, m.Val)
 	}
@@ -149,7 +162,7 @@ func (d *deviceGeneric[T]) exchange(activeLocal int64, c *machine.Counters, pt *
 	c.BytesSent += st.BytesSent
 	c.Exchanges++
 	pt.Exchange += st.SimSeconds
-	return activeRemote
+	return activeRemote, nil
 }
 
 // processAndUpdate walks every vertex with messages, reduces its list via
@@ -166,10 +179,15 @@ func (d *deviceGeneric[T]) processAndUpdate(c *machine.Counters) ([]graph.Vertex
 	perThread := make([][]graph.VertexID, d.opt.Threads)
 	var reduced, updated atomic.Int64
 	var wg sync.WaitGroup
+	var pc pipeline.PanicCollector
 	for t := 0; t < d.opt.Threads; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
+			defer pc.Capture()
+			if d.opt.Fault.PanicNow(d.rank, d.step, fault.PhaseProcess) || d.opt.Fault.PanicNow(d.rank, d.step, fault.PhaseUpdate) {
+				panic(fmt.Sprintf("fault: injected panic, rank %d superstep %d phase process/update", d.rank, d.step))
+			}
 			var act []graph.VertexID
 			var localReduced, localUpdated int64
 			for {
@@ -197,6 +215,9 @@ func (d *deviceGeneric[T]) processAndUpdate(c *machine.Counters) ([]graph.Vertex
 		}(t)
 	}
 	wg.Wait()
+	if err := pc.Err(); err != nil {
+		return nil, err
+	}
 	var next []graph.VertexID
 	for _, act := range perThread {
 		next = append(next, act...)
@@ -223,6 +244,9 @@ func (d *deviceGeneric[T]) phaseTimes(c machine.Counters) PhaseTimes {
 
 // RunGeneric executes a structured-message app on a single modeled device.
 func RunGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options) (Result, error) {
+	if err := validateRunArgs(app, g); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	d, err := newDeviceGeneric(app, g, opt, 0, nil, nil)
 	if err != nil {
@@ -233,6 +257,7 @@ func RunGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options) (Result, er
 	fixed := IsFixedActive(app)
 	initial := active
 	for iter := 0; iter < d.opt.MaxIterations; iter++ {
+		d.step = int64(iter)
 		if len(active) == 0 {
 			res.Converged = true
 			break
@@ -265,8 +290,15 @@ func RunGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options) (Result, er
 }
 
 // RunGenericHetero executes a structured-message app across two modeled
-// devices, mirroring RunF32Hetero.
+// devices, mirroring RunF32Hetero. Exchange deadlines and fault injection
+// apply here too, but there is no checkpoint-based recovery for
+// structured-message apps: a device failure surfaces as an error (the
+// Snapshotter-driven degradation path is float32-only; see
+// docs/robustness.md).
 func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, optDev0, optDev1 Options) (HeteroResult, error) {
+	if err := validateRunArgs(app, g); err != nil {
+		return HeteroResult{}, err
+	}
 	start := time.Now()
 	if err := validAssign(g, assign); err != nil {
 		return HeteroResult{}, err
@@ -275,7 +307,12 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 	if err != nil {
 		return HeteroResult{}, err
 	}
+	timeout, inj, _ := resolveFaultConfig(optDev0, optDev1)
+	net.SetTimeout(timeout)
+	net.SetInjector(inj)
 	opts := [2]Options{optDev0, optDev1}
+	// Both devices consult the resolved injector for in-phase events.
+	opts[0].Fault, opts[1].Fault = inj, inj
 	devs := [2]*deviceGeneric[T]{}
 	for r := 0; r < 2; r++ {
 		ep, err := net.Endpoint(r)
@@ -306,10 +343,18 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 		go func(r int) {
 			defer wg.Done()
 			d := devs[r]
+			// On any error, declare this rank dead so the peer's next
+			// exchange fails fast instead of deadlocking.
+			defer func() {
+				if runErr[r] != nil {
+					d.ep.Abort()
+				}
+			}()
 			active := actives[r]
 			fixed := IsFixedActive(d.app)
 			initial := active
 			for iter := 0; iter < maxIter; iter++ {
+				d.step = int64(iter)
 				var c machine.Counters
 				var pt PhaseTimes
 				c.Iterations = 1
@@ -318,7 +363,10 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 					runErr[r] = err
 					return
 				}
-				d.exchange(int64(len(active)), &c, &pt)
+				if _, err := d.exchange(int64(len(active)), &c, &pt); err != nil {
+					runErr[r] = err
+					return
+				}
 				next, err := d.processAndUpdate(&c)
 				if err != nil {
 					runErr[r] = err
@@ -326,7 +374,11 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 				}
 				compute := d.phaseTimes(c)
 				pt.Generate, pt.Process, pt.Update = compute.Generate, compute.Process, compute.Update
-				_, remoteActive, st := d.ep.Exchange(nil, int64(len(next)))
+				_, remoteActive, st, err := d.ep.Exchange(nil, int64(len(next)))
+				if err != nil {
+					runErr[r] = err
+					return
+				}
 				c.Exchanges++
 				pt.Exchange += st.SimSeconds
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"hetgraph/internal/checkpoint"
 	"hetgraph/internal/comm"
+	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
 )
@@ -18,8 +21,11 @@ type HeteroResult struct {
 	Iterations int64
 	Converged  bool
 	// Dev holds each device's own result (its counters and phase times).
+	// In a degraded run these cover only the iterations before the failure.
 	Dev [2]Result
-	// ExecSeconds is sum_i max(dev0_i, dev1_i) over compute phases.
+	// ExecSeconds is sum_i max(dev0_i, dev1_i) over compute phases. In a
+	// degraded run it covers the lockstep iterations up to the restored
+	// checkpoint plus the single-device continuation's compute time.
 	ExecSeconds float64
 	// CommSeconds is the modeled PCIe exchange time (including the
 	// per-iteration active-count allreduce).
@@ -28,6 +34,21 @@ type HeteroResult struct {
 	SimSeconds float64
 	// WallSeconds is host wall-clock time.
 	WallSeconds float64
+
+	// Degraded is true when one device failed mid-run and the survivor
+	// finished the run single-device from the last checkpoint.
+	Degraded bool
+	// FailedRank is the rank that failed (-1 when no failure).
+	FailedRank int
+	// FailedSuperstep is the superstep at which the failure was detected
+	// (-1 if it could not be attributed to a specific superstep).
+	FailedSuperstep int64
+	// ResumedSuperstep is the checkpointed superstep the survivor resumed
+	// from; supersteps in (ResumedSuperstep, failure) were recomputed.
+	ResumedSuperstep int64
+	// Recovery is the single-device continuation's result (zero unless
+	// Degraded).
+	Recovery Result
 }
 
 // validAssign checks a device assignment vector against g.
@@ -55,13 +76,60 @@ func splitActive(active []graph.VertexID, assign []int32) (a0, a1 []graph.Vertex
 	return a0, a1
 }
 
+// resolveFaultConfig merges the robustness settings of the two device
+// options: the interconnect and the checkpoint schedule are shared, so the
+// first non-zero/non-nil value wins.
+func resolveFaultConfig(o0, o1 Options) (timeout time.Duration, inj *fault.Injector, every int) {
+	timeout = o0.ExchangeTimeout
+	if timeout == 0 {
+		timeout = o1.ExchangeTimeout
+	}
+	inj = o0.Fault
+	if inj == nil {
+		inj = o1.Fault
+	}
+	every = o0.CheckpointEvery
+	if every == 0 {
+		every = o1.CheckpointEvery
+	}
+	return timeout, inj, every
+}
+
+// blameRank resolves which rank err accuses of failing. r is the rank that
+// observed the error: a *comm.DeviceFailedError carries the verdict
+// explicitly (a rank that suffered an injected fault blames itself; a rank
+// whose peer vanished blames the peer); a checkpoint barrier broken by peer
+// death blames the peer; anything else — a recovered panic in a user
+// function, a scheduler error — is the observer's own failure.
+func blameRank(r int, err error) int {
+	var dfe *comm.DeviceFailedError
+	if errors.As(err, &dfe) {
+		return dfe.Rank
+	}
+	if errors.Is(err, checkpoint.ErrPeerDead) {
+		return 1 - r
+	}
+	return r
+}
+
 // RunF32Hetero executes app across two modeled devices. assign maps each
 // vertex to its owner (0 = optDev0's device, conventionally the CPU;
 // 1 = optDev1's, the MIC). Vertex state is partitioned by ownership: each
 // device generates from and updates only its own vertices, so the shared
 // state arrays carry no cross-device races.
+//
+// With Options.CheckpointEvery > 0 (app must implement
+// checkpoint.Snapshotter) the run is fault-tolerant: when one device fails —
+// by injected fault, exchange timeout, or a panic in a user function — the
+// survivor restores the last superstep-boundary checkpoint, absorbs the dead
+// rank's partition, and finishes the run single-device; the result records
+// the degradation. Without checkpointing a device failure is returned as an
+// error (typically a *comm.DeviceFailedError) instead of deadlocking.
 func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Options) (HeteroResult, error) {
 	start := time.Now()
+	if err := validateRunArgs(app, g); err != nil {
+		return HeteroResult{}, err
+	}
 	if err := validAssign(g, assign); err != nil {
 		return HeteroResult{}, err
 	}
@@ -69,7 +137,13 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	if err != nil {
 		return HeteroResult{}, err
 	}
+	timeout, inj, ckEvery := resolveFaultConfig(optDev0, optDev1)
+	net.SetTimeout(timeout)
+	net.SetInjector(inj)
 	opts := [2]Options{optDev0, optDev1}
+	// The resolved injector governs the whole run: both devices consult it
+	// for in-phase (panic) events, whichever option carried it.
+	opts[0].Fault, opts[1].Fault = inj, inj
 	devs := [2]*deviceF32{}
 	for r := 0; r < 2; r++ {
 		ep, err := net.Endpoint(r)
@@ -90,21 +164,56 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	a0, a1 := splitActive(active, assign)
 	actives := [2][]graph.VertexID{a0, a1}
 
+	var coord *checkpoint.Coordinator
+	if ckEvery > 0 {
+		snap, ok := app.(checkpoint.Snapshotter)
+		if !ok {
+			return HeteroResult{}, &InvalidOptionsError{
+				Field:  "CheckpointEvery",
+				Reason: fmt.Sprintf("app %T does not implement checkpoint.Snapshotter", app),
+			}
+		}
+		coord, err = checkpoint.NewCoordinator(snap, ckEvery, timeout)
+		if err != nil {
+			return HeteroResult{}, err
+		}
+		// Superstep-0 snapshot, taken before the rank loops start: recovery
+		// is possible from any point of the run, including a failure in the
+		// very first superstep.
+		if err := coord.Initial(a0, a1); err != nil {
+			return HeteroResult{}, err
+		}
+	}
+
 	var (
 		res       HeteroResult
 		iterTimes [2][]float64 // per-iteration compute time per device
 		wg        sync.WaitGroup
 		runErr    [2]error
 	)
+	res.FailedRank = -1
+	res.FailedSuperstep = -1
 	for r := 0; r < 2; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			d := devs[r]
+			// On any error, declare this rank dead on both the interconnect
+			// and the checkpoint barrier, so the peer fails fast wherever it
+			// is waiting instead of deadlocking.
+			defer func() {
+				if runErr[r] != nil {
+					d.ep.Abort()
+					if coord != nil {
+						coord.MarkDead(r)
+					}
+				}
+			}()
 			active := actives[r]
 			fixed := IsFixedActive(d.app)
 			initial := active
 			for iter := 0; iter < maxIter; iter++ {
+				d.step = int64(iter)
 				var c machine.Counters
 				var pt PhaseTimes
 				c.Iterations = 1
@@ -118,7 +227,11 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				// iteration's active count, which doubles as the BSP
 				// termination allreduce: when no vertex was active anywhere,
 				// nothing was generated and the run is over.
-				remoteActive := d.exchange(int64(len(active)), &c, &pt)
+				remoteActive, err := d.exchange(int64(len(active)), &c, &pt)
+				if err != nil {
+					runErr[r] = err
+					return
+				}
 				if int64(len(active))+remoteActive == 0 && !fixed {
 					devs[r].recordIter(&res.Dev[r], c, pt)
 					res.Dev[r].Converged = true
@@ -148,31 +261,121 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				} else {
 					active = next
 				}
+				// Superstep iter is complete; checkpoint at the boundary if
+				// due. `active` is exactly this rank's frontier for the next
+				// superstep, which is what the snapshot must carry.
+				if coord != nil {
+					if completed := int64(iter) + 1; coord.Due(completed) {
+						if err := coord.Checkpoint(r, completed, active); err != nil {
+							runErr[r] = err
+							return
+						}
+					}
+				}
 			}
 		}(r)
 	}
 	wg.Wait()
-	for r := 0; r < 2; r++ {
-		if runErr[r] != nil {
-			return HeteroResult{}, runErr[r]
-		}
+
+	if runErr[0] != nil || runErr[1] != nil {
+		return recoverF32Hetero(app, g, opts, coord, res, iterTimes, runErr, maxIter, start)
 	}
+
 	res.Iterations = res.Dev[0].Iterations
 	res.Converged = res.Dev[0].Converged && res.Dev[1].Converged
 	// Lockstep combination: per iteration the node waits for the slower
 	// device; communication time is identical on both sides (full-duplex
 	// model), so take device 0's.
-	for i := range iterTimes[0] {
-		t0 := iterTimes[0][i]
-		t1 := 0.0
-		if i < len(iterTimes[1]) {
-			t1 = iterTimes[1][i]
+	res.ExecSeconds = lockstepSeconds(iterTimes, len(iterTimes[0]))
+	res.CommSeconds = res.Dev[0].Phases.Exchange
+	res.SimSeconds = res.ExecSeconds + res.CommSeconds
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// lockstepSeconds sums max(dev0_i, dev1_i) over the first n iterations.
+func lockstepSeconds(iterTimes [2][]float64, n int) float64 {
+	var total float64
+	for i := 0; i < n && i < len(iterTimes[0]); i++ {
+		t := iterTimes[0][i]
+		if i < len(iterTimes[1]) && iterTimes[1][i] > t {
+			t = iterTimes[1][i]
 		}
-		if t1 > t0 {
-			t0 = t1
-		}
-		res.ExecSeconds += t0
+		total += t
 	}
+	return total
+}
+
+// recoverF32Hetero handles a failed heterogeneous run: it identifies the
+// dead rank from the two loops' errors, restores the last checkpoint, and
+// finishes the run on a single device built from the survivor's options.
+// Without a coordinator (or when both ranks failed independently) the
+// failure is returned as an error.
+func recoverF32Hetero(
+	app AppF32, g *graph.CSR, opts [2]Options, coord *checkpoint.Coordinator,
+	res HeteroResult, iterTimes [2][]float64, runErr [2]error, maxIter int, start time.Time,
+) (HeteroResult, error) {
+	// Resolve the failed rank. Both loops usually error (the survivor's
+	// error names the dead peer), and their verdicts must agree; a lone
+	// error also identifies the failure (the peer finished its loop before
+	// noticing).
+	failed := -1
+	failedStep := int64(-1)
+	var firstErr error
+	for r := 0; r < 2; r++ {
+		if runErr[r] == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = runErr[r]
+		}
+		b := blameRank(r, runErr[r])
+		if failed == -1 {
+			failed = b
+		} else if failed != b {
+			return HeteroResult{}, fmt.Errorf("core: both devices failed, cannot degrade: rank 0: %v; rank 1: %v", runErr[0], runErr[1])
+		}
+		var dfe *comm.DeviceFailedError
+		if errors.As(runErr[r], &dfe) && dfe.Rank == b {
+			failedStep = dfe.Superstep
+		}
+	}
+	if coord == nil {
+		return HeteroResult{}, firstErr
+	}
+	snap, err := coord.Restore()
+	if err != nil {
+		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery failed: %w", firstErr, err)
+	}
+	survivor := 1 - failed
+	ropt := opts[survivor]
+	// The continuation is a fresh single-device engine: no assignment, no
+	// endpoint, and no fault injection (the plan described the heterogeneous
+	// run; re-firing its events against the survivor would kill recovery).
+	ropt.Fault = nil
+	sd, err := newDeviceF32(app, g, ropt, 0, nil, nil)
+	if err != nil {
+		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery engine failed: %w", firstErr, err)
+	}
+	remaining := maxIter - int(snap.Superstep)
+	rec, err := runF32Loop(sd, snap.MergedFrontier(), remaining)
+	if err != nil {
+		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and degraded continuation failed: %w", firstErr, err)
+	}
+
+	res.Degraded = true
+	res.FailedRank = failed
+	res.FailedSuperstep = failedStep
+	res.ResumedSuperstep = snap.Superstep
+	res.Recovery = rec
+	res.Iterations = snap.Superstep + rec.Iterations
+	res.Converged = rec.Converged
+	// Simulated time: lockstep pairs up to the restored checkpoint (work
+	// past it was recomputed and is not double-counted), plus the
+	// single-device continuation's compute; communication time covers what
+	// actually crossed the link before the failure.
+	res.ExecSeconds = lockstepSeconds(iterTimes, int(snap.Superstep)) +
+		rec.Phases.Generate + rec.Phases.Process + rec.Phases.Update
 	res.CommSeconds = res.Dev[0].Phases.Exchange
 	res.SimSeconds = res.ExecSeconds + res.CommSeconds
 	res.WallSeconds = time.Since(start).Seconds()

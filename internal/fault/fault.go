@@ -1,0 +1,421 @@
+// Package fault provides deterministic, seedable fault injection for the
+// heterogeneous runtime's chaos tests. A Plan is a list of concrete fault
+// events — drop, delay, or fail a rank's exchange at superstep k, or panic a
+// worker in a given phase — and an Injector answers the runtime's "does a
+// fault fire here?" queries against that plan. Because the plan is explicit
+// data (optionally generated from a seed by Random), every chaos run is
+// reproducible: the same plan yields the same faults at the same points.
+//
+// Superstep indices are 0-based and count exchange rounds as seen by each
+// endpoint. For the float32 engines one exchange round corresponds to one
+// BSP superstep; the generic engine performs two rounds per superstep (the
+// second carries the active count), so plan steps there index rounds, not
+// supersteps.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies the engine phase a panic fault fires in.
+type Phase uint8
+
+const (
+	// PhaseGenerate panics inside the user's generate_messages.
+	PhaseGenerate Phase = iota + 1
+	// PhaseProcess panics inside message processing.
+	PhaseProcess
+	// PhaseUpdate panics inside vertex updating.
+	PhaseUpdate
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseGenerate:
+		return "generate"
+	case PhaseProcess:
+		return "process"
+	case PhaseUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// ParsePhase parses a phase name as used in plan specs.
+func ParsePhase(s string) (Phase, error) {
+	switch s {
+	case "generate":
+		return PhaseGenerate, nil
+	case "process":
+		return PhaseProcess, nil
+	case "update":
+		return PhaseUpdate, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown phase %q (want generate|process|update)", s)
+	}
+}
+
+// Kind identifies what a fault event does.
+type Kind uint8
+
+const (
+	// KindDrop kills the rank at the given exchange: it stops communicating
+	// permanently, modeling a dead coprocessor.
+	KindDrop Kind = iota + 1
+	// KindDelay stalls the rank's exchange by Delay before it proceeds,
+	// modeling a transient hiccup that stays under the deadline (or not).
+	KindDelay
+	// KindFail makes the rank's exchange attempt fail Times consecutive
+	// times, modeling transient link errors; the runtime retries with
+	// backoff, so Times below the retry cap is recoverable.
+	KindFail
+	// KindPanic panics a worker goroutine in the given Phase, modeling a
+	// crash inside a user function.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDrop:
+		return "drop"
+	case KindDelay:
+		return "delay"
+	case KindFail:
+		return "fail"
+	case KindPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one planned fault.
+type Event struct {
+	// Rank is the rank the fault hits (0 or 1).
+	Rank int
+	// Step is the 0-based superstep (exchange round) the fault fires at.
+	Step int64
+	// Kind is what happens.
+	Kind Kind
+	// Phase is the engine phase for KindPanic events.
+	Phase Phase
+	// Delay is the injected stall for KindDelay events.
+	Delay time.Duration
+	// Times is the number of consecutive failing attempts for KindFail
+	// events (0 means 1).
+	Times int
+}
+
+// String renders the event in the spec grammar accepted by Parse.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindDrop:
+		return fmt.Sprintf("rank%d:drop@%d", e.Rank, e.Step)
+	case KindDelay:
+		return fmt.Sprintf("rank%d:delay@%d:%s", e.Rank, e.Step, e.Delay)
+	case KindFail:
+		t := e.Times
+		if t == 0 {
+			t = 1
+		}
+		return fmt.Sprintf("rank%d:fail@%dx%d", e.Rank, e.Step, t)
+	case KindPanic:
+		return fmt.Sprintf("rank%d:panic@%d:%s", e.Rank, e.Step, e.Phase)
+	default:
+		return fmt.Sprintf("rank%d:%s@%d", e.Rank, e.Kind, e.Step)
+	}
+}
+
+// Validate checks the event's fields.
+func (e Event) Validate() error {
+	if e.Rank != 0 && e.Rank != 1 {
+		return fmt.Errorf("fault: event rank %d not in {0,1}", e.Rank)
+	}
+	if e.Step < 0 {
+		return fmt.Errorf("fault: event step %d < 0", e.Step)
+	}
+	switch e.Kind {
+	case KindDrop:
+	case KindDelay:
+		if e.Delay < 0 {
+			return fmt.Errorf("fault: negative delay %s", e.Delay)
+		}
+	case KindFail:
+		if e.Times < 0 {
+			return fmt.Errorf("fault: negative fail count %d", e.Times)
+		}
+	case KindPanic:
+		if e.Phase < PhaseGenerate || e.Phase > PhaseUpdate {
+			return fmt.Errorf("fault: panic event needs a phase")
+		}
+	default:
+		return fmt.Errorf("fault: unknown kind %d", uint8(e.Kind))
+	}
+	return nil
+}
+
+// Plan is an ordered set of fault events — the full chaos scenario of one
+// run.
+type Plan struct {
+	Events []Event
+}
+
+// Validate checks every event.
+func (p Plan) Validate() error {
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the plan in the spec grammar accepted by Parse.
+func (p Plan) String() string {
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse reads a plan spec: events separated by ';' (or ','), each of the
+// form
+//
+//	rank<r>:drop@<step>
+//	rank<r>:delay@<step>:<duration>
+//	rank<r>:fail@<step>[x<times>]
+//	rank<r>:panic@<step>:<generate|process|update>
+//
+// e.g. "rank1:drop@3;rank0:panic@2:generate".
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, tok := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		e, err := parseEvent(tok)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func parseEvent(tok string) (Event, error) {
+	var e Event
+	rest, ok := strings.CutPrefix(tok, "rank")
+	if !ok {
+		return e, fmt.Errorf("fault: event %q does not start with rank<r>", tok)
+	}
+	head, tail, ok := strings.Cut(rest, ":")
+	if !ok {
+		return e, fmt.Errorf("fault: event %q missing ':'", tok)
+	}
+	rank, err := strconv.Atoi(head)
+	if err != nil {
+		return e, fmt.Errorf("fault: event %q: bad rank: %w", tok, err)
+	}
+	e.Rank = rank
+	kind, at, ok := strings.Cut(tail, "@")
+	if !ok {
+		return e, fmt.Errorf("fault: event %q missing '@<step>'", tok)
+	}
+	// The step may carry a suffix: ":<duration>", ":<phase>", or "x<times>".
+	stepStr, extra := at, ""
+	if i := strings.IndexAny(at, ":x"); i >= 0 && kind != "delay" && kind != "panic" {
+		// fail@<step>x<times>
+		if at[i] == 'x' {
+			stepStr, extra = at[:i], at[i+1:]
+		}
+	}
+	if kind == "delay" || kind == "panic" {
+		if s, x, ok := strings.Cut(at, ":"); ok {
+			stepStr, extra = s, x
+		}
+	}
+	step, err := strconv.ParseInt(stepStr, 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("fault: event %q: bad step: %w", tok, err)
+	}
+	e.Step = step
+	switch kind {
+	case "drop":
+		e.Kind = KindDrop
+	case "delay":
+		e.Kind = KindDelay
+		if extra == "" {
+			return e, fmt.Errorf("fault: event %q: delay needs ':<duration>'", tok)
+		}
+		d, err := time.ParseDuration(extra)
+		if err != nil {
+			return e, fmt.Errorf("fault: event %q: bad duration: %w", tok, err)
+		}
+		e.Delay = d
+	case "fail":
+		e.Kind = KindFail
+		e.Times = 1
+		if extra != "" {
+			t, err := strconv.Atoi(extra)
+			if err != nil {
+				return e, fmt.Errorf("fault: event %q: bad fail count: %w", tok, err)
+			}
+			e.Times = t
+		}
+	case "panic":
+		e.Kind = KindPanic
+		if extra == "" {
+			return e, fmt.Errorf("fault: event %q: panic needs ':<phase>'", tok)
+		}
+		ph, err := ParsePhase(extra)
+		if err != nil {
+			return e, err
+		}
+		e.Phase = ph
+	default:
+		return e, fmt.Errorf("fault: event %q: unknown kind %q", tok, kind)
+	}
+	return e, nil
+}
+
+// Random derives a plan of n events from a seed, deterministically: the same
+// (seed, maxStep, n) always yields the same plan. Steps are drawn uniformly
+// from [0, maxStep), kinds and ranks uniformly; delays stay small (≤ 2ms)
+// and fail bursts short (≤ 3 attempts) so random plans remain recoverable
+// under default retry settings. Events are sorted by step for readability.
+func Random(seed, maxStep int64, n int) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	var p Plan
+	if maxStep < 1 {
+		maxStep = 1
+	}
+	for i := 0; i < n; i++ {
+		e := Event{
+			Rank: rng.Intn(2),
+			Step: rng.Int63n(maxStep),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			e.Kind = KindDrop
+		case 1:
+			e.Kind = KindDelay
+			e.Delay = time.Duration(rng.Intn(2000)) * time.Microsecond
+		case 2:
+			e.Kind = KindFail
+			e.Times = 1 + rng.Intn(3)
+		default:
+			e.Kind = KindPanic
+			e.Phase = Phase(1 + rng.Intn(3))
+		}
+		p.Events = append(p.Events, e)
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Step < p.Events[j].Step })
+	return p
+}
+
+// Injector answers the runtime's fault queries against a plan. All query
+// methods are safe for concurrent use; PanicNow consumes its event so that
+// exactly one worker panics per planned panic.
+type Injector struct {
+	events []Event
+	fired  []atomic.Bool // parallel to events; used by one-shot kinds
+}
+
+// NewInjector validates the plan and builds an injector for it.
+func NewInjector(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	evs := append([]Event(nil), p.Events...)
+	return &Injector{events: evs, fired: make([]atomic.Bool, len(evs))}, nil
+}
+
+// Drop reports whether rank's exchange at step is dropped (the rank dies).
+func (in *Injector) Drop(rank int, step int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Kind == KindDrop && e.Rank == rank && e.Step == step {
+			return true
+		}
+	}
+	return false
+}
+
+// Delay returns the injected stall for rank's exchange at step (0 if none).
+func (in *Injector) Delay(rank int, step int64) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, e := range in.events {
+		if e.Kind == KindDelay && e.Rank == rank && e.Step == step {
+			d += e.Delay
+		}
+	}
+	return d
+}
+
+// LinkFails reports whether the attempt'th try (0-based) of rank's exchange
+// at step fails. Deterministic: attempts below the event's Times fail, later
+// attempts succeed — so a Times under the runtime's retry cap models a
+// transient fault, and a larger Times a persistent link failure.
+func (in *Injector) LinkFails(rank int, step int64, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Kind == KindFail && e.Rank == rank && e.Step == step {
+			t := e.Times
+			if t == 0 {
+				t = 1
+			}
+			if attempt < t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PanicNow reports whether a worker on rank at step in phase should panic.
+// Each planned panic fires exactly once, in whichever worker goroutine asks
+// first.
+func (in *Injector) PanicNow(rank int, step int64, phase Phase) bool {
+	if in == nil {
+		return false
+	}
+	for i, e := range in.events {
+		if e.Kind == KindPanic && e.Rank == rank && e.Step == step && e.Phase == phase {
+			if in.fired[i].CompareAndSwap(false, true) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Events returns a copy of the plan's events.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	return append([]Event(nil), in.events...)
+}

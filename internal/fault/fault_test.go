@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"rank1:drop@3",
+		"rank0:delay@2:5ms",
+		"rank1:fail@2x3",
+		"rank0:panic@4:generate",
+		"rank1:panic@0:process;rank0:panic@1:update",
+		"rank1:drop@3;rank0:delay@2:5ms,rank1:fail@7x2",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", spec, p.String(), err)
+		}
+		if len(again.Events) != len(p.Events) {
+			t.Fatalf("round trip of %q lost events: %v vs %v", spec, p, again)
+		}
+		for i := range p.Events {
+			if p.Events[i] != again.Events[i] {
+				t.Errorf("round trip of %q: event %d: %+v != %+v", spec, i, p.Events[i], again.Events[i])
+			}
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"drop@3",               // no rank
+		"rank2:drop@3",         // bad rank
+		"rank0:drop@-1",        // negative step
+		"rank0:explode@3",      // unknown kind
+		"rank0:panic@3",        // panic without phase
+		"rank0:panic@3:sleep",  // unknown phase
+		"rank0:delay@3",        // delay without duration
+		"rank0:delay@3:banana", // bad duration
+		"rank0:fail@1xq",       // bad fail count
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestParseEmptyIsEmptyPlan(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || len(p.Events) != 0 {
+		t.Fatalf("Parse(blank) = %v, %v", p, err)
+	}
+}
+
+func TestInjectorQueries(t *testing.T) {
+	p, err := Parse("rank1:drop@3;rank0:delay@2:1ms;rank1:fail@5x2;rank0:panic@4:process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Drop(1, 3) || in.Drop(0, 3) || in.Drop(1, 2) {
+		t.Error("Drop matching wrong")
+	}
+	if in.Delay(0, 2) != time.Millisecond || in.Delay(1, 2) != 0 {
+		t.Error("Delay matching wrong")
+	}
+	if !in.LinkFails(1, 5, 0) || !in.LinkFails(1, 5, 1) || in.LinkFails(1, 5, 2) {
+		t.Error("LinkFails should fail attempts 0,1 and pass attempt 2")
+	}
+	if in.LinkFails(0, 5, 0) || in.LinkFails(1, 4, 0) {
+		t.Error("LinkFails matched wrong rank/step")
+	}
+	if in.PanicNow(0, 4, PhaseGenerate) || in.PanicNow(1, 4, PhaseProcess) {
+		t.Error("PanicNow matched wrong phase/rank")
+	}
+	if !in.PanicNow(0, 4, PhaseProcess) {
+		t.Error("PanicNow missed its event")
+	}
+	if in.PanicNow(0, 4, PhaseProcess) {
+		t.Error("PanicNow fired twice")
+	}
+}
+
+func TestPanicNowFiresExactlyOnceUnderConcurrency(t *testing.T) {
+	in, err := NewInjector(Plan{Events: []Event{{Rank: 0, Step: 1, Kind: KindPanic, Phase: PhaseUpdate}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 32
+	var wg sync.WaitGroup
+	fired := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.PanicNow(0, 1, PhaseUpdate) {
+					fired <- struct{}{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(fired); n != 1 {
+		t.Fatalf("panic event fired %d times, want 1", n)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Drop(0, 0) || in.Delay(0, 0) != 0 || in.LinkFails(0, 0, 0) || in.PanicNow(0, 0, PhaseGenerate) {
+		t.Error("nil injector injected something")
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := Random(42, 10, 8)
+	b := Random(42, 10, 8)
+	if len(a.Events) != 8 || len(b.Events) != 8 {
+		t.Fatalf("wrong event counts: %d, %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("random plan invalid: %v", err)
+	}
+	c := Random(43, 10, 8)
+	same := true
+	for i := range a.Events {
+		if a.Events[i] != c.Events[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}

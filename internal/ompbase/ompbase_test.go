@@ -109,7 +109,9 @@ func TestOMPGenericSemiClustering(t *testing.T) {
 	}
 	const maxIters = 4
 	seqApp := apps.NewSemiClustering(3, 4, 0.2)
-	seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters)
+	if _, _, err := seqref.RunGenericSeq[apps.SCMsg](seqApp, g, maxIters); err != nil {
+		t.Fatal(err)
+	}
 	app := apps.NewSemiClustering(3, 4, 0.2)
 	res, err := RunGeneric[apps.SCMsg](app, g, machine.CPU(), 8, maxIters)
 	if err != nil {

@@ -96,12 +96,12 @@ func RunLocking[T any](active []graph.VertexID, threads int, gen Gen[T], insert 
 	}
 	var msgs atomic.Int64
 	var wg sync.WaitGroup
-	var pc panicCollector
+	var pc PanicCollector
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer pc.capture()
+			defer pc.Capture()
 			var local int64
 			emit := func(dst graph.VertexID, val T) {
 				insert(dst, val)
@@ -120,30 +120,31 @@ func RunLocking[T any](active []graph.VertexID, threads int, gen Gen[T], insert 
 		}()
 	}
 	wg.Wait()
-	if err := pc.err(); err != nil {
+	if err := pc.Err(); err != nil {
 		return Stats{}, err
 	}
 	return Stats{Messages: msgs.Load(), TaskFetches: s.Fetches()}, nil
 }
 
-// panicCollector contains panics escaping user functions on worker
+// PanicCollector contains panics escaping user functions on worker
 // goroutines: without it, a panicking generate_messages would kill the
 // process (or deadlock the movers waiting for workers that died). The first
-// panic is kept and surfaced as an error from the generation call.
-type panicCollector struct {
+// panic is kept and surfaced as an error from the generation call. The
+// engines reuse it to guard their process/update goroutine pools.
+type PanicCollector struct {
 	once sync.Once
 	val  atomic.Value
 }
 
-// capture must be deferred in each goroutine that runs user code.
-func (p *panicCollector) capture() {
+// Capture must be deferred in each goroutine that runs user code.
+func (p *PanicCollector) Capture() {
 	if r := recover(); r != nil {
 		p.once.Do(func() { p.val.Store(fmt.Sprintf("%v", r)) })
 	}
 }
 
-// err returns the captured panic as an error, or nil.
-func (p *panicCollector) err() error {
+// Err returns the captured panic as an error, or nil.
+func (p *PanicCollector) Err() error {
 	if v := p.val.Load(); v != nil {
 		return fmt.Errorf("pipeline: user function panicked: %s", v)
 	}
@@ -234,7 +235,7 @@ func (p *Pipelined[T]) run(active []graph.VertexID, gen Gen[T], sink BatchSink[T
 		pubs        atomic.Int64
 		workersLeft atomic.Int64
 		wg          sync.WaitGroup
-		pc          panicCollector
+		pc          PanicCollector
 	)
 	workersLeft.Store(int64(workers))
 
@@ -243,7 +244,7 @@ func (p *Pipelined[T]) run(active []graph.VertexID, gen Gen[T], sink BatchSink[T
 		go func(w int) {
 			defer wg.Done()
 			defer workersLeft.Add(-1)
-			defer pc.capture()
+			defer pc.Capture()
 			mine := queues[w]
 			// Per-mover-class accumulation buffers: the ring cursors are
 			// published once per flush instead of once per message.
@@ -303,7 +304,7 @@ func (p *Pipelined[T]) run(active []graph.VertexID, gen Gen[T], sink BatchSink[T
 				}
 			}
 			func() {
-				defer pc.capture()
+				defer pc.Capture()
 				scratch := make([]Message[T], batch)
 				dsts := make([]graph.VertexID, batch)
 				vals := make([]T, batch)
@@ -354,7 +355,7 @@ func (p *Pipelined[T]) run(active []graph.VertexID, gen Gen[T], sink BatchSink[T
 		}(m)
 	}
 	wg.Wait()
-	if err := pc.err(); err != nil {
+	if err := pc.Err(); err != nil {
 		// Drain any residue so the queues are clean for the next run.
 		for w := range queues {
 			for m := range queues[w] {

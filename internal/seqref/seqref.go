@@ -13,6 +13,7 @@ package seqref
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 
 	"hetgraph/internal/core"
@@ -21,9 +22,17 @@ import (
 )
 
 // RunF32Seq executes an AppF32 with sequential BSP semantics and returns
-// the iteration count and the run's event counters.
-func RunF32Seq(app core.AppF32, g *graph.CSR, maxIters int) (int64, machine.Counters) {
-	var c machine.Counters
+// the iteration count and the run's event counters. A panic in a user
+// function is recovered and returned as an error, mirroring the parallel
+// engines — chaos tests diff hetero runs against this oracle, and a buggy
+// vertex program must fail both sides the same way instead of killing the
+// process here.
+func RunF32Seq(app core.AppF32, g *graph.CSR, maxIters int) (iters int64, c machine.Counters, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			iters, c, err = 0, machine.Counters{}, fmt.Errorf("seqref: user function panicked: %v", r)
+		}
+	}()
 	n := g.NumVertices()
 	active := app.Init(g)
 	fixed := core.IsFixedActive(app)
@@ -31,7 +40,6 @@ func RunF32Seq(app core.AppF32, g *graph.CSR, maxIters int) (int64, machine.Coun
 	vals := make([]float32, n)
 	has := make([]bool, n)
 	var touched []graph.VertexID
-	var iters int64
 	for len(active) > 0 && iters < int64(maxIters) {
 		iters++
 		c.Iterations++
@@ -66,19 +74,23 @@ func RunF32Seq(app core.AppF32, g *graph.CSR, maxIters int) (int64, machine.Coun
 			active = append(active[:0], initial...)
 		}
 	}
-	return iters, c
+	return iters, c, nil
 }
 
-// RunGenericSeq executes an AppGeneric with sequential BSP semantics.
-func RunGenericSeq[T any](app core.AppGeneric[T], g *graph.CSR, maxIters int) (int64, machine.Counters) {
-	var c machine.Counters
+// RunGenericSeq executes an AppGeneric with sequential BSP semantics. Panics
+// in user functions are recovered into errors, as in RunF32Seq.
+func RunGenericSeq[T any](app core.AppGeneric[T], g *graph.CSR, maxIters int) (iters int64, c machine.Counters, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			iters, c, err = 0, machine.Counters{}, fmt.Errorf("seqref: user function panicked: %v", r)
+		}
+	}()
 	n := g.NumVertices()
 	active := app.Init(g)
 	fixed := core.IsFixedActive(app)
 	initial := append([]graph.VertexID(nil), active...)
 	lists := make([][]T, n)
 	var touched []graph.VertexID
-	var iters int64
 	for len(active) > 0 && iters < int64(maxIters) {
 		iters++
 		c.Iterations++
@@ -108,7 +120,7 @@ func RunGenericSeq[T any](app core.AppGeneric[T], g *graph.CSR, maxIters int) (i
 			active = append(active[:0], initial...)
 		}
 	}
-	return iters, c
+	return iters, c, nil
 }
 
 // ClassicPageRank is an independent power-iteration PageRank matching the

@@ -7,6 +7,8 @@ import (
 	"hetgraph/internal/apps"
 	"hetgraph/internal/gen"
 	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/vec"
 )
 
 func TestClassicBFSPaperGraph(t *testing.T) {
@@ -106,7 +108,10 @@ func TestRunF32SeqCountsEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.NewSSSP(0)
-	iters, c := RunF32Seq(app, wg, 1000)
+	iters, c, err := RunF32Seq(app, wg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if iters < 2 {
 		t.Fatalf("iters = %d", iters)
 	}
@@ -127,7 +132,10 @@ func TestRunF32SeqCountsEvents(t *testing.T) {
 func TestRunF32SeqFixedActive(t *testing.T) {
 	g := graph.PaperExample()
 	app := apps.NewPageRank()
-	iters, c := RunF32Seq(app, g, 5)
+	iters, c, err := RunF32Seq(app, g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if iters != 5 {
 		t.Fatalf("fixed-active seq ran %d iters, want 5", iters)
 	}
@@ -142,7 +150,10 @@ func TestRunGenericSeqTerminates(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.NewSemiClustering(3, 4, 0.2)
-	iters, c := RunGenericSeq[apps.SCMsg](app, g, 50)
+	iters, c, err := RunGenericSeq[apps.SCMsg](app, g, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if iters == 0 || iters == 50 {
 		t.Fatalf("SC seq iters = %d (no fixed point?)", iters)
 	}
@@ -168,5 +179,42 @@ func TestClassicWCC(t *testing.T) {
 		if labels[v] != want[v] {
 			t.Fatalf("labels = %v, want %v", labels, want)
 		}
+	}
+}
+
+// panicF32 is a vertex program whose Update panics — seqref must recover
+// the panic into an error rather than killing the test process.
+type panicF32 struct{}
+
+func (panicF32) Profile() machine.AppProfile {
+	return machine.AppProfile{Name: "panic", GenOps: 1, ProcOps: 1, UpdOps: 1, MsgBytes: 4, Reducible: true}
+}
+func (panicF32) Init(g *graph.CSR) []graph.VertexID { return []graph.VertexID{0} }
+func (panicF32) Generate(v graph.VertexID, emit func(graph.VertexID, float32)) {
+	emit(v, 1)
+}
+func (panicF32) Identity() float32                  { return 0 }
+func (panicF32) ReduceVec(arr *vec.ArrayF32, n int) {}
+func (panicF32) ReduceScalar(a, b float32) float32  { return a + b }
+func (panicF32) Update(v graph.VertexID, m float32) bool {
+	panic("buggy vertex program")
+}
+
+type panicGen struct{ panicF32 }
+
+func (panicGen) Generate(v graph.VertexID, emit func(graph.VertexID, int)) { emit(v, 1) }
+func (panicGen) Combine(a, b int) int                                      { return a + b }
+func (panicGen) Process(v graph.VertexID, msgs []int) int                  { panic("buggy process") }
+func (panicGen) Update(v graph.VertexID, res int) bool                     { return false }
+
+func TestSeqRecoversUserPanic(t *testing.T) {
+	b := graph.NewBuilder(2, false)
+	b.AddEdge(0, 1, 0)
+	g, _ := b.Build()
+	if _, _, err := RunF32Seq(panicF32{}, g, 5); err == nil {
+		t.Fatal("RunF32Seq: panic in Update not surfaced as error")
+	}
+	if _, _, err := RunGenericSeq[int](panicGen{}, g, 5); err == nil {
+		t.Fatal("RunGenericSeq: panic in Process not surfaced as error")
 	}
 }
