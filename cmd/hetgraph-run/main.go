@@ -7,45 +7,90 @@
 //	hetgraph-run -graph pokec.adj -app bfs -device mic -scheme lock
 //	hetgraph-run -graph pokecw.adj -app sssp -device both -partition pokec.part
 //	hetgraph-run -graph pokec.adj -app pagerank -iters 10 -device cpu -baseline omp
+//	hetgraph-run -graph pokec.adj -app pagerank -device both -partition pokec.part \
+//	    -checkpoint-every 1 -checkpoint-dir ./ckpt        # durable checkpoints
+//	hetgraph-run ... -checkpoint-dir ./ckpt -resume       # cold-start from them
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flags or
+// invalid configuration).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"time"
 
 	"hetgraph"
 )
 
+// faultGrammar is printed when -fault-plan does not parse, so the operator
+// does not have to dig the event syntax out of the docs mid-incident.
+const faultGrammar = `fault plan grammar (events separated by ';' or ','):
+  rank<r>:drop@<step>                     rank r dies at exchange round <step>
+  rank<r>:delay@<step>:<duration>         rank r stalls before the round (e.g. 5ms)
+  rank<r>:fail@<step>x<n>                 link fails <n> consecutive attempts
+  rank<r>:panic@<step>:<phase>            panic in generate | process | update
+  rank<r>:iofail@<step>:<op>              checkpoint commit fails: write | sync | rename
+  rank<r>:torn@<step>                     checkpoint write silently truncated
+example: "rank1:drop@3;rank0:delay@2:5ms"  (see docs/robustness.md)`
+
+// usageError marks a configuration mistake (exit 2) as opposed to a
+// runtime failure (exit 1).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hetgraph-run: ")
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hetgraph-run:", err)
+		var ue usageError
+		var ioe *hetgraph.InvalidOptionsError
+		if errors.As(err, &ue) || errors.As(err, &ioe) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hetgraph-run", flag.ContinueOnError)
 	var (
-		graphPath = flag.String("graph", "", "input graph file (required)")
-		appName   = flag.String("app", "pagerank", "application: pagerank | bfs | sssp | toposort | semicluster")
-		device    = flag.String("device", "mic", "device: cpu | mic | both")
-		scheme    = flag.String("scheme", "pipe", "message generation scheme: lock | pipe")
-		baseline  = flag.String("baseline", "", "run a baseline instead: omp")
-		partPath  = flag.String("partition", "", "partition file for -device both")
-		source    = flag.Int("source", 0, "source vertex for bfs/sssp")
-		iters     = flag.Int("iters", 0, "iteration bound (0 = converge; pagerank default 10)")
-		novec     = flag.Bool("novec", false, "disable SIMD message reduction")
-		genBatch  = flag.Int("genbatch", 0, "pipelined handoff batch size (0/1 = per-element; try 64)")
-		traceCSV  = flag.String("trace", "", "write a per-superstep phase timeline CSV to this path")
-		verify    = flag.Bool("verify", false, "check the result against the sequential reference")
-		ckEvery   = flag.Int("checkpoint-every", 0, "checkpoint vertex state every N supersteps (0 = off; -device both)")
-		exTimeout = flag.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
-		faultPlan = flag.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
+		graphPath = fs.String("graph", "", "input graph file (required)")
+		appName   = fs.String("app", "pagerank", "application: pagerank | bfs | sssp | toposort | cc | semicluster")
+		device    = fs.String("device", "mic", "device: cpu | mic | both")
+		scheme    = fs.String("scheme", "pipe", "message generation scheme: lock | pipe")
+		baseline  = fs.String("baseline", "", "run a baseline instead: omp")
+		partPath  = fs.String("partition", "", "partition file for -device both")
+		source    = fs.Int("source", 0, "source vertex for bfs/sssp")
+		iters     = fs.Int("iters", 0, "iteration bound (0 = converge; pagerank default 10)")
+		novec     = fs.Bool("novec", false, "disable SIMD message reduction")
+		genBatch  = fs.Int("genbatch", 0, "pipelined handoff batch size (0/1 = per-element; try 64)")
+		traceCSV  = fs.String("trace", "", "write a per-superstep phase timeline CSV to this path")
+		verify    = fs.Bool("verify", false, "check the result against the sequential reference")
+		ckEvery   = fs.Int("checkpoint-every", 0, "checkpoint vertex state every N supersteps (0 = off; -device both)")
+		ckDir     = fs.String("checkpoint-dir", "", "flush checkpoints durably to this directory (atomic commits + manifest)")
+		ckRetain  = fs.Int("checkpoint-retain", 0, "on-disk checkpoint generations to keep (0 = default, min 2)")
+		resume    = fs.Bool("resume", false, "cold-start from the newest checkpoint in -checkpoint-dir")
+		exTimeout = fs.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
+		faultPlan = fs.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
 	if *graphPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return usagef("-graph is required")
 	}
 	g, err := hetgraph.LoadGraph(*graphPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *appName == "pagerank" && *iters == 0 {
 		*iters = 10
@@ -65,8 +110,7 @@ func main() {
 	}
 
 	if *appName == "semicluster" {
-		runSC(g, *device, schemeOf(*scheme), *partPath, *iters)
-		return
+		return runSC(g, *device, schemeOf(*scheme), *partPath, *iters)
 	}
 
 	var app hetgraph.AppF32
@@ -82,17 +126,17 @@ func main() {
 	case "cc":
 		app = hetgraph.NewConnectedComponents()
 	default:
-		log.Fatalf("unknown -app %q", *appName)
+		return usagef("unknown -app %q", *appName)
 	}
 
 	if *baseline == "omp" {
 		res, err := hetgraph.RunOMP(app, g, devOf(*device), 0, *iters)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("%s OMP on %s: %d iterations, sim %.6fs, wall %.3fs\n",
 			*appName, *device, res.Iterations, res.SimSeconds, res.WallSeconds)
-		return
+		return nil
 	}
 
 	var rec *hetgraph.TraceRecorder
@@ -103,54 +147,70 @@ func main() {
 	if *faultPlan != "" {
 		plan, err := hetgraph.ParseFaultPlan(*faultPlan)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(os.Stderr, faultGrammar)
+			return usagef("bad -fault-plan: %w", err)
 		}
 		if inj, err = hetgraph.NewFaultInjector(plan); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(os.Stderr, faultGrammar)
+			return usagef("bad -fault-plan: %w", err)
 		}
 	}
 	opt := hetgraph.Options{
-		Scheme:          schemeOf(*scheme),
-		Vectorized:      !*novec,
-		MaxIterations:   *iters,
-		GenBatchSize:    *genBatch,
-		Trace:           rec,
-		CheckpointEvery: *ckEvery,
-		ExchangeTimeout: *exTimeout,
-		Fault:           inj,
+		Scheme:           schemeOf(*scheme),
+		Vectorized:       !*novec,
+		MaxIterations:    *iters,
+		GenBatchSize:     *genBatch,
+		Trace:            rec,
+		CheckpointEvery:  *ckEvery,
+		CheckpointDir:    *ckDir,
+		CheckpointRetain: *ckRetain,
+		Resume:           *resume,
+		ExchangeTimeout:  *exTimeout,
+		Fault:            inj,
 	}
 	switch *device {
 	case "cpu", "mic":
+		if *ckDir != "" || *resume {
+			return usagef("-checkpoint-dir/-resume require -device both (the durable store backs the heterogeneous run)")
+		}
 		opt.Dev = devOf(*device)
 		res, err := hetgraph.Run(app, g, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("%s on %s (%v, vec=%v): %d iterations, sim %.6fs (gen %.6f, proc %.6f, upd %.6f), wall %.3fs\n",
 			*appName, *device, opt.Scheme, opt.Vectorized, res.Iterations, res.SimSeconds,
 			res.Phases.Generate, res.Phases.Process, res.Phases.Update, res.WallSeconds)
 		if *verify {
-			verifyResult(*appName, app, g, *source, *iters)
+			if err := verifyResult(*appName, app, g, *source, *iters); err != nil {
+				return err
+			}
 		}
 	case "both":
 		if *partPath == "" {
-			log.Fatal("-device both requires -partition")
+			return usagef("-device both requires -partition")
 		}
 		assign, err := hetgraph.LoadPartition(*partPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		optCPU := opt
 		optCPU.Dev = hetgraph.CPU()
 		optCPU.Scheme = hetgraph.SchemeLocking
 		optMIC := opt
 		optMIC.Dev = hetgraph.MIC()
+		start := time.Now()
 		res, err := hetgraph.RunHetero(app, g, assign, optCPU, optMIC)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
+		_ = start
 		fmt.Printf("%s on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
 			*appName, res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+		if res.DiskResumed {
+			fmt.Printf("resumed: cold-started from %s generation %d (superstep %d)\n",
+				*ckDir, res.ResumedGeneration, res.ResumedSuperstep)
+		}
 		if res.Degraded {
 			at := "" // a panic failure carries no exchange superstep
 			if res.FailedSuperstep >= 0 {
@@ -160,40 +220,44 @@ func main() {
 				res.FailedRank, at, res.ResumedSuperstep, res.Recovery.Iterations)
 		}
 		if *verify {
-			verifyResult(*appName, app, g, *source, *iters)
+			if err := verifyResult(*appName, app, g, *source, *iters); err != nil {
+				return err
+			}
 		}
 	default:
-		log.Fatalf("unknown -device %q", *device)
+		return usagef("unknown -device %q", *device)
 	}
 	if rec != nil {
 		f, err := os.Create(*traceCSV)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := rec.WriteCSV(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("trace summary:")
 		fmt.Print(hetgraph.FormatTraceSummary(rec.Summarize()))
 		fmt.Printf("timeline written to %s\n", *traceCSV)
 	}
+	return nil
 }
 
 // verifyResult re-runs the application through the sequential reference and
-// compares, reporting PASS/FAIL.
-func verifyResult(appName string, app hetgraph.AppF32, g *hetgraph.Graph, source, iters int) {
+// compares, reporting PASS or failing the run.
+func verifyResult(appName string, app hetgraph.AppF32, g *hetgraph.Graph, source, iters int) error {
 	ok, detail := hetgraph.VerifyAgainstSequential(appName, app, g, hetgraph.VertexID(source), iters)
-	if ok {
-		fmt.Println("verify: PASS —", detail)
-	} else {
-		log.Fatalf("verify: FAIL — %s", detail)
+	if !ok {
+		return fmt.Errorf("verify: FAIL — %s", detail)
 	}
+	fmt.Println("verify: PASS —", detail)
+	return nil
 }
 
-func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath string, iters int) {
+func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath string, iters int) error {
 	if iters == 0 {
 		iters = 5
 	}
@@ -208,17 +272,17 @@ func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath st
 		}
 		res, err := hetgraph.RunSemiClustering(app, g, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("semicluster on %s: %d iterations, sim %.6fs, wall %.3fs\n",
 			device, res.Iterations, res.SimSeconds, res.WallSeconds)
 	case "both":
 		if partPath == "" {
-			log.Fatal("-device both requires -partition")
+			return usagef("-device both requires -partition")
 		}
 		assign, err := hetgraph.LoadPartition(partPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		optCPU := opt
 		optCPU.Dev = hetgraph.CPU()
@@ -227,11 +291,12 @@ func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath st
 		optMIC.Dev = hetgraph.MIC()
 		res, err := hetgraph.RunSemiClusteringHetero(app, g, assign, optCPU, optMIC)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("semicluster on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
 			res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
 	default:
-		log.Fatalf("unknown -device %q", device)
+		return usagef("unknown -device %q", device)
 	}
+	return nil
 }

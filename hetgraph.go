@@ -240,6 +240,43 @@ func NewFaultInjector(p FaultPlan) (*FaultInjector, error) { return fault.NewInj
 // deterministically from seed — handy for chaos testing.
 func RandomFaultPlan(seed, maxStep int64, n int) FaultPlan { return fault.Random(seed, maxStep, n) }
 
+// Durable checkpointing (see docs/robustness.md). A heterogeneous run with
+// Options.CheckpointDir set commits every in-memory checkpoint to disk
+// atomically; Options.Resume cold-starts from the newest intact generation.
+type (
+	// CheckpointStore persists snapshot generations to a directory with
+	// atomic commits, CRC32C verification, a manifest, and retention.
+	CheckpointStore = checkpoint.Store
+	// CheckpointStoreOptions configures OpenCheckpointStore.
+	CheckpointStoreOptions = checkpoint.StoreOptions
+	// CheckpointSnapshot is one captured superstep (frontiers + app state).
+	CheckpointSnapshot = checkpoint.Snapshot
+	// CheckpointGen describes one on-disk generation (manifest entry).
+	CheckpointGen = checkpoint.Gen
+	// CheckpointStoreError reports a failed durable-store operation; a
+	// hetero run aborts (rather than degrades) when it sees one, since the
+	// shared store is what recovery itself depends on.
+	CheckpointStoreError = checkpoint.StoreError
+	// CorruptInputError reports malformed graph-file input, attributed to
+	// the offending line for the text format.
+	CorruptInputError = graph.CorruptInputError
+)
+
+// DefaultCheckpointRetain is the default number of newest on-disk
+// checkpoint generations kept by a CheckpointStore.
+const DefaultCheckpointRetain = checkpoint.DefaultRetain
+
+// ErrNoCheckpoint is wrapped by CheckpointStore.Load (and surfaced through
+// Options.Resume) when the directory holds no decodable checkpoint.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+
+// OpenCheckpointStore opens (or creates) a durable checkpoint directory for
+// direct inspection or custom recovery tooling. Engine runs open their own
+// store from Options.CheckpointDir; most callers never need this.
+func OpenCheckpointStore(dir string, opts CheckpointStoreOptions) (*CheckpointStore, error) {
+	return checkpoint.OpenStore(dir, opts)
+}
+
 // Partitioning (§IV-E).
 type (
 	// Ratio is the CPU:MIC workload ratio.

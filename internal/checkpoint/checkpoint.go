@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sync"
 	"time"
@@ -61,18 +62,41 @@ func (s *Snapshot) MergedFrontier() []graph.VertexID {
 }
 
 // Binary checkpoint format: magic, version, superstep, the two frontiers,
-// then the state blob. All integers little-endian.
+// then the state blob. All integers little-endian. Version 2 appends a
+// CRC32C (Castagnoli) checksum of every preceding byte, so the durable
+// store can detect torn or bit-rotted on-disk snapshots; version 1 streams
+// (written by earlier releases' in-memory encoder) still decode.
 const (
-	snapMagic   = 0x4847_434b // "HGCK"
-	snapVersion = 1
+	snapMagic    = 0x4847_434b // "HGCK"
+	snapVersion1 = 1
+	snapVersion2 = 2
 )
 
-// Encode serializes the snapshot to the versioned binary checkpoint format.
+// castagnoli is the CRC32C polynomial table shared by the v2 snapshot
+// trailer and the store manifest.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC32C checksum the v2 format and the store
+// manifest use.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Encode serializes the snapshot to the current (v2, checksummed) binary
+// checkpoint format.
 func (s *Snapshot) Encode() []byte {
-	size := 4 + 1 + 8 + 4 + 4 + 4*(len(s.Frontier[0])+len(s.Frontier[1])) + 4 + len(s.State)
+	b := s.encodeBody(snapVersion2)
+	return binary.LittleEndian.AppendUint32(b, Checksum(b))
+}
+
+// EncodeV1 serializes the snapshot to the legacy v1 format without the
+// checksum trailer. New code writes v2; this exists so compatibility tests
+// (and tools replaying old captures) can produce v1 streams.
+func (s *Snapshot) EncodeV1() []byte { return s.encodeBody(snapVersion1) }
+
+func (s *Snapshot) encodeBody(version byte) []byte {
+	size := 4 + 1 + 8 + 4 + 4 + 4*(len(s.Frontier[0])+len(s.Frontier[1])) + 4 + len(s.State) + 4
 	b := make([]byte, 0, size)
 	b = binary.LittleEndian.AppendUint32(b, snapMagic)
-	b = append(b, snapVersion)
+	b = append(b, version)
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.Superstep))
 	for r := 0; r < 2; r++ {
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Frontier[r])))
@@ -85,7 +109,9 @@ func (s *Snapshot) Encode() []byte {
 	return b
 }
 
-// Decode parses a snapshot from the binary checkpoint format.
+// Decode parses a snapshot from the binary checkpoint format, accepting
+// both the current checksummed v2 framing and the legacy v1 framing. A v2
+// stream whose trailer does not match the CRC32C of its body is rejected.
 func Decode(b []byte) (*Snapshot, error) {
 	if len(b) < 4+1+8 {
 		return nil, errors.New("checkpoint: truncated header")
@@ -93,7 +119,18 @@ func Decode(b []byte) (*Snapshot, error) {
 	if binary.LittleEndian.Uint32(b) != snapMagic {
 		return nil, errors.New("checkpoint: bad magic")
 	}
-	if b[4] != snapVersion {
+	switch b[4] {
+	case snapVersion1:
+	case snapVersion2:
+		if len(b) < 4+1+8+4 {
+			return nil, errors.New("checkpoint: truncated v2 trailer")
+		}
+		body, trailer := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+		if got := Checksum(body); got != trailer {
+			return nil, fmt.Errorf("checkpoint: checksum mismatch: body CRC32C %08x, trailer %08x", got, trailer)
+		}
+		b = body
+	default:
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", b[4])
 	}
 	s := &Snapshot{Superstep: int64(binary.LittleEndian.Uint64(b[5:]))}
@@ -192,6 +229,12 @@ type Coordinator struct {
 	deadOnce sync.Once
 	deadCh   chan struct{}
 
+	// store, when non-nil, makes every captured snapshot durable: capture
+	// commits it to disk and fails (wrapping *StoreError) when the commit
+	// does, so a broken storage path aborts the run like a crash instead of
+	// silently continuing without durability.
+	store *Store
+
 	mu     sync.Mutex
 	latest *Snapshot
 }
@@ -216,6 +259,10 @@ func NewCoordinator(state Snapshotter, every int, timeout time.Duration) (*Coord
 	}, nil
 }
 
+// SetStore attaches a durable store: every subsequent capture is committed
+// to disk. Call before the run starts.
+func (c *Coordinator) SetStore(s *Store) { c.store = s }
+
 // Due reports whether a checkpoint is taken after `completed` supersteps.
 func (c *Coordinator) Due(completed int64) bool {
 	return completed > 0 && completed%c.every == 0
@@ -224,7 +271,15 @@ func (c *Coordinator) Due(completed int64) bool {
 // Initial captures the superstep-0 snapshot before the rank loops start
 // (single-threaded), guaranteeing recovery is always possible.
 func (c *Coordinator) Initial(frontier0, frontier1 []graph.VertexID) error {
-	return c.capture(0, frontier0, frontier1)
+	return c.InitialAt(0, frontier0, frontier1)
+}
+
+// InitialAt is Initial for a run that cold-starts at a restored superstep:
+// the pre-loop snapshot carries the restored state and frontiers, so a
+// failure before the first new boundary checkpoint still has something to
+// fall back to.
+func (c *Coordinator) InitialAt(completed int64, frontier0, frontier1 []graph.VertexID) error {
+	return c.capture(completed, frontier0, frontier1)
 }
 
 // Checkpoint is the per-rank barrier call, made by both ranks after they
@@ -286,6 +341,11 @@ func (c *Coordinator) capture(completed int64, frontier0, frontier1 []graph.Vert
 	c.mu.Lock()
 	c.latest = snap
 	c.mu.Unlock()
+	if c.store != nil {
+		if _, err := c.store.Commit(snap); err != nil {
+			return fmt.Errorf("checkpoint: durable commit of superstep %d failed: %w", completed, err)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,61 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"hetgraph/internal/graph"
+)
+
+// TestDecodeV1BackwardCompat proves snapshots written by the legacy
+// (pre-checksum) v1 encoder still decode: in-memory checkpoints captured by
+// earlier releases remain restorable.
+func TestDecodeV1BackwardCompat(t *testing.T) {
+	want := testSnap(7)
+	b := want.EncodeV1()
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if got.Superstep != want.Superstep || !bytes.Equal(got.State, want.State) {
+		t.Fatalf("v1 round-trip mismatch: %+v vs %+v", got, want)
+	}
+	for r := 0; r < 2; r++ {
+		if len(got.Frontier[r]) != len(want.Frontier[r]) {
+			t.Fatalf("frontier %d: %v vs %v", r, got.Frontier[r], want.Frontier[r])
+		}
+		for i := range got.Frontier[r] {
+			if got.Frontier[r][i] != want.Frontier[r][i] {
+				t.Fatalf("frontier %d: %v vs %v", r, got.Frontier[r], want.Frontier[r])
+			}
+		}
+	}
+}
+
+// FuzzDecode throws arbitrary bytes at the snapshot decoder: it must never
+// panic, and anything it accepts must re-encode to a stream that decodes to
+// the same snapshot.
+func FuzzDecode(f *testing.F) {
+	valid := &Snapshot{Superstep: 3, State: []byte{1, 2, 3, 4}}
+	valid.Frontier[0] = []graph.VertexID{0, 2}
+	valid.Frontier[1] = []graph.VertexID{1}
+	f.Add(valid.Encode())
+	f.Add(valid.EncodeV1())
+	f.Add((&Snapshot{}).Encode())
+	f.Add(valid.Encode()[:5])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re, err := Decode(s.Encode())
+		if err != nil {
+			t.Fatalf("accepted stream did not survive re-encode: %v", err)
+		}
+		if re.Superstep != s.Superstep || !bytes.Equal(re.State, s.State) ||
+			len(re.Frontier[0]) != len(s.Frontier[0]) || len(re.Frontier[1]) != len(s.Frontier[1]) {
+			t.Fatalf("re-encode round trip diverged: %+v vs %+v", re, s)
+		}
+	})
+}

@@ -1,0 +1,363 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hetgraph/internal/fault"
+)
+
+// Store persists checkpoints to a directory so a crashed or killed hetgraph
+// process can cold-start from its last committed generation. The on-disk
+// layout is
+//
+//	<dir>/ckpt-<generation>.ckpt   one v2-encoded snapshot each
+//	<dir>/MANIFEST                 ordered ledger of retained generations
+//
+// and every mutation follows the atomic commit protocol: write to a temp
+// file in the same directory, fsync, rename over the final name, then
+// rewrite the manifest the same way. A reader therefore never observes a
+// half-written checkpoint under the committed name; corruption that slips
+// past the protocol (a lying disk, a torn page) is caught at load time by
+// the manifest's size/CRC32C record and the v2 trailer, and Load falls back
+// to the previous generation.
+type Store struct {
+	dir    string
+	fsys   FS
+	retain int
+	rank   int
+	inj    *fault.Injector
+
+	mu   sync.Mutex
+	gens []Gen // newest first
+}
+
+// DefaultRetain is the default number of newest generations kept on disk.
+// It must be at least 2 so corruption of the newest generation always
+// leaves a fallback.
+const DefaultRetain = 3
+
+const (
+	manifestName   = "MANIFEST"
+	manifestHeader = "HGMF 1"
+	ckptPrefix     = "ckpt-"
+	ckptSuffix     = ".ckpt"
+)
+
+// Gen is one retained checkpoint generation as recorded in the manifest.
+type Gen struct {
+	// Gen is the monotonically increasing generation number.
+	Gen uint64
+	// Superstep is the snapshot's completed-superstep count.
+	Superstep int64
+	// Size is the byte length of the checkpoint file.
+	Size int64
+	// CRC is the CRC32C of the whole checkpoint file.
+	CRC uint32
+	// File is the checkpoint's base file name inside the store directory.
+	File string
+}
+
+// StoreOptions configures OpenStore.
+type StoreOptions struct {
+	// Retain is how many newest generations to keep (0 = DefaultRetain;
+	// values below 2 are rejected — corruption fallback needs a spare).
+	Retain int
+	// Rank labels this store's writer for disk-fault plan queries
+	// (conventionally 0: the host owns the storage path).
+	Rank int
+	// Fault, when non-nil, injects planned disk faults (iofail, torn) into
+	// commits.
+	Fault *fault.Injector
+	// FS overrides the filesystem (nil = the real one).
+	FS FS
+}
+
+// StoreError reports a failed durable-store operation. The runtime treats
+// it as a process-fatal storage failure: the run aborts (the on-disk state
+// keeps its previous generations) and a restart can resume.
+type StoreError struct {
+	// Op is the failed operation ("write", "sync", "rename", "probe", ...).
+	Op string
+	// Path is the file the operation targeted.
+	Path string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *StoreError) Error() string {
+	return fmt.Sprintf("checkpoint: store %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *StoreError) Unwrap() error { return e.Err }
+
+// ErrNoCheckpoint is wrapped by Store.Load when no decodable checkpoint
+// generation exists (empty directory, absent manifest with no snapshot
+// files, or every retained generation corrupt).
+var ErrNoCheckpoint = errors.New("checkpoint: no usable checkpoint on disk")
+
+// errInjected marks failures produced by the fault injector.
+var errInjected = errors.New("injected I/O fault")
+
+// OpenStore opens (creating if needed) a checkpoint directory. It probes
+// writability immediately — an unwritable directory fails here, not at the
+// first commit minutes into a run — and reads any existing manifest so new
+// commits continue the generation numbering of a previous process.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("checkpoint: empty store directory")
+	}
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.Retain == 0 {
+		opts.Retain = DefaultRetain
+	}
+	if opts.Retain < 2 {
+		return nil, fmt.Errorf("checkpoint: store retain %d < 2 (corruption fallback needs a spare generation)", opts.Retain)
+	}
+	s := &Store{dir: dir, fsys: opts.FS, retain: opts.Retain, rank: opts.Rank, inj: opts.Fault}
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, &StoreError{Op: "mkdir", Path: dir, Err: err}
+	}
+	probe := filepath.Join(dir, ".probe")
+	f, err := s.fsys.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, &StoreError{Op: "probe", Path: probe, Err: err}
+	}
+	f.Close()
+	s.fsys.Remove(probe)
+	if gens, err := s.readManifest(); err == nil {
+		s.gens = gens
+	} else {
+		// No (or unreadable) manifest: fall back to a directory scan so
+		// generation numbering still continues past whatever is on disk.
+		s.gens = s.scanDir()
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Generations returns the retained generations, newest first.
+func (s *Store) Generations() []Gen {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Gen(nil), s.gens...)
+}
+
+// Commit encodes snap, writes it as the next generation with the atomic
+// temp-file+fsync+rename protocol, updates the manifest, and prunes
+// generations beyond the retention limit. It returns the committed
+// generation number. Any failure is a *StoreError; the previously committed
+// generations remain intact.
+func (s *Store) Commit(snap *Snapshot) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data := snap.Encode()
+	gen := uint64(1)
+	if len(s.gens) > 0 {
+		gen = s.gens[0].Gen + 1
+	}
+	name := fmt.Sprintf("%s%08d%s", ckptPrefix, gen, ckptSuffix)
+	payload := data
+	// A torn write silently loses the tail of the payload; the commit
+	// believes it succeeded, and only the load-time checksum exposes it.
+	if s.inj.TornWrite(s.rank, snap.Superstep) {
+		payload = data[:len(data)/2]
+	}
+	if err := s.writeAtomic(name, payload, snap.Superstep); err != nil {
+		return 0, err
+	}
+	entry := Gen{Gen: gen, Superstep: snap.Superstep, Size: int64(len(data)), CRC: Checksum(data), File: name}
+	gens := append([]Gen{entry}, s.gens...)
+	for len(gens) > s.retain {
+		last := gens[len(gens)-1]
+		s.fsys.Remove(filepath.Join(s.dir, last.File)) // best-effort prune
+		gens = gens[:len(gens)-1]
+	}
+	if err := s.writeAtomic(manifestName, encodeManifest(gens), snap.Superstep); err != nil {
+		return 0, err
+	}
+	s.gens = gens
+	return gen, nil
+}
+
+// writeAtomic writes data to name via temp file, fsync, and rename,
+// consulting the fault injector (indexed by the checkpointed superstep) at
+// each operation.
+func (s *Store) writeAtomic(name string, data []byte, step int64) error {
+	final := filepath.Join(s.dir, name)
+	tmp := final + ".tmp"
+	if s.inj.IOFails(s.rank, step, fault.OpWrite) {
+		return &StoreError{Op: "write", Path: tmp, Err: errInjected}
+	}
+	f, err := s.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return &StoreError{Op: "create", Path: tmp, Err: err}
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		s.fsys.Remove(tmp)
+		return &StoreError{Op: "write", Path: tmp, Err: err}
+	}
+	if s.inj.IOFails(s.rank, step, fault.OpSync) {
+		f.Close()
+		s.fsys.Remove(tmp)
+		return &StoreError{Op: "sync", Path: tmp, Err: errInjected}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fsys.Remove(tmp)
+		return &StoreError{Op: "sync", Path: tmp, Err: err}
+	}
+	if err := f.Close(); err != nil {
+		s.fsys.Remove(tmp)
+		return &StoreError{Op: "close", Path: tmp, Err: err}
+	}
+	if s.inj.IOFails(s.rank, step, fault.OpRename) {
+		s.fsys.Remove(tmp)
+		return &StoreError{Op: "rename", Path: final, Err: errInjected}
+	}
+	if err := s.fsys.Rename(tmp, final); err != nil {
+		s.fsys.Remove(tmp)
+		return &StoreError{Op: "rename", Path: final, Err: err}
+	}
+	return nil
+}
+
+// Load returns the newest generation that passes verification: the manifest
+// is scanned newest-first, each candidate's size and CRC32C are checked
+// against the ledger, and the snapshot is decoded (which re-verifies the v2
+// trailer). A corrupt newest generation falls back to the previous one.
+// When the manifest itself is missing or corrupt, the directory is scanned
+// for ckpt-*.ckpt files instead, relying on the in-file checksum alone.
+// With nothing decodable, the error wraps ErrNoCheckpoint.
+func (s *Store) Load() (*Snapshot, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	candidates, merr := s.readManifest()
+	verify := true
+	if merr != nil {
+		candidates = s.scanDir()
+		verify = false
+	}
+	var reasons []string
+	for _, g := range candidates {
+		b, err := s.fsys.ReadFile(filepath.Join(s.dir, g.File))
+		if err != nil {
+			reasons = append(reasons, fmt.Sprintf("gen %d: %v", g.Gen, err))
+			continue
+		}
+		if verify {
+			if int64(len(b)) != g.Size {
+				reasons = append(reasons, fmt.Sprintf("gen %d: %d bytes, manifest says %d", g.Gen, len(b), g.Size))
+				continue
+			}
+			if crc := Checksum(b); crc != g.CRC {
+				reasons = append(reasons, fmt.Sprintf("gen %d: CRC32C %08x, manifest says %08x", g.Gen, crc, g.CRC))
+				continue
+			}
+		}
+		snap, err := Decode(b)
+		if err != nil {
+			reasons = append(reasons, fmt.Sprintf("gen %d: %v", g.Gen, err))
+			continue
+		}
+		return snap, g.Gen, nil
+	}
+	detail := "directory is empty"
+	if merr != nil && len(candidates) == 0 {
+		detail = fmt.Sprintf("no manifest (%v) and no snapshot files", merr)
+	} else if len(reasons) > 0 {
+		detail = strings.Join(reasons, "; ")
+	}
+	return nil, 0, fmt.Errorf("%w: %s: %s", ErrNoCheckpoint, s.dir, detail)
+}
+
+// encodeManifest renders the generation ledger, newest first:
+//
+//	HGMF 1
+//	<gen> <superstep> <size> <crc32c-hex> <file>
+func encodeManifest(gens []Gen) []byte {
+	var b strings.Builder
+	b.WriteString(manifestHeader)
+	b.WriteByte('\n')
+	for _, g := range gens {
+		fmt.Fprintf(&b, "%d %d %d %08x %s\n", g.Gen, g.Superstep, g.Size, g.CRC, g.File)
+	}
+	return []byte(b.String())
+}
+
+// readManifest parses the on-disk manifest into a generation list.
+func (s *Store) readManifest() ([]Gen, error) {
+	b, err := s.fsys.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != manifestHeader {
+		return nil, fmt.Errorf("checkpoint: bad manifest header %q", lines[0])
+	}
+	var gens []Gen
+	for i, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("checkpoint: manifest line %d: %d fields, want 5", i+2, len(fields))
+		}
+		var g Gen
+		if g.Gen, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("checkpoint: manifest line %d: bad generation: %w", i+2, err)
+		}
+		if g.Superstep, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("checkpoint: manifest line %d: bad superstep: %w", i+2, err)
+		}
+		if g.Size, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("checkpoint: manifest line %d: bad size: %w", i+2, err)
+		}
+		crc, err := strconv.ParseUint(fields[3], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: manifest line %d: bad CRC: %w", i+2, err)
+		}
+		g.CRC = uint32(crc)
+		g.File = fields[4]
+		if g.File != filepath.Base(g.File) || !strings.HasPrefix(g.File, ckptPrefix) {
+			return nil, fmt.Errorf("checkpoint: manifest line %d: suspicious file name %q", i+2, g.File)
+		}
+		gens = append(gens, g)
+	}
+	sort.SliceStable(gens, func(i, j int) bool { return gens[i].Gen > gens[j].Gen })
+	return gens, nil
+}
+
+// scanDir lists ckpt-*.ckpt files, newest generation first, for recovery
+// without a manifest. Size/CRC are unknown (zero); loading relies on the
+// snapshots' own v2 trailers.
+func (s *Store) scanDir() []Gen {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var gens []Gen
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		gen, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, Gen{Gen: gen, File: name})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Gen > gens[j].Gen })
+	return gens
+}

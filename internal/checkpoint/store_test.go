@@ -1,0 +1,280 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetgraph/internal/fault"
+	"hetgraph/internal/graph"
+)
+
+func testSnap(step int64) *Snapshot {
+	s := &Snapshot{Superstep: step, State: []byte{byte(step), 1, 2, 3}}
+	s.Frontier[0] = []graph.VertexID{graph.VertexID(step), 7}
+	s.Frontier[1] = []graph.VertexID{9}
+	return s
+}
+
+func TestStoreCommitLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(1); step <= 2; step++ {
+		if _, err := st.Commit(testSnap(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, gen, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || snap.Superstep != 2 {
+		t.Fatalf("loaded gen %d superstep %d, want 2/2", gen, snap.Superstep)
+	}
+	if len(snap.Frontier[0]) != 2 || snap.Frontier[0][0] != 2 {
+		t.Fatalf("bad frontier %v", snap.Frontier[0])
+	}
+	// The commit protocol never leaves temp files behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestStoreRetentionPrunes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(1); step <= 5; step++ {
+		if _, err := st.Commit(testSnap(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens := st.Generations()
+	if len(gens) != 2 || gens[0].Gen != 5 || gens[1].Gen != 4 {
+		t.Fatalf("retained %+v, want gens 5 and 4", gens)
+	}
+	var ckpts int
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "ckpt-") {
+			ckpts++
+		}
+	}
+	if ckpts != 2 {
+		t.Fatalf("%d checkpoint files on disk, want 2", ckpts)
+	}
+}
+
+func TestStoreRetainBelowTwoRejected(t *testing.T) {
+	if _, err := OpenStore(t.TempDir(), StoreOptions{Retain: 1}); err == nil {
+		t.Fatal("retain 1 accepted; corruption fallback needs a spare generation")
+	}
+}
+
+func TestStoreLoadFallsBackPastCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(1); step <= 3; step++ {
+		if _, err := st.Commit(testSnap(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest generation's file in place.
+	newest := st.Generations()[0]
+	path := filepath.Join(dir, newest.File)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, gen, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || snap.Superstep != 2 {
+		t.Fatalf("loaded gen %d superstep %d, want fallback to 2/2", gen, snap.Superstep)
+	}
+}
+
+func TestStoreLoadScansDirWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(1); step <= 2; step++ {
+		if _, err := st.Commit(testSnap(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, gen, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || snap.Superstep != 2 {
+		t.Fatalf("dir-scan load gave gen %d superstep %d, want 2/2", gen, snap.Superstep)
+	}
+	// Numbering continues past the scanned generations.
+	if g, err := st2.Commit(testSnap(3)); err != nil || g != 3 {
+		t.Fatalf("commit after rescan: gen %d, err %v, want 3/nil", g, err)
+	}
+}
+
+func TestStoreLoadEmptyDirIsErrNoCheckpoint(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load on empty dir: %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStoreOpenUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits do not bind")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	_, err := OpenStore(dir, StoreOptions{})
+	var serr *StoreError
+	if !errors.As(err, &serr) {
+		t.Fatalf("OpenStore on read-only dir: %v, want *StoreError", err)
+	}
+}
+
+func TestStoreGenerationNumberingSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(testSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := st2.Commit(testSnap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("post-restart commit got gen %d, want 2", gen)
+	}
+}
+
+func TestStoreInjectedIOFailures(t *testing.T) {
+	for _, op := range []string{"write", "sync", "rename"} {
+		t.Run(op, func(t *testing.T) {
+			plan, err := fault.Parse(fmt.Sprintf("rank0:iofail@3:%s", op))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj, err := fault.NewInjector(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := OpenStore(t.TempDir(), StoreOptions{Fault: inj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Commit(testSnap(2)); err != nil {
+				t.Fatalf("unfaulted step: %v", err)
+			}
+			_, err = st.Commit(testSnap(3))
+			var serr *StoreError
+			if !errors.As(err, &serr) || serr.Op != op {
+				t.Fatalf("faulted commit: %v, want *StoreError with Op %q", err, op)
+			}
+			// The failed commit must not damage the previous generation.
+			snap, gen, err := st.Load()
+			if err != nil || gen != 1 || snap.Superstep != 2 {
+				t.Fatalf("after failed commit: snap %v gen %d err %v, want 2/1/nil", snap, gen, err)
+			}
+		})
+	}
+}
+
+func TestStoreTornWriteDetectedAtLoad(t *testing.T) {
+	plan, err := fault.Parse("rank0:torn@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(t.TempDir(), StoreOptions{Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(testSnap(2)); err != nil {
+		t.Fatal(err)
+	}
+	// The torn commit itself reports success — that is the point.
+	if _, err := st.Commit(testSnap(3)); err != nil {
+		t.Fatalf("torn commit should look successful, got %v", err)
+	}
+	snap, gen, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 || snap.Superstep != 2 {
+		t.Fatalf("loaded gen %d superstep %d, want fallback past torn gen 2 to 1/2", gen, snap.Superstep)
+	}
+}
+
+// failFS wraps OSFS and fails one operation kind, proving the seam reaches
+// every error path without real disk faults.
+type failFS struct {
+	OSFS
+	failRename bool
+}
+
+func (f failFS) Rename(oldpath, newpath string) error {
+	if f.failRename {
+		return errors.New("boom")
+	}
+	return f.OSFS.Rename(oldpath, newpath)
+}
+
+func TestStoreFSSeamRenameFailure(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), StoreOptions{FS: failFS{failRename: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Commit(testSnap(1))
+	var serr *StoreError
+	if !errors.As(err, &serr) || serr.Op != "rename" {
+		t.Fatalf("commit through failing FS: %v, want *StoreError{Op: rename}", err)
+	}
+}

@@ -80,6 +80,9 @@ type Net[T any] struct {
 	// fail fast instead of waiting out the full deadline again.
 	dead     [2]chan struct{}
 	deadOnce [2]sync.Once
+	// resume[r] carries rank r's restored checkpoint generation during the
+	// cold-start resume handshake.
+	resume [2]chan uint64
 }
 
 // NewNet creates the interconnect. msgBytes is the wire size of one
@@ -95,6 +98,8 @@ func NewNet[T any](link machine.Link, msgBytes int) (*Net[T], error) {
 	n.chans[1] = make(chan packet[T], 1)
 	n.dead[0] = make(chan struct{})
 	n.dead[1] = make(chan struct{})
+	n.resume[0] = make(chan uint64, 1)
+	n.resume[1] = make(chan uint64, 1)
 	return n, nil
 }
 
@@ -273,6 +278,63 @@ func (e *Endpoint[T]) Abort() { e.net.markDead(e.rank) }
 
 // Step returns the number of exchange rounds this endpoint has initiated.
 func (e *Endpoint[T]) Step() int64 { return e.step }
+
+// SetStep aligns the endpoint's round counter so that fault-plan steps and
+// failure reports index absolute supersteps after a cold-start resume (a run
+// restored at superstep s starts its first exchange as round s, not 0).
+func (e *Endpoint[T]) SetStep(step int64) { e.step = step }
+
+// ResumeHandshake exchanges the restored checkpoint generation with the
+// peer before a resumed run starts. Both ranks must agree on the generation
+// they restored from — in the paper's symmetric-MPI setting this is where
+// the two processes would reconcile their views of shared storage; here it
+// guards against wiring bugs that would restore the ranks from different
+// snapshots. It is bounded by the net's timeout and by peer death, like
+// Exchange.
+func (e *Endpoint[T]) ResumeHandshake(gen uint64) (uint64, error) {
+	n := e.net
+	peer := 1 - e.rank
+
+	var timeoutC <-chan time.Time
+	if n.timeout > 0 {
+		timer := time.NewTimer(n.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+
+	select {
+	case n.resume[e.rank] <- gen:
+	case <-n.dead[peer]:
+		return 0, &DeviceFailedError{Rank: peer, Reason: "peer dead before resume handshake"}
+	case <-n.dead[e.rank]:
+		return 0, &DeviceFailedError{Rank: e.rank, Reason: "declared dead by peer"}
+	case <-timeoutC:
+		n.markDead(peer)
+		return 0, &DeviceFailedError{Rank: peer, Reason: fmt.Sprintf("resume handshake send timed out after %s", n.timeout)}
+	}
+
+	var peerGen uint64
+	select {
+	case peerGen = <-n.resume[peer]:
+	case <-n.dead[peer]:
+		select {
+		case peerGen = <-n.resume[peer]:
+		default:
+			return 0, &DeviceFailedError{Rank: peer, Reason: "peer died during resume handshake"}
+		}
+	case <-n.dead[e.rank]:
+		return 0, &DeviceFailedError{Rank: e.rank, Reason: "declared dead by peer"}
+	case <-timeoutC:
+		n.markDead(peer)
+		return 0, &DeviceFailedError{Rank: peer, Reason: fmt.Sprintf("resume handshake timed out after %s", n.timeout)}
+	}
+
+	if peerGen != gen {
+		return peerGen, fmt.Errorf("comm: resume generation mismatch: rank %d restored gen %d, rank %d restored gen %d",
+			e.rank, gen, peer, peerGen)
+	}
+	return peerGen, nil
+}
 
 // Rank returns this endpoint's rank.
 func (e *Endpoint[T]) Rank() int { return e.rank }

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -513,5 +514,68 @@ func TestExchangeInjectedDelayUnderDeadline(t *testing.T) {
 	wg.Wait()
 	if err0 != nil || err1 != nil {
 		t.Fatalf("delayed-but-alive round failed: %v / %v", err0, err1)
+	}
+}
+
+func TestResumeHandshakeAgree(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		ep, _ := n.Endpoint(r)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := ep.ResumeHandshake(7)
+			if err != nil || got != 7 {
+				t.Errorf("handshake: gen %d, err %v, want 7/nil", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestResumeHandshakeMismatch(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	gens := [2]uint64{7, 8}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		ep, _ := n.Endpoint(r)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, errs[r] = ep.ResumeHandshake(gens[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d accepted mismatched resume generations", r)
+		}
+		if !strings.Contains(err.Error(), "mismatch") {
+			t.Fatalf("rank %d: %v, want generation mismatch", r, err)
+		}
+	}
+}
+
+func TestResumeHandshakeDeadPeer(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.SetTimeout(50 * time.Millisecond)
+	ep0, _ := n.Endpoint(0)
+	ep1, _ := n.Endpoint(1)
+	ep1.Abort()
+	_, err := ep0.ResumeHandshake(3)
+	var dfe *DeviceFailedError
+	if !errors.As(err, &dfe) || dfe.Rank != 1 {
+		t.Fatalf("handshake with dead peer: %v, want *DeviceFailedError{Rank: 1}", err)
+	}
+}
+
+func TestSetStepAlignsRounds(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	ep, _ := n.Endpoint(0)
+	ep.SetStep(5)
+	if ep.Step() != 5 {
+		t.Fatalf("Step() = %d after SetStep(5)", ep.Step())
 	}
 }

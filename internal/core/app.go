@@ -151,6 +151,20 @@ type Options struct {
 	// 0 disables checkpointing. Hetero runs use the first non-zero value
 	// across the two device options.
 	CheckpointEvery int
+	// CheckpointDir, when non-empty, flushes every captured checkpoint to
+	// this directory through the durable store (atomic commits, CRC32C,
+	// generation manifest), so a crashed process can cold-start from disk
+	// with Resume. Requires CheckpointEvery > 0 (or Resume). Hetero runs
+	// use the first non-empty value across the two device options.
+	CheckpointDir string
+	// CheckpointRetain bounds how many checkpoint generations the store
+	// keeps on disk (0 = checkpoint.DefaultRetain; must be >= 2 so a
+	// corrupt newest generation always leaves a fallback).
+	CheckpointRetain int
+	// Resume cold-starts the run from the newest verifiable generation in
+	// CheckpointDir instead of from App.Init. Requires CheckpointDir; it
+	// is an error when the directory holds no usable checkpoint.
+	Resume bool
 	// Fault, when non-nil, injects the planned faults (exchange drops,
 	// delays, transient link failures, user-function panics) into the run.
 	// Hetero runs use the first non-nil injector across the two options.
@@ -223,6 +237,18 @@ func (o Options) validate() error {
 	}
 	if o.CheckpointEvery < 0 {
 		return &InvalidOptionsError{Field: "CheckpointEvery", Reason: fmt.Sprintf("%d < 0", o.CheckpointEvery)}
+	}
+	if o.CheckpointRetain < 0 {
+		return &InvalidOptionsError{Field: "CheckpointRetain", Reason: fmt.Sprintf("%d < 0", o.CheckpointRetain)}
+	}
+	if o.CheckpointRetain == 1 {
+		return &InvalidOptionsError{Field: "CheckpointRetain", Reason: "1 < 2: corruption fallback needs a spare generation"}
+	}
+	if o.CheckpointDir != "" && o.CheckpointEvery == 0 && !o.Resume {
+		return &InvalidOptionsError{Field: "CheckpointDir", Reason: "requires CheckpointEvery > 0 (or Resume) — a durable store with nothing to commit is a misconfiguration"}
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return &InvalidOptionsError{Field: "Resume", Reason: "requires CheckpointDir: there is no store to resume from"}
 	}
 	if o.ExchangeTimeout < 0 {
 		return &InvalidOptionsError{Field: "ExchangeTimeout", Reason: fmt.Sprintf("%s < 0", o.ExchangeTimeout)}

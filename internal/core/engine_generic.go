@@ -307,12 +307,12 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 	if err != nil {
 		return HeteroResult{}, err
 	}
-	timeout, inj, _ := resolveFaultConfig(optDev0, optDev1)
-	net.SetTimeout(timeout)
-	net.SetInjector(inj)
+	cfg := resolveFaultConfig(optDev0, optDev1)
+	net.SetTimeout(cfg.timeout)
+	net.SetInjector(cfg.inj)
 	opts := [2]Options{optDev0, optDev1}
 	// Both devices consult the resolved injector for in-phase events.
-	opts[0].Fault, opts[1].Fault = inj, inj
+	opts[0].Fault, opts[1].Fault = cfg.inj, cfg.inj
 	devs := [2]*deviceGeneric[T]{}
 	for r := 0; r < 2; r++ {
 		ep, err := net.Endpoint(r)

@@ -44,11 +44,19 @@ type HeteroResult struct {
 	// (-1 if it could not be attributed to a specific superstep).
 	FailedSuperstep int64
 	// ResumedSuperstep is the checkpointed superstep the survivor resumed
-	// from; supersteps in (ResumedSuperstep, failure) were recomputed.
+	// from; supersteps in (ResumedSuperstep, failure) were recomputed. For
+	// a disk-resumed run it is the superstep the cold start restored.
 	ResumedSuperstep int64
 	// Recovery is the single-device continuation's result (zero unless
 	// Degraded).
 	Recovery Result
+
+	// DiskResumed is true when the run cold-started from an on-disk
+	// checkpoint (Options.Resume) instead of App.Init.
+	DiskResumed bool
+	// ResumedGeneration is the store generation the cold start restored
+	// from (zero unless DiskResumed).
+	ResumedGeneration uint64
 }
 
 // validAssign checks a device assignment vector against g.
@@ -76,23 +84,46 @@ func splitActive(active []graph.VertexID, assign []int32) (a0, a1 []graph.Vertex
 	return a0, a1
 }
 
+// robustnessConfig is the merged robustness settings of a heterogeneous
+// run: the interconnect, the checkpoint schedule, and the durable store are
+// all shared between the ranks.
+type robustnessConfig struct {
+	timeout time.Duration
+	inj     *fault.Injector
+	every   int
+	dir     string
+	retain  int
+	resume  bool
+}
+
 // resolveFaultConfig merges the robustness settings of the two device
-// options: the interconnect and the checkpoint schedule are shared, so the
-// first non-zero/non-nil value wins.
-func resolveFaultConfig(o0, o1 Options) (timeout time.Duration, inj *fault.Injector, every int) {
-	timeout = o0.ExchangeTimeout
-	if timeout == 0 {
-		timeout = o1.ExchangeTimeout
+// options: the first non-zero/non-nil value wins (Resume is an OR — either
+// side asking for a cold start makes the run one).
+func resolveFaultConfig(o0, o1 Options) robustnessConfig {
+	c := robustnessConfig{
+		timeout: o0.ExchangeTimeout,
+		inj:     o0.Fault,
+		every:   o0.CheckpointEvery,
+		dir:     o0.CheckpointDir,
+		retain:  o0.CheckpointRetain,
+		resume:  o0.Resume || o1.Resume,
 	}
-	inj = o0.Fault
-	if inj == nil {
-		inj = o1.Fault
+	if c.timeout == 0 {
+		c.timeout = o1.ExchangeTimeout
 	}
-	every = o0.CheckpointEvery
-	if every == 0 {
-		every = o1.CheckpointEvery
+	if c.inj == nil {
+		c.inj = o1.Fault
 	}
-	return timeout, inj, every
+	if c.every == 0 {
+		c.every = o1.CheckpointEvery
+	}
+	if c.dir == "" {
+		c.dir = o1.CheckpointDir
+	}
+	if c.retain == 0 {
+		c.retain = o1.CheckpointRetain
+	}
+	return c
 }
 
 // blameRank resolves which rank err accuses of failing. r is the rank that
@@ -137,13 +168,13 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	if err != nil {
 		return HeteroResult{}, err
 	}
-	timeout, inj, ckEvery := resolveFaultConfig(optDev0, optDev1)
-	net.SetTimeout(timeout)
-	net.SetInjector(inj)
+	cfg := resolveFaultConfig(optDev0, optDev1)
+	net.SetTimeout(cfg.timeout)
+	net.SetInjector(cfg.inj)
 	opts := [2]Options{optDev0, optDev1}
 	// The resolved injector governs the whole run: both devices consult it
 	// for in-phase (panic) events, whichever option carried it.
-	opts[0].Fault, opts[1].Fault = inj, inj
+	opts[0].Fault, opts[1].Fault = cfg.inj, cfg.inj
 	devs := [2]*deviceF32{}
 	for r := 0; r < 2; r++ {
 		ep, err := net.Endpoint(r)
@@ -160,27 +191,69 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		maxIter = devs[1].opt.MaxIterations
 	}
 
-	active := app.Init(g)
-	a0, a1 := splitActive(active, assign)
-	actives := [2][]graph.VertexID{a0, a1}
-
-	var coord *checkpoint.Coordinator
-	if ckEvery > 0 {
-		snap, ok := app.(checkpoint.Snapshotter)
-		if !ok {
+	// Checkpointing (in-memory or durable) and resume all need the app to
+	// snapshot/restore its state.
+	var snapper checkpoint.Snapshotter
+	if cfg.every > 0 || cfg.dir != "" {
+		var ok bool
+		if snapper, ok = app.(checkpoint.Snapshotter); !ok {
+			field := "CheckpointEvery"
+			if cfg.every == 0 {
+				field = "CheckpointDir"
+			}
 			return HeteroResult{}, &InvalidOptionsError{
-				Field:  "CheckpointEvery",
+				Field:  field,
 				Reason: fmt.Sprintf("app %T does not implement checkpoint.Snapshotter", app),
 			}
 		}
-		coord, err = checkpoint.NewCoordinator(snap, ckEvery, timeout)
+	}
+	var store *checkpoint.Store
+	if cfg.dir != "" {
+		store, err = checkpoint.OpenStore(cfg.dir, checkpoint.StoreOptions{
+			Retain: cfg.retain,
+			Rank:   0, // the host owns the storage path
+			Fault:  cfg.inj,
+		})
+		if err != nil {
+			return HeteroResult{}, &InvalidOptionsError{Field: "CheckpointDir", Reason: err.Error()}
+		}
+	}
+
+	// Init always runs (it sizes the state arrays); a cold-start resume then
+	// overwrites the freshly initialized state with the restored snapshot and
+	// takes its frontiers from the checkpoint instead of Init's active set.
+	active := app.Init(g)
+	a0, a1 := splitActive(active, assign)
+	var (
+		resumeFrom int64
+		resumedGen uint64
+	)
+	if cfg.resume {
+		snap, gen, err := store.Load()
+		if err != nil {
+			return HeteroResult{}, &InvalidOptionsError{Field: "Resume", Reason: err.Error()}
+		}
+		if err := snapper.Restore(snap.State); err != nil {
+			return HeteroResult{}, fmt.Errorf("core: resume from %s gen %d: %w", cfg.dir, gen, err)
+		}
+		a0 = snap.Frontier[0]
+		a1 = snap.Frontier[1]
+		resumeFrom = snap.Superstep
+		resumedGen = gen
+	}
+	actives := [2][]graph.VertexID{a0, a1}
+
+	var coord *checkpoint.Coordinator
+	if cfg.every > 0 {
+		coord, err = checkpoint.NewCoordinator(snapper, cfg.every, cfg.timeout)
 		if err != nil {
 			return HeteroResult{}, err
 		}
-		// Superstep-0 snapshot, taken before the rank loops start: recovery
-		// is possible from any point of the run, including a failure in the
-		// very first superstep.
-		if err := coord.Initial(a0, a1); err != nil {
+		coord.SetStore(store)
+		// Superstep-0 snapshot (or the restored superstep's, on resume),
+		// taken before the rank loops start: recovery is possible from any
+		// point of the run, including a failure in the very first superstep.
+		if err := coord.InitialAt(resumeFrom, a0, a1); err != nil {
 			return HeteroResult{}, err
 		}
 	}
@@ -193,6 +266,11 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	)
 	res.FailedRank = -1
 	res.FailedSuperstep = -1
+	res.DiskResumed = cfg.resume
+	res.ResumedGeneration = resumedGen
+	if cfg.resume {
+		res.ResumedSuperstep = resumeFrom
+	}
 	for r := 0; r < 2; r++ {
 		wg.Add(1)
 		go func(r int) {
@@ -209,10 +287,20 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 					}
 				}
 			}()
+			if cfg.resume {
+				// Both ranks must have restored the same store generation,
+				// and from here on exchange rounds (and the fault plan's
+				// step indices) count absolute supersteps.
+				if _, err := d.ep.ResumeHandshake(resumedGen); err != nil {
+					runErr[r] = err
+					return
+				}
+				d.ep.SetStep(resumeFrom)
+			}
 			active := actives[r]
 			fixed := IsFixedActive(d.app)
 			initial := active
-			for iter := 0; iter < maxIter; iter++ {
+			for iter := int(resumeFrom); iter < maxIter; iter++ {
 				d.step = int64(iter)
 				var c machine.Counters
 				var pt PhaseTimes
@@ -278,10 +366,10 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	wg.Wait()
 
 	if runErr[0] != nil || runErr[1] != nil {
-		return recoverF32Hetero(app, g, opts, coord, res, iterTimes, runErr, maxIter, start)
+		return recoverF32Hetero(app, g, opts, coord, res, iterTimes, runErr, maxIter, resumeFrom, start)
 	}
 
-	res.Iterations = res.Dev[0].Iterations
+	res.Iterations = resumeFrom + res.Dev[0].Iterations
 	res.Converged = res.Dev[0].Converged && res.Dev[1].Converged
 	// Lockstep combination: per iteration the node waits for the slower
 	// device; communication time is identical on both sides (full-duplex
@@ -313,8 +401,19 @@ func lockstepSeconds(iterTimes [2][]float64, n int) float64 {
 // failure is returned as an error.
 func recoverF32Hetero(
 	app AppF32, g *graph.CSR, opts [2]Options, coord *checkpoint.Coordinator,
-	res HeteroResult, iterTimes [2][]float64, runErr [2]error, maxIter int, start time.Time,
+	res HeteroResult, iterTimes [2][]float64, runErr [2]error, maxIter int, resumeFrom int64, start time.Time,
 ) (HeteroResult, error) {
+	// A failed durable commit is not a device failure: the storage path is
+	// shared, so degrading to a single device would keep hitting the same
+	// broken disk. Treat it like a process crash — abort the whole run; the
+	// previously committed generations are intact and a restart with
+	// Options.Resume picks the run back up.
+	for r := 0; r < 2; r++ {
+		var serr *checkpoint.StoreError
+		if errors.As(runErr[r], &serr) {
+			return HeteroResult{}, fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", runErr[r])
+		}
+	}
 	// Resolve the failed rank. Both loops usually error (the survivor's
 	// error names the dead peer), and their verdicts must agree; a lone
 	// error also identifies the failure (the peer finished its loop before
@@ -371,10 +470,11 @@ func recoverF32Hetero(
 	res.Iterations = snap.Superstep + rec.Iterations
 	res.Converged = rec.Converged
 	// Simulated time: lockstep pairs up to the restored checkpoint (work
-	// past it was recomputed and is not double-counted), plus the
+	// past it was recomputed and is not double-counted; on a disk-resumed
+	// run iterTimes index supersteps relative to the cold start), plus the
 	// single-device continuation's compute; communication time covers what
 	// actually crossed the link before the failure.
-	res.ExecSeconds = lockstepSeconds(iterTimes, int(snap.Superstep)) +
+	res.ExecSeconds = lockstepSeconds(iterTimes, int(snap.Superstep-resumeFrom)) +
 		rec.Phases.Generate + rec.Phases.Process + rec.Phases.Update
 	res.CommSeconds = res.Dev[0].Phases.Exchange
 	res.SimSeconds = res.ExecSeconds + res.CommSeconds

@@ -62,6 +62,45 @@ func ParsePhase(s string) (Phase, error) {
 	}
 }
 
+// IOOp identifies the checkpoint-store operation a disk fault fires on.
+type IOOp uint8
+
+const (
+	// OpWrite is the checkpoint data (or manifest) write.
+	OpWrite IOOp = iota + 1
+	// OpSync is the fsync after a write.
+	OpSync
+	// OpRename is the temp-file → final-name commit rename.
+	OpRename
+)
+
+func (o IOOp) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	default:
+		return fmt.Sprintf("IOOp(%d)", uint8(o))
+	}
+}
+
+// ParseIOOp parses a disk-operation name as used in plan specs.
+func ParseIOOp(s string) (IOOp, error) {
+	switch s {
+	case "write":
+		return OpWrite, nil
+	case "sync":
+		return OpSync, nil
+	case "rename":
+		return OpRename, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown I/O op %q (want write|sync|rename)", s)
+	}
+}
+
 // Kind identifies what a fault event does.
 type Kind uint8
 
@@ -79,6 +118,16 @@ const (
 	// KindPanic panics a worker goroutine in the given Phase, modeling a
 	// crash inside a user function.
 	KindPanic
+	// KindIOFail makes the checkpoint store's Op fail while committing the
+	// checkpoint of superstep Step, modeling a storage-path error. The
+	// failed commit aborts the run like a crash; the on-disk store keeps
+	// the previous generations and a restart can resume from them.
+	KindIOFail
+	// KindTorn makes the checkpoint data write of superstep Step silently
+	// drop the second half of its payload — a lying disk or torn page.
+	// The commit reports success; recovery must detect the corruption by
+	// checksum and fall back to the previous generation.
+	KindTorn
 )
 
 func (k Kind) String() string {
@@ -91,6 +140,10 @@ func (k Kind) String() string {
 		return "fail"
 	case KindPanic:
 		return "panic"
+	case KindIOFail:
+		return "iofail"
+	case KindTorn:
+		return "torn"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -111,6 +164,10 @@ type Event struct {
 	// Times is the number of consecutive failing attempts for KindFail
 	// events (0 means 1).
 	Times int
+	// Op is the failing storage operation for KindIOFail events. Disk
+	// faults index the superstep of the checkpoint being committed, and
+	// conventionally name rank 0 — the host owns the storage path.
+	Op IOOp
 }
 
 // String renders the event in the spec grammar accepted by Parse.
@@ -128,6 +185,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("rank%d:fail@%dx%d", e.Rank, e.Step, t)
 	case KindPanic:
 		return fmt.Sprintf("rank%d:panic@%d:%s", e.Rank, e.Step, e.Phase)
+	case KindIOFail:
+		return fmt.Sprintf("rank%d:iofail@%d:%s", e.Rank, e.Step, e.Op)
 	default:
 		return fmt.Sprintf("rank%d:%s@%d", e.Rank, e.Kind, e.Step)
 	}
@@ -155,6 +214,11 @@ func (e Event) Validate() error {
 		if e.Phase < PhaseGenerate || e.Phase > PhaseUpdate {
 			return fmt.Errorf("fault: panic event needs a phase")
 		}
+	case KindIOFail:
+		if e.Op < OpWrite || e.Op > OpRename {
+			return fmt.Errorf("fault: iofail event needs an I/O op")
+		}
+	case KindTorn:
 	default:
 		return fmt.Errorf("fault: unknown kind %d", uint8(e.Kind))
 	}
@@ -193,8 +257,12 @@ func (p Plan) String() string {
 //	rank<r>:delay@<step>:<duration>
 //	rank<r>:fail@<step>[x<times>]
 //	rank<r>:panic@<step>:<generate|process|update>
+//	rank<r>:iofail@<step>:<write|sync|rename>
+//	rank<r>:torn@<step>
 //
-// e.g. "rank1:drop@3;rank0:panic@2:generate".
+// e.g. "rank1:drop@3;rank0:panic@2:generate;rank0:iofail@3:write". Disk
+// faults (iofail, torn) fire in the durable checkpoint store while it
+// commits the checkpoint of superstep <step>.
 func Parse(spec string) (Plan, error) {
 	var p Plan
 	spec = strings.TrimSpace(spec)
@@ -237,15 +305,16 @@ func parseEvent(tok string) (Event, error) {
 	if !ok {
 		return e, fmt.Errorf("fault: event %q missing '@<step>'", tok)
 	}
-	// The step may carry a suffix: ":<duration>", ":<phase>", or "x<times>".
+	// The step may carry a suffix: ":<duration>", ":<phase>", ":<op>", or
+	// "x<times>".
 	stepStr, extra := at, ""
-	if i := strings.IndexAny(at, ":x"); i >= 0 && kind != "delay" && kind != "panic" {
+	if i := strings.IndexAny(at, ":x"); i >= 0 && kind != "delay" && kind != "panic" && kind != "iofail" {
 		// fail@<step>x<times>
 		if at[i] == 'x' {
 			stepStr, extra = at[:i], at[i+1:]
 		}
 	}
-	if kind == "delay" || kind == "panic" {
+	if kind == "delay" || kind == "panic" || kind == "iofail" {
 		if s, x, ok := strings.Cut(at, ":"); ok {
 			stepStr, extra = s, x
 		}
@@ -288,6 +357,18 @@ func parseEvent(tok string) (Event, error) {
 			return e, err
 		}
 		e.Phase = ph
+	case "iofail":
+		e.Kind = KindIOFail
+		if extra == "" {
+			return e, fmt.Errorf("fault: event %q: iofail needs ':<write|sync|rename>'", tok)
+		}
+		op, err := ParseIOOp(extra)
+		if err != nil {
+			return e, err
+		}
+		e.Op = op
+	case "torn":
+		e.Kind = KindTorn
 	default:
 		return e, fmt.Errorf("fault: event %q: unknown kind %q", tok, kind)
 	}
@@ -388,6 +469,39 @@ func (in *Injector) LinkFails(rank int, step int64, attempt int) bool {
 				t = 1
 			}
 			if attempt < t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IOFails reports whether rank's checkpoint-store operation op fails while
+// committing the checkpoint of superstep step. Deterministic and
+// non-consuming: every matching attempt fails, modeling a persistent
+// storage-path error at that commit.
+func (in *Injector) IOFails(rank int, step int64, op IOOp) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Kind == KindIOFail && e.Rank == rank && e.Step == step && e.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// TornWrite reports whether rank's checkpoint data write at step is torn
+// (silently truncated). Each planned tear fires exactly once, so the
+// corrupted generation is a single on-disk artifact.
+func (in *Injector) TornWrite(rank int, step int64) bool {
+	if in == nil {
+		return false
+	}
+	for i, e := range in.events {
+		if e.Kind == KindTorn && e.Rank == rank && e.Step == step {
+			if in.fired[i].CompareAndSwap(false, true) {
 				return true
 			}
 		}

@@ -150,3 +150,74 @@ func TestRandomPlanDeterministic(t *testing.T) {
 		t.Error("different seeds produced identical plans")
 	}
 }
+
+func TestParseDiskFaults(t *testing.T) {
+	for _, spec := range []string{
+		"rank0:iofail@3:write",
+		"rank0:iofail@3:sync",
+		"rank0:iofail@3:rename",
+		"rank0:torn@2",
+		"rank0:torn@2;rank0:iofail@3:sync;rank1:drop@4",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", spec, p.String(), err)
+		}
+		for i := range p.Events {
+			if p.Events[i] != again.Events[i] {
+				t.Errorf("round trip of %q: event %d: %+v != %+v", spec, i, p.Events[i], again.Events[i])
+			}
+		}
+	}
+}
+
+func TestParseDiskFaultGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"rank0:iofail@3",       // no operation
+		"rank0:iofail@3:flush", // unknown operation
+		"rank0:torn@2:write",   // torn takes no operation
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestInjectorDiskQueries(t *testing.T) {
+	p, err := Parse("rank0:iofail@3:sync;rank0:torn@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IOFails(0, 3, OpSync) {
+		t.Error("IOFails missed its event")
+	}
+	// iofail is persistent: the storage path stays broken for that step.
+	if !in.IOFails(0, 3, OpSync) {
+		t.Error("IOFails should keep firing for the same step")
+	}
+	if in.IOFails(0, 3, OpWrite) || in.IOFails(1, 3, OpSync) || in.IOFails(0, 2, OpSync) {
+		t.Error("IOFails matched wrong op/rank/step")
+	}
+	if in.TornWrite(0, 3) || in.TornWrite(1, 2) {
+		t.Error("TornWrite matched wrong rank/step")
+	}
+	if !in.TornWrite(0, 2) {
+		t.Error("TornWrite missed its event")
+	}
+	// torn is one-shot: a retried commit of the same step succeeds.
+	if in.TornWrite(0, 2) {
+		t.Error("TornWrite fired twice")
+	}
+	var nilIn *Injector
+	if nilIn.IOFails(0, 3, OpSync) || nilIn.TornWrite(0, 2) {
+		t.Error("nil injector should be inert for disk faults")
+	}
+}

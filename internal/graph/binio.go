@@ -65,54 +65,93 @@ const (
 	maxBinaryEdges    = 1 << 35
 )
 
-// ReadBinary parses the binary CSR format and validates the result.
+// corruptBin builds a binary CorruptInputError, optionally wrapping a cause.
+func corruptBin(cause error, format string, args ...any) error {
+	return &CorruptInputError{Format: "binary", Reason: fmt.Sprintf(format, args...), Err: cause}
+}
+
+// binBodySize returns the expected byte size of the sections after the
+// 24-byte header for the given counts.
+func binBodySize(n, m uint64, weighted bool) int64 {
+	size := 8*(int64(n)+1) + 4*int64(m)
+	if weighted {
+		size += 4 * int64(m)
+	}
+	return size
+}
+
+// readChunked reads n little-endian values without trusting n for the
+// allocation: data arrives in bounded chunks, so a header that claims
+// counts near the limits on a short stream fails after one chunk instead
+// of allocating gigabytes for the claim. (LoadBinaryFile additionally
+// prechecks counts against the file size; this guards plain io.Readers,
+// where no size is knowable.)
+func readChunked[T int64 | VertexID | float32](r io.Reader, n uint64) ([]T, error) {
+	const chunk = 1 << 18
+	out := make([]T, 0, min(n, chunk))
+	buf := make([]T, min(n, chunk))
+	for uint64(len(out)) < n {
+		k := n - uint64(len(out))
+		if k > chunk {
+			k = chunk
+		}
+		if err := binary.Read(r, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
+}
+
+// ReadBinary parses the binary CSR format and validates the result. A
+// truncated stream, an unknown version or flag, counts past the allocation
+// limits, or a CSR that fails validation all come back as a typed
+// *CorruptInputError (wrapping ErrInvalid where the CSR itself is the
+// problem) instead of a panic or a silently bad graph.
 func ReadBinary(r io.Reader) (*CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("graph: binary header: %w", err)
+		return nil, corruptBin(err, "truncated header")
 	}
 	if magic != binMagic {
-		return nil, fmt.Errorf("graph: bad magic %q (want %q)", magic, binMagic)
+		return nil, corruptBin(nil, "bad magic %q (want %q)", magic, binMagic)
 	}
 	var flags uint32
 	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
-		return nil, err
+		return nil, corruptBin(err, "truncated flags")
 	}
 	if flags&^uint32(binFlagWeighted) != 0 {
-		return nil, fmt.Errorf("graph: unknown flags %#x", flags)
+		return nil, corruptBin(nil, "unknown flags %#x", flags)
 	}
 	var n, m uint64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, corruptBin(err, "truncated vertex count")
 	}
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, err
+		return nil, corruptBin(err, "truncated edge count")
 	}
 	if n >= maxBinaryVertices {
-		return nil, fmt.Errorf("graph: vertex count %d exceeds limit", n)
+		return nil, corruptBin(nil, "vertex count %d exceeds limit %d", n, int64(maxBinaryVertices))
 	}
 	if m >= maxBinaryEdges {
-		return nil, fmt.Errorf("graph: edge count %d exceeds limit", m)
+		return nil, corruptBin(nil, "edge count %d exceeds limit %d", m, int64(maxBinaryEdges))
 	}
-	g := &CSR{
-		Offsets: make([]int64, n+1),
-		Edges:   make([]VertexID, m),
+	g := &CSR{}
+	var err error
+	if g.Offsets, err = readChunked[int64](br, n+1); err != nil {
+		return nil, corruptBin(err, "truncated offsets (%d vertices declared)", n)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
-		return nil, fmt.Errorf("graph: offsets: %w", err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, g.Edges); err != nil {
-		return nil, fmt.Errorf("graph: edges: %w", err)
+	if g.Edges, err = readChunked[VertexID](br, m); err != nil {
+		return nil, corruptBin(err, "truncated edges (%d declared)", m)
 	}
 	if flags&binFlagWeighted != 0 {
-		g.Weights = make([]float32, m)
-		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
-			return nil, fmt.Errorf("graph: weights: %w", err)
+		if g.Weights, err = readChunked[float32](br, m); err != nil {
+			return nil, corruptBin(err, "truncated weights (%d declared)", m)
 		}
 	}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, corruptBin(err, "inconsistent CSR")
 	}
 	return g, nil
 }
@@ -130,17 +169,57 @@ func SaveBinaryFile(path string, g *CSR) error {
 	return f.Close()
 }
 
-// LoadBinaryFile reads a binary-format graph from path.
+// precheckBinarySize compares the file's actual size to what the header's
+// counts imply, before ReadBinary allocates arrays for them. A header whose
+// counts promise more data than the file holds is rejected up front — a
+// truncated or count-corrupted file never triggers a multi-gigabyte
+// allocation. Leaves the read position at the start of the file.
+func precheckBinarySize(f *os.File) error {
+	var hdr [24]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return corruptBin(err, "truncated header")
+	}
+	defer f.Seek(0, io.SeekStart)
+	if *(*[4]byte)(hdr[:4]) != binMagic {
+		return corruptBin(nil, "bad magic %q (want %q)", hdr[:4], binMagic)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[4:])
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	m := binary.LittleEndian.Uint64(hdr[16:])
+	if n >= maxBinaryVertices || m >= maxBinaryEdges {
+		return corruptBin(nil, "counts %d/%d exceed limits", n, m)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if want := 24 + binBodySize(n, m, flags&binFlagWeighted != 0); st.Size() != want {
+		return corruptBin(nil, "file is %d bytes, header implies %d (n=%d m=%d)", st.Size(), want, n, m)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadBinaryFile reads a binary-format graph from path. The header's counts
+// are checked against the file size before anything is allocated.
 func LoadBinaryFile(path string) (*CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if err := precheckBinarySize(f); err != nil {
+		return nil, err
+	}
 	return ReadBinary(f)
 }
 
 // LoadAuto loads a graph file in either format, detecting the binary magic.
+// Files too short to hold the magic are handed to the text parser (a tiny
+// adjacency file is legitimate; only actual binary files must start with
+// the full header).
 func LoadAuto(path string) (*CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -148,13 +227,17 @@ func LoadAuto(path string) (*CSR, error) {
 	}
 	defer f.Close()
 	var magic [4]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
+	k, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
 		return nil, fmt.Errorf("graph: %s: %w", path, err)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	if magic == binMagic {
+	if k == len(magic) && magic == binMagic {
+		if err := precheckBinarySize(f); err != nil {
+			return nil, err
+		}
 		return ReadBinary(f)
 	}
 	return ReadAdjacency(f)

@@ -1,0 +1,29 @@
+package graph
+
+import "fmt"
+
+// CorruptInputError reports malformed graph input — a bad header, an
+// out-of-range edge endpoint, a truncated binary stream. Loaders return it
+// (possibly wrapped) instead of silently building a bad CSR or panicking,
+// so callers can errors.As against it to distinguish corrupt data files
+// from I/O failures.
+type CorruptInputError struct {
+	// Format is the input format: "adjacency" or "binary".
+	Format string
+	// Line is the 1-based input line for text formats (0 when the format
+	// has no lines or the error is not line-attributable).
+	Line int
+	// Reason says what is wrong.
+	Reason string
+	// Err is the underlying cause, when one exists.
+	Err error
+}
+
+func (e *CorruptInputError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("graph: corrupt %s input: line %d: %s", e.Format, e.Line, e.Reason)
+	}
+	return fmt.Sprintf("graph: corrupt %s input: %s", e.Format, e.Reason)
+}
+
+func (e *CorruptInputError) Unwrap() error { return e.Err }

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadAdjacencyCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		input  string
+		reason string // substring the error must carry
+	}{
+		{"Empty", "", "empty input"},
+		{"CommentsOnly", "# nothing\n\n# here\n", "empty input"},
+		{"HeaderOneField", "5\n", "bad header"},
+		{"HeaderFourFields", "5 4 weighted extra\n", "bad header"},
+		{"NegativeVertexCount", "-3 2\n0 1\n", "bad vertex count"},
+		{"OverflowVertexCount", "99999999999999999999 2\n", "bad vertex count"},
+		{"VertexCountPastLimit", "4294967296 2\n", "exceeds limit"},
+		{"NegativeEdgeCount", "3 -1\n", "bad edge count"},
+		{"BadHeaderFlag", "3 1 wheighted\n0 1\n", "bad header flag"},
+		{"BadSource", "3 1\nx 1\n", "bad source"},
+		{"SourceOutOfRange", "3 1\n7 1\n", "out of range"},
+		{"NegativeSource", "3 1\n-1 1\n", "out of range"},
+		{"BadDestination", "3 1\n0 banana\n", "bad destination"},
+		{"DestinationOutOfRange", "3 1\n0 3\n", "out of range"},
+		{"NegativeDestination", "3 1\n0 -2\n", "out of range"},
+		{"BadWeight", "3 1 weighted\n0 1:heavy\n", "bad weight"},
+		{"TooFewEdges", "3 2\n0 1\n", "header declares 2 edges, body has 1"},
+		{"TooManyEdges", "3 1\n0 1 2\n", "exceeds declared 1 edges"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadAdjacency(strings.NewReader(tc.input))
+			var cie *CorruptInputError
+			if !errors.As(err, &cie) {
+				t.Fatalf("got %v, want *CorruptInputError", err)
+			}
+			if !strings.Contains(err.Error(), tc.reason) {
+				t.Fatalf("error %q does not mention %q", err, tc.reason)
+			}
+			if cie.Format != "adjacency" {
+				t.Fatalf("Format = %q, want adjacency", cie.Format)
+			}
+		})
+	}
+}
+
+// validBinary serializes the paper example graph to the binary format.
+func validBinary(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadBinaryCorruptInputs(t *testing.T) {
+	valid := validBinary(t)
+	mutate := func(f func([]byte) []byte) []byte {
+		return f(append([]byte(nil), valid...))
+	}
+	cases := []struct {
+		name   string
+		input  []byte
+		reason string
+	}{
+		{"Empty", nil, "truncated header"},
+		{"ShortMagic", []byte("HG"), "truncated header"},
+		{"BadMagic", mutate(func(b []byte) []byte { b[0] = 'X'; return b }), "bad magic"},
+		{"TruncatedAfterMagic", valid[:4], "truncated flags"},
+		{"TruncatedCounts", valid[:10], "truncated"},
+		{"UnknownFlags", mutate(func(b []byte) []byte { b[4] |= 0x80; return b }), "unknown flags"},
+		{"TruncatedOffsets", valid[:26], "truncated offsets"},
+		{"TruncatedEdges", valid[:len(valid)-2], "truncated"},
+		{"VertexCountPastLimit", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 1<<40)
+			return b
+		}), "exceeds limit"},
+		{"EdgeCountPastLimit", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 1<<40)
+			return b
+		}), "exceeds limit"},
+		{"CorruptOffsets", mutate(func(b []byte) []byte {
+			// First offset must be 0; a nonzero value breaks CSR invariants.
+			binary.LittleEndian.PutUint64(b[24:], 999)
+			return b
+		}), "inconsistent CSR"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(tc.input))
+			var cie *CorruptInputError
+			if !errors.As(err, &cie) {
+				t.Fatalf("got %v, want *CorruptInputError", err)
+			}
+			if !strings.Contains(err.Error(), tc.reason) {
+				t.Fatalf("error %q does not mention %q", err, tc.reason)
+			}
+		})
+	}
+}
+
+func TestCorruptCSRKeepsErrInvalid(t *testing.T) {
+	b := validBinary(t)
+	binary.LittleEndian.PutUint64(b[24:], 999)
+	_, err := ReadBinary(bytes.NewReader(b))
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("CSR-invariant failure %v does not unwrap to ErrInvalid", err)
+	}
+}
+
+func TestLoadBinaryFileSizePrecheck(t *testing.T) {
+	dir := t.TempDir()
+	valid := validBinary(t)
+
+	// A header that promises more edges than the file holds must be caught
+	// by the size precheck, not by an allocation attempt.
+	lying := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(lying[16:], 1<<30)
+	path := filepath.Join(dir, "lying.hgb")
+	if err := os.WriteFile(path, lying, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBinaryFile(path)
+	var cie *CorruptInputError
+	if !errors.As(err, &cie) || !strings.Contains(err.Error(), "header implies") {
+		t.Fatalf("oversized counts: %v, want size-precheck CorruptInputError", err)
+	}
+
+	// Truncated file: same protection.
+	path = filepath.Join(dir, "trunc.hgb")
+	if err := os.WriteFile(path, valid[:len(valid)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinaryFile(path); !errors.As(err, &cie) {
+		t.Fatalf("truncated file: %v, want *CorruptInputError", err)
+	}
+
+	// The untouched file still loads.
+	path = filepath.Join(dir, "ok.hgb")
+	if err := os.WriteFile(path, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinaryFile(path); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+func TestLoadAutoShortTextFile(t *testing.T) {
+	// A legitimate adjacency file shorter than the 4-byte magic probe must
+	// go to the text parser, not fail the probe.
+	path := filepath.Join(t.TempDir(), "tiny.adj")
+	if err := os.WriteFile(path, []byte("1 0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadAuto(path)
+	if err != nil {
+		t.Fatalf("LoadAuto on 3-byte text file: %v", err)
+	}
+	if g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("got %d vertices / %d edges, want 1/0", g.NumVertices(), g.NumEdges())
+	}
+}

@@ -52,13 +52,23 @@ func WriteAdjacency(w io.Writer, g *CSR) error {
 	return bw.Flush()
 }
 
+// corruptAdj builds a line-attributed adjacency CorruptInputError.
+func corruptAdj(line int, format string, args ...any) error {
+	return &CorruptInputError{Format: "adjacency", Line: line, Reason: fmt.Sprintf(format, args...)}
+}
+
 // ReadAdjacency parses the adjacency-list text format into a validated CSR.
+// Malformed input — a bad header, negative or overflowing counts, an edge
+// endpoint outside the declared vertex range, a body that contradicts the
+// header's edge count — is rejected with a line-attributed
+// *CorruptInputError rather than building a bad CSR.
 func ReadAdjacency(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	var (
 		b        *Builder
 		declared int64
+		numV     int64
 		lineNo   int
 	)
 	for sc.Scan() {
@@ -70,57 +80,76 @@ func ReadAdjacency(r io.Reader) (*CSR, error) {
 		fields := strings.Fields(line)
 		if b == nil {
 			if len(fields) < 2 || len(fields) > 3 {
-				return nil, fmt.Errorf("graph: line %d: bad header %q", lineNo, line)
+				return nil, corruptAdj(lineNo, "bad header %q", line)
 			}
-			n, err := strconv.Atoi(fields[0])
+			n, err := strconv.ParseInt(fields[0], 10, 64)
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[0])
+				return nil, corruptAdj(lineNo, "bad vertex count %q", fields[0])
+			}
+			if n >= maxBinaryVertices {
+				return nil, corruptAdj(lineNo, "vertex count %d exceeds limit %d", n, int64(maxBinaryVertices))
 			}
 			m, err := strconv.ParseInt(fields[1], 10, 64)
 			if err != nil || m < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad edge count %q", lineNo, fields[1])
+				return nil, corruptAdj(lineNo, "bad edge count %q", fields[1])
+			}
+			if m >= maxBinaryEdges {
+				return nil, corruptAdj(lineNo, "edge count %d exceeds limit %d", m, int64(maxBinaryEdges))
 			}
 			weighted := false
 			if len(fields) == 3 {
 				if fields[2] != "weighted" {
-					return nil, fmt.Errorf("graph: line %d: bad header flag %q", lineNo, fields[2])
+					return nil, corruptAdj(lineNo, "bad header flag %q", fields[2])
 				}
 				weighted = true
 			}
-			b = NewBuilder(n, weighted)
+			b = NewBuilder(int(n), weighted)
 			declared = m
+			numV = n
 			continue
 		}
 		src64, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+			return nil, corruptAdj(lineNo, "bad source %q", fields[0])
+		}
+		if src64 < 0 || src64 >= numV {
+			return nil, corruptAdj(lineNo, "source %d out of range [0,%d)", src64, numV)
 		}
 		src := VertexID(src64)
 		for _, tok := range fields[1:] {
 			dstTok, wTok, hasW := strings.Cut(tok, ":")
 			dst64, err := strconv.ParseInt(dstTok, 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad destination %q", lineNo, tok)
+				return nil, corruptAdj(lineNo, "bad destination %q", tok)
+			}
+			if dst64 < 0 || dst64 >= numV {
+				return nil, corruptAdj(lineNo, "destination %d out of range [0,%d)", dst64, numV)
 			}
 			var w float32
 			if hasW {
 				wf, err := strconv.ParseFloat(wTok, 32)
 				if err != nil {
-					return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, tok)
+					return nil, corruptAdj(lineNo, "bad weight %q", tok)
 				}
 				w = float32(wf)
 			}
 			b.AddEdge(src, VertexID(dst64), w)
+		}
+		// Reject a body that overruns its declared edge count as soon as it
+		// does, instead of accumulating an unbounded edge list first.
+		if int64(b.NumEdges()) > declared {
+			return nil, corruptAdj(lineNo, "body exceeds declared %d edges", declared)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if b == nil {
-		return nil, fmt.Errorf("graph: empty input")
+		return nil, &CorruptInputError{Format: "adjacency", Reason: "empty input"}
 	}
 	if int64(b.NumEdges()) != declared {
-		return nil, fmt.Errorf("graph: header declares %d edges, body has %d", declared, b.NumEdges())
+		return nil, &CorruptInputError{Format: "adjacency",
+			Reason: fmt.Sprintf("header declares %d edges, body has %d", declared, b.NumEdges())}
 	}
 	return b.Build()
 }
