@@ -19,7 +19,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"hetgraph"
 	"hetgraph/internal/bench"
 )
 
@@ -30,8 +32,24 @@ func main() {
 		scaleName = flag.String("scale", "full", "workload scale: small | full")
 		only      = flag.String("only", "", "comma-separated artifact list (5a,5b,5c,5d,5e,5f,6,t2,ablation); empty = all")
 		outDir    = flag.String("out", "", "directory to write per-artifact text files (optional)")
+		report    = flag.String("report", "", "write a versioned JSON run report with per-artifact wall timing to this path")
+		debugAddr = flag.String("debug-addr", "", `serve /debug/pprof/, /debug/vars, and /metrics on this address while the suite runs`)
 	)
 	flag.Parse()
+
+	suiteStart := time.Now()
+	var col *hetgraph.MetricsCollector
+	if *report != "" || *debugAddr != "" {
+		col = hetgraph.NewMetricsCollector()
+	}
+	if *debugAddr != "" {
+		dbg, err := hetgraph.StartDebugServer(*debugAddr, col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s (/debug/pprof/, /debug/vars, /metrics)\n", dbg.Addr())
+	}
 
 	var scale bench.Scale
 	switch *scaleName {
@@ -57,10 +75,20 @@ func main() {
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[strings.ToLower(id)] }
 
+	// Each artifact is computed while its result is being passed to emit, so
+	// the gap since the previous emit is that artifact's wall time.
+	lastEmit := time.Now()
 	emit := func(fig bench.Figure, err error) {
 		if err != nil {
 			log.Fatalf("%s: %v", fig.ID, err)
 		}
+		if col != nil {
+			col.RecordEvent(hetgraph.MetricsEvent{
+				UnixNano: time.Now().UnixNano(), Kind: "artifact", Rank: -1, Superstep: -1,
+				WallNS: time.Since(lastEmit).Nanoseconds(), Detail: fig.ID + ": " + fig.Title,
+			})
+		}
+		lastEmit = time.Now()
 		text := bench.Format(fig)
 		fmt.Print(text)
 		if *outDir != "" {
@@ -105,5 +133,16 @@ func main() {
 		emit(bench.AblationChunkSize(pr))
 		emit(bench.AblationRatioSweep(pr))
 		emit(bench.AblationGenScheme(pr))
+	}
+	if col != nil && *report != "" {
+		rep := col.Report()
+		rep.Tool = "hetgraph-bench"
+		rep.App = "suite-" + scale.Name
+		rep.Totals = hetgraph.RunReportTotals{WallSeconds: time.Since(suiteStart).Seconds()}
+		rep.Seal()
+		if err := hetgraph.WriteRunReport(*report, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run report written to %s\n", *report)
 	}
 }

@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"hetgraph"
 )
@@ -80,6 +79,8 @@ func run(args []string) error {
 		resume    = fs.Bool("resume", false, "cold-start from the newest checkpoint in -checkpoint-dir")
 		exTimeout = fs.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
 		faultPlan = fs.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
+		report    = fs.String("report", "", "write a versioned JSON run report (phases, counters, events) to this path")
+		debugAddr = fs.String("debug-addr", "", `serve /debug/pprof/, /debug/vars, and /metrics on this address (e.g. "localhost:6060")`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -109,8 +110,27 @@ func run(args []string) error {
 		return hetgraph.MIC()
 	}
 
+	// The metrics collector backs both -report and -debug-addr; the baseline
+	// bypasses the instrumented engine entirely, so the combination is a
+	// configuration mistake rather than a silently empty report.
+	var col *hetgraph.MetricsCollector
+	if *report != "" || *debugAddr != "" {
+		if *baseline != "" {
+			return usagef("-report/-debug-addr cannot be combined with -baseline (the baseline has no phase instrumentation)")
+		}
+		col = hetgraph.NewMetricsCollector()
+	}
+	if *debugAddr != "" {
+		dbg, err := hetgraph.StartDebugServer(*debugAddr, col)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s (/debug/pprof/, /debug/vars, /metrics)\n", dbg.Addr())
+	}
+
 	if *appName == "semicluster" {
-		return runSC(g, *device, schemeOf(*scheme), *partPath, *iters)
+		return runSC(g, *graphPath, *device, schemeOf(*scheme), *partPath, *iters, col, *report)
 	}
 
 	var app hetgraph.AppF32
@@ -168,6 +188,16 @@ func run(args []string) error {
 		ExchangeTimeout:  *exTimeout,
 		Fault:            inj,
 	}
+	if col != nil {
+		// Assign through the guard: a nil *MetricsCollector stored in the
+		// interface field would defeat the engine's nil-sink fast path.
+		opt.Metrics = col
+	}
+	var (
+		repConfig  []hetgraph.RunReportConfig
+		repDevices []hetgraph.RunReportDevice
+		repTotals  hetgraph.RunReportTotals
+	)
 	switch *device {
 	case "cpu", "mic":
 		if *ckDir != "" || *resume {
@@ -181,6 +211,12 @@ func run(args []string) error {
 		fmt.Printf("%s on %s (%v, vec=%v): %d iterations, sim %.6fs (gen %.6f, proc %.6f, upd %.6f), wall %.3fs\n",
 			*appName, *device, opt.Scheme, opt.Vectorized, res.Iterations, res.SimSeconds,
 			res.Phases.Generate, res.Phases.Process, res.Phases.Update, res.WallSeconds)
+		repConfig = []hetgraph.RunReportConfig{reportConfigOf(0, opt, *faultPlan)}
+		repDevices = []hetgraph.RunReportDevice{deviceReportOf(0, opt.Dev.Name, res)}
+		repTotals = hetgraph.RunReportTotals{
+			Iterations: res.Iterations, Converged: res.Converged,
+			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
+		}
 		if *verify {
 			if err := verifyResult(*appName, app, g, *source, *iters); err != nil {
 				return err
@@ -199,14 +235,36 @@ func run(args []string) error {
 		optCPU.Scheme = hetgraph.SchemeLocking
 		optMIC := opt
 		optMIC.Dev = hetgraph.MIC()
-		start := time.Now()
 		res, err := hetgraph.RunHetero(app, g, assign, optCPU, optMIC)
 		if err != nil {
 			return err
 		}
-		_ = start
 		fmt.Printf("%s on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
 			*appName, res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+		repConfig = []hetgraph.RunReportConfig{
+			reportConfigOf(0, optCPU, *faultPlan),
+			reportConfigOf(1, optMIC, *faultPlan),
+		}
+		repDevices = []hetgraph.RunReportDevice{
+			deviceReportOf(0, optCPU.Dev.Name, res.Dev[0]),
+			deviceReportOf(1, optMIC.Dev.Name, res.Dev[1]),
+		}
+		repTotals = hetgraph.RunReportTotals{
+			Iterations: res.Iterations, Converged: res.Converged,
+			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
+			ExecSeconds: res.ExecSeconds, CommSeconds: res.CommSeconds,
+		}
+		if res.Degraded {
+			repTotals.Degraded = true
+			repTotals.FailedRank = res.FailedRank
+			repTotals.FailedSuperstep = res.FailedSuperstep
+			repTotals.ResumedSuperstep = res.ResumedSuperstep
+		}
+		if res.DiskResumed {
+			repTotals.DiskResumed = true
+			repTotals.ResumedSuperstep = res.ResumedSuperstep
+			repTotals.ResumedGeneration = res.ResumedGeneration
+		}
 		if res.DiskResumed {
 			fmt.Printf("resumed: cold-started from %s generation %d (superstep %d)\n",
 				*ckDir, res.ResumedGeneration, res.ResumedSuperstep)
@@ -243,6 +301,82 @@ func run(args []string) error {
 		fmt.Print(hetgraph.FormatTraceSummary(rec.Summarize()))
 		fmt.Printf("timeline written to %s\n", *traceCSV)
 	}
+	if col != nil {
+		rep := col.Report()
+		rep.Tool = "hetgraph-run"
+		rep.App = *appName
+		rep.Graph = graphInfoOf(*graphPath, g)
+		rep.Config = repConfig
+		rep.Devices = repDevices
+		rep.Totals = repTotals
+		if err := finishReport(*report, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// graphInfoOf fingerprints the loaded graph for the run report.
+func graphInfoOf(path string, g *hetgraph.Graph) hetgraph.RunReportGraph {
+	return hetgraph.RunReportGraph{
+		Path:     path,
+		Vertices: int64(g.NumVertices()),
+		Edges:    g.NumEdges(),
+		Weighted: g.Weighted(),
+	}
+}
+
+// reportConfigOf echoes one rank's engine options into the report.
+func reportConfigOf(rank int, o hetgraph.Options, faultPlan string) hetgraph.RunReportConfig {
+	return hetgraph.RunReportConfig{
+		Rank:              rank,
+		Device:            o.Dev.Name,
+		Scheme:            o.Scheme.String(),
+		Vectorized:        o.Vectorized,
+		Threads:           o.Threads,
+		K:                 o.K,
+		Workers:           o.Workers,
+		Movers:            o.Movers,
+		GenBatchSize:      o.GenBatchSize,
+		MaxIterations:     o.MaxIterations,
+		CheckpointEvery:   o.CheckpointEvery,
+		CheckpointDir:     o.CheckpointDir,
+		CheckpointRetain:  o.CheckpointRetain,
+		Resume:            o.Resume,
+		ExchangeTimeoutNS: int64(o.ExchangeTimeout),
+		FaultPlan:         faultPlan,
+	}
+}
+
+// deviceReportOf folds one device's Result into the report.
+func deviceReportOf(rank int, dev string, res hetgraph.Result) hetgraph.RunReportDevice {
+	return hetgraph.RunReportDevice{
+		Rank:       rank,
+		Device:     dev,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Counters:   res.Counters,
+		SimPhases: hetgraph.RunReportPhases{
+			Generate: res.Phases.Generate,
+			Process:  res.Phases.Process,
+			Update:   res.Phases.Update,
+			Exchange: res.Phases.Exchange,
+		},
+		SimSeconds: res.SimSeconds,
+	}
+}
+
+// finishReport seals the assembled report and, when a path was given,
+// writes it out.
+func finishReport(path string, rep *hetgraph.RunReport) error {
+	rep.Seal()
+	if path == "" {
+		return nil
+	}
+	if err := hetgraph.WriteRunReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("run report written to %s\n", path)
 	return nil
 }
 
@@ -257,12 +391,20 @@ func verifyResult(appName string, app hetgraph.AppF32, g *hetgraph.Graph, source
 	return nil
 }
 
-func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath string, iters int) error {
+func runSC(g *hetgraph.Graph, graphPath, device string, scheme hetgraph.Scheme, partPath string, iters int, col *hetgraph.MetricsCollector, reportPath string) error {
 	if iters == 0 {
 		iters = 5
 	}
 	app := hetgraph.NewSemiClustering(3, 4, 0.2)
 	opt := hetgraph.Options{Scheme: scheme, MaxIterations: iters}
+	if col != nil {
+		opt.Metrics = col
+	}
+	var (
+		repConfig  []hetgraph.RunReportConfig
+		repDevices []hetgraph.RunReportDevice
+		repTotals  hetgraph.RunReportTotals
+	)
 	switch device {
 	case "cpu", "mic":
 		if device == "cpu" {
@@ -276,6 +418,12 @@ func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath st
 		}
 		fmt.Printf("semicluster on %s: %d iterations, sim %.6fs, wall %.3fs\n",
 			device, res.Iterations, res.SimSeconds, res.WallSeconds)
+		repConfig = []hetgraph.RunReportConfig{reportConfigOf(0, opt, "")}
+		repDevices = []hetgraph.RunReportDevice{deviceReportOf(0, opt.Dev.Name, res)}
+		repTotals = hetgraph.RunReportTotals{
+			Iterations: res.Iterations, Converged: res.Converged,
+			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
+		}
 	case "both":
 		if partPath == "" {
 			return usagef("-device both requires -partition")
@@ -295,8 +443,33 @@ func runSC(g *hetgraph.Graph, device string, scheme hetgraph.Scheme, partPath st
 		}
 		fmt.Printf("semicluster on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
 			res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+		repConfig = []hetgraph.RunReportConfig{
+			reportConfigOf(0, optCPU, ""),
+			reportConfigOf(1, optMIC, ""),
+		}
+		repDevices = []hetgraph.RunReportDevice{
+			deviceReportOf(0, optCPU.Dev.Name, res.Dev[0]),
+			deviceReportOf(1, optMIC.Dev.Name, res.Dev[1]),
+		}
+		repTotals = hetgraph.RunReportTotals{
+			Iterations: res.Iterations, Converged: res.Converged,
+			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
+			ExecSeconds: res.ExecSeconds, CommSeconds: res.CommSeconds,
+		}
 	default:
 		return usagef("unknown -device %q", device)
+	}
+	if col != nil {
+		rep := col.Report()
+		rep.Tool = "hetgraph-run"
+		rep.App = "semicluster"
+		rep.Graph = graphInfoOf(graphPath, g)
+		rep.Config = repConfig
+		rep.Devices = repDevices
+		rep.Totals = repTotals
+		if err := finishReport(reportPath, rep); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -47,6 +47,7 @@ import (
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
 	"hetgraph/internal/metis"
+	"hetgraph/internal/metrics"
 	"hetgraph/internal/ompbase"
 	"hetgraph/internal/partition"
 	"hetgraph/internal/seqref"
@@ -455,6 +456,61 @@ func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
 // FormatTraceSummary renders a trace summary as text.
 func FormatTraceSummary(s TraceSummary) string { return trace.FormatSummary(s) }
+
+// Run-report metrics (see docs/observability.md). Unlike tracing, which
+// records only simulated device time, the metrics layer records measured
+// host wall-clock per phase alongside the simulated time, plus an
+// operational event log (checkpoints, failures, degradation, resume).
+type (
+	// MetricsSink receives wall-clock phase samples and runtime events;
+	// attach one via Options.Metrics. nil disables collection with one
+	// branch per superstep and no allocation on the hot path.
+	MetricsSink = metrics.Sink
+	// MetricsCollector is the standard thread-safe MetricsSink; it also
+	// backs the -debug-addr HTTP endpoints.
+	MetricsCollector = metrics.Collector
+	// MetricsPhaseSample is one phase of one superstep on one device, with
+	// both measured wall time and simulated device time.
+	MetricsPhaseSample = metrics.PhaseSample
+	// MetricsEvent is one timestamped operational event.
+	MetricsEvent = metrics.Event
+	// RunReport is the versioned, machine-readable record of one run.
+	RunReport = metrics.RunReport
+	// RunReportGraph fingerprints the input graph inside a RunReport.
+	RunReportGraph = metrics.GraphInfo
+	// RunReportConfig echoes one rank's engine options inside a RunReport.
+	RunReportConfig = metrics.RunConfig
+	// RunReportDevice is one device's whole-run aggregate inside a RunReport.
+	RunReportDevice = metrics.DeviceReport
+	// RunReportTotals is the run-level outcome inside a RunReport.
+	RunReportTotals = metrics.Totals
+	// RunReportPhases is a simulated per-phase breakdown inside a RunReport.
+	RunReportPhases = metrics.PhaseSeconds
+	// DebugServer is the HTTP listener behind -debug-addr (pprof, expvar,
+	// Prometheus text metrics).
+	DebugServer = metrics.DebugServer
+)
+
+// ReportVersion is the current RunReport schema version (see
+// docs/observability.md for the compatibility rule).
+const ReportVersion = metrics.ReportVersion
+
+// NewMetricsCollector creates an empty metrics collector.
+func NewMetricsCollector() *MetricsCollector { return metrics.NewCollector() }
+
+// WriteRunReport writes a report as indented JSON to path.
+func WriteRunReport(path string, r *RunReport) error { return metrics.WriteReportFile(path, r) }
+
+// ReadRunReport reads and validates a report, rejecting unknown schema
+// versions.
+func ReadRunReport(path string) (*RunReport, error) { return metrics.ReadReportFile(path) }
+
+// StartDebugServer starts an HTTP listener on addr serving /debug/pprof/,
+// /debug/vars (expvar), and /metrics (Prometheus text format) backed by the
+// given collector. Close the returned server when done.
+func StartDebugServer(addr string, c *MetricsCollector) (*DebugServer, error) {
+	return metrics.StartDebugServer(addr, c)
+}
 
 // Auto-tuning (the paper's §VII future work, implemented).
 type (

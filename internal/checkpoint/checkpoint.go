@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hetgraph/internal/graph"
+	"hetgraph/internal/metrics"
 )
 
 // Snapshotter is implemented by applications that support checkpointing:
@@ -235,6 +236,11 @@ type Coordinator struct {
 	// silently continuing without durability.
 	store *Store
 
+	// sink, when non-nil, receives one timestamped event per capture (and
+	// per failed capture), with the wall-clock cost of the snapshot plus the
+	// durable commit.
+	sink metrics.Sink
+
 	mu     sync.Mutex
 	latest *Snapshot
 }
@@ -262,6 +268,21 @@ func NewCoordinator(state Snapshotter, every int, timeout time.Duration) (*Coord
 // SetStore attaches a durable store: every subsequent capture is committed
 // to disk. Call before the run starts.
 func (c *Coordinator) SetStore(s *Store) { c.store = s }
+
+// SetSink attaches a metrics sink that receives checkpoint events. Call
+// before the run starts; nil disables event emission.
+func (c *Coordinator) SetSink(s metrics.Sink) { c.sink = s }
+
+// emit records a checkpoint event on the sink, if any.
+func (c *Coordinator) emit(kind string, completed int64, wallNS int64, detail string) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.RecordEvent(metrics.Event{
+		UnixNano: time.Now().UnixNano(), Kind: kind, Rank: -1,
+		Superstep: completed, WallNS: wallNS, Detail: detail,
+	})
+}
 
 // Due reports whether a checkpoint is taken after `completed` supersteps.
 func (c *Coordinator) Due(completed int64) bool {
@@ -331,9 +352,15 @@ func (c *Coordinator) Checkpoint(rank int, completed int64, frontier []graph.Ver
 
 // capture snapshots state and stores the checkpoint.
 func (c *Coordinator) capture(completed int64, frontier0, frontier1 []graph.VertexID) error {
+	var start time.Time
+	if c.sink != nil {
+		start = time.Now()
+	}
 	state, err := c.state.Snapshot()
 	if err != nil {
-		return fmt.Errorf("checkpoint: snapshot failed: %w", err)
+		err = fmt.Errorf("checkpoint: snapshot failed: %w", err)
+		c.emit(metrics.EventCheckpointFailed, completed, elapsedNS(start, c.sink), err.Error())
+		return err
 	}
 	snap := &Snapshot{Superstep: completed, State: state}
 	snap.Frontier[0] = append([]graph.VertexID(nil), frontier0...)
@@ -341,12 +368,33 @@ func (c *Coordinator) capture(completed int64, frontier0, frontier1 []graph.Vert
 	c.mu.Lock()
 	c.latest = snap
 	c.mu.Unlock()
+	gen := int64(-1)
 	if c.store != nil {
-		if _, err := c.store.Commit(snap); err != nil {
-			return fmt.Errorf("checkpoint: durable commit of superstep %d failed: %w", completed, err)
+		g, err := c.store.Commit(snap)
+		if err != nil {
+			err = fmt.Errorf("checkpoint: durable commit of superstep %d failed: %w", completed, err)
+			c.emit(metrics.EventCheckpointFailed, completed, elapsedNS(start, c.sink), err.Error())
+			return err
 		}
+		gen = int64(g)
+	}
+	if c.sink != nil {
+		detail := fmt.Sprintf("superstep %d, %d state bytes", completed, len(state))
+		if gen >= 0 {
+			detail += fmt.Sprintf(", durable generation %d", gen)
+		}
+		c.emit(metrics.EventCheckpoint, completed, time.Since(start).Nanoseconds(), detail)
 	}
 	return nil
+}
+
+// elapsedNS returns nanoseconds since start, or 0 when no sink is attached
+// (start is the zero time in that case).
+func elapsedNS(start time.Time, sink metrics.Sink) int64 {
+	if sink == nil {
+		return 0
+	}
+	return time.Since(start).Nanoseconds()
 }
 
 // MarkDead records that a rank died, waking any peer waiting at the

@@ -161,6 +161,10 @@ type Stats struct {
 	// SimSeconds is the modeled PCIe time of the round: one latency plus
 	// the slower direction's payload (the link is full duplex).
 	SimSeconds float64
+	// WallNS is the measured host wall-clock duration of the round in
+	// nanoseconds, including the block waiting for the peer (the BSP
+	// lockstep wait) and any injected delay or retry backoff.
+	WallNS int64
 	// Retries is the number of transient link faults retried away this
 	// round.
 	Retries int64
@@ -183,6 +187,7 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 	peer := 1 - e.rank
 	step := e.step
 	e.step++
+	wallStart := time.Now()
 
 	// A rank declared dead stays dead: fail fast on every later round.
 	if n.isDead(e.rank) {
@@ -267,6 +272,7 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 		slower = st.BytesRecv
 	}
 	st.SimSeconds = n.link.TransferSeconds(slower)
+	st.WallNS = time.Since(wallStart).Nanoseconds()
 	return p.msgs, p.active, st, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
+	"hetgraph/internal/metrics"
 	"hetgraph/internal/pipeline"
 	"hetgraph/internal/trace"
 	"hetgraph/internal/vec"
@@ -137,6 +138,14 @@ type Options struct {
 	// Trace, when non-nil, records a per-superstep per-phase timeline of
 	// the run (see internal/trace).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives wall-clock phase samples and the
+	// runtime event log (checkpoints, faults, degradations, resumes; see
+	// internal/metrics). A nil sink disables all measurement at the cost of
+	// one branch per phase, with no allocation on the iteration hot path —
+	// the same contract as Trace. Hetero runs record each device's phases to
+	// its own option's sink; run-level events go to the first non-nil sink
+	// across the two device options.
+	Metrics metrics.Sink
 	// ExchangeTimeout bounds every cross-device exchange round in a
 	// heterogeneous run: a peer that does not show up within the deadline
 	// is declared dead and the run fails (or degrades to single-device when

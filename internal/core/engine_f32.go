@@ -11,6 +11,7 @@ import (
 	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
+	"hetgraph/internal/metrics"
 	"hetgraph/internal/pipeline"
 	"hetgraph/internal/sched"
 	"hetgraph/internal/trace"
@@ -36,6 +37,10 @@ type deviceF32 struct {
 	ep     *comm.Endpoint[float32]
 	// step is the current superstep, used to index injected faults.
 	step int64
+	// wall holds the current iteration's measured wall-clock phase
+	// durations; written only when opt.Metrics is non-nil (exchange is the
+	// exception: comm measures it regardless, the copy here is free).
+	wall phaseWallNS
 
 	remoteMu sync.Mutex
 	remote   *comm.Combiner[float32]
@@ -183,6 +188,7 @@ func (d *deviceF32) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTi
 	c.BytesSent += st.BytesSent
 	c.Exchanges++
 	pt.Exchange += st.SimSeconds
+	d.wall.exchange += st.WallNS
 	return activeRemote, nil
 }
 
@@ -338,6 +344,40 @@ func machineMovers(o Options) int {
 	return movers
 }
 
+// phaseWallNS is one iteration's measured wall-clock phase durations in
+// nanoseconds.
+type phaseWallNS struct {
+	generate, exchange, process, update int64
+}
+
+// emitEvent records e on sink, stamping the host time; nil-safe.
+func emitEvent(sink metrics.Sink, e metrics.Event) {
+	if sink == nil {
+		return
+	}
+	if e.UnixNano == 0 {
+		e.UnixNano = time.Now().UnixNano()
+	}
+	sink.RecordEvent(e)
+}
+
+// recordMetrics emits the iteration's wall-clock + simulated phase samples
+// to the configured metrics sink, if any, and resets the wall scratch.
+func (d *deviceF32) recordMetrics(iter int64, c machine.Counters, pt PhaseTimes) {
+	sink := d.opt.Metrics
+	if sink == nil {
+		return
+	}
+	dev := d.opt.Dev.Name
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseGenerate, WallNS: d.wall.generate, SimSeconds: pt.Generate, Events: c.Messages})
+	if c.Exchanges > 0 {
+		sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseExchange, WallNS: d.wall.exchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
+	}
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseProcess, WallNS: d.wall.process, SimSeconds: pt.Process, Events: c.ReducedMessages})
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseUpdate, WallNS: d.wall.update, SimSeconds: pt.Update, Events: c.UpdatedVertices})
+	d.wall = phaseWallNS{}
+}
+
 // recordTrace emits the iteration's phase samples to the configured
 // recorder, if any.
 func (d *deviceF32) recordTrace(iter int64, c machine.Counters, pt PhaseTimes) {
@@ -357,19 +397,37 @@ func (d *deviceF32) recordTrace(iter int64, c machine.Counters, pt PhaseTimes) {
 // runIteration executes one full superstep (without exchange) and returns
 // the next active set, the iteration counters, and their simulated time.
 func (d *deviceF32) runIteration(active []graph.VertexID) ([]graph.VertexID, machine.Counters, PhaseTimes, error) {
+	measured := d.opt.Metrics != nil
 	var c machine.Counters
 	c.Iterations = 1
 	c.BufferResetBytes = d.buf.Reset()
+	var t time.Time
+	if measured {
+		t = time.Now()
+	}
 	if err := d.generate(active, &c); err != nil {
 		return nil, c, PhaseTimes{}, err
+	}
+	if measured {
+		now := time.Now()
+		d.wall.generate = now.Sub(t).Nanoseconds()
+		t = now
 	}
 	deliveries, err := d.process(&c)
 	if err != nil {
 		return nil, c, PhaseTimes{}, err
 	}
+	if measured {
+		now := time.Now()
+		d.wall.process = now.Sub(t).Nanoseconds()
+		t = now
+	}
 	next, err := d.update(deliveries, &c)
 	if err != nil {
 		return nil, c, PhaseTimes{}, err
+	}
+	if measured {
+		d.wall.update = time.Since(t).Nanoseconds()
 	}
 	return next, c, d.phaseTimes(c), nil
 }
@@ -403,9 +461,20 @@ func runF32Loop(d *deviceF32, active []graph.VertexID, maxIter int) (Result, err
 		}
 		next, c, pt, err := d.runIteration(active)
 		if err != nil {
-			return Result{}, err
+			// Attribute the failure to its superstep and return the result
+			// accumulated so far — the counters and phase times of every
+			// completed iteration are diagnostic material, not garbage.
+			err = fmt.Errorf("core: superstep %d: %w", iter, err)
+			emitEvent(d.opt.Metrics, metrics.Event{
+				Kind: metrics.EventSuperstepError, Rank: d.rank,
+				Superstep: int64(iter), Detail: err.Error(),
+			})
+			res.SimSeconds = res.Phases.Total()
+			res.WallSeconds = time.Since(start).Seconds()
+			return res, err
 		}
 		d.recordTrace(res.Iterations, c, pt)
+		d.recordMetrics(res.Iterations, c, pt)
 		res.Iterations++
 		res.Counters.Add(c)
 		res.Phases.Add(pt)

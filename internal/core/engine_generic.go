@@ -11,6 +11,7 @@ import (
 	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
+	"hetgraph/internal/metrics"
 	"hetgraph/internal/pipeline"
 	"hetgraph/internal/sched"
 )
@@ -39,6 +40,10 @@ type deviceGeneric[T any] struct {
 
 	fillScratch []int32
 	pipe        *pipeline.Pipelined[T]
+
+	// wall accumulates measured host time per phase for the current
+	// superstep; only written when opt.Metrics is non-nil.
+	wall phaseWallNS
 }
 
 func newDeviceGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options, rank int, assign []int32, ep *comm.Endpoint[T]) (*deviceGeneric[T], error) {
@@ -162,6 +167,7 @@ func (d *deviceGeneric[T]) exchange(activeLocal int64, c *machine.Counters, pt *
 	c.BytesSent += st.BytesSent
 	c.Exchanges++
 	pt.Exchange += st.SimSeconds
+	d.wall.exchange += st.WallNS
 	return activeRemote, nil
 }
 
@@ -229,6 +235,26 @@ func (d *deviceGeneric[T]) processAndUpdate(c *machine.Counters) ([]graph.Vertex
 	return next, nil
 }
 
+// recordMetrics emits the superstep's wall-clock + simulated phase samples
+// to the configured metrics sink, if any, and resets the wall scratch. The
+// generic engine fuses process and update over one vertex walk, so the
+// fused wall time is attributed to the process sample and the update sample
+// carries only simulated time (see docs/observability.md).
+func (d *deviceGeneric[T]) recordMetrics(superstep int64, c machine.Counters, pt PhaseTimes) {
+	sink := d.opt.Metrics
+	if sink == nil {
+		return
+	}
+	dev := d.opt.Dev.Name
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: superstep, Phase: metrics.PhaseGenerate, WallNS: d.wall.generate, SimSeconds: pt.Generate, Events: c.Messages})
+	if c.Exchanges > 0 {
+		sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: superstep, Phase: metrics.PhaseExchange, WallNS: d.wall.exchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
+	}
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: superstep, Phase: metrics.PhaseProcess, WallNS: d.wall.process, SimSeconds: pt.Process, Events: c.ReducedMessages})
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: superstep, Phase: metrics.PhaseUpdate, WallNS: d.wall.update, SimSeconds: pt.Update, Events: c.UpdatedVertices})
+	d.wall = phaseWallNS{}
+}
+
 func (d *deviceGeneric[T]) phaseTimes(c machine.Counters) PhaseTimes {
 	var pt PhaseTimes
 	switch d.opt.Scheme {
@@ -265,16 +291,38 @@ func RunGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options) (Result, er
 		var c machine.Counters
 		c.Iterations = 1
 		d.buf.Reset()
+		measured := d.opt.Metrics != nil
+		var t time.Time
+		if measured {
+			t = time.Now()
+		}
 		if err := d.generate(active, &c); err != nil {
-			return Result{}, err
+			err = fmt.Errorf("core: superstep %d: %w", iter, err)
+			emitEvent(d.opt.Metrics, metrics.Event{Kind: metrics.EventSuperstepError, Rank: d.rank, Superstep: int64(iter), Detail: err.Error()})
+			res.SimSeconds = res.Phases.Total()
+			res.WallSeconds = time.Since(start).Seconds()
+			return res, err
+		}
+		if measured {
+			d.wall.generate = time.Since(t).Nanoseconds()
+			t = time.Now()
 		}
 		next, err := d.processAndUpdate(&c)
 		if err != nil {
-			return Result{}, err
+			err = fmt.Errorf("core: superstep %d: %w", iter, err)
+			emitEvent(d.opt.Metrics, metrics.Event{Kind: metrics.EventSuperstepError, Rank: d.rank, Superstep: int64(iter), Detail: err.Error()})
+			res.SimSeconds = res.Phases.Total()
+			res.WallSeconds = time.Since(start).Seconds()
+			return res, err
+		}
+		if measured {
+			d.wall.process = time.Since(t).Nanoseconds()
 		}
 		res.Iterations++
 		res.Counters.Add(c)
-		res.Phases.Add(d.phaseTimes(c))
+		pt := d.phaseTimes(c)
+		res.Phases.Add(pt)
+		d.recordMetrics(int64(iter), c, pt)
 		if fixed {
 			active = initial
 		} else {
@@ -353,40 +401,61 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 			active := actives[r]
 			fixed := IsFixedActive(d.app)
 			initial := active
+			fail := func(iter int, err error) {
+				err = fmt.Errorf("core: rank %d superstep %d: %w", r, iter, err)
+				emitEvent(d.opt.Metrics, metrics.Event{Kind: metrics.EventSuperstepError, Rank: r, Superstep: int64(iter), Detail: err.Error()})
+				runErr[r] = err
+			}
 			for iter := 0; iter < maxIter; iter++ {
 				d.step = int64(iter)
 				var c machine.Counters
 				var pt PhaseTimes
 				c.Iterations = 1
 				d.buf.Reset()
+				measured := d.opt.Metrics != nil
+				var t time.Time
+				if measured {
+					t = time.Now()
+				}
 				if err := d.generate(active, &c); err != nil {
-					runErr[r] = err
+					fail(iter, err)
 					return
 				}
+				if measured {
+					d.wall.generate = time.Since(t).Nanoseconds()
+				}
 				if _, err := d.exchange(int64(len(active)), &c, &pt); err != nil {
-					runErr[r] = err
+					fail(iter, err)
 					return
+				}
+				if measured {
+					t = time.Now()
 				}
 				next, err := d.processAndUpdate(&c)
 				if err != nil {
-					runErr[r] = err
+					fail(iter, err)
 					return
+				}
+				if measured {
+					d.wall.process = time.Since(t).Nanoseconds()
 				}
 				compute := d.phaseTimes(c)
 				pt.Generate, pt.Process, pt.Update = compute.Generate, compute.Process, compute.Update
 				_, remoteActive, st, err := d.ep.Exchange(nil, int64(len(next)))
 				if err != nil {
-					runErr[r] = err
+					fail(iter, err)
 					return
 				}
 				c.Exchanges++
 				pt.Exchange += st.SimSeconds
+				d.wall.exchange += st.WallNS
 
 				res.Dev[r].Iterations++
 				res.Dev[r].Counters.Add(c)
 				res.Dev[r].Phases.Add(pt)
 				res.Dev[r].SimSeconds = res.Dev[r].Phases.Total()
 				iterTimes[r] = append(iterTimes[r], pt.Generate+pt.Process+pt.Update)
+				d.recordMetrics(int64(iter), c, pt)
 				if fixed {
 					active = initial
 				} else {

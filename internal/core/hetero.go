@@ -11,6 +11,7 @@ import (
 	"hetgraph/internal/fault"
 	"hetgraph/internal/graph"
 	"hetgraph/internal/machine"
+	"hetgraph/internal/metrics"
 )
 
 // HeteroResult reports a CPU+MIC run. Per-iteration the devices run in
@@ -94,6 +95,9 @@ type robustnessConfig struct {
 	dir     string
 	retain  int
 	resume  bool
+	// sink receives run-level events (checkpoints, failures, degradation,
+	// resume); per-device phase samples go to each option's own sink.
+	sink metrics.Sink
 }
 
 // resolveFaultConfig merges the robustness settings of the two device
@@ -107,6 +111,7 @@ func resolveFaultConfig(o0, o1 Options) robustnessConfig {
 		dir:     o0.CheckpointDir,
 		retain:  o0.CheckpointRetain,
 		resume:  o0.Resume || o1.Resume,
+		sink:    o0.Metrics,
 	}
 	if c.timeout == 0 {
 		c.timeout = o1.ExchangeTimeout
@@ -122,6 +127,9 @@ func resolveFaultConfig(o0, o1 Options) robustnessConfig {
 	}
 	if c.retain == 0 {
 		c.retain = o1.CheckpointRetain
+	}
+	if c.sink == nil {
+		c.sink = o1.Metrics
 	}
 	return c
 }
@@ -240,6 +248,10 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		a1 = snap.Frontier[1]
 		resumeFrom = snap.Superstep
 		resumedGen = gen
+		emitEvent(cfg.sink, metrics.Event{
+			Kind: metrics.EventResume, Rank: -1, Superstep: resumeFrom,
+			Detail: fmt.Sprintf("cold start from %s generation %d", cfg.dir, gen),
+		})
 	}
 	actives := [2][]graph.VertexID{a0, a1}
 
@@ -250,6 +262,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 			return HeteroResult{}, err
 		}
 		coord.SetStore(store)
+		coord.SetSink(cfg.sink)
 		// Superstep-0 snapshot (or the restored superstep's, on resume),
 		// taken before the rank loops start: recovery is possible from any
 		// point of the run, including a failure in the very first superstep.
@@ -300,6 +313,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 			active := actives[r]
 			fixed := IsFixedActive(d.app)
 			initial := active
+			measured := d.opt.Metrics != nil
 			for iter := int(resumeFrom); iter < maxIter; iter++ {
 				d.step = int64(iter)
 				var c machine.Counters
@@ -307,34 +321,57 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				c.Iterations = 1
 				c.BufferResetBytes = d.buf.Reset()
 				// Generate (local inserts + remote accumulation).
+				var t time.Time
+				if measured {
+					t = time.Now()
+				}
 				if err := d.generate(active, &c); err != nil {
 					runErr[r] = err
 					return
 				}
+				if measured {
+					d.wall.generate = time.Since(t).Nanoseconds()
+				}
 				// Implicit remote message exchange (Fig. 2). It carries this
 				// iteration's active count, which doubles as the BSP
 				// termination allreduce: when no vertex was active anywhere,
-				// nothing was generated and the run is over.
+				// nothing was generated and the run is over. (Its wall time —
+				// including the lockstep wait for the peer — is measured by
+				// comm and copied into d.wall by exchange.)
 				remoteActive, err := d.exchange(int64(len(active)), &c, &pt)
 				if err != nil {
 					runErr[r] = err
 					return
 				}
 				if int64(len(active))+remoteActive == 0 && !fixed {
+					// The convergence-detection superstep carries only
+					// generate + exchange work.
 					devs[r].recordIter(&res.Dev[r], c, pt)
+					d.recordMetrics(d.step, c, pt)
 					res.Dev[r].Converged = true
 					return
 				}
 				// Process + update locally.
+				if measured {
+					t = time.Now()
+				}
 				deliveries, err := d.process(&c)
 				if err != nil {
 					runErr[r] = err
 					return
 				}
+				if measured {
+					now := time.Now()
+					d.wall.process = now.Sub(t).Nanoseconds()
+					t = now
+				}
 				next, err := d.update(deliveries, &c)
 				if err != nil {
 					runErr[r] = err
 					return
+				}
+				if measured {
+					d.wall.update = time.Since(t).Nanoseconds()
 				}
 				compute := d.phaseTimes(c)
 				pt.Generate = compute.Generate
@@ -342,6 +379,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				pt.Update = compute.Update
 
 				d.recordTrace(res.Dev[r].Iterations, c, pt)
+				d.recordMetrics(d.step, c, pt)
 				devs[r].recordIter(&res.Dev[r], c, pt)
 				iterTimes[r] = append(iterTimes[r], pt.Generate+pt.Process+pt.Update)
 				if fixed {
@@ -403,6 +441,7 @@ func recoverF32Hetero(
 	app AppF32, g *graph.CSR, opts [2]Options, coord *checkpoint.Coordinator,
 	res HeteroResult, iterTimes [2][]float64, runErr [2]error, maxIter int, resumeFrom int64, start time.Time,
 ) (HeteroResult, error) {
+	sink := resolveFaultConfig(opts[0], opts[1]).sink
 	// A failed durable commit is not a device failure: the storage path is
 	// shared, so degrading to a single device would keep hitting the same
 	// broken disk. Treat it like a process crash — abort the whole run; the
@@ -411,7 +450,9 @@ func recoverF32Hetero(
 	for r := 0; r < 2; r++ {
 		var serr *checkpoint.StoreError
 		if errors.As(runErr[r], &serr) {
-			return HeteroResult{}, fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", runErr[r])
+			err := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", runErr[r])
+			emitEvent(sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: r, Superstep: -1, Detail: err.Error()})
+			return HeteroResult{}, err
 		}
 	}
 	// Resolve the failed rank. Both loops usually error (the survivor's
@@ -432,13 +473,19 @@ func recoverF32Hetero(
 		if failed == -1 {
 			failed = b
 		} else if failed != b {
-			return HeteroResult{}, fmt.Errorf("core: both devices failed, cannot degrade: rank 0: %v; rank 1: %v", runErr[0], runErr[1])
+			err := fmt.Errorf("core: both devices failed, cannot degrade: rank 0: %v; rank 1: %v", runErr[0], runErr[1])
+			emitEvent(sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: -1, Superstep: -1, Detail: err.Error()})
+			return HeteroResult{}, err
 		}
 		var dfe *comm.DeviceFailedError
 		if errors.As(runErr[r], &dfe) && dfe.Rank == b {
 			failedStep = dfe.Superstep
 		}
 	}
+	emitEvent(sink, metrics.Event{
+		Kind: metrics.EventDeviceFailed, Rank: failed, Superstep: failedStep,
+		Detail: firstErr.Error(),
+	})
 	if coord == nil {
 		return HeteroResult{}, firstErr
 	}
@@ -456,6 +503,10 @@ func recoverF32Hetero(
 	if err != nil {
 		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery engine failed: %w", firstErr, err)
 	}
+	emitEvent(sink, metrics.Event{
+		Kind: metrics.EventDegraded, Rank: failed, Superstep: snap.Superstep,
+		Detail: fmt.Sprintf("rank %d survives; restored checkpointed superstep %d, continuing single-device", survivor, snap.Superstep),
+	})
 	remaining := maxIter - int(snap.Superstep)
 	rec, err := runF32Loop(sd, snap.MergedFrontier(), remaining)
 	if err != nil {

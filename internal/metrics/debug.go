@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// liveCollector is the collector the process-wide debug endpoints read from.
+// expvar's registry is global and Publish panics on duplicates, so the
+// published Func indirects through this pointer instead of capturing one
+// collector — starting a second debug server (tests, repeated runs in one
+// process) just swaps the pointer.
+var (
+	liveCollector atomic.Pointer[Collector]
+	publishOnce   sync.Once
+)
+
+// publishExpvar registers the "hetgraph" expvar once per process.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("hetgraph", expvar.Func(func() any {
+			c := liveCollector.Load()
+			if c == nil {
+				return nil
+			}
+			return c.expvarSnapshot()
+		}))
+	})
+}
+
+// expvarSnapshot is the JSON value served under /debug/vars → "hetgraph".
+func (c *Collector) expvarSnapshot() map[string]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phases := map[string]any{}
+	for k, a := range c.totals {
+		phases[k.device+"/"+k.phase] = map[string]any{
+			"wall_ns":     a.WallNS,
+			"sim_seconds": a.SimSeconds,
+			"events":      a.Events,
+			"samples":     a.Samples,
+		}
+	}
+	steps := map[string]int64{}
+	for dev, n := range c.steps {
+		steps[dev] = n
+	}
+	events := map[string]int64{}
+	for kind, n := range c.eventKind {
+		events[kind] = n
+	}
+	return map[string]any{
+		"phases":     phases,
+		"supersteps": steps,
+		"events":     events,
+	}
+}
+
+// servePrometheus renders the collector's running totals in the Prometheus
+// text exposition format (text/plain; version=0.0.4).
+func (c *Collector) servePrometheus(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	type row struct {
+		key phaseKey
+		agg phaseAgg
+	}
+	rows := make([]row, 0, len(c.totals))
+	for k, a := range c.totals {
+		rows = append(rows, row{k, *a})
+	}
+	steps := make(map[string]int64, len(c.steps))
+	for dev, n := range c.steps {
+		steps[dev] = n
+	}
+	events := make(map[string]int64, len(c.eventKind))
+	for kind, n := range c.eventKind {
+		events[kind] = n
+	}
+	c.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].key.device != rows[j].key.device {
+			return rows[i].key.device < rows[j].key.device
+		}
+		return rows[i].key.phase < rows[j].key.phase
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintln(w, "# HELP hetgraph_phase_wall_seconds_total Host wall-clock time spent per phase.")
+	fmt.Fprintln(w, "# TYPE hetgraph_phase_wall_seconds_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hetgraph_phase_wall_seconds_total{device=%q,phase=%q} %g\n",
+			r.key.device, r.key.phase, float64(r.agg.WallNS)/1e9)
+	}
+	fmt.Fprintln(w, "# HELP hetgraph_phase_sim_seconds_total Simulated device time per phase.")
+	fmt.Fprintln(w, "# TYPE hetgraph_phase_sim_seconds_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hetgraph_phase_sim_seconds_total{device=%q,phase=%q} %g\n",
+			r.key.device, r.key.phase, r.agg.SimSeconds)
+	}
+	fmt.Fprintln(w, "# HELP hetgraph_phase_events_total Primary event count per phase.")
+	fmt.Fprintln(w, "# TYPE hetgraph_phase_events_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hetgraph_phase_events_total{device=%q,phase=%q} %d\n",
+			r.key.device, r.key.phase, r.agg.Events)
+	}
+	devs := make([]string, 0, len(steps))
+	for dev := range steps {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+	fmt.Fprintln(w, "# HELP hetgraph_supersteps_total Supersteps observed per device.")
+	fmt.Fprintln(w, "# TYPE hetgraph_supersteps_total counter")
+	for _, dev := range devs {
+		fmt.Fprintf(w, "hetgraph_supersteps_total{device=%q} %d\n", dev, steps[dev])
+	}
+	kinds := make([]string, 0, len(events))
+	for kind := range events {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintln(w, "# HELP hetgraph_events_total Operational events recorded, by kind.")
+	fmt.Fprintln(w, "# TYPE hetgraph_events_total counter")
+	for _, kind := range kinds {
+		fmt.Fprintf(w, "hetgraph_events_total{kind=%q} %d\n", kind, events[kind])
+	}
+}
+
+// DebugServer is an HTTP listener exposing the live observability endpoints
+// of a running process:
+//
+//	/debug/pprof/...   net/http/pprof profiles (CPU, heap, goroutine, trace)
+//	/debug/vars        expvar JSON, including the "hetgraph" live counters
+//	/metrics           Prometheus text exposition of the same counters
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
+// port) and serves the debug endpoints, reading live counters from col. It
+// returns immediately; the server runs until Close.
+func StartDebugServer(addr string, col *Collector) (*DebugServer, error) {
+	if col == nil {
+		return nil, ErrNoCollector
+	}
+	liveCollector.Store(col)
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		c := liveCollector.Load()
+		if c == nil {
+			http.Error(w, ErrNoCollector.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		c.servePrometheus(w, r)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: debug listener: %w", err)
+	}
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return ds, nil
+}
+
+// Addr returns the server's actual listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,407 @@
+// Package metrics is the run-report observability layer: it captures what a
+// run actually cost on the host — wall-clock time per superstep per phase,
+// alongside the cost model's simulated device seconds — plus an event log of
+// everything operationally interesting (checkpoints, faults, degradations,
+// resumes, errors), and serializes the whole thing as a versioned JSON
+// RunReport.
+//
+// The engine talks to this package through the Sink interface, attached via
+// core.Options.Metrics. A nil sink costs one branch per phase and zero
+// allocations on the iteration hot path, mirroring Options.Trace. The
+// bundled Collector implements Sink, is safe for concurrent use (the
+// heterogeneous runner records from two device goroutines), and doubles as
+// the data source for the live debug endpoints (see debug.go).
+//
+// Relationship to internal/trace: trace records *simulated* seconds only and
+// feeds the human-readable summary/CSV timeline; metrics records wall clock
+// and simulated time together, adds the event log, and feeds machine-readable
+// artifacts (JSON report, expvar, Prometheus text). The two are independent —
+// attach either, both, or neither.
+package metrics
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"hetgraph/internal/machine"
+)
+
+// Phase names used by the engines (aligned with internal/trace).
+const (
+	PhaseGenerate = "generate"
+	PhaseExchange = "exchange"
+	PhaseProcess  = "process"
+	PhaseUpdate   = "update"
+)
+
+// Event kinds emitted by the runtime.
+const (
+	// EventCheckpoint is a successful superstep-boundary checkpoint capture
+	// (Detail names the durable generation when a store is attached).
+	EventCheckpoint = "checkpoint"
+	// EventCheckpointFailed is a failed checkpoint capture or durable commit.
+	EventCheckpointFailed = "checkpoint-failed"
+	// EventResume is a cold start restored from an on-disk checkpoint.
+	EventResume = "resume"
+	// EventDeviceFailed is a rank dying mid-run (injected fault, timeout,
+	// panic, or peer verdict).
+	EventDeviceFailed = "device-failed"
+	// EventDegraded is the survivor restoring a checkpoint and continuing
+	// single-device.
+	EventDegraded = "degraded"
+	// EventSuperstepError is an iteration failing mid-run on a single-device
+	// loop, attributed to its superstep.
+	EventSuperstepError = "superstep-error"
+	// EventRunAborted is a run abandoned without recovery (e.g. a broken
+	// durable store).
+	EventRunAborted = "run-aborted"
+)
+
+// PhaseSample is one phase of one superstep on one device, with both the
+// host wall-clock duration and the cost model's simulated device seconds.
+type PhaseSample struct {
+	// Device is the modeled device name ("CPU", "MIC").
+	Device string `json:"device"`
+	// Rank is the device rank in a heterogeneous run (0 for single-device).
+	Rank int `json:"rank"`
+	// Superstep is the superstep index the sample belongs to.
+	Superstep int64 `json:"superstep"`
+	// Phase is one of the Phase* constants.
+	Phase string `json:"phase"`
+	// WallNS is the measured host wall-clock duration in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// SimSeconds is the phase's simulated device time.
+	SimSeconds float64 `json:"sim_seconds"`
+	// Events is the phase's primary event count (messages generated,
+	// messages reduced, vertices updated, bytes exchanged).
+	Events int64 `json:"events"`
+}
+
+// Event is one operational event with a host timestamp.
+type Event struct {
+	// UnixNano is the host time the event was recorded.
+	UnixNano int64 `json:"unix_nano"`
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// Rank is the rank the event concerns (-1 when not rank-specific).
+	Rank int `json:"rank"`
+	// Superstep is the superstep the event concerns (-1 when unknown).
+	Superstep int64 `json:"superstep"`
+	// WallNS is the operation's duration, for events that have one
+	// (checkpoint captures); 0 otherwise.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink receives phase samples and events from a running engine. A nil Sink
+// on core.Options.Metrics disables all measurement at the cost of one nil
+// check per phase. Implementations must be safe for concurrent use: a
+// heterogeneous run records from both device goroutines.
+type Sink interface {
+	RecordPhase(PhaseSample)
+	RecordEvent(Event)
+}
+
+// phaseKey aggregates samples for the live endpoints.
+type phaseKey struct {
+	device string
+	phase  string
+}
+
+// phaseAgg is a per-(device, phase) running total.
+type phaseAgg struct {
+	WallNS     int64
+	SimSeconds float64
+	Events     int64
+	Samples    int64
+}
+
+// Collector is the standard Sink: it accumulates samples and events for the
+// RunReport and maintains per-(device, phase) running totals for the live
+// debug endpoints. Safe for concurrent use.
+type Collector struct {
+	mu        sync.Mutex
+	phases    []PhaseSample
+	events    []Event
+	totals    map[phaseKey]*phaseAgg
+	steps     map[string]int64 // supersteps observed per device (max index + 1)
+	eventKind map[string]int64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		totals:    map[phaseKey]*phaseAgg{},
+		steps:     map[string]int64{},
+		eventKind: map[string]int64{},
+	}
+}
+
+// RecordPhase implements Sink.
+func (c *Collector) RecordPhase(s PhaseSample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.phases = append(c.phases, s)
+	k := phaseKey{s.Device, s.Phase}
+	a := c.totals[k]
+	if a == nil {
+		a = &phaseAgg{}
+		c.totals[k] = a
+	}
+	a.WallNS += s.WallNS
+	a.SimSeconds += s.SimSeconds
+	a.Events += s.Events
+	a.Samples++
+	if s.Superstep+1 > c.steps[s.Device] {
+		c.steps[s.Device] = s.Superstep + 1
+	}
+}
+
+// RecordEvent implements Sink.
+func (c *Collector) RecordEvent(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+	c.eventKind[e.Kind]++
+}
+
+// Phases returns a copy of the recorded samples, sorted by (rank, superstep,
+// recording order) so the report is deterministic for a given run shape. The
+// result is never nil, so an empty timeline serializes as [] rather than
+// null.
+func (c *Collector) Phases() []PhaseSample {
+	c.mu.Lock()
+	out := append([]PhaseSample{}, c.phases...)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Superstep < out[j].Superstep
+	})
+	return out
+}
+
+// Events returns a copy of the recorded events in recording order, never
+// nil (an empty log serializes as [] rather than null).
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event{}, c.events...)
+}
+
+// Len returns the number of recorded phase samples.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.phases)
+}
+
+// ReportVersion is the current RunReport schema version. Compatibility rule:
+// within one version, fields are only ever added (with `omitempty` or a zero
+// default), never renamed, removed, or re-typed; readers must reject a
+// version they do not know (ReadReport enforces this). A breaking change
+// bumps the version.
+const ReportVersion = 1
+
+// GraphInfo fingerprints the input graph.
+type GraphInfo struct {
+	Path     string `json:"path,omitempty"`
+	Vertices int64  `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Weighted bool   `json:"weighted"`
+}
+
+// RunConfig fingerprints one device's engine options (plain values only —
+// this is the machine-readable echo of core.Options, without the live
+// handles).
+type RunConfig struct {
+	Rank              int    `json:"rank"`
+	Device            string `json:"device"`
+	Scheme            string `json:"scheme"`
+	Vectorized        bool   `json:"vectorized"`
+	Threads           int    `json:"threads"`
+	K                 int    `json:"k,omitempty"`
+	Workers           int    `json:"workers,omitempty"`
+	Movers            int    `json:"movers,omitempty"`
+	GenBatchSize      int    `json:"gen_batch_size,omitempty"`
+	MaxIterations     int    `json:"max_iterations,omitempty"`
+	CheckpointEvery   int    `json:"checkpoint_every,omitempty"`
+	CheckpointDir     string `json:"checkpoint_dir,omitempty"`
+	CheckpointRetain  int    `json:"checkpoint_retain,omitempty"`
+	Resume            bool   `json:"resume,omitempty"`
+	ExchangeTimeoutNS int64  `json:"exchange_timeout_ns,omitempty"`
+	FaultPlan         string `json:"fault_plan,omitempty"`
+}
+
+// PhaseSeconds is a simulated per-phase time breakdown (the report-local
+// mirror of core.PhaseTimes).
+type PhaseSeconds struct {
+	Generate float64 `json:"generate"`
+	Process  float64 `json:"process"`
+	Update   float64 `json:"update"`
+	Exchange float64 `json:"exchange"`
+}
+
+// DeviceReport is one device's whole-run aggregate.
+type DeviceReport struct {
+	Rank       int    `json:"rank"`
+	Device     string `json:"device"`
+	Iterations int64  `json:"iterations"`
+	Converged  bool   `json:"converged"`
+	// Counters is the full event-count record of the device's execution.
+	Counters machine.Counters `json:"counters"`
+	// SimPhases is the simulated per-phase breakdown.
+	SimPhases PhaseSeconds `json:"sim_phases"`
+	// SimSeconds is the device's total simulated time.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// Totals is the run-level outcome.
+type Totals struct {
+	Iterations  int64   `json:"iterations"`
+	Converged   bool    `json:"converged"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// ExecSeconds/CommSeconds split a heterogeneous run's simulated time
+	// (zero for single-device runs).
+	ExecSeconds float64 `json:"exec_seconds,omitempty"`
+	CommSeconds float64 `json:"comm_seconds,omitempty"`
+	// Degradation/resume outcome of a heterogeneous run.
+	Degraded          bool   `json:"degraded,omitempty"`
+	FailedRank        int    `json:"failed_rank,omitempty"`
+	FailedSuperstep   int64  `json:"failed_superstep,omitempty"`
+	ResumedSuperstep  int64  `json:"resumed_superstep,omitempty"`
+	DiskResumed       bool   `json:"disk_resumed,omitempty"`
+	ResumedGeneration uint64 `json:"resumed_generation,omitempty"`
+}
+
+// RunReport is the versioned, machine-readable record of one run.
+type RunReport struct {
+	// Version is the report schema version (ReportVersion at write time).
+	Version int `json:"version"`
+	// Tool names the producing command ("hetgraph-run", "hetgraph-bench").
+	Tool string `json:"tool,omitempty"`
+	// CreatedUnixNano is the host time the report was assembled.
+	CreatedUnixNano int64 `json:"created_unix_nano"`
+	// Fingerprint is an FNV-1a hash over graph, app, and config — two
+	// reports with the same fingerprint measured the same workload shape.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// App names the application ("pagerank", "bfs", ...).
+	App string `json:"app,omitempty"`
+	// Graph fingerprints the input graph.
+	Graph GraphInfo `json:"graph"`
+	// Config echoes the per-rank engine options.
+	Config []RunConfig `json:"config,omitempty"`
+	// Devices holds each device's whole-run aggregate.
+	Devices []DeviceReport `json:"devices,omitempty"`
+	// Totals is the run-level outcome.
+	Totals Totals `json:"totals"`
+	// Phases is the per-superstep per-phase timeline (wall and simulated).
+	Phases []PhaseSample `json:"phases"`
+	// Events is the operational event log.
+	Events []Event `json:"events"`
+}
+
+// Report assembles the collector's samples and events into a fresh RunReport
+// stamped with the current schema version. The caller fills in the
+// workload-level sections (Graph, App, Config, Devices, Totals) and then
+// calls Seal.
+func (c *Collector) Report() *RunReport {
+	return &RunReport{
+		Version:         ReportVersion,
+		CreatedUnixNano: time.Now().UnixNano(),
+		Phases:          c.Phases(),
+		Events:          c.Events(),
+	}
+}
+
+// Seal computes the report's fingerprint from its graph, app, and config
+// sections. Call after those sections are filled.
+func (r *RunReport) Seal() {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%s|%d|%d|%v", r.Version, r.App, r.Graph.Vertices, r.Graph.Edges, r.Graph.Weighted)
+	for _, cfg := range r.Config {
+		fmt.Fprintf(h, "|r%d:%s:%s:%v:%d:%d", cfg.Rank, cfg.Device, cfg.Scheme, cfg.Vectorized, cfg.Threads, cfg.GenBatchSize)
+	}
+	r.Fingerprint = fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Validate checks the structural invariants readers rely on.
+func (r *RunReport) Validate() error {
+	if r.Version < 1 {
+		return fmt.Errorf("metrics: report version %d < 1", r.Version)
+	}
+	if r.Version > ReportVersion {
+		return fmt.Errorf("metrics: report version %d is newer than this reader's %d", r.Version, ReportVersion)
+	}
+	for i, p := range r.Phases {
+		if p.Phase == "" || p.Device == "" {
+			return fmt.Errorf("metrics: phase sample %d missing device/phase", i)
+		}
+		if p.WallNS < 0 || p.SimSeconds < 0 {
+			return fmt.Errorf("metrics: phase sample %d has negative time", i)
+		}
+	}
+	for i, e := range r.Events {
+		if e.Kind == "" {
+			return fmt.Errorf("metrics: event %d missing kind", i)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the report (indented, trailing newline).
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteReportFile writes the report to path (0644).
+func WriteReportFile(path string, r *RunReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses and validates a report, enforcing the version
+// compatibility rule (a reader rejects versions newer than it knows).
+func ReadReport(rd io.Reader) (*RunReport, error) {
+	var r RunReport
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("metrics: malformed report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadReportFile reads and validates a report from path.
+func ReadReportFile(path string) (*RunReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// ErrNoCollector is reported by live endpoints when no collector is active.
+var ErrNoCollector = errors.New("metrics: no active collector")

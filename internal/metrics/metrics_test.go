@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"hetgraph/internal/machine"
+)
+
+func sampleReport() *RunReport {
+	c := NewCollector()
+	c.RecordPhase(PhaseSample{Device: "CPU", Rank: 0, Superstep: 0, Phase: PhaseGenerate, WallNS: 1500, SimSeconds: 0.25, Events: 100})
+	c.RecordPhase(PhaseSample{Device: "CPU", Rank: 0, Superstep: 0, Phase: PhaseProcess, WallNS: 900, SimSeconds: 0.125, Events: 80})
+	c.RecordPhase(PhaseSample{Device: "MIC", Rank: 1, Superstep: 0, Phase: PhaseGenerate, WallNS: 2100, SimSeconds: 0.5, Events: 120})
+	c.RecordEvent(Event{UnixNano: 42, Kind: EventCheckpoint, Rank: -1, Superstep: 2, WallNS: 300, Detail: "generation 1"})
+	r := c.Report()
+	r.Tool = "test"
+	r.App = "pagerank"
+	r.Graph = GraphInfo{Path: "g.adj", Vertices: 1000, Edges: 20000, Weighted: true}
+	r.Config = []RunConfig{
+		{Rank: 0, Device: "CPU", Scheme: "lock", Vectorized: true, Threads: 16},
+		{Rank: 1, Device: "MIC", Scheme: "pipe", Vectorized: true, Threads: 240},
+	}
+	r.Devices = []DeviceReport{{Rank: 0, Device: "CPU", Iterations: 1, Counters: machine.Counters{Messages: 100, Iterations: 1}}}
+	r.Totals = Totals{Iterations: 1, Converged: true, SimSeconds: 0.875, WallSeconds: 0.01}
+	r.Seal()
+	return r
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 3; i++ {
+		c.RecordPhase(PhaseSample{Device: "CPU", Superstep: int64(i), Phase: PhaseGenerate, WallNS: 10, SimSeconds: 0.5, Events: 2})
+	}
+	c.RecordEvent(Event{Kind: EventResume})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	snap := c.expvarSnapshot()
+	phases := snap["phases"].(map[string]any)
+	agg := phases["CPU/generate"].(map[string]any)
+	if agg["wall_ns"].(int64) != 30 || agg["events"].(int64) != 6 || agg["samples"].(int64) != 3 {
+		t.Fatalf("aggregate wrong: %+v", agg)
+	}
+	if snap["supersteps"].(map[string]int64)["CPU"] != 3 {
+		t.Fatalf("supersteps wrong: %+v", snap["supersteps"])
+	}
+	if snap["events"].(map[string]int64)[EventResume] != 1 {
+		t.Fatalf("event counts wrong: %+v", snap["events"])
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.RecordPhase(PhaseSample{Device: "D", Rank: r, Superstep: int64(i), Phase: PhaseUpdate, WallNS: 1, Events: 1})
+				c.RecordEvent(Event{Kind: EventCheckpoint, Rank: r, Superstep: int64(i)})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if c.Len() != 1000 || len(c.Events()) != 1000 {
+		t.Fatalf("lost records: %d phases, %d events", c.Len(), len(c.Events()))
+	}
+	// Phases() orders by rank then superstep.
+	ph := c.Phases()
+	for i := 1; i < len(ph); i++ {
+		if ph[i].Rank < ph[i-1].Rank || (ph[i].Rank == ph[i-1].Rank && ph[i].Superstep < ph[i-1].Superstep) {
+			t.Fatalf("phases out of order at %d: %+v then %+v", i, ph[i-1], ph[i])
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", r, got)
+	}
+	if got.Version != ReportVersion {
+		t.Fatalf("version = %d", got.Version)
+	}
+	if got.Fingerprint == "" || got.Fingerprint != r.Fingerprint {
+		t.Fatalf("fingerprint lost: %q vs %q", got.Fingerprint, r.Fingerprint)
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := t.TempDir() + "/r.json"
+	if err := WriteReportFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestReportVersionCompatibility(t *testing.T) {
+	r := sampleReport()
+	r.Version = ReportVersion + 1
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(&buf); err == nil {
+		t.Fatal("future version accepted")
+	}
+	r.Version = 0
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(&buf); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+	if _, err := ReadReport(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	r := sampleReport()
+	r.Phases = append(r.Phases, PhaseSample{Device: "CPU", Phase: ""})
+	if err := r.Validate(); err == nil {
+		t.Fatal("missing phase name accepted")
+	}
+	r = sampleReport()
+	r.Phases[0].WallNS = -1
+	if err := r.Validate(); err == nil {
+		t.Fatal("negative wall time accepted")
+	}
+	r = sampleReport()
+	r.Events = append(r.Events, Event{})
+	if err := r.Validate(); err == nil {
+		t.Fatal("kindless event accepted")
+	}
+}
+
+func TestSealDeterministic(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same workload, different fingerprints: %q vs %q", a.Fingerprint, b.Fingerprint)
+	}
+	b.Graph.Vertices++
+	b.Seal()
+	if a.Fingerprint == b.Fingerprint {
+		t.Fatal("different workload, same fingerprint")
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	c := NewCollector()
+	c.RecordPhase(PhaseSample{Device: "MIC", Rank: 1, Superstep: 0, Phase: PhaseGenerate, WallNS: 1000, SimSeconds: 0.5, Events: 7})
+	c.RecordEvent(Event{Kind: EventDegraded, Rank: 1, Superstep: 3})
+	ds, err := StartDebugServer("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + ds.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	prom := get("/metrics")
+	for _, want := range []string{
+		`hetgraph_phase_wall_seconds_total{device="MIC",phase="generate"} 1e-06`,
+		`hetgraph_phase_sim_seconds_total{device="MIC",phase="generate"} 0.5`,
+		`hetgraph_phase_events_total{device="MIC",phase="generate"} 7`,
+		`hetgraph_supersteps_total{device="MIC"} 1`,
+		`hetgraph_events_total{kind="degraded"} 1`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"hetgraph"`) || !strings.Contains(vars, "supersteps") {
+		t.Fatalf("/debug/vars missing hetgraph section:\n%.400s", vars)
+	}
+	if got := get("/debug/pprof/cmdline"); got == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestStartDebugServerNilCollector(t *testing.T) {
+	if _, err := StartDebugServer("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil collector accepted")
+	}
+}

@@ -188,7 +188,14 @@ func FormatSummary(s Summary) string {
 	for _, t := range s.Totals {
 		out += fmt.Sprintf("%-6s %-9s %14.6f %12d %8d\n", t.Device, t.Phase, t.SimSeconds, t.Events, t.Samples)
 	}
+	// Map iteration order is randomized per run; sort the device keys so
+	// the rendered summary is byte-identical across runs.
+	devs := make([]string, 0, len(s.Iterations))
 	for dev := range s.Iterations {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+	for _, dev := range devs {
 		out += fmt.Sprintf("%s: %d iterations, hottest #%d (%.6fs)\n",
 			dev, s.Iterations[dev], s.HottestIteration[dev], s.HottestSeconds[dev])
 	}

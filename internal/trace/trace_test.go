@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -92,6 +94,67 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if lines[1] != "CPU,0,update,0.125,7" {
 		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+// TestFormatSummaryDeterministic guards against map-iteration order leaking
+// into the rendered summary: with three devices the per-device lines used to
+// come out in random order run to run.
+func TestFormatSummaryDeterministic(t *testing.T) {
+	r := NewRecorder()
+	for i, dev := range []string{"MIC", "CPU", "GPU"} {
+		r.Record(Sample{Device: dev, Iteration: int64(i), Phase: PhaseGenerate, SimSeconds: float64(i) + 0.25, Events: int64(10 * (i + 1))})
+		r.Record(Sample{Device: dev, Iteration: int64(i), Phase: PhaseProcess, SimSeconds: 0.5, Events: int64(i + 1)})
+	}
+	want := "device phase             sim(s)       events  samples\n" +
+		"CPU    generate        1.250000           20        1\n" +
+		"CPU    process         0.500000            2        1\n" +
+		"GPU    generate        2.250000           30        1\n" +
+		"GPU    process         0.500000            3        1\n" +
+		"MIC    generate        0.250000           10        1\n" +
+		"MIC    process         0.500000            1        1\n" +
+		"CPU: 2 iterations, hottest #1 (1.750000s)\n" +
+		"GPU: 3 iterations, hottest #2 (2.750000s)\n" +
+		"MIC: 1 iterations, hottest #0 (0.750000s)\n"
+	for run := 0; run < 20; run++ {
+		got := FormatSummary(r.Summarize())
+		if got != want {
+			t.Fatalf("run %d: summary diverged:\ngot:\n%s\nwant:\n%s", run, got, want)
+		}
+	}
+}
+
+// TestWriteCSVRoundTrip parses WriteCSV output back into samples and checks
+// it reproduces the recorder's contents exactly.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Sample{Device: "CPU", Iteration: 3, Phase: PhaseExchange, SimSeconds: 0.0078125, Events: 4096})
+	r.Record(Sample{Device: "MIC", Iteration: 0, Phase: PhaseGenerate, SimSeconds: 1.5e-7, Events: 12})
+	r.Record(Sample{Device: "MIC", Iteration: 1, Phase: PhaseUpdate, SimSeconds: 0, Events: 0})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not re-parse: %v", err)
+	}
+	want := r.Samples()
+	if len(rows) != len(want)+1 {
+		t.Fatalf("rows = %d, want %d data rows + header", len(rows), len(want))
+	}
+	for i, s := range want {
+		row := rows[i+1]
+		sim, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("row %d sim_seconds %q: %v", i, row[3], err)
+		}
+		iter, _ := strconv.ParseInt(row[1], 10, 64)
+		ev, _ := strconv.ParseInt(row[4], 10, 64)
+		got := Sample{Device: row[0], Iteration: iter, Phase: row[2], SimSeconds: sim, Events: ev}
+		if got != s {
+			t.Fatalf("row %d: got %+v, want %+v", i, got, s)
+		}
 	}
 }
 
