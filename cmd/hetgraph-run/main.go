@@ -10,9 +10,14 @@
 //	hetgraph-run -graph pokec.adj -app pagerank -device both -partition pokec.part \
 //	    -checkpoint-every 1 -checkpoint-dir ./ckpt        # durable checkpoints
 //	hetgraph-run ... -checkpoint-dir ./ckpt -resume       # cold-start from them
+//	hetgraph-run ... -fault-plan 'rank1:flaky@3x2' -rejoin -checkpoint-every 1
+//	                                                      # degrade, then heal
+//
+// SIGINT/SIGTERM abort the run cleanly at the next superstep boundary: the
+// final checkpoint is captured and the -report JSON is still written.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flags or
-// invalid configuration).
+// invalid configuration), 130 aborted by SIGINT/SIGTERM.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hetgraph"
 )
@@ -33,6 +40,8 @@ const faultGrammar = `fault plan grammar (events separated by ';' or ','):
   rank<r>:panic@<step>:<phase>            panic in generate | process | update
   rank<r>:iofail@<step>:<op>              checkpoint commit fails: write | sync | rename
   rank<r>:torn@<step>                     checkpoint write silently truncated
+  rank<r>:flaky@<step>[x<down>]           rank r dies at <step>, recovers <down> supersteps later (default 1)
+  rank<r>:recover@<step>                  rank r recovered at <step> (pairs with an earlier failure)
 example: "rank1:drop@3;rank0:delay@2:5ms"  (see docs/robustness.md)`
 
 // usageError marks a configuration mistake (exit 2) as opposed to a
@@ -53,6 +62,10 @@ func main() {
 		var ioe *hetgraph.InvalidOptionsError
 		if errors.As(err, &ue) || errors.As(err, &ioe) {
 			os.Exit(2)
+		}
+		var aerr *hetgraph.RunAbortedError
+		if errors.As(err, &aerr) {
+			os.Exit(130)
 		}
 		os.Exit(1)
 	}
@@ -77,6 +90,7 @@ func run(args []string) error {
 		ckDir     = fs.String("checkpoint-dir", "", "flush checkpoints durably to this directory (atomic commits + manifest)")
 		ckRetain  = fs.Int("checkpoint-retain", 0, "on-disk checkpoint generations to keep (0 = default, min 2)")
 		resume    = fs.Bool("resume", false, "cold-start from the newest checkpoint in -checkpoint-dir")
+		rejoin    = fs.Bool("rejoin", false, "heal after a device failure: restart the failed rank from a checkpoint when the fault plan declares it recovered (requires -checkpoint-every or -checkpoint-dir)")
 		exTimeout = fs.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
 		faultPlan = fs.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
 		report    = fs.String("report", "", "write a versioned JSON run report (phases, counters, events) to this path")
@@ -89,6 +103,25 @@ func run(args []string) error {
 		fs.Usage()
 		return usagef("-graph is required")
 	}
+
+	// Graceful shutdown: SIGINT/SIGTERM stop the run cooperatively at the
+	// next superstep boundary — the final checkpoint is captured, the
+	// report/trace are still written, and the process exits 130. A second
+	// signal kills the process the default way (signal.Stop re-arms it).
+	abort := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "hetgraph-run: received %v, aborting at the next superstep boundary (report and final checkpoint still written; signal again to kill)\n", s)
+		signal.Stop(sigc)
+		close(abort)
+	}()
+
 	g, err := hetgraph.LoadGraph(*graphPath)
 	if err != nil {
 		return err
@@ -130,7 +163,7 @@ func run(args []string) error {
 	}
 
 	if *appName == "semicluster" {
-		return runSC(g, *graphPath, *device, schemeOf(*scheme), *partPath, *iters, col, *report)
+		return runSC(g, *graphPath, *device, schemeOf(*scheme), *partPath, *iters, col, *report, abort)
 	}
 
 	var app hetgraph.AppF32
@@ -185,8 +218,10 @@ func run(args []string) error {
 		CheckpointDir:    *ckDir,
 		CheckpointRetain: *ckRetain,
 		Resume:           *resume,
+		Rejoin:           *rejoin,
 		ExchangeTimeout:  *exTimeout,
 		Fault:            inj,
+		Abort:            abort,
 	}
 	if col != nil {
 		// Assign through the guard: a nil *MetricsCollector stored in the
@@ -197,15 +232,19 @@ func run(args []string) error {
 		repConfig  []hetgraph.RunReportConfig
 		repDevices []hetgraph.RunReportDevice
 		repTotals  hetgraph.RunReportTotals
+		// abortErr is set when the run was stopped by SIGINT/SIGTERM: the
+		// partial result still flows into the summary and the report, and
+		// run() returns it at the end (exit 130).
+		abortErr *hetgraph.RunAbortedError
 	)
 	switch *device {
 	case "cpu", "mic":
-		if *ckDir != "" || *resume {
-			return usagef("-checkpoint-dir/-resume require -device both (the durable store backs the heterogeneous run)")
+		if *ckDir != "" || *resume || *rejoin {
+			return usagef("-checkpoint-dir/-resume/-rejoin require -device both (recovery backs the heterogeneous run)")
 		}
 		opt.Dev = devOf(*device)
 		res, err := hetgraph.Run(app, g, opt)
-		if err != nil {
+		if err != nil && !errors.As(err, &abortErr) {
 			return err
 		}
 		fmt.Printf("%s on %s (%v, vec=%v): %d iterations, sim %.6fs (gen %.6f, proc %.6f, upd %.6f), wall %.3fs\n",
@@ -217,7 +256,7 @@ func run(args []string) error {
 			Iterations: res.Iterations, Converged: res.Converged,
 			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
 		}
-		if *verify {
+		if *verify && abortErr == nil {
 			if err := verifyResult(*appName, app, g, *source, *iters); err != nil {
 				return err
 			}
@@ -236,7 +275,7 @@ func run(args []string) error {
 		optMIC := opt
 		optMIC.Dev = hetgraph.MIC()
 		res, err := hetgraph.RunHetero(app, g, assign, optCPU, optMIC)
-		if err != nil {
+		if err != nil && !errors.As(err, &abortErr) {
 			return err
 		}
 		fmt.Printf("%s on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
@@ -265,9 +304,18 @@ func run(args []string) error {
 			repTotals.ResumedSuperstep = res.ResumedSuperstep
 			repTotals.ResumedGeneration = res.ResumedGeneration
 		}
+		if res.Healed {
+			repTotals.Healed = true
+			repTotals.RejoinSuperstep = res.RejoinSuperstep
+		}
+		repTotals.DegradedSupersteps = res.DegradedSupersteps
 		if res.DiskResumed {
 			fmt.Printf("resumed: cold-started from %s generation %d (superstep %d)\n",
 				*ckDir, res.ResumedGeneration, res.ResumedSuperstep)
+		}
+		if res.Healed {
+			fmt.Printf("healed: rank %d rejoined at superstep %d after %d degraded supersteps\n",
+				res.FailedRank, res.RejoinSuperstep, res.DegradedSupersteps)
 		}
 		if res.Degraded {
 			at := "" // a panic failure carries no exchange superstep
@@ -277,7 +325,7 @@ func run(args []string) error {
 			fmt.Printf("degraded: rank %d failed%s; resumed single-device from checkpointed superstep %d (%d recovery iterations)\n",
 				res.FailedRank, at, res.ResumedSuperstep, res.Recovery.Iterations)
 		}
-		if *verify {
+		if *verify && abortErr == nil {
 			if err := verifyResult(*appName, app, g, *source, *iters); err != nil {
 				return err
 			}
@@ -313,6 +361,10 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if abortErr != nil {
+		fmt.Printf("aborted: run stopped at superstep %d (partial results above)\n", abortErr.Superstep)
+		return abortErr
+	}
 	return nil
 }
 
@@ -343,6 +395,7 @@ func reportConfigOf(rank int, o hetgraph.Options, faultPlan string) hetgraph.Run
 		CheckpointDir:     o.CheckpointDir,
 		CheckpointRetain:  o.CheckpointRetain,
 		Resume:            o.Resume,
+		Rejoin:            o.Rejoin,
 		ExchangeTimeoutNS: int64(o.ExchangeTimeout),
 		FaultPlan:         faultPlan,
 	}
@@ -391,12 +444,12 @@ func verifyResult(appName string, app hetgraph.AppF32, g *hetgraph.Graph, source
 	return nil
 }
 
-func runSC(g *hetgraph.Graph, graphPath, device string, scheme hetgraph.Scheme, partPath string, iters int, col *hetgraph.MetricsCollector, reportPath string) error {
+func runSC(g *hetgraph.Graph, graphPath, device string, scheme hetgraph.Scheme, partPath string, iters int, col *hetgraph.MetricsCollector, reportPath string, abort <-chan struct{}) error {
 	if iters == 0 {
 		iters = 5
 	}
 	app := hetgraph.NewSemiClustering(3, 4, 0.2)
-	opt := hetgraph.Options{Scheme: scheme, MaxIterations: iters}
+	opt := hetgraph.Options{Scheme: scheme, MaxIterations: iters, Abort: abort}
 	if col != nil {
 		opt.Metrics = col
 	}

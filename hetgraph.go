@@ -212,6 +212,9 @@ type (
 	// InvalidOptionsError reports a rejected Options field or nil
 	// app/graph argument at Run entry.
 	InvalidOptionsError = core.InvalidOptionsError
+	// RunAbortedError reports a run stopped cooperatively via Options.Abort
+	// at a superstep boundary; the accompanying result is the partial run.
+	RunAbortedError = core.RunAbortedError
 	// Snapshotter is implemented by applications whose vertex state can be
 	// checkpointed (required when Options.CheckpointEvery > 0). The bundled
 	// PageRank, BFS, SSSP, and ConnectedComponents apps implement it.
@@ -220,10 +223,12 @@ type (
 
 // Fault kinds and phases for hand-built plans.
 const (
-	FaultDrop  = fault.KindDrop
-	FaultDelay = fault.KindDelay
-	FaultFail  = fault.KindFail
-	FaultPanic = fault.KindPanic
+	FaultDrop    = fault.KindDrop
+	FaultDelay   = fault.KindDelay
+	FaultFail    = fault.KindFail
+	FaultPanic   = fault.KindPanic
+	FaultFlaky   = fault.KindFlaky
+	FaultRecover = fault.KindRecover
 
 	FaultPhaseGenerate = fault.PhaseGenerate
 	FaultPhaseProcess  = fault.PhaseProcess

@@ -403,6 +403,16 @@ func (c *Coordinator) MarkDead(rank int) {
 	c.deadOnce.Do(func() { close(c.deadCh) })
 }
 
+// Reopen re-arms a coordinator whose barrier was torn down by MarkDead so
+// the two-party Due barrier works again after a degrade→heal cycle.
+// Supervisor-only: call it between run segments, when no rank goroutine is
+// blocked in Due/InitialAt — reopening while a barrier wait is parked on the
+// old dead channel would strand it.
+func (c *Coordinator) Reopen() {
+	c.deadOnce = sync.Once{}
+	c.deadCh = make(chan struct{})
+}
+
 // Latest returns the most recent checkpoint (nil if none was taken).
 func (c *Coordinator) Latest() *Snapshot {
 	c.mu.Lock()

@@ -14,6 +14,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetgraph/internal/fault"
@@ -28,10 +29,15 @@ type Msg[T any] struct {
 }
 
 // packet is one exchange round's payload: the combined messages plus the
-// sender's active-vertex count, which the BSP termination check needs.
+// sender's active-vertex count, which the BSP termination check needs. Every
+// packet is stamped with the net's communication epoch and the sender's
+// superstep sequence number, so a receiver can reject a payload left behind
+// by a rank that died mid-round instead of consuming it as live data.
 type packet[T any] struct {
 	msgs   []Msg[T]
 	active int64
+	epoch  uint64
+	seq    int64
 }
 
 // DeviceFailedError reports that a rank died, stalled past the exchange
@@ -83,6 +89,22 @@ type Net[T any] struct {
 	// resume[r] carries rank r's restored checkpoint generation during the
 	// cold-start resume handshake.
 	resume [2]chan uint64
+	// epoch is the current communication epoch, bumped by NewEpoch on every
+	// rejoin. Exchange stamps outgoing packets with it and rejects received
+	// packets from any other epoch (or the wrong superstep) as stale.
+	epoch atomic.Uint64
+	// rejoin[r] carries rank r's (epoch, generation, superstep) triple
+	// during the mid-run rejoin handshake.
+	rejoin [2]chan rejoinInfo
+}
+
+// rejoinInfo is one rank's view of the rejoin agreement: the new epoch, the
+// checkpoint generation the restart is based on, and the superstep lockstep
+// resumes at.
+type rejoinInfo struct {
+	epoch uint64
+	gen   uint64
+	step  int64
 }
 
 // NewNet creates the interconnect. msgBytes is the wire size of one
@@ -100,7 +122,36 @@ func NewNet[T any](link machine.Link, msgBytes int) (*Net[T], error) {
 	n.dead[1] = make(chan struct{})
 	n.resume[0] = make(chan uint64, 1)
 	n.resume[1] = make(chan uint64, 1)
+	n.rejoin[0] = make(chan rejoinInfo, 1)
+	n.rejoin[1] = make(chan rejoinInfo, 1)
 	return n, nil
+}
+
+// Epoch returns the current communication epoch (0 until the first rejoin).
+func (n *Net[T]) Epoch() uint64 { return n.epoch.Load() }
+
+// NewEpoch opens a new communication epoch for a rejoin: both ranks' dead
+// markers are cleared, stale handshake slots are drained, and the epoch
+// counter is bumped. Data channels are deliberately left alone — a payload
+// the dead rank (or its stranded peer) left behind carries the old epoch
+// stamp and is rejected by Exchange's receive loop (counted in
+// Stats.StaleDrops), which exercises the same fencing that protects
+// overlapping rounds. Must only be called while no rank goroutine is
+// running: the supervisor owns the net between lockstep segments.
+func (n *Net[T]) NewEpoch() uint64 {
+	for r := 0; r < 2; r++ {
+		n.dead[r] = make(chan struct{})
+		n.deadOnce[r] = sync.Once{}
+		select {
+		case <-n.resume[r]:
+		default:
+		}
+		select {
+		case <-n.rejoin[r]:
+		default:
+		}
+	}
+	return n.epoch.Add(1)
 }
 
 // SetTimeout bounds every subsequent Exchange round; 0 restores unbounded
@@ -168,6 +219,11 @@ type Stats struct {
 	// Retries is the number of transient link faults retried away this
 	// round.
 	Retries int64
+	// StaleDrops is the number of received packets rejected this round for
+	// carrying a previous epoch or the wrong superstep sequence number —
+	// leftovers of a rank that died mid-round, fenced off after a rejoin
+	// instead of delivered as live data.
+	StaleDrops int64
 }
 
 // Exchange ships this rank's combined remote messages and local
@@ -232,7 +288,8 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 		timeoutC = timer.C
 	}
 
-	pkt := packet[T]{msgs: msgs, active: activeLocal}
+	epoch := n.epoch.Load()
+	pkt := packet[T]{msgs: msgs, active: activeLocal, epoch: epoch, seq: step}
 	select {
 	case n.chans[e.rank] <- pkt:
 	case <-n.dead[peer]:
@@ -244,22 +301,33 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 		return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange send timed out after %s", n.timeout)}
 	}
 
+	// Receive, fencing off stale payloads: a packet stamped with a previous
+	// epoch (or the wrong superstep) is a leftover from before a failure —
+	// a rank that died mid-round may have parked its last send in the
+	// channel — and is counted and dropped, never delivered.
 	var p packet[T]
-	select {
-	case p = <-n.chans[peer]:
-	case <-n.dead[peer]:
-		// The peer died, but it may have sent this round's payload before
-		// dying — drain it if so, otherwise the round is lost.
+recv:
+	for {
 		select {
 		case p = <-n.chans[peer]:
-		default:
-			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died mid-round"}
+		case <-n.dead[peer]:
+			// The peer died, but it may have sent this round's payload
+			// before dying — drain it if so, otherwise the round is lost.
+			select {
+			case p = <-n.chans[peer]:
+			default:
+				return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died mid-round"}
+			}
+		case <-n.dead[e.rank]:
+			return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
+		case <-timeoutC:
+			n.markDead(peer)
+			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange timed out after %s", n.timeout)}
 		}
-	case <-n.dead[e.rank]:
-		return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
-	case <-timeoutC:
-		n.markDead(peer)
-		return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange timed out after %s", n.timeout)}
+		if p.epoch == epoch && p.seq == step {
+			break recv
+		}
+		st.StaleDrops++
 	}
 
 	perMsg := int64(n.msgBytes + 4)
@@ -340,6 +408,63 @@ func (e *Endpoint[T]) ResumeHandshake(gen uint64) (uint64, error) {
 			e.rank, gen, peer, peerGen)
 	}
 	return peerGen, nil
+}
+
+// RejoinHandshake re-admits a restarted rank at a superstep barrier after a
+// degrade→heal cycle. Both ranks exchange the (epoch, checkpoint generation,
+// restart superstep) triple they believe the healed run resumes under and
+// must agree on all three; the epoch must also match the net's current epoch
+// as bumped by the supervisor's NewEpoch. Mirrors ResumeHandshake: bounded
+// by the net's timeout and by peer death.
+func (e *Endpoint[T]) RejoinHandshake(epoch, gen uint64, step int64) error {
+	n := e.net
+	peer := 1 - e.rank
+
+	if cur := n.epoch.Load(); cur != epoch {
+		return fmt.Errorf("comm: rejoin epoch mismatch: rank %d expects epoch %d, net is at epoch %d",
+			e.rank, epoch, cur)
+	}
+
+	var timeoutC <-chan time.Time
+	if n.timeout > 0 {
+		timer := time.NewTimer(n.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+
+	info := rejoinInfo{epoch: epoch, gen: gen, step: step}
+	select {
+	case n.rejoin[e.rank] <- info:
+	case <-n.dead[peer]:
+		return &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer dead before rejoin handshake"}
+	case <-n.dead[e.rank]:
+		return &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
+	case <-timeoutC:
+		n.markDead(peer)
+		return &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("rejoin handshake send timed out after %s", n.timeout)}
+	}
+
+	var peerInfo rejoinInfo
+	select {
+	case peerInfo = <-n.rejoin[peer]:
+	case <-n.dead[peer]:
+		select {
+		case peerInfo = <-n.rejoin[peer]:
+		default:
+			return &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died during rejoin handshake"}
+		}
+	case <-n.dead[e.rank]:
+		return &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
+	case <-timeoutC:
+		n.markDead(peer)
+		return &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("rejoin handshake timed out after %s", n.timeout)}
+	}
+
+	if peerInfo != info {
+		return fmt.Errorf("comm: rejoin mismatch: rank %d at (epoch %d, gen %d, step %d), rank %d at (epoch %d, gen %d, step %d)",
+			e.rank, info.epoch, info.gen, info.step, peer, peerInfo.epoch, peerInfo.gen, peerInfo.step)
+	}
+	return nil
 }
 
 // Rank returns this endpoint's rank.

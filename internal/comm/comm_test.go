@@ -571,6 +571,170 @@ func TestResumeHandshakeDeadPeer(t *testing.T) {
 	}
 }
 
+func TestExchangeDropsStaleEpochPacket(t *testing.T) {
+	// A packet left in flight by a failed rank carries the old epoch; after
+	// a rejoin bumps the epoch, the receiver must count-and-drop it rather
+	// than deliver it as superstep payload.
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.chans[1] <- packet[float32]{
+		msgs:   []Msg[float32]{{Dst: 9, Val: 99}},
+		active: 42,
+		epoch:  n.Epoch(),
+		seq:    0,
+	}
+	n.NewEpoch()
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var recv0 []Msg[float32]
+	var act0 int64
+	var st0, st1 Stats
+	var err0, err1 error
+	go func() {
+		defer wg.Done()
+		recv0, act0, st0, err0 = e0.Exchange(nil, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		_, _, st1, err1 = e1.Exchange([]Msg[float32]{{Dst: 3, Val: 7}}, 1)
+	}()
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("exchange errors: %v / %v", err0, err1)
+	}
+	if len(recv0) != 1 || recv0[0].Dst != 3 || recv0[0].Val != 7 {
+		t.Fatalf("rank 0 received %v, want only the fresh-epoch payload", recv0)
+	}
+	if act0 != 1 {
+		t.Errorf("activeRemote = %d leaked from the stale packet, want 1", act0)
+	}
+	if st0.StaleDrops != 1 {
+		t.Errorf("rank 0 StaleDrops = %d, want 1", st0.StaleDrops)
+	}
+	if st1.StaleDrops != 0 {
+		t.Errorf("rank 1 StaleDrops = %d, want 0", st1.StaleDrops)
+	}
+}
+
+func TestExchangeDropsWrongSeqPacket(t *testing.T) {
+	// Same fence, other dimension: a current-epoch packet with the wrong
+	// superstep sequence number (e.g. a duplicate from a replayed rank) is
+	// dropped, not delivered.
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.chans[1] <- packet[float32]{
+		msgs:  []Msg[float32]{{Dst: 1, Val: 11}},
+		epoch: n.Epoch(),
+		seq:   5,
+	}
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var recv0 []Msg[float32]
+	var st0 Stats
+	go func() { defer wg.Done(); recv0, _, st0, _ = e0.Exchange(nil, 0) }()
+	go func() { defer wg.Done(); _, _, _, _ = e1.Exchange(nil, 0) }()
+	wg.Wait()
+	if len(recv0) != 0 {
+		t.Fatalf("rank 0 received %v from a wrong-seq packet", recv0)
+	}
+	if st0.StaleDrops != 1 {
+		t.Errorf("StaleDrops = %d, want 1", st0.StaleDrops)
+	}
+}
+
+func TestRejoinHandshakeAgree(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	epoch := n.NewEpoch()
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		ep, _ := n.Endpoint(r)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ep.RejoinHandshake(epoch, 3, 7); err != nil {
+				t.Errorf("rejoin handshake: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRejoinHandshakeMismatch(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	epoch := n.NewEpoch()
+	steps := [2]int64{7, 8}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		ep, _ := n.Endpoint(r)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = ep.RejoinHandshake(epoch, 3, steps[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d accepted mismatched rejoin supersteps", r)
+		}
+		if !strings.Contains(err.Error(), "mismatch") {
+			t.Fatalf("rank %d: %v, want rejoin mismatch", r, err)
+		}
+	}
+}
+
+func TestRejoinHandshakeWrongEpoch(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.NewEpoch()
+	ep, _ := n.Endpoint(0)
+	if err := ep.RejoinHandshake(99, 0, 0); err == nil {
+		t.Fatal("accepted a handshake for an epoch the net is not in")
+	}
+}
+
+func TestRejoinHandshakeDeadPeer(t *testing.T) {
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	n.SetTimeout(50 * time.Millisecond)
+	epoch := n.NewEpoch()
+	ep0, _ := n.Endpoint(0)
+	ep1, _ := n.Endpoint(1)
+	ep1.Abort()
+	err := ep0.RejoinHandshake(epoch, 1, 2)
+	var dfe *DeviceFailedError
+	if !errors.As(err, &dfe) || dfe.Rank != 1 {
+		t.Fatalf("rejoin with dead peer: %v, want *DeviceFailedError{Rank: 1}", err)
+	}
+}
+
+func TestNewEpochClearsDeadMarkers(t *testing.T) {
+	// NewEpoch must make a previously-declared-dead net usable again: after
+	// the bump, a normal exchange succeeds where it would have failed fast.
+	n, _ := NewNet[float32](machine.PCIe(), 4)
+	e0, _ := n.Endpoint(0)
+	e1, _ := n.Endpoint(1)
+	e1.Abort()
+	if _, _, _, err := e0.Exchange(nil, 0); err == nil {
+		t.Fatal("exchange against an aborted peer succeeded")
+	}
+	n.NewEpoch()
+	f0, _ := n.Endpoint(0)
+	f1, _ := n.Endpoint(1)
+	f0.SetStep(1)
+	f1.SetStep(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var err0, err1 error
+	go func() { defer wg.Done(); _, _, _, err0 = f0.Exchange(nil, 0) }()
+	go func() { defer wg.Done(); _, _, _, err1 = f1.Exchange(nil, 0) }()
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("post-NewEpoch exchange failed: %v / %v", err0, err1)
+	}
+}
+
 func TestSetStepAlignsRounds(t *testing.T) {
 	n, _ := NewNet[float32](machine.PCIe(), 4)
 	ep, _ := n.Endpoint(0)

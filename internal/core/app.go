@@ -178,6 +178,20 @@ type Options struct {
 	// delays, transient link failures, user-function panics) into the run.
 	// Hetero runs use the first non-nil injector across the two options.
 	Fault *fault.Injector
+	// Rejoin lets a heterogeneous run heal after single-device degradation:
+	// when the fault plan declares the failed rank recovered (flaky/recover
+	// events), the supervisor restarts its engine from the newest
+	// checkpoint and re-admits it at a superstep barrier. Requires
+	// CheckpointEvery > 0 or a CheckpointDir — rejoin replays the restarted
+	// rank from a checkpoint, so a run that never captures one cannot heal
+	// (InvalidOptionsError otherwise). Hetero runs OR the flag across the
+	// two device options.
+	Rejoin bool
+	// Abort, when non-nil, requests a cooperative shutdown: the run stops
+	// at the next superstep boundary once the channel is closed, captures a
+	// final checkpoint when checkpointing is configured, and returns the
+	// partial Result alongside a *RunAbortedError.
+	Abort <-chan struct{}
 }
 
 // DefaultMaxIterations guards against non-terminating vertex programs.
@@ -262,7 +276,36 @@ func (o Options) validate() error {
 	if o.ExchangeTimeout < 0 {
 		return &InvalidOptionsError{Field: "ExchangeTimeout", Reason: fmt.Sprintf("%s < 0", o.ExchangeTimeout)}
 	}
+	if o.Rejoin && o.CheckpointEvery == 0 && o.CheckpointDir == "" {
+		return &InvalidOptionsError{Field: "Rejoin", Reason: "requires CheckpointEvery > 0 or CheckpointDir: rejoin replays the restarted rank from a checkpoint, and a run that never captures one cannot heal"}
+	}
 	return nil
+}
+
+// RunAbortedError reports a run stopped cooperatively via Options.Abort at a
+// superstep boundary. The accompanying Result holds the partial run up to
+// Superstep; when checkpointing is configured the final state was captured
+// first, so the run can be resumed later.
+type RunAbortedError struct {
+	// Superstep is the boundary the run stopped at (completed supersteps).
+	Superstep int64
+}
+
+func (e *RunAbortedError) Error() string {
+	return fmt.Sprintf("core: run aborted at superstep %d", e.Superstep)
+}
+
+// abortRequested reports whether the abort channel is closed.
+func abortRequested(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // validateRunArgs rejects nil app/graph arguments with a typed error before

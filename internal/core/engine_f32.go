@@ -459,6 +459,15 @@ func runF32Loop(d *deviceF32, active []graph.VertexID, maxIter int) (Result, err
 			res.Converged = true
 			break
 		}
+		if abortRequested(d.opt.Abort) {
+			emitEvent(d.opt.Metrics, metrics.Event{
+				Kind: metrics.EventRunAborted, Rank: d.rank,
+				Superstep: int64(iter), Detail: "cooperative abort at superstep boundary",
+			})
+			res.SimSeconds = res.Phases.Total()
+			res.WallSeconds = time.Since(start).Seconds()
+			return res, &RunAbortedError{Superstep: int64(iter)}
+		}
 		next, c, pt, err := d.runIteration(active)
 		if err != nil {
 			// Attribute the failure to its superstep and return the result

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -288,6 +289,15 @@ func RunGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options) (Result, er
 			res.Converged = true
 			break
 		}
+		if abortRequested(d.opt.Abort) {
+			emitEvent(d.opt.Metrics, metrics.Event{
+				Kind: metrics.EventRunAborted, Rank: d.rank,
+				Superstep: int64(iter), Detail: "cooperative abort at superstep boundary",
+			})
+			res.SimSeconds = res.Phases.Total()
+			res.WallSeconds = time.Since(start).Seconds()
+			return res, &RunAbortedError{Superstep: int64(iter)}
+		}
 		var c machine.Counters
 		c.Iterations = 1
 		d.buf.Reset()
@@ -359,8 +369,10 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 	net.SetTimeout(cfg.timeout)
 	net.SetInjector(cfg.inj)
 	opts := [2]Options{optDev0, optDev1}
-	// Both devices consult the resolved injector for in-phase events.
+	// Both devices consult the resolved injector for in-phase events and
+	// the merged abort channel for cooperative shutdown.
 	opts[0].Fault, opts[1].Fault = cfg.inj, cfg.inj
+	opts[0].Abort, opts[1].Abort = cfg.abort, cfg.abort
 	devs := [2]*deviceGeneric[T]{}
 	for r := 0; r < 2; r++ {
 		ep, err := net.Endpoint(r)
@@ -407,6 +419,10 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 				runErr[r] = err
 			}
 			for iter := 0; iter < maxIter; iter++ {
+				if abortRequested(d.opt.Abort) {
+					runErr[r] = &RunAbortedError{Superstep: int64(iter)}
+					return
+				}
 				d.step = int64(iter)
 				var c machine.Counters
 				var pt PhaseTimes
@@ -469,6 +485,17 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 		}(r)
 	}
 	wg.Wait()
+	// An abort takes precedence over the peer's collateral failure error.
+	for r := 0; r < 2; r++ {
+		var aerr *RunAbortedError
+		if errors.As(runErr[r], &aerr) {
+			emitEvent(cfg.sink, metrics.Event{
+				Kind: metrics.EventRunAborted, Rank: -1, Superstep: aerr.Superstep,
+				Detail: fmt.Sprintf("cooperative abort at superstep boundary %d", aerr.Superstep),
+			})
+			return HeteroResult{}, aerr
+		}
+	}
 	for r := 0; r < 2; r++ {
 		if runErr[r] != nil {
 			return HeteroResult{}, runErr[r]

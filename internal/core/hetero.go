@@ -22,11 +22,13 @@ type HeteroResult struct {
 	Iterations int64
 	Converged  bool
 	// Dev holds each device's own result (its counters and phase times).
-	// In a degraded run these cover only the iterations before the failure.
+	// In a degraded run these cover only the iterations before the failure;
+	// in a healed run the restarted rank's result covers its lockstep
+	// supersteps (pre-failure plus post-rejoin).
 	Dev [2]Result
 	// ExecSeconds is sum_i max(dev0_i, dev1_i) over compute phases. In a
-	// degraded run it covers the lockstep iterations up to the restored
-	// checkpoint plus the single-device continuation's compute time.
+	// degraded or healed run it covers the lockstep iterations up to each
+	// restored checkpoint plus the single-device windows' compute time.
 	ExecSeconds float64
 	// CommSeconds is the modeled PCIe exchange time (including the
 	// per-iteration active-count allreduce).
@@ -36,10 +38,13 @@ type HeteroResult struct {
 	// WallSeconds is host wall-clock time.
 	WallSeconds float64
 
-	// Degraded is true when one device failed mid-run and the survivor
-	// finished the run single-device from the last checkpoint.
+	// Degraded is true when one device failed mid-run and the run *ended*
+	// single-device: the survivor restored the last checkpoint and finished
+	// alone. A run that degraded but healed (see Healed) ends with
+	// Degraded=false.
 	Degraded bool
-	// FailedRank is the rank that failed (-1 when no failure).
+	// FailedRank is the rank that failed (-1 when no failure; the latest
+	// failure when there were several).
 	FailedRank int
 	// FailedSuperstep is the superstep at which the failure was detected
 	// (-1 if it could not be attributed to a specific superstep).
@@ -48,8 +53,10 @@ type HeteroResult struct {
 	// from; supersteps in (ResumedSuperstep, failure) were recomputed. For
 	// a disk-resumed run it is the superstep the cold start restored.
 	ResumedSuperstep int64
-	// Recovery is the single-device continuation's result (zero unless
-	// Degraded).
+	// Recovery is the single-device result accumulated while the run was
+	// degraded (zero unless a failure occurred): the permanent continuation,
+	// or — with Options.Rejoin — the degraded windows between failure and
+	// rejoin.
 	Recovery Result
 
 	// DiskResumed is true when the run cold-started from an on-disk
@@ -58,6 +65,19 @@ type HeteroResult struct {
 	// ResumedGeneration is the store generation the cold start restored
 	// from (zero unless DiskResumed).
 	ResumedGeneration uint64
+
+	// Healed is true when a failed rank was restarted and re-admitted at a
+	// superstep barrier (Options.Rejoin), returning the run to two-device
+	// lockstep. Healed stays true even if a later failure degraded the run
+	// again.
+	Healed bool
+	// RejoinSuperstep is the superstep barrier the restarted rank rejoined
+	// at (zero unless Healed; the latest rejoin when there were several).
+	RejoinSuperstep int64
+	// DegradedSupersteps counts the supersteps executed single-device while
+	// the run was degraded — the permanent continuation's supersteps, or
+	// the rejoin-mode degraded windows'.
+	DegradedSupersteps int64
 }
 
 // validAssign checks a device assignment vector against g.
@@ -95,14 +115,16 @@ type robustnessConfig struct {
 	dir     string
 	retain  int
 	resume  bool
+	rejoin  bool
+	abort   <-chan struct{}
 	// sink receives run-level events (checkpoints, failures, degradation,
 	// resume); per-device phase samples go to each option's own sink.
 	sink metrics.Sink
 }
 
 // resolveFaultConfig merges the robustness settings of the two device
-// options: the first non-zero/non-nil value wins (Resume is an OR — either
-// side asking for a cold start makes the run one).
+// options: the first non-zero/non-nil value wins (Resume and Rejoin are ORs
+// — either side asking makes the run one).
 func resolveFaultConfig(o0, o1 Options) robustnessConfig {
 	c := robustnessConfig{
 		timeout: o0.ExchangeTimeout,
@@ -111,6 +133,8 @@ func resolveFaultConfig(o0, o1 Options) robustnessConfig {
 		dir:     o0.CheckpointDir,
 		retain:  o0.CheckpointRetain,
 		resume:  o0.Resume || o1.Resume,
+		rejoin:  o0.Rejoin || o1.Rejoin,
+		abort:   o0.Abort,
 		sink:    o0.Metrics,
 	}
 	if c.timeout == 0 {
@@ -127,6 +151,9 @@ func resolveFaultConfig(o0, o1 Options) robustnessConfig {
 	}
 	if c.retain == 0 {
 		c.retain = o1.CheckpointRetain
+	}
+	if c.abort == nil {
+		c.abort = o1.Abort
 	}
 	if c.sink == nil {
 		c.sink = o1.Metrics
@@ -164,6 +191,18 @@ func blameRank(r int, err error) int {
 // rank's partition, and finishes the run single-device; the result records
 // the degradation. Without checkpointing a device failure is returned as an
 // error (typically a *comm.DeviceFailedError) instead of deadlocking.
+//
+// With Options.Rejoin the run additionally heals: while degraded, the
+// supervisor polls the fault plan for the failed rank's recovery
+// (flaky/recover events); on recovery it restarts the rank's engine, replays
+// it from a fresh checkpoint at the rejoin boundary, opens a new comm epoch
+// (fencing off stale packets from before the failure), and re-admits the
+// rank at a RejoinHandshake barrier, returning the run to two-device
+// lockstep.
+//
+// Options.Abort, when closed, stops the run cooperatively at the next
+// superstep boundary: a final checkpoint is captured when possible and the
+// partial result is returned with a *RunAbortedError.
 func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Options) (HeteroResult, error) {
 	start := time.Now()
 	if err := validateRunArgs(app, g); err != nil {
@@ -177,12 +216,29 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		return HeteroResult{}, err
 	}
 	cfg := resolveFaultConfig(optDev0, optDev1)
+	if cfg.rejoin && cfg.every == 0 && cfg.dir == "" {
+		return HeteroResult{}, &InvalidOptionsError{
+			Field:  "Rejoin",
+			Reason: "requires CheckpointEvery > 0 or CheckpointDir: rejoin replays the restarted rank from a checkpoint, and a run that never captures one cannot heal",
+		}
+	}
 	net.SetTimeout(cfg.timeout)
 	net.SetInjector(cfg.inj)
 	opts := [2]Options{optDev0, optDev1}
-	// The resolved injector governs the whole run: both devices consult it
-	// for in-phase (panic) events, whichever option carried it.
-	opts[0].Fault, opts[1].Fault = cfg.inj, cfg.inj
+	// The merged robustness settings govern the whole run; propagate them
+	// onto both options so the engines (in-phase fault injection, abort
+	// checks) and per-option validation see one consistent configuration
+	// regardless of which option carried each knob.
+	for r := range opts {
+		opts[r].Fault = cfg.inj
+		opts[r].ExchangeTimeout = cfg.timeout
+		opts[r].CheckpointEvery = cfg.every
+		opts[r].CheckpointDir = cfg.dir
+		opts[r].CheckpointRetain = cfg.retain
+		opts[r].Resume = cfg.resume
+		opts[r].Rejoin = cfg.rejoin
+		opts[r].Abort = cfg.abort
+	}
 	devs := [2]*deviceF32{}
 	for r := 0; r < 2; r++ {
 		ep, err := net.Endpoint(r)
@@ -199,8 +255,8 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		maxIter = devs[1].opt.MaxIterations
 	}
 
-	// Checkpointing (in-memory or durable) and resume all need the app to
-	// snapshot/restore its state.
+	// Checkpointing (in-memory or durable), resume, and rejoin all need the
+	// app to snapshot/restore its state.
 	var snapper checkpoint.Snapshotter
 	if cfg.every > 0 || cfg.dir != "" {
 		var ok bool
@@ -253,7 +309,6 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 			Detail: fmt.Sprintf("cold start from %s generation %d", cfg.dir, gen),
 		})
 	}
-	actives := [2][]graph.VertexID{a0, a1}
 
 	var coord *checkpoint.Coordinator
 	if cfg.every > 0 {
@@ -271,50 +326,294 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		}
 	}
 
-	var (
-		res       HeteroResult
-		iterTimes [2][]float64 // per-iteration compute time per device
-		wg        sync.WaitGroup
-		runErr    [2]error
-	)
-	res.FailedRank = -1
-	res.FailedSuperstep = -1
-	res.DiskResumed = cfg.resume
-	res.ResumedGeneration = resumedGen
-	if cfg.resume {
-		res.ResumedSuperstep = resumeFrom
+	h := &heteroF32{
+		app: app, g: g, assign: assign, net: net, cfg: cfg, opts: opts,
+		snapper: snapper, coord: coord, store: store,
+		maxIter: maxIter, start: start, lastRejoin: -1,
 	}
+	h.res.FailedRank = -1
+	h.res.FailedSuperstep = -1
+	h.res.DiskResumed = cfg.resume
+	h.res.ResumedGeneration = resumedGen
+	if cfg.resume {
+		h.res.ResumedSuperstep = resumeFrom
+	}
+	var handshake func(*deviceF32) error
+	if cfg.resume {
+		handshake = func(d *deviceF32) error {
+			// Both ranks must have restored the same store generation, and
+			// from here on exchange rounds (and the fault plan's step
+			// indices) count absolute supersteps.
+			if _, err := d.ep.ResumeHandshake(resumedGen); err != nil {
+				return err
+			}
+			d.ep.SetStep(resumeFrom)
+			return nil
+		}
+	}
+	return h.run(devs, [2][]graph.VertexID{a0, a1}, resumeFrom, handshake)
+}
+
+// heteroF32 supervises one heterogeneous run: it drives lockstep segments,
+// attributes failures, degrades to the survivor, and (with Options.Rejoin)
+// heals the run by restarting the failed rank and re-admitting it at a
+// superstep barrier under a new comm epoch.
+type heteroF32 struct {
+	app     AppF32
+	g       *graph.CSR
+	assign  []int32
+	net     *comm.Net[float32]
+	cfg     robustnessConfig
+	opts    [2]Options
+	snapper checkpoint.Snapshotter
+	coord   *checkpoint.Coordinator
+	store   *checkpoint.Store
+	maxIter int
+	start   time.Time
+
+	res  HeteroResult
+	exec float64 // accumulated compute seconds (lockstep max-pairs + degraded windows)
+	// lastRejoin guards rejoin progress: a new rejoin only happens at a
+	// strictly later superstep, so a deterministically failing rejoin cannot
+	// loop forever (at least one degraded superstep separates attempts,
+	// bounded by maxIter).
+	lastRejoin int64
+}
+
+// run is the supervisor loop: lockstep segments separated by failure
+// handling, and (in rejoin mode) degraded windows that may end in a rejoin.
+func (h *heteroF32) run(devs [2]*deviceF32, actives [2][]graph.VertexID, from int64, handshake func(*deviceF32) error) (HeteroResult, error) {
+	for {
+		seg := h.runSegment(devs, actives, from, handshake)
+		handshake = nil
+
+		// Cooperative abort: a rank saw Options.Abort closed at a superstep
+		// boundary (the peer usually exits with a collateral peer-death
+		// error, which the abort takes precedence over).
+		if step, ok := segmentAbortStep(seg); ok {
+			h.exec += lockstepSeconds(seg.iterTimes, len(seg.iterTimes[0]))
+			// Best-effort final checkpoint: only when both ranks stopped at
+			// the same boundary is the shared state a consistent snapshot.
+			if h.coord != nil && seg.abortStep[0] == seg.abortStep[1] {
+				_ = h.coord.InitialAt(step, seg.frontier[0], seg.frontier[1])
+			}
+			emitEvent(h.cfg.sink, metrics.Event{
+				Kind: metrics.EventRunAborted, Rank: -1, Superstep: step,
+				Detail: fmt.Sprintf("cooperative abort at superstep boundary %d", step),
+			})
+			h.res.Iterations = step
+			return h.finalize(), &RunAbortedError{Superstep: step}
+		}
+
+		if seg.runErr[0] == nil && seg.runErr[1] == nil {
+			// Clean finish: both loops ran to convergence or maxIter.
+			h.exec += lockstepSeconds(seg.iterTimes, len(seg.iterTimes[0]))
+			h.res.Iterations = from + seg.iters[0]
+			h.res.Converged = h.res.Dev[0].Converged && h.res.Dev[1].Converged
+			return h.finalize(), nil
+		}
+
+		// A failed durable commit is not a device failure: the storage path
+		// is shared, so degrading to a single device would keep hitting the
+		// same broken disk. Treat it like a process crash — abort the whole
+		// run; the previously committed generations are intact and a restart
+		// with Options.Resume picks the run back up.
+		for r := 0; r < 2; r++ {
+			var serr *checkpoint.StoreError
+			if errors.As(seg.runErr[r], &serr) {
+				err := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", seg.runErr[r])
+				emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: r, Superstep: -1, Detail: err.Error()})
+				return HeteroResult{}, err
+			}
+		}
+
+		// Resolve the failed rank. Both loops usually error (the survivor's
+		// error names the dead peer), and their verdicts must agree; a lone
+		// error also identifies the failure (the peer finished its loop
+		// before noticing).
+		failed := -1
+		failedStep := int64(-1)
+		var firstErr error
+		for r := 0; r < 2; r++ {
+			if seg.runErr[r] == nil {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = seg.runErr[r]
+			}
+			b := blameRank(r, seg.runErr[r])
+			if failed == -1 {
+				failed = b
+			} else if failed != b {
+				err := fmt.Errorf("core: both devices failed, cannot degrade: rank 0: %v; rank 1: %v", seg.runErr[0], seg.runErr[1])
+				emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: -1, Superstep: -1, Detail: err.Error()})
+				return HeteroResult{}, err
+			}
+			var dfe *comm.DeviceFailedError
+			if errors.As(seg.runErr[r], &dfe) && dfe.Rank == b {
+				failedStep = dfe.Superstep
+			}
+		}
+		emitEvent(h.cfg.sink, metrics.Event{
+			Kind: metrics.EventDeviceFailed, Rank: failed, Superstep: failedStep,
+			Detail: firstErr.Error(),
+		})
+		if h.coord == nil {
+			return HeteroResult{}, firstErr
+		}
+		snap, err := h.coord.Restore()
+		if err != nil {
+			return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery failed: %w", firstErr, err)
+		}
+		// Simulated time: lockstep pairs up to the restored checkpoint (work
+		// past it was recomputed and is not double-counted; iterTimes index
+		// supersteps relative to the segment's start).
+		h.exec += lockstepSeconds(seg.iterTimes, int(snap.Superstep-from))
+
+		survivor := 1 - failed
+		h.res.FailedRank = failed
+		h.res.FailedSuperstep = failedStep
+		h.res.ResumedSuperstep = snap.Superstep
+
+		// The continuation is a fresh single-device engine: no assignment, no
+		// endpoint, and no fault injection (the plan described the
+		// heterogeneous run; re-firing its events against the survivor would
+		// kill recovery).
+		ropt := h.opts[survivor]
+		ropt.Fault = nil
+		sd, err := newDeviceF32(h.app, h.g, ropt, 0, nil, nil)
+		if err != nil {
+			return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery engine failed: %w", firstErr, err)
+		}
+		emitEvent(h.cfg.sink, metrics.Event{
+			Kind: metrics.EventDegraded, Rank: failed, Superstep: snap.Superstep,
+			Detail: fmt.Sprintf("rank %d survives; restored checkpointed superstep %d, continuing single-device", survivor, snap.Superstep),
+		})
+
+		if !h.cfg.rejoin {
+			return h.runPermanentDegraded(sd, snap, firstErr)
+		}
+
+		// Rejoin mode: run the survivor superstep-at-a-time, polling the
+		// fault plan for the failed rank's recovery.
+		w, err := h.runDegradedWindow(sd, failed, failedStep, snap)
+		if err != nil {
+			var serr *checkpoint.StoreError
+			if errors.As(err, &serr) {
+				aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
+				emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
+				return HeteroResult{}, aerr
+			}
+			return HeteroResult{}, fmt.Errorf("core: device failure (%v) and degraded continuation failed: %w", firstErr, err)
+		}
+		switch w.outcome {
+		case windowAborted:
+			emitEvent(h.cfg.sink, metrics.Event{
+				Kind: metrics.EventRunAborted, Rank: -1, Superstep: w.step,
+				Detail: fmt.Sprintf("cooperative abort during degraded window at superstep %d", w.step),
+			})
+			h.res.Degraded = true
+			h.res.Iterations = w.step
+			return h.finalize(), &RunAbortedError{Superstep: w.step}
+		case windowFinished:
+			h.res.Degraded = true
+			h.res.Iterations = w.step
+			h.res.Converged = w.converged
+			return h.finalize(), nil
+		}
+
+		// windowHealed: restart the failed rank, replay it from a fresh
+		// checkpoint at the rejoin boundary, and re-enter lockstep.
+		devs2, hs, err := h.rejoin(w.step, w.frontier, failed)
+		if err != nil {
+			var serr *checkpoint.StoreError
+			if errors.As(err, &serr) {
+				aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
+				emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
+				return HeteroResult{}, aerr
+			}
+			emitEvent(h.cfg.sink, metrics.Event{
+				Kind: metrics.EventRejoinFailed, Rank: failed, Superstep: w.step,
+				Detail: err.Error(),
+			})
+			return h.runPermanentDegradedFrom(sd, w.step, w.frontier, firstErr)
+		}
+		devs = devs2
+		f0, f1 := splitActive(w.frontier, h.assign)
+		actives = [2][]graph.VertexID{f0, f1}
+		from = w.step
+		handshake = hs
+	}
+}
+
+// segmentOutcome is one lockstep segment's result: per-rank errors,
+// per-iteration compute times (indexed relative to the segment's start),
+// supersteps recorded, and — when Options.Abort stopped a rank — the abort
+// boundary and the rank's frontier there.
+type segmentOutcome struct {
+	runErr    [2]error
+	iterTimes [2][]float64
+	iters     [2]int64
+	frontier  [2][]graph.VertexID
+	abortStep [2]int64
+}
+
+// segmentAbortStep reports the boundary a cooperative abort stopped the
+// segment at (the earliest rank's, when both recorded one).
+func segmentAbortStep(seg segmentOutcome) (int64, bool) {
+	step, ok := int64(-1), false
+	for r := 0; r < 2; r++ {
+		var aerr *RunAbortedError
+		if errors.As(seg.runErr[r], &aerr) {
+			if !ok || aerr.Superstep < step {
+				step = aerr.Superstep
+			}
+			ok = true
+		}
+	}
+	return step, ok
+}
+
+// runSegment runs both rank loops in lockstep from superstep `from` until
+// convergence, maxIter, an abort, or a failure. handshake, when non-nil,
+// runs on each rank before its loop (resume or rejoin barrier agreement).
+func (h *heteroF32) runSegment(devs [2]*deviceF32, actives [2][]graph.VertexID, from int64, handshake func(*deviceF32) error) segmentOutcome {
+	out := segmentOutcome{abortStep: [2]int64{-1, -1}}
+	startIters := [2]int64{h.res.Dev[0].Iterations, h.res.Dev[1].Iterations}
+	var wg sync.WaitGroup
 	for r := 0; r < 2; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			d := devs[r]
-			// On any error, declare this rank dead on both the interconnect
-			// and the checkpoint barrier, so the peer fails fast wherever it
-			// is waiting instead of deadlocking.
+			// On any error (or an abort), declare this rank dead on both the
+			// interconnect and the checkpoint barrier, so the peer fails
+			// fast wherever it is waiting instead of deadlocking.
 			defer func() {
-				if runErr[r] != nil {
+				if out.runErr[r] != nil {
 					d.ep.Abort()
-					if coord != nil {
-						coord.MarkDead(r)
+					if h.coord != nil {
+						h.coord.MarkDead(r)
 					}
 				}
 			}()
-			if cfg.resume {
-				// Both ranks must have restored the same store generation,
-				// and from here on exchange rounds (and the fault plan's
-				// step indices) count absolute supersteps.
-				if _, err := d.ep.ResumeHandshake(resumedGen); err != nil {
-					runErr[r] = err
+			if handshake != nil {
+				if err := handshake(d); err != nil {
+					out.runErr[r] = err
 					return
 				}
-				d.ep.SetStep(resumeFrom)
 			}
 			active := actives[r]
 			fixed := IsFixedActive(d.app)
 			initial := active
 			measured := d.opt.Metrics != nil
-			for iter := int(resumeFrom); iter < maxIter; iter++ {
+			for iter := int(from); iter < h.maxIter; iter++ {
+				if abortRequested(d.opt.Abort) {
+					out.abortStep[r] = int64(iter)
+					out.frontier[r] = active
+					out.runErr[r] = &RunAbortedError{Superstep: int64(iter)}
+					return
+				}
 				d.step = int64(iter)
 				var c machine.Counters
 				var pt PhaseTimes
@@ -326,7 +625,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 					t = time.Now()
 				}
 				if err := d.generate(active, &c); err != nil {
-					runErr[r] = err
+					out.runErr[r] = err
 					return
 				}
 				if measured {
@@ -340,15 +639,15 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				// comm and copied into d.wall by exchange.)
 				remoteActive, err := d.exchange(int64(len(active)), &c, &pt)
 				if err != nil {
-					runErr[r] = err
+					out.runErr[r] = err
 					return
 				}
 				if int64(len(active))+remoteActive == 0 && !fixed {
 					// The convergence-detection superstep carries only
 					// generate + exchange work.
-					devs[r].recordIter(&res.Dev[r], c, pt)
+					d.recordIter(&h.res.Dev[r], c, pt)
 					d.recordMetrics(d.step, c, pt)
-					res.Dev[r].Converged = true
+					h.res.Dev[r].Converged = true
 					return
 				}
 				// Process + update locally.
@@ -357,7 +656,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				}
 				deliveries, err := d.process(&c)
 				if err != nil {
-					runErr[r] = err
+					out.runErr[r] = err
 					return
 				}
 				if measured {
@@ -367,7 +666,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				}
 				next, err := d.update(deliveries, &c)
 				if err != nil {
-					runErr[r] = err
+					out.runErr[r] = err
 					return
 				}
 				if measured {
@@ -378,10 +677,10 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				pt.Process = compute.Process
 				pt.Update = compute.Update
 
-				d.recordTrace(res.Dev[r].Iterations, c, pt)
+				d.recordTrace(h.res.Dev[r].Iterations, c, pt)
 				d.recordMetrics(d.step, c, pt)
-				devs[r].recordIter(&res.Dev[r], c, pt)
-				iterTimes[r] = append(iterTimes[r], pt.Generate+pt.Process+pt.Update)
+				d.recordIter(&h.res.Dev[r], c, pt)
+				out.iterTimes[r] = append(out.iterTimes[r], pt.Generate+pt.Process+pt.Update)
 				if fixed {
 					active = initial
 				} else {
@@ -390,10 +689,10 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 				// Superstep iter is complete; checkpoint at the boundary if
 				// due. `active` is exactly this rank's frontier for the next
 				// superstep, which is what the snapshot must carry.
-				if coord != nil {
-					if completed := int64(iter) + 1; coord.Due(completed) {
-						if err := coord.Checkpoint(r, completed, active); err != nil {
-							runErr[r] = err
+				if h.coord != nil {
+					if completed := int64(iter) + 1; h.coord.Due(completed) {
+						if err := h.coord.Checkpoint(r, completed, active); err != nil {
+							out.runErr[r] = err
 							return
 						}
 					}
@@ -402,21 +701,211 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		}(r)
 	}
 	wg.Wait()
-
-	if runErr[0] != nil || runErr[1] != nil {
-		return recoverF32Hetero(app, g, opts, coord, res, iterTimes, runErr, maxIter, resumeFrom, start)
+	out.iters = [2]int64{
+		h.res.Dev[0].Iterations - startIters[0],
+		h.res.Dev[1].Iterations - startIters[1],
 	}
+	return out
+}
 
-	res.Iterations = resumeFrom + res.Dev[0].Iterations
-	res.Converged = res.Dev[0].Converged && res.Dev[1].Converged
-	// Lockstep combination: per iteration the node waits for the slower
-	// device; communication time is identical on both sides (full-duplex
-	// model), so take device 0's.
-	res.ExecSeconds = lockstepSeconds(iterTimes, len(iterTimes[0]))
-	res.CommSeconds = res.Dev[0].Phases.Exchange
-	res.SimSeconds = res.ExecSeconds + res.CommSeconds
-	res.WallSeconds = time.Since(start).Seconds()
-	return res, nil
+// windowOutcome is how a rejoin-mode degraded window ended.
+type windowOutcome int
+
+const (
+	// windowHealed: the fault plan declared the failed rank recovered; the
+	// supervisor should rejoin it.
+	windowHealed windowOutcome = iota
+	// windowFinished: the run ran out (converged or maxIter) still degraded.
+	windowFinished
+	// windowAborted: Options.Abort stopped the window at a boundary.
+	windowAborted
+)
+
+// windowResult is a degraded window's outcome: the absolute superstep it
+// stopped at and the merged frontier for that superstep.
+type windowResult struct {
+	outcome   windowOutcome
+	step      int64
+	frontier  []graph.VertexID
+	converged bool
+}
+
+// runDegradedWindow drives the survivor superstep-at-a-time from the
+// restored checkpoint, checkpointing at the configured cadence, until the
+// fault plan declares the failed rank recovered, the run finishes, or an
+// abort lands. Degraded supersteps accumulate into res.Recovery.
+func (h *heteroF32) runDegradedWindow(sd *deviceF32, failed int, failedStep int64, snap *checkpoint.Snapshot) (windowResult, error) {
+	frontier := snap.MergedFrontier()
+	step := snap.Superstep
+	fixed := IsFixedActive(h.app)
+	initial := frontier
+	for {
+		if abortRequested(h.cfg.abort) {
+			// Final checkpoint at the abort boundary: the window is
+			// single-party, so the snapshot is always consistent.
+			if h.coord != nil {
+				f0, f1 := splitActive(frontier, h.assign)
+				_ = h.coord.InitialAt(step, f0, f1)
+			}
+			return windowResult{outcome: windowAborted, step: step, frontier: frontier}, nil
+		}
+		if len(frontier) == 0 && !fixed {
+			return windowResult{outcome: windowFinished, step: step, converged: true}, nil
+		}
+		if int(step) >= h.maxIter {
+			return windowResult{outcome: windowFinished, step: step}, nil
+		}
+		// Heal check before running superstep `step`: the rank rejoins at
+		// the boundary the plan declares it recovered at. The lastRejoin
+		// guard keeps a deterministically failing rejoin from looping.
+		if step > h.lastRejoin && h.cfg.inj.RecoverAt(failed, failedStep, step) {
+			return windowResult{outcome: windowHealed, step: step, frontier: frontier}, nil
+		}
+		sd.step = step
+		next, c, pt, err := sd.runIteration(frontier)
+		if err != nil {
+			err = fmt.Errorf("core: superstep %d: %w", step, err)
+			emitEvent(sd.opt.Metrics, metrics.Event{
+				Kind: metrics.EventSuperstepError, Rank: sd.rank,
+				Superstep: step, Detail: err.Error(),
+			})
+			return windowResult{}, err
+		}
+		sd.recordTrace(h.res.Recovery.Iterations, c, pt)
+		sd.recordMetrics(step, c, pt)
+		sd.recordIter(&h.res.Recovery, c, pt)
+		h.exec += pt.Generate + pt.Process + pt.Update
+		h.res.DegradedSupersteps++
+		step++
+		if fixed {
+			frontier = initial
+		} else {
+			frontier = next
+		}
+		if h.coord != nil && h.coord.Due(step) {
+			f0, f1 := splitActive(frontier, h.assign)
+			if err := h.coord.InitialAt(step, f0, f1); err != nil {
+				return windowResult{}, err
+			}
+		}
+	}
+}
+
+// rejoin restarts the failed rank for re-admission at superstep `step`: it
+// captures a fresh checkpoint at the rejoin boundary, replays the restarted
+// engine from it (state is partitioned by ownership, so the restored arrays
+// carry exactly the supersteps the dead rank missed), opens a new comm
+// epoch so packets from before the failure are fenced off, reopens the
+// checkpoint barrier, and rebuilds both rank engines. The returned
+// handshake runs RejoinHandshake on each rank before the next segment.
+func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID, failed int) ([2]*deviceF32, func(*deviceF32) error, error) {
+	var devs [2]*deviceF32
+	f0, f1 := splitActive(frontier, h.assign)
+	if err := h.coord.InitialAt(step, f0, f1); err != nil {
+		return devs, nil, fmt.Errorf("rejoin checkpoint at superstep %d: %w", step, err)
+	}
+	// The replay: the restarted rank loads the rejoin snapshot. The arrays
+	// are shared in-process, so this also re-verifies the snapshot decodes.
+	snap := h.coord.Latest()
+	if err := h.snapper.Restore(snap.State); err != nil {
+		return devs, nil, fmt.Errorf("rejoin replay at superstep %d: %w", step, err)
+	}
+	var gen uint64
+	if h.store != nil {
+		if gens := h.store.Generations(); len(gens) > 0 {
+			gen = gens[0].Gen
+		}
+	}
+	epoch := h.net.NewEpoch()
+	h.coord.Reopen()
+	for r := 0; r < 2; r++ {
+		ep, err := h.net.Endpoint(r)
+		if err != nil {
+			return devs, nil, err
+		}
+		devs[r], err = newDeviceF32(h.app, h.g, h.opts[r], r, h.assign, ep)
+		if err != nil {
+			return devs, nil, fmt.Errorf("rejoin engine restart, rank %d: %w", r, err)
+		}
+	}
+	handshake := func(d *deviceF32) error {
+		if err := d.ep.RejoinHandshake(epoch, gen, step); err != nil {
+			return err
+		}
+		d.ep.SetStep(step)
+		return nil
+	}
+	emitEvent(h.cfg.sink, metrics.Event{
+		Kind: metrics.EventRejoined, Rank: failed, Superstep: step,
+		Detail: fmt.Sprintf("rank %d restarted from generation %d, rejoined at superstep %d (epoch %d)", failed, gen, step, epoch),
+	})
+	h.res.Healed = true
+	h.res.RejoinSuperstep = step
+	h.lastRejoin = step
+	return devs, handshake, nil
+}
+
+// runPermanentDegraded finishes the run single-device from the restored
+// checkpoint — the non-rejoin degradation path, unchanged from before
+// rejoin existed (one batched runF32Loop continuation).
+func (h *heteroF32) runPermanentDegraded(sd *deviceF32, snap *checkpoint.Snapshot, firstErr error) (HeteroResult, error) {
+	remaining := h.maxIter - int(snap.Superstep)
+	rec, err := runF32Loop(sd, snap.MergedFrontier(), remaining)
+	var aerr *RunAbortedError
+	if err != nil && !errors.As(err, &aerr) {
+		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and degraded continuation failed: %w", firstErr, err)
+	}
+	h.res.Degraded = true
+	h.res.Recovery = rec
+	h.res.Iterations = snap.Superstep + rec.Iterations
+	h.res.Converged = rec.Converged
+	h.res.DegradedSupersteps += rec.Iterations
+	h.exec += rec.Phases.Generate + rec.Phases.Process + rec.Phases.Update
+	if aerr != nil {
+		abs := snap.Superstep + aerr.Superstep
+		h.res.Iterations = abs
+		h.res.Converged = false
+		return h.finalize(), &RunAbortedError{Superstep: abs}
+	}
+	return h.finalize(), nil
+}
+
+// runPermanentDegradedFrom finishes the run single-device from an arbitrary
+// mid-window boundary — the fallback when a rejoin attempt fails.
+func (h *heteroF32) runPermanentDegradedFrom(sd *deviceF32, step int64, frontier []graph.VertexID, firstErr error) (HeteroResult, error) {
+	rec, err := runF32Loop(sd, frontier, h.maxIter-int(step))
+	var aerr *RunAbortedError
+	if err != nil && !errors.As(err, &aerr) {
+		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and degraded continuation failed: %w", firstErr, err)
+	}
+	h.res.Degraded = true
+	h.res.Recovery.Iterations += rec.Iterations
+	h.res.Recovery.Converged = rec.Converged
+	h.res.Recovery.Counters.Add(rec.Counters)
+	h.res.Recovery.Phases.Add(rec.Phases)
+	h.res.Recovery.SimSeconds = h.res.Recovery.Phases.Total()
+	h.res.Iterations = step + rec.Iterations
+	h.res.Converged = rec.Converged
+	h.res.DegradedSupersteps += rec.Iterations
+	h.exec += rec.Phases.Generate + rec.Phases.Process + rec.Phases.Update
+	if aerr != nil {
+		abs := step + aerr.Superstep
+		h.res.Iterations = abs
+		h.res.Converged = false
+		return h.finalize(), &RunAbortedError{Superstep: abs}
+	}
+	return h.finalize(), nil
+}
+
+// finalize stamps the run-level times into the accumulated result.
+func (h *heteroF32) finalize() HeteroResult {
+	h.res.ExecSeconds = h.exec
+	// Communication time is identical on both sides (full-duplex model), so
+	// take device 0's.
+	h.res.CommSeconds = h.res.Dev[0].Phases.Exchange
+	h.res.SimSeconds = h.res.ExecSeconds + h.res.CommSeconds
+	h.res.WallSeconds = time.Since(h.start).Seconds()
+	return h.res
 }
 
 // lockstepSeconds sums max(dev0_i, dev1_i) over the first n iterations.
@@ -430,107 +919,6 @@ func lockstepSeconds(iterTimes [2][]float64, n int) float64 {
 		total += t
 	}
 	return total
-}
-
-// recoverF32Hetero handles a failed heterogeneous run: it identifies the
-// dead rank from the two loops' errors, restores the last checkpoint, and
-// finishes the run on a single device built from the survivor's options.
-// Without a coordinator (or when both ranks failed independently) the
-// failure is returned as an error.
-func recoverF32Hetero(
-	app AppF32, g *graph.CSR, opts [2]Options, coord *checkpoint.Coordinator,
-	res HeteroResult, iterTimes [2][]float64, runErr [2]error, maxIter int, resumeFrom int64, start time.Time,
-) (HeteroResult, error) {
-	sink := resolveFaultConfig(opts[0], opts[1]).sink
-	// A failed durable commit is not a device failure: the storage path is
-	// shared, so degrading to a single device would keep hitting the same
-	// broken disk. Treat it like a process crash — abort the whole run; the
-	// previously committed generations are intact and a restart with
-	// Options.Resume picks the run back up.
-	for r := 0; r < 2; r++ {
-		var serr *checkpoint.StoreError
-		if errors.As(runErr[r], &serr) {
-			err := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", runErr[r])
-			emitEvent(sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: r, Superstep: -1, Detail: err.Error()})
-			return HeteroResult{}, err
-		}
-	}
-	// Resolve the failed rank. Both loops usually error (the survivor's
-	// error names the dead peer), and their verdicts must agree; a lone
-	// error also identifies the failure (the peer finished its loop before
-	// noticing).
-	failed := -1
-	failedStep := int64(-1)
-	var firstErr error
-	for r := 0; r < 2; r++ {
-		if runErr[r] == nil {
-			continue
-		}
-		if firstErr == nil {
-			firstErr = runErr[r]
-		}
-		b := blameRank(r, runErr[r])
-		if failed == -1 {
-			failed = b
-		} else if failed != b {
-			err := fmt.Errorf("core: both devices failed, cannot degrade: rank 0: %v; rank 1: %v", runErr[0], runErr[1])
-			emitEvent(sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: -1, Superstep: -1, Detail: err.Error()})
-			return HeteroResult{}, err
-		}
-		var dfe *comm.DeviceFailedError
-		if errors.As(runErr[r], &dfe) && dfe.Rank == b {
-			failedStep = dfe.Superstep
-		}
-	}
-	emitEvent(sink, metrics.Event{
-		Kind: metrics.EventDeviceFailed, Rank: failed, Superstep: failedStep,
-		Detail: firstErr.Error(),
-	})
-	if coord == nil {
-		return HeteroResult{}, firstErr
-	}
-	snap, err := coord.Restore()
-	if err != nil {
-		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery failed: %w", firstErr, err)
-	}
-	survivor := 1 - failed
-	ropt := opts[survivor]
-	// The continuation is a fresh single-device engine: no assignment, no
-	// endpoint, and no fault injection (the plan described the heterogeneous
-	// run; re-firing its events against the survivor would kill recovery).
-	ropt.Fault = nil
-	sd, err := newDeviceF32(app, g, ropt, 0, nil, nil)
-	if err != nil {
-		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery engine failed: %w", firstErr, err)
-	}
-	emitEvent(sink, metrics.Event{
-		Kind: metrics.EventDegraded, Rank: failed, Superstep: snap.Superstep,
-		Detail: fmt.Sprintf("rank %d survives; restored checkpointed superstep %d, continuing single-device", survivor, snap.Superstep),
-	})
-	remaining := maxIter - int(snap.Superstep)
-	rec, err := runF32Loop(sd, snap.MergedFrontier(), remaining)
-	if err != nil {
-		return HeteroResult{}, fmt.Errorf("core: device failure (%v) and degraded continuation failed: %w", firstErr, err)
-	}
-
-	res.Degraded = true
-	res.FailedRank = failed
-	res.FailedSuperstep = failedStep
-	res.ResumedSuperstep = snap.Superstep
-	res.Recovery = rec
-	res.Iterations = snap.Superstep + rec.Iterations
-	res.Converged = rec.Converged
-	// Simulated time: lockstep pairs up to the restored checkpoint (work
-	// past it was recomputed and is not double-counted; on a disk-resumed
-	// run iterTimes index supersteps relative to the cold start), plus the
-	// single-device continuation's compute; communication time covers what
-	// actually crossed the link before the failure.
-	res.ExecSeconds = lockstepSeconds(iterTimes, int(snap.Superstep-resumeFrom)) +
-		rec.Phases.Generate + rec.Phases.Process + rec.Phases.Update
-	res.CommSeconds = res.Dev[0].Phases.Exchange
-	res.SimSeconds = res.ExecSeconds + res.CommSeconds
-	res.WallSeconds = time.Since(start).Seconds()
-	return res, nil
 }
 
 // recordIter accumulates one iteration into a device's Result.

@@ -1,8 +1,10 @@
 // Package fault provides deterministic, seedable fault injection for the
 // heterogeneous runtime's chaos tests. A Plan is a list of concrete fault
-// events — drop, delay, or fail a rank's exchange at superstep k, or panic a
-// worker in a given phase — and an Injector answers the runtime's "does a
-// fault fire here?" queries against that plan. Because the plan is explicit
+// events — drop, delay, or fail a rank's exchange at superstep k, panic a
+// worker in a given phase, break the checkpoint store, or stall a rank
+// transiently (flaky/recover, driving the degrade→heal lifecycle) — and an
+// Injector answers the runtime's "does a fault fire here?" queries against
+// that plan. Because the plan is explicit
 // data (optionally generated from a seed by Random), every chaos run is
 // reproducible: the same plan yields the same faults at the same points.
 //
@@ -128,6 +130,15 @@ const (
 	// The commit reports success; recovery must detect the corruption by
 	// checksum and fall back to the previous generation.
 	KindTorn
+	// KindFlaky kills the rank at exchange Step like KindDrop, but declares
+	// it recovered — ready to rejoin a healing run — Times supersteps later
+	// (Times 0 means 1). It models a transient device stall: fatal without
+	// rejoin support, a bounded outage with it.
+	KindFlaky
+	// KindRecover declares the rank recovered at superstep Step. It injects
+	// no failure itself; it pairs with an earlier drop/flaky/panic on the
+	// same rank to name the superstep a healing run may re-admit it at.
+	KindRecover
 )
 
 func (k Kind) String() string {
@@ -144,6 +155,10 @@ func (k Kind) String() string {
 		return "iofail"
 	case KindTorn:
 		return "torn"
+	case KindFlaky:
+		return "flaky"
+	case KindRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -162,7 +177,8 @@ type Event struct {
 	// Delay is the injected stall for KindDelay events.
 	Delay time.Duration
 	// Times is the number of consecutive failing attempts for KindFail
-	// events (0 means 1).
+	// events, or the number of supersteps a KindFlaky rank stays down
+	// before it is recoverable (0 means 1 for both).
 	Times int
 	// Op is the failing storage operation for KindIOFail events. Disk
 	// faults index the superstep of the checkpoint being committed, and
@@ -187,6 +203,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("rank%d:panic@%d:%s", e.Rank, e.Step, e.Phase)
 	case KindIOFail:
 		return fmt.Sprintf("rank%d:iofail@%d:%s", e.Rank, e.Step, e.Op)
+	case KindFlaky:
+		t := e.Times
+		if t == 0 {
+			t = 1
+		}
+		return fmt.Sprintf("rank%d:flaky@%dx%d", e.Rank, e.Step, t)
 	default:
 		return fmt.Sprintf("rank%d:%s@%d", e.Rank, e.Kind, e.Step)
 	}
@@ -219,6 +241,11 @@ func (e Event) Validate() error {
 			return fmt.Errorf("fault: iofail event needs an I/O op")
 		}
 	case KindTorn:
+	case KindFlaky:
+		if e.Times < 0 {
+			return fmt.Errorf("fault: negative flaky down-window %d", e.Times)
+		}
+	case KindRecover:
 	default:
 		return fmt.Errorf("fault: unknown kind %d", uint8(e.Kind))
 	}
@@ -259,10 +286,15 @@ func (p Plan) String() string {
 //	rank<r>:panic@<step>:<generate|process|update>
 //	rank<r>:iofail@<step>:<write|sync|rename>
 //	rank<r>:torn@<step>
+//	rank<r>:flaky@<step>[x<down>]
+//	rank<r>:recover@<step>
 //
 // e.g. "rank1:drop@3;rank0:panic@2:generate;rank0:iofail@3:write". Disk
 // faults (iofail, torn) fire in the durable checkpoint store while it
-// commits the checkpoint of superstep <step>.
+// commits the checkpoint of superstep <step>. Healing faults: flaky@<step>x<down>
+// kills the rank at <step> and declares it recovered <down> supersteps later;
+// recover@<step> declares a rank felled by an earlier event recovered at
+// <step> (both are acted on only by runs with rejoin enabled).
 func Parse(spec string) (Plan, error) {
 	var p Plan
 	spec = strings.TrimSpace(spec)
@@ -347,6 +379,18 @@ func parseEvent(tok string) (Event, error) {
 			}
 			e.Times = t
 		}
+	case "flaky":
+		e.Kind = KindFlaky
+		e.Times = 1
+		if extra != "" {
+			t, err := strconv.Atoi(extra)
+			if err != nil {
+				return e, fmt.Errorf("fault: event %q: bad flaky down-window: %w", tok, err)
+			}
+			e.Times = t
+		}
+	case "recover":
+		e.Kind = KindRecover
 	case "panic":
 		e.Kind = KindPanic
 		if extra == "" {
@@ -428,13 +472,48 @@ func NewInjector(p Plan) (*Injector, error) {
 }
 
 // Drop reports whether rank's exchange at step is dropped (the rank dies).
+// Both permanent drops and flaky stalls kill the rank here; the difference
+// is whether RecoverAt later declares it rejoinable.
 func (in *Injector) Drop(rank int, step int64) bool {
 	if in == nil {
 		return false
 	}
 	for _, e := range in.events {
-		if e.Kind == KindDrop && e.Rank == rank && e.Step == step {
+		if (e.Kind == KindDrop || e.Kind == KindFlaky) && e.Rank == rank && e.Step == step {
 			return true
+		}
+	}
+	return false
+}
+
+// RecoverAt reports whether rank — felled by a fault detected at superstep
+// failedStep — is recovered and may rejoin at superstep step. A flaky event
+// recovers its own failure (same step) Times supersteps after it fired; a
+// recover event pairs with any earlier failure on the same rank and names
+// the rejoin superstep explicitly. failedStep may be -1 for failures that
+// could not be attributed to a superstep (panics); only explicit recover
+// events match those.
+func (in *Injector) RecoverAt(rank int, failedStep, step int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Rank != rank {
+			continue
+		}
+		switch e.Kind {
+		case KindFlaky:
+			down := int64(e.Times)
+			if down < 1 {
+				down = 1
+			}
+			if e.Step == failedStep && step >= e.Step+down {
+				return true
+			}
+		case KindRecover:
+			if e.Step > failedStep && step >= e.Step {
+				return true
+			}
 		}
 	}
 	return false

@@ -221,3 +221,126 @@ func TestInjectorDiskQueries(t *testing.T) {
 		t.Error("nil injector should be inert for disk faults")
 	}
 }
+
+func TestParseHealingFaults(t *testing.T) {
+	for _, spec := range []string{
+		"rank1:flaky@3x2",
+		"rank1:flaky@3", // down-window defaults to 1
+		"rank0:recover@5",
+		"rank1:flaky@2x1;rank1:drop@6",
+		"rank1:drop@3;rank1:recover@5",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Validate(%q): %v", spec, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", spec, p.String(), err)
+		}
+		if len(again.Events) != len(p.Events) {
+			t.Fatalf("round trip of %q lost events", spec)
+		}
+	}
+	// The bare form normalizes to an explicit x1 window.
+	p, _ := Parse("rank1:flaky@3")
+	if got := p.String(); got != "rank1:flaky@3x1" {
+		t.Errorf("String() = %q, want rank1:flaky@3x1", got)
+	}
+}
+
+func TestParseHealingFaultGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"rank1:flaky@3xq",  // bad down-window
+		"rank1:recover@-1", // negative step
+		"rank3:recover@5",  // bad rank
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", spec)
+		}
+	}
+	if err := (Event{Rank: 1, Step: 3, Kind: KindFlaky, Times: -2}).Validate(); err == nil {
+		t.Error("Validate accepted a negative flaky down-window")
+	}
+}
+
+func TestFlakyDropsLikeDrop(t *testing.T) {
+	p, err := Parse("rank1:flaky@3x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Drop(1, 3) {
+		t.Error("flaky did not kill the rank at its step")
+	}
+	if in.Drop(1, 4) || in.Drop(0, 3) {
+		t.Error("flaky matched the wrong step/rank")
+	}
+}
+
+func TestRecoverAtPairsWithItsOwnFailure(t *testing.T) {
+	p, err := Parse("rank1:flaky@3x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down for supersteps 3 and 4, recoverable from 5 on.
+	if in.RecoverAt(1, 3, 3) || in.RecoverAt(1, 3, 4) {
+		t.Error("rank declared recovered inside its down-window")
+	}
+	if !in.RecoverAt(1, 3, 5) || !in.RecoverAt(1, 3, 6) {
+		t.Error("rank not recoverable after its down-window")
+	}
+	// A flaky event only heals the failure it caused: a later failure at a
+	// different superstep must stay permanent.
+	if in.RecoverAt(1, 6, 8) {
+		t.Error("flaky@3 healed an unrelated failure at superstep 6")
+	}
+	if in.RecoverAt(0, 3, 5) {
+		t.Error("recovery matched the wrong rank")
+	}
+	// An unattributed failure (failedStep -1, e.g. a panic) is not matched
+	// by flaky self-recovery.
+	if in.RecoverAt(1, -1, 5) {
+		t.Error("flaky healed an unattributed failure")
+	}
+}
+
+func TestRecoverEventMatchesLaterFailures(t *testing.T) {
+	p, err := Parse("rank1:drop@3;rank1:recover@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.RecoverAt(1, 3, 4) {
+		t.Error("recovered before the recover event's superstep")
+	}
+	if !in.RecoverAt(1, 3, 5) {
+		t.Error("explicit recover@5 not honored")
+	}
+	// Explicit recover events do match unattributed failures.
+	if !in.RecoverAt(1, -1, 5) {
+		t.Error("recover@5 did not match an unattributed failure")
+	}
+	// But not failures that happen at or after the recover step: the
+	// declaration must postdate the failure it heals.
+	if in.RecoverAt(1, 5, 7) || in.RecoverAt(1, 6, 9) {
+		t.Error("recover@5 healed a failure at/after its own superstep")
+	}
+	var nilIn *Injector
+	if nilIn.RecoverAt(1, 3, 5) {
+		t.Error("nil injector declared a recovery")
+	}
+}

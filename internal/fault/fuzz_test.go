@@ -1,0 +1,61 @@
+package fault
+
+import "testing"
+
+// FuzzParseFaultPlan throws arbitrary specs at the fault-plan grammar. The
+// properties: Parse never panics; an accepted plan validates cleanly; and
+// the String rendering of an accepted plan parses back to the same events
+// (the grammar round-trips, so reports and logs can echo plans verbatim).
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"rank1:drop@3",
+		"rank0:delay@2:5ms",
+		"rank1:fail@2x3",
+		"rank0:panic@4:generate",
+		"rank0:iofail@3:sync",
+		"rank0:torn@2",
+		"rank1:flaky@3x2",
+		"rank1:recover@5",
+		"rank1:flaky@2x1;rank1:drop@6",
+		"rank1:drop@3;rank0:delay@2:5ms,rank1:fail@7x2",
+		"rank1:drop@-1",
+		"rank2:flaky@1x1",
+		"rank0:flaky@1x",
+		"rank0:recover@5:write",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a plan that fails Validate: %v", spec, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("String() of accepted plan %q does not re-parse: %q: %v", spec, p.String(), err)
+		}
+		if len(again.Events) != len(p.Events) {
+			t.Fatalf("round trip of %q changed event count: %d -> %d", spec, len(p.Events), len(again.Events))
+		}
+		for i := range p.Events {
+			a, b := normalize(p.Events[i]), normalize(again.Events[i])
+			if a != b {
+				t.Fatalf("round trip of %q: event %d: %+v != %+v", spec, i, a, b)
+			}
+		}
+	})
+}
+
+// normalize folds the Times=0 / Times=1 equivalence (both mean "once" for
+// fail and a one-superstep window for flaky) so round-trip comparison sees
+// through the canonical x1 rendering.
+func normalize(e Event) Event {
+	if (e.Kind == KindFail || e.Kind == KindFlaky) && e.Times == 0 {
+		e.Times = 1
+	}
+	return e
+}

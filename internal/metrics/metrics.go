@@ -60,8 +60,15 @@ const (
 	// loop, attributed to its superstep.
 	EventSuperstepError = "superstep-error"
 	// EventRunAborted is a run abandoned without recovery (e.g. a broken
-	// durable store).
+	// durable store, or an operator abort via Options.Abort).
 	EventRunAborted = "run-aborted"
+	// EventRejoined is a recovered rank re-admitted at a superstep barrier
+	// after a degrade→heal cycle, returning the run to two-device lockstep.
+	EventRejoined = "rejoined"
+	// EventRejoinFailed is a rejoin attempt that could not re-admit the
+	// recovered rank (restart or handshake failure); the run continues
+	// degraded.
+	EventRejoinFailed = "rejoin-failed"
 )
 
 // PhaseSample is one phase of one superstep on one device, with both the
@@ -238,6 +245,7 @@ type RunConfig struct {
 	CheckpointDir     string `json:"checkpoint_dir,omitempty"`
 	CheckpointRetain  int    `json:"checkpoint_retain,omitempty"`
 	Resume            bool   `json:"resume,omitempty"`
+	Rejoin            bool   `json:"rejoin,omitempty"`
 	ExchangeTimeoutNS int64  `json:"exchange_timeout_ns,omitempty"`
 	FaultPlan         string `json:"fault_plan,omitempty"`
 }
@@ -282,6 +290,10 @@ type Totals struct {
 	ResumedSuperstep  int64  `json:"resumed_superstep,omitempty"`
 	DiskResumed       bool   `json:"disk_resumed,omitempty"`
 	ResumedGeneration uint64 `json:"resumed_generation,omitempty"`
+	// Heal outcome of a heterogeneous run with Rejoin enabled.
+	Healed             bool  `json:"healed,omitempty"`
+	RejoinSuperstep    int64 `json:"rejoin_superstep,omitempty"`
+	DegradedSupersteps int64 `json:"degraded_supersteps,omitempty"`
 }
 
 // RunReport is the versioned, machine-readable record of one run.
