@@ -1,6 +1,7 @@
 // Command hetgraph-run executes one of the five evaluated applications on a
-// graph file, on a single modeled device or heterogeneously across CPU and
-// MIC with a partition file.
+// graph file, on a single modeled device or heterogeneously across an
+// N-rank device group (the classic CPU+MIC pair by default; -ranks or
+// -devices for larger groups).
 //
 // Usage:
 //
@@ -12,6 +13,9 @@
 //	hetgraph-run ... -checkpoint-dir ./ckpt -resume       # cold-start from them
 //	hetgraph-run ... -fault-plan 'rank1:flaky@3x2' -rejoin -checkpoint-every 1
 //	                                                      # degrade, then heal
+//	hetgraph-run -graph pokec.adj -app pagerank -device both -ranks 4 \
+//	    -fault-plan 'rank2:drop@3;rank2:recover@5' -rejoin -checkpoint-every 1
+//	                        # 4-rank group: degrade to 3 ranks, heal back to 4
 //
 // SIGINT/SIGTERM abort the run cleanly at the next superstep boundary: the
 // final checkpoint is captured and the -report JSON is still written.
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"hetgraph"
@@ -79,7 +84,9 @@ func run(args []string) error {
 		device    = fs.String("device", "mic", "device: cpu | mic | both")
 		scheme    = fs.String("scheme", "pipe", "message generation scheme: lock | pipe")
 		baseline  = fs.String("baseline", "", "run a baseline instead: omp")
-		partPath  = fs.String("partition", "", "partition file for -device both")
+		partPath  = fs.String("partition", "", "partition file for -device both (ranks >2 auto-partition by thread weight when omitted)")
+		ranks     = fs.Int("ranks", 2, "device-group size for -device both: rank 0 is the CPU, the rest MICs (see -devices for an explicit list)")
+		devices   = fs.String("devices", "", `explicit device group for -device both, e.g. "cpu,mic,mic" (overrides -ranks)`)
 		source    = fs.Int("source", 0, "source vertex for bfs/sssp")
 		iters     = fs.Int("iters", 0, "iteration bound (0 = converge; pagerank default 10)")
 		novec     = fs.Bool("novec", false, "disable SIMD message reduction")
@@ -163,7 +170,7 @@ func run(args []string) error {
 	}
 
 	if *appName == "semicluster" {
-		return runSC(g, *graphPath, *device, schemeOf(*scheme), *partPath, *iters, col, *report, abort)
+		return runSC(g, *graphPath, *device, schemeOf(*scheme), *partPath, *devices, *ranks, *iters, col, *report, abort)
 	}
 
 	var app hetgraph.AppF32
@@ -262,36 +269,30 @@ func run(args []string) error {
 			}
 		}
 	case "both":
-		if *partPath == "" {
-			return usagef("-device both requires -partition")
-		}
-		assign, err := hetgraph.LoadPartition(*partPath)
+		specs, err := deviceGroupOf(*devices, *ranks)
 		if err != nil {
 			return err
 		}
-		optCPU := opt
-		optCPU.Dev = hetgraph.CPU()
-		optCPU.Scheme = hetgraph.SchemeLocking
-		optMIC := opt
-		optMIC.Dev = hetgraph.MIC()
-		res, err := hetgraph.RunHetero(app, g, assign, optCPU, optMIC)
+		assign, err := loadOrMakeAssign(*partPath, g, specs)
+		if err != nil {
+			return err
+		}
+		opts := groupOptions(opt, specs)
+		res, err := hetgraph.RunHetero(app, g, assign, opts...)
 		if err != nil && !errors.As(err, &abortErr) {
 			return err
 		}
-		fmt.Printf("%s on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
-			*appName, res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
-		repConfig = []hetgraph.RunReportConfig{
-			reportConfigOf(0, optCPU, *faultPlan),
-			reportConfigOf(1, optMIC, *faultPlan),
-		}
-		repDevices = []hetgraph.RunReportDevice{
-			deviceReportOf(0, optCPU.Dev.Name, res.Dev[0]),
-			deviceReportOf(1, optMIC.Dev.Name, res.Dev[1]),
+		fmt.Printf("%s on %s: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
+			*appName, groupLabel(specs), res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+		for r, o := range opts {
+			repConfig = append(repConfig, reportConfigOf(r, o, *faultPlan))
+			repDevices = append(repDevices, deviceReportOf(r, o.Dev.Name, res.Dev[r]))
 		}
 		repTotals = hetgraph.RunReportTotals{
 			Iterations: res.Iterations, Converged: res.Converged,
 			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
 			ExecSeconds: res.ExecSeconds, CommSeconds: res.CommSeconds,
+			Ranks: len(specs), FailedRanks: res.FailedRanks,
 		}
 		if res.Degraded {
 			repTotals.Degraded = true
@@ -322,8 +323,16 @@ func run(args []string) error {
 			if res.FailedSuperstep >= 0 {
 				at = fmt.Sprintf(" at superstep %d", res.FailedSuperstep)
 			}
-			fmt.Printf("degraded: rank %d failed%s; resumed single-device from checkpointed superstep %d (%d recovery iterations)\n",
-				res.FailedRank, at, res.ResumedSuperstep, res.Recovery.Iterations)
+			if len(specs) == 2 {
+				fmt.Printf("degraded: rank %d failed%s; resumed single-device from checkpointed superstep %d (%d recovery iterations)\n",
+					res.FailedRank, at, res.ResumedSuperstep, res.Recovery.Iterations)
+			} else {
+				fmt.Printf("degraded: rank %d failed%s; resumed over the surviving ranks from checkpointed superstep %d (%d recovery iterations)\n",
+					res.FailedRank, at, res.ResumedSuperstep, res.Recovery.Iterations)
+			}
+		}
+		if len(res.FailedRanks) > 0 {
+			fmt.Printf("down at finish: ranks %v\n", res.FailedRanks)
 		}
 		if *verify && abortErr == nil {
 			if err := verifyResult(*appName, app, g, *source, *iters); err != nil {
@@ -366,6 +375,85 @@ func run(args []string) error {
 		return abortErr
 	}
 	return nil
+}
+
+// deviceGroupOf resolves -devices/-ranks into the device group for a
+// heterogeneous run. An explicit -devices list wins; otherwise the group is
+// the classic topology scaled out: one CPU plus ranks-1 MICs.
+func deviceGroupOf(devices string, ranks int) ([]hetgraph.DeviceSpec, error) {
+	if devices != "" {
+		parts := strings.Split(devices, ",")
+		specs := make([]hetgraph.DeviceSpec, 0, len(parts))
+		for _, p := range parts {
+			switch strings.ToLower(strings.TrimSpace(p)) {
+			case "cpu":
+				specs = append(specs, hetgraph.CPU())
+			case "mic":
+				specs = append(specs, hetgraph.MIC())
+			default:
+				return nil, usagef("bad -devices entry %q (want cpu or mic)", p)
+			}
+		}
+		if len(specs) < 2 {
+			return nil, usagef("-devices needs at least 2 entries, got %d", len(specs))
+		}
+		if ranks != 2 && ranks != len(specs) {
+			return nil, usagef("-ranks %d disagrees with the %d entries of -devices", ranks, len(specs))
+		}
+		return specs, nil
+	}
+	if ranks < 2 {
+		return nil, usagef("-ranks must be at least 2, got %d", ranks)
+	}
+	specs := make([]hetgraph.DeviceSpec, ranks)
+	specs[0] = hetgraph.CPU()
+	for r := 1; r < ranks; r++ {
+		specs[r] = hetgraph.MIC()
+	}
+	return specs, nil
+}
+
+// groupLabel names the device group in summary lines ("CPU-MIC",
+// "CPU-MIC-MIC-MIC", ...).
+func groupLabel(specs []hetgraph.DeviceSpec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, "-")
+}
+
+// groupOptions clones the base options once per rank. CPUs keep the locking
+// scheme (the pipelined worker/mover split is a MIC optimization).
+func groupOptions(base hetgraph.Options, specs []hetgraph.DeviceSpec) []hetgraph.Options {
+	opts := make([]hetgraph.Options, len(specs))
+	for r, spec := range specs {
+		o := base
+		o.Dev = spec
+		if spec.Name == "CPU" {
+			o.Scheme = hetgraph.SchemeLocking
+		}
+		opts[r] = o
+	}
+	return opts
+}
+
+// loadOrMakeAssign loads the -partition file when given; groups larger than
+// the classic pair may omit it and get a continuous partition weighted by
+// each rank's hardware thread count.
+func loadOrMakeAssign(partPath string, g *hetgraph.Graph, specs []hetgraph.DeviceSpec) ([]int32, error) {
+	if partPath != "" {
+		return hetgraph.LoadPartition(partPath)
+	}
+	if len(specs) == 2 {
+		return nil, usagef("-device both requires -partition")
+	}
+	assign, err := hetgraph.PartitionN(hetgraph.PartitionContinuous, g, hetgraph.DeviceWeights(specs...))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("partitioned: continuous over %d ranks by thread weight\n", len(specs))
+	return assign, nil
 }
 
 // graphInfoOf fingerprints the loaded graph for the run report.
@@ -444,7 +532,7 @@ func verifyResult(appName string, app hetgraph.AppF32, g *hetgraph.Graph, source
 	return nil
 }
 
-func runSC(g *hetgraph.Graph, graphPath, device string, scheme hetgraph.Scheme, partPath string, iters int, col *hetgraph.MetricsCollector, reportPath string, abort <-chan struct{}) error {
+func runSC(g *hetgraph.Graph, graphPath, device string, scheme hetgraph.Scheme, partPath, devices string, ranks, iters int, col *hetgraph.MetricsCollector, reportPath string, abort <-chan struct{}) error {
 	if iters == 0 {
 		iters = 5
 	}
@@ -478,36 +566,30 @@ func runSC(g *hetgraph.Graph, graphPath, device string, scheme hetgraph.Scheme, 
 			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
 		}
 	case "both":
-		if partPath == "" {
-			return usagef("-device both requires -partition")
-		}
-		assign, err := hetgraph.LoadPartition(partPath)
+		specs, err := deviceGroupOf(devices, ranks)
 		if err != nil {
 			return err
 		}
-		optCPU := opt
-		optCPU.Dev = hetgraph.CPU()
-		optCPU.Scheme = hetgraph.SchemeLocking
-		optMIC := opt
-		optMIC.Dev = hetgraph.MIC()
-		res, err := hetgraph.RunSemiClusteringHetero(app, g, assign, optCPU, optMIC)
+		assign, err := loadOrMakeAssign(partPath, g, specs)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("semicluster on CPU-MIC: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
-			res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
-		repConfig = []hetgraph.RunReportConfig{
-			reportConfigOf(0, optCPU, ""),
-			reportConfigOf(1, optMIC, ""),
+		opts := groupOptions(opt, specs)
+		res, err := hetgraph.RunSemiClusteringHetero(app, g, assign, opts...)
+		if err != nil {
+			return err
 		}
-		repDevices = []hetgraph.RunReportDevice{
-			deviceReportOf(0, optCPU.Dev.Name, res.Dev[0]),
-			deviceReportOf(1, optMIC.Dev.Name, res.Dev[1]),
+		fmt.Printf("semicluster on %s: %d iterations, sim %.6fs (exec %.6f + comm %.6f), wall %.3fs\n",
+			groupLabel(specs), res.Iterations, res.SimSeconds, res.ExecSeconds, res.CommSeconds, res.WallSeconds)
+		for r, o := range opts {
+			repConfig = append(repConfig, reportConfigOf(r, o, ""))
+			repDevices = append(repDevices, deviceReportOf(r, o.Dev.Name, res.Dev[r]))
 		}
 		repTotals = hetgraph.RunReportTotals{
 			Iterations: res.Iterations, Converged: res.Converged,
 			SimSeconds: res.SimSeconds, WallSeconds: res.WallSeconds,
 			ExecSeconds: res.ExecSeconds, CommSeconds: res.CommSeconds,
+			Ranks: len(specs), FailedRanks: res.FailedRanks,
 		}
 	default:
 		return usagef("unknown -device %q", device)

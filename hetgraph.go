@@ -15,11 +15,26 @@
 //   - hybrid Metis-style CPU/MIC graph partitioning with MPI-symmetric-mode
 //     style message exchange.
 //
-// Because this reproduction targets commodity hardware, the two devices are
+// Because this reproduction targets commodity hardware, the devices are
 // simulated: all data structures and concurrency run for real (goroutines,
 // lock-free queues, real buffers), while per-device time is computed by a
 // calibrated cost model from the counted events of that real execution.
 // See DESIGN.md and the internal/machine package documentation.
+//
+// # Device groups
+//
+// The paper's CPU+MIC pair generalizes to an N-rank device group: a
+// heterogeneous run executes over any ordered set of device specs, one
+// rank per spec, exchanging messages all-to-all each superstep. Pass one
+// Options per rank to RunF32Hetero (or the app-specific hetero runners),
+// or a single Options whose Devices field lists the group. The classic
+// two-rank CPU+MIC topology is simply the 2-element group and keeps its
+// original behavior exactly. Partition an input graph across a group with
+// PartitionN using DeviceWeights for spec-proportional workload ratios.
+// Fault tolerance — blame via majority quorum, degraded continuation on
+// the surviving subset, and epoch-fenced rejoin back to full membership —
+// operates over any group size; see docs/architecture.md for the model
+// and docs/robustness.md for the fault lifecycle.
 //
 // Quick start:
 //
@@ -143,7 +158,8 @@ type (
 	Options = core.Options
 	// Result reports a single-device run.
 	Result = core.Result
-	// HeteroResult reports a CPU+MIC run.
+	// HeteroResult reports a device-group (hetero) run; Dev holds one
+	// Result per rank.
 	HeteroResult = core.HeteroResult
 	// Scheme selects the message-generation scheme.
 	Scheme = core.Scheme
@@ -183,10 +199,28 @@ func MIC() DeviceSpec { return machine.MIC() }
 // Run executes a float32-message application on one modeled device.
 func Run(app AppF32, g *Graph, opt Options) (Result, error) { return core.RunF32(app, g, opt) }
 
-// RunHetero executes a float32-message application across CPU and MIC.
-// assign maps each vertex to device 0 (CPU) or 1 (MIC).
-func RunHetero(app AppF32, g *Graph, assign []int32, optCPU, optMIC Options) (HeteroResult, error) {
-	return core.RunF32Hetero(app, g, assign, optCPU, optMIC)
+// RunHetero executes a float32-message application across a device group.
+// assign maps each vertex to a rank in [0, len(deviceOpts)); the classic
+// CPU+MIC pair is the two-Options call with ranks 0 (CPU) and 1 (MIC).
+// Alternatively pass a single Options whose Devices field lists the group.
+// RunHetero is an alias of RunF32Hetero, kept for existing callers.
+func RunHetero(app AppF32, g *Graph, assign []int32, deviceOpts ...Options) (HeteroResult, error) {
+	return core.RunF32Hetero(app, g, assign, deviceOpts...)
+}
+
+// RunF32Hetero executes a float32-message application across an N-rank
+// device group. Each Options value configures one rank, in rank order;
+// alternatively a single Options with Devices set declares the whole group
+// (every rank inherits the remaining fields). All ranks run the same BSP
+// superstep in lockstep, exchanging boundary messages all-to-all.
+//
+// Fault tolerance composes with the group: with checkpointing enabled a
+// failed rank is identified by majority quorum, the survivors restore the
+// last checkpoint and continue over the surviving subset, and with
+// Options.Rejoin the failed rank re-enters at its recovery superstep.
+// HeteroResult.Dev holds one Result per rank.
+func RunF32Hetero(app AppF32, g *Graph, assign []int32, deviceOpts ...Options) (HeteroResult, error) {
+	return core.RunF32Hetero(app, g, assign, deviceOpts...)
 }
 
 // RunOMP executes the OpenMP-style baseline for comparison (§V-C).
@@ -303,6 +337,25 @@ func Partition(method PartitionMethod, g *Graph, r Ratio) ([]int32, error) {
 	return partition.Make(method, g, r)
 }
 
+// PartitionN computes an N-rank device assignment with the given method,
+// splitting the edge workload in proportion to weights — one positive
+// integer per rank. The two-rank Ratio form is PartitionN with weights
+// {A, B}; use DeviceWeights for spec-proportional weights.
+func PartitionN(method PartitionMethod, g *Graph, weights []int) ([]int32, error) {
+	return partition.MakeN(method, g, weights)
+}
+
+// DeviceWeights derives spec-proportional partition weights for a device
+// group: each rank's weight is its hardware thread count (the CPU+MIC pair
+// yields 16:240).
+func DeviceWeights(devs ...DeviceSpec) []int {
+	w := make([]int, len(devs))
+	for i, d := range devs {
+		w[i] = d.Threads()
+	}
+	return w
+}
+
 // PartitionHybridBlocks runs the hybrid scheme with an explicit block count
 // and Metis options.
 func PartitionHybridBlocks(g *Graph, r Ratio, blocks int) ([]int32, error) {
@@ -371,9 +424,10 @@ func RunLabelPropagation(app *LabelPropagation, g *Graph, opt Options) (Result, 
 	return core.RunGeneric[apps.LPAMsg](app, g, opt)
 }
 
-// RunLabelPropagationHetero executes Label Propagation across CPU and MIC.
-func RunLabelPropagationHetero(app *LabelPropagation, g *Graph, assign []int32, optCPU, optMIC Options) (HeteroResult, error) {
-	return core.RunGenericHetero[apps.LPAMsg](app, g, assign, optCPU, optMIC)
+// RunLabelPropagationHetero executes Label Propagation across a device
+// group (one Options per rank, or a single Options with Devices set).
+func RunLabelPropagationHetero(app *LabelPropagation, g *Graph, assign []int32, deviceOpts ...Options) (HeteroResult, error) {
+	return core.RunGenericHetero[apps.LPAMsg](app, g, assign, deviceOpts...)
 }
 
 // NewSemiClustering creates a Semi-Clustering app.
@@ -387,9 +441,10 @@ func RunSemiClustering(app *SemiClustering, g *Graph, opt Options) (Result, erro
 	return core.RunGeneric[apps.SCMsg](app, g, opt)
 }
 
-// RunSemiClusteringHetero executes Semi-Clustering across CPU and MIC.
-func RunSemiClusteringHetero(app *SemiClustering, g *Graph, assign []int32, optCPU, optMIC Options) (HeteroResult, error) {
-	return core.RunGenericHetero[apps.SCMsg](app, g, assign, optCPU, optMIC)
+// RunSemiClusteringHetero executes Semi-Clustering across a device group
+// (one Options per rank, or a single Options with Devices set).
+func RunSemiClusteringHetero(app *SemiClustering, g *Graph, assign []int32, deviceOpts ...Options) (HeteroResult, error) {
+	return core.RunGenericHetero[apps.SCMsg](app, g, assign, deviceOpts...)
 }
 
 // VerifyAgainstSequential checks an already-run application's vertex state

@@ -1,18 +1,20 @@
 // Package checkpoint provides superstep-boundary checkpointing for the
 // heterogeneous runtime. A checkpoint captures the application's vertex
-// state plus both ranks' next-superstep frontiers at a point where neither
-// rank is mutating state, so that after a device failure the surviving
-// device can restore the last checkpoint, merge the dead rank's partition
-// into its own, and finish the run single-device.
+// state plus every rank's next-superstep frontier at a point where no rank
+// is mutating state, so that after a device failure the surviving ranks can
+// restore the last checkpoint, absorb the dead ranks' partitions, and finish
+// the run degraded.
 //
-// The capture point is a two-party barrier (Coordinator) placed after the
-// vertex-update step: both ranks arrive, rank 0 snapshots the shared state
-// arrays while rank 1 is parked, and rank 0 then releases rank 1. Because
-// the BSP loop's only state writers are the update steps, and both ranks
-// have finished update for the superstep when they arrive, the snapshot is
-// a consistent global cut. The barrier degrades safely: a rank that dies
-// marks itself dead and wakes any peer waiting at the barrier, and an
-// optional deadline bounds the wait for a silently stalled peer.
+// The capture point is an N-party barrier (Coordinator) placed after the
+// vertex-update step: all live members arrive, the lowest-ranked member
+// snapshots the shared state arrays while the others are parked, and then
+// releases them. Because the BSP loop's only state writers are the update
+// steps, and every member has finished update for the superstep when it
+// arrives, the snapshot is a consistent global cut. The barrier degrades
+// safely: a rank that dies marks itself dead and wakes any member waiting at
+// the barrier, and an optional deadline bounds the wait for a silently
+// stalled member. SetMembers shrinks (or re-grows) the barrier when the
+// supervisor changes the live membership.
 package checkpoint
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,60 +51,89 @@ type Snapshot struct {
 	Superstep int64
 	// State is the application's serialized vertex state.
 	State []byte
-	// Frontier holds each rank's active set for superstep Superstep.
-	Frontier [2][]graph.VertexID
+	// Frontier holds each rank's active set for superstep Superstep,
+	// indexed by rank (nil for ranks that were dead at capture).
+	Frontier [][]graph.VertexID
 }
 
-// MergedFrontier returns both ranks' frontiers joined — the active set a
-// single surviving device continues with. Ownership partitions the vertex
-// space, so the union is concatenation.
+// MergedFrontier returns all ranks' frontiers joined — the active set the
+// surviving devices continue with. Ownership partitions the vertex space, so
+// the union is concatenation.
 func (s *Snapshot) MergedFrontier() []graph.VertexID {
-	out := make([]graph.VertexID, 0, len(s.Frontier[0])+len(s.Frontier[1]))
-	out = append(out, s.Frontier[0]...)
-	out = append(out, s.Frontier[1]...)
+	total := 0
+	for _, f := range s.Frontier {
+		total += len(f)
+	}
+	out := make([]graph.VertexID, 0, total)
+	for _, f := range s.Frontier {
+		out = append(out, f...)
+	}
 	return out
 }
 
-// Binary checkpoint format: magic, version, superstep, the two frontiers,
-// then the state blob. All integers little-endian. Version 2 appends a
-// CRC32C (Castagnoli) checksum of every preceding byte, so the durable
-// store can detect torn or bit-rotted on-disk snapshots; version 1 streams
-// (written by earlier releases' in-memory encoder) still decode.
+// Binary checkpoint format: magic, version, superstep, the frontiers, then
+// the state blob. All integers little-endian. Version 2 holds exactly two
+// frontiers (the classic CPU+MIC pair) and appends a CRC32C (Castagnoli)
+// checksum of every preceding byte, so the durable store can detect torn or
+// bit-rotted on-disk snapshots; version 1 streams (written by earlier
+// releases' in-memory encoder) still decode. Version 3 prefixes the frontier
+// list with its count, carrying any device-group size; two-rank snapshots
+// keep encoding as v2 so their on-disk bytes are unchanged.
 const (
 	snapMagic    = 0x4847_434b // "HGCK"
 	snapVersion1 = 1
 	snapVersion2 = 2
+	snapVersion3 = 3
 )
 
-// castagnoli is the CRC32C polynomial table shared by the v2 snapshot
+// castagnoli is the CRC32C polynomial table shared by the v2/v3 snapshot
 // trailer and the store manifest.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Checksum computes the CRC32C checksum the v2 format and the store
+// Checksum computes the CRC32C checksum the v2/v3 formats and the store
 // manifest use.
 func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
-// Encode serializes the snapshot to the current (v2, checksummed) binary
-// checkpoint format.
+// Encode serializes the snapshot to the current checksummed binary
+// checkpoint format: v2 for snapshots of up to two frontiers (byte-identical
+// to earlier releases), v3 for larger device groups.
 func (s *Snapshot) Encode() []byte {
-	b := s.encodeBody(snapVersion2)
+	version := byte(snapVersion2)
+	if len(s.Frontier) > 2 {
+		version = snapVersion3
+	}
+	b := s.encodeBody(version)
 	return binary.LittleEndian.AppendUint32(b, Checksum(b))
 }
 
 // EncodeV1 serializes the snapshot to the legacy v1 format without the
-// checksum trailer. New code writes v2; this exists so compatibility tests
-// (and tools replaying old captures) can produce v1 streams.
+// checksum trailer. New code writes v2/v3; this exists so compatibility
+// tests (and tools replaying old captures) can produce v1 streams. Only the
+// first two frontiers are representable in v1.
 func (s *Snapshot) EncodeV1() []byte { return s.encodeBody(snapVersion1) }
 
 func (s *Snapshot) encodeBody(version byte) []byte {
-	size := 4 + 1 + 8 + 4 + 4 + 4*(len(s.Frontier[0])+len(s.Frontier[1])) + 4 + len(s.State) + 4
+	ids := 0
+	for _, f := range s.Frontier {
+		ids += len(f)
+	}
+	size := 4 + 1 + 8 + 4 + 4*len(s.Frontier) + 4*ids + 4 + len(s.State) + 4
 	b := make([]byte, 0, size)
 	b = binary.LittleEndian.AppendUint32(b, snapMagic)
 	b = append(b, version)
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.Superstep))
-	for r := 0; r < 2; r++ {
-		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Frontier[r])))
-		for _, v := range s.Frontier[r] {
+	frontiers := s.Frontier
+	if version != snapVersion3 {
+		// v1/v2 carry exactly two frontiers; pad or truncate.
+		padded := make([][]graph.VertexID, 2)
+		copy(padded, frontiers)
+		frontiers = padded
+	} else {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(frontiers)))
+	}
+	for _, f := range frontiers {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f)))
+		for _, v := range f {
 			b = binary.LittleEndian.AppendUint32(b, uint32(v))
 		}
 	}
@@ -110,9 +142,9 @@ func (s *Snapshot) encodeBody(version byte) []byte {
 	return b
 }
 
-// Decode parses a snapshot from the binary checkpoint format, accepting
-// both the current checksummed v2 framing and the legacy v1 framing. A v2
-// stream whose trailer does not match the CRC32C of its body is rejected.
+// Decode parses a snapshot from the binary checkpoint format, accepting the
+// checksummed v2/v3 framings and the legacy v1 framing. A v2/v3 stream
+// whose trailer does not match the CRC32C of its body is rejected.
 func Decode(b []byte) (*Snapshot, error) {
 	if len(b) < 4+1+8 {
 		return nil, errors.New("checkpoint: truncated header")
@@ -122,7 +154,7 @@ func Decode(b []byte) (*Snapshot, error) {
 	}
 	switch b[4] {
 	case snapVersion1:
-	case snapVersion2:
+	case snapVersion2, snapVersion3:
 		if len(b) < 4+1+8+4 {
 			return nil, errors.New("checkpoint: truncated v2 trailer")
 		}
@@ -136,13 +168,31 @@ func Decode(b []byte) (*Snapshot, error) {
 	}
 	s := &Snapshot{Superstep: int64(binary.LittleEndian.Uint64(b[5:]))}
 	off := 13
-	for r := 0; r < 2; r++ {
+	numFrontiers := 2
+	if b[4] == snapVersion3 {
+		if len(b) < off+4 {
+			return nil, errors.New("checkpoint: truncated frontier count")
+		}
+		numFrontiers = int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if numFrontiers < 0 || numFrontiers > len(b)/4 {
+			return nil, fmt.Errorf("checkpoint: implausible frontier count %d", numFrontiers)
+		}
+	}
+	// Pad to the two-rank minimum so Frontier[0]/Frontier[1] are always
+	// addressable on a decoded snapshot.
+	alloc := numFrontiers
+	if alloc < 2 {
+		alloc = 2
+	}
+	s.Frontier = make([][]graph.VertexID, alloc)
+	for r := 0; r < numFrontiers; r++ {
 		if len(b) < off+4 {
 			return nil, errors.New("checkpoint: truncated frontier length")
 		}
 		n := int(binary.LittleEndian.Uint32(b[off:]))
 		off += 4
-		if len(b) < off+4*n {
+		if n < 0 || len(b) < off+4*n {
 			return nil, errors.New("checkpoint: truncated frontier")
 		}
 		if n > 0 {
@@ -211,24 +261,41 @@ func DecodeI32(b []byte) ([]int32, error) {
 	return xs, nil
 }
 
-// ErrPeerDead is returned from Checkpoint when the other rank died (or
+// ErrPeerDead is returned from Checkpoint when another rank died (or
 // stalled past the deadline) instead of arriving at the barrier.
 var ErrPeerDead = errors.New("checkpoint: peer rank died before the checkpoint barrier")
 
-// Coordinator runs the two-party checkpoint barrier for one heterogeneous
-// run. Rank 0 is the capturing side.
+// arrival is one non-capturing member's barrier entry.
+type arrival struct {
+	rank      int
+	completed int64
+	frontier  []graph.VertexID
+}
+
+// Coordinator runs the N-party checkpoint barrier for one heterogeneous
+// run. The lowest live rank is the capturing side; the other members park
+// at the barrier while it snapshots.
 type Coordinator struct {
 	every   int64
+	ranks   int
 	state   Snapshotter
 	timeout time.Duration
 
-	// arrive carries rank 1's frontier to rank 0; release carries the
-	// capture result back to rank 1.
-	arrive  chan []graph.VertexID
+	// arrive carries the waiters' frontiers to the capturer; release
+	// carries the capture result back. Both are buffered to the group size
+	// so a member whose peers died can still deposit and fail fast on the
+	// dead channel instead of blocking forever.
+	arrive  chan arrival
 	release chan error
 
 	deadOnce sync.Once
 	deadCh   chan struct{}
+
+	// memMu guards members, the ranks currently taking part in the
+	// barrier. The supervisor shrinks it on degradation and restores it on
+	// rejoin, always between segments.
+	memMu   sync.Mutex
+	members []int
 
 	// store, when non-nil, makes every captured snapshot durable: capture
 	// commits it to disk and fails (wrapping *StoreError) when the commit
@@ -245,23 +312,39 @@ type Coordinator struct {
 	latest *Snapshot
 }
 
-// NewCoordinator creates a coordinator that checkpoints every `every`
-// completed supersteps. timeout bounds each barrier wait (0 = unbounded,
-// relying on dead-rank notification alone).
+// NewCoordinator creates a two-party coordinator (the classic CPU+MIC pair)
+// that checkpoints every `every` completed supersteps. timeout bounds each
+// barrier wait (0 = unbounded, relying on dead-rank notification alone).
 func NewCoordinator(state Snapshotter, every int, timeout time.Duration) (*Coordinator, error) {
+	return NewGroupCoordinator(state, 2, every, timeout)
+}
+
+// NewGroupCoordinator creates a coordinator for an N-rank device group that
+// checkpoints every `every` completed supersteps. timeout bounds each
+// barrier wait (0 = unbounded, relying on dead-rank notification alone).
+func NewGroupCoordinator(state Snapshotter, ranks, every int, timeout time.Duration) (*Coordinator, error) {
 	if state == nil {
 		return nil, errors.New("checkpoint: nil snapshotter")
 	}
 	if every < 1 {
 		return nil, fmt.Errorf("checkpoint: interval %d < 1", every)
 	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("checkpoint: ranks %d < 1", ranks)
+	}
+	members := make([]int, ranks)
+	for r := range members {
+		members[r] = r
+	}
 	return &Coordinator{
 		every:   int64(every),
+		ranks:   ranks,
 		state:   state,
 		timeout: timeout,
-		arrive:  make(chan []graph.VertexID),
-		release: make(chan error),
+		arrive:  make(chan arrival, ranks),
+		release: make(chan error, ranks),
 		deadCh:  make(chan struct{}),
+		members: members,
 	}, nil
 }
 
@@ -272,6 +355,16 @@ func (c *Coordinator) SetStore(s *Store) { c.store = s }
 // SetSink attaches a metrics sink that receives checkpoint events. Call
 // before the run starts; nil disables event emission.
 func (c *Coordinator) SetSink(s metrics.Sink) { c.sink = s }
+
+// SetMembers replaces the live membership of the barrier — the sorted set of
+// ranks expected to arrive. Supervisor-only: call between run segments.
+func (c *Coordinator) SetMembers(members []int) {
+	m := append([]int(nil), members...)
+	sort.Ints(m)
+	c.memMu.Lock()
+	c.members = m
+	c.memMu.Unlock()
+}
 
 // emit records a checkpoint event on the sink, if any.
 func (c *Coordinator) emit(kind string, completed int64, wallNS int64, detail string) {
@@ -290,38 +383,47 @@ func (c *Coordinator) Due(completed int64) bool {
 }
 
 // Initial captures the superstep-0 snapshot before the rank loops start
-// (single-threaded), guaranteeing recovery is always possible.
-func (c *Coordinator) Initial(frontier0, frontier1 []graph.VertexID) error {
-	return c.InitialAt(0, frontier0, frontier1)
+// (single-threaded), guaranteeing recovery is always possible. frontiers are
+// positional by rank.
+func (c *Coordinator) Initial(frontiers ...[]graph.VertexID) error {
+	return c.InitialAt(0, frontiers...)
 }
 
 // InitialAt is Initial for a run that cold-starts at a restored superstep:
 // the pre-loop snapshot carries the restored state and frontiers, so a
 // failure before the first new boundary checkpoint still has something to
-// fall back to.
-func (c *Coordinator) InitialAt(completed int64, frontier0, frontier1 []graph.VertexID) error {
-	return c.capture(completed, frontier0, frontier1)
+// fall back to. frontiers are positional by rank; missing trailing ranks
+// get empty frontiers.
+func (c *Coordinator) InitialAt(completed int64, frontiers ...[]graph.VertexID) error {
+	if len(frontiers) > c.ranks {
+		return fmt.Errorf("checkpoint: %d frontiers for a %d-rank group", len(frontiers), c.ranks)
+	}
+	byRank := make([][]graph.VertexID, c.ranks)
+	copy(byRank, frontiers)
+	return c.capture(completed, byRank)
 }
 
-// Checkpoint is the per-rank barrier call, made by both ranks after they
-// finish the update step of superstep completed-1. frontier is the caller's
-// active set for superstep `completed`. It returns ErrPeerDead (possibly
-// wrapped) when the peer never arrives.
+// Checkpoint is the per-rank barrier call, made by every live member after
+// it finishes the update step of superstep completed-1. frontier is the
+// caller's active set for superstep `completed`. It returns ErrPeerDead
+// (possibly wrapped) when another member never arrives.
 func (c *Coordinator) Checkpoint(rank int, completed int64, frontier []graph.VertexID) error {
+	c.memMu.Lock()
+	members := append([]int(nil), c.members...)
+	c.memMu.Unlock()
+	capturer := members[0]
+	waiters := len(members) - 1
+
 	var timeoutC <-chan time.Time
 	if c.timeout > 0 {
 		timer := time.NewTimer(c.timeout)
 		defer timer.Stop()
 		timeoutC = timer.C
 	}
-	if rank == 1 {
-		select {
-		case c.arrive <- frontier:
-		case <-c.deadCh:
-			return ErrPeerDead
-		case <-timeoutC:
-			return fmt.Errorf("checkpoint: barrier wait exceeded %s: %w", c.timeout, ErrPeerDead)
-		}
+	if rank != capturer {
+		// The deposit cannot block (arrive is buffered to the group size),
+		// so a waiter whose capturer died fails fast at the release wait.
+		c.arrive <- arrival{rank: rank, completed: completed, frontier: frontier}
 		select {
 		case err := <-c.release:
 			return err
@@ -331,27 +433,42 @@ func (c *Coordinator) Checkpoint(rank int, completed int64, frontier []graph.Ver
 			return fmt.Errorf("checkpoint: barrier wait exceeded %s: %w", c.timeout, ErrPeerDead)
 		}
 	}
-	var peerFrontier []graph.VertexID
-	select {
-	case peerFrontier = <-c.arrive:
-	case <-c.deadCh:
-		return ErrPeerDead
-	case <-timeoutC:
-		return fmt.Errorf("checkpoint: barrier wait exceeded %s: %w", c.timeout, ErrPeerDead)
+	frontiers := make([][]graph.VertexID, c.ranks)
+	frontiers[rank] = frontier
+	var barrierErr error
+	for i := 0; i < waiters; i++ {
+		select {
+		case a := <-c.arrive:
+			if a.completed != completed && barrierErr == nil {
+				barrierErr = fmt.Errorf("checkpoint: barrier disagreement: rank %d arrived at superstep %d, rank %d at superstep %d",
+					rank, completed, a.rank, a.completed)
+			}
+			frontiers[a.rank] = a.frontier
+		case <-c.deadCh:
+			return ErrPeerDead
+		case <-timeoutC:
+			return fmt.Errorf("checkpoint: barrier wait exceeded %s: %w", c.timeout, ErrPeerDead)
+		}
 	}
-	// Rank 1 is parked in the release wait; no update step is running
+	// Every waiter is parked in the release wait; no update step is running
 	// anywhere, so the shared state arrays are quiescent.
-	err := c.capture(completed, frontier, peerFrontier)
-	select {
-	case c.release <- err:
-	case <-c.deadCh:
-		return ErrPeerDead
+	err := barrierErr
+	if err == nil {
+		err = c.capture(completed, frontiers)
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case c.release <- err:
+		case <-c.deadCh:
+			return ErrPeerDead
+		}
 	}
 	return err
 }
 
-// capture snapshots state and stores the checkpoint.
-func (c *Coordinator) capture(completed int64, frontier0, frontier1 []graph.VertexID) error {
+// capture snapshots state and stores the checkpoint. frontiers is indexed
+// by rank and already sized to the group.
+func (c *Coordinator) capture(completed int64, frontiers [][]graph.VertexID) error {
 	var start time.Time
 	if c.sink != nil {
 		start = time.Now()
@@ -363,8 +480,10 @@ func (c *Coordinator) capture(completed int64, frontier0, frontier1 []graph.Vert
 		return err
 	}
 	snap := &Snapshot{Superstep: completed, State: state}
-	snap.Frontier[0] = append([]graph.VertexID(nil), frontier0...)
-	snap.Frontier[1] = append([]graph.VertexID(nil), frontier1...)
+	snap.Frontier = make([][]graph.VertexID, len(frontiers))
+	for r, f := range frontiers {
+		snap.Frontier[r] = append([]graph.VertexID(nil), f...)
+	}
 	c.mu.Lock()
 	c.latest = snap
 	c.mu.Unlock()
@@ -397,20 +516,29 @@ func elapsedNS(start time.Time, sink metrics.Sink) int64 {
 	return time.Since(start).Nanoseconds()
 }
 
-// MarkDead records that a rank died, waking any peer waiting at the
+// MarkDead records that a rank died, waking any member waiting at the
 // barrier and failing all future barrier calls.
 func (c *Coordinator) MarkDead(rank int) {
 	c.deadOnce.Do(func() { close(c.deadCh) })
 }
 
 // Reopen re-arms a coordinator whose barrier was torn down by MarkDead so
-// the two-party Due barrier works again after a degrade→heal cycle.
+// the N-party barrier works again after a membership change. Leftover
+// deposits and release results of the torn-down barrier are drained.
 // Supervisor-only: call it between run segments, when no rank goroutine is
-// blocked in Due/InitialAt — reopening while a barrier wait is parked on the
+// blocked at the barrier — reopening while a barrier wait is parked on the
 // old dead channel would strand it.
 func (c *Coordinator) Reopen() {
 	c.deadOnce = sync.Once{}
 	c.deadCh = make(chan struct{})
+	for {
+		select {
+		case <-c.arrive:
+		case <-c.release:
+		default:
+			return
+		}
+	}
 }
 
 // Latest returns the most recent checkpoint (nil if none was taken).
@@ -421,8 +549,8 @@ func (c *Coordinator) Latest() *Snapshot {
 }
 
 // Restore applies the latest checkpoint's state to the application and
-// returns the snapshot; it is called single-threaded, after both rank
-// loops have exited.
+// returns the snapshot; it is called single-threaded, after the rank loops
+// have exited.
 func (c *Coordinator) Restore() (*Snapshot, error) {
 	snap := c.Latest()
 	if snap == nil {

@@ -18,7 +18,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if superstep < 0 {
 			superstep = -superstep
 		}
-		s := &Snapshot{Superstep: superstep, State: state}
+		s := &Snapshot{Superstep: superstep, State: state, Frontier: make([][]graph.VertexID, 2)}
 		for _, v := range f0 {
 			s.Frontier[0] = append(s.Frontier[0], graph.VertexID(v&0x7fffffff))
 		}
@@ -51,7 +51,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsCorruption(t *testing.T) {
-	s := &Snapshot{Superstep: 7, State: []byte{1, 2, 3}}
+	s := &Snapshot{Superstep: 7, State: []byte{1, 2, 3}, Frontier: make([][]graph.VertexID, 2)}
 	s.Frontier[0] = []graph.VertexID{4, 5}
 	s.Frontier[1] = []graph.VertexID{6}
 	b := s.Encode()

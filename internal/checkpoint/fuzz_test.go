@@ -36,7 +36,7 @@ func TestDecodeV1BackwardCompat(t *testing.T) {
 // panic, and anything it accepts must re-encode to a stream that decodes to
 // the same snapshot.
 func FuzzDecode(f *testing.F) {
-	valid := &Snapshot{Superstep: 3, State: []byte{1, 2, 3, 4}}
+	valid := &Snapshot{Superstep: 3, State: []byte{1, 2, 3, 4}, Frontier: make([][]graph.VertexID, 2)}
 	valid.Frontier[0] = []graph.VertexID{0, 2}
 	valid.Frontier[1] = []graph.VertexID{1}
 	f.Add(valid.Encode())

@@ -13,7 +13,7 @@ import (
 )
 
 func testSnap(step int64) *Snapshot {
-	s := &Snapshot{Superstep: step, State: []byte{byte(step), 1, 2, 3}}
+	s := &Snapshot{Superstep: step, State: []byte{byte(step), 1, 2, 3}, Frontier: make([][]graph.VertexID, 2)}
 	s.Frontier[0] = []graph.VertexID{graph.VertexID(step), 7}
 	s.Frontier[1] = []graph.VertexID{9}
 	return s

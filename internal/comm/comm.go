@@ -5,14 +5,30 @@
 // buffer and ships the combined result to the other device as a single MPI
 // message (§IV-A).
 //
-// Here the two ranks are in-process engines; the transport is a pair of
+// Here the ranks are in-process engines; the transport is a matrix of
 // buffered channels (real data movement, real synchronization), and the
 // PCIe cost is computed from the actual bytes shipped using the machine
 // package's link model.
+//
+// # Device groups
+//
+// A Net is built for an N-rank device group (NewGroupNet; NewNet is the
+// classic two-rank CPU+MIC pair). Every ordered pair of ranks gets its own
+// capacity-1 channel, so an all-to-all round cannot deadlock: each rank
+// deposits all its outgoing payloads before it starts receiving. Rank r's
+// view of the group is an Endpoint; Endpoint.ExchangeAll ships one payload
+// per live peer and collects one from each, which generalizes the pairwise
+// Endpoint.Exchange used when the group has exactly two ranks.
+//
+// The supervisor can shrink the group after a failure (SetMembers) and
+// re-grow it on rejoin; epoch fencing (NewEpoch) stamps every packet so a
+// payload left behind by a dead rank is dropped as stale instead of being
+// delivered into the healed run. Per-link traffic is tallied in LinkStats.
 package comm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,7 +59,7 @@ type packet[T any] struct {
 // DeviceFailedError reports that a rank died, stalled past the exchange
 // deadline, or lost its link permanently. Rank names the rank that failed
 // (which may be the caller's own rank, when the failure was injected into it
-// or its peer declared it dead).
+// or a peer declared it dead).
 type DeviceFailedError struct {
 	// Rank is the rank that failed.
 	Rank int
@@ -68,11 +84,30 @@ const (
 	maxRetryBackoff  = 5 * time.Millisecond
 )
 
-// Net is the two-rank interconnect.
+// linkCounter tallies one directed link's lifetime traffic.
+type linkCounter struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// LinkStat is one directed link's cumulative traffic across the run, as
+// counted on the sender side.
+type LinkStat struct {
+	// From and To are the sender and receiver ranks.
+	From, To int
+	// Msgs and Bytes are the combined messages and wire bytes shipped.
+	Msgs, Bytes int64
+}
+
+// Net is the N-rank interconnect of a device group.
 type Net[T any] struct {
 	link     machine.Link
 	msgBytes int
-	chans    [2]chan packet[T]
+	ranks    int
+	// chans[from][to] carries from→to payloads; capacity 1 per directed
+	// pair lets every rank deposit all its sends before receiving, so a
+	// symmetric all-to-all round cannot deadlock.
+	chans [][]chan packet[T]
 
 	// timeout bounds each Exchange round (0 = wait forever, the classic
 	// deadlock-prone MPI behavior).
@@ -82,20 +117,31 @@ type Net[T any] struct {
 	// retryBase is the first backoff interval for transient link faults.
 	retryBase time.Duration
 	// dead[r] is closed once rank r is declared dead (by fault injection,
-	// or by its peer giving up on it); pending and future exchanges then
+	// or by a peer giving up on it); pending and future exchanges then
 	// fail fast instead of waiting out the full deadline again.
-	dead     [2]chan struct{}
-	deadOnce [2]sync.Once
-	// resume[r] carries rank r's restored checkpoint generation during the
-	// cold-start resume handshake.
-	resume [2]chan uint64
+	dead     []chan struct{}
+	deadOnce []sync.Once
+	// resumeB[r] carries rank r's restored checkpoint generation during the
+	// cold-start resume handshake. A board, not a channel: every live peer
+	// reads it.
+	resumeB []*board[uint64]
 	// epoch is the current communication epoch, bumped by NewEpoch on every
-	// rejoin. Exchange stamps outgoing packets with it and rejects received
-	// packets from any other epoch (or the wrong superstep) as stale.
+	// membership change. Exchange stamps outgoing packets with it and
+	// rejects received packets from any other epoch (or the wrong
+	// superstep) as stale.
 	epoch atomic.Uint64
-	// rejoin[r] carries rank r's (epoch, generation, superstep) triple
+	// rejoinB[r] carries rank r's (epoch, generation, superstep) triple
 	// during the mid-run rejoin handshake.
-	rejoin [2]chan rejoinInfo
+	rejoinB []*board[rejoinInfo]
+
+	// memMu guards members, the ranks currently in lockstep. The
+	// supervisor shrinks it on degradation and restores it on rejoin,
+	// always between segments while no rank goroutine runs.
+	memMu   sync.RWMutex
+	members []int
+
+	// linkStats[from][to] tallies per-directed-link traffic.
+	linkStats [][]linkCounter
 }
 
 // rejoinInfo is one rank's view of the rejoin agreement: the new epoch, the
@@ -107,58 +153,161 @@ type rejoinInfo struct {
 	step  int64
 }
 
-// NewNet creates the interconnect. msgBytes is the wire size of one
-// message's value; 4 bytes of destination ID are added per message.
+// board is a one-shot, multi-reader handshake slot: the owner posts a value
+// once per epoch and every peer reads it. NewEpoch replaces the boards.
+type board[V any] struct {
+	mu     sync.Mutex
+	ready  chan struct{}
+	val    V
+	posted bool
+}
+
+func newBoard[V any]() *board[V] { return &board[V]{ready: make(chan struct{})} }
+
+func (b *board[V]) post(v V) {
+	b.mu.Lock()
+	if !b.posted {
+		b.val = v
+		b.posted = true
+		close(b.ready)
+	}
+	b.mu.Unlock()
+}
+
+func (b *board[V]) get() (V, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val, b.posted
+}
+
+// NewNet creates the classic two-rank CPU+MIC interconnect. msgBytes is the
+// wire size of one message's value; 4 bytes of destination ID are added per
+// message.
 func NewNet[T any](link machine.Link, msgBytes int) (*Net[T], error) {
+	return NewGroupNet[T](link, msgBytes, 2)
+}
+
+// NewGroupNet creates the interconnect of an N-rank device group
+// (ranks >= 2). msgBytes is the wire size of one message's value; 4 bytes of
+// destination ID are added per message.
+func NewGroupNet[T any](link machine.Link, msgBytes, ranks int) (*Net[T], error) {
 	if msgBytes <= 0 {
 		return nil, fmt.Errorf("comm: msgBytes %d <= 0", msgBytes)
 	}
-	n := &Net[T]{link: link, msgBytes: msgBytes, retryBase: defaultRetryBase}
-	// Capacity 1 lets both ranks send before either receives, so a
-	// symmetric Exchange cannot deadlock.
-	n.chans[0] = make(chan packet[T], 1)
-	n.chans[1] = make(chan packet[T], 1)
-	n.dead[0] = make(chan struct{})
-	n.dead[1] = make(chan struct{})
-	n.resume[0] = make(chan uint64, 1)
-	n.resume[1] = make(chan uint64, 1)
-	n.rejoin[0] = make(chan rejoinInfo, 1)
-	n.rejoin[1] = make(chan rejoinInfo, 1)
+	if ranks < 2 {
+		return nil, fmt.Errorf("comm: ranks %d < 2", ranks)
+	}
+	n := &Net[T]{link: link, msgBytes: msgBytes, ranks: ranks, retryBase: defaultRetryBase}
+	n.chans = make([][]chan packet[T], ranks)
+	n.linkStats = make([][]linkCounter, ranks)
+	n.dead = make([]chan struct{}, ranks)
+	n.deadOnce = make([]sync.Once, ranks)
+	n.resumeB = make([]*board[uint64], ranks)
+	n.rejoinB = make([]*board[rejoinInfo], ranks)
+	n.members = make([]int, ranks)
+	for r := 0; r < ranks; r++ {
+		n.chans[r] = make([]chan packet[T], ranks)
+		n.linkStats[r] = make([]linkCounter, ranks)
+		for s := 0; s < ranks; s++ {
+			if s != r {
+				n.chans[r][s] = make(chan packet[T], 1)
+			}
+		}
+		n.dead[r] = make(chan struct{})
+		n.resumeB[r] = newBoard[uint64]()
+		n.rejoinB[r] = newBoard[rejoinInfo]()
+		n.members[r] = r
+	}
 	return n, nil
 }
 
-// Epoch returns the current communication epoch (0 until the first rejoin).
+// Ranks returns the size of the device group.
+func (n *Net[T]) Ranks() int { return n.ranks }
+
+// Epoch returns the current communication epoch (0 until the first
+// membership change).
 func (n *Net[T]) Epoch() uint64 { return n.epoch.Load() }
 
-// NewEpoch opens a new communication epoch for a rejoin: both ranks' dead
-// markers are cleared, stale handshake slots are drained, and the epoch
-// counter is bumped. Data channels are deliberately left alone — a payload
-// the dead rank (or its stranded peer) left behind carries the old epoch
-// stamp and is rejected by Exchange's receive loop (counted in
-// Stats.StaleDrops), which exercises the same fencing that protects
-// overlapping rounds. Must only be called while no rank goroutine is
-// running: the supervisor owns the net between lockstep segments.
+// NewEpoch opens a new communication epoch for a membership change (degrade
+// or rejoin): every rank's dead marker is cleared, the handshake boards are
+// replaced, leftover payloads are drained from the data channels, and the
+// epoch counter is bumped. The drain matters once a membership change
+// leaves two or more live ranks: a payload a dead rank (or its stranded
+// peer) parked in a link's buffer would otherwise keep that buffer full and
+// block the new epoch's first send forever — the receive-loop epoch fence
+// only rejects stale payloads that a receiver actually reaches. Packets
+// that slip through anyway (a rank that died mid-round, a wrong-superstep
+// replay) are still rejected by the receive fence and counted in
+// Stats.StaleDrops. Must only be called while no rank goroutine is running:
+// the supervisor owns the net between lockstep segments, which is also what
+// makes the drain safe — any resident packet predates the new epoch.
 func (n *Net[T]) NewEpoch() uint64 {
-	for r := 0; r < 2; r++ {
+	for r := 0; r < n.ranks; r++ {
 		n.dead[r] = make(chan struct{})
 		n.deadOnce[r] = sync.Once{}
-		select {
-		case <-n.resume[r]:
-		default:
-		}
-		select {
-		case <-n.rejoin[r]:
-		default:
+		n.resumeB[r] = newBoard[uint64]()
+		n.rejoinB[r] = newBoard[rejoinInfo]()
+		for s := 0; s < n.ranks; s++ {
+			if c := n.chans[r][s]; c != nil {
+			drain:
+				for {
+					select {
+					case <-c:
+					default:
+						break drain
+					}
+				}
+			}
 		}
 	}
 	return n.epoch.Add(1)
+}
+
+// SetMembers replaces the live membership — the sorted set of ranks expected
+// in lockstep. Called by the supervisor between segments; defaults to all
+// ranks.
+func (n *Net[T]) SetMembers(members []int) {
+	m := append([]int(nil), members...)
+	sort.Ints(m)
+	n.memMu.Lock()
+	n.members = m
+	n.memMu.Unlock()
+}
+
+// Members returns a copy of the live membership, sorted ascending.
+func (n *Net[T]) Members() []int {
+	n.memMu.RLock()
+	defer n.memMu.RUnlock()
+	return append([]int(nil), n.members...)
+}
+
+// LinkStats returns the cumulative per-directed-link traffic, counted on the
+// sender side, sorted by (From, To). Links that never carried a message are
+// omitted.
+func (n *Net[T]) LinkStats() []LinkStat {
+	var out []LinkStat
+	for from := 0; from < n.ranks; from++ {
+		for to := 0; to < n.ranks; to++ {
+			if from == to {
+				continue
+			}
+			c := &n.linkStats[from][to]
+			if m := c.msgs.Load(); m > 0 {
+				out = append(out, LinkStat{From: from, To: to, Msgs: m, Bytes: c.bytes.Load()})
+			}
+		}
+	}
+	return out
 }
 
 // SetTimeout bounds every subsequent Exchange round; 0 restores unbounded
 // waiting. Call before the run starts.
 func (n *Net[T]) SetTimeout(d time.Duration) { n.timeout = d }
 
-// SetInjector attaches a fault injector. Call before the run starts.
+// SetInjector attaches a fault injector (nil detaches it; the supervisor
+// suspends injection during degraded segments so a planned fault cannot
+// re-fire against an already-degraded group). Call while no rank goroutine
+// is running.
 func (n *Net[T]) SetInjector(inj *fault.Injector) { n.inj = inj }
 
 // SetRetryBase overrides the first backoff interval for transient link
@@ -186,8 +335,11 @@ func (n *Net[T]) isDead(r int) bool {
 
 // Endpoint returns rank r's view of the interconnect.
 func (n *Net[T]) Endpoint(rank int) (*Endpoint[T], error) {
-	if rank != 0 && rank != 1 {
-		return nil, fmt.Errorf("comm: rank %d not in {0,1}", rank)
+	if rank < 0 || rank >= n.ranks {
+		if n.ranks == 2 {
+			return nil, fmt.Errorf("comm: rank %d not in {0,1}", rank)
+		}
+		return nil, fmt.Errorf("comm: rank %d not in [0,%d)", rank, n.ranks)
 	}
 	return &Endpoint[T]{net: n, rank: rank}, nil
 }
@@ -205,7 +357,7 @@ type Endpoint[T any] struct {
 
 // Stats describes one exchange round from this endpoint's perspective.
 type Stats struct {
-	// MsgsSent and MsgsRecv are combined message counts.
+	// MsgsSent and MsgsRecv are combined message counts, summed over peers.
 	MsgsSent, MsgsRecv int64
 	// BytesSent and BytesRecv are the wire sizes.
 	BytesSent, BytesRecv int64
@@ -213,7 +365,7 @@ type Stats struct {
 	// the slower direction's payload (the link is full duplex).
 	SimSeconds float64
 	// WallNS is the measured host wall-clock duration of the round in
-	// nanoseconds, including the block waiting for the peer (the BSP
+	// nanoseconds, including the block waiting for peers (the BSP
 	// lockstep wait) and any injected delay or retry backoff.
 	WallNS int64
 	// Retries is the number of transient link faults retried away this
@@ -226,11 +378,33 @@ type Stats struct {
 	StaleDrops int64
 }
 
+// livePeers returns the current members excluding this rank, ascending.
+func (e *Endpoint[T]) livePeers() []int {
+	n := e.net
+	n.memMu.RLock()
+	defer n.memMu.RUnlock()
+	peers := make([]int, 0, len(n.members)-1)
+	for _, m := range n.members {
+		if m != e.rank {
+			peers = append(peers, m)
+		}
+	}
+	return peers
+}
+
+// NumLivePeers returns how many other ranks are currently in lockstep with
+// this one. Zero means exchanges are no-ops (a lone survivor).
+func (e *Endpoint[T]) NumLivePeers() int { return len(e.livePeers()) }
+
+// Ranks is the size of the device group this endpoint belongs to.
+func (e *Endpoint[T]) Ranks() int { return e.net.ranks }
+
 // Exchange ships this rank's combined remote messages and local
-// active-vertex count to the peer, and receives the peer's. Both ranks must
-// call Exchange once per iteration; the call blocks until the peer's
-// payload arrives, which is the implicit cross-device synchronization point
-// of the BSP superstep.
+// active-vertex count to the peer, and receives the peer's — the classic
+// two-rank round (the group's other member is the single peer; with more
+// than two live members use ExchangeAll). Both ranks must call Exchange once
+// per iteration; the call blocks until the peer's payload arrives, which is
+// the implicit cross-device synchronization point of the BSP superstep.
 //
 // The round is bounded by the net's timeout (SetTimeout): a peer that does
 // not show up within the deadline is declared dead and a *DeviceFailedError
@@ -239,11 +413,57 @@ type Stats struct {
 // it, or fail the link transiently; transient faults are retried with
 // capped exponential backoff and reported in Stats.Retries.
 func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T], activeRemote int64, st Stats, err error) {
+	out := make([][]Msg[T], e.net.ranks)
+	if peer := e.peerOf(); peer >= 0 {
+		out[peer] = msgs
+	}
+	return e.exchangeAll(out, activeLocal)
+}
+
+// peerOf returns the single live peer, or -1 when the live membership does
+// not consist of exactly this rank plus one other.
+func (e *Endpoint[T]) peerOf() int {
+	peers := e.livePeers()
+	if len(peers) == 1 {
+		return peers[0]
+	}
+	if e.net.ranks == 2 {
+		return 1 - e.rank
+	}
+	return -1
+}
+
+// ExchangeAll ships one combined payload per live peer and receives each
+// peer's payload — the all-to-all generalization of Exchange. out is indexed
+// by destination rank (entries for this rank or non-members are ignored; a
+// short or nil slice sends empty payloads). Every live member must call
+// ExchangeAll once per iteration; the call blocks until all peers' payloads
+// arrive, which is the cross-device synchronization point of the BSP
+// superstep. With zero live peers the round is a no-op that touches neither
+// the injector nor the stats, so a lone survivor can keep its engine loop
+// unchanged.
+//
+// Failure semantics match Exchange: the round is bounded by the net's
+// timeout, injected faults can drop, delay, or transiently fail this rank,
+// and a fault that outlives the retry budget is a permanent link loss. With
+// one live peer the loss blames that peer (indistinguishable from its
+// death); with several it blames this rank — one rank losing all its links
+// at once is its own NIC, not N-1 simultaneous peer deaths.
+func (e *Endpoint[T]) ExchangeAll(out [][]Msg[T], activeLocal int64) (recv []Msg[T], activeRemote int64, st Stats, err error) {
+	return e.exchangeAll(out, activeLocal)
+}
+
+func (e *Endpoint[T]) exchangeAll(out [][]Msg[T], activeLocal int64) (recv []Msg[T], activeRemote int64, st Stats, err error) {
 	n := e.net
-	peer := 1 - e.rank
+	peers := e.livePeers()
 	step := e.step
 	e.step++
 	wallStart := time.Now()
+
+	if len(peers) == 0 {
+		// A lone survivor: no cross-device traffic, no modeled link time.
+		return nil, 0, st, nil
+	}
 
 	// A rank declared dead stays dead: fail fast on every later round.
 	if n.isDead(e.rank) {
@@ -252,8 +472,8 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 	if n.inj != nil {
 		if n.inj.Drop(e.rank, step) {
 			// The device dies here: it never sends this round, and the
-			// closed dead channel lets the peer fail fast instead of
-			// waiting out its deadline.
+			// closed dead channel lets the peers fail fast instead of
+			// waiting out their deadlines.
 			n.markDead(e.rank)
 			return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Injected: true, Reason: "injected exchange drop"}
 		}
@@ -262,13 +482,18 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 		}
 		// Transient link faults: retry with capped exponential backoff. A
 		// fault that outlives the retry budget is a permanent link loss —
-		// indistinguishable from a dead peer, and treated as one.
+		// with a single peer indistinguishable from that peer's death, and
+		// treated as one; with several peers it is this rank's own link.
 		backoff := n.retryBase
 		for attempt := 0; n.inj.LinkFails(e.rank, step, attempt); attempt++ {
 			if attempt >= maxLinkRetries {
-				n.markDead(peer)
+				blamed := e.rank
+				if len(peers) == 1 {
+					blamed = peers[0]
+				}
+				n.markDead(blamed)
 				return nil, 0, st, &DeviceFailedError{
-					Rank: peer, Superstep: step, Injected: true,
+					Rank: blamed, Superstep: step, Injected: true,
 					Reason: fmt.Sprintf("link failed %d consecutive attempts", attempt+1),
 				}
 			}
@@ -280,7 +505,7 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 		}
 	}
 
-	// One deadline covers the whole round (send + receive).
+	// One deadline covers the whole round (all sends + all receives).
 	var timeoutC <-chan time.Time
 	if n.timeout > 0 {
 		timer := time.NewTimer(n.timeout)
@@ -289,50 +514,63 @@ func (e *Endpoint[T]) Exchange(msgs []Msg[T], activeLocal int64) (recv []Msg[T],
 	}
 
 	epoch := n.epoch.Load()
-	pkt := packet[T]{msgs: msgs, active: activeLocal, epoch: epoch, seq: step}
-	select {
-	case n.chans[e.rank] <- pkt:
-	case <-n.dead[peer]:
-		return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer dead before send"}
-	case <-n.dead[e.rank]:
-		return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
-	case <-timeoutC:
-		n.markDead(peer)
-		return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange send timed out after %s", n.timeout)}
-	}
-
-	// Receive, fencing off stale payloads: a packet stamped with a previous
-	// epoch (or the wrong superstep) is a leftover from before a failure —
-	// a rank that died mid-round may have parked its last send in the
-	// channel — and is counted and dropped, never delivered.
-	var p packet[T]
-recv:
-	for {
+	perMsg := int64(n.msgBytes + 4)
+	for _, peer := range peers {
+		var msgs []Msg[T]
+		if peer < len(out) {
+			msgs = out[peer]
+		}
+		pkt := packet[T]{msgs: msgs, active: activeLocal, epoch: epoch, seq: step}
 		select {
-		case p = <-n.chans[peer]:
+		case n.chans[e.rank][peer] <- pkt:
+			lc := &n.linkStats[e.rank][peer]
+			lc.msgs.Add(int64(len(msgs)))
+			lc.bytes.Add(int64(len(msgs)) * perMsg)
+			st.MsgsSent += int64(len(msgs))
 		case <-n.dead[peer]:
-			// The peer died, but it may have sent this round's payload
-			// before dying — drain it if so, otherwise the round is lost.
-			select {
-			case p = <-n.chans[peer]:
-			default:
-				return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died mid-round"}
-			}
+			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer dead before send"}
 		case <-n.dead[e.rank]:
 			return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
 		case <-timeoutC:
 			n.markDead(peer)
-			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange timed out after %s", n.timeout)}
+			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange send timed out after %s", n.timeout)}
 		}
-		if p.epoch == epoch && p.seq == step {
-			break recv
-		}
-		st.StaleDrops++
 	}
 
-	perMsg := int64(n.msgBytes + 4)
-	st.MsgsSent = int64(len(msgs))
-	st.MsgsRecv = int64(len(p.msgs))
+	// Receive from every peer, fencing off stale payloads: a packet stamped
+	// with a previous epoch (or the wrong superstep) is a leftover from
+	// before a failure — a rank that died mid-round may have parked its last
+	// send in the channel — and is counted and dropped, never delivered.
+	for _, peer := range peers {
+		var p packet[T]
+	recv:
+		for {
+			select {
+			case p = <-n.chans[peer][e.rank]:
+			case <-n.dead[peer]:
+				// The peer died, but it may have sent this round's payload
+				// before dying — drain it if so, otherwise the round is lost.
+				select {
+				case p = <-n.chans[peer][e.rank]:
+				default:
+					return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died mid-round"}
+				}
+			case <-n.dead[e.rank]:
+				return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
+			case <-timeoutC:
+				n.markDead(peer)
+				return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange timed out after %s", n.timeout)}
+			}
+			if p.epoch == epoch && p.seq == step {
+				break recv
+			}
+			st.StaleDrops++
+		}
+		recv = append(recv, p.msgs...)
+		activeRemote += p.active
+		st.MsgsRecv += int64(len(p.msgs))
+	}
+
 	st.BytesSent = st.MsgsSent * perMsg
 	st.BytesRecv = st.MsgsRecv * perMsg
 	slower := st.BytesSent
@@ -341,12 +579,12 @@ recv:
 	}
 	st.SimSeconds = n.link.TransferSeconds(slower)
 	st.WallNS = time.Since(wallStart).Nanoseconds()
-	return p.msgs, p.active, st, nil
+	return recv, activeRemote, st, nil
 }
 
 // Abort declares this endpoint's own rank dead — called by an engine whose
 // superstep failed outside the exchange (for example a recovered panic in a
-// user function), so the peer's next exchange fails fast instead of timing
+// user function), so the peers' next exchange fails fast instead of timing
 // out.
 func (e *Endpoint[T]) Abort() { e.net.markDead(e.rank) }
 
@@ -358,117 +596,95 @@ func (e *Endpoint[T]) Step() int64 { return e.step }
 // restored at superstep s starts its first exchange as round s, not 0).
 func (e *Endpoint[T]) SetStep(step int64) { e.step = step }
 
-// ResumeHandshake exchanges the restored checkpoint generation with the
-// peer before a resumed run starts. Both ranks must agree on the generation
-// they restored from — in the paper's symmetric-MPI setting this is where
-// the two processes would reconcile their views of shared storage; here it
-// guards against wiring bugs that would restore the ranks from different
+// Rank returns this endpoint's rank.
+func (e *Endpoint[T]) Rank() int { return e.rank }
+
+// readBoard waits for peer's handshake board, bounded by the net's timeout
+// and by rank death. what names the handshake in failure reasons.
+func readBoard[V any, T any](e *Endpoint[T], boards []*board[V], peer int, timeoutC <-chan time.Time, what string) (V, error) {
+	n := e.net
+	var zero V
+	select {
+	case <-boards[peer].ready:
+	case <-n.dead[peer]:
+		if v, ok := boards[peer].get(); ok {
+			return v, nil
+		}
+		return zero, &DeviceFailedError{Rank: peer, Reason: fmt.Sprintf("peer died during %s handshake", what)}
+	case <-n.dead[e.rank]:
+		return zero, &DeviceFailedError{Rank: e.rank, Reason: "declared dead by peer"}
+	case <-timeoutC:
+		n.markDead(peer)
+		return zero, &DeviceFailedError{Rank: peer, Reason: fmt.Sprintf("%s handshake timed out after %s", what, n.timeout)}
+	}
+	v, _ := boards[peer].get()
+	return v, nil
+}
+
+// ResumeHandshake exchanges the restored checkpoint generation with every
+// live peer before a resumed run starts. All ranks must agree on the
+// generation they restored from — in the paper's symmetric-MPI setting this
+// is where the processes would reconcile their views of shared storage; here
+// it guards against wiring bugs that would restore the ranks from different
 // snapshots. It is bounded by the net's timeout and by peer death, like
 // Exchange.
 func (e *Endpoint[T]) ResumeHandshake(gen uint64) (uint64, error) {
 	n := e.net
-	peer := 1 - e.rank
-
 	var timeoutC <-chan time.Time
 	if n.timeout > 0 {
 		timer := time.NewTimer(n.timeout)
 		defer timer.Stop()
 		timeoutC = timer.C
 	}
-
-	select {
-	case n.resume[e.rank] <- gen:
-	case <-n.dead[peer]:
-		return 0, &DeviceFailedError{Rank: peer, Reason: "peer dead before resume handshake"}
-	case <-n.dead[e.rank]:
-		return 0, &DeviceFailedError{Rank: e.rank, Reason: "declared dead by peer"}
-	case <-timeoutC:
-		n.markDead(peer)
-		return 0, &DeviceFailedError{Rank: peer, Reason: fmt.Sprintf("resume handshake send timed out after %s", n.timeout)}
-	}
-
-	var peerGen uint64
-	select {
-	case peerGen = <-n.resume[peer]:
-	case <-n.dead[peer]:
-		select {
-		case peerGen = <-n.resume[peer]:
-		default:
-			return 0, &DeviceFailedError{Rank: peer, Reason: "peer died during resume handshake"}
+	n.resumeB[e.rank].post(gen)
+	for _, peer := range e.livePeers() {
+		peerGen, err := readBoard(e, n.resumeB, peer, timeoutC, "resume")
+		if err != nil {
+			return 0, err
 		}
-	case <-n.dead[e.rank]:
-		return 0, &DeviceFailedError{Rank: e.rank, Reason: "declared dead by peer"}
-	case <-timeoutC:
-		n.markDead(peer)
-		return 0, &DeviceFailedError{Rank: peer, Reason: fmt.Sprintf("resume handshake timed out after %s", n.timeout)}
+		if peerGen != gen {
+			return peerGen, fmt.Errorf("comm: resume generation mismatch: rank %d restored gen %d, rank %d restored gen %d",
+				e.rank, gen, peer, peerGen)
+		}
 	}
-
-	if peerGen != gen {
-		return peerGen, fmt.Errorf("comm: resume generation mismatch: rank %d restored gen %d, rank %d restored gen %d",
-			e.rank, gen, peer, peerGen)
-	}
-	return peerGen, nil
+	return gen, nil
 }
 
-// RejoinHandshake re-admits a restarted rank at a superstep barrier after a
-// degrade→heal cycle. Both ranks exchange the (epoch, checkpoint generation,
-// restart superstep) triple they believe the healed run resumes under and
-// must agree on all three; the epoch must also match the net's current epoch
-// as bumped by the supervisor's NewEpoch. Mirrors ResumeHandshake: bounded
-// by the net's timeout and by peer death.
+// RejoinHandshake re-admits restarted ranks at a superstep barrier after a
+// degrade→heal cycle. Every live member posts the (epoch, checkpoint
+// generation, restart superstep) triple it believes the healed run resumes
+// under and must agree with every peer on all three; the epoch must also
+// match the net's current epoch as bumped by the supervisor's NewEpoch.
+// Mirrors ResumeHandshake: bounded by the net's timeout and by peer death.
 func (e *Endpoint[T]) RejoinHandshake(epoch, gen uint64, step int64) error {
 	n := e.net
-	peer := 1 - e.rank
-
 	if cur := n.epoch.Load(); cur != epoch {
 		return fmt.Errorf("comm: rejoin epoch mismatch: rank %d expects epoch %d, net is at epoch %d",
 			e.rank, epoch, cur)
 	}
-
 	var timeoutC <-chan time.Time
 	if n.timeout > 0 {
 		timer := time.NewTimer(n.timeout)
 		defer timer.Stop()
 		timeoutC = timer.C
 	}
-
 	info := rejoinInfo{epoch: epoch, gen: gen, step: step}
-	select {
-	case n.rejoin[e.rank] <- info:
-	case <-n.dead[peer]:
-		return &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer dead before rejoin handshake"}
-	case <-n.dead[e.rank]:
-		return &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
-	case <-timeoutC:
-		n.markDead(peer)
-		return &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("rejoin handshake send timed out after %s", n.timeout)}
-	}
-
-	var peerInfo rejoinInfo
-	select {
-	case peerInfo = <-n.rejoin[peer]:
-	case <-n.dead[peer]:
-		select {
-		case peerInfo = <-n.rejoin[peer]:
-		default:
-			return &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died during rejoin handshake"}
+	n.rejoinB[e.rank].post(info)
+	for _, peer := range e.livePeers() {
+		peerInfo, err := readBoard(e, n.rejoinB, peer, timeoutC, "rejoin")
+		if err != nil {
+			if dfe, ok := err.(*DeviceFailedError); ok && dfe.Superstep == 0 {
+				dfe.Superstep = step
+			}
+			return err
 		}
-	case <-n.dead[e.rank]:
-		return &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
-	case <-timeoutC:
-		n.markDead(peer)
-		return &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("rejoin handshake timed out after %s", n.timeout)}
-	}
-
-	if peerInfo != info {
-		return fmt.Errorf("comm: rejoin mismatch: rank %d at (epoch %d, gen %d, step %d), rank %d at (epoch %d, gen %d, step %d)",
-			e.rank, info.epoch, info.gen, info.step, peer, peerInfo.epoch, peerInfo.gen, peerInfo.step)
+		if peerInfo != info {
+			return fmt.Errorf("comm: rejoin mismatch: rank %d at (epoch %d, gen %d, step %d), rank %d at (epoch %d, gen %d, step %d)",
+				e.rank, info.epoch, info.gen, info.step, peer, peerInfo.epoch, peerInfo.gen, peerInfo.step)
+		}
 	}
 	return nil
 }
-
-// Rank returns this endpoint's rank.
-func (e *Endpoint[T]) Rank() int { return e.rank }
 
 // Combiner accumulates remote messages per destination and combines
 // duplicates with a user reduction before the exchange ("to reduce the
@@ -518,6 +734,23 @@ func (c *Combiner[T]) Drain(out []Msg[T]) []Msg[T] {
 	var zero T
 	for _, dst := range c.touched {
 		out = append(out, Msg[T]{Dst: dst, Val: c.vals[dst]})
+		c.has[dst] = false
+		c.vals[dst] = zero
+	}
+	c.touched = c.touched[:0]
+	return out
+}
+
+// DrainRouted distributes the combined messages into per-rank buckets using
+// rankOf (the partition assignment), resets the combiner, and returns the
+// buckets. out must have one slot per rank of the group; existing bucket
+// contents are appended to. Message order within a bucket follows
+// first-touch order, like Drain.
+func (c *Combiner[T]) DrainRouted(out [][]Msg[T], rankOf func(graph.VertexID) int) [][]Msg[T] {
+	var zero T
+	for _, dst := range c.touched {
+		r := rankOf(dst)
+		out[r] = append(out[r], Msg[T]{Dst: dst, Val: c.vals[dst]})
 		c.has[dst] = false
 		c.vals[dst] = zero
 	}

@@ -572,17 +572,19 @@ func TestResumeHandshakeDeadPeer(t *testing.T) {
 }
 
 func TestExchangeDropsStaleEpochPacket(t *testing.T) {
-	// A packet left in flight by a failed rank carries the old epoch; after
-	// a rejoin bumps the epoch, the receiver must count-and-drop it rather
-	// than deliver it as superstep payload.
+	// A packet stamped with an old epoch that lands after the membership
+	// change (NewEpoch drains the buffers, but a rank dying mid-round can
+	// park its last send later) must be count-and-dropped by the receiver
+	// rather than delivered as superstep payload.
 	n, _ := NewNet[float32](machine.PCIe(), 4)
-	n.chans[1] <- packet[float32]{
+	old := n.Epoch()
+	n.NewEpoch()
+	n.chans[1][0] <- packet[float32]{
 		msgs:   []Msg[float32]{{Dst: 9, Val: 99}},
 		active: 42,
-		epoch:  n.Epoch(),
+		epoch:  old,
 		seq:    0,
 	}
-	n.NewEpoch()
 	e0, _ := n.Endpoint(0)
 	e1, _ := n.Endpoint(1)
 	var wg sync.WaitGroup
@@ -622,7 +624,7 @@ func TestExchangeDropsWrongSeqPacket(t *testing.T) {
 	// superstep sequence number (e.g. a duplicate from a replayed rank) is
 	// dropped, not delivered.
 	n, _ := NewNet[float32](machine.PCIe(), 4)
-	n.chans[1] <- packet[float32]{
+	n.chans[1][0] <- packet[float32]{
 		msgs:  []Msg[float32]{{Dst: 1, Val: 11}},
 		epoch: n.Epoch(),
 		seq:   5,
@@ -706,6 +708,57 @@ func TestRejoinHandshakeDeadPeer(t *testing.T) {
 	var dfe *DeviceFailedError
 	if !errors.As(err, &dfe) || dfe.Rank != 1 {
 		t.Fatalf("rejoin with dead peer: %v, want *DeviceFailedError{Rank: 1}", err)
+	}
+}
+
+func TestNewEpochDrainsParkedPayloads(t *testing.T) {
+	// Two ranks of a four-rank group fail mid-round after the survivors'
+	// sends to each other were already buffered. The degrade path bumps the
+	// epoch and shrinks membership to the two survivors; their first
+	// exchange of the new epoch must not deadlock on link buffers still
+	// holding the failed round's payloads (the buffers are capacity-1, so
+	// without the NewEpoch drain both survivors would block in their send
+	// loop forever — the receive-side epoch fence never gets a chance).
+	n, _ := NewGroupNet[float32](machine.PCIe(), 4, 4)
+	n.chans[0][2] <- packet[float32]{msgs: []Msg[float32]{{Dst: 5, Val: 50}}, epoch: n.Epoch(), seq: 3}
+	n.chans[2][0] <- packet[float32]{msgs: []Msg[float32]{{Dst: 6, Val: 60}}, epoch: n.Epoch(), seq: 3}
+	n.NewEpoch()
+	n.SetMembers([]int{0, 2})
+	e0, _ := n.Endpoint(0)
+	e2, _ := n.Endpoint(2)
+	e0.SetStep(3)
+	e2.SetStep(3)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var recv0, recv2 []Msg[float32]
+	var err0, err2 error
+	go func() {
+		defer wg.Done()
+		out := make([][]Msg[float32], 4)
+		out[2] = []Msg[float32]{{Dst: 1, Val: 1}}
+		recv0, _, _, err0 = e0.ExchangeAll(out, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		out := make([][]Msg[float32], 4)
+		out[0] = []Msg[float32]{{Dst: 2, Val: 2}}
+		recv2, _, _, err2 = e2.ExchangeAll(out, 0)
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-degrade ExchangeAll deadlocked on parked payloads")
+	}
+	if err0 != nil || err2 != nil {
+		t.Fatalf("exchange errors: %v / %v", err0, err2)
+	}
+	if len(recv0) != 1 || recv0[0].Val != 2 {
+		t.Errorf("rank 0 received %v, want the fresh payload only", recv0)
+	}
+	if len(recv2) != 1 || recv2[0].Val != 1 {
+		t.Errorf("rank 2 received %v, want the fresh payload only", recv2)
 	}
 }
 

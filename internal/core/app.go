@@ -108,6 +108,15 @@ func (s Scheme) String() string {
 type Options struct {
 	// Dev is the modeled device this engine simulates time for.
 	Dev machine.DeviceSpec
+	// Devices, when non-empty, declares an N-rank device group for a hetero
+	// run from a single Options value: rank r runs on Devices[r] and every
+	// rank inherits the remaining fields. Mutually exclusive with passing
+	// one Options per rank; ignored by single-device runs.
+	Devices []machine.DeviceSpec
+	// TraceLabel overrides the device name used in trace and metrics phase
+	// samples. Empty means Dev.Name; hetero runs auto-disambiguate duplicate
+	// names within a group as name#rank so per-rank output stays separable.
+	TraceLabel string
 	// Scheme is the message-generation scheme.
 	Scheme Scheme
 	// Vectorized enables the SIMD reduction path (ignored for apps whose
@@ -200,6 +209,14 @@ const DefaultMaxIterations = 10000
 // DefaultGenBatch is the recommended GenBatchSize for batched pipelined
 // generation (re-exported from the pipeline package).
 const DefaultGenBatch = pipeline.DefaultBatch
+
+// traceLabel is the device label used in trace and metrics samples.
+func (o Options) traceLabel() string {
+	if o.TraceLabel != "" {
+		return o.TraceLabel
+	}
+	return o.Dev.Name
+}
 
 // withDefaults resolves zero fields.
 func (o Options) withDefaults() Options {

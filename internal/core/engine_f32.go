@@ -167,17 +167,22 @@ func (d *deviceF32) generate(active []graph.VertexID, c *machine.Counters) error
 	return nil
 }
 
-// exchange performs the cross-device round: drains the remote combiner,
-// swaps payloads with the peer, and inserts received messages locally. It
-// returns the peer's active count from the previous update step, or a
-// *comm.DeviceFailedError when the round failed (timeout, dead peer, or an
-// injected fault on this rank).
+// exchange performs the cross-device round: drains the remote combiner
+// routed per destination owner, swaps payloads with every live peer, and
+// inserts received messages locally. It returns the peers' summed active
+// count from the previous update step, or a *comm.DeviceFailedError when
+// the round failed (timeout, dead peer, or an injected fault on this rank).
+// With no endpoint or no live peers the round is a no-op (a lone member
+// owns every vertex, so the combiner is empty by construction).
 func (d *deviceF32) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) (int64, error) {
-	// Drain into a fresh slice: the payload crosses to the peer, which may
-	// still be reading it while this device runs ahead — reusing a scratch
-	// buffer here would race with the receiver.
-	send := d.remote.Drain(nil)
-	recv, activeRemote, st, err := d.ep.Exchange(send, activeLocal)
+	if d.ep == nil || d.ep.NumLivePeers() == 0 {
+		return 0, nil
+	}
+	// Drain into fresh per-rank slices: the payload crosses to peers that
+	// may still be reading it while this device runs ahead — reusing a
+	// scratch buffer here would race with the receivers.
+	send := d.remote.DrainRouted(make([][]comm.Msg[float32], d.ep.Ranks()), func(v graph.VertexID) int { return int(d.assign[v]) })
+	recv, activeRemote, st, err := d.ep.ExchangeAll(send, activeLocal)
 	if err != nil {
 		return 0, err
 	}
@@ -368,7 +373,7 @@ func (d *deviceF32) recordMetrics(iter int64, c machine.Counters, pt PhaseTimes)
 	if sink == nil {
 		return
 	}
-	dev := d.opt.Dev.Name
+	dev := d.opt.traceLabel()
 	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseGenerate, WallNS: d.wall.generate, SimSeconds: pt.Generate, Events: c.Messages})
 	if c.Exchanges > 0 {
 		sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseExchange, WallNS: d.wall.exchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
@@ -385,7 +390,7 @@ func (d *deviceF32) recordTrace(iter int64, c machine.Counters, pt PhaseTimes) {
 	if r == nil {
 		return
 	}
-	dev := d.opt.Dev.Name
+	dev := d.opt.traceLabel()
 	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseGenerate, SimSeconds: pt.Generate, Events: c.Messages})
 	if c.Exchanges > 0 {
 		r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseExchange, SimSeconds: pt.Exchange, Events: c.BytesSent})

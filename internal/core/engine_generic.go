@@ -154,10 +154,13 @@ func (d *deviceGeneric[T]) generate(active []graph.VertexID, c *machine.Counters
 }
 
 func (d *deviceGeneric[T]) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTimes) (int64, error) {
-	// Fresh slice per exchange: the receiver may still be reading the
-	// previous payload while this device runs ahead (see deviceF32).
-	send := d.remote.Drain(nil)
-	recv, activeRemote, st, err := d.ep.Exchange(send, activeLocal)
+	if d.ep == nil || d.ep.NumLivePeers() == 0 {
+		return 0, nil
+	}
+	// Fresh per-rank slices per exchange: the receivers may still be reading
+	// the previous payload while this device runs ahead (see deviceF32).
+	send := d.remote.DrainRouted(make([][]comm.Msg[T], d.ep.Ranks()), func(v graph.VertexID) int { return int(d.assign[v]) })
+	recv, activeRemote, st, err := d.ep.ExchangeAll(send, activeLocal)
 	if err != nil {
 		return 0, err
 	}
@@ -246,7 +249,7 @@ func (d *deviceGeneric[T]) recordMetrics(superstep int64, c machine.Counters, pt
 	if sink == nil {
 		return
 	}
-	dev := d.opt.Dev.Name
+	dev := d.opt.traceLabel()
 	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: superstep, Phase: metrics.PhaseGenerate, WallNS: d.wall.generate, SimSeconds: pt.Generate, Events: c.Messages})
 	if c.Exchanges > 0 {
 		sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: superstep, Phase: metrics.PhaseExchange, WallNS: d.wall.exchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
@@ -347,34 +350,41 @@ func RunGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options) (Result, er
 	return res, nil
 }
 
-// RunGenericHetero executes a structured-message app across two modeled
-// devices, mirroring RunF32Hetero. Exchange deadlines and fault injection
-// apply here too, but there is no checkpoint-based recovery for
-// structured-message apps: a device failure surfaces as an error (the
+// RunGenericHetero executes a structured-message app across a group of
+// N >= 2 modeled devices, mirroring RunF32Hetero. Exchange deadlines and
+// fault injection apply here too, but there is no checkpoint-based recovery
+// for structured-message apps: a rank failure surfaces as an error (the
 // Snapshotter-driven degradation path is float32-only; see
 // docs/robustness.md).
-func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, optDev0, optDev1 Options) (HeteroResult, error) {
+func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, deviceOpts ...Options) (HeteroResult, error) {
 	if err := validateRunArgs(app, g); err != nil {
 		return HeteroResult{}, err
 	}
 	start := time.Now()
-	if err := validAssign(g, assign); err != nil {
-		return HeteroResult{}, err
-	}
-	net, err := comm.NewNet[T](machine.PCIe(), app.Profile().MsgBytes)
+	opts, err := expandDeviceGroup(deviceOpts)
 	if err != nil {
 		return HeteroResult{}, err
 	}
-	cfg := resolveFaultConfig(optDev0, optDev1)
+	n := len(opts)
+	if err := validAssign(g, assign, n); err != nil {
+		return HeteroResult{}, err
+	}
+	net, err := comm.NewGroupNet[T](machine.PCIe(), app.Profile().MsgBytes, n)
+	if err != nil {
+		return HeteroResult{}, err
+	}
+	cfg := resolveFaultConfig(opts...)
 	net.SetTimeout(cfg.timeout)
 	net.SetInjector(cfg.inj)
-	opts := [2]Options{optDev0, optDev1}
-	// Both devices consult the resolved injector for in-phase events and
+	// Every rank consults the resolved injector for in-phase events and
 	// the merged abort channel for cooperative shutdown.
-	opts[0].Fault, opts[1].Fault = cfg.inj, cfg.inj
-	opts[0].Abort, opts[1].Abort = cfg.abort, cfg.abort
-	devs := [2]*deviceGeneric[T]{}
-	for r := 0; r < 2; r++ {
+	for r := range opts {
+		opts[r].Fault = cfg.inj
+		opts[r].Abort = cfg.abort
+	}
+	resolveTraceLabels(opts)
+	devs := make([]*deviceGeneric[T], n)
+	for r := 0; r < n; r++ {
 		ep, err := net.Endpoint(r)
 		if err != nil {
 			return HeteroResult{}, err
@@ -385,20 +395,24 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 		}
 	}
 	maxIter := devs[0].opt.MaxIterations
-	if devs[1].opt.MaxIterations < maxIter {
-		maxIter = devs[1].opt.MaxIterations
+	for r := 1; r < n; r++ {
+		if devs[r].opt.MaxIterations < maxIter {
+			maxIter = devs[r].opt.MaxIterations
+		}
 	}
 	active := app.Init(g)
-	a0, a1 := splitActive(active, assign)
-	actives := [2][]graph.VertexID{a0, a1}
+	actives := splitActiveN(active, assign, n)
 
 	var (
 		res       HeteroResult
-		iterTimes [2][]float64
+		iterTimes = make([][]float64, n)
 		wg        sync.WaitGroup
-		runErr    [2]error
+		runErr    = make([]error, n)
 	)
-	for r := 0; r < 2; r++ {
+	res.Dev = make([]Result, n)
+	res.FailedRank = -1
+	res.FailedSuperstep = -1
+	for r := 0; r < n; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
@@ -457,7 +471,7 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 				}
 				compute := d.phaseTimes(c)
 				pt.Generate, pt.Process, pt.Update = compute.Generate, compute.Process, compute.Update
-				_, remoteActive, st, err := d.ep.Exchange(nil, int64(len(next)))
+				_, remoteActive, st, err := d.ep.ExchangeAll(make([][]comm.Msg[T], n), int64(len(next)))
 				if err != nil {
 					fail(iter, err)
 					return
@@ -485,8 +499,8 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 		}(r)
 	}
 	wg.Wait()
-	// An abort takes precedence over the peer's collateral failure error.
-	for r := 0; r < 2; r++ {
+	// An abort takes precedence over the peers' collateral failure errors.
+	for r := 0; r < n; r++ {
 		var aerr *RunAbortedError
 		if errors.As(runErr[r], &aerr) {
 			emitEvent(cfg.sink, metrics.Event{
@@ -496,20 +510,19 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, op
 			return HeteroResult{}, aerr
 		}
 	}
-	for r := 0; r < 2; r++ {
+	for r := 0; r < n; r++ {
 		if runErr[r] != nil {
 			return HeteroResult{}, runErr[r]
 		}
 	}
 	res.Iterations = res.Dev[0].Iterations
-	res.Converged = res.Dev[0].Converged && res.Dev[1].Converged
-	for i := range iterTimes[0] {
-		t0 := iterTimes[0][i]
-		if i < len(iterTimes[1]) && iterTimes[1][i] > t0 {
-			t0 = iterTimes[1][i]
+	res.Converged = true
+	for r := 0; r < n; r++ {
+		if !res.Dev[r].Converged {
+			res.Converged = false
 		}
-		res.ExecSeconds += t0
 	}
+	res.ExecSeconds = lockstepSeconds(iterTimes, 0, len(iterTimes[0]))
 	res.CommSeconds = res.Dev[0].Phases.Exchange
 	res.SimSeconds = res.ExecSeconds + res.CommSeconds
 	res.WallSeconds = time.Since(start).Seconds()

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,23 +15,23 @@ import (
 	"hetgraph/internal/metrics"
 )
 
-// HeteroResult reports a CPU+MIC run. Per-iteration the devices run in
-// lockstep (the exchange is the synchronization point), so the combined
-// execution time is the sum over iterations of the slower device's phase
-// time, plus the communication time.
+// HeteroResult reports a heterogeneous device-group run. Per-iteration the
+// ranks run in lockstep (the exchange is the synchronization point), so the
+// combined execution time is the sum over iterations of the slowest rank's
+// phase time, plus the communication time.
 type HeteroResult struct {
 	Iterations int64
 	Converged  bool
-	// Dev holds each device's own result (its counters and phase times).
-	// In a degraded run these cover only the iterations before the failure;
-	// in a healed run the restarted rank's result covers its lockstep
-	// supersteps (pre-failure plus post-rejoin).
-	Dev [2]Result
-	// ExecSeconds is sum_i max(dev0_i, dev1_i) over compute phases. In a
+	// Dev holds each rank's own result (its counters and phase times),
+	// indexed by rank. In a degraded run these cover only the iterations
+	// before the failure; in a healed run a restarted rank's result covers
+	// its lockstep supersteps (pre-failure plus post-rejoin).
+	Dev []Result
+	// ExecSeconds is sum_i max_r(rank r's compute time in superstep i). In a
 	// degraded or healed run it covers the lockstep iterations up to each
-	// restored checkpoint plus the single-device windows' compute time.
+	// restored checkpoint plus the degraded windows' compute time.
 	ExecSeconds float64
-	// CommSeconds is the modeled PCIe exchange time (including the
+	// CommSeconds is the modeled interconnect exchange time (including the
 	// per-iteration active-count allreduce).
 	CommSeconds float64
 	// SimSeconds = ExecSeconds + CommSeconds.
@@ -38,25 +39,28 @@ type HeteroResult struct {
 	// WallSeconds is host wall-clock time.
 	WallSeconds float64
 
-	// Degraded is true when one device failed mid-run and the run *ended*
-	// single-device: the survivor restored the last checkpoint and finished
-	// alone. A run that degraded but healed (see Healed) ends with
-	// Degraded=false.
+	// Degraded is true when at least one rank failed mid-run and the run
+	// *ended* on the surviving subset: the survivors restored the last
+	// checkpoint and finished without the failed ranks. A run that degraded
+	// but healed (see Healed) ends with Degraded=false.
 	Degraded bool
-	// FailedRank is the rank that failed (-1 when no failure; the latest
-	// failure when there were several).
+	// FailedRank is the rank that failed (-1 when no failure; the lowest
+	// rank of the latest failure batch when several failed at once).
 	FailedRank int
+	// FailedRanks lists the ranks that were still down when the run ended,
+	// sorted ascending (nil when the run ended at full membership).
+	FailedRanks []int
 	// FailedSuperstep is the superstep at which the failure was detected
 	// (-1 if it could not be attributed to a specific superstep).
 	FailedSuperstep int64
-	// ResumedSuperstep is the checkpointed superstep the survivor resumed
+	// ResumedSuperstep is the checkpointed superstep the survivors resumed
 	// from; supersteps in (ResumedSuperstep, failure) were recomputed. For
 	// a disk-resumed run it is the superstep the cold start restored.
 	ResumedSuperstep int64
-	// Recovery is the single-device result accumulated while the run was
-	// degraded (zero unless a failure occurred): the permanent continuation,
-	// or — with Options.Rejoin — the degraded windows between failure and
-	// rejoin.
+	// Recovery aggregates the work done while the run was degraded (zero
+	// unless a failure occurred): the permanent continuation, or — with
+	// Options.Rejoin — the degraded windows between failure and rejoin.
+	// With multiple survivors the counters and phases sum over them.
 	Recovery Result
 
 	// DiskResumed is true when the run cold-started from an on-disk
@@ -66,34 +70,37 @@ type HeteroResult struct {
 	// from (zero unless DiskResumed).
 	ResumedGeneration uint64
 
-	// Healed is true when a failed rank was restarted and re-admitted at a
-	// superstep barrier (Options.Rejoin), returning the run to two-device
+	// Healed is true when the failed ranks were restarted and re-admitted at
+	// a superstep barrier (Options.Rejoin), returning the run to full-group
 	// lockstep. Healed stays true even if a later failure degraded the run
 	// again.
 	Healed bool
-	// RejoinSuperstep is the superstep barrier the restarted rank rejoined
+	// RejoinSuperstep is the superstep barrier the restarted ranks rejoined
 	// at (zero unless Healed; the latest rejoin when there were several).
 	RejoinSuperstep int64
-	// DegradedSupersteps counts the supersteps executed single-device while
-	// the run was degraded — the permanent continuation's supersteps, or
-	// the rejoin-mode degraded windows'.
+	// DegradedSupersteps counts the supersteps executed by the surviving
+	// subset while the run was degraded — the permanent continuation's
+	// supersteps, or the rejoin-mode degraded windows'.
 	DegradedSupersteps int64
 }
 
-// validAssign checks a device assignment vector against g.
-func validAssign(g *graph.CSR, assign []int32) error {
+// validAssign checks a rank assignment vector against g.
+func validAssign(g *graph.CSR, assign []int32, ranks int) error {
 	if len(assign) != g.NumVertices() {
 		return fmt.Errorf("core: assignment covers %d vertices, graph has %d", len(assign), g.NumVertices())
 	}
 	for v, a := range assign {
-		if a != 0 && a != 1 {
-			return fmt.Errorf("core: vertex %d assigned to device %d (want 0 or 1)", v, a)
+		if int(a) < 0 || int(a) >= ranks {
+			if ranks == 2 {
+				return fmt.Errorf("core: vertex %d assigned to device %d (want 0 or 1)", v, a)
+			}
+			return fmt.Errorf("core: vertex %d assigned to device %d (want 0..%d)", v, a, ranks-1)
 		}
 	}
 	return nil
 }
 
-// splitActive partitions the initially active vertices by owner.
+// splitActive partitions the initially active vertices between two ranks.
 func splitActive(active []graph.VertexID, assign []int32) (a0, a1 []graph.VertexID) {
 	for _, v := range active {
 		if assign[v] == 0 {
@@ -103,6 +110,26 @@ func splitActive(active []graph.VertexID, assign []int32) (a0, a1 []graph.Vertex
 		}
 	}
 	return a0, a1
+}
+
+// splitActiveN partitions the active vertices by owner across n ranks,
+// preserving order within each rank.
+func splitActiveN(active []graph.VertexID, assign []int32, n int) [][]graph.VertexID {
+	out := make([][]graph.VertexID, n)
+	for _, v := range active {
+		r := int(assign[v])
+		out[r] = append(out[r], v)
+	}
+	return out
+}
+
+// allRanks returns [0, n).
+func allRanks(n int) []int {
+	rs := make([]int, n)
+	for i := range rs {
+		rs[i] = i
+	}
+	return rs
 }
 
 // robustnessConfig is the merged robustness settings of a heterogeneous
@@ -118,104 +145,145 @@ type robustnessConfig struct {
 	rejoin  bool
 	abort   <-chan struct{}
 	// sink receives run-level events (checkpoints, failures, degradation,
-	// resume); per-device phase samples go to each option's own sink.
+	// resume); per-rank phase samples go to each option's own sink.
 	sink metrics.Sink
 }
 
-// resolveFaultConfig merges the robustness settings of the two device
-// options: the first non-zero/non-nil value wins (Resume and Rejoin are ORs
-// — either side asking makes the run one).
-func resolveFaultConfig(o0, o1 Options) robustnessConfig {
-	c := robustnessConfig{
-		timeout: o0.ExchangeTimeout,
-		inj:     o0.Fault,
-		every:   o0.CheckpointEvery,
-		dir:     o0.CheckpointDir,
-		retain:  o0.CheckpointRetain,
-		resume:  o0.Resume || o1.Resume,
-		rejoin:  o0.Rejoin || o1.Rejoin,
-		abort:   o0.Abort,
-		sink:    o0.Metrics,
-	}
-	if c.timeout == 0 {
-		c.timeout = o1.ExchangeTimeout
-	}
-	if c.inj == nil {
-		c.inj = o1.Fault
-	}
-	if c.every == 0 {
-		c.every = o1.CheckpointEvery
-	}
-	if c.dir == "" {
-		c.dir = o1.CheckpointDir
-	}
-	if c.retain == 0 {
-		c.retain = o1.CheckpointRetain
-	}
-	if c.abort == nil {
-		c.abort = o1.Abort
-	}
-	if c.sink == nil {
-		c.sink = o1.Metrics
+// resolveFaultConfig merges the robustness settings across the rank options:
+// the first non-zero/non-nil value wins (Resume and Rejoin are ORs — any
+// rank asking makes the run one).
+func resolveFaultConfig(opts ...Options) robustnessConfig {
+	var c robustnessConfig
+	for _, o := range opts {
+		if c.timeout == 0 {
+			c.timeout = o.ExchangeTimeout
+		}
+		if c.inj == nil {
+			c.inj = o.Fault
+		}
+		if c.every == 0 {
+			c.every = o.CheckpointEvery
+		}
+		if c.dir == "" {
+			c.dir = o.CheckpointDir
+		}
+		if c.retain == 0 {
+			c.retain = o.CheckpointRetain
+		}
+		c.resume = c.resume || o.Resume
+		c.rejoin = c.rejoin || o.Rejoin
+		if c.abort == nil {
+			c.abort = o.Abort
+		}
+		if c.sink == nil {
+			c.sink = o.Metrics
+		}
 	}
 	return c
 }
 
-// blameRank resolves which rank err accuses of failing. r is the rank that
-// observed the error: a *comm.DeviceFailedError carries the verdict
-// explicitly (a rank that suffered an injected fault blames itself; a rank
-// whose peer vanished blames the peer); a checkpoint barrier broken by peer
-// death blames the peer; anything else — a recovered panic in a user
-// function, a scheduler error — is the observer's own failure.
-func blameRank(r int, err error) int {
-	var dfe *comm.DeviceFailedError
-	if errors.As(err, &dfe) {
-		return dfe.Rank
+// expandDeviceGroup resolves the rank options of a hetero run: either one
+// Options per rank (the classic CPU+MIC pair is the 2-element case), or a
+// single Options whose Devices field declares an N-rank device group — every
+// rank then inherits the base options with its own device spec.
+func expandDeviceGroup(opts []Options) ([]Options, error) {
+	for i, o := range opts {
+		if len(o.Devices) > 0 && len(opts) != 1 {
+			return nil, &InvalidOptionsError{
+				Field:  "Devices",
+				Reason: fmt.Sprintf("option %d sets Devices in a %d-option call: a device group is declared by a single Options value", i, len(opts)),
+			}
+		}
 	}
-	if errors.Is(err, checkpoint.ErrPeerDead) {
-		return 1 - r
+	if len(opts) == 1 {
+		base := opts[0]
+		specs := base.Devices
+		if len(specs) < 2 {
+			return nil, &InvalidOptionsError{
+				Field:  "Devices",
+				Reason: "a heterogeneous run needs at least 2 ranks: pass one Options per rank, or a single Options whose Devices lists the group",
+			}
+		}
+		base.Devices = nil
+		base.TraceLabel = ""
+		out := make([]Options, len(specs))
+		for r, spec := range specs {
+			o := base
+			o.Dev = spec
+			out[r] = o
+		}
+		return out, nil
 	}
-	return r
+	if len(opts) < 2 {
+		return nil, &InvalidOptionsError{
+			Field:  "Devices",
+			Reason: "a heterogeneous run needs at least 2 ranks: pass one Options per rank, or a single Options whose Devices lists the group",
+		}
+	}
+	return append([]Options(nil), opts...), nil
 }
 
-// RunF32Hetero executes app across two modeled devices. assign maps each
-// vertex to its owner (0 = optDev0's device, conventionally the CPU;
-// 1 = optDev1's, the MIC). Vertex state is partitioned by ownership: each
-// device generates from and updates only its own vertices, so the shared
-// state arrays carry no cross-device races.
+// resolveTraceLabels gives every rank a distinct trace/metrics device label:
+// the device name when unique within the group, name#rank otherwise. A
+// user-set TraceLabel always wins.
+func resolveTraceLabels(opts []Options) {
+	names := map[string]int{}
+	for _, o := range opts {
+		names[o.Dev.Name]++
+	}
+	for r := range opts {
+		if opts[r].TraceLabel == "" && names[opts[r].Dev.Name] > 1 {
+			opts[r].TraceLabel = fmt.Sprintf("%s#%d", opts[r].Dev.Name, r)
+		}
+	}
+}
+
+// RunF32Hetero executes app across a group of N >= 2 modeled devices. assign
+// maps each vertex to its owner rank. The classic CPU+MIC pair is the
+// 2-option call (rank 0 conventionally the CPU, rank 1 the MIC); arbitrary
+// groups pass one Options per rank, or a single Options whose Devices field
+// lists the group's specs. Vertex state is partitioned by ownership: each
+// rank generates from and updates only its own vertices, so the shared
+// state arrays carry no cross-rank races.
 //
 // With Options.CheckpointEvery > 0 (app must implement
-// checkpoint.Snapshotter) the run is fault-tolerant: when one device fails —
-// by injected fault, exchange timeout, or a panic in a user function — the
-// survivor restores the last superstep-boundary checkpoint, absorbs the dead
-// rank's partition, and finishes the run single-device; the result records
-// the degradation. Without checkpointing a device failure is returned as an
+// checkpoint.Snapshotter) the run is fault-tolerant: when ranks fail — by
+// injected fault, exchange timeout, or a panic in a user function — failure
+// attribution is by quorum over the survivors' verdicts, the surviving
+// subset restores the last superstep-boundary checkpoint, absorbs the dead
+// ranks' partitions, and finishes the run without them; the result records
+// the degradation. Without checkpointing a rank failure is returned as an
 // error (typically a *comm.DeviceFailedError) instead of deadlocking.
 //
 // With Options.Rejoin the run additionally heals: while degraded, the
-// supervisor polls the fault plan for the failed rank's recovery
-// (flaky/recover events); on recovery it restarts the rank's engine, replays
-// it from a fresh checkpoint at the rejoin boundary, opens a new comm epoch
-// (fencing off stale packets from before the failure), and re-admits the
-// rank at a RejoinHandshake barrier, returning the run to two-device
+// supervisor consults the fault plan for the failed ranks' recovery
+// (flaky/recover events); on recovery it restarts their engines, replays
+// them from a fresh checkpoint at the rejoin boundary, opens a new comm
+// epoch (fencing off stale packets from before the failure), and re-admits
+// them at a RejoinHandshake barrier, returning the run to full-group
 // lockstep.
 //
 // Options.Abort, when closed, stops the run cooperatively at the next
 // superstep boundary: a final checkpoint is captured when possible and the
 // partial result is returned with a *RunAbortedError.
-func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Options) (HeteroResult, error) {
+func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, deviceOpts ...Options) (HeteroResult, error) {
 	start := time.Now()
 	if err := validateRunArgs(app, g); err != nil {
 		return HeteroResult{}, err
 	}
-	if err := validAssign(g, assign); err != nil {
-		return HeteroResult{}, err
-	}
-	net, err := comm.NewNet[float32](machine.PCIe(), app.Profile().MsgBytes)
+	opts, err := expandDeviceGroup(deviceOpts)
 	if err != nil {
 		return HeteroResult{}, err
 	}
-	cfg := resolveFaultConfig(optDev0, optDev1)
+	n := len(opts)
+	if err := validAssign(g, assign, n); err != nil {
+		return HeteroResult{}, err
+	}
+	net, err := comm.NewGroupNet[float32](machine.PCIe(), app.Profile().MsgBytes, n)
+	if err != nil {
+		return HeteroResult{}, err
+	}
+	cfg := resolveFaultConfig(opts...)
 	if cfg.rejoin && cfg.every == 0 && cfg.dir == "" {
 		return HeteroResult{}, &InvalidOptionsError{
 			Field:  "Rejoin",
@@ -224,9 +292,8 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	}
 	net.SetTimeout(cfg.timeout)
 	net.SetInjector(cfg.inj)
-	opts := [2]Options{optDev0, optDev1}
 	// The merged robustness settings govern the whole run; propagate them
-	// onto both options so the engines (in-phase fault injection, abort
+	// onto every option so the engines (in-phase fault injection, abort
 	// checks) and per-option validation see one consistent configuration
 	// regardless of which option carried each knob.
 	for r := range opts {
@@ -239,8 +306,9 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		opts[r].Rejoin = cfg.rejoin
 		opts[r].Abort = cfg.abort
 	}
-	devs := [2]*deviceF32{}
-	for r := 0; r < 2; r++ {
+	resolveTraceLabels(opts)
+	devs := make([]*deviceF32, n)
+	for r := 0; r < n; r++ {
 		ep, err := net.Endpoint(r)
 		if err != nil {
 			return HeteroResult{}, err
@@ -251,8 +319,10 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		}
 	}
 	maxIter := devs[0].opt.MaxIterations
-	if devs[1].opt.MaxIterations < maxIter {
-		maxIter = devs[1].opt.MaxIterations
+	for r := 1; r < n; r++ {
+		if devs[r].opt.MaxIterations < maxIter {
+			maxIter = devs[r].opt.MaxIterations
+		}
 	}
 
 	// Checkpointing (in-memory or durable), resume, and rejoin all need the
@@ -287,7 +357,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	// overwrites the freshly initialized state with the restored snapshot and
 	// takes its frontiers from the checkpoint instead of Init's active set.
 	active := app.Init(g)
-	a0, a1 := splitActive(active, assign)
+	actives := splitActiveN(active, assign, n)
 	var (
 		resumeFrom int64
 		resumedGen uint64
@@ -300,8 +370,11 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		if err := snapper.Restore(snap.State); err != nil {
 			return HeteroResult{}, fmt.Errorf("core: resume from %s gen %d: %w", cfg.dir, gen, err)
 		}
-		a0 = snap.Frontier[0]
-		a1 = snap.Frontier[1]
+		// Re-split the merged frontier by the run's own assignment: the
+		// snapshot may have been captured by a differently-sized group (or
+		// under a degraded re-partition), and ownership is what the engines
+		// assume.
+		actives = splitActiveN(snap.MergedFrontier(), assign, n)
 		resumeFrom = snap.Superstep
 		resumedGen = gen
 		emitEvent(cfg.sink, metrics.Event{
@@ -312,7 +385,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 
 	var coord *checkpoint.Coordinator
 	if cfg.every > 0 {
-		coord, err = checkpoint.NewCoordinator(snapper, cfg.every, cfg.timeout)
+		coord, err = checkpoint.NewGroupCoordinator(snapper, n, cfg.every, cfg.timeout)
 		if err != nil {
 			return HeteroResult{}, err
 		}
@@ -321,7 +394,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 		// Superstep-0 snapshot (or the restored superstep's, on resume),
 		// taken before the rank loops start: recovery is possible from any
 		// point of the run, including a failure in the very first superstep.
-		if err := coord.InitialAt(resumeFrom, a0, a1); err != nil {
+		if err := coord.InitialAt(resumeFrom, actives...); err != nil {
 			return HeteroResult{}, err
 		}
 	}
@@ -329,8 +402,10 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	h := &heteroF32{
 		app: app, g: g, assign: assign, net: net, cfg: cfg, opts: opts,
 		snapper: snapper, coord: coord, store: store,
+		n: n, members: allRanks(n), downStep: map[int]int64{},
 		maxIter: maxIter, start: start, lastRejoin: -1,
 	}
+	h.res.Dev = make([]Result, n)
 	h.res.FailedRank = -1
 	h.res.FailedSuperstep = -1
 	h.res.DiskResumed = cfg.resume
@@ -341,7 +416,7 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 	var handshake func(*deviceF32) error
 	if cfg.resume {
 		handshake = func(d *deviceF32) error {
-			// Both ranks must have restored the same store generation, and
+			// All ranks must have restored the same store generation, and
 			// from here on exchange rounds (and the fault plan's step
 			// indices) count absolute supersteps.
 			if _, err := d.ep.ResumeHandshake(resumedGen); err != nil {
@@ -351,74 +426,176 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, optDev0, optDev1 Opt
 			return nil
 		}
 	}
-	return h.run(devs, [2][]graph.VertexID{a0, a1}, resumeFrom, handshake)
+	return h.run(devs, actives, resumeFrom, handshake)
 }
 
 // heteroF32 supervises one heterogeneous run: it drives lockstep segments,
-// attributes failures, degrades to the survivor, and (with Options.Rejoin)
-// heals the run by restarting the failed rank and re-admitting it at a
-// superstep barrier under a new comm epoch.
+// attributes failures by quorum, degrades to the surviving subset, and
+// (with Options.Rejoin) heals the run by restarting the failed ranks and
+// re-admitting them at a superstep barrier under a new comm epoch.
 type heteroF32 struct {
 	app     AppF32
 	g       *graph.CSR
 	assign  []int32
 	net     *comm.Net[float32]
 	cfg     robustnessConfig
-	opts    [2]Options
+	opts    []Options
 	snapper checkpoint.Snapshotter
 	coord   *checkpoint.Coordinator
 	store   *checkpoint.Store
 	maxIter int
 	start   time.Time
 
+	n        int
+	members  []int         // live ranks, ascending
+	downStep map[int]int64 // failure superstep per down rank
+
 	res  HeteroResult
-	exec float64 // accumulated compute seconds (lockstep max-pairs + degraded windows)
+	exec float64 // accumulated compute seconds (lockstep maxes + degraded windows)
 	// lastRejoin guards rejoin progress: a new rejoin only happens at a
 	// strictly later superstep, so a deterministically failing rejoin cannot
 	// loop forever (at least one degraded superstep separates attempts,
 	// bounded by maxIter).
 	lastRejoin int64
+	// segRec collects per-rank results of a degraded multi-survivor segment;
+	// folded into res.Recovery when the segment ends. recBase is the
+	// Recovery iteration count at segment start (trace indexing).
+	segRec  []Result
+	recBase int64
 }
 
-// run is the supervisor loop: lockstep segments separated by failure
-// handling, and (in rejoin mode) degraded windows that may end in a rejoin.
-func (h *heteroF32) run(devs [2]*deviceF32, actives [2][]graph.VertexID, from int64, handshake func(*deviceF32) error) (HeteroResult, error) {
+// down returns the currently failed ranks, sorted ascending.
+func (h *heteroF32) down() []int {
+	var d []int
+	for r := range h.downStep {
+		d = append(d, r)
+	}
+	sort.Ints(d)
+	return d
+}
+
+// run is the supervisor loop: lockstep segments over the live membership,
+// separated by quorum failure attribution, degraded continuation on the
+// surviving subset, and (in rejoin mode) heals back to full membership.
+func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int64, handshake func(*deviceF32) error) (HeteroResult, error) {
 	for {
-		seg := h.runSegment(devs, actives, from, handshake)
+		degraded := len(h.members) < h.n
+		lead := h.members[0]
+		until := h.maxIter
+		healable := false
+		if degraded {
+			if heal, ok := h.healStep(from); ok && heal < int64(h.maxIter) {
+				until = int(heal)
+				healable = true
+			}
+			h.segRec = make([]Result, h.n)
+			h.recBase = h.res.Recovery.Iterations
+		}
+		seg := h.runSegment(h.members, devs, actives, from, until, handshake, degraded)
 		handshake = nil
 
 		// Cooperative abort: a rank saw Options.Abort closed at a superstep
-		// boundary (the peer usually exits with a collateral peer-death
-		// error, which the abort takes precedence over).
-		if step, ok := segmentAbortStep(seg); ok {
-			h.exec += lockstepSeconds(seg.iterTimes, len(seg.iterTimes[0]))
-			// Best-effort final checkpoint: only when both ranks stopped at
-			// the same boundary is the shared state a consistent snapshot.
-			if h.coord != nil && seg.abortStep[0] == seg.abortStep[1] {
-				_ = h.coord.InitialAt(step, seg.frontier[0], seg.frontier[1])
+		// boundary (the peers usually exit with collateral peer-death
+		// errors, which the abort takes precedence over).
+		if step, ok := segmentAbortStep(seg, h.members); ok {
+			if degraded {
+				h.foldDegraded(seg, lead)
+			} else {
+				h.exec += lockstepSeconds(seg.iterTimes, lead, len(seg.iterTimes[lead]))
+			}
+			// Best-effort final checkpoint: only when every live rank stopped
+			// at the same boundary is the shared state a consistent snapshot.
+			same := true
+			for _, r := range h.members {
+				if seg.abortStep[r] != step {
+					same = false
+				}
+			}
+			if h.coord != nil && same {
+				_ = h.coord.InitialAt(step, seg.frontier...)
+			}
+			detail := fmt.Sprintf("cooperative abort at superstep boundary %d", step)
+			if degraded {
+				detail = fmt.Sprintf("cooperative abort during degraded window at superstep %d", step)
+				h.res.Degraded = true
 			}
 			emitEvent(h.cfg.sink, metrics.Event{
 				Kind: metrics.EventRunAborted, Rank: -1, Superstep: step,
-				Detail: fmt.Sprintf("cooperative abort at superstep boundary %d", step),
+				Detail: detail,
 			})
 			h.res.Iterations = step
 			return h.finalize(), &RunAbortedError{Superstep: step}
 		}
 
-		if seg.runErr[0] == nil && seg.runErr[1] == nil {
-			// Clean finish: both loops ran to convergence or maxIter.
-			h.exec += lockstepSeconds(seg.iterTimes, len(seg.iterTimes[0]))
-			h.res.Iterations = from + seg.iters[0]
-			h.res.Converged = h.res.Dev[0].Converged && h.res.Dev[1].Converged
+		clean := true
+		for _, r := range h.members {
+			if seg.runErr[r] != nil {
+				clean = false
+			}
+		}
+		if clean {
+			if !degraded {
+				// Clean finish: all loops ran to convergence or maxIter.
+				h.exec += lockstepSeconds(seg.iterTimes, lead, len(seg.iterTimes[lead]))
+				h.res.Iterations = from + seg.iters[lead]
+				conv := true
+				for _, r := range h.members {
+					if !h.res.Dev[r].Converged {
+						conv = false
+					}
+				}
+				h.res.Converged = conv
+				return h.finalize(), nil
+			}
+			executed := seg.iters[lead]
+			conv := h.foldDegraded(seg, lead)
+			endStep := from + executed
+			if healable && !conv && endStep == int64(until) {
+				// The fault plan declares every down rank recovered at this
+				// boundary: heal back to full membership.
+				var merged []graph.VertexID
+				for _, r := range h.members {
+					merged = append(merged, seg.frontier[r]...)
+				}
+				devs2, hs, err := h.rejoin(endStep, merged)
+				if err != nil {
+					var serr *checkpoint.StoreError
+					if errors.As(err, &serr) {
+						aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
+						emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
+						return HeteroResult{}, aerr
+					}
+					for _, c := range h.down() {
+						emitEvent(h.cfg.sink, metrics.Event{
+							Kind: metrics.EventRejoinFailed, Rank: c, Superstep: endStep,
+							Detail: err.Error(),
+						})
+					}
+					// Carry on degraded; the lastRejoin guard stops an
+					// immediate identical retry.
+					h.lastRejoin = endStep
+					actives = seg.frontier
+					from = endStep
+					continue
+				}
+				devs = devs2
+				actives = splitActiveN(merged, h.assign, h.n)
+				from = endStep
+				handshake = hs
+				continue
+			}
+			h.res.Degraded = true
+			h.res.Iterations = endStep
+			h.res.Converged = conv
 			return h.finalize(), nil
 		}
 
 		// A failed durable commit is not a device failure: the storage path
-		// is shared, so degrading to a single device would keep hitting the
-		// same broken disk. Treat it like a process crash — abort the whole
-		// run; the previously committed generations are intact and a restart
-		// with Options.Resume picks the run back up.
-		for r := 0; r < 2; r++ {
+		// is shared, so degrading would keep hitting the same broken disk.
+		// Treat it like a process crash — abort the whole run; the previously
+		// committed generations are intact and a restart with Options.Resume
+		// picks the run back up.
+		for _, r := range h.members {
 			var serr *checkpoint.StoreError
 			if errors.As(seg.runErr[r], &serr) {
 				err := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", seg.runErr[r])
@@ -427,37 +604,47 @@ func (h *heteroF32) run(devs [2]*deviceF32, actives [2][]graph.VertexID, from in
 			}
 		}
 
-		// Resolve the failed rank. Both loops usually error (the survivor's
-		// error names the dead peer), and their verdicts must agree; a lone
-		// error also identifies the failure (the peer finished its loop
-		// before noticing).
-		failed := -1
-		failedStep := int64(-1)
-		var firstErr error
-		for r := 0; r < 2; r++ {
-			if seg.runErr[r] == nil {
-				continue
+		// Attribute the failure by quorum over the live ranks' verdicts: a
+		// *comm.DeviceFailedError carries an explicit accusation (a rank that
+		// suffered an injected fault blames itself; a rank whose peer
+		// vanished blames the peer); a checkpoint barrier broken by peer
+		// death cannot name the peer in a group, so it abstains (with two
+		// live ranks the peer is unambiguous); anything else — a recovered
+		// panic in a user function, a scheduler error — is a self-conviction.
+		// A self-conviction always convicts; an external accusation convicts
+		// on a majority of the cast votes.
+		convicted, firstErr := h.quorumBlame(seg)
+		if len(convicted) == 0 || len(convicted) == len(h.members) {
+			var err error
+			if h.n == 2 && !degraded {
+				err = fmt.Errorf("core: both devices failed, cannot degrade: rank 0: %v; rank 1: %v", seg.runErr[0], seg.runErr[1])
+			} else {
+				msg := "core: cannot attribute failure, aborting:"
+				for _, r := range h.members {
+					if seg.runErr[r] != nil {
+						msg += fmt.Sprintf(" rank %d: %v;", r, seg.runErr[r])
+					}
+				}
+				err = errors.New(msg[:len(msg)-1])
 			}
-			if firstErr == nil {
-				firstErr = seg.runErr[r]
-			}
-			b := blameRank(r, seg.runErr[r])
-			if failed == -1 {
-				failed = b
-			} else if failed != b {
-				err := fmt.Errorf("core: both devices failed, cannot degrade: rank 0: %v; rank 1: %v", seg.runErr[0], seg.runErr[1])
-				emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: -1, Superstep: -1, Detail: err.Error()})
-				return HeteroResult{}, err
-			}
-			var dfe *comm.DeviceFailedError
-			if errors.As(seg.runErr[r], &dfe) && dfe.Rank == b {
-				failedStep = dfe.Superstep
-			}
+			emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: -1, Superstep: -1, Detail: err.Error()})
+			return HeteroResult{}, err
 		}
-		emitEvent(h.cfg.sink, metrics.Event{
-			Kind: metrics.EventDeviceFailed, Rank: failed, Superstep: failedStep,
-			Detail: firstErr.Error(),
-		})
+		stepOf := func(c int) int64 {
+			for _, r := range h.members {
+				var dfe *comm.DeviceFailedError
+				if errors.As(seg.runErr[r], &dfe) && dfe.Rank == c {
+					return dfe.Superstep
+				}
+			}
+			return -1
+		}
+		for _, c := range convicted {
+			emitEvent(h.cfg.sink, metrics.Event{
+				Kind: metrics.EventDeviceFailed, Rank: c, Superstep: stepOf(c),
+				Detail: firstErr.Error(),
+			})
+		}
 		if h.coord == nil {
 			return HeteroResult{}, firstErr
 		}
@@ -465,104 +652,263 @@ func (h *heteroF32) run(devs [2]*deviceF32, actives [2][]graph.VertexID, from in
 		if err != nil {
 			return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery failed: %w", firstErr, err)
 		}
-		// Simulated time: lockstep pairs up to the restored checkpoint (work
+		// Simulated time: lockstep maxes up to the restored checkpoint (work
 		// past it was recomputed and is not double-counted; iterTimes index
 		// supersteps relative to the segment's start).
-		h.exec += lockstepSeconds(seg.iterTimes, int(snap.Superstep-from))
+		h.exec += lockstepSeconds(seg.iterTimes, lead, int(snap.Superstep-from))
 
-		survivor := 1 - failed
-		h.res.FailedRank = failed
-		h.res.FailedSuperstep = failedStep
+		for _, c := range convicted {
+			h.downStep[c] = stepOf(c)
+		}
+		downs := h.down()
+		h.members = nil
+		for r := 0; r < h.n; r++ {
+			if _, dead := h.downStep[r]; !dead {
+				h.members = append(h.members, r)
+			}
+		}
+		h.res.FailedRank = convicted[0]
+		h.res.FailedSuperstep = stepOf(convicted[0])
 		h.res.ResumedSuperstep = snap.Superstep
+		h.res.FailedRanks = append([]int(nil), downs...)
 
-		// The continuation is a fresh single-device engine: no assignment, no
-		// endpoint, and no fault injection (the plan described the
-		// heterogeneous run; re-firing its events against the survivor would
-		// kill recovery).
-		ropt := h.opts[survivor]
-		ropt.Fault = nil
-		sd, err := newDeviceF32(h.app, h.g, ropt, 0, nil, nil)
-		if err != nil {
-			return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery engine failed: %w", firstErr, err)
+		if len(h.members) == 1 {
+			// A single survivor runs without the interconnect: a fresh
+			// single-device engine with no assignment, no endpoint, and no
+			// fault injection (the plan described the group run; re-firing
+			// its events against the survivor would kill recovery).
+			survivor := h.members[0]
+			ropt := h.opts[survivor]
+			ropt.Fault = nil
+			sd, err := newDeviceF32(h.app, h.g, ropt, 0, nil, nil)
+			if err != nil {
+				return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery engine failed: %w", firstErr, err)
+			}
+			emitEvent(h.cfg.sink, metrics.Event{
+				Kind: metrics.EventDegraded, Rank: h.res.FailedRank, Superstep: snap.Superstep,
+				Detail: fmt.Sprintf("rank %d survives; restored checkpointed superstep %d, continuing single-device", survivor, snap.Superstep),
+			})
+
+			if !h.cfg.rejoin || len(downs) != 1 {
+				return h.runPermanentDegraded(sd, snap, firstErr)
+			}
+
+			// Rejoin mode: run the survivor superstep-at-a-time, polling the
+			// fault plan for the failed rank's recovery.
+			failed := downs[0]
+			w, err := h.runDegradedWindow(sd, failed, h.downStep[failed], snap)
+			if err != nil {
+				var serr *checkpoint.StoreError
+				if errors.As(err, &serr) {
+					aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
+					emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
+					return HeteroResult{}, aerr
+				}
+				return HeteroResult{}, fmt.Errorf("core: device failure (%v) and degraded continuation failed: %w", firstErr, err)
+			}
+			switch w.outcome {
+			case windowAborted:
+				emitEvent(h.cfg.sink, metrics.Event{
+					Kind: metrics.EventRunAborted, Rank: -1, Superstep: w.step,
+					Detail: fmt.Sprintf("cooperative abort during degraded window at superstep %d", w.step),
+				})
+				h.res.Degraded = true
+				h.res.Iterations = w.step
+				return h.finalize(), &RunAbortedError{Superstep: w.step}
+			case windowFinished:
+				h.res.Degraded = true
+				h.res.Iterations = w.step
+				h.res.Converged = w.converged
+				return h.finalize(), nil
+			}
+
+			// windowHealed: restart the failed rank, replay it from a fresh
+			// checkpoint at the rejoin boundary, and re-enter lockstep.
+			devs2, hs, err := h.rejoin(w.step, w.frontier)
+			if err != nil {
+				var serr *checkpoint.StoreError
+				if errors.As(err, &serr) {
+					aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
+					emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
+					return HeteroResult{}, aerr
+				}
+				emitEvent(h.cfg.sink, metrics.Event{
+					Kind: metrics.EventRejoinFailed, Rank: failed, Superstep: w.step,
+					Detail: err.Error(),
+				})
+				return h.runPermanentDegradedFrom(sd, w.step, w.frontier, firstErr)
+			}
+			devs = devs2
+			actives = splitActiveN(w.frontier, h.assign, h.n)
+			from = w.step
+			handshake = hs
+			continue
+		}
+
+		// Two or more survivors: re-partition the dead ranks' vertices
+		// across the survivors and continue lockstep among them. The
+		// injector is suspended while degraded — the surviving subset
+		// replays checkpointed supersteps, and re-firing the plan's events
+		// against it would kill recovery; it is re-armed on heal.
+		subAssign := make([]int32, len(h.assign))
+		for v, a := range h.assign {
+			if _, dead := h.downStep[int(a)]; dead {
+				subAssign[v] = int32(h.members[v%len(h.members)])
+			} else {
+				subAssign[v] = a
+			}
+		}
+		h.net.NewEpoch()
+		h.net.SetMembers(h.members)
+		h.net.SetInjector(nil)
+		h.coord.Reopen()
+		h.coord.SetMembers(h.members)
+		sdevs := make([]*deviceF32, h.n)
+		for _, r := range h.members {
+			ropt := h.opts[r]
+			ropt.Fault = nil
+			ep, err := h.net.Endpoint(r)
+			if err != nil {
+				return HeteroResult{}, err
+			}
+			sdevs[r], err = newDeviceF32(h.app, h.g, ropt, r, subAssign, ep)
+			if err != nil {
+				return HeteroResult{}, fmt.Errorf("core: device failure (%v) and recovery engine failed: %w", firstErr, err)
+			}
 		}
 		emitEvent(h.cfg.sink, metrics.Event{
-			Kind: metrics.EventDegraded, Rank: failed, Superstep: snap.Superstep,
-			Detail: fmt.Sprintf("rank %d survives; restored checkpointed superstep %d, continuing single-device", survivor, snap.Superstep),
+			Kind: metrics.EventDegraded, Rank: h.res.FailedRank, Superstep: snap.Superstep,
+			Detail: fmt.Sprintf("ranks %v survive; restored checkpointed superstep %d, continuing %d-device", h.members, snap.Superstep, len(h.members)),
 		})
-
-		if !h.cfg.rejoin {
-			return h.runPermanentDegraded(sd, snap, firstErr)
+		devs = sdevs
+		actives = splitActiveN(snap.MergedFrontier(), subAssign, h.n)
+		from = snap.Superstep
+		resumeStep := from
+		handshake = func(d *deviceF32) error {
+			d.ep.SetStep(resumeStep)
+			return nil
 		}
-
-		// Rejoin mode: run the survivor superstep-at-a-time, polling the
-		// fault plan for the failed rank's recovery.
-		w, err := h.runDegradedWindow(sd, failed, failedStep, snap)
-		if err != nil {
-			var serr *checkpoint.StoreError
-			if errors.As(err, &serr) {
-				aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
-				emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
-				return HeteroResult{}, aerr
-			}
-			return HeteroResult{}, fmt.Errorf("core: device failure (%v) and degraded continuation failed: %w", firstErr, err)
-		}
-		switch w.outcome {
-		case windowAborted:
-			emitEvent(h.cfg.sink, metrics.Event{
-				Kind: metrics.EventRunAborted, Rank: -1, Superstep: w.step,
-				Detail: fmt.Sprintf("cooperative abort during degraded window at superstep %d", w.step),
-			})
-			h.res.Degraded = true
-			h.res.Iterations = w.step
-			return h.finalize(), &RunAbortedError{Superstep: w.step}
-		case windowFinished:
-			h.res.Degraded = true
-			h.res.Iterations = w.step
-			h.res.Converged = w.converged
-			return h.finalize(), nil
-		}
-
-		// windowHealed: restart the failed rank, replay it from a fresh
-		// checkpoint at the rejoin boundary, and re-enter lockstep.
-		devs2, hs, err := h.rejoin(w.step, w.frontier, failed)
-		if err != nil {
-			var serr *checkpoint.StoreError
-			if errors.As(err, &serr) {
-				aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
-				emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
-				return HeteroResult{}, aerr
-			}
-			emitEvent(h.cfg.sink, metrics.Event{
-				Kind: metrics.EventRejoinFailed, Rank: failed, Superstep: w.step,
-				Detail: err.Error(),
-			})
-			return h.runPermanentDegradedFrom(sd, w.step, w.frontier, firstErr)
-		}
-		devs = devs2
-		f0, f1 := splitActive(w.frontier, h.assign)
-		actives = [2][]graph.VertexID{f0, f1}
-		from = w.step
-		handshake = hs
 	}
 }
 
-// segmentOutcome is one lockstep segment's result: per-rank errors,
-// per-iteration compute times (indexed relative to the segment's start),
-// supersteps recorded, and — when Options.Abort stopped a rank — the abort
-// boundary and the rank's frontier there.
+// quorumBlame resolves which live ranks the segment's errors convict. It
+// returns the convicted ranks (sorted) and the first error observed.
+func (h *heteroF32) quorumBlame(seg segmentOutcome) ([]int, error) {
+	votes := map[int]int{}
+	self := map[int]bool{}
+	voters := 0
+	var firstErr error
+	live := map[int]bool{}
+	for _, r := range h.members {
+		live[r] = true
+	}
+	for _, r := range h.members {
+		err := seg.runErr[r]
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		var dfe *comm.DeviceFailedError
+		switch {
+		case errors.As(err, &dfe):
+			voters++
+			if dfe.Rank == r {
+				self[r] = true
+			} else if live[dfe.Rank] {
+				votes[dfe.Rank]++
+			}
+		case errors.Is(err, checkpoint.ErrPeerDead):
+			// The barrier broke because a peer died, but the coordinator
+			// cannot name it; with exactly two live ranks the peer is
+			// unambiguous, otherwise abstain.
+			if len(h.members) == 2 {
+				voters++
+				peer := h.members[0] + h.members[1] - r
+				votes[peer]++
+			}
+		default:
+			voters++
+			self[r] = true
+		}
+	}
+	majority := voters/2 + 1
+	var convicted []int
+	for _, r := range h.members {
+		if self[r] || votes[r] >= majority {
+			convicted = append(convicted, r)
+		}
+	}
+	return convicted, firstErr
+}
+
+// healStep computes the earliest superstep boundary at which every down rank
+// is declared recovered by the fault plan (the max of the per-rank recovery
+// steps). ok is false when any down rank never recovers.
+func (h *heteroF32) healStep(from int64) (int64, bool) {
+	if !h.cfg.rejoin || len(h.downStep) == 0 {
+		return 0, false
+	}
+	heal := int64(-1)
+	for c, failedStep := range h.downStep {
+		s := h.cfg.inj.RecoverStep(c, failedStep)
+		if s < 0 {
+			return 0, false
+		}
+		if s > heal {
+			heal = s
+		}
+	}
+	if heal <= h.lastRejoin {
+		heal = h.lastRejoin + 1
+	}
+	if heal < from {
+		heal = from
+	}
+	return heal, true
+}
+
+// foldDegraded accumulates a degraded multi-survivor segment's per-rank
+// scratch results into res.Recovery, advances the degraded counters, and
+// reports whether the segment converged.
+func (h *heteroF32) foldDegraded(seg segmentOutcome, lead int) bool {
+	executed := seg.iters[lead]
+	conv := false
+	for _, r := range h.members {
+		h.res.Recovery.Counters.Add(h.segRec[r].Counters)
+		h.res.Recovery.Phases.Add(h.segRec[r].Phases)
+		if h.segRec[r].Converged {
+			conv = true
+		}
+	}
+	h.res.Recovery.Iterations += executed
+	h.res.Recovery.SimSeconds = h.res.Recovery.Phases.Total()
+	if conv {
+		h.res.Recovery.Converged = true
+	}
+	h.res.DegradedSupersteps += executed
+	h.exec += lockstepSeconds(seg.iterTimes, lead, int(executed))
+	return conv
+}
+
+// segmentOutcome is one lockstep segment's result, indexed by rank:
+// per-rank errors, per-iteration compute times (indexed relative to the
+// segment's start), supersteps recorded, the frontier each rank ended at,
+// and — when Options.Abort stopped a rank — the abort boundary.
 type segmentOutcome struct {
-	runErr    [2]error
-	iterTimes [2][]float64
-	iters     [2]int64
-	frontier  [2][]graph.VertexID
-	abortStep [2]int64
+	runErr    []error
+	iterTimes [][]float64
+	iters     []int64
+	frontier  [][]graph.VertexID
+	abortStep []int64
 }
 
 // segmentAbortStep reports the boundary a cooperative abort stopped the
-// segment at (the earliest rank's, when both recorded one).
-func segmentAbortStep(seg segmentOutcome) (int64, bool) {
+// segment at (the earliest live rank's, when several recorded one).
+func segmentAbortStep(seg segmentOutcome, members []int) (int64, bool) {
 	step, ok := int64(-1), false
-	for r := 0; r < 2; r++ {
+	for _, r := range members {
 		var aerr *RunAbortedError
 		if errors.As(seg.runErr[r], &aerr) {
 			if !ok || aerr.Superstep < step {
@@ -574,21 +920,45 @@ func segmentAbortStep(seg segmentOutcome) (int64, bool) {
 	return step, ok
 }
 
-// runSegment runs both rank loops in lockstep from superstep `from` until
-// convergence, maxIter, an abort, or a failure. handshake, when non-nil,
-// runs on each rank before its loop (resume or rejoin barrier agreement).
-func (h *heteroF32) runSegment(devs [2]*deviceF32, actives [2][]graph.VertexID, from int64, handshake func(*deviceF32) error) segmentOutcome {
-	out := segmentOutcome{abortStep: [2]int64{-1, -1}}
-	startIters := [2]int64{h.res.Dev[0].Iterations, h.res.Dev[1].Iterations}
+// runSegment runs the member rank loops in lockstep from superstep `from`
+// until convergence, the `until` boundary, an abort, or a failure.
+// handshake, when non-nil, runs on each rank before its loop (resume or
+// rejoin barrier agreement). degraded selects the record target: the
+// per-rank Dev results at full membership, the Recovery scratch otherwise.
+func (h *heteroF32) runSegment(members []int, devs []*deviceF32, actives [][]graph.VertexID, from int64, until int, handshake func(*deviceF32) error, degraded bool) segmentOutcome {
+	out := segmentOutcome{
+		runErr:    make([]error, h.n),
+		iterTimes: make([][]float64, h.n),
+		iters:     make([]int64, h.n),
+		frontier:  make([][]graph.VertexID, h.n),
+		abortStep: make([]int64, h.n),
+	}
+	for r := range out.abortStep {
+		out.abortStep[r] = -1
+	}
+	rec := func(r int) *Result {
+		if degraded {
+			return &h.segRec[r]
+		}
+		return &h.res.Dev[r]
+	}
+	traceBase := int64(0)
+	if degraded {
+		traceBase = h.recBase
+	}
+	startIters := make([]int64, h.n)
+	for _, r := range members {
+		startIters[r] = rec(r).Iterations
+	}
 	var wg sync.WaitGroup
-	for r := 0; r < 2; r++ {
+	for _, m := range members {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			d := devs[r]
 			// On any error (or an abort), declare this rank dead on both the
-			// interconnect and the checkpoint barrier, so the peer fails
-			// fast wherever it is waiting instead of deadlocking.
+			// interconnect and the checkpoint barrier, so the peers fail
+			// fast wherever they are waiting instead of deadlocking.
 			defer func() {
 				if out.runErr[r] != nil {
 					d.ep.Abort()
@@ -607,7 +977,7 @@ func (h *heteroF32) runSegment(devs [2]*deviceF32, actives [2][]graph.VertexID, 
 			fixed := IsFixedActive(d.app)
 			initial := active
 			measured := d.opt.Metrics != nil
-			for iter := int(from); iter < h.maxIter; iter++ {
+			for iter := int(from); iter < until; iter++ {
 				if abortRequested(d.opt.Abort) {
 					out.abortStep[r] = int64(iter)
 					out.frontier[r] = active
@@ -635,7 +1005,7 @@ func (h *heteroF32) runSegment(devs [2]*deviceF32, actives [2][]graph.VertexID, 
 				// iteration's active count, which doubles as the BSP
 				// termination allreduce: when no vertex was active anywhere,
 				// nothing was generated and the run is over. (Its wall time —
-				// including the lockstep wait for the peer — is measured by
+				// including the lockstep wait for the peers — is measured by
 				// comm and copied into d.wall by exchange.)
 				remoteActive, err := d.exchange(int64(len(active)), &c, &pt)
 				if err != nil {
@@ -645,9 +1015,10 @@ func (h *heteroF32) runSegment(devs [2]*deviceF32, actives [2][]graph.VertexID, 
 				if int64(len(active))+remoteActive == 0 && !fixed {
 					// The convergence-detection superstep carries only
 					// generate + exchange work.
-					d.recordIter(&h.res.Dev[r], c, pt)
+					d.recordIter(rec(r), c, pt)
 					d.recordMetrics(d.step, c, pt)
-					h.res.Dev[r].Converged = true
+					rec(r).Converged = true
+					out.frontier[r] = active
 					return
 				}
 				// Process + update locally.
@@ -677,9 +1048,9 @@ func (h *heteroF32) runSegment(devs [2]*deviceF32, actives [2][]graph.VertexID, 
 				pt.Process = compute.Process
 				pt.Update = compute.Update
 
-				d.recordTrace(h.res.Dev[r].Iterations, c, pt)
+				d.recordTrace(traceBase+rec(r).Iterations, c, pt)
 				d.recordMetrics(d.step, c, pt)
-				d.recordIter(&h.res.Dev[r], c, pt)
+				d.recordIter(rec(r), c, pt)
 				out.iterTimes[r] = append(out.iterTimes[r], pt.Generate+pt.Process+pt.Update)
 				if fixed {
 					active = initial
@@ -698,12 +1069,12 @@ func (h *heteroF32) runSegment(devs [2]*deviceF32, actives [2][]graph.VertexID, 
 					}
 				}
 			}
-		}(r)
+			out.frontier[r] = active
+		}(m)
 	}
 	wg.Wait()
-	out.iters = [2]int64{
-		h.res.Dev[0].Iterations - startIters[0],
-		h.res.Dev[1].Iterations - startIters[1],
+	for _, r := range members {
+		out.iters[r] = rec(r).Iterations - startIters[r]
 	}
 	return out
 }
@@ -730,7 +1101,7 @@ type windowResult struct {
 	converged bool
 }
 
-// runDegradedWindow drives the survivor superstep-at-a-time from the
+// runDegradedWindow drives the lone survivor superstep-at-a-time from the
 // restored checkpoint, checkpointing at the configured cadence, until the
 // fault plan declares the failed rank recovered, the run finishes, or an
 // abort lands. Degraded supersteps accumulate into res.Recovery.
@@ -744,8 +1115,7 @@ func (h *heteroF32) runDegradedWindow(sd *deviceF32, failed int, failedStep int6
 			// Final checkpoint at the abort boundary: the window is
 			// single-party, so the snapshot is always consistent.
 			if h.coord != nil {
-				f0, f1 := splitActive(frontier, h.assign)
-				_ = h.coord.InitialAt(step, f0, f1)
+				_ = h.coord.InitialAt(step, splitActiveN(frontier, h.assign, h.n)...)
 			}
 			return windowResult{outcome: windowAborted, step: step, frontier: frontier}, nil
 		}
@@ -783,28 +1153,27 @@ func (h *heteroF32) runDegradedWindow(sd *deviceF32, failed int, failedStep int6
 			frontier = next
 		}
 		if h.coord != nil && h.coord.Due(step) {
-			f0, f1 := splitActive(frontier, h.assign)
-			if err := h.coord.InitialAt(step, f0, f1); err != nil {
+			if err := h.coord.InitialAt(step, splitActiveN(frontier, h.assign, h.n)...); err != nil {
 				return windowResult{}, err
 			}
 		}
 	}
 }
 
-// rejoin restarts the failed rank for re-admission at superstep `step`: it
+// rejoin restarts the down ranks for re-admission at superstep `step`: it
 // captures a fresh checkpoint at the rejoin boundary, replays the restarted
-// engine from it (state is partitioned by ownership, so the restored arrays
-// carry exactly the supersteps the dead rank missed), opens a new comm
-// epoch so packets from before the failure are fenced off, reopens the
-// checkpoint barrier, and rebuilds both rank engines. The returned
-// handshake runs RejoinHandshake on each rank before the next segment.
-func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID, failed int) ([2]*deviceF32, func(*deviceF32) error, error) {
-	var devs [2]*deviceF32
-	f0, f1 := splitActive(frontier, h.assign)
-	if err := h.coord.InitialAt(step, f0, f1); err != nil {
+// engines from it (state is partitioned by ownership, so the restored arrays
+// carry exactly the supersteps the dead ranks missed), opens a new comm
+// epoch so packets from before the failure are fenced off, restores full
+// membership on the interconnect and the checkpoint barrier, re-arms the
+// fault injector, and rebuilds every rank engine. The returned handshake
+// runs RejoinHandshake on each rank before the next segment.
+func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID) ([]*deviceF32, func(*deviceF32) error, error) {
+	devs := make([]*deviceF32, h.n)
+	if err := h.coord.InitialAt(step, splitActiveN(frontier, h.assign, h.n)...); err != nil {
 		return devs, nil, fmt.Errorf("rejoin checkpoint at superstep %d: %w", step, err)
 	}
-	// The replay: the restarted rank loads the rejoin snapshot. The arrays
+	// The replay: the restarted ranks load the rejoin snapshot. The arrays
 	// are shared in-process, so this also re-verifies the snapshot decodes.
 	snap := h.coord.Latest()
 	if err := h.snapper.Restore(snap.State); err != nil {
@@ -817,8 +1186,11 @@ func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID, failed int) ([
 		}
 	}
 	epoch := h.net.NewEpoch()
+	h.net.SetMembers(allRanks(h.n))
+	h.net.SetInjector(h.cfg.inj)
 	h.coord.Reopen()
-	for r := 0; r < 2; r++ {
+	h.coord.SetMembers(allRanks(h.n))
+	for r := 0; r < h.n; r++ {
 		ep, err := h.net.Endpoint(r)
 		if err != nil {
 			return devs, nil, err
@@ -835,13 +1207,18 @@ func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID, failed int) ([
 		d.ep.SetStep(step)
 		return nil
 	}
-	emitEvent(h.cfg.sink, metrics.Event{
-		Kind: metrics.EventRejoined, Rank: failed, Superstep: step,
-		Detail: fmt.Sprintf("rank %d restarted from generation %d, rejoined at superstep %d (epoch %d)", failed, gen, step, epoch),
-	})
+	for _, c := range h.down() {
+		emitEvent(h.cfg.sink, metrics.Event{
+			Kind: metrics.EventRejoined, Rank: c, Superstep: step,
+			Detail: fmt.Sprintf("rank %d restarted from generation %d, rejoined at superstep %d (epoch %d)", c, gen, step, epoch),
+		})
+	}
 	h.res.Healed = true
 	h.res.RejoinSuperstep = step
+	h.res.FailedRanks = nil
 	h.lastRejoin = step
+	h.downStep = map[int]int64{}
+	h.members = allRanks(h.n)
 	return devs, handshake, nil
 }
 
@@ -900,28 +1277,32 @@ func (h *heteroF32) runPermanentDegradedFrom(sd *deviceF32, step int64, frontier
 // finalize stamps the run-level times into the accumulated result.
 func (h *heteroF32) finalize() HeteroResult {
 	h.res.ExecSeconds = h.exec
-	// Communication time is identical on both sides (full-duplex model), so
-	// take device 0's.
+	// Communication time is identical on every side (full-duplex model), so
+	// take rank 0's.
 	h.res.CommSeconds = h.res.Dev[0].Phases.Exchange
 	h.res.SimSeconds = h.res.ExecSeconds + h.res.CommSeconds
 	h.res.WallSeconds = time.Since(h.start).Seconds()
 	return h.res
 }
 
-// lockstepSeconds sums max(dev0_i, dev1_i) over the first n iterations.
-func lockstepSeconds(iterTimes [2][]float64, n int) float64 {
+// lockstepSeconds sums, over the first n iterations, the slowest rank's
+// compute time. lead bounds the iteration count (the reference rank, rank 0
+// at full membership).
+func lockstepSeconds(iterTimes [][]float64, lead, n int) float64 {
 	var total float64
-	for i := 0; i < n && i < len(iterTimes[0]); i++ {
-		t := iterTimes[0][i]
-		if i < len(iterTimes[1]) && iterTimes[1][i] > t {
-			t = iterTimes[1][i]
+	for i := 0; i < n && i < len(iterTimes[lead]); i++ {
+		t := iterTimes[lead][i]
+		for _, times := range iterTimes {
+			if i < len(times) && times[i] > t {
+				t = times[i]
+			}
 		}
 		total += t
 	}
 	return total
 }
 
-// recordIter accumulates one iteration into a device's Result.
+// recordIter accumulates one iteration into a rank's Result.
 func (d *deviceF32) recordIter(r *Result, c machine.Counters, pt PhaseTimes) {
 	r.Iterations++
 	r.Counters.Add(c)

@@ -166,7 +166,9 @@ func (k Kind) String() string {
 
 // Event is one planned fault.
 type Event struct {
-	// Rank is the rank the fault hits (0 or 1).
+	// Rank is the rank the fault hits (any non-negative rank of the device
+	// group; a plan targeting a rank outside the run's group simply never
+	// fires).
 	Rank int
 	// Step is the 0-based superstep (exchange round) the fault fires at.
 	Step int64
@@ -216,8 +218,8 @@ func (e Event) String() string {
 
 // Validate checks the event's fields.
 func (e Event) Validate() error {
-	if e.Rank != 0 && e.Rank != 1 {
-		return fmt.Errorf("fault: event rank %d not in {0,1}", e.Rank)
+	if e.Rank < 0 {
+		return fmt.Errorf("fault: event rank %d < 0", e.Rank)
 	}
 	if e.Step < 0 {
 		return fmt.Errorf("fault: event step %d < 0", e.Step)
@@ -517,6 +519,44 @@ func (in *Injector) RecoverAt(rank int, failedStep, step int64) bool {
 		}
 	}
 	return false
+}
+
+// RecoverStep returns the earliest superstep at which rank — felled by a
+// fault detected at superstep failedStep — becomes recoverable, or -1 if the
+// plan never recovers it. It is the closed form of RecoverAt: RecoverAt(rank,
+// failedStep, s) holds exactly for s >= RecoverStep(rank, failedStep). The
+// supervisor uses it to bound degraded segments instead of polling every
+// superstep.
+func (in *Injector) RecoverStep(rank int, failedStep int64) int64 {
+	if in == nil {
+		return -1
+	}
+	best := int64(-1)
+	consider := func(s int64) {
+		if best < 0 || s < best {
+			best = s
+		}
+	}
+	for _, e := range in.events {
+		if e.Rank != rank {
+			continue
+		}
+		switch e.Kind {
+		case KindFlaky:
+			down := int64(e.Times)
+			if down < 1 {
+				down = 1
+			}
+			if e.Step == failedStep {
+				consider(e.Step + down)
+			}
+		case KindRecover:
+			if e.Step > failedStep {
+				consider(e.Step)
+			}
+		}
+	}
+	return best
 }
 
 // Delay returns the injected stall for rank's exchange at step (0 if none).

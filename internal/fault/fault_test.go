@@ -38,7 +38,7 @@ func TestParseRoundTrip(t *testing.T) {
 func TestParseRejectsGarbage(t *testing.T) {
 	for _, spec := range []string{
 		"drop@3",               // no rank
-		"rank2:drop@3",         // bad rank
+		"rank-2:drop@3",        // negative rank
 		"rank0:drop@-1",        // negative step
 		"rank0:explode@3",      // unknown kind
 		"rank0:panic@3",        // panic without phase
@@ -256,11 +256,16 @@ func TestParseHealingFaultGarbage(t *testing.T) {
 	for _, spec := range []string{
 		"rank1:flaky@3xq",  // bad down-window
 		"rank1:recover@-1", // negative step
-		"rank3:recover@5",  // bad rank
+		"rank-1:recover@5", // negative rank
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted garbage", spec)
 		}
+	}
+	// Ranks beyond the classic CPU+MIC pair are valid: N-rank device groups
+	// address any non-negative rank.
+	if _, err := Parse("rank3:recover@5"); err != nil {
+		t.Errorf("Parse(rank3:recover@5) rejected an N-rank event: %v", err)
 	}
 	if err := (Event{Rank: 1, Step: 3, Kind: KindFlaky, Times: -2}).Validate(); err == nil {
 		t.Error("Validate accepted a negative flaky down-window")

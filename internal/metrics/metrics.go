@@ -294,6 +294,12 @@ type Totals struct {
 	Healed             bool  `json:"healed,omitempty"`
 	RejoinSuperstep    int64 `json:"rejoin_superstep,omitempty"`
 	DegradedSupersteps int64 `json:"degraded_supersteps,omitempty"`
+	// Ranks is the device-group size of a heterogeneous run (2 for the
+	// classic CPU+MIC pair; zero for single-device runs).
+	Ranks int `json:"ranks,omitempty"`
+	// FailedRanks lists the ranks still down when the run ended, sorted
+	// ascending; empty when the run ended at full membership.
+	FailedRanks []int `json:"failed_ranks,omitempty"`
 }
 
 // RunReport is the versioned, machine-readable record of one run.

@@ -1,7 +1,8 @@
-// Package partition implements the CPU–MIC workload partitioning schemes of
-// §IV-E. A partitioning assigns every vertex to a device rank (0 = CPU,
-// 1 = MIC) before the run, at a user-specified ratio a:b of expected
-// workload:
+// Package partition implements the workload partitioning schemes of §IV-E,
+// generalized to N-rank device groups. A partitioning assigns every vertex
+// to a device rank before the run — classically 0 = CPU and 1 = MIC at a
+// user-specified ratio a:b of expected workload, or any rank of a larger
+// group at spec-weighted shares (the *N variants):
 //
 //   - Continuous: the first a/(a+b) of the vertex range goes to the CPU —
 //     broken by power-law graphs whose high-degree vertices cluster at the
@@ -206,6 +207,165 @@ func Hybrid(g *graph.CSR, r Ratio, blocks int, opts metis.Options) ([]int32, err
 	return HybridBalanced(g, blockOf, r)
 }
 
+// validateWeights checks an N-rank workload weight vector (one non-negative
+// entry per rank, at least one positive).
+func validateWeights(weights []int) error {
+	if len(weights) < 1 {
+		return fmt.Errorf("partition: empty weight vector")
+	}
+	sum := 0
+	for r, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("partition: negative weight %d for rank %d", w, r)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return fmt.Errorf("partition: all-zero weight vector")
+	}
+	return nil
+}
+
+// ContinuousN is Continuous for an N-rank group: the vertex-ID range is cut
+// into len(weights) consecutive spans proportional to the weights (e.g. each
+// rank's hardware thread count). ContinuousN(n, []int{a, b}) matches
+// Continuous(n, Ratio{a, b}).
+func ContinuousN(n int, weights []int) ([]int32, error) {
+	if err := validateWeights(weights); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	assign := make([]int32, n)
+	start, acc := 0, 0
+	for r, w := range weights {
+		acc += w
+		end := int(float64(n) * float64(acc) / float64(total))
+		if r == len(weights)-1 {
+			end = n
+		}
+		for v := start; v < end; v++ {
+			assign[v] = int32(r)
+		}
+		start = end
+	}
+	return assign, nil
+}
+
+// RoundRobinN is RoundRobin for an N-rank group: of every sum(weights)
+// consecutive IDs, the first weights[0] go to rank 0, the next weights[1] to
+// rank 1, and so on. RoundRobinN(n, []int{a, b}) matches
+// RoundRobin(n, Ratio{a, b}).
+func RoundRobinN(n int, weights []int) ([]int32, error) {
+	if err := validateWeights(weights); err != nil {
+		return nil, err
+	}
+	window := 0
+	for _, w := range weights {
+		window += w
+	}
+	// rankAt[i] is the rank owning offset i of the window.
+	rankAt := make([]int32, window)
+	i := 0
+	for r, w := range weights {
+		for k := 0; k < w; k++ {
+			rankAt[i] = int32(r)
+			i++
+		}
+	}
+	assign := make([]int32, n)
+	for v := 0; v < n; v++ {
+		assign[v] = rankAt[v%window]
+	}
+	return assign, nil
+}
+
+// HybridBalancedN deals precomputed blocks to an N-rank group with the same
+// deficit-greedy balance objective as HybridBalanced: blocks are taken in
+// descending workload order and each goes to the rank furthest below its
+// weighted target share.
+func HybridBalancedN(g *graph.CSR, blockOf []int32, weights []int) ([]int32, error) {
+	if err := validateWeights(weights); err != nil {
+		return nil, err
+	}
+	numBlocks := 0
+	for _, b := range blockOf {
+		if int(b) >= numBlocks {
+			numBlocks = int(b) + 1
+		}
+	}
+	blockW := make([]int64, numBlocks)
+	var total int64
+	for v := 0; v < g.NumVertices(); v++ {
+		w := 1 + int64(g.OutDegree(graph.VertexID(v)))
+		blockW[blockOf[v]] += w
+		total += w
+	}
+	order := make([]int, numBlocks)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return blockW[order[i]] > blockW[order[j]] })
+	wSum := 0
+	for _, w := range weights {
+		wSum += w
+	}
+	targets := make([]float64, len(weights))
+	for r, w := range weights {
+		targets[r] = float64(w) / float64(wSum) * float64(total)
+	}
+	got := make([]float64, len(weights))
+	blockDev := make([]int32, numBlocks)
+	for _, b := range order {
+		// Deficit-greedy: place the block where the achieved fraction is
+		// furthest below target; zero-weight ranks never receive blocks.
+		best, bestFrac := -1, 0.0
+		for r := range weights {
+			if weights[r] == 0 {
+				continue
+			}
+			frac := got[r] / maxF(targets[r], 1)
+			if best < 0 || frac < bestFrac {
+				best, bestFrac = r, frac
+			}
+		}
+		blockDev[b] = int32(best)
+		got[best] += float64(blockW[b])
+	}
+	assign := make([]int32, len(blockOf))
+	for v, b := range blockOf {
+		assign[v] = blockDev[b]
+	}
+	return assign, nil
+}
+
+// HybridN runs the full hybrid scheme for an N-rank group: blocked
+// partitioning, then the balance-aware deal at the weighted shares.
+func HybridN(g *graph.CSR, weights []int, blocks int, opts metis.Options) ([]int32, error) {
+	blockOf, err := Blocks(g, blocks, opts)
+	if err != nil {
+		return nil, err
+	}
+	return HybridBalancedN(g, blockOf, weights)
+}
+
+// MakeN dispatches on method for an N-rank group with one workload weight
+// per rank. Hybrid uses BlocksFor-scaled blocks and default Metis options.
+func MakeN(method Method, g *graph.CSR, weights []int) ([]int32, error) {
+	switch method {
+	case MethodContinuous:
+		return ContinuousN(g.NumVertices(), weights)
+	case MethodRoundRobin:
+		return RoundRobinN(g.NumVertices(), weights)
+	case MethodHybrid:
+		return HybridN(g, weights, BlocksFor(g.NumVertices()), metis.DefaultOptions())
+	default:
+		return nil, fmt.Errorf("partition: unknown method %d", int(method))
+	}
+}
+
 // Make dispatches on method. Hybrid uses DefaultBlocks and default Metis
 // options.
 func Make(method Method, g *graph.CSR, r Ratio) ([]int32, error) {
@@ -248,6 +408,16 @@ func WorkloadSplit(g *graph.CSR, assign []int32) (edges0, edges1 int64) {
 		}
 	}
 	return edges0, edges1
+}
+
+// WorkloadSplitN returns the cumulative out-degree per rank of an N-rank
+// group — the balance criterion generalized from WorkloadSplit.
+func WorkloadSplitN(g *graph.CSR, assign []int32, ranks int) []int64 {
+	edges := make([]int64, ranks)
+	for v := 0; v < g.NumVertices(); v++ {
+		edges[assign[v]] += int64(g.OutDegree(graph.VertexID(v)))
+	}
+	return edges
 }
 
 // BalanceError returns how far the achieved workload split is from the

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -28,7 +29,8 @@ const (
 
 // Sample is one phase of one superstep on one device.
 type Sample struct {
-	// Device is the modeled device name ("CPU", "MIC").
+	// Device is the modeled device label ("CPU", "MIC"; N-rank device
+	// groups disambiguate duplicate names as "MIC#2").
 	Device string
 	// Iteration is the superstep index (0-based).
 	Iteration int64
@@ -66,11 +68,33 @@ func (r *Recorder) Samples() []Sample {
 	r.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Device != out[j].Device {
-			return out[i].Device < out[j].Device
+			return deviceLess(out[i].Device, out[j].Device)
 		}
 		return out[i].Iteration < out[j].Iteration
 	})
 	return out
+}
+
+// deviceLess orders device labels by base name, then numerically by the
+// "#rank" suffix hetero runs append to disambiguate duplicate names — so a
+// 12-rank group lists MIC#2 before MIC#10 and output stays in rank order
+// regardless of map iteration or recording interleaving.
+func deviceLess(a, b string) bool {
+	an, ar := splitDeviceLabel(a)
+	bn, br := splitDeviceLabel(b)
+	if an != bn {
+		return an < bn
+	}
+	return ar < br
+}
+
+func splitDeviceLabel(s string) (string, int) {
+	if i := strings.LastIndexByte(s, '#'); i >= 0 {
+		if r, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i], r
+		}
+	}
+	return s, -1
 }
 
 // Len returns the number of recorded samples.
@@ -143,7 +167,7 @@ func (r *Recorder) Summarize() Summary {
 	}
 	sort.Slice(sum.Totals, func(i, j int) bool {
 		if sum.Totals[i].Device != sum.Totals[j].Device {
-			return sum.Totals[i].Device < sum.Totals[j].Device
+			return deviceLess(sum.Totals[i].Device, sum.Totals[j].Device)
 		}
 		return sum.Totals[i].Phase < sum.Totals[j].Phase
 	})
@@ -188,13 +212,14 @@ func FormatSummary(s Summary) string {
 	for _, t := range s.Totals {
 		out += fmt.Sprintf("%-6s %-9s %14.6f %12d %8d\n", t.Device, t.Phase, t.SimSeconds, t.Events, t.Samples)
 	}
-	// Map iteration order is randomized per run; sort the device keys so
-	// the rendered summary is byte-identical across runs.
+	// Map iteration order is randomized per run; sort the device keys (in
+	// rank order for N-rank labels) so the rendered summary is
+	// byte-identical across runs.
 	devs := make([]string, 0, len(s.Iterations))
 	for dev := range s.Iterations {
 		devs = append(devs, dev)
 	}
-	sort.Strings(devs)
+	sort.Slice(devs, func(i, j int) bool { return deviceLess(devs[i], devs[j]) })
 	for _, dev := range devs {
 		out += fmt.Sprintf("%s: %d iterations, hottest #%d (%.6fs)\n",
 			dev, s.Iterations[dev], s.HottestIteration[dev], s.HottestSeconds[dev])

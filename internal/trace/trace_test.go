@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/csv"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -165,5 +166,53 @@ func TestEmptySummary(t *testing.T) {
 	}
 	if FormatSummary(s) == "" {
 		t.Fatal("empty summary renders nothing (want header)")
+	}
+}
+
+// TestFormatSummaryFourRankGolden locks the rendered summary of a 4-rank
+// device group (CPU + three MICs, rank-disambiguated labels) byte for byte:
+// the device sections must come out in rank order — MIC#2 before MIC#10-style
+// numeric ordering, not lexicographic — independent of recording
+// interleaving and map iteration.
+func TestFormatSummaryFourRankGolden(t *testing.T) {
+	r := NewRecorder()
+	// Record in deliberately scrambled rank order, twice per device.
+	for _, dev := range []string{"MIC#3", "CPU", "MIC#2", "MIC#1"} {
+		for i := int64(0); i < 2; i++ {
+			r.Record(Sample{Device: dev, Iteration: i, Phase: PhaseGenerate, SimSeconds: 0.5, Events: 100})
+			r.Record(Sample{Device: dev, Iteration: i, Phase: PhaseExchange, SimSeconds: 0.25, Events: 40})
+		}
+	}
+	want := "device phase             sim(s)       events  samples\n" +
+		"CPU    exchange        0.500000           80        2\n" +
+		"CPU    generate        1.000000          200        2\n" +
+		"MIC#1  exchange        0.500000           80        2\n" +
+		"MIC#1  generate        1.000000          200        2\n" +
+		"MIC#2  exchange        0.500000           80        2\n" +
+		"MIC#2  generate        1.000000          200        2\n" +
+		"MIC#3  exchange        0.500000           80        2\n" +
+		"MIC#3  generate        1.000000          200        2\n" +
+		"CPU: 2 iterations, hottest #0 (0.750000s)\n" +
+		"MIC#1: 2 iterations, hottest #0 (0.750000s)\n" +
+		"MIC#2: 2 iterations, hottest #0 (0.750000s)\n" +
+		"MIC#3: 2 iterations, hottest #0 (0.750000s)\n"
+	for run := 0; run < 20; run++ {
+		if got := FormatSummary(r.Summarize()); got != want {
+			t.Fatalf("run %d: summary diverged:\ngot:\n%s\nwant:\n%s", run, got, want)
+		}
+	}
+}
+
+// TestDeviceLessNumericRanks pins the rank-suffix comparator: numeric rank
+// order within a base name, base-name order across names, and plain names
+// before any suffixed variant of the same name.
+func TestDeviceLessNumericRanks(t *testing.T) {
+	devs := []string{"MIC#10", "MIC#2", "CPU", "MIC#1", "GPU#3", "MIC"}
+	sort.Slice(devs, func(i, j int) bool { return deviceLess(devs[i], devs[j]) })
+	want := []string{"CPU", "GPU#3", "MIC", "MIC#1", "MIC#2", "MIC#10"}
+	for i := range want {
+		if devs[i] != want[i] {
+			t.Fatalf("order = %v, want %v", devs, want)
+		}
 	}
 }
