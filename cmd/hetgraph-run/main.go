@@ -20,8 +20,10 @@
 // SIGINT/SIGTERM abort the run cleanly at the next superstep boundary: the
 // final checkpoint is captured and the -report JSON is still written.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flags or
-// invalid configuration), 130 aborted by SIGINT/SIGTERM.
+// Exit codes: 0 success, 1 runtime failure (including a run fenced by a
+// network partition, which fails with a typed PartitionedError naming the
+// majority and minority sides), 2 usage error (bad flags or invalid
+// configuration), 130 aborted by SIGINT/SIGTERM.
 package main
 
 import (
@@ -47,7 +49,14 @@ const faultGrammar = `fault plan grammar (events separated by ';' or ','):
   rank<r>:torn@<step>                     checkpoint write silently truncated
   rank<r>:flaky@<step>[x<down>]           rank r dies at <step>, recovers <down> supersteps later (default 1)
   rank<r>:recover@<step>                  rank r recovered at <step> (pairs with an earlier failure)
-example: "rank1:drop@3;rank0:delay@2:5ms"  (see docs/robustness.md)`
+  rank<r>:corrupt@<step>[x<n>]            rank r's outgoing packets corrupted in flight for <n> attempts (default 1);
+                                          the receiver drops them on checksum and NACKs a retransmit
+  rank<r>:dup@<step>                      rank r's packets delivered twice; duplicates are fenced by sequence
+  rank<r>:reorder@<step>                  adjacent packets on rank r's links swapped; reorders are fenced
+  partition@<step>:{<r>,..}|{<r>,..}      sever every link between the two rank sets; the majority side
+                                          continues degraded, the minority is fenced (PartitionedError)
+  heal@<step>                             end the most recent partition and readmit the fenced side
+example: "rank1:drop@3;rank0:delay@2:5ms" or "partition@3:{0,1}|{2,3};heal@6"  (see docs/robustness.md)`
 
 // usageError marks a configuration mistake (exit 2) as opposed to a
 // runtime failure (exit 1).
@@ -310,6 +319,27 @@ func run(args []string) error {
 			repTotals.RejoinSuperstep = res.RejoinSuperstep
 		}
 		repTotals.DegradedSupersteps = res.DegradedSupersteps
+		repTotals.CorruptDrops = res.Integrity.CorruptDrops
+		repTotals.DupDrops = res.Integrity.DupDrops
+		repTotals.StaleDrops = res.Integrity.StaleDrops
+		repTotals.Retransmits = res.Integrity.Retransmits
+		if res.Partitioned {
+			repTotals.Partitioned = true
+			repTotals.PartitionSuperstep = res.PartitionSuperstep
+			repTotals.PartitionMajority = res.PartitionMajority
+			repTotals.PartitionMinority = res.PartitionMinority
+			healNote := ""
+			if res.Healed {
+				healNote = ", rejoined on heal"
+			}
+			fmt.Printf("partition: at superstep %d into majority %v | minority %v (minority fenced%s)\n",
+				res.PartitionSuperstep, res.PartitionMajority, res.PartitionMinority, healNote)
+		}
+		if res.Integrity != (hetgraph.IntegrityStats{}) {
+			fmt.Printf("retransmits: %d (corrupt drops %d, dup drops %d, stale drops %d)\n",
+				res.Integrity.Retransmits, res.Integrity.CorruptDrops,
+				res.Integrity.DupDrops, res.Integrity.StaleDrops)
+		}
 		if res.DiskResumed {
 			fmt.Printf("resumed: cold-started from %s generation %d (superstep %d)\n",
 				*ckDir, res.ResumedGeneration, res.ResumedSuperstep)

@@ -243,6 +243,20 @@ type (
 	// DeviceFailedError reports a rank that died, stalled past the
 	// exchange deadline, or exhausted link retries in a hetero run.
 	DeviceFailedError = comm.DeviceFailedError
+	// PartitionedError reports a network partition that split the device
+	// group in two: the quorum (majority) side continues degraded, the
+	// minority side is fenced and aborts with this error naming both sides.
+	PartitionedError = comm.PartitionedError
+	// LinkSeveredError reports the links one rank lost to an active
+	// partition (the per-rank view the supervisor folds into a
+	// PartitionedError when every side agrees on the split).
+	LinkSeveredError = comm.LinkSeveredError
+	// LinkStat is one directed link's whole-run traffic, exposed on
+	// HeteroResult.Links.
+	LinkStat = comm.LinkStat
+	// IntegrityStats aggregates wire-integrity counters (corrupt/dup/stale
+	// drops, retransmits), exposed on HeteroResult.Integrity.
+	IntegrityStats = comm.IntegrityStats
 	// InvalidOptionsError reports a rejected Options field or nil
 	// app/graph argument at Run entry.
 	InvalidOptionsError = core.InvalidOptionsError
@@ -257,12 +271,17 @@ type (
 
 // Fault kinds and phases for hand-built plans.
 const (
-	FaultDrop    = fault.KindDrop
-	FaultDelay   = fault.KindDelay
-	FaultFail    = fault.KindFail
-	FaultPanic   = fault.KindPanic
-	FaultFlaky   = fault.KindFlaky
-	FaultRecover = fault.KindRecover
+	FaultDrop      = fault.KindDrop
+	FaultDelay     = fault.KindDelay
+	FaultFail      = fault.KindFail
+	FaultPanic     = fault.KindPanic
+	FaultFlaky     = fault.KindFlaky
+	FaultRecover   = fault.KindRecover
+	FaultCorrupt   = fault.KindCorrupt
+	FaultDup       = fault.KindDup
+	FaultReorder   = fault.KindReorder
+	FaultPartition = fault.KindPartition
+	FaultHeal      = fault.KindHeal
 
 	FaultPhaseGenerate = fault.PhaseGenerate
 	FaultPhaseProcess  = fault.PhaseProcess
@@ -279,6 +298,13 @@ func NewFaultInjector(p FaultPlan) (*FaultInjector, error) { return fault.NewInj
 // RandomFaultPlan draws n valid fault events with supersteps below maxStep,
 // deterministically from seed — handy for chaos testing.
 func RandomFaultPlan(seed, maxStep int64, n int) FaultPlan { return fault.Random(seed, maxStep, n) }
+
+// RandomGroupFaultPlan is RandomFaultPlan for an N-rank device group: it can
+// additionally draw wire-integrity faults (corrupt, dup, reorder) and
+// two-sided partitions with paired heals over the given rank count.
+func RandomGroupFaultPlan(seed, maxStep int64, n, ranks int) FaultPlan {
+	return fault.RandomGroup(seed, maxStep, n, ranks)
+}
 
 // Durable checkpointing (see docs/robustness.md). A heterogeneous run with
 // Options.CheckpointDir set commits every in-memory checkpoint to disk
@@ -546,6 +572,12 @@ type (
 	RunReportTotals = metrics.Totals
 	// RunReportPhases is a simulated per-phase breakdown inside a RunReport.
 	RunReportPhases = metrics.PhaseSeconds
+	// RunReportLink is one directed link's traffic/retransmit record inside
+	// a RunReport.
+	RunReportLink = metrics.LinkActivity
+	// RunReportIntegrity aggregates wire-integrity counters inside the
+	// metrics layer (mirrors IntegrityStats).
+	RunReportIntegrity = metrics.IntegritySnapshot
 	// DebugServer is the HTTP listener behind -debug-addr (pprof, expvar,
 	// Prometheus text metrics).
 	DebugServer = metrics.DebugServer

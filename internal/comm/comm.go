@@ -49,11 +49,18 @@ type Msg[T any] struct {
 // packet is stamped with the net's communication epoch and the sender's
 // superstep sequence number, so a receiver can reject a payload left behind
 // by a rank that died mid-round instead of consuming it as live data.
+//
+// wire is the checksummed wire image (see packet.go) the receive path
+// verifies before trusting anything else. For float32 nets it carries the
+// full payload and is authoritative — msgs is nil in flight and
+// reconstructed from the wire on receive; for other message types it is a
+// header-only image and msgs travels alongside it.
 type packet[T any] struct {
 	msgs   []Msg[T]
 	active int64
 	epoch  uint64
 	seq    int64
+	wire   []byte
 }
 
 // DeviceFailedError reports that a rank died, stalled past the exchange
@@ -75,6 +82,43 @@ func (e *DeviceFailedError) Error() string {
 	return fmt.Sprintf("comm: device rank %d failed at superstep %d: %s", e.Rank, e.Superstep, e.Reason)
 }
 
+// LinkSeveredError reports that a rank found links to some of its peers cut
+// at the start of an exchange round — the per-link view of a network
+// partition (which links died, not just which rank). The supervisor
+// aggregates these verdicts across ranks to reconstruct the cut and fence
+// the minority side.
+type LinkSeveredError struct {
+	// Rank is the reporting rank.
+	Rank int
+	// Superstep is the exchange round at which the cut was detected.
+	Superstep int64
+	// Peers are the unreachable peer ranks, ascending.
+	Peers []int
+}
+
+func (e *LinkSeveredError) Error() string {
+	return fmt.Sprintf("comm: rank %d lost links to peers %v at superstep %d", e.Rank, e.Peers, e.Superstep)
+}
+
+// PartitionedError reports that the device group split into two sides that
+// cannot reach each other. The quorum-holding majority side degrades and
+// continues; the minority side is fenced and its ranks abort with this
+// error. Ties are broken toward the side containing the lowest rank (rank
+// 0 — the host, which owns the storage path).
+type PartitionedError struct {
+	// Superstep is the exchange round at which the split was detected.
+	Superstep int64
+	// Majority is the quorum side that continues, ascending.
+	Majority []int
+	// Minority is the fenced side, ascending.
+	Minority []int
+}
+
+func (e *PartitionedError) Error() string {
+	return fmt.Sprintf("comm: network partitioned at superstep %d: quorum side %v continues, minority side %v fenced",
+		e.Superstep, e.Majority, e.Minority)
+}
+
 // Retry policy for transient link faults: capped exponential backoff. A
 // fault that persists past maxLinkRetries attempts declares the link — and
 // with it the peer — dead.
@@ -86,8 +130,9 @@ const (
 
 // linkCounter tallies one directed link's lifetime traffic.
 type linkCounter struct {
-	msgs  atomic.Int64
-	bytes atomic.Int64
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	retrans atomic.Int64
 }
 
 // LinkStat is one directed link's cumulative traffic across the run, as
@@ -97,6 +142,77 @@ type LinkStat struct {
 	From, To int
 	// Msgs and Bytes are the combined messages and wire bytes shipped.
 	Msgs, Bytes int64
+	// Retransmits counts packets re-pulled from this link's send buffer
+	// after the receiver NACKed a corrupt delivery.
+	Retransmits int64
+}
+
+// IntegrityStats aggregates the net's lifetime link-integrity counters
+// across all ranks and links.
+type IntegrityStats struct {
+	// CorruptDrops counts received packets dropped for failing checksum or
+	// decode validation.
+	CorruptDrops int64
+	// DupDrops counts received packets dropped for carrying an
+	// already-delivered sequence number — duplicated or reordered
+	// leftovers.
+	DupDrops int64
+	// StaleDrops counts received packets dropped by the epoch/sequence
+	// fence as leftovers from before a membership change.
+	StaleDrops int64
+	// Retransmits counts packets re-pulled from a send buffer after a
+	// corrupt delivery was NACKed.
+	Retransmits int64
+}
+
+// integrityCounters is the atomic backing store of IntegrityStats.
+type integrityCounters struct {
+	corrupt atomic.Int64
+	dup     atomic.Int64
+	stale   atomic.Int64
+	retrans atomic.Int64
+}
+
+// sentSlot is one directed link's send buffer: the pristine wire image of
+// the most recent packet the sender deposited, kept for NACK retransmission.
+// The sender overwrites it on every send; the receiver pulls a copy when a
+// delivery fails its checksum.
+type sentSlot[T any] struct {
+	mu sync.Mutex
+	// pkts is a depth-2 ring of the packets most recently stored on this
+	// link, newest first. Depth 2 is sufficient because the exchange is
+	// lockstep: a sender can run at most one round ahead of a receiver
+	// that is still NACK-retrying the previous round, so the packet a
+	// retransmission needs is always one of the last two stored.
+	pkts [2]packet[T]
+	ok   [2]bool
+}
+
+func (s *sentSlot[T]) store(p packet[T]) {
+	s.mu.Lock()
+	s.pkts[1], s.ok[1] = s.pkts[0], s.ok[0]
+	s.pkts[0], s.ok[0] = p, true
+	s.mu.Unlock()
+}
+
+// load returns the buffered packet with sequence number seq, if the ring
+// still holds it.
+func (s *sentSlot[T]) load(seq int64) (packet[T], bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.pkts {
+		if s.ok[i] && s.pkts[i].seq == seq {
+			return s.pkts[i], true
+		}
+	}
+	return packet[T]{}, false
+}
+
+func (s *sentSlot[T]) clear() {
+	s.mu.Lock()
+	s.pkts = [2]packet[T]{}
+	s.ok = [2]bool{}
+	s.mu.Unlock()
 }
 
 // Net is the N-rank interconnect of a device group.
@@ -104,10 +220,14 @@ type Net[T any] struct {
 	link     machine.Link
 	msgBytes int
 	ranks    int
-	// chans[from][to] carries from→to payloads; capacity 1 per directed
-	// pair lets every rank deposit all its sends before receiving, so a
-	// symmetric all-to-all round cannot deadlock.
+	// chans[from][to] carries from→to payloads. Depositing all sends
+	// before receiving keeps a symmetric all-to-all round deadlock-free;
+	// the capacity (4, see NewGroupNet) leaves headroom for injected
+	// duplicate and reordered packets plus a leftover from the previous
+	// round, so wire faults cannot wedge a sender either.
 	chans [][]chan packet[T]
+	// sent[from][to] is the per-link send buffer for NACK retransmission.
+	sent [][]*sentSlot[T]
 
 	// timeout bounds each Exchange round (0 = wait forever, the classic
 	// deadlock-prone MPI behavior).
@@ -142,6 +262,8 @@ type Net[T any] struct {
 
 	// linkStats[from][to] tallies per-directed-link traffic.
 	linkStats [][]linkCounter
+	// integ tallies lifetime link-integrity counters across all ranks.
+	integ integrityCounters
 }
 
 // rejoinInfo is one rank's view of the rejoin agreement: the new epoch, the
@@ -199,6 +321,7 @@ func NewGroupNet[T any](link machine.Link, msgBytes, ranks int) (*Net[T], error)
 	}
 	n := &Net[T]{link: link, msgBytes: msgBytes, ranks: ranks, retryBase: defaultRetryBase}
 	n.chans = make([][]chan packet[T], ranks)
+	n.sent = make([][]*sentSlot[T], ranks)
 	n.linkStats = make([][]linkCounter, ranks)
 	n.dead = make([]chan struct{}, ranks)
 	n.deadOnce = make([]sync.Once, ranks)
@@ -207,10 +330,15 @@ func NewGroupNet[T any](link machine.Link, msgBytes, ranks int) (*Net[T], error)
 	n.members = make([]int, ranks)
 	for r := 0; r < ranks; r++ {
 		n.chans[r] = make([]chan packet[T], ranks)
+		n.sent[r] = make([]*sentSlot[T], ranks)
 		n.linkStats[r] = make([]linkCounter, ranks)
 		for s := 0; s < ranks; s++ {
 			if s != r {
-				n.chans[r][s] = make(chan packet[T], 1)
+				// Capacity 4: the normal in-flight packet, plus an injected
+				// duplicate, plus an injected reordered (stale) packet, plus
+				// one leftover from the previous round.
+				n.chans[r][s] = make(chan packet[T], 4)
+				n.sent[r][s] = &sentSlot[T]{}
 			}
 		}
 		n.dead[r] = make(chan struct{})
@@ -258,6 +386,9 @@ func (n *Net[T]) NewEpoch() uint64 {
 					}
 				}
 			}
+			if slot := n.sent[r][s]; slot != nil {
+				slot.clear()
+			}
 		}
 	}
 	return n.epoch.Add(1)
@@ -292,12 +423,23 @@ func (n *Net[T]) LinkStats() []LinkStat {
 				continue
 			}
 			c := &n.linkStats[from][to]
-			if m := c.msgs.Load(); m > 0 {
-				out = append(out, LinkStat{From: from, To: to, Msgs: m, Bytes: c.bytes.Load()})
+			if m, rt := c.msgs.Load(), c.retrans.Load(); m > 0 || rt > 0 {
+				out = append(out, LinkStat{From: from, To: to, Msgs: m, Bytes: c.bytes.Load(), Retransmits: rt})
 			}
 		}
 	}
 	return out
+}
+
+// Integrity returns the net's lifetime link-integrity counters, aggregated
+// across all ranks and links.
+func (n *Net[T]) Integrity() IntegrityStats {
+	return IntegrityStats{
+		CorruptDrops: n.integ.corrupt.Load(),
+		DupDrops:     n.integ.dup.Load(),
+		StaleDrops:   n.integ.stale.Load(),
+		Retransmits:  n.integ.retrans.Load(),
+	}
 }
 
 // SetTimeout bounds every subsequent Exchange round; 0 restores unbounded
@@ -341,7 +483,11 @@ func (n *Net[T]) Endpoint(rank int) (*Endpoint[T], error) {
 		}
 		return nil, fmt.Errorf("comm: rank %d not in [0,%d)", rank, n.ranks)
 	}
-	return &Endpoint[T]{net: n, rank: rank}, nil
+	return &Endpoint[T]{
+		net: n, rank: rank,
+		pending:    make([]packet[T], n.ranks),
+		hasPending: make([]bool, n.ranks),
+	}, nil
 }
 
 // Endpoint is one rank's exchange port. An endpoint is used by a single
@@ -353,6 +499,13 @@ type Endpoint[T any] struct {
 	// step counts exchange rounds initiated by this endpoint; fault plans
 	// index rounds with it.
 	step int64
+	// pending[peer] stashes a verified next-round packet: in lockstep the
+	// sender may run one round ahead while this rank is still NACK-retrying
+	// another link, and its early packet must be kept for the next round
+	// rather than dropped. Endpoint methods run on a single goroutine, so
+	// the stash needs no locking.
+	pending    []packet[T]
+	hasPending []bool
 }
 
 // Stats describes one exchange round from this endpoint's perspective.
@@ -372,10 +525,21 @@ type Stats struct {
 	// round.
 	Retries int64
 	// StaleDrops is the number of received packets rejected this round for
-	// carrying a previous epoch or the wrong superstep sequence number —
+	// carrying a previous epoch (or an impossible future sequence number) —
 	// leftovers of a rank that died mid-round, fenced off after a rejoin
 	// instead of delivered as live data.
 	StaleDrops int64
+	// CorruptDrops is the number of received packets dropped this round
+	// for failing their CRC32C checksum or decode validation; each drop is
+	// NACKed and repaired by retransmission.
+	CorruptDrops int64
+	// DupDrops is the number of received packets dropped this round for
+	// carrying an already-delivered sequence number — duplicated or
+	// reordered leftovers on the link.
+	DupDrops int64
+	// Retransmits is the number of packets re-pulled from a peer's send
+	// buffer this round after NACKing a corrupt delivery.
+	Retransmits int64
 }
 
 // livePeers returns the current members excluding this rank, ascending.
@@ -470,6 +634,20 @@ func (e *Endpoint[T]) exchangeAll(out [][]Msg[T], activeLocal int64) (recv []Msg
 		return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "rank previously declared dead"}
 	}
 	if n.inj != nil {
+		// Partition check first: a severed link is a topology fault, not a
+		// device fault. A real transport would discover the cut as per-link
+		// exchange timeouts; the deterministic injector lets every affected
+		// rank report its lost links in the same round, which is the
+		// topology the supervisor aggregates to fence the minority side.
+		var severed []int
+		for _, peer := range peers {
+			if n.inj.Severed(e.rank, peer, step) {
+				severed = append(severed, peer)
+			}
+		}
+		if len(severed) > 0 {
+			return nil, 0, st, &LinkSeveredError{Rank: e.rank, Superstep: step, Peers: severed}
+		}
 		if n.inj.Drop(e.rank, step) {
 			// The device dies here: it never sends this round, and the
 			// closed dead channel lets the peers fail fast instead of
@@ -520,51 +698,171 @@ func (e *Endpoint[T]) exchangeAll(out [][]Msg[T], activeLocal int64) (recv []Msg
 		if peer < len(out) {
 			msgs = out[peer]
 		}
-		pkt := packet[T]{msgs: msgs, active: activeLocal, epoch: epoch, seq: step}
-		select {
-		case n.chans[e.rank][peer] <- pkt:
-			lc := &n.linkStats[e.rank][peer]
-			lc.msgs.Add(int64(len(msgs)))
-			lc.bytes.Add(int64(len(msgs)) * perMsg)
-			st.MsgsSent += int64(len(msgs))
-		case <-n.dead[peer]:
-			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer dead before send"}
-		case <-n.dead[e.rank]:
-			return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
-		case <-timeoutC:
-			n.markDead(peer)
-			return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange send timed out after %s", n.timeout)}
-		}
-	}
+		pkt := encodePacket(n, msgs, activeLocal, epoch, step)
 
-	// Receive from every peer, fencing off stale payloads: a packet stamped
-	// with a previous epoch (or the wrong superstep) is a leftover from
-	// before a failure — a rank that died mid-round may have parked its last
-	// send in the channel — and is counted and dropped, never delivered.
-	for _, peer := range peers {
-		var p packet[T]
-	recv:
-		for {
+		// The pristine packet goes into the link's send buffer before any
+		// transmission, so a NACKing receiver can always pull a clean copy.
+		slot := n.sent[e.rank][peer]
+		prev, havePrev := slot.load(step - 1)
+		slot.store(pkt)
+
+		// Wire faults fire at the link seam, between the buffer and the
+		// channel: the buffered copy stays pristine, only the transmitted
+		// bytes are damaged, duplicated, or swapped.
+		sends := make([]packet[T], 0, 3)
+		if n.inj != nil && n.inj.Reorder(e.rank, step) && havePrev {
+			// Swap adjacent packets: the previous round's packet is
+			// transmitted ahead of the current one.
+			sends = append(sends, prev)
+		}
+		first := pkt
+		if n.inj != nil && n.inj.CorruptWire(e.rank, step, 0) {
+			first = corruptPacket(pkt, step)
+		}
+		sends = append(sends, first)
+		if n.inj != nil && n.inj.Duplicate(e.rank, step) {
+			sends = append(sends, first)
+		}
+
+		for _, sp := range sends {
 			select {
-			case p = <-n.chans[peer][e.rank]:
+			case n.chans[e.rank][peer] <- sp:
 			case <-n.dead[peer]:
-				// The peer died, but it may have sent this round's payload
-				// before dying — drain it if so, otherwise the round is lost.
-				select {
-				case p = <-n.chans[peer][e.rank]:
-				default:
-					return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died mid-round"}
-				}
+				return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer dead before send"}
 			case <-n.dead[e.rank]:
 				return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
 			case <-timeoutC:
 				n.markDead(peer)
-				return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange timed out after %s", n.timeout)}
+				return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange send timed out after %s", n.timeout)}
 			}
-			if p.epoch == epoch && p.seq == step {
-				break recv
+		}
+		// Only the real packet counts as traffic; duplicated and reordered
+		// copies are fault artifacts, invisible to the cost model.
+		lc := &n.linkStats[e.rank][peer]
+		lc.msgs.Add(int64(len(msgs)))
+		lc.bytes.Add(int64(len(msgs)) * perMsg)
+		st.MsgsSent += int64(len(msgs))
+	}
+
+	// Receive from every peer. Every delivery is checksum-verified before
+	// anything else is trusted; the decoded wire header is then the
+	// authority for the epoch/sequence fence. Classification:
+	//
+	//	decode/CRC failure   → CorruptDrops, NACK: pull a retransmission
+	//	                       from the sender's buffer (capped backoff;
+	//	                       budget exhausted declares the link dead)
+	//	wrong epoch          → StaleDrops (leftover from before a
+	//	                       membership change)
+	//	seq < expected       → DupDrops (duplicated or reordered leftover)
+	//	seq > expected       → StaleDrops (impossible future packet)
+	//	exact epoch and seq  → delivered
+	for _, peer := range peers {
+		var p packet[T]
+		attempt := 0
+		backoff := n.retryBase
+		fromChannel := true
+		// A packet stashed last round (the peer ran ahead while this rank
+		// was NACK-retrying) is consumed before the channel; it re-enters
+		// the classification below like any other delivery.
+		if e.hasPending != nil && e.hasPending[peer] {
+			p = e.pending[peer]
+			e.pending[peer] = packet[T]{}
+			e.hasPending[peer] = false
+			fromChannel = false
+		}
+	recv:
+		for {
+			if fromChannel {
+				select {
+				case p = <-n.chans[peer][e.rank]:
+				case <-n.dead[peer]:
+					// The peer died, but it may have sent this round's payload
+					// before dying — drain it if so, otherwise the round is lost.
+					select {
+					case p = <-n.chans[peer][e.rank]:
+					default:
+						return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: "peer died mid-round"}
+					}
+				case <-n.dead[e.rank]:
+					return nil, 0, st, &DeviceFailedError{Rank: e.rank, Superstep: step, Reason: "declared dead by peer"}
+				case <-timeoutC:
+					n.markDead(peer)
+					return nil, 0, st, &DeviceFailedError{Rank: peer, Superstep: step, Reason: fmt.Sprintf("exchange timed out after %s", n.timeout)}
+				}
 			}
-			st.StaleDrops++
+			fromChannel = true
+			hdr, msgs32, derr := decodePacket(p.wire)
+			if derr != nil {
+				// Bad bytes on the wire: drop the delivery and NACK. The
+				// round trip to the sender is modeled by the backoff sleep;
+				// the retransmission is pulled from the sender's buffer. A
+				// link that stays corrupt past the retry budget is dead,
+				// and the corrupting sender is to blame.
+				st.CorruptDrops++
+				n.integ.corrupt.Add(1)
+				attempt++
+				if attempt > maxLinkRetries {
+					n.markDead(peer)
+					return nil, 0, st, &DeviceFailedError{
+						Rank: peer, Superstep: step, Injected: true,
+						Reason: fmt.Sprintf("link integrity: %d consecutive corrupt deliveries (%v)", attempt, derr),
+					}
+				}
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxRetryBackoff {
+					backoff = maxRetryBackoff
+				}
+				if rp, ok := n.sent[peer][e.rank].load(step); ok {
+					st.Retransmits++
+					n.integ.retrans.Add(1)
+					n.linkStats[peer][e.rank].retrans.Add(1)
+					// A persistently corrupting link damages retransmissions
+					// too; the injector indexes transmission attempts.
+					if n.inj != nil && n.inj.CorruptWire(peer, step, attempt) {
+						rp = corruptPacket(rp, step+int64(attempt))
+					}
+					p = rp
+					fromChannel = false
+				}
+				continue
+			}
+			if hdr.epoch != epoch {
+				st.StaleDrops++
+				n.integ.stale.Add(1)
+				continue
+			}
+			if hdr.seq != step {
+				switch {
+				case hdr.seq < step:
+					st.DupDrops++
+					n.integ.dup.Add(1)
+				case hdr.seq == step+1 && e.hasPending != nil && !e.hasPending[peer]:
+					// The lockstep peer ran one round ahead while this rank
+					// was NACK-retrying: keep its early packet for the next
+					// round instead of losing it.
+					e.pending[peer] = p
+					e.hasPending[peer] = true
+				case hdr.seq == step+1:
+					// A second copy of the stashed next-round packet
+					// (injected duplicate): drop it.
+					st.DupDrops++
+					n.integ.dup.Add(1)
+				default:
+					// More than one round ahead is impossible in lockstep:
+					// a stale replay.
+					st.StaleDrops++
+					n.integ.stale.Add(1)
+				}
+				continue
+			}
+			// Verified: the wire image is authoritative. Full packets
+			// rebuild their messages from the decoded payload; header-only
+			// packets carry them out of band.
+			p.active = hdr.active
+			if !hdr.headerOnly {
+				p.msgs = msgsFromF32[T](msgs32)
+			}
+			break recv
 		}
 		recv = append(recv, p.msgs...)
 		activeRemote += p.active

@@ -579,12 +579,7 @@ func TestExchangeDropsStaleEpochPacket(t *testing.T) {
 	n, _ := NewNet[float32](machine.PCIe(), 4)
 	old := n.Epoch()
 	n.NewEpoch()
-	n.chans[1][0] <- packet[float32]{
-		msgs:   []Msg[float32]{{Dst: 9, Val: 99}},
-		active: 42,
-		epoch:  old,
-		seq:    0,
-	}
+	n.chans[1][0] <- encodePacket(n, []Msg[float32]{{Dst: 9, Val: 99}}, 42, old, 0)
 	e0, _ := n.Endpoint(0)
 	e1, _ := n.Endpoint(1)
 	var wg sync.WaitGroup
@@ -624,11 +619,9 @@ func TestExchangeDropsWrongSeqPacket(t *testing.T) {
 	// superstep sequence number (e.g. a duplicate from a replayed rank) is
 	// dropped, not delivered.
 	n, _ := NewNet[float32](machine.PCIe(), 4)
-	n.chans[1][0] <- packet[float32]{
-		msgs:  []Msg[float32]{{Dst: 1, Val: 11}},
-		epoch: n.Epoch(),
-		seq:   5,
-	}
+	// seq 5 is a "future" packet relative to the receiver's round 0: the
+	// fence rejects it as stale, never delivers it.
+	n.chans[1][0] <- encodePacket(n, []Msg[float32]{{Dst: 1, Val: 11}}, 0, n.Epoch(), 5)
 	e0, _ := n.Endpoint(0)
 	e1, _ := n.Endpoint(1)
 	var wg sync.WaitGroup

@@ -1,0 +1,192 @@
+// Wire-level packet encoding with end-to-end integrity checking.
+//
+// Every exchange payload is serialized into a checksummed wire image before
+// it enters a link and verified on receive, so flipped bytes anywhere in the
+// packet — header or payload — are detected and repaired by retransmission
+// instead of being delivered as live data. The layout (all integers
+// little-endian):
+//
+//	offset size field
+//	0      4    magic "HGW1"
+//	4      1    version (currently 1)
+//	5      1    flags (bit 0: header-only — payload carried out of band)
+//	6      2    msgBytes: wire size of one message value
+//	8      8    epoch: communication epoch the packet belongs to
+//	16     8    seq: sender's superstep sequence number
+//	24     8    active: sender's active-vertex count
+//	32     4    nmsgs: number of messages
+//	36     n    payload: nmsgs × (4-byte destination + msgBytes value)
+//	36+n   4    CRC32C (Castagnoli) over every preceding byte
+//
+// float32 nets (the f32 engines) serialize their full payload; nets over
+// other message types have no registered value codec, so their wire image is
+// header-only (flag bit 0) and the in-memory messages travel alongside it —
+// header corruption is still CRC-detected, which is what the epoch/seq
+// fencing depends on.
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"hetgraph/internal/graph"
+)
+
+const (
+	packetMagic   = "HGW1"
+	packetVersion = 1
+
+	flagHeaderOnly = 1 << 0
+
+	wireHeaderLen = 36
+	wireCRCLen    = 4
+	// f32WireBytes is the wire size of one float32 message value.
+	f32WireBytes = 4
+)
+
+// ErrCorruptPacket is wrapped by every decode failure: short buffers, bad
+// magic, unknown versions, length mismatches, and checksum mismatches all
+// mean the wire image cannot be trusted.
+var ErrCorruptPacket = errors.New("comm: corrupt packet")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// wireHeader is the decoded fixed-size packet header.
+type wireHeader struct {
+	epoch      uint64
+	seq        int64
+	active     int64
+	nmsgs      uint32
+	msgBytes   int
+	headerOnly bool
+}
+
+func appendWireHeader(b []byte, h wireHeader) []byte {
+	b = append(b, packetMagic...)
+	flags := byte(0)
+	if h.headerOnly {
+		flags |= flagHeaderOnly
+	}
+	b = append(b, packetVersion, flags)
+	b = binary.LittleEndian.AppendUint16(b, uint16(h.msgBytes))
+	b = binary.LittleEndian.AppendUint64(b, h.epoch)
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.seq))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.active))
+	b = binary.LittleEndian.AppendUint32(b, h.nmsgs)
+	return b
+}
+
+func appendCRC(b []byte) []byte {
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+// encodePacketF32 serializes a full float32 packet: header, payload, CRC.
+func encodePacketF32(h wireHeader, msgs []Msg[float32]) []byte {
+	h.nmsgs = uint32(len(msgs))
+	h.msgBytes = f32WireBytes
+	h.headerOnly = false
+	b := make([]byte, 0, wireHeaderLen+len(msgs)*(4+f32WireBytes)+wireCRCLen)
+	b = appendWireHeader(b, h)
+	for _, m := range msgs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Dst))
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(m.Val))
+	}
+	return appendCRC(b)
+}
+
+// encodeHeaderOnly serializes a header-only wire image for message types
+// without a value codec; nmsgs and msgBytes still describe the out-of-band
+// payload so its shape is covered by the checksum.
+func encodeHeaderOnly(h wireHeader) []byte {
+	h.headerOnly = true
+	b := make([]byte, 0, wireHeaderLen+wireCRCLen)
+	b = appendWireHeader(b, h)
+	return appendCRC(b)
+}
+
+// decodePacket verifies and decodes a wire image. For full float32 packets
+// it returns the decoded messages; for header-only images it returns nil
+// messages (the payload travels out of band). Any integrity violation
+// returns an error wrapping ErrCorruptPacket.
+func decodePacket(b []byte) (wireHeader, []Msg[float32], error) {
+	var h wireHeader
+	if len(b) < wireHeaderLen+wireCRCLen {
+		return h, nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorruptPacket, len(b), wireHeaderLen+wireCRCLen)
+	}
+	body, trailer := b[:len(b)-wireCRCLen], b[len(b)-wireCRCLen:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(trailer); got != want {
+		return h, nil, fmt.Errorf("%w: CRC32C mismatch: computed %08x, trailer %08x", ErrCorruptPacket, got, want)
+	}
+	if string(b[:4]) != packetMagic {
+		return h, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptPacket, b[:4])
+	}
+	if b[4] != packetVersion {
+		return h, nil, fmt.Errorf("%w: unknown version %d", ErrCorruptPacket, b[4])
+	}
+	h.headerOnly = b[5]&flagHeaderOnly != 0
+	h.msgBytes = int(binary.LittleEndian.Uint16(b[6:8]))
+	h.epoch = binary.LittleEndian.Uint64(b[8:16])
+	h.seq = int64(binary.LittleEndian.Uint64(b[16:24]))
+	h.active = int64(binary.LittleEndian.Uint64(b[24:32]))
+	h.nmsgs = binary.LittleEndian.Uint32(b[32:36])
+	payload := body[wireHeaderLen:]
+	if h.headerOnly {
+		if len(payload) != 0 {
+			return h, nil, fmt.Errorf("%w: header-only packet carries %d payload bytes", ErrCorruptPacket, len(payload))
+		}
+		return h, nil, nil
+	}
+	per := 4 + h.msgBytes
+	if h.msgBytes <= 0 || int64(len(payload)) != int64(h.nmsgs)*int64(per) {
+		return h, nil, fmt.Errorf("%w: payload is %d bytes, header says %d msgs × %d bytes",
+			ErrCorruptPacket, len(payload), h.nmsgs, per)
+	}
+	if h.msgBytes != f32WireBytes {
+		return h, nil, fmt.Errorf("%w: unsupported value size %d", ErrCorruptPacket, h.msgBytes)
+	}
+	msgs := make([]Msg[float32], h.nmsgs)
+	for i := range msgs {
+		off := i * per
+		msgs[i] = Msg[float32]{
+			Dst: graph.VertexID(binary.LittleEndian.Uint32(payload[off : off+4])),
+			Val: math.Float32frombits(binary.LittleEndian.Uint32(payload[off+4 : off+8])),
+		}
+	}
+	return h, msgs, nil
+}
+
+// encodePacket builds one outgoing packet with its wire image. float32
+// payloads are fully serialized (the wire is authoritative: msgs rides only
+// in the image); other message types get a header-only image with the
+// in-memory messages alongside.
+func encodePacket[T any](n *Net[T], msgs []Msg[T], active int64, epoch uint64, seq int64) packet[T] {
+	h := wireHeader{epoch: epoch, seq: seq, active: active}
+	if m32, ok := any(msgs).([]Msg[float32]); ok {
+		return packet[T]{active: active, epoch: epoch, seq: seq, wire: encodePacketF32(h, m32)}
+	}
+	h.nmsgs = uint32(len(msgs))
+	h.msgBytes = n.msgBytes
+	return packet[T]{msgs: msgs, active: active, epoch: epoch, seq: seq, wire: encodeHeaderOnly(h)}
+}
+
+// msgsFromF32 converts decoded float32 messages back to the net's message
+// type; only called for nets whose T is float32.
+func msgsFromF32[T any](msgs []Msg[float32]) []Msg[T] {
+	m, _ := any(msgs).([]Msg[T])
+	return m
+}
+
+// corruptPacket returns a copy of p whose wire image has one byte flipped at
+// a salt-determined position — the injected "bad bytes on the wire". The
+// original (and with it the send buffer) stays pristine.
+func corruptPacket[T any](p packet[T], salt int64) packet[T] {
+	w := append([]byte(nil), p.wire...)
+	if len(w) > 0 {
+		w[int((salt*7+13)%int64(len(w)))] ^= 0x5A
+	}
+	p.wire = w
+	return p
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/checkpoint"
+	"hetgraph/internal/comm"
+	"hetgraph/internal/core"
+	"hetgraph/internal/fault"
+	"hetgraph/internal/seqref"
+)
+
+// TestChaosSweepRandomFaults is the randomized robustness sweep: ~50 seeded
+// random fault plans mixing every event kind the grammar knows — drops,
+// panics, flaky ranks, delays, transient link failures, wire corruption,
+// duplicates, reorders, partitions with heals, store faults — over 3- and
+// 4-rank groups. The contract for every plan: the run either completes with
+// a result matching the fault-free oracle, or fails with a typed error
+// (*comm.DeviceFailedError, *comm.PartitionedError, *checkpoint.StoreError);
+// it never hangs (each run is bounded by a deadline guard) and never
+// returns an anonymous failure.
+func TestChaosSweepRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is long; skipped in -short mode")
+	}
+	g := chaosGraph(t)
+	const iters = 10
+	want := seqref.ClassicPageRank(g, 0.85, iters)
+
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		ranks := 3 + int(seed%2)
+		t.Run(fmt.Sprintf("seed=%d/ranks=%d", seed, ranks), func(t *testing.T) {
+			t.Parallel()
+			plan := fault.RandomGroup(seed, iters-2, 6, ranks)
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("RandomGroup produced an invalid plan %q: %v", plan, err)
+			}
+			inj, err := fault.NewInjector(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assign := nrankAssign(t, g, ranks)
+			app := apps.NewPageRank()
+			opts := nrankOpts(t, ranks, iters, 1, "")
+			opts[0].Fault = inj
+			opts[0].Rejoin = true
+			opts[0].ExchangeTimeout = 2 * time.Second
+
+			type outcome struct {
+				res core.HeteroResult
+				err error
+			}
+			done := make(chan outcome, 1)
+			go func() {
+				res, err := core.RunF32Hetero(app, g, assign, opts...)
+				done <- outcome{res, err}
+			}()
+			var o outcome
+			select {
+			case o = <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatalf("plan %q hung: no outcome within the deadline", plan)
+			}
+
+			if o.err != nil {
+				var dfe *comm.DeviceFailedError
+				var perr *comm.PartitionedError
+				var serr *checkpoint.StoreError
+				switch {
+				case errors.As(o.err, &dfe), errors.As(o.err, &perr), errors.As(o.err, &serr):
+					t.Logf("plan %q failed with typed error: %v", plan, o.err)
+				default:
+					t.Fatalf("plan %q returned an untyped error: %v", plan, o.err)
+				}
+				return
+			}
+			if o.res.Iterations != iters {
+				t.Fatalf("plan %q: Iterations = %d, want %d", plan, o.res.Iterations, iters)
+			}
+			for v := range want {
+				diff := math.Abs(float64(app.Ranks[v] - want[v]))
+				if diff > 2e-3*math.Max(1, float64(want[v])) {
+					t.Fatalf("plan %q: rank[%d] = %v, oracle says %v (diff %v; Degraded=%v Healed=%v Partitioned=%v)",
+						plan, v, app.Ranks[v], want[v], diff, o.res.Degraded, o.res.Healed, o.res.Partitioned)
+				}
+			}
+		})
+	}
+}

@@ -510,11 +510,24 @@ func RunGenericHetero[T any](app AppGeneric[T], g *graph.CSR, assign []int32, de
 			return HeteroResult{}, aerr
 		}
 	}
+	// A clean two-sided partition outranks the per-rank severed-link
+	// verdicts: there is no checkpoint recovery here, so the run aborts, but
+	// with a typed error naming both sides.
+	if maj, minr, pstep, ok := severedPartition(allRanks(n), runErr); ok {
+		perr := &comm.PartitionedError{Superstep: pstep, Majority: maj, Minority: minr}
+		emitEvent(cfg.sink, metrics.Event{
+			Kind: metrics.EventPartitioned, Rank: -1, Superstep: pstep, Detail: perr.Error(),
+		})
+		return HeteroResult{}, perr
+	}
 	for r := 0; r < n; r++ {
 		if runErr[r] != nil {
 			return HeteroResult{}, runErr[r]
 		}
 	}
+	res.Links = net.LinkStats()
+	res.Integrity = net.Integrity()
+	recordLinks(cfg.sink, res.Links, res.Integrity)
 	res.Iterations = res.Dev[0].Iterations
 	res.Converged = true
 	for r := 0; r < n; r++ {

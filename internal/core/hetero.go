@@ -82,6 +82,30 @@ type HeteroResult struct {
 	// subset while the run was degraded — the permanent continuation's
 	// supersteps, or the rejoin-mode degraded windows'.
 	DegradedSupersteps int64
+
+	// Partitioned is true when the supervisor detected a network partition
+	// (every live rank reported severed links and the surviving-link graph
+	// split into exactly two sides) and fenced the minority side. The quorum
+	// side degrades-and-continues; a heal event lets the fenced ranks rejoin.
+	Partitioned bool
+	// PartitionSuperstep is the superstep the partition was detected at
+	// (zero unless Partitioned).
+	PartitionSuperstep int64
+	// PartitionMajority and PartitionMinority name the two sides of the
+	// latest detected partition, sorted ascending (nil unless Partitioned).
+	// The majority is the larger side; a tie breaks toward the side holding
+	// the lowest rank, which owns the storage path.
+	PartitionMajority []int
+	PartitionMinority []int
+
+	// Links is the per-link traffic observed on the interconnect (message
+	// and byte counts, plus wire-level retransmissions), covering every
+	// epoch of the run.
+	Links []comm.LinkStat
+	// Integrity aggregates the wire-integrity counters across all links:
+	// checksum-failed packets dropped and repaired by retransmission,
+	// duplicate and stale deliveries fenced off by the sequence numbers.
+	Integrity comm.IntegrityStats
 }
 
 // validAssign checks a rank assignment vector against g.
@@ -613,7 +637,32 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 		// panic in a user function, a scheduler error — is a self-conviction.
 		// A self-conviction always convicts; an external accusation convicts
 		// on a majority of the cast votes.
-		convicted, firstErr := h.quorumBlame(seg)
+		//
+		// Split-brain comes first: when every live rank reports severed links
+		// and the topology forms exactly two islands, no rank failed — the
+		// interconnect did. The quorum side fences the minority and continues
+		// degraded; the minority is convicted wholesale with a typed
+		// PartitionedError naming both sides.
+		var (
+			convicted []int
+			firstErr  error
+		)
+		partStep := int64(-1)
+		if maj, minr, pstep, ok := severedPartition(h.members, seg.runErr); ok {
+			convicted = minr
+			partStep = pstep
+			firstErr = &comm.PartitionedError{Superstep: pstep, Majority: maj, Minority: minr}
+			h.res.Partitioned = true
+			h.res.PartitionSuperstep = pstep
+			h.res.PartitionMajority = append([]int(nil), maj...)
+			h.res.PartitionMinority = append([]int(nil), minr...)
+			emitEvent(h.cfg.sink, metrics.Event{
+				Kind: metrics.EventPartitioned, Rank: -1, Superstep: pstep,
+				Detail: firstErr.Error(),
+			})
+		} else {
+			convicted, firstErr = h.quorumBlame(seg)
+		}
 		if len(convicted) == 0 || len(convicted) == len(h.members) {
 			var err error
 			if h.n == 2 && !degraded {
@@ -631,6 +680,9 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 			return HeteroResult{}, err
 		}
 		stepOf := func(c int) int64 {
+			if partStep >= 0 {
+				return partStep
+			}
 			for _, r := range h.members {
 				var dfe *comm.DeviceFailedError
 				if errors.As(seg.runErr[r], &dfe) && dfe.Rank == c {
@@ -639,11 +691,15 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 			}
 			return -1
 		}
-		for _, c := range convicted {
-			emitEvent(h.cfg.sink, metrics.Event{
-				Kind: metrics.EventDeviceFailed, Rank: c, Superstep: stepOf(c),
-				Detail: firstErr.Error(),
-			})
+		// A fenced minority did not fail — the partition event above covers
+		// it; only genuine device convictions get a device-failed event.
+		if partStep < 0 {
+			for _, c := range convicted {
+				emitEvent(h.cfg.sink, metrics.Event{
+					Kind: metrics.EventDeviceFailed, Rank: c, Superstep: stepOf(c),
+					Detail: firstErr.Error(),
+				})
+			}
 		}
 		if h.coord == nil {
 			return HeteroResult{}, firstErr
@@ -791,6 +847,69 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 	}
 }
 
+// severedPartition inspects the live ranks' errors for a clean network
+// partition: every rank must have failed with a *comm.LinkSeveredError, and
+// the surviving-link graph those verdicts describe must have exactly two
+// connected components. majority is the larger side (a tie breaks toward the
+// side holding the lowest live rank — rank 0 owns the storage path); step is
+// the earliest superstep a severed link was reported at. ok is false when
+// the errors describe anything else (a partial link failure, a mix of link
+// and device faults, more than two islands), which falls back to per-rank
+// quorum attribution.
+func severedPartition(members []int, runErr []error) (majority, minority []int, step int64, ok bool) {
+	step = -1
+	severed := map[int]map[int]bool{}
+	for _, r := range members {
+		var lse *comm.LinkSeveredError
+		if !errors.As(runErr[r], &lse) {
+			return nil, nil, 0, false
+		}
+		cut := map[int]bool{}
+		for _, p := range lse.Peers {
+			cut[p] = true
+		}
+		severed[r] = cut
+		if step < 0 || lse.Superstep < step {
+			step = lse.Superstep
+		}
+	}
+	// Connected components of the surviving-link graph over the live ranks
+	// (a link survives only if neither endpoint reported it cut).
+	comp := map[int]bool{}
+	var comps [][]int
+	for _, r := range members {
+		if comp[r] {
+			continue
+		}
+		comp[r] = true
+		queue := []int{r}
+		var c []int
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			c = append(c, v)
+			for _, w := range members {
+				if comp[w] || severed[v][w] || severed[w][v] {
+					continue
+				}
+				comp[w] = true
+				queue = append(queue, w)
+			}
+		}
+		sort.Ints(c)
+		comps = append(comps, c)
+	}
+	if len(comps) != 2 {
+		return nil, nil, 0, false
+	}
+	// comps[0] holds the lowest live rank, so on a tie it stays the majority.
+	majority, minority = comps[0], comps[1]
+	if len(minority) > len(majority) {
+		majority, minority = minority, majority
+	}
+	return majority, minority, step, true
+}
+
 // quorumBlame resolves which live ranks the segment's errors convict. It
 // returns the convicted ranks (sorted) and the first error observed.
 func (h *heteroF32) quorumBlame(seg segmentOutcome) ([]int, error) {
@@ -811,6 +930,7 @@ func (h *heteroF32) quorumBlame(seg segmentOutcome) ([]int, error) {
 			firstErr = err
 		}
 		var dfe *comm.DeviceFailedError
+		var lse *comm.LinkSeveredError
 		switch {
 		case errors.As(err, &dfe):
 			voters++
@@ -818,6 +938,18 @@ func (h *heteroF32) quorumBlame(seg segmentOutcome) ([]int, error) {
 				self[r] = true
 			} else if live[dfe.Rank] {
 				votes[dfe.Rank]++
+			}
+		case errors.As(err, &lse):
+			// A severed-link verdict names the peers this rank lost, not a
+			// culprit. When the topology is not a clean two-sided partition
+			// (severedPartition already handled that), count each lost live
+			// peer as accused — an asymmetric link failure then resolves
+			// like a peer death.
+			voters++
+			for _, p := range lse.Peers {
+				if live[p] && p != r {
+					votes[p]++
+				}
 			}
 		case errors.Is(err, checkpoint.ErrPeerDead):
 			// The barrier broke because a peer died, but the coordinator
@@ -1274,8 +1406,35 @@ func (h *heteroF32) runPermanentDegradedFrom(sd *deviceF32, step int64, frontier
 	return h.finalize(), nil
 }
 
-// finalize stamps the run-level times into the accumulated result.
+// recordLinks pushes the interconnect's per-link traffic and integrity
+// totals into the sink if it opts in via metrics.LinkRecorder; the base
+// two-method Sink contract is untouched.
+func recordLinks(sink metrics.Sink, links []comm.LinkStat, integ comm.IntegrityStats) {
+	lr, ok := sink.(metrics.LinkRecorder)
+	if !ok {
+		return
+	}
+	la := make([]metrics.LinkActivity, len(links))
+	for i, l := range links {
+		la[i] = metrics.LinkActivity{
+			From: l.From, To: l.To,
+			Msgs: l.Msgs, Bytes: l.Bytes, Retransmits: l.Retransmits,
+		}
+	}
+	lr.RecordLinks(la, metrics.IntegritySnapshot{
+		CorruptDrops: integ.CorruptDrops,
+		DupDrops:     integ.DupDrops,
+		StaleDrops:   integ.StaleDrops,
+		Retransmits:  integ.Retransmits,
+	})
+}
+
+// finalize stamps the run-level times and the interconnect's link/integrity
+// record into the accumulated result.
 func (h *heteroF32) finalize() HeteroResult {
+	h.res.Links = h.net.LinkStats()
+	h.res.Integrity = h.net.Integrity()
+	recordLinks(h.cfg.sink, h.res.Links, h.res.Integrity)
 	h.res.ExecSeconds = h.exec
 	// Communication time is identical on every side (full-duplex model), so
 	// take rank 0's.

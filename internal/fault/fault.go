@@ -139,6 +139,29 @@ const (
 	// no failure itself; it pairs with an earlier drop/flaky/panic on the
 	// same rank to name the superstep a healing run may re-admit it at.
 	KindRecover
+	// KindCorrupt flips bytes in every packet the rank transmits at
+	// exchange Step, for Times consecutive transmission attempts (0 means
+	// 1). The receiver's checksum detects the damage, drops the packet and
+	// pulls a retransmission; a Times under the retry cap is recoverable,
+	// a larger Times convicts the sender as a dead link.
+	KindCorrupt
+	// KindDup delivers every packet the rank transmits at exchange Step
+	// twice, modeling a duplicating link; the receiver's sequence fence
+	// drops the extra copy.
+	KindDup
+	// KindReorder swaps adjacent packets on the rank's outgoing links at
+	// exchange Step: the previous round's packet arrives ahead of the
+	// current one, modeling an out-of-order link; the receiver's sequence
+	// fence drops the stale packet and recovers the real one.
+	KindReorder
+	// KindPartition severs every link crossing the cut SideA|SideB from
+	// superstep Step until the first later KindHeal event, modeling a
+	// network split. The supervisor fences the minority side and continues
+	// on the quorum side. Partition events are group-level: Rank is -1.
+	KindPartition
+	// KindHeal ends the most recent partition (and declares any felled
+	// rank recovered) at superstep Step. Group-level: Rank is -1.
+	KindHeal
 )
 
 func (k Kind) String() string {
@@ -159,6 +182,16 @@ func (k Kind) String() string {
 		return "flaky"
 	case KindRecover:
 		return "recover"
+	case KindCorrupt:
+		return "corrupt"
+	case KindDup:
+		return "dup"
+	case KindReorder:
+		return "reorder"
+	case KindPartition:
+		return "partition"
+	case KindHeal:
+		return "heal"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -186,6 +219,12 @@ type Event struct {
 	// faults index the superstep of the checkpoint being committed, and
 	// conventionally name rank 0 — the host owns the storage path.
 	Op IOOp
+	// SideA and SideB are the two rank sets a KindPartition event cuts
+	// apart (sorted ascending, disjoint). Every link with one endpoint in
+	// each side is severed; links within a side, or touching a rank named
+	// in neither side, stay up. Group-level events (partition, heal) set
+	// Rank to -1.
+	SideA, SideB []int
 }
 
 // String renders the event in the spec grammar accepted by Parse.
@@ -211,14 +250,37 @@ func (e Event) String() string {
 			t = 1
 		}
 		return fmt.Sprintf("rank%d:flaky@%dx%d", e.Rank, e.Step, t)
+	case KindCorrupt:
+		t := e.Times
+		if t == 0 {
+			t = 1
+		}
+		return fmt.Sprintf("rank%d:corrupt@%dx%d", e.Rank, e.Step, t)
+	case KindPartition:
+		return fmt.Sprintf("partition@%d:%s|%s", e.Step, sideString(e.SideA), sideString(e.SideB))
+	case KindHeal:
+		return fmt.Sprintf("heal@%d", e.Step)
 	default:
 		return fmt.Sprintf("rank%d:%s@%d", e.Rank, e.Kind, e.Step)
 	}
 }
 
+func sideString(side []int) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, r := range side {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(r))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
 // Validate checks the event's fields.
 func (e Event) Validate() error {
-	if e.Rank < 0 {
+	if e.Rank < 0 && e.Kind != KindPartition && e.Kind != KindHeal {
 		return fmt.Errorf("fault: event rank %d < 0", e.Rank)
 	}
 	if e.Step < 0 {
@@ -248,6 +310,27 @@ func (e Event) Validate() error {
 			return fmt.Errorf("fault: negative flaky down-window %d", e.Times)
 		}
 	case KindRecover:
+	case KindCorrupt:
+		if e.Times < 0 {
+			return fmt.Errorf("fault: negative corrupt count %d", e.Times)
+		}
+	case KindDup:
+	case KindReorder:
+	case KindPartition:
+		if len(e.SideA) == 0 || len(e.SideB) == 0 {
+			return fmt.Errorf("fault: partition event needs two non-empty sides")
+		}
+		seen := make(map[int]bool, len(e.SideA)+len(e.SideB))
+		for _, r := range append(append([]int(nil), e.SideA...), e.SideB...) {
+			if r < 0 {
+				return fmt.Errorf("fault: partition side rank %d < 0", r)
+			}
+			if seen[r] {
+				return fmt.Errorf("fault: rank %d appears twice in partition sides", r)
+			}
+			seen[r] = true
+		}
+	case KindHeal:
 	default:
 		return fmt.Errorf("fault: unknown kind %d", uint8(e.Kind))
 	}
@@ -290,20 +373,32 @@ func (p Plan) String() string {
 //	rank<r>:torn@<step>
 //	rank<r>:flaky@<step>[x<down>]
 //	rank<r>:recover@<step>
+//	rank<r>:corrupt@<step>[x<times>]
+//	rank<r>:dup@<step>
+//	rank<r>:reorder@<step>
+//	partition@<step>:{<r>,...}|{<r>,...}
+//	heal@<step>
 //
 // e.g. "rank1:drop@3;rank0:panic@2:generate;rank0:iofail@3:write". Disk
 // faults (iofail, torn) fire in the durable checkpoint store while it
 // commits the checkpoint of superstep <step>. Healing faults: flaky@<step>x<down>
 // kills the rank at <step> and declares it recovered <down> supersteps later;
 // recover@<step> declares a rank felled by an earlier event recovered at
-// <step> (both are acted on only by runs with rejoin enabled).
+// <step> (both are acted on only by runs with rejoin enabled). Wire faults:
+// corrupt flips payload bytes on the rank's outgoing packets (x<times>
+// consecutive transmission attempts), dup delivers each of its packets
+// twice, reorder swaps adjacent packets on its links.
+// "partition@3:{0,1}|{2,3}" severs every link between the two rank sets
+// from superstep 3 until the first later "heal@<n>", which also readmits
+// the fenced side under rejoin-enabled runs. Sides should jointly cover
+// the run's ranks for a clean quorum/minority fence.
 func Parse(spec string) (Plan, error) {
 	var p Plan
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return p, nil
 	}
-	for _, tok := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+	for _, tok := range splitEvents(spec) {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
 			continue
@@ -320,11 +415,44 @@ func Parse(spec string) (Plan, error) {
 	return p, nil
 }
 
+// splitEvents splits a spec on ';' or ',' separators, except inside the
+// '{...}' rank sets of partition events, where commas separate ranks.
+func splitEvents(spec string) []string {
+	var toks []string
+	depth, start := 0, 0
+	for i, r := range spec {
+		switch r {
+		case '{':
+			depth++
+		case '}':
+			if depth > 0 {
+				depth--
+			}
+		case ';', ',':
+			if depth == 0 {
+				toks = append(toks, spec[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(toks, spec[start:])
+}
+
 func parseEvent(tok string) (Event, error) {
 	var e Event
+	if rest, ok := strings.CutPrefix(tok, "partition@"); ok {
+		return parsePartition(tok, rest)
+	}
+	if rest, ok := strings.CutPrefix(tok, "heal@"); ok {
+		step, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return e, fmt.Errorf("fault: event %q: bad step: %w", tok, err)
+		}
+		return Event{Rank: -1, Step: step, Kind: KindHeal}, nil
+	}
 	rest, ok := strings.CutPrefix(tok, "rank")
 	if !ok {
-		return e, fmt.Errorf("fault: event %q does not start with rank<r>", tok)
+		return e, fmt.Errorf("fault: event %q does not start with rank<r> (or partition@/heal@)", tok)
 	}
 	head, tail, ok := strings.Cut(rest, ":")
 	if !ok {
@@ -415,10 +543,73 @@ func parseEvent(tok string) (Event, error) {
 		e.Op = op
 	case "torn":
 		e.Kind = KindTorn
+	case "corrupt":
+		e.Kind = KindCorrupt
+		e.Times = 1
+		if extra != "" {
+			t, err := strconv.Atoi(extra)
+			if err != nil {
+				return e, fmt.Errorf("fault: event %q: bad corrupt count: %w", tok, err)
+			}
+			e.Times = t
+		}
+	case "dup":
+		e.Kind = KindDup
+	case "reorder":
+		e.Kind = KindReorder
 	default:
 		return e, fmt.Errorf("fault: event %q: unknown kind %q", tok, kind)
 	}
 	return e, nil
+}
+
+func parsePartition(tok, rest string) (Event, error) {
+	e := Event{Rank: -1, Kind: KindPartition}
+	stepStr, sides, ok := strings.Cut(rest, ":")
+	if !ok {
+		return e, fmt.Errorf("fault: event %q: partition needs ':{a,..}|{b,..}'", tok)
+	}
+	step, err := strconv.ParseInt(stepStr, 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("fault: event %q: bad step: %w", tok, err)
+	}
+	e.Step = step
+	a, b, ok := strings.Cut(sides, "|")
+	if !ok {
+		return e, fmt.Errorf("fault: event %q: partition needs two '|'-separated sides", tok)
+	}
+	if e.SideA, err = parseSide(tok, a); err != nil {
+		return e, err
+	}
+	if e.SideB, err = parseSide(tok, b); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+func parseSide(tok, s string) ([]int, error) {
+	inner, ok := strings.CutPrefix(s, "{")
+	if !ok {
+		return nil, fmt.Errorf("fault: event %q: partition side %q missing '{'", tok, s)
+	}
+	inner, ok = strings.CutSuffix(inner, "}")
+	if !ok {
+		return nil, fmt.Errorf("fault: event %q: partition side %q missing '}'", tok, s)
+	}
+	var side []int
+	for _, f := range strings.Split(inner, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("fault: event %q: bad partition side rank %q: %w", tok, f, err)
+		}
+		side = append(side, r)
+	}
+	sort.Ints(side)
+	return side, nil
 }
 
 // Random derives a plan of n events from a seed, deterministically: the same
@@ -451,6 +642,111 @@ func Random(seed, maxStep int64, n int) Plan {
 			e.Phase = Phase(1 + rng.Intn(3))
 		}
 		p.Events = append(p.Events, e)
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Step < p.Events[j].Step })
+	return p
+}
+
+// RandomGroup derives a plan of n events for a device group of the given
+// size, deterministically from the seed. It mixes every event kind —
+// fail-stop (drop, flaky, panic), link noise (delay, fail, corrupt, dup,
+// reorder), storage (iofail, torn), and split-brain (partition with a
+// paired heal covering all ranks) — under constraints that keep outcomes
+// classifiable for chaos oracles: fatal rank faults (drop, flaky, panic,
+// and persistent corrupt/fail bursts) all target one designated victim
+// rank so a quorum of survivors always exists, and partition steps avoid
+// the victim's fatal steps so the supervisor sees a clean cut. Transient
+// noise stays under the default retry budget.
+func RandomGroup(seed, maxStep int64, n, ranks int) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	if maxStep < 3 {
+		maxStep = 3
+	}
+	if ranks < 2 {
+		ranks = 2
+	}
+	victim := 1 + rng.Intn(ranks-1)
+	fatalSteps := make(map[int64]bool)
+	partitions := 0
+	var p Plan
+	for i := 0; i < n; i++ {
+		e := Event{
+			Rank: rng.Intn(ranks),
+			Step: rng.Int63n(maxStep),
+		}
+		switch rng.Intn(12) {
+		case 0:
+			e.Kind = KindDrop
+			e.Rank = victim
+			fatalSteps[e.Step] = true
+		case 1:
+			e.Kind = KindDelay
+			e.Delay = time.Duration(rng.Intn(2000)) * time.Microsecond
+		case 2:
+			e.Kind = KindFail
+			e.Times = 1 + rng.Intn(3)
+		case 3:
+			e.Kind = KindPanic
+			e.Rank = victim
+			e.Phase = Phase(1 + rng.Intn(3))
+			fatalSteps[e.Step] = true
+		case 4:
+			e.Kind = KindIOFail
+			e.Rank = 0 // the host owns the storage path
+			e.Op = IOOp(1 + rng.Intn(3))
+		case 5:
+			e.Kind = KindTorn
+			e.Rank = 0
+		case 6:
+			e.Kind = KindFlaky
+			e.Rank = victim
+			e.Times = 1 + rng.Intn(2)
+			fatalSteps[e.Step] = true
+		case 7:
+			e.Kind = KindRecover
+			e.Rank = victim
+		case 8:
+			e.Kind = KindCorrupt
+			if rng.Intn(3) == 0 {
+				// Persistent: exhausts the retry budget, convicting the
+				// sender — fatal, so it must hit the victim.
+				e.Rank = victim
+				e.Times = 10
+				fatalSteps[e.Step] = true
+			} else {
+				e.Times = 1 + rng.Intn(3)
+			}
+		case 9:
+			e.Kind = KindDup
+		case 10:
+			e.Kind = KindReorder
+		default:
+			// Defer partitions to a second pass so they can avoid every
+			// fatal step (a simultaneous cut and device death is not
+			// attributable to a single cause), and keep at most one per
+			// plan so the supervisor sees exactly one two-component cut.
+			partitions++
+			continue
+		}
+		p.Events = append(p.Events, e)
+	}
+	if partitions > 0 {
+		e := Event{Rank: -1, Kind: KindPartition}
+		step := rng.Int63n(maxStep)
+		for try := 0; fatalSteps[step] && try < 16; try++ {
+			step = rng.Int63n(maxStep)
+		}
+		if !fatalSteps[step] {
+			e.Step = step
+			cut := 1 + rng.Intn(ranks-1)
+			perm := rng.Perm(ranks)
+			e.SideA = append([]int(nil), perm[:cut]...)
+			e.SideB = append([]int(nil), perm[cut:]...)
+			sort.Ints(e.SideA)
+			sort.Ints(e.SideB)
+			heal := Event{Rank: -1, Step: e.Step + 1 + rng.Int63n(3), Kind: KindHeal}
+			p.Events = append(p.Events, e, heal)
+		}
 	}
 	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Step < p.Events[j].Step })
 	return p
@@ -492,15 +788,16 @@ func (in *Injector) Drop(rank int, step int64) bool {
 // failedStep — is recovered and may rejoin at superstep step. A flaky event
 // recovers its own failure (same step) Times supersteps after it fired; a
 // recover event pairs with any earlier failure on the same rank and names
-// the rejoin superstep explicitly. failedStep may be -1 for failures that
-// could not be attributed to a superstep (panics); only explicit recover
-// events match those.
+// the rejoin superstep explicitly; a heal event acts as a recover event for
+// every rank (it readmits a fenced partition side). failedStep may be -1
+// for failures that could not be attributed to a superstep (panics); only
+// explicit recover/heal events match those.
 func (in *Injector) RecoverAt(rank int, failedStep, step int64) bool {
 	if in == nil {
 		return false
 	}
 	for _, e := range in.events {
-		if e.Rank != rank {
+		if e.Rank != rank && e.Kind != KindHeal {
 			continue
 		}
 		switch e.Kind {
@@ -512,7 +809,7 @@ func (in *Injector) RecoverAt(rank int, failedStep, step int64) bool {
 			if e.Step == failedStep && step >= e.Step+down {
 				return true
 			}
-		case KindRecover:
+		case KindRecover, KindHeal:
 			if e.Step > failedStep && step >= e.Step {
 				return true
 			}
@@ -538,7 +835,7 @@ func (in *Injector) RecoverStep(rank int, failedStep int64) int64 {
 		}
 	}
 	for _, e := range in.events {
-		if e.Rank != rank {
+		if e.Rank != rank && e.Kind != KindHeal {
 			continue
 		}
 		switch e.Kind {
@@ -550,7 +847,7 @@ func (in *Injector) RecoverStep(rank int, failedStep int64) int64 {
 			if e.Step == failedStep {
 				consider(e.Step + down)
 			}
-		case KindRecover:
+		case KindRecover, KindHeal:
 			if e.Step > failedStep {
 				consider(e.Step)
 			}
@@ -593,6 +890,105 @@ func (in *Injector) LinkFails(rank int, step int64, attempt int) bool {
 		}
 	}
 	return false
+}
+
+// CorruptWire reports whether the attempt'th transmission (0-based; attempt
+// 0 is the original send, later attempts are retransmissions) of rank's
+// outgoing packets at step is corrupted in flight. Deterministic like
+// LinkFails: attempts below the event's Times are corrupted, later attempts
+// arrive clean — so a Times under the retry cap models a transient burst of
+// bad bytes and a larger Times a persistently corrupting link.
+func (in *Injector) CorruptWire(rank int, step int64, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Kind == KindCorrupt && e.Rank == rank && e.Step == step {
+			t := e.Times
+			if t == 0 {
+				t = 1
+			}
+			if attempt < t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Duplicate reports whether rank's outgoing packets at step are delivered
+// twice.
+func (in *Injector) Duplicate(rank int, step int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Kind == KindDup && e.Rank == rank && e.Step == step {
+			return true
+		}
+	}
+	return false
+}
+
+// Reorder reports whether rank's outgoing links swap adjacent packets at
+// step: the previous round's packet is transmitted ahead of the current
+// one.
+func (in *Injector) Reorder(rank int, step int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Kind == KindReorder && e.Rank == rank && e.Step == step {
+			return true
+		}
+	}
+	return false
+}
+
+// Severed reports whether the link between from and to is cut at step by an
+// active partition: a KindPartition event with Step <= step whose window has
+// not yet been closed by a heal event, with from and to on opposite sides of
+// the cut. Symmetric in from/to.
+func (in *Injector) Severed(from, to int, step int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.events {
+		if e.Kind != KindPartition || e.Step > step {
+			continue
+		}
+		if step >= in.healBound(e.Step) {
+			continue
+		}
+		if crossesCut(e, from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// healBound returns the step of the earliest KindHeal event strictly after
+// partStep, or MaxInt64 if the plan never heals that partition.
+func (in *Injector) healBound(partStep int64) int64 {
+	bound := int64(1<<63 - 1)
+	for _, e := range in.events {
+		if e.Kind == KindHeal && e.Step > partStep && e.Step < bound {
+			bound = e.Step
+		}
+	}
+	return bound
+}
+
+func crossesCut(e Event, from, to int) bool {
+	in := func(side []int, r int) bool {
+		for _, s := range side {
+			if s == r {
+				return true
+			}
+		}
+		return false
+	}
+	return (in(e.SideA, from) && in(e.SideB, to)) || (in(e.SideB, from) && in(e.SideA, to))
 }
 
 // IOFails reports whether rank's checkpoint-store operation op fails while

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func TestParseRoundTrip(t *testing.T) {
 			t.Fatalf("round trip of %q lost events: %v vs %v", spec, p, again)
 		}
 		for i := range p.Events {
-			if p.Events[i] != again.Events[i] {
+			if !reflect.DeepEqual(p.Events[i], again.Events[i]) {
 				t.Errorf("round trip of %q: event %d: %+v != %+v", spec, i, p.Events[i], again.Events[i])
 			}
 		}
@@ -131,7 +132,7 @@ func TestRandomPlanDeterministic(t *testing.T) {
 		t.Fatalf("wrong event counts: %d, %d", len(a.Events), len(b.Events))
 	}
 	for i := range a.Events {
-		if a.Events[i] != b.Events[i] {
+		if !reflect.DeepEqual(a.Events[i], b.Events[i]) {
 			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a.Events[i], b.Events[i])
 		}
 	}
@@ -141,7 +142,7 @@ func TestRandomPlanDeterministic(t *testing.T) {
 	c := Random(43, 10, 8)
 	same := true
 	for i := range a.Events {
-		if a.Events[i] != c.Events[i] {
+		if !reflect.DeepEqual(a.Events[i], c.Events[i]) {
 			same = false
 			break
 		}
@@ -168,7 +169,7 @@ func TestParseDiskFaults(t *testing.T) {
 			t.Fatalf("Parse(String(%q)) = %q: %v", spec, p.String(), err)
 		}
 		for i := range p.Events {
-			if p.Events[i] != again.Events[i] {
+			if !reflect.DeepEqual(p.Events[i], again.Events[i]) {
 				t.Errorf("round trip of %q: event %d: %+v != %+v", spec, i, p.Events[i], again.Events[i])
 			}
 		}
@@ -347,5 +348,194 @@ func TestRecoverEventMatchesLaterFailures(t *testing.T) {
 	var nilIn *Injector
 	if nilIn.RecoverAt(1, 3, 5) {
 		t.Error("nil injector declared a recovery")
+	}
+}
+
+func TestParseWireFaults(t *testing.T) {
+	for spec, want := range map[string]string{
+		"rank1:corrupt@3":          "rank1:corrupt@3x1",
+		"rank1:corrupt@3x8":        "rank1:corrupt@3x8",
+		"rank0:dup@2":              "rank0:dup@2",
+		"rank1:reorder@4":          "rank1:reorder@4",
+		"partition@3:{0,1}|{2,3}":  "partition@3:{0,1}|{2,3}",
+		"partition@3:{1, 0}|{3,2}": "partition@3:{0,1}|{2,3}", // sides sort
+		"heal@6":                   "heal@6",
+		"partition@3:{0,1}|{2,3};heal@6;rank1:corrupt@2": "partition@3:{0,1}|{2,3};heal@6;rank1:corrupt@2x1",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := p.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", spec, got, want)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", spec, p.String(), err)
+		}
+		if len(again.Events) != len(p.Events) {
+			t.Fatalf("round trip of %q lost events", spec)
+		}
+		for i := range p.Events {
+			if !reflect.DeepEqual(p.Events[i], again.Events[i]) {
+				t.Errorf("round trip of %q: event %d: %+v != %+v", spec, i, p.Events[i], again.Events[i])
+			}
+		}
+	}
+}
+
+func TestParseWireFaultGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"rank1:corrupt@3xq",        // bad corrupt count
+		"rank1:dup@-1",             // negative step
+		"partition@3",              // no sides
+		"partition@3:{0,1}",        // one side
+		"partition@3:{0,1}{2,3}",   // missing separator
+		"partition@3:{0,1}|{1,2}",  // overlapping sides
+		"partition@3:{}|{2,3}",     // empty side
+		"partition@3:{0,-1}|{2,3}", // negative rank
+		"partition@q:{0}|{1}",      // bad step
+		"heal@x",                   // bad step
+		"heal@-2",                  // negative step
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestInjectorWireQueries(t *testing.T) {
+	p, err := Parse("rank1:corrupt@3x2;rank0:dup@2;rank1:reorder@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.CorruptWire(1, 3, 0) || !in.CorruptWire(1, 3, 1) || in.CorruptWire(1, 3, 2) {
+		t.Error("CorruptWire should corrupt attempts 0,1 and pass attempt 2")
+	}
+	if in.CorruptWire(0, 3, 0) || in.CorruptWire(1, 2, 0) {
+		t.Error("CorruptWire matched wrong rank/step")
+	}
+	if !in.Duplicate(0, 2) || in.Duplicate(1, 2) || in.Duplicate(0, 3) {
+		t.Error("Duplicate matching wrong")
+	}
+	if !in.Reorder(1, 4) || in.Reorder(0, 4) || in.Reorder(1, 3) {
+		t.Error("Reorder matching wrong")
+	}
+	var nilIn *Injector
+	if nilIn.CorruptWire(0, 0, 0) || nilIn.Duplicate(0, 0) || nilIn.Reorder(0, 0) || nilIn.Severed(0, 1, 0) {
+		t.Error("nil injector injected a wire fault")
+	}
+}
+
+func TestSeveredWindow(t *testing.T) {
+	p, err := Parse("partition@3:{0,1}|{2,3};heal@6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the partition and from the heal on, all links are up.
+	if in.Severed(0, 2, 2) || in.Severed(0, 2, 6) || in.Severed(0, 2, 9) {
+		t.Error("link severed outside the partition window")
+	}
+	// Inside [3, 6): cross-cut links are down, both directions.
+	for step := int64(3); step < 6; step++ {
+		if !in.Severed(0, 2, step) || !in.Severed(2, 0, step) || !in.Severed(1, 3, step) {
+			t.Errorf("cross-cut link not severed at step %d", step)
+		}
+		if in.Severed(0, 1, step) || in.Severed(2, 3, step) {
+			t.Errorf("intra-side link severed at step %d", step)
+		}
+	}
+	// A rank named in neither side keeps all its links.
+	if in.Severed(0, 4, 4) || in.Severed(4, 2, 4) {
+		t.Error("unnamed rank's links severed")
+	}
+}
+
+func TestSeveredWithoutHealIsPermanent(t *testing.T) {
+	p, err := Parse("partition@2:{0}|{1}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Severed(0, 1, 1) {
+		t.Error("severed before the partition step")
+	}
+	if !in.Severed(0, 1, 2) || !in.Severed(0, 1, 1000) {
+		t.Error("unhealed partition should sever forever")
+	}
+}
+
+func TestHealActsAsRecoverForAnyRank(t *testing.T) {
+	p, err := Parse("partition@3:{0,1}|{2,3};heal@6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{0, 1, 2, 3} {
+		if in.RecoverAt(rank, 3, 5) {
+			t.Errorf("rank %d recovered before the heal", rank)
+		}
+		if !in.RecoverAt(rank, 3, 6) {
+			t.Errorf("rank %d not recovered at the heal step", rank)
+		}
+		if got := in.RecoverStep(rank, 3); got != 6 {
+			t.Errorf("RecoverStep(rank %d) = %d, want 6", rank, got)
+		}
+	}
+	// Heal only matches failures before its step.
+	if in.RecoverAt(0, 6, 8) {
+		t.Error("heal@6 healed a failure at its own superstep")
+	}
+}
+
+func TestRandomGroupPlanDeterministicAndValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := RandomGroup(seed, 8, 6, 4)
+		b := RandomGroup(seed, 8, 6, 4)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d diverged: %v vs %v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d produced an invalid plan %q: %v", seed, a, err)
+		}
+		// Round-trips through the grammar.
+		again, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("seed %d plan %q does not re-parse: %v", seed, a, err)
+		}
+		if len(again.Events) != len(a.Events) {
+			t.Fatalf("seed %d plan %q lost events in round trip", seed, a)
+		}
+		// Every partition has a later heal.
+		for _, e := range a.Events {
+			if e.Kind == KindPartition {
+				healed := false
+				for _, h := range a.Events {
+					if h.Kind == KindHeal && h.Step > e.Step {
+						healed = true
+					}
+				}
+				if !healed {
+					t.Fatalf("seed %d: partition without a paired heal in %q", seed, a)
+				}
+				if got := len(e.SideA) + len(e.SideB); got != 4 {
+					t.Fatalf("seed %d: partition sides cover %d ranks, want 4: %q", seed, got, a)
+				}
+			}
+		}
 	}
 }

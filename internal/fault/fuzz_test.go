@@ -1,6 +1,9 @@
 package fault
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzParseFaultPlan throws arbitrary specs at the fault-plan grammar. The
 // properties: Parse never panics; an accepted plan validates cleanly; and
@@ -23,6 +26,15 @@ func FuzzParseFaultPlan(f *testing.F) {
 		"rank2:flaky@1x1",
 		"rank0:flaky@1x",
 		"rank0:recover@5:write",
+		"rank1:corrupt@3",
+		"rank1:corrupt@3x8",
+		"rank0:dup@2",
+		"rank1:reorder@4",
+		"partition@3:{0,1}|{2,3};heal@6",
+		"partition@1:{0}|{1,2}",
+		"partition@1:{0,0}|{1}",
+		"partition@1:{}|{1}",
+		"heal@-2",
 	} {
 		f.Add(seed)
 	}
@@ -43,7 +55,7 @@ func FuzzParseFaultPlan(f *testing.F) {
 		}
 		for i := range p.Events {
 			a, b := normalize(p.Events[i]), normalize(again.Events[i])
-			if a != b {
+			if !reflect.DeepEqual(a, b) {
 				t.Fatalf("round trip of %q: event %d: %+v != %+v", spec, i, a, b)
 			}
 		}
@@ -51,10 +63,11 @@ func FuzzParseFaultPlan(f *testing.F) {
 }
 
 // normalize folds the Times=0 / Times=1 equivalence (both mean "once" for
-// fail and a one-superstep window for flaky) so round-trip comparison sees
-// through the canonical x1 rendering.
+// fail, corrupt, and flaky's down-window) so round-trip comparison sees
+// through the canonical x1 rendering. Events are compared with DeepEqual
+// because partition events carry rank-set slices.
 func normalize(e Event) Event {
-	if (e.Kind == KindFail || e.Kind == KindFlaky) && e.Times == 0 {
+	if (e.Kind == KindFail || e.Kind == KindFlaky || e.Kind == KindCorrupt) && e.Times == 0 {
 		e.Times = 1
 	}
 	return e

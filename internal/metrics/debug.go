@@ -55,11 +55,29 @@ func (c *Collector) expvarSnapshot() map[string]any {
 	for kind, n := range c.eventKind {
 		events[kind] = n
 	}
-	return map[string]any{
+	snap := map[string]any{
 		"phases":     phases,
 		"supersteps": steps,
 		"events":     events,
 	}
+	if len(c.links) > 0 {
+		links := map[string]any{}
+		for _, l := range c.links {
+			links[fmt.Sprintf("%d->%d", l.From, l.To)] = map[string]any{
+				"msgs":        l.Msgs,
+				"bytes":       l.Bytes,
+				"retransmits": l.Retransmits,
+			}
+		}
+		snap["links"] = links
+		snap["integrity"] = map[string]int64{
+			"corrupt_drops": c.integ.CorruptDrops,
+			"dup_drops":     c.integ.DupDrops,
+			"stale_drops":   c.integ.StaleDrops,
+			"retransmits":   c.integ.Retransmits,
+		}
+	}
+	return snap
 }
 
 // servePrometheus renders the collector's running totals in the Prometheus
@@ -82,6 +100,8 @@ func (c *Collector) servePrometheus(w http.ResponseWriter, _ *http.Request) {
 	for kind, n := range c.eventKind {
 		events[kind] = n
 	}
+	links := append([]LinkActivity(nil), c.links...)
+	integ := c.integ
 	c.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -128,6 +148,35 @@ func (c *Collector) servePrometheus(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "# TYPE hetgraph_events_total counter")
 	for _, kind := range kinds {
 		fmt.Fprintf(w, "hetgraph_events_total{kind=%q} %d\n", kind, events[kind])
+	}
+	if len(links) > 0 {
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].From != links[j].From {
+				return links[i].From < links[j].From
+			}
+			return links[i].To < links[j].To
+		})
+		fmt.Fprintln(w, "# HELP hetgraph_link_msgs_total Messages carried per directed link.")
+		fmt.Fprintln(w, "# TYPE hetgraph_link_msgs_total counter")
+		for _, l := range links {
+			fmt.Fprintf(w, "hetgraph_link_msgs_total{from=\"%d\",to=\"%d\"} %d\n", l.From, l.To, l.Msgs)
+		}
+		fmt.Fprintln(w, "# HELP hetgraph_link_bytes_total Bytes carried per directed link.")
+		fmt.Fprintln(w, "# TYPE hetgraph_link_bytes_total counter")
+		for _, l := range links {
+			fmt.Fprintf(w, "hetgraph_link_bytes_total{from=\"%d\",to=\"%d\"} %d\n", l.From, l.To, l.Bytes)
+		}
+		fmt.Fprintln(w, "# HELP hetgraph_link_retransmits_total NACK-triggered retransmissions per directed link.")
+		fmt.Fprintln(w, "# TYPE hetgraph_link_retransmits_total counter")
+		for _, l := range links {
+			fmt.Fprintf(w, "hetgraph_link_retransmits_total{from=\"%d\",to=\"%d\"} %d\n", l.From, l.To, l.Retransmits)
+		}
+		fmt.Fprintln(w, "# HELP hetgraph_integrity_total Wire-integrity counters aggregated across links, by kind.")
+		fmt.Fprintln(w, "# TYPE hetgraph_integrity_total counter")
+		fmt.Fprintf(w, "hetgraph_integrity_total{kind=\"corrupt_drops\"} %d\n", integ.CorruptDrops)
+		fmt.Fprintf(w, "hetgraph_integrity_total{kind=\"dup_drops\"} %d\n", integ.DupDrops)
+		fmt.Fprintf(w, "hetgraph_integrity_total{kind=\"stale_drops\"} %d\n", integ.StaleDrops)
+		fmt.Fprintf(w, "hetgraph_integrity_total{kind=\"retransmits\"} %d\n", integ.Retransmits)
 	}
 }
 

@@ -69,6 +69,11 @@ const (
 	// recovered rank (restart or handshake failure); the run continues
 	// degraded.
 	EventRejoinFailed = "rejoin-failed"
+	// EventPartitioned is a network partition detected and fenced: every
+	// live rank reported severed links, the surviving-link graph split into
+	// exactly two sides, the quorum side continues degraded, and the
+	// minority side is cut off (Detail names both sides).
+	EventPartitioned = "partitioned"
 )
 
 // PhaseSample is one phase of one superstep on one device, with both the
@@ -141,6 +146,8 @@ type Collector struct {
 	totals    map[phaseKey]*phaseAgg
 	steps     map[string]int64 // supersteps observed per device (max index + 1)
 	eventKind map[string]int64
+	links     []LinkActivity
+	integ     IntegritySnapshot
 }
 
 // NewCollector creates an empty collector.
@@ -203,6 +210,38 @@ func (c *Collector) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]Event{}, c.events...)
+}
+
+// RecordLinks implements LinkRecorder: it stores the interconnect's
+// per-link traffic and aggregate integrity counters. A run records these
+// once at completion; a second call replaces the previous snapshot.
+func (c *Collector) RecordLinks(links []LinkActivity, integ IntegritySnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.links = append([]LinkActivity(nil), links...)
+	c.integ = integ
+}
+
+// Links returns a copy of the recorded per-link activity, sorted by
+// (from, to) so reports are deterministic. Nil when nothing was recorded.
+func (c *Collector) Links() []LinkActivity {
+	c.mu.Lock()
+	out := append([]LinkActivity(nil), c.links...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Integrity returns the recorded aggregate integrity counters.
+func (c *Collector) Integrity() IntegritySnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.integ
 }
 
 // Len returns the number of recorded phase samples.
@@ -300,6 +339,50 @@ type Totals struct {
 	// FailedRanks lists the ranks still down when the run ended, sorted
 	// ascending; empty when the run ended at full membership.
 	FailedRanks []int `json:"failed_ranks,omitempty"`
+	// Wire-integrity outcome of a heterogeneous run (all additive within
+	// ReportVersion 1): checksum-failed deliveries dropped, duplicate and
+	// stale deliveries fenced, and NACK retransmissions that repaired the
+	// corrupt ones.
+	CorruptDrops int64 `json:"corrupt_drops,omitempty"`
+	DupDrops     int64 `json:"dup_drops,omitempty"`
+	StaleDrops   int64 `json:"stale_drops,omitempty"`
+	Retransmits  int64 `json:"retransmits,omitempty"`
+	// Partition outcome: whether the run split into two sides, at which
+	// superstep, and which ranks held quorum (majority continues, minority
+	// is fenced).
+	Partitioned        bool  `json:"partitioned,omitempty"`
+	PartitionSuperstep int64 `json:"partition_superstep,omitempty"`
+	PartitionMajority  []int `json:"partition_majority,omitempty"`
+	PartitionMinority  []int `json:"partition_minority,omitempty"`
+}
+
+// LinkActivity is one directed link's whole-run traffic: the message and
+// byte counts the cost model charged, plus the wire-level retransmissions
+// that repaired corrupt deliveries on that link.
+type LinkActivity struct {
+	From        int   `json:"from"`
+	To          int   `json:"to"`
+	Msgs        int64 `json:"msgs"`
+	Bytes       int64 `json:"bytes"`
+	Retransmits int64 `json:"retransmits,omitempty"`
+}
+
+// IntegritySnapshot aggregates the wire-integrity counters across all links
+// (the metrics-local mirror of comm.IntegrityStats).
+type IntegritySnapshot struct {
+	CorruptDrops int64 `json:"corrupt_drops"`
+	DupDrops     int64 `json:"dup_drops"`
+	StaleDrops   int64 `json:"stale_drops"`
+	Retransmits  int64 `json:"retransmits"`
+}
+
+// LinkRecorder is an optional extension of Sink: a sink that also implements
+// it receives the interconnect's per-link traffic and integrity totals when
+// a heterogeneous run finishes. Keeping it a separate interface (reached by
+// type assertion) preserves every existing two-method Sink implementation
+// unchanged.
+type LinkRecorder interface {
+	RecordLinks(links []LinkActivity, integ IntegritySnapshot)
 }
 
 // RunReport is the versioned, machine-readable record of one run.
@@ -323,6 +406,9 @@ type RunReport struct {
 	Devices []DeviceReport `json:"devices,omitempty"`
 	// Totals is the run-level outcome.
 	Totals Totals `json:"totals"`
+	// Links is the interconnect's per-link traffic and retransmission
+	// activity (added within ReportVersion 1; omitted by older producers).
+	Links []LinkActivity `json:"links,omitempty"`
 	// Phases is the per-superstep per-phase timeline (wall and simulated).
 	Phases []PhaseSample `json:"phases"`
 	// Events is the operational event log.
@@ -339,6 +425,7 @@ func (c *Collector) Report() *RunReport {
 		CreatedUnixNano: time.Now().UnixNano(),
 		Phases:          c.Phases(),
 		Events:          c.Events(),
+		Links:           c.Links(),
 	}
 }
 

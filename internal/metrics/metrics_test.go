@@ -170,10 +170,45 @@ func TestSealDeterministic(t *testing.T) {
 	}
 }
 
+func TestCollectorRecordLinks(t *testing.T) {
+	c := NewCollector()
+	var _ LinkRecorder = c // Collector opts into the extension interface
+	c.RecordLinks([]LinkActivity{
+		{From: 1, To: 0, Msgs: 7, Bytes: 90, Retransmits: 2},
+		{From: 0, To: 1, Msgs: 5, Bytes: 64},
+	}, IntegritySnapshot{CorruptDrops: 2, Retransmits: 2})
+	links := c.Links()
+	if len(links) != 2 || links[0].From != 0 || links[1].Retransmits != 2 {
+		t.Fatalf("Links() = %+v, want sorted copy of the recorded pair", links)
+	}
+	if got := c.Integrity(); got.CorruptDrops != 2 || got.Retransmits != 2 {
+		t.Fatalf("Integrity() = %+v", got)
+	}
+	r := c.Report()
+	if len(r.Links) != 2 {
+		t.Fatalf("Report().Links = %+v, want the recorded pair", r.Links)
+	}
+	r.Totals.CorruptDrops = 2
+	r.Totals.Retransmits = 2
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Links) != 2 || back.Links[1].Msgs != 7 || back.Totals.CorruptDrops != 2 {
+		t.Fatalf("round-trip lost link/integrity data: %+v %+v", back.Links, back.Totals)
+	}
+}
+
 func TestDebugServerEndpoints(t *testing.T) {
 	c := NewCollector()
 	c.RecordPhase(PhaseSample{Device: "MIC", Rank: 1, Superstep: 0, Phase: PhaseGenerate, WallNS: 1000, SimSeconds: 0.5, Events: 7})
 	c.RecordEvent(Event{Kind: EventDegraded, Rank: 1, Superstep: 3})
+	c.RecordLinks([]LinkActivity{{From: 1, To: 0, Msgs: 7, Bytes: 90, Retransmits: 2}},
+		IntegritySnapshot{CorruptDrops: 2, Retransmits: 2})
 	ds, err := StartDebugServer("127.0.0.1:0", c)
 	if err != nil {
 		t.Fatal(err)
@@ -201,6 +236,11 @@ func TestDebugServerEndpoints(t *testing.T) {
 		`hetgraph_phase_events_total{device="MIC",phase="generate"} 7`,
 		`hetgraph_supersteps_total{device="MIC"} 1`,
 		`hetgraph_events_total{kind="degraded"} 1`,
+		`hetgraph_link_msgs_total{from="1",to="0"} 7`,
+		`hetgraph_link_bytes_total{from="1",to="0"} 90`,
+		`hetgraph_link_retransmits_total{from="1",to="0"} 2`,
+		`hetgraph_integrity_total{kind="corrupt_drops"} 2`,
+		`hetgraph_integrity_total{kind="retransmits"} 2`,
 	} {
 		if !strings.Contains(prom, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, prom)
