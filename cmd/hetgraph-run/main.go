@@ -88,29 +88,30 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hetgraph-run", flag.ContinueOnError)
 	var (
-		graphPath = fs.String("graph", "", "input graph file (required)")
-		appName   = fs.String("app", "pagerank", "application: pagerank | bfs | sssp | toposort | cc | semicluster")
-		device    = fs.String("device", "mic", "device: cpu | mic | both")
-		scheme    = fs.String("scheme", "pipe", "message generation scheme: lock | pipe")
-		baseline  = fs.String("baseline", "", "run a baseline instead: omp")
-		partPath  = fs.String("partition", "", "partition file for -device both (ranks >2 auto-partition by thread weight when omitted)")
-		ranks     = fs.Int("ranks", 2, "device-group size for -device both: rank 0 is the CPU, the rest MICs (see -devices for an explicit list)")
-		devices   = fs.String("devices", "", `explicit device group for -device both, e.g. "cpu,mic,mic" (overrides -ranks)`)
-		source    = fs.Int("source", 0, "source vertex for bfs/sssp")
-		iters     = fs.Int("iters", 0, "iteration bound (0 = converge; pagerank default 10)")
-		novec     = fs.Bool("novec", false, "disable SIMD message reduction")
-		genBatch  = fs.Int("genbatch", 0, "pipelined handoff batch size (0/1 = per-element; try 64)")
-		traceCSV  = fs.String("trace", "", "write a per-superstep phase timeline CSV to this path")
-		verify    = fs.Bool("verify", false, "check the result against the sequential reference")
-		ckEvery   = fs.Int("checkpoint-every", 0, "checkpoint vertex state every N supersteps (0 = off; -device both)")
-		ckDir     = fs.String("checkpoint-dir", "", "flush checkpoints durably to this directory (atomic commits + manifest)")
-		ckRetain  = fs.Int("checkpoint-retain", 0, "on-disk checkpoint generations to keep (0 = default, min 2)")
-		resume    = fs.Bool("resume", false, "cold-start from the newest checkpoint in -checkpoint-dir")
-		rejoin    = fs.Bool("rejoin", false, "heal after a device failure: restart the failed rank from a checkpoint when the fault plan declares it recovered (requires -checkpoint-every or -checkpoint-dir)")
-		exTimeout = fs.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
-		faultPlan = fs.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
-		report    = fs.String("report", "", "write a versioned JSON run report (phases, counters, events) to this path")
-		debugAddr = fs.String("debug-addr", "", `serve /debug/pprof/, /debug/vars, and /metrics on this address (e.g. "localhost:6060")`)
+		graphPath  = fs.String("graph", "", "input graph file (required)")
+		appName    = fs.String("app", "pagerank", "application: pagerank | bfs | sssp | toposort | cc | semicluster")
+		device     = fs.String("device", "mic", "device: cpu | mic | both")
+		scheme     = fs.String("scheme", "pipe", "message generation scheme: lock | pipe")
+		baseline   = fs.String("baseline", "", "run a baseline instead: omp")
+		partPath   = fs.String("partition", "", "partition file for -device both (ranks >2 auto-partition by thread weight when omitted)")
+		ranks      = fs.Int("ranks", 2, "device-group size for -device both: rank 0 is the CPU, the rest MICs (see -devices for an explicit list)")
+		devices    = fs.String("devices", "", `explicit device group for -device both, e.g. "cpu,mic,mic" (overrides -ranks)`)
+		source     = fs.Int("source", 0, "source vertex for bfs/sssp")
+		iters      = fs.Int("iters", 0, "iteration bound (0 = converge; pagerank default 10)")
+		novec      = fs.Bool("novec", false, "disable SIMD message reduction")
+		genBatch   = fs.Int("genbatch", 0, "pipelined handoff batch size (0/1 = per-element; try 64)")
+		traceCSV   = fs.String("trace", "", "write a per-superstep phase timeline CSV to this path")
+		verify     = fs.Bool("verify", false, "check the result against the sequential reference")
+		ckEvery    = fs.Int("checkpoint-every", 0, "checkpoint vertex state every N supersteps (0 = off; -device both)")
+		ckDir      = fs.String("checkpoint-dir", "", "flush checkpoints durably to this directory (atomic commits + manifest)")
+		ckRetain   = fs.Int("checkpoint-retain", 0, "on-disk checkpoint generations to keep (0 = default, min 2)")
+		resume     = fs.Bool("resume", false, "cold-start from the newest checkpoint in -checkpoint-dir")
+		rejoin     = fs.Bool("rejoin", false, "heal after a device failure: restart the failed rank from a checkpoint when the fault plan declares it recovered (requires -checkpoint-every or -checkpoint-dir)")
+		exTimeout  = fs.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
+		faultPlan  = fs.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
+		report     = fs.String("report", "", "write a versioned JSON run report (phases, counters, events) to this path")
+		debugAddr  = fs.String("debug-addr", "", `serve /debug/pprof/, /debug/vars, and /metrics on this address (e.g. "localhost:6060")`)
+		jobTimeout = fs.Duration("job-timeout", 0, "wall deadline for the run: abort at the next superstep boundary once elapsed (0 = unbounded; exit 130 with partial results, like SIGINT)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -120,11 +121,17 @@ func run(args []string) error {
 		return usagef("-graph is required")
 	}
 
-	// Graceful shutdown: SIGINT/SIGTERM stop the run cooperatively at the
-	// next superstep boundary — the final checkpoint is captured, the
-	// report/trace are still written, and the process exits 130. A second
-	// signal kills the process the default way (signal.Stop re-arms it).
-	abort := make(chan struct{})
+	// Graceful shutdown: SIGINT/SIGTERM and the -job-timeout deadline both
+	// stop the run cooperatively at the next superstep boundary — the final
+	// checkpoint is captured, the report/trace are still written, and the
+	// process exits 130. A second signal kills the process the default way
+	// (signal.Stop re-arms it).
+	ctl := hetgraph.NewAbortController()
+	defer ctl.Stop()
+	abort := ctl.Channel()
+	if *jobTimeout > 0 {
+		ctl.AbortAfter(*jobTimeout)
+	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
@@ -135,7 +142,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "hetgraph-run: received %v, aborting at the next superstep boundary (report and final checkpoint still written; signal again to kill)\n", s)
 		signal.Stop(sigc)
-		close(abort)
+		ctl.Abort()
 	}()
 
 	g, err := hetgraph.LoadGraph(*graphPath)

@@ -1,0 +1,161 @@
+// Command hetgraph-serve is the long-lived job daemon: it loads and
+// partitions a graph once, then serves concurrent analytics jobs (pagerank,
+// bfs, sssp, cc) over HTTP/JSON with bounded admission, per-job wall
+// deadlines, capped-backoff retries, and a durable job journal — a kill -9'd
+// daemon restarted on the same -state-dir replays the journal and resumes
+// in-flight jobs from their newest checkpoint. See docs/serving.md.
+//
+// Usage:
+//
+//	hetgraph-serve -graph pokec.adj -addr localhost:8080 -state-dir ./state
+//	curl -d '{"algorithm":"pagerank","iterations":10}' localhost:8080/jobs
+//	curl localhost:8080/jobs/j00000000
+//
+// SIGTERM/SIGINT drain gracefully: admission stops (new submissions get
+// 429), in-flight jobs get -drain-grace to finish, stragglers are
+// checkpointed and journaled for the next start, and the process exits 0.
+// A second signal kills the process the default way.
+//
+// Exit codes: 0 clean drain, 1 runtime failure, 2 usage error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetgraph"
+	"hetgraph/internal/serve"
+)
+
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hetgraph-serve:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hetgraph-serve", flag.ContinueOnError)
+	var (
+		graphPath  = fs.String("graph", "", "input graph file (required)")
+		addr       = fs.String("addr", "localhost:8080", "HTTP listen address for the job API")
+		debugAddr  = fs.String("debug-addr", "", `also serve /debug/pprof/, /debug/vars, and /metrics on this address`)
+		stateDir   = fs.String("state-dir", "", "directory for the job journal and per-job checkpoints (required; reuse it to resume)")
+		partPath   = fs.String("partition", "", "partition file (omitted = continuous partition by device thread weight)")
+		ranks      = fs.Int("ranks", 2, "device-group size: rank 0 is the CPU, the rest MICs")
+		ckEvery    = fs.Int("checkpoint-every", 1, "checkpoint cadence for served jobs (supersteps)")
+		queueDepth = fs.Int("queue", 8, "job queue depth; submissions past it are shed with HTTP 429")
+		workers    = fs.Int("workers", 2, "jobs executed concurrently")
+		tenantCap  = fs.Int("tenant-limit", 4, "one tenant's queued+running job bound")
+		jobTimeout = fs.Duration("job-timeout", 0, "default wall deadline per job (0 = unbounded; specs may set timeout_ms)")
+		retries    = fs.Int("retries", 2, "retry budget for jobs failing with retryable typed errors")
+		grace      = fs.Duration("drain-grace", 10*time.Second, "how long SIGTERM lets in-flight jobs finish before checkpointing them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if *graphPath == "" {
+		fs.Usage()
+		return usagef("-graph is required")
+	}
+	if *stateDir == "" {
+		fs.Usage()
+		return usagef("-state-dir is required")
+	}
+	if *ranks < 2 {
+		return usagef("-ranks must be at least 2, got %d", *ranks)
+	}
+
+	g, err := hetgraph.LoadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	var assign []int32
+	if *partPath != "" {
+		if assign, err = hetgraph.LoadPartition(*partPath); err != nil {
+			return err
+		}
+	}
+	devices := make([]hetgraph.DeviceSpec, *ranks)
+	devices[0] = hetgraph.CPU()
+	for r := 1; r < *ranks; r++ {
+		devices[r] = hetgraph.MIC()
+	}
+
+	col := hetgraph.NewMetricsCollector()
+	if *debugAddr != "" {
+		dbg, err := hetgraph.StartDebugServer(*debugAddr, col)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s (/debug/pprof/, /debug/vars, /metrics)\n", dbg.Addr())
+	}
+
+	srv, err := serve.New(serve.Config{
+		Graph:           g,
+		GraphPath:       *graphPath,
+		Assign:          assign,
+		Devices:         devices,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckEvery,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		TenantLimit:     *tenantCap,
+		DefaultTimeout:  *jobTimeout,
+		MaxRetries:      *retries,
+		Metrics:         col,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	fmt.Printf("serving %s (%d vertices, %d edges) on http://%s, state in %s\n",
+		*graphPath, g.NumVertices(), g.NumEdges(), ln.Addr(), *stateDir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-httpErr:
+		srv.Close()
+		return err
+	case s := <-sigc:
+		fmt.Fprintf(os.Stderr, "hetgraph-serve: received %v, draining (grace %s; signal again to kill)\n", s, *grace)
+		signal.Stop(sigc)
+	}
+	httpSrv.Close()
+	if err := srv.Drain(*grace); err != nil {
+		return err
+	}
+	fmt.Println("drained: journal flushed, state checkpointed; exiting")
+	return nil
+}

@@ -267,7 +267,24 @@ type (
 	// checkpointed (required when Options.CheckpointEvery > 0). The bundled
 	// PageRank, BFS, SSSP, and ConnectedComponents apps implement it.
 	Snapshotter = checkpoint.Snapshotter
+	// AbortController owns an Options.Abort channel: explicit Abort calls,
+	// wall-clock deadlines (AbortAfter), and parent channels (Follow) all
+	// converge on the one channel the engine watches. hetgraph-run's signal
+	// handler and -job-timeout, and hetgraph-serve's per-job deadlines,
+	// cancellation, and drain all go through it.
+	AbortController = core.AbortController
+	// DaemonFaults is a registry of daemon-level chaos hooks (park a
+	// worker, fail a journal append) used by hetgraph-serve's overload and
+	// crash tests; see fault.Point* for the hook points.
+	DaemonFaults = fault.DaemonFaults
 )
+
+// NewAbortController creates a controller whose channel is open; set
+// Options.Abort to its Channel.
+func NewAbortController() *AbortController { return core.NewAbortController() }
+
+// NewDaemonFaults creates an empty daemon fault-hook registry.
+func NewDaemonFaults() *DaemonFaults { return fault.NewDaemonFaults() }
 
 // Fault kinds and phases for hand-built plans.
 const (
@@ -326,7 +343,17 @@ type (
 	// CorruptInputError reports malformed graph-file input, attributed to
 	// the offending line for the text format.
 	CorruptInputError = graph.CorruptInputError
+	// CheckpointJournal is the append-only CRC-framed record log the serve
+	// daemon journals job state through (see docs/serving.md); it lives in
+	// the same directory protocol family as the CheckpointStore.
+	CheckpointJournal = checkpoint.Journal
 )
+
+// OpenCheckpointJournal opens (creating or replaying) the journal in dir for
+// inspection or custom daemons; hetgraph-serve opens its own.
+func OpenCheckpointJournal(dir string) (*CheckpointJournal, error) {
+	return checkpoint.OpenJournal(dir, nil)
+}
 
 // DefaultCheckpointRetain is the default number of newest on-disk
 // checkpoint generations kept by a CheckpointStore.

@@ -1,0 +1,276 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is an append-only durable record log living next to the checkpoint
+// store: the serve daemon journals each job's spec and state transitions
+// through it so a kill -9'd process can replay them on restart. The payloads
+// are opaque to this package — callers define their own record schema.
+//
+// On-disk layout is a single file
+//
+//	<dir>/JOURNAL
+//
+// holding a header line followed by framed records:
+//
+//	HGJN 1\n
+//	[uint32 BE payload length][payload][uint32 BE CRC32C of payload] ...
+//
+// Every Append writes one frame and fsyncs before returning, so an
+// acknowledged record survives a crash. A torn tail — a frame cut short by
+// the crash, or one whose checksum fails — is detected at open time and
+// truncated away; every frame before it replays intact. Like the Store,
+// all I/O goes through the FS seam so tests can inject failures.
+type Journal struct {
+	dir  string
+	fsys FS
+
+	mu      sync.Mutex
+	f       File
+	records [][]byte
+	closed  bool
+}
+
+const (
+	journalName   = "JOURNAL"
+	journalHeader = "HGJN 1\n"
+	// journalMaxRecord bounds a single record so a corrupt length prefix
+	// cannot make replay attempt a multi-gigabyte allocation.
+	journalMaxRecord = 1 << 20
+)
+
+// OpenJournal opens (creating if needed) the journal in dir. An existing
+// journal is replayed: intact records become Records(), and a torn tail is
+// repaired by atomically rewriting the file without it. The directory is
+// created if missing.
+func OpenJournal(dir string, fsys FS) (*Journal, error) {
+	if dir == "" {
+		return nil, &StoreError{Op: "open", Path: dir, Err: fmt.Errorf("empty journal directory")}
+	}
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, &StoreError{Op: "mkdir", Path: dir, Err: err}
+	}
+	j := &Journal{dir: dir, fsys: fsys}
+	path := j.path()
+	records, torn, err := j.replay()
+	if err != nil {
+		return nil, err
+	}
+	j.records = records
+	if torn {
+		// Rewrite without the torn tail so the append handle starts at a
+		// clean frame boundary.
+		if err := j.rewrite(records); err != nil {
+			return nil, err
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, &StoreError{Op: "open", Path: path, Err: err}
+	}
+	j.f = f
+	if len(records) == 0 && !torn {
+		// Fresh file (or empty one): make sure the header is present.
+		if st, err := fsys.ReadFile(path); err != nil || len(st) == 0 {
+			if _, err := f.Write([]byte(journalHeader)); err != nil {
+				f.Close()
+				return nil, &StoreError{Op: "write", Path: path, Err: err}
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, &StoreError{Op: "sync", Path: path, Err: err}
+			}
+		}
+	}
+	return j, nil
+}
+
+func (j *Journal) path() string { return filepath.Join(j.dir, journalName) }
+
+// Records returns the records replayed at open plus every successful Append
+// since, oldest first. The returned slices alias the journal's buffers; do
+// not mutate them.
+func (j *Journal) Records() [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([][]byte(nil), j.records...)
+}
+
+// Append frames payload, writes it, and fsyncs. When it returns nil the
+// record is durable; any failure is a *StoreError and the journal file keeps
+// every previously acknowledged record (a partial frame from a failed write
+// is truncated at the next open).
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) > journalMaxRecord {
+		return &StoreError{Op: "append", Path: j.path(), Err: fmt.Errorf("record %d bytes exceeds %d", len(payload), journalMaxRecord)}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.f == nil {
+		return &StoreError{Op: "append", Path: j.path(), Err: os.ErrClosed}
+	}
+	frame := make([]byte, 4+len(payload)+4)
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	binary.BigEndian.PutUint32(frame[4+len(payload):], Checksum(payload))
+	if _, err := j.f.Write(frame); err != nil {
+		return &StoreError{Op: "write", Path: j.path(), Err: err}
+	}
+	if err := j.f.Sync(); err != nil {
+		return &StoreError{Op: "sync", Path: j.path(), Err: err}
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	j.records = append(j.records, cp)
+	return nil
+}
+
+// Compact atomically replaces the journal's contents with the given records
+// (temp file + fsync + rename, like a store commit) and reopens the append
+// handle. Callers use it after replay to drop transitions that no longer
+// matter (e.g. per-job histories collapsed to their final state).
+func (j *Journal) Compact(records [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return &StoreError{Op: "compact", Path: j.path(), Err: os.ErrClosed}
+	}
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	if err := j.rewrite(records); err != nil {
+		return err
+	}
+	f, err := j.fsys.OpenFile(j.path(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return &StoreError{Op: "open", Path: j.path(), Err: err}
+	}
+	j.f = f
+	j.records = make([][]byte, len(records))
+	for i, r := range records {
+		cp := make([]byte, len(r))
+		copy(cp, r)
+		j.records[i] = cp
+	}
+	return nil
+}
+
+// Close releases the append handle. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return &StoreError{Op: "close", Path: j.path(), Err: err}
+	}
+	return nil
+}
+
+// rewrite writes header+records to a temp file, fsyncs, and renames it over
+// the journal. Caller holds j.mu (or the journal is not yet shared).
+func (j *Journal) rewrite(records [][]byte) error {
+	final := j.path()
+	tmp := final + ".tmp"
+	f, err := j.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return &StoreError{Op: "create", Path: tmp, Err: err}
+	}
+	write := func(b []byte) error {
+		_, err := f.Write(b)
+		return err
+	}
+	werr := write([]byte(journalHeader))
+	for _, r := range records {
+		if werr != nil {
+			break
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(r)))
+		if werr = write(hdr[:]); werr == nil {
+			if werr = write(r); werr == nil {
+				var crc [4]byte
+				binary.BigEndian.PutUint32(crc[:], Checksum(r))
+				werr = write(crc[:])
+			}
+		}
+	}
+	if werr != nil {
+		f.Close()
+		j.fsys.Remove(tmp)
+		return &StoreError{Op: "write", Path: tmp, Err: werr}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.fsys.Remove(tmp)
+		return &StoreError{Op: "sync", Path: tmp, Err: err}
+	}
+	if err := f.Close(); err != nil {
+		j.fsys.Remove(tmp)
+		return &StoreError{Op: "close", Path: tmp, Err: err}
+	}
+	if err := j.fsys.Rename(tmp, final); err != nil {
+		j.fsys.Remove(tmp)
+		return &StoreError{Op: "rename", Path: final, Err: err}
+	}
+	return nil
+}
+
+// replay reads the journal file and decodes every intact frame. It reports
+// whether a torn tail (truncated frame, bad checksum, or bad header) was
+// found — everything from the first damaged byte on is discarded. A missing
+// file replays as empty.
+func (j *Journal) replay() (records [][]byte, torn bool, err error) {
+	b, rerr := j.fsys.ReadFile(j.path())
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, false, nil
+		}
+		return nil, false, &StoreError{Op: "read", Path: j.path(), Err: rerr}
+	}
+	if len(b) == 0 {
+		return nil, false, nil
+	}
+	if len(b) < len(journalHeader) || string(b[:len(journalHeader)]) != journalHeader {
+		// Unrecognizable file: treat the whole thing as torn rather than
+		// guessing at frame boundaries.
+		return nil, true, nil
+	}
+	off := len(journalHeader)
+	for off < len(b) {
+		if off+4 > len(b) {
+			return records, true, nil
+		}
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		if n > journalMaxRecord || off+4+n+4 > len(b) {
+			return records, true, nil
+		}
+		payload := b[off+4 : off+4+n]
+		crc := binary.BigEndian.Uint32(b[off+4+n:])
+		if Checksum(payload) != crc {
+			return records, true, nil
+		}
+		cp := make([]byte, n)
+		copy(cp, payload)
+		records = append(records, cp)
+		off += 4 + n + 4
+	}
+	return records, false, nil
+}

@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// countFiles returns how many directory entries match the given suffix.
+func countFiles(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestStoreRetentionUnderChurn hammers a Retain=2 store with rapid commits
+// while reopening it every few generations, asserting the daemon-critical
+// invariants the serve layer leans on: Load always returns the newest
+// committed generation, pruning never lets on-disk generations exceed the
+// retain bound, and no commit leaves an orphaned temp file behind.
+func TestStoreRetentionUnderChurn(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const churn = 40
+	var last int64
+	for step := int64(1); step <= churn; step++ {
+		if _, err := st.Commit(testSnap(step)); err != nil {
+			t.Fatalf("commit %d: %v", step, err)
+		}
+		// Interleave reopens: a freshly opened store must agree with the
+		// long-lived handle about the newest generation.
+		if step%5 == 0 {
+			st2, err := OpenStore(dir, StoreOptions{Retain: 2})
+			if err != nil {
+				t.Fatalf("reopen at step %d: %v", step, err)
+			}
+			snap, _, err := st2.Load()
+			if err != nil {
+				t.Fatalf("load from reopened store at step %d: %v", step, err)
+			}
+			if snap.Superstep != step {
+				t.Fatalf("reopened store at step %d loaded superstep %d, want the newest", step, snap.Superstep)
+			}
+			// The reopened handle keeps committing — the two handles churn
+			// the same directory the way restarting daemons do.
+			step++
+			if _, err := st2.Commit(testSnap(step)); err != nil {
+				t.Fatalf("commit %d via reopened store: %v", step, err)
+			}
+			st = st2
+		}
+		last = step
+		if n := countFiles(t, dir, ".ckpt"); n > 2 {
+			t.Fatalf("after commit %d: %d checkpoint files on disk, retain bound is 2", step, n)
+		}
+		if n := countFiles(t, dir, ".tmp"); n != 0 {
+			t.Fatalf("after commit %d: %d orphaned temp files", step, n)
+		}
+	}
+	// Final invariant: the newest generation is the one a cold resume loads.
+	final, err := OpenStore(dir, StoreOptions{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, gen, err := final.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Superstep != last {
+		t.Fatalf("cold load superstep %d (gen %d), want %d", snap.Superstep, gen, last)
+	}
+	gens := final.Generations()
+	if len(gens) == 0 || len(gens) > 2 {
+		t.Fatalf("manifest tracks %d generations, want 1..2 under Retain=2", len(gens))
+	}
+	for i := 1; i < len(gens); i++ {
+		if gens[i-1].Gen < gens[i].Gen {
+			t.Fatalf("manifest generations out of newest-first order: %v", gens)
+		}
+	}
+}

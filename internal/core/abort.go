@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// AbortController owns an Options.Abort channel and the ways it gets closed:
+// an explicit Abort call (operator signal, client cancel), a wall-clock
+// deadline (AbortAfter), or a parent channel closing (Follow). It exists so
+// job-scoped cancellation composes — the serve daemon merges "server is
+// draining", "job deadline expired", and "client canceled" into the one
+// channel the engine watches — and so hetgraph-run's -job-timeout shares the
+// same plumbing as its signal handler. All methods are safe for concurrent
+// use and Abort is idempotent.
+type AbortController struct {
+	ch   chan struct{}
+	once sync.Once
+
+	mu    sync.Mutex
+	timer *time.Timer
+	stop  chan struct{} // closed by Stop; ends Follow goroutines
+}
+
+// NewAbortController creates a controller whose channel is open.
+func NewAbortController() *AbortController {
+	return &AbortController{ch: make(chan struct{}), stop: make(chan struct{})}
+}
+
+// Channel returns the abort channel to set on Options.Abort.
+func (a *AbortController) Channel() <-chan struct{} { return a.ch }
+
+// Abort closes the channel. Idempotent; safe from any goroutine.
+func (a *AbortController) Abort() {
+	a.once.Do(func() { close(a.ch) })
+}
+
+// Aborted reports whether the channel is closed.
+func (a *AbortController) Aborted() bool {
+	select {
+	case <-a.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// AbortAfter arms (or re-arms) a wall-clock deadline: the controller aborts
+// d from now unless Stop is called first. d <= 0 aborts immediately.
+func (a *AbortController) AbortAfter(d time.Duration) {
+	if d <= 0 {
+		a.Abort()
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+	a.timer = time.AfterFunc(d, a.Abort)
+}
+
+// Follow propagates parent: when parent closes, this controller aborts. The
+// watcher goroutine exits once parent closes, the controller aborts, or Stop
+// is called. A nil parent is a no-op.
+func (a *AbortController) Follow(parent <-chan struct{}) {
+	if parent == nil {
+		return
+	}
+	a.mu.Lock()
+	stop := a.stop
+	a.mu.Unlock()
+	if stop == nil { // already stopped: nothing to watch for
+		return
+	}
+	go func() {
+		select {
+		case <-parent:
+			// A Stop that completed before the parent closed wins: the
+			// select may have picked the parent case even with both ready.
+			select {
+			case <-stop:
+			default:
+				a.Abort()
+			}
+		case <-a.ch:
+		case <-stop:
+		}
+	}()
+}
+
+// Stop cancels a pending deadline and releases Follow watchers without
+// aborting. Call it when the guarded work finished before the deadline.
+func (a *AbortController) Stop() {
+	a.mu.Lock()
+	if a.timer != nil {
+		a.timer.Stop()
+		a.timer = nil
+	}
+	stop := a.stop
+	a.stop = nil
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+}

@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"hetgraph/internal/core"
+)
+
+func waitClosed(t *testing.T, ch <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s not aborted within the deadline guard", what)
+	}
+}
+
+func TestAbortControllerIdempotent(t *testing.T) {
+	ctl := core.NewAbortController()
+	defer ctl.Stop()
+	if ctl.Aborted() {
+		t.Fatal("fresh controller reports aborted")
+	}
+	ctl.Abort()
+	ctl.Abort() // second abort must not panic (close of closed channel)
+	if !ctl.Aborted() {
+		t.Fatal("controller not aborted after Abort")
+	}
+	waitClosed(t, ctl.Channel(), "controller")
+}
+
+func TestAbortAfterFires(t *testing.T) {
+	ctl := core.NewAbortController()
+	defer ctl.Stop()
+	ctl.AbortAfter(time.Millisecond)
+	waitClosed(t, ctl.Channel(), "deadline controller")
+}
+
+func TestAbortAfterZeroIsImmediate(t *testing.T) {
+	ctl := core.NewAbortController()
+	defer ctl.Stop()
+	ctl.AbortAfter(0)
+	if !ctl.Aborted() {
+		t.Fatal("AbortAfter(0) did not abort immediately")
+	}
+}
+
+func TestAbortAfterRearm(t *testing.T) {
+	ctl := core.NewAbortController()
+	defer ctl.Stop()
+	ctl.AbortAfter(time.Hour)
+	ctl.AbortAfter(time.Millisecond) // re-arm to a sooner deadline
+	waitClosed(t, ctl.Channel(), "re-armed controller")
+}
+
+func TestStopDisarmsDeadline(t *testing.T) {
+	ctl := core.NewAbortController()
+	ctl.AbortAfter(20 * time.Millisecond)
+	ctl.Stop()
+	time.Sleep(60 * time.Millisecond)
+	if ctl.Aborted() {
+		t.Fatal("Stop did not disarm the pending deadline")
+	}
+}
+
+func TestFollowPropagatesParentAbort(t *testing.T) {
+	parent := core.NewAbortController()
+	defer parent.Stop()
+	child := core.NewAbortController()
+	defer child.Stop()
+	child.Follow(parent.Channel())
+	parent.Abort()
+	waitClosed(t, child.Channel(), "following child")
+}
+
+func TestFollowNilParentIsNoop(t *testing.T) {
+	ctl := core.NewAbortController()
+	defer ctl.Stop()
+	ctl.Follow(nil)
+	if ctl.Aborted() {
+		t.Fatal("Follow(nil) aborted the controller")
+	}
+}
+
+func TestStopDetachesFollower(t *testing.T) {
+	parent := core.NewAbortController()
+	defer parent.Stop()
+	child := core.NewAbortController()
+	child.Follow(parent.Channel())
+	child.Stop()
+	parent.Abort()
+	time.Sleep(20 * time.Millisecond)
+	if child.Aborted() {
+		t.Fatal("stopped child still followed its parent's abort")
+	}
+}

@@ -1,0 +1,62 @@
+package fault
+
+import "sync"
+
+// Daemon-level fault points: where a DaemonFaults hook can interpose on the
+// serve daemon's job lifecycle. Unlike the superstep-indexed Injector plan,
+// daemon hooks are arbitrary callbacks — chaos tests use them to park
+// workers (overload), fail journal appends (durability), or crash the
+// process between state transitions (recovery).
+const (
+	// PointJobStart fires in a worker immediately before a dequeued job's
+	// first engine superstep.
+	PointJobStart = "job-start"
+	// PointJobRetry fires before each retry attempt of a failed job.
+	PointJobRetry = "job-retry"
+	// PointJournalAppend fires before every journal append.
+	PointJournalAppend = "journal-append"
+)
+
+// DaemonFaults is a registry of named hooks for daemon-level chaos testing.
+// A nil *DaemonFaults is valid and fires nothing, so production code calls
+// At unconditionally. Hooks may block (to park a worker) or return an error
+// (which the call site surfaces as if the guarded operation failed).
+type DaemonFaults struct {
+	mu    sync.Mutex
+	hooks map[string]func() error
+}
+
+// NewDaemonFaults creates an empty registry.
+func NewDaemonFaults() *DaemonFaults {
+	return &DaemonFaults{hooks: map[string]func() error{}}
+}
+
+// Set installs fn at the named point, replacing any previous hook.
+func (d *DaemonFaults) Set(point string, fn func() error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hooks[point] = fn
+}
+
+// Clear removes the hook at the named point.
+func (d *DaemonFaults) Clear(point string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.hooks, point)
+}
+
+// At fires the hook at the named point, returning its error. Nil-safe: a
+// nil registry or an unset point returns nil immediately. The hook runs
+// outside the registry lock, so it may block or call back into the registry.
+func (d *DaemonFaults) At(point string) error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	fn := d.hooks[point]
+	d.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}

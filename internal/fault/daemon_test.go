@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDaemonFaultsNilReceiverSafe(t *testing.T) {
+	var df *DaemonFaults
+	if err := df.At(PointJobStart); err != nil {
+		t.Fatalf("nil DaemonFaults.At returned %v", err)
+	}
+}
+
+func TestDaemonFaultsSetClearAt(t *testing.T) {
+	df := NewDaemonFaults()
+	if err := df.At(PointJobStart); err != nil {
+		t.Fatalf("unset point returned %v", err)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	df.Set(PointJobStart, func() error {
+		calls++
+		return boom
+	})
+	if err := df.At(PointJobStart); !errors.Is(err, boom) {
+		t.Fatalf("hooked point returned %v, want boom", err)
+	}
+	if err := df.At(PointJobRetry); err != nil {
+		t.Fatalf("different point tripped the hook: %v", err)
+	}
+	df.Clear(PointJobStart)
+	if err := df.At(PointJobStart); err != nil {
+		t.Fatalf("cleared point returned %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1", calls)
+	}
+}
+
+func TestDaemonFaultsHookRunsOutsideLock(t *testing.T) {
+	df := NewDaemonFaults()
+	df.Set(PointJournalAppend, func() error {
+		// Re-entering the registry from inside a hook must not deadlock.
+		df.Clear(PointJobStart)
+		return nil
+	})
+	done := make(chan struct{})
+	go func() {
+		df.At(PointJournalAppend)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-entrant hook deadlocked")
+	}
+}

@@ -60,6 +60,13 @@ func (c *Collector) expvarSnapshot() map[string]any {
 		"supersteps": steps,
 		"events":     events,
 	}
+	if len(c.gauges) > 0 {
+		gauges := make(map[string]int64, len(c.gauges))
+		for name, v := range c.gauges {
+			gauges[name] = v
+		}
+		snap["gauges"] = gauges
+	}
 	if len(c.links) > 0 {
 		links := map[string]any{}
 		for _, l := range c.links {
@@ -102,6 +109,10 @@ func (c *Collector) servePrometheus(w http.ResponseWriter, _ *http.Request) {
 	}
 	links := append([]LinkActivity(nil), c.links...)
 	integ := c.integ
+	gauges := make(map[string]int64, len(c.gauges))
+	for name, v := range c.gauges {
+		gauges[name] = v
+	}
 	c.mu.Unlock()
 
 	sort.Slice(rows, func(i, j int) bool {
@@ -178,6 +189,18 @@ func (c *Collector) servePrometheus(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "hetgraph_integrity_total{kind=\"stale_drops\"} %d\n", integ.StaleDrops)
 		fmt.Fprintf(w, "hetgraph_integrity_total{kind=\"retransmits\"} %d\n", integ.Retransmits)
 	}
+	if len(gauges) > 0 {
+		names := make([]string, 0, len(gauges))
+		for name := range gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "# HELP hetgraph_%s Live daemon gauge (see docs/observability.md).\n", name)
+			fmt.Fprintf(w, "# TYPE hetgraph_%s gauge\n", name)
+			fmt.Fprintf(w, "hetgraph_%s %d\n", name, gauges[name])
+		}
+	}
 }
 
 // DebugServer is an HTTP listener exposing the live observability endpoints
@@ -186,14 +209,25 @@ func (c *Collector) servePrometheus(w http.ResponseWriter, _ *http.Request) {
 //	/debug/pprof/...   net/http/pprof profiles (CPU, heap, goroutine, trace)
 //	/debug/vars        expvar JSON, including the "hetgraph" live counters
 //	/metrics           Prometheus text exposition of the same counters
+//
+// Each server's /metrics reads its own collector, so several embedded
+// servers (hetgraph-serve plus tests, or repeated runs in one process) can
+// coexist without clobbering each other; only the process-global expvar
+// "hetgraph" variable — which cannot be re-registered — indirects through
+// the most recently started server's collector.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+	col *Collector
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // StartDebugServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
 // port) and serves the debug endpoints, reading live counters from col. It
-// returns immediately; the server runs until Close.
+// returns immediately; the server runs until Close. Use Addr for the bound
+// address when addr asked for an ephemeral port.
 func StartDebugServer(addr string, col *Collector) (*DebugServer, error) {
 	if col == nil {
 		return nil, ErrNoCollector
@@ -207,19 +241,14 @@ func StartDebugServer(addr string, col *Collector) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		c := liveCollector.Load()
-		if c == nil {
-			http.Error(w, ErrNoCollector.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		c.servePrometheus(w, r)
-	})
+	// Serve this server's collector, not the global liveCollector — two
+	// embedded servers with different collectors must not interfere.
+	mux.HandleFunc("/metrics", col.servePrometheus)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: debug listener: %w", err)
 	}
-	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}, col: col}
 	go ds.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return ds, nil
 }
@@ -227,5 +256,12 @@ func StartDebugServer(addr string, col *Collector) (*DebugServer, error) {
 // Addr returns the server's actual listen address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the listener.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Collector returns the collector this server reads from.
+func (d *DebugServer) Collector() *Collector { return d.col }
+
+// Close stops the listener and in-flight handlers. Idempotent: repeated
+// calls return the first close's error.
+func (d *DebugServer) Close() error {
+	d.closeOnce.Do(func() { d.closeErr = d.srv.Close() })
+	return d.closeErr
+}

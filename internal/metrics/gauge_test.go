@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCollectorGauges(t *testing.T) {
+	c := NewCollector()
+	c.SetGauge("jobs_queued", 3)
+	c.SetGauge("jobs_queued", 5) // set overwrites
+	if got := c.AddGauge("jobs_shed_total", 2); got != 2 {
+		t.Fatalf("AddGauge returned %d, want 2", got)
+	}
+	c.AddGauge("jobs_shed_total", 1)
+	g := c.Gauges()
+	if g["jobs_queued"] != 5 || g["jobs_shed_total"] != 3 {
+		t.Fatalf("gauges = %v, want jobs_queued=5 jobs_shed_total=3", g)
+	}
+	// The returned map is a copy: mutating it must not touch the collector.
+	g["jobs_queued"] = 99
+	if c.Gauges()["jobs_queued"] != 5 {
+		t.Fatal("Gauges() exposed the collector's internal map")
+	}
+	// Collector satisfies the optional interface the serve daemon asserts.
+	var _ GaugeRecorder = c
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestDebugServerGaugesExported(t *testing.T) {
+	c := NewCollector()
+	c.SetGauge("jobs_running", 2)
+	ds, err := StartDebugServer("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	prom := getBody(t, "http://"+ds.Addr()+"/metrics")
+	for _, want := range []string{
+		"# TYPE hetgraph_jobs_running gauge",
+		"hetgraph_jobs_running 2",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+	vars := getBody(t, "http://"+ds.Addr()+"/debug/vars")
+	if !strings.Contains(vars, `"jobs_running"`) {
+		t.Fatalf("/debug/vars missing gauges section:\n%.400s", vars)
+	}
+}
+
+// TestDebugServerEmbeddable is the regression test for embedding the debug
+// server in a daemon: two servers in one process must each serve their own
+// collector's /metrics (not a shared global), and Close must be idempotent
+// and actually free the listener.
+func TestDebugServerEmbeddable(t *testing.T) {
+	c1 := NewCollector()
+	c1.RecordPhase(PhaseSample{Device: "CPU", Rank: 0, Superstep: 0, Phase: PhaseGenerate, WallNS: 1000, SimSeconds: 1, Events: 1})
+	c2 := NewCollector()
+	c2.SetGauge("jobs_queued", 7)
+
+	ds1, err := StartDebugServer("127.0.0.1:0", c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds1.Close()
+	ds2, err := StartDebugServer("127.0.0.1:0", c2)
+	if err != nil {
+		t.Fatalf("second debug server in one process: %v", err)
+	}
+
+	m1 := getBody(t, "http://"+ds1.Addr()+"/metrics")
+	m2 := getBody(t, "http://"+ds2.Addr()+"/metrics")
+	if !strings.Contains(m1, `hetgraph_phase_events_total{device="CPU",phase="generate"} 1`) {
+		t.Fatalf("server 1 /metrics missing its own collector's phases:\n%s", m1)
+	}
+	if strings.Contains(m1, "hetgraph_jobs_queued") {
+		t.Fatal("server 1 /metrics leaked server 2's gauges (global collector bug)")
+	}
+	if !strings.Contains(m2, "hetgraph_jobs_queued 7") {
+		t.Fatalf("server 2 /metrics missing its own collector's gauges:\n%s", m2)
+	}
+	if ds1.Collector() != c1 || ds2.Collector() != c2 {
+		t.Fatal("Collector() does not return the server's own collector")
+	}
+
+	if err := ds2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds2.Close(); err != nil {
+		t.Fatalf("second Close: %v, want idempotent nil", err)
+	}
+	if _, err := http.Get("http://" + ds2.Addr() + "/metrics"); err == nil {
+		t.Fatal("closed debug server still accepting connections")
+	}
+}

@@ -76,6 +76,31 @@ const (
 	EventPartitioned = "partitioned"
 )
 
+// Job-lifecycle event kinds emitted by the serve daemon (see internal/serve
+// and docs/serving.md). Rank is -1 on all of them; Detail carries the job ID.
+const (
+	// EventJobAdmitted is a job accepted into the bounded queue.
+	EventJobAdmitted = "job-admitted"
+	// EventJobShed is a submission rejected by admission control (queue
+	// full, tenant over its concurrency limit, or the daemon draining).
+	EventJobShed = "job-shed"
+	// EventJobStarted is a worker beginning a job attempt.
+	EventJobStarted = "job-started"
+	// EventJobRetried is a job re-attempted after a retryable typed error.
+	EventJobRetried = "job-retried"
+	// EventJobResumed is a journaled in-flight job re-queued at daemon
+	// restart (it continues from its newest durable checkpoint).
+	EventJobResumed = "job-resumed"
+	// EventJobCompleted is a job finishing successfully.
+	EventJobCompleted = "job-completed"
+	// EventJobFailed is a job exhausting retries or failing permanently.
+	EventJobFailed = "job-failed"
+	// EventJobCanceled is a job canceled by the client or a deadline.
+	EventJobCanceled = "job-canceled"
+	// EventDrain is the daemon entering graceful drain.
+	EventDrain = "drain"
+)
+
 // PhaseSample is one phase of one superstep on one device, with both the
 // host wall-clock duration and the cost model's simulated device seconds.
 type PhaseSample struct {
@@ -148,6 +173,7 @@ type Collector struct {
 	eventKind map[string]int64
 	links     []LinkActivity
 	integ     IntegritySnapshot
+	gauges    map[string]int64
 }
 
 // NewCollector creates an empty collector.
@@ -156,6 +182,7 @@ func NewCollector() *Collector {
 		totals:    map[phaseKey]*phaseAgg{},
 		steps:     map[string]int64{},
 		eventKind: map[string]int64{},
+		gauges:    map[string]int64{},
 	}
 }
 
@@ -234,6 +261,34 @@ func (c *Collector) Links() []LinkActivity {
 		}
 		return out[i].To < out[j].To
 	})
+	return out
+}
+
+// SetGauge implements GaugeRecorder: it sets a named live gauge (queue
+// depth, running jobs, shed count) exported on /metrics and expvar. Gauge
+// names use snake_case; they surface verbatim as hetgraph_<name>.
+func (c *Collector) SetGauge(name string, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauges[name] = v
+}
+
+// AddGauge adjusts a named live gauge by delta and returns the new value.
+func (c *Collector) AddGauge(name string, delta int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauges[name] += delta
+	return c.gauges[name]
+}
+
+// Gauges returns a copy of the live gauges.
+func (c *Collector) Gauges() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.gauges))
+	for k, v := range c.gauges {
+		out[k] = v
+	}
 	return out
 }
 
@@ -383,6 +438,14 @@ type IntegritySnapshot struct {
 // unchanged.
 type LinkRecorder interface {
 	RecordLinks(links []LinkActivity, integ IntegritySnapshot)
+}
+
+// GaugeRecorder is an optional extension of Sink for live point-in-time
+// values (queue depth, running jobs) as opposed to the append-only samples
+// and events. Like LinkRecorder it is reached by type assertion, so plain
+// two-method Sink implementations keep working unchanged.
+type GaugeRecorder interface {
+	SetGauge(name string, v int64)
 }
 
 // RunReport is the versioned, machine-readable record of one run.

@@ -1,0 +1,49 @@
+package serve_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hetgraph/internal/serve"
+)
+
+// FuzzParseJobSpec hammers the daemon's untrusted-input boundary: whatever
+// bytes arrive on POST /jobs, ParseJobSpec must never panic, and every
+// rejection must be the typed *SpecError the HTTP layer maps to 400.
+func FuzzParseJobSpec(f *testing.F) {
+	f.Add([]byte(`{"algorithm":"pagerank","iterations":10}`))
+	f.Add([]byte(`{"algorithm":"bfs","source":3,"tenant":"team-a"}`))
+	f.Add([]byte(`{"algorithm":"quantum-annealing"}`))
+	f.Add([]byte(`{"algorithm":"sssp","source":-9223372036854775808}`))
+	f.Add([]byte(`{"algorithm":"cc","tenant":"` + strings.Repeat("x", 200) + `"}`))
+	f.Add([]byte(`{"algorithm":"cc","iterations":99999999999}`))
+	f.Add([]byte(`{"algorithm":"bfs","timeout_ms":-1}`))
+	f.Add([]byte(`{"algorithm":"bfs"}{"algorithm":"cc"}`))
+	f.Add([]byte(`{"algorithm":"bfs","rogue_field":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte("\x00\xff\xfe{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := serve.ParseJobSpec(data)
+		if err != nil {
+			var se *serve.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseJobSpec(%q) returned untyped error %T: %v", data, err, err)
+			}
+			return
+		}
+		// An accepted spec must be self-consistently valid: re-validation
+		// passes and the tenant default was applied.
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("accepted spec %+v fails its own Validate: %v", spec, verr)
+		}
+		if spec.Tenant == "" {
+			t.Fatalf("accepted spec %+v has no tenant", spec)
+		}
+		if spec.WorkloadFingerprint("sig") == "" {
+			t.Fatal("accepted spec produced an empty fingerprint")
+		}
+	})
+}

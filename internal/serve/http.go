@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs          submit a JobSpec  → 202 {"id": ...} (429 on shed)
+//	GET    /jobs          list job statuses
+//	GET    /jobs/{id}     one job's status (state, attempts, result, ...)
+//	POST   /jobs/{id}/cancel  cancel a queued or running job
+//	GET    /healthz       "ok" (200) or "draining" (503)
+//
+// Admission rejections surface as 429 with a Retry-After header; malformed
+// specs as 400 with the offending field; unknown jobs as 404. Mount it on
+// its own listener or as the debug mux's sibling.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	spec, err := ParseJobSpec(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		var adm *AdmissionRejectedError
+		if errors.As(err, &adm) {
+			w.Header().Set("Retry-After", strconv.Itoa(int((adm.RetryAfter.Seconds())+0.5)))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: adm.Error(), Reason: adm.Reason})
+			return
+		}
+		var serr *SpecError
+		if errors.As(err, &serr) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: serr.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.Status(job))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: (&JobNotFoundError{ID: id}).Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status(job))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	job, _ := s.Get(id)
+	writeJSON(w, http.StatusOK, s.Status(job))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

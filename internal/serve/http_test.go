@@ -1,0 +1,196 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hetgraph/internal/fault"
+	"hetgraph/internal/serve"
+)
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeHTTPLifecycle(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Submit: 202 with the job's status snapshot.
+	resp, body := postJSON(t, ts.URL+"/jobs", `{"algorithm":"pagerank","iterations":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Fingerprint == "" {
+		t.Fatalf("submit response missing id/fingerprint: %s", body)
+	}
+
+	// Poll until completed.
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != serve.StateCompleted {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if code := getJSON(t, ts.URL+"/jobs/"+st.ID, &st); code != http.StatusOK {
+			t.Fatalf("status poll returned %d", code)
+		}
+	}
+	if st.Result == nil || st.Result.ResultFingerprint == "" {
+		t.Fatal("completed status has no result fingerprint")
+	}
+
+	// List includes it.
+	var list struct {
+		Jobs []serve.JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/jobs", &list); code != http.StatusOK || len(list.Jobs) != 1 {
+		t.Fatalf("list: code %d jobs %d", code, len(list.Jobs))
+	}
+
+	// Health is green.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz %d", code)
+	}
+}
+
+func TestServeHTTPErrors(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`not json at all`,
+		`{"algorithm":"quantum"}`,
+		`{"algorithm":"bfs","source":-2}`,
+		`{"algorithm":"bfs","unknown_field":1}`,
+		`{"algorithm":"bfs"}{"trailing":"object"}`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d (%s), want 400", body, resp.StatusCode, b)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/jobs/j99999999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", code)
+	}
+	resp, _ := postJSON(t, ts.URL+"/jobs/j99999999/cancel", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cancel status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeHTTPOverloadIs429(t *testing.T) {
+	release := make(chan struct{})
+	faults := fault.NewDaemonFaults()
+	faults.Set(fault.PointJobStart, func() error {
+		<-release
+		return nil
+	})
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.Faults = faults
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(release); srv.Close() }()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Park one job in the worker, queue one, then overflow.
+	for i, want := range []int{http.StatusAccepted, http.StatusAccepted, http.StatusTooManyRequests} {
+		resp, body := postJSON(t, ts.URL+"/jobs",
+			`{"algorithm":"pagerank","iterations":`+string(rune('2'+i))+`}`)
+		if i == 0 {
+			// Wait for the first job to leave the queue for the worker.
+			deadline := time.Now().Add(30 * time.Second)
+			var st serve.JobStatus
+			json.Unmarshal(body, &st)
+			for srv.Status(mustGet(t, srv, st.ID)).State != serve.StateRunning {
+				if time.Now().After(deadline) {
+					t.Fatal("first job never started")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("submit %d: status %d (%s), want %d", i, resp.StatusCode, body, want)
+		}
+		if want == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without a Retry-After header")
+		}
+	}
+}
+
+func mustGet(t *testing.T, srv *serve.Server, id string) *serve.Job {
+	t.Helper()
+	job, ok := srv.Get(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	return job
+}
+
+func TestServeHTTPDrainingHealthAndShed(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if err := srv.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz %d, want 503", code)
+	}
+	resp, _ := postJSON(t, ts.URL+"/jobs", `{"algorithm":"cc"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("draining submit %d, want 429", resp.StatusCode)
+	}
+}

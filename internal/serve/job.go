@@ -1,0 +1,223 @@
+// Package serve is the daemon layer of hetgraph: it holds one loaded,
+// partitioned graph resident in memory and executes concurrent analytics
+// jobs against it over HTTP/JSON. The robustness contract is the point —
+// bounded admission (typed AdmissionRejectedError, never unbounded
+// buffering), per-job wall deadlines and cancellation through Options.Abort,
+// capped-backoff retry for retryable typed errors, a durable CRC-verified
+// job journal so a kill -9'd daemon resumes in-flight jobs from their newest
+// checkpoint, and graceful drain on SIGTERM. See docs/serving.md.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Algorithms servable by the daemon: exactly the bundled apps that implement
+// checkpoint.Snapshotter, since every served job must be checkpointable for
+// crash recovery.
+const (
+	AlgoPageRank = "pagerank"
+	AlgoBFS      = "bfs"
+	AlgoSSSP     = "sssp"
+	AlgoCC       = "cc"
+)
+
+// Spec limits enforced by ParseJobSpec on untrusted input.
+const (
+	// MaxSpecBytes bounds the JSON body of a job submission.
+	MaxSpecBytes = 1 << 16
+	// MaxTenantLen bounds the tenant identifier.
+	MaxTenantLen = 64
+	// MaxIterations bounds a job's requested iteration count.
+	MaxIterations = 1_000_000
+	// DefaultTenant is used when a spec names no tenant.
+	DefaultTenant = "default"
+)
+
+// JobSpec is the client-supplied description of one job, decoded from the
+// POST /jobs body.
+type JobSpec struct {
+	// Algorithm is one of the Algo* constants.
+	Algorithm string `json:"algorithm"`
+	// Source is the source vertex for bfs/sssp (ignored by pagerank/cc).
+	Source int64 `json:"source,omitempty"`
+	// Iterations bounds the run (0 = algorithm default: 10 for pagerank,
+	// converge for the rest).
+	Iterations int `json:"iterations,omitempty"`
+	// Tenant attributes the job for per-tenant admission limits (empty =
+	// DefaultTenant).
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMS is the job's wall deadline in milliseconds (0 = the
+	// server's default; capped admission-side, enforced via Options.Abort).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SpecError reports a malformed or out-of-range job spec (HTTP 400).
+type SpecError struct {
+	// Field names the offending field ("algorithm", "source", ...; "body"
+	// for JSON-level problems).
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("serve: invalid job spec: %s: %s", e.Field, e.Reason)
+}
+
+// ParseJobSpec decodes and validates a job spec from untrusted JSON. It
+// rejects oversized bodies, unknown fields, trailing data, unknown
+// algorithms, negative or absurd sources/iterations/timeouts, and oversized
+// tenant IDs — everything the FuzzParseJobSpec fuzzer throws at it must
+// come back as a *SpecError, never a panic.
+func ParseJobSpec(data []byte) (JobSpec, error) {
+	var spec JobSpec
+	if len(data) > MaxSpecBytes {
+		return spec, &SpecError{Field: "body", Reason: fmt.Sprintf("%d bytes exceeds %d", len(data), MaxSpecBytes)}
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, &SpecError{Field: "body", Reason: err.Error()}
+	}
+	if dec.More() {
+		return JobSpec{}, &SpecError{Field: "body", Reason: "trailing data after the JSON object"}
+	}
+	if err := spec.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = DefaultTenant
+	}
+	return spec, nil
+}
+
+// Validate checks the spec's fields against the daemon's limits.
+func (s JobSpec) Validate() error {
+	switch s.Algorithm {
+	case AlgoPageRank, AlgoBFS, AlgoSSSP, AlgoCC:
+	case "":
+		return &SpecError{Field: "algorithm", Reason: "required (pagerank | bfs | sssp | cc)"}
+	default:
+		return &SpecError{Field: "algorithm", Reason: fmt.Sprintf("unknown algorithm %q (want pagerank | bfs | sssp | cc)", s.Algorithm)}
+	}
+	if s.Source < 0 {
+		return &SpecError{Field: "source", Reason: fmt.Sprintf("%d < 0", s.Source)}
+	}
+	if s.Iterations < 0 || s.Iterations > MaxIterations {
+		return &SpecError{Field: "iterations", Reason: fmt.Sprintf("%d outside [0, %d]", s.Iterations, MaxIterations)}
+	}
+	if len(s.Tenant) > MaxTenantLen {
+		return &SpecError{Field: "tenant", Reason: fmt.Sprintf("%d bytes exceeds %d", len(s.Tenant), MaxTenantLen)}
+	}
+	for _, r := range s.Tenant {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.') {
+			return &SpecError{Field: "tenant", Reason: fmt.Sprintf("character %q outside [a-zA-Z0-9._-]", r)}
+		}
+	}
+	if s.TimeoutMS < 0 {
+		return &SpecError{Field: "timeout_ms", Reason: fmt.Sprintf("%d < 0", s.TimeoutMS)}
+	}
+	return nil
+}
+
+// WorkloadFingerprint is the result-cache key: an FNV-1a hash over the
+// graph signature and every result-determining spec field (tenant and
+// timeout excluded — they do not change the answer). Two jobs with equal
+// fingerprints compute the same deterministic result, which is also what
+// the crash-recovery smoke asserts across a kill -9.
+func (s JobSpec) WorkloadFingerprint(graphSig string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", graphSig, s.Algorithm, s.Source, s.Iterations)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Job states, in lifecycle order. Queued and running jobs survive a crash:
+// the journal replays them and the daemon re-queues them (resuming from the
+// newest durable checkpoint when one exists).
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+)
+
+// AdmissionRejectedError reports a submission refused by admission control;
+// the HTTP layer surfaces it as 429 with a Retry-After header. Reasons:
+// "queue-full", "tenant-limit", "draining".
+type AdmissionRejectedError struct {
+	// Reason is the admission rule that rejected the job.
+	Reason string
+	// Tenant is the submitting tenant.
+	Tenant string
+	// RetryAfter is the suggested backoff before resubmitting.
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionRejectedError) Error() string {
+	return fmt.Sprintf("serve: admission rejected for tenant %q: %s (retry after %s)", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// JobNotFoundError reports an unknown job ID (HTTP 404).
+type JobNotFoundError struct{ ID string }
+
+func (e *JobNotFoundError) Error() string { return fmt.Sprintf("serve: no job %q", e.ID) }
+
+// DeadlineExceededError reports a job aborted by its wall deadline.
+type DeadlineExceededError struct {
+	// ID is the job.
+	ID string
+	// Timeout is the deadline that expired.
+	Timeout time.Duration
+}
+
+func (e *DeadlineExceededError) Error() string {
+	return fmt.Sprintf("serve: job %s exceeded its %s deadline", e.ID, e.Timeout)
+}
+
+// JobStatus is the JSON snapshot of one job served by GET /jobs/{id}.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Fingerprint is the workload fingerprint (the result-cache key).
+	Fingerprint string `json:"fingerprint"`
+	// Attempts counts started executions (retries included).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed is true when the job was re-queued from the journal after a
+	// daemon restart.
+	Resumed bool `json:"resumed,omitempty"`
+	// Cached is true when the result came from the fingerprint cache
+	// without running the engine.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the terminal error of a failed or canceled job.
+	Error string `json:"error,omitempty"`
+	// Result summarizes a completed run.
+	Result *JobResult `json:"result,omitempty"`
+	// Checkpoints is the number of durable checkpoint generations the job
+	// has committed (its crash-recovery budget).
+	Checkpoints       int   `json:"checkpoints,omitempty"`
+	SubmittedUnixNano int64 `json:"submitted_unix_nano,omitempty"`
+	FinishedUnixNano  int64 `json:"finished_unix_nano,omitempty"`
+}
+
+// JobResult summarizes a completed job.
+type JobResult struct {
+	// ResultFingerprint is an FNV-1a hash of the application's final vertex
+	// state — runs of the same workload are byte-deterministic, so equal
+	// fingerprints mean byte-identical results (the crash-recovery
+	// invariant is asserted on this value).
+	ResultFingerprint string  `json:"result_fingerprint"`
+	Iterations        int64   `json:"iterations"`
+	Converged         bool    `json:"converged"`
+	SimSeconds        float64 `json:"sim_seconds"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	// Degraded/DiskResumed echo the engine's robustness outcome.
+	Degraded    bool `json:"degraded,omitempty"`
+	DiskResumed bool `json:"disk_resumed,omitempty"`
+}

@@ -1,0 +1,144 @@
+package serve_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"hetgraph/internal/fault"
+	"hetgraph/internal/serve"
+)
+
+// TestServeOverloadShedsTyped drives the daemon into overload with parked
+// workers, asserting the ISSUE's admission contract: bounded queueing with
+// typed AdmissionRejectedError (never unbounded buffering), per-tenant caps,
+// zero goroutine growth after the storm drains, and no hang — the whole test
+// runs under a deadline guard in the chaos-test style.
+func TestServeOverloadShedsTyped(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		overloadScenario(t)
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("overload scenario hung past the deadline guard")
+	}
+}
+
+func overloadScenario(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	faults := fault.NewDaemonFaults()
+	faults.Set(fault.PointJobStart, func() error {
+		<-release
+		return nil
+	})
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	cfg.TenantLimit = 2
+	cfg.Faults = faults
+	cfg.RetryAfterHint = 3 * time.Second
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One job parks in the worker; its distinct iteration counts keep each
+	// spec out of the result cache.
+	parked, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 1, Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, parked, serve.StateRunning)
+
+	// Tenant "a" holds 1 running + 1 queued = its limit of 2; one more from
+	// "a" trips the per-tenant cap.
+	fillA, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 2, Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 50, Tenant: "a"})
+	assertShed(t, err, "tenant-limit")
+
+	// Tenant "b" tops the queue up to its global bound of 2, then hits it.
+	fillB, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 3, Tenant: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := []*serve.Job{fillA, fillB}
+	_, err = srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 51, Tenant: "b"})
+	assertShed(t, err, "queue-full")
+
+	// A rejection storm must not grow memory or goroutines: nothing about a
+	// shed submission allocates per-job state.
+	for i := 0; i < 50; i++ {
+		if _, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 60 + i, Tenant: "b"}); err == nil {
+			t.Fatal("overloaded daemon admitted a job")
+		}
+	}
+	if got := srv.Shed(); got != 52 {
+		t.Fatalf("shed counter %d, want 52", got)
+	}
+	during := runtime.NumGoroutine()
+	if during > before+10 {
+		t.Fatalf("goroutines grew from %d to %d during the rejection storm", before, during)
+	}
+
+	// Release the workers: everything admitted completes, nothing hangs.
+	close(release)
+	waitDone(t, parked)
+	for _, job := range queued {
+		waitDone(t, job)
+	}
+	for _, job := range append(queued, parked) {
+		if st := srv.Status(job); st.State != serve.StateCompleted {
+			t.Fatalf("admitted job %s ended %q (error %q)", st.ID, st.State, st.Error)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the drain the goroutine count settles back to the baseline.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func waitState(t *testing.T, srv *serve.Server, job *serve.Job, state string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for srv.Status(job).State != state {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %q (now %q)", job.ID(), state, srv.Status(job).State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func assertShed(t *testing.T, err error, reason string) {
+	t.Helper()
+	var adm *serve.AdmissionRejectedError
+	if !errors.As(err, &adm) {
+		t.Fatalf("overload error %v, want *AdmissionRejectedError", err)
+	}
+	if adm.Reason != reason {
+		t.Fatalf("shed reason %q, want %q", adm.Reason, reason)
+	}
+	if adm.RetryAfter <= 0 {
+		t.Fatal("shed response carries no Retry-After hint")
+	}
+}

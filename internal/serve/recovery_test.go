@@ -1,0 +1,192 @@
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"hetgraph/internal/serve"
+)
+
+// baselineFingerprint runs the spec uninterrupted on its own state dir and
+// returns the result fingerprint — the ground truth the recovery tests
+// compare against. Only deterministic algorithms (min-combining bfs, sssp,
+// cc) make this a meaningful oracle: PageRank's float32 sums vary with
+// message insertion order, so even two uninterrupted runs disagree.
+func baselineFingerprint(t *testing.T, spec serve.JobSpec) string {
+	t.Helper()
+	srv, err := serve.New(fastConfig(t, recoveryGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	st := srv.Status(job)
+	if st.State != serve.StateCompleted {
+		t.Fatalf("baseline run state %q (error %q)", st.State, st.Error)
+	}
+	return st.Result.ResultFingerprint
+}
+
+// TestServeCrashRecoveryResumesAndMatches is the PR's core invariant: a
+// daemon killed cold mid-job restarts on the same state dir, replays the
+// journal, resumes the job from its newest durable checkpoint, and produces
+// a result byte-identical to an uninterrupted run.
+func TestServeCrashRecoveryResumesAndMatches(t *testing.T) {
+	spec := serve.JobSpec{Algorithm: serve.AlgoSSSP}
+	want := baselineFingerprint(t, spec)
+
+	cfg := fastConfig(t, recoveryGraph(t))
+	stateDir := cfg.StateDir
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the run commit real progress before pulling the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	for srv.Status(job).Checkpoints < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never committed two checkpoint generations")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Crash()
+	select {
+	case <-job.Done():
+		t.Fatal("crash closed the job's Done channel; a killed daemon acknowledges nothing")
+	default:
+	}
+
+	// A new daemon on the same state dir replays the journal and finishes
+	// the job.
+	cfg2 := fastConfig(t, recoveryGraph(t))
+	cfg2.StateDir = stateDir
+	srv2, err := serve.New(cfg2)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer srv2.Close()
+	revived, ok := srv2.Get(job.ID())
+	if !ok {
+		t.Fatalf("job %s lost across the crash", job.ID())
+	}
+	waitDone(t, revived)
+	st := srv2.Status(revived)
+	if st.State != serve.StateCompleted {
+		t.Fatalf("resumed job state %q (error %q), want completed", st.State, st.Error)
+	}
+	if !st.Resumed {
+		t.Fatal("job does not report Resumed after the restart")
+	}
+	if !st.Result.DiskResumed {
+		t.Fatal("resumed job re-ran from scratch instead of loading the durable checkpoint")
+	}
+	if st.Result.ResultFingerprint != want {
+		t.Fatalf("recovered fingerprint %s != uninterrupted baseline %s", st.Result.ResultFingerprint, want)
+	}
+}
+
+// TestServeCompletedJobsSurviveRestart: terminal jobs replay as servable
+// history and feed the result cache, so a restart serves them without
+// recomputation.
+func TestServeCompletedJobsSurviveRestart(t *testing.T) {
+	spec := serve.JobSpec{Algorithm: serve.AlgoBFS, Source: 3}
+	cfg := fastConfig(t, serveGraph(t))
+	stateDir := cfg.StateDir
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	want := srv.Status(job).Result.ResultFingerprint
+	srv.Crash() // even a cold kill preserves the completed record
+
+	cfg2 := fastConfig(t, serveGraph(t))
+	cfg2.StateDir = stateDir
+	srv2, err := serve.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	old, ok := srv2.Get(job.ID())
+	if !ok {
+		t.Fatal("completed job forgotten across restart")
+	}
+	if st := srv2.Status(old); st.State != serve.StateCompleted || st.Result.ResultFingerprint != want {
+		t.Fatalf("replayed job state %q fingerprint %q, want completed/%s", st.State, st.Result.ResultFingerprint, want)
+	}
+	// And the cache: resubmitting is instant.
+	hit, err := srv2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, hit)
+	if st := srv2.Status(hit); !st.Cached || st.Result.ResultFingerprint != want {
+		t.Fatalf("restarted daemon recomputed a cached workload (cached=%v fp=%s)", st.Cached, st.Result.ResultFingerprint)
+	}
+}
+
+// TestServeDrainCheckpointsStragglersForResume: a graceful drain with no
+// grace aborts in-flight jobs at a superstep boundary, journals them
+// interrupted, and the next daemon resumes them to the same answer.
+func TestServeDrainCheckpointsStragglersForResume(t *testing.T) {
+	spec := serve.JobSpec{Algorithm: serve.AlgoSSSP}
+	want := baselineFingerprint(t, spec)
+
+	cfg := fastConfig(t, recoveryGraph(t))
+	stateDir := cfg.StateDir
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for srv.Status(job).Checkpoints < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never committed two checkpoint generations")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Drain(0); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !srv.Draining() {
+		t.Fatal("server does not report draining")
+	}
+	// Draining daemons shed everything.
+	if _, err := srv.Submit(spec); err == nil {
+		t.Fatal("draining daemon admitted a job")
+	}
+
+	cfg2 := fastConfig(t, recoveryGraph(t))
+	cfg2.StateDir = stateDir
+	srv2, err := serve.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	revived, ok := srv2.Get(job.ID())
+	if !ok {
+		t.Fatal("interrupted job lost across the drain")
+	}
+	waitDone(t, revived)
+	st := srv2.Status(revived)
+	if st.State != serve.StateCompleted || st.Result.ResultFingerprint != want {
+		t.Fatalf("drain-resumed job: state %q fingerprint %q, want completed/%s (error %q)",
+			st.State, st.Result.ResultFingerprint, want, st.Error)
+	}
+}

@@ -1,0 +1,925 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/checkpoint"
+	"hetgraph/internal/comm"
+	"hetgraph/internal/core"
+	"hetgraph/internal/fault"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/machine"
+	"hetgraph/internal/metrics"
+	"hetgraph/internal/partition"
+)
+
+// Config configures a Server. Graph and StateDir are required; everything
+// else has a serving-safe default.
+type Config struct {
+	// Graph is the resident graph every job runs against.
+	Graph *graph.CSR
+	// GraphPath labels the graph in fingerprints and status output.
+	GraphPath string
+	// Assign maps each vertex to a rank (nil = continuous partition
+	// weighted by each device's thread count).
+	Assign []int32
+	// Devices is the device group jobs execute on (nil = the classic
+	// CPU+MIC pair).
+	Devices []machine.DeviceSpec
+	// StateDir holds the job journal and each job's durable checkpoint
+	// store; a daemon restarted on the same StateDir resumes its jobs.
+	StateDir string
+	// CheckpointEvery is the superstep checkpoint cadence for served jobs
+	// (0 = every superstep, the crash-recovery default).
+	CheckpointEvery int
+	// CheckpointRetain bounds each job's on-disk generations (0 = default).
+	CheckpointRetain int
+	// QueueDepth bounds the job queue; submissions past it are shed with a
+	// typed AdmissionRejectedError (0 = 8). Admission never buffers beyond
+	// this bound.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently (0 = 2).
+	Workers int
+	// TenantLimit bounds one tenant's queued+running jobs (0 = 4).
+	TenantLimit int
+	// DefaultTimeout is the wall deadline applied to jobs that specify no
+	// timeout_ms (0 = unbounded).
+	DefaultTimeout time.Duration
+	// MaxRetries is how many times a job failing with a retryable typed
+	// error (DeviceFailedError, StoreError) is re-attempted with capped
+	// backoff before failing for good (0 = 2; -1 = never retry).
+	MaxRetries int
+	// RetryBase is the first retry's backoff, doubling per attempt up to
+	// RetryCap (0 = 50ms).
+	RetryBase time.Duration
+	// RetryCap caps the backoff (0 = 2s).
+	RetryCap time.Duration
+	// RetryAfterHint is the Retry-After suggestion attached to admission
+	// rejections (0 = 1s).
+	RetryAfterHint time.Duration
+	// Metrics, when non-nil, receives job-lifecycle events and engine phase
+	// samples; a sink that also implements metrics.GaugeRecorder gets live
+	// queue-depth/running/shed gauges.
+	Metrics metrics.Sink
+	// Faults, when non-nil, interposes daemon-level chaos hooks on the job
+	// lifecycle (see fault.Point*).
+	Faults *fault.DaemonFaults
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.TenantLimit == 0 {
+		c.TenantLimit = 4
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap == 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	if c.RetryAfterHint == 0 {
+		c.RetryAfterHint = time.Second
+	}
+	if len(c.Devices) == 0 {
+		c.Devices = []machine.DeviceSpec{machine.CPU(), machine.MIC()}
+	}
+	return c
+}
+
+// Job is one submitted computation tracked by the server.
+type Job struct {
+	id   string
+	spec JobSpec
+	fp   string // workload fingerprint (result-cache key)
+	dir  string // durable checkpoint store for this job
+	ctl  *core.AbortController
+	done chan struct{} // closed at terminal state
+
+	mu        sync.Mutex
+	state     string
+	attempts  int
+	resumed   bool
+	cached    bool
+	abortWhy  string // "cancel" | "deadline" | "drain" | "crash"
+	errText   string
+	result    *JobResult
+	submitted int64
+	finished  int64
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// abortWith records why the job is being aborted (first reason wins) and
+// closes its abort channel.
+func (j *Job) abortWith(why string) {
+	j.mu.Lock()
+	if j.abortWhy == "" {
+		j.abortWhy = why
+	}
+	j.mu.Unlock()
+	j.ctl.Abort()
+}
+
+func (j *Job) abortReason() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.abortWhy
+}
+
+// journalRecord is one durable job-journal entry (JSON payload inside the
+// CRC-framed journal). Spec rides on "queued" records; Result on
+// "completed" ones, so a restarted daemon can serve finished jobs without
+// recomputing.
+type journalRecord struct {
+	ID       string     `json:"id"`
+	State    string     `json:"state"` // queued|running|interrupted|completed|failed|canceled
+	Spec     *JobSpec   `json:"spec,omitempty"`
+	Attempt  int        `json:"attempt,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	UnixNano int64      `json:"unix_nano"`
+}
+
+// stateInterrupted is a journal-only state: the job was checkpointed and
+// abandoned mid-run by a graceful drain (or an in-process crash); replay
+// re-queues it like "running".
+const stateInterrupted = "interrupted"
+
+// Server is the resident-graph job daemon. Create with New, submit with
+// Submit (or the HTTP handler from Handler), stop with Drain or Close.
+type Server struct {
+	cfg      Config
+	graphSig string
+	assign   []int32
+	journal  *checkpoint.Journal
+
+	queue    chan *Job
+	stopPull chan struct{}
+	wg       sync.WaitGroup
+	pullOnce sync.Once
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   uint64
+	queued   int
+	running  int
+	shed     int64
+	resumedN int64
+	tenants  map[string]int
+	cache    map[string]*JobResult
+	draining bool
+	crashed  bool
+}
+
+// New builds a server: it partitions the graph if no assignment was given,
+// opens (and replays) the job journal under StateDir, re-queues every job
+// that was queued or in flight when the previous process died, and starts
+// the worker pool. Completed jobs replay into the result cache so their
+// status — including the result fingerprint — survives the restart.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("serve: Config.Graph is required")
+	}
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Config.StateDir is required")
+	}
+	cfg = cfg.withDefaults()
+	assign := cfg.Assign
+	if assign == nil {
+		weights := make([]int, len(cfg.Devices))
+		for i, d := range cfg.Devices {
+			weights[i] = d.Threads()
+		}
+		var err error
+		assign, err = partition.MakeN(partition.MethodContinuous, cfg.Graph, weights)
+		if err != nil {
+			return nil, fmt.Errorf("serve: partitioning the resident graph: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		graphSig: graphSignature(cfg.GraphPath, cfg.Graph),
+		assign:   assign,
+		stopPull: make(chan struct{}),
+		jobs:     map[string]*Job{},
+		tenants:  map[string]int{},
+		cache:    map[string]*JobResult{},
+	}
+	j, err := checkpoint.OpenJournal(cfg.StateDir, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	pending, err := s.replay()
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	s.queue = make(chan *Job, cfg.QueueDepth+len(pending))
+	for _, job := range pending {
+		s.queue <- job
+	}
+	s.publishGauges()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// graphSignature fingerprints the resident graph for the workload cache key.
+func graphSignature(path string, g *graph.CSR) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%v", path, g.NumVertices(), g.NumEdges(), g.Weighted())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// replay folds the journal into job objects: terminal jobs become
+// status-servable history (completed ones feed the result cache), pending
+// ones are re-queued for execution with Resumed set. It then compacts the
+// journal to one queued record plus at most one terminal record per job.
+func (s *Server) replay() ([]*Job, error) {
+	type folded struct {
+		spec     *JobSpec
+		state    string
+		result   *JobResult
+		errText  string
+		attempts int
+		first    int64
+		last     int64
+	}
+	byID := map[string]*folded{}
+	var ids []string
+	for _, raw := range s.journal.Records() {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.ID == "" {
+			continue // skip undecodable records; the frame CRC already passed, so this is schema drift, not corruption
+		}
+		f := byID[rec.ID]
+		if f == nil {
+			f = &folded{first: rec.UnixNano}
+			byID[rec.ID] = f
+			ids = append(ids, rec.ID)
+		}
+		if rec.Spec != nil {
+			f.spec = rec.Spec
+		}
+		if rec.State != "" {
+			f.state = rec.State
+		}
+		if rec.Attempt > f.attempts {
+			f.attempts = rec.Attempt
+		}
+		if rec.Result != nil {
+			f.result = rec.Result
+		}
+		if rec.Error != "" {
+			f.errText = rec.Error
+		}
+		f.last = rec.UnixNano
+	}
+	sort.Strings(ids)
+	var pending []*Job
+	var compacted [][]byte
+	for _, id := range ids {
+		f := byID[id]
+		if f.spec == nil {
+			continue // a job without its queued record is unrecoverable
+		}
+		if n := idNumber(id); n >= s.nextID {
+			s.nextID = n + 1
+		}
+		job := &Job{
+			id:        id,
+			spec:      *f.spec,
+			fp:        f.spec.WorkloadFingerprint(s.graphSig),
+			dir:       s.jobDir(id),
+			ctl:       core.NewAbortController(),
+			done:      make(chan struct{}),
+			attempts:  f.attempts,
+			submitted: f.first,
+		}
+		queuedRec := journalRecord{ID: id, State: StateQueued, Spec: f.spec, UnixNano: f.first}
+		qb, _ := json.Marshal(queuedRec)
+		compacted = append(compacted, qb)
+		switch f.state {
+		case StateCompleted, StateFailed, StateCanceled:
+			job.state = f.state
+			job.result = f.result
+			job.errText = f.errText
+			job.finished = f.last
+			close(job.done)
+			if f.state == StateCompleted && f.result != nil {
+				s.cache[job.fp] = f.result
+			}
+			term := journalRecord{ID: id, State: f.state, Attempt: f.attempts, Result: f.result, Error: f.errText, UnixNano: f.last}
+			tb, _ := json.Marshal(term)
+			compacted = append(compacted, tb)
+		default: // queued, running, interrupted: resume
+			job.state = StateQueued
+			job.resumed = true
+			s.queued++
+			s.resumedN++
+			s.tenants[job.spec.Tenant]++
+			pending = append(pending, job)
+			s.event(metrics.EventJobResumed, id)
+		}
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+	}
+	if err := s.journal.Compact(compacted); err != nil {
+		return nil, err
+	}
+	return pending, nil
+}
+
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.StateDir, "jobs", id)
+}
+
+func idNumber(id string) uint64 {
+	var n uint64
+	fmt.Sscanf(id, "j%d", &n)
+	return n
+}
+
+// Submit admits a job (or rejects it with a typed error): the spec is
+// validated, the result cache is consulted, admission control checks the
+// queue-depth and per-tenant bounds, the queued record is made durable, and
+// only then is the job enqueued. The returned Job's Done channel closes at
+// its terminal state.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if spec.Tenant == "" {
+		spec.Tenant = DefaultTenant
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if v := int64(s.cfg.Graph.NumVertices()); spec.Source >= v {
+		return nil, &SpecError{Field: "source", Reason: fmt.Sprintf("%d outside the graph's %d vertices", spec.Source, v)}
+	}
+	fp := spec.WorkloadFingerprint(s.graphSig)
+	now := time.Now().UnixNano()
+
+	s.mu.Lock()
+	if s.draining || s.crashed {
+		s.shed++
+		s.publishGaugesLocked()
+		s.mu.Unlock()
+		s.event(metrics.EventJobShed, spec.Tenant+"/draining")
+		return nil, &AdmissionRejectedError{Reason: "draining", Tenant: spec.Tenant, RetryAfter: s.cfg.RetryAfterHint}
+	}
+	if cached, ok := s.cache[fp]; ok {
+		job := s.newJobLocked(spec, fp, now)
+		job.state = StateCompleted
+		job.cached = true
+		job.result = cached
+		job.finished = now
+		rec := journalRecord{ID: job.id, State: StateQueued, Spec: &spec, UnixNano: now}
+		term := journalRecord{ID: job.id, State: StateCompleted, Result: cached, UnixNano: now}
+		if err := s.logLocked(rec); err == nil {
+			s.logLocked(term) // best-effort: the cache hit is re-derivable
+		}
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		close(job.done)
+		s.mu.Unlock()
+		s.event(metrics.EventJobAdmitted, job.id)
+		s.event(metrics.EventJobCompleted, job.id+" (cached)")
+		return job, nil
+	}
+	if s.tenants[spec.Tenant] >= s.cfg.TenantLimit {
+		s.shed++
+		s.publishGaugesLocked()
+		s.mu.Unlock()
+		s.event(metrics.EventJobShed, spec.Tenant+"/tenant-limit")
+		return nil, &AdmissionRejectedError{Reason: "tenant-limit", Tenant: spec.Tenant, RetryAfter: s.cfg.RetryAfterHint}
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.shed++
+		s.publishGaugesLocked()
+		s.mu.Unlock()
+		s.event(metrics.EventJobShed, spec.Tenant+"/queue-full")
+		return nil, &AdmissionRejectedError{Reason: "queue-full", Tenant: spec.Tenant, RetryAfter: s.cfg.RetryAfterHint}
+	}
+	job := s.newJobLocked(spec, fp, now)
+	job.state = StateQueued
+	rec := journalRecord{ID: job.id, State: StateQueued, Spec: &spec, UnixNano: now}
+	if err := s.logLocked(rec); err != nil {
+		s.nextID-- // the ID was never made durable; reuse it
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.queued++
+	s.tenants[spec.Tenant]++
+	s.publishGaugesLocked()
+	s.mu.Unlock()
+
+	s.event(metrics.EventJobAdmitted, job.id)
+	s.queue <- job // capacity ≥ QueueDepth ≥ queued: never blocks
+	return job, nil
+}
+
+func (s *Server) newJobLocked(spec JobSpec, fp string, now int64) *Job {
+	id := fmt.Sprintf("j%08d", s.nextID)
+	s.nextID++
+	return &Job{
+		id:        id,
+		spec:      spec,
+		fp:        fp,
+		dir:       s.jobDir(id),
+		ctl:       core.NewAbortController(),
+		done:      make(chan struct{}),
+		submitted: now,
+	}
+}
+
+// Get returns a job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel aborts a job: a queued job is skipped when dequeued, a running one
+// stops at its next superstep boundary (capturing a final checkpoint).
+// Canceling a terminal job is a no-op.
+func (s *Server) Cancel(id string) error {
+	job, ok := s.Get(id)
+	if !ok {
+		return &JobNotFoundError{ID: id}
+	}
+	job.abortWith("cancel")
+	// A queued job never enters runJob's abort handling, so finalize it
+	// here if it is still waiting.
+	job.mu.Lock()
+	if job.state == StateQueued {
+		job.mu.Unlock()
+		s.finalize(job, StateCanceled, "canceled before start", nil, false)
+		return nil
+	}
+	job.mu.Unlock()
+	return nil
+}
+
+// Status snapshots a job for the HTTP layer.
+func (s *Server) Status(job *Job) JobStatus {
+	job.mu.Lock()
+	st := JobStatus{
+		ID:                job.id,
+		State:             job.state,
+		Spec:              job.spec,
+		Fingerprint:       job.fp,
+		Attempts:          job.attempts,
+		Resumed:           job.resumed,
+		Cached:            job.cached,
+		Error:             job.errText,
+		Result:            job.result,
+		SubmittedUnixNano: job.submitted,
+		FinishedUnixNano:  job.finished,
+	}
+	job.mu.Unlock()
+	if entries, err := os.ReadDir(job.dir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "ckpt-") && strings.HasSuffix(e.Name(), ".ckpt") {
+				st.Checkpoints++
+			}
+		}
+	}
+	return st
+}
+
+// Jobs lists every tracked job's status, oldest first.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = s.Status(j)
+	}
+	return out
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// log journals a record through the daemon fault hook.
+func (s *Server) logLocked(rec journalRecord) error {
+	if s.crashed {
+		return nil // a crashed daemon journals nothing (kill -9 semantics)
+	}
+	if err := s.cfg.Faults.At(fault.PointJournalAppend); err != nil {
+		return &checkpoint.StoreError{Op: "append", Path: s.cfg.StateDir, Err: err}
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return s.journal.Append(b)
+}
+
+func (s *Server) log(rec journalRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logLocked(rec)
+}
+
+// event records a job-lifecycle event on the metrics sink.
+func (s *Server) event(kind, detail string) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	s.cfg.Metrics.RecordEvent(metrics.Event{
+		UnixNano: time.Now().UnixNano(), Kind: kind, Rank: -1, Superstep: -1, Detail: detail,
+	})
+}
+
+func (s *Server) publishGauges() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishGaugesLocked()
+}
+
+func (s *Server) publishGaugesLocked() {
+	g, ok := s.cfg.Metrics.(metrics.GaugeRecorder)
+	if !ok {
+		return
+	}
+	g.SetGauge("jobs_queued", int64(s.queued))
+	g.SetGauge("jobs_running", int64(s.running))
+	g.SetGauge("jobs_shed_total", s.shed)
+	g.SetGauge("jobs_resumed_total", s.resumedN)
+}
+
+// Shed returns how many submissions admission control has rejected.
+func (s *Server) Shed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
+}
+
+// worker pulls jobs until the queue is stopped (drain) or closed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopPull:
+			return
+		case job, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			// Re-check after the pop: drain must not start new jobs (the
+			// popped job stays journaled as queued and resumes on restart).
+			s.mu.Lock()
+			stopped := s.draining || s.crashed
+			s.mu.Unlock()
+			if stopped {
+				return
+			}
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job with deadline, cancellation, retry, and journal
+// bookkeeping.
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	alreadyAborted := job.abortWhy
+	job.mu.Unlock()
+	if alreadyAborted == "cancel" {
+		return // finalized by Cancel while queued
+	}
+
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.publishGaugesLocked()
+	s.mu.Unlock()
+
+	// The wall deadline covers the whole job — retries included.
+	timeout := time.Duration(job.spec.TimeoutMS) * time.Millisecond
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() { job.abortWith("deadline") })
+		defer t.Stop()
+	}
+
+	// Resume from the job's durable store when a previous attempt (or a
+	// previous process) committed a checkpoint there.
+	resume := hasManifest(job.dir)
+	for {
+		job.mu.Lock()
+		job.state = StateRunning
+		job.attempts++
+		attempt := job.attempts
+		job.mu.Unlock()
+		s.log(journalRecord{ID: job.id, State: StateRunning, Attempt: attempt, UnixNano: time.Now().UnixNano()})
+		s.event(metrics.EventJobStarted, job.id)
+
+		var res *JobResult
+		err := s.cfg.Faults.At(fault.PointJobStart)
+		if err == nil {
+			res, err = s.execute(job, resume)
+			if resume && err != nil && errors.Is(err, checkpoint.ErrNoCheckpoint) {
+				// The store was unusable after all (e.g. every generation
+				// corrupt): run the attempt from scratch instead.
+				res, err = s.execute(job, false)
+			}
+		}
+		if err == nil {
+			s.finalize(job, StateCompleted, "", res, false)
+			return
+		}
+		var aerr *core.RunAbortedError
+		if errors.As(err, &aerr) {
+			switch job.abortReason() {
+			case "deadline":
+				derr := &DeadlineExceededError{ID: job.id, Timeout: timeout}
+				s.finalize(job, StateFailed, derr.Error(), nil, false)
+			case "drain", "crash":
+				// Checkpointed at the boundary; the restart re-queues it.
+				s.finalize(job, stateInterrupted, "", nil, false)
+			default: // "cancel"
+				s.finalize(job, StateCanceled, "canceled", nil, false)
+			}
+			return
+		}
+		if job.abortReason() != "" {
+			// Aborted but the engine surfaced a different error first (e.g.
+			// a deadline racing a failure): treat the abort as authoritative.
+			if job.abortReason() == "deadline" {
+				derr := &DeadlineExceededError{ID: job.id, Timeout: timeout}
+				s.finalize(job, StateFailed, derr.Error(), nil, false)
+			} else {
+				s.finalize(job, StateCanceled, "canceled", nil, false)
+			}
+			return
+		}
+		if !retryable(err) || attempt > s.cfg.MaxRetries {
+			s.finalize(job, StateFailed, err.Error(), nil, false)
+			return
+		}
+		// Capped exponential backoff before the retry, abandoned early if
+		// the job is aborted while waiting.
+		backoff := s.cfg.RetryBase << (attempt - 1)
+		if backoff > s.cfg.RetryCap {
+			backoff = s.cfg.RetryCap
+		}
+		select {
+		case <-job.ctl.Channel():
+		case <-time.After(backoff):
+		}
+		if herr := s.cfg.Faults.At(fault.PointJobRetry); herr != nil {
+			s.finalize(job, StateFailed, herr.Error(), nil, false)
+			return
+		}
+		s.event(metrics.EventJobRetried, job.id)
+		resume = hasManifest(job.dir) // a partial attempt may have committed progress
+	}
+}
+
+// retryable classifies typed engine errors: a device failure or a transient
+// durable-store failure is worth re-attempting (the retry resumes from the
+// newest committed checkpoint); anything else — invalid options, spec
+// errors, fenced partitions — fails fast.
+func retryable(err error) bool {
+	var de *comm.DeviceFailedError
+	var se *checkpoint.StoreError
+	return errors.As(err, &de) || errors.As(err, &se)
+}
+
+func hasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "MANIFEST"))
+	return err == nil
+}
+
+// finalize moves a job to a terminal (or interrupted) state, journals it,
+// updates counters and the result cache, and closes Done.
+func (s *Server) finalize(job *Job, state, errText string, res *JobResult, requeued bool) {
+	now := time.Now().UnixNano()
+	job.mu.Lock()
+	if job.state == StateCompleted || job.state == StateFailed || job.state == StateCanceled {
+		job.mu.Unlock()
+		return
+	}
+	wasQueued := job.state == StateQueued
+	attempts := job.attempts
+	if state == stateInterrupted {
+		// Keep the in-memory state "running" — the process is exiting; the
+		// journal record is what matters.
+	} else {
+		job.state = state
+		job.errText = errText
+		job.result = res
+		job.finished = now
+	}
+	job.mu.Unlock()
+
+	s.log(journalRecord{ID: job.id, State: state, Attempt: attempts, Result: res, Error: errText, UnixNano: now})
+
+	s.mu.Lock()
+	if wasQueued {
+		s.queued--
+	} else {
+		s.running--
+	}
+	s.tenants[job.spec.Tenant]--
+	if s.tenants[job.spec.Tenant] <= 0 {
+		delete(s.tenants, job.spec.Tenant)
+	}
+	if state == StateCompleted && res != nil {
+		s.cache[job.fp] = res
+	}
+	s.publishGaugesLocked()
+	s.mu.Unlock()
+
+	switch state {
+	case StateCompleted:
+		s.event(metrics.EventJobCompleted, job.id)
+	case StateFailed:
+		s.event(metrics.EventJobFailed, job.id)
+	case StateCanceled:
+		s.event(metrics.EventJobCanceled, job.id)
+	}
+	if state != stateInterrupted {
+		close(job.done)
+	}
+}
+
+// execute runs one engine attempt of the job against the resident graph.
+func (s *Server) execute(job *Job, resume bool) (*JobResult, error) {
+	var app core.AppF32
+	iters := job.spec.Iterations
+	switch job.spec.Algorithm {
+	case AlgoPageRank:
+		app = apps.NewPageRank()
+		if iters == 0 {
+			iters = 10
+		}
+	case AlgoBFS:
+		app = apps.NewBFS(graph.VertexID(job.spec.Source))
+	case AlgoSSSP:
+		app = apps.NewSSSP(graph.VertexID(job.spec.Source))
+	case AlgoCC:
+		app = apps.NewConnectedComponents()
+	default:
+		return nil, &SpecError{Field: "algorithm", Reason: fmt.Sprintf("unknown algorithm %q", job.spec.Algorithm)}
+	}
+	opts := make([]core.Options, len(s.cfg.Devices))
+	for r, dev := range s.cfg.Devices {
+		o := core.Options{
+			Dev:           dev,
+			Scheme:        core.SchemePipelined,
+			Vectorized:    true,
+			MaxIterations: iters,
+			Abort:         job.ctl.Channel(),
+		}
+		if dev.Name == "CPU" {
+			o.Scheme = core.SchemeLocking
+		}
+		if r == 0 {
+			o.CheckpointEvery = s.cfg.CheckpointEvery
+			o.CheckpointDir = job.dir
+			o.CheckpointRetain = s.cfg.CheckpointRetain
+			o.Resume = resume
+			if s.cfg.Metrics != nil {
+				o.Metrics = s.cfg.Metrics
+			}
+		}
+		opts[r] = o
+	}
+	res, err := core.RunF32Hetero(app, s.cfg.Graph, s.assign, opts...)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := app.(checkpoint.Snapshotter).Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(snap)
+	return &JobResult{
+		ResultFingerprint: fmt.Sprintf("%016x", h.Sum64()),
+		Iterations:        res.Iterations,
+		Converged:         res.Converged,
+		SimSeconds:        res.SimSeconds,
+		WallSeconds:       res.WallSeconds,
+		Degraded:          res.Degraded,
+		DiskResumed:       res.DiskResumed,
+	}, nil
+}
+
+// Drain is the SIGTERM path: stop admitting (new submissions shed with
+// reason "draining"), let in-flight jobs finish for up to grace, then abort
+// the stragglers at their next superstep boundary — which captures a final
+// checkpoint and journals them interrupted — flush the journal, and stop the
+// workers. Queued jobs stay journaled as queued; both kinds resume when a
+// new daemon opens the same StateDir.
+func (s *Server) Drain(grace time.Duration) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.event(metrics.EventDrain, "")
+	s.pullOnce.Do(func() { close(s.stopPull) })
+
+	deadline := time.Now().Add(grace)
+	for {
+		s.mu.Lock()
+		n := s.running
+		s.mu.Unlock()
+		if n == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.mu.Lock()
+	var stragglers []*Job
+	for _, id := range s.order {
+		job := s.jobs[id]
+		job.mu.Lock()
+		if job.state == StateRunning {
+			stragglers = append(stragglers, job)
+		}
+		job.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, job := range stragglers {
+		job.abortWith("drain")
+	}
+	s.wg.Wait()
+	return s.journal.Close()
+}
+
+// Close stops the server immediately: equivalent to Drain with zero grace.
+func (s *Server) Close() error { return s.Drain(0) }
+
+// Crash simulates a kill -9 for recovery tests: journaling and state
+// transitions stop cold (no terminal records are written), in-flight engine
+// runs are torn down, and the journal handle is dropped. The on-disk journal
+// and each job's committed checkpoint generations are left exactly as a real
+// SIGKILL would leave them; reopen the StateDir with New to exercise the
+// recovery path.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	s.crashed = true
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	s.pullOnce.Do(func() { close(s.stopPull) })
+	for _, job := range jobs {
+		job.abortWith("crash")
+	}
+	s.wg.Wait()
+	s.journal.Close()
+}

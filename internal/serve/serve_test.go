@@ -1,0 +1,381 @@
+package serve_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hetgraph/internal/checkpoint"
+	"hetgraph/internal/comm"
+	"hetgraph/internal/fault"
+	"hetgraph/internal/gen"
+	"hetgraph/internal/graph"
+	"hetgraph/internal/metrics"
+	"hetgraph/internal/serve"
+)
+
+// serveGraph is a small weighted power-law graph shared by the daemon tests.
+func serveGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 400, MeanDeg: 6, Alpha: 2.2, FrontBias: 0.7, Locality: 0.6, LocalWindow: 0.05, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := gen.WithWeights(g, 0, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wg
+}
+
+// recoveryGraph is a larger weighted power-law graph for the crash/drain
+// recovery tests: SSSP on it runs ~20 fsync-checkpointed supersteps, wide
+// enough to interrupt a job mid-flight reliably. SSSP is the long-running
+// deterministic choice — its min-combining reduction is order-insensitive,
+// so result fingerprints are stable across runs, unlike PageRank's float32
+// sums whose value depends on message insertion order.
+func recoveryGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 8000, MeanDeg: 6, Alpha: 2.2, FrontBias: 0.7, Locality: 0.6, LocalWindow: 0.05, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := gen.WithWeights(g, 0, 10, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wg
+}
+
+// fastConfig returns a serving config tuned for tests: tiny backoffs, one
+// state dir per test.
+func fastConfig(t testing.TB, g *graph.CSR) serve.Config {
+	t.Helper()
+	return serve.Config{
+		Graph:     g,
+		GraphPath: "test.adj",
+		StateDir:  t.TempDir(),
+		RetryBase: time.Millisecond,
+		RetryCap:  5 * time.Millisecond,
+	}
+}
+
+// waitDone blocks until the job terminates, with a deadline guard.
+func waitDone(t testing.TB, job *serve.Job) {
+	t.Helper()
+	select {
+	case <-job.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not terminate within the deadline guard", job.ID())
+	}
+}
+
+func TestServeSubmitRunsToCompletion(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	st := srv.Status(job)
+	if st.State != serve.StateCompleted {
+		t.Fatalf("job state %q (error %q), want completed", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.ResultFingerprint == "" {
+		t.Fatal("completed job has no result fingerprint")
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", st.Attempts)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("served job committed no durable checkpoints")
+	}
+	if st.Result.Iterations != 5 {
+		t.Fatalf("iterations = %d, want the requested 5", st.Result.Iterations)
+	}
+}
+
+func TestServeAllAlgorithms(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, spec := range []serve.JobSpec{
+		{Algorithm: serve.AlgoPageRank, Iterations: 3},
+		{Algorithm: serve.AlgoBFS, Source: 1},
+		{Algorithm: serve.AlgoSSSP, Source: 1},
+		{Algorithm: serve.AlgoCC},
+	} {
+		job, err := srv.Submit(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Algorithm, err)
+		}
+		waitDone(t, job)
+		if st := srv.Status(job); st.State != serve.StateCompleted {
+			t.Fatalf("%s: state %q (error %q)", spec.Algorithm, st.State, st.Error)
+		}
+	}
+}
+
+func TestServeResultCacheHit(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	spec := serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 4}
+	first, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	fp := srv.Status(first).Result.ResultFingerprint
+
+	second, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, second) // already closed: a cache hit is terminal at submit
+	st := srv.Status(second)
+	if !st.Cached || st.State != serve.StateCompleted {
+		t.Fatalf("repeat submission cached=%v state=%q, want a completed cache hit", st.Cached, st.State)
+	}
+	if st.Result.ResultFingerprint != fp {
+		t.Fatalf("cached fingerprint %s != computed %s", st.Result.ResultFingerprint, fp)
+	}
+	if st.Attempts != 0 {
+		t.Fatalf("cache hit ran the engine (%d attempts)", st.Attempts)
+	}
+}
+
+func TestServeCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	faults := fault.NewDaemonFaults()
+	faults.Set(fault.PointJobStart, func() error {
+		<-release
+		return nil
+	})
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Workers = 1
+	cfg.Faults = faults
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(release); srv.Close() }()
+
+	blocker, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoBFS, Source: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, queued)
+	if st := srv.Status(queued); st.State != serve.StateCanceled {
+		t.Fatalf("canceled queued job state %q", st.State)
+	}
+	_ = blocker
+	if err := srv.Cancel("j99999999"); err == nil {
+		t.Fatal("canceling an unknown job succeeded")
+	} else if nf := new(serve.JobNotFoundError); !errors.As(err, &nf) {
+		t.Fatalf("unknown-job cancel error %T, want *JobNotFoundError", err)
+	}
+}
+
+func TestServeRetryOnDeviceFailure(t *testing.T) {
+	faults := fault.NewDaemonFaults()
+	failures := 1
+	faults.Set(fault.PointJobStart, func() error {
+		if failures > 0 {
+			failures--
+			return &comm.DeviceFailedError{Rank: 1, Superstep: 2, Reason: "injected test failure"}
+		}
+		return nil
+	})
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Faults = faults
+	cfg.MaxRetries = 2
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	st := srv.Status(job)
+	if st.State != serve.StateCompleted {
+		t.Fatalf("retried job state %q (error %q), want completed", st.State, st.Error)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one failure, one retry)", st.Attempts)
+	}
+}
+
+func TestServeRetryBudgetExhaustedFailsTyped(t *testing.T) {
+	faults := fault.NewDaemonFaults()
+	faults.Set(fault.PointJobStart, func() error {
+		return &comm.DeviceFailedError{Rank: 1, Superstep: 1, Reason: "always down"}
+	})
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Faults = faults
+	cfg.MaxRetries = 1
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	st := srv.Status(job)
+	if st.State != serve.StateFailed {
+		t.Fatalf("state %q, want failed after the retry budget", st.State)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("attempts = %d, want MaxRetries+1 = 2", st.Attempts)
+	}
+	if !strings.Contains(st.Error, "always down") {
+		t.Fatalf("terminal error %q does not carry the device failure", st.Error)
+	}
+}
+
+func TestServePermanentErrorFailsFast(t *testing.T) {
+	faults := fault.NewDaemonFaults()
+	calls := 0
+	faults.Set(fault.PointJobStart, func() error {
+		calls++
+		return errors.New("permanent misconfiguration")
+	})
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Faults = faults
+	cfg.MaxRetries = 3
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if st := srv.Status(job); st.State != serve.StateFailed {
+		t.Fatalf("state %q, want fail-fast failed", st.State)
+	}
+	if calls != 1 {
+		t.Fatalf("untyped error was retried %d times; must fail fast", calls)
+	}
+}
+
+func TestServeDeadlineFailsJob(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// 500 checkpointed supersteps cannot finish inside 1ms; the deadline
+	// aborts the run at a superstep boundary.
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 500, TimeoutMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	st := srv.Status(job)
+	if st.State != serve.StateFailed {
+		t.Fatalf("deadline job state %q, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("deadline job error %q does not name the deadline", st.Error)
+	}
+}
+
+func TestServeJournalFailureRejectsSubmit(t *testing.T) {
+	faults := fault.NewDaemonFaults()
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Faults = faults
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	faults.Set(fault.PointJournalAppend, func() error { return errors.New("disk full") })
+	_, err = srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 2})
+	var serr *checkpoint.StoreError
+	if !errors.As(err, &serr) {
+		t.Fatalf("submit with failing journal: %v, want *StoreError (admission must be durable-first)", err)
+	}
+	faults.Clear(fault.PointJournalAppend)
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 2})
+	if err != nil {
+		t.Fatalf("submit after journal recovered: %v", err)
+	}
+	waitDone(t, job)
+	if st := srv.Status(job); st.State != serve.StateCompleted {
+		t.Fatalf("job after journal hiccup: state %q", st.State)
+	}
+}
+
+func TestServeBadSpecsRejectedTyped(t *testing.T) {
+	srv, err := serve.New(fastConfig(t, serveGraph(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, spec := range []serve.JobSpec{
+		{Algorithm: "pagerankz"},
+		{Algorithm: serve.AlgoBFS, Source: -1},
+		{Algorithm: serve.AlgoBFS, Source: 1 << 40}, // outside the graph
+		{Algorithm: serve.AlgoPageRank, Iterations: -3},
+		{Algorithm: serve.AlgoPageRank, Tenant: strings.Repeat("x", 100)},
+	} {
+		_, err := srv.Submit(spec)
+		var se *serve.SpecError
+		if !errors.As(err, &se) {
+			t.Fatalf("spec %+v: error %v, want *SpecError", spec, err)
+		}
+	}
+}
+
+func TestServeJobEventsRecorded(t *testing.T) {
+	col := metrics.NewCollector()
+	cfg := fastConfig(t, serveGraph(t))
+	cfg.Metrics = col
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	srv.Close()
+	kinds := map[string]bool{}
+	for _, e := range col.Report().Events {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{metrics.EventJobAdmitted, metrics.EventJobStarted, metrics.EventJobCompleted, metrics.EventDrain} {
+		if !kinds[want] {
+			t.Fatalf("metrics missing %q event; got %v", want, kinds)
+		}
+	}
+	if g := col.Gauges(); g["jobs_queued"] != 0 || g["jobs_running"] != 0 {
+		t.Fatalf("gauges not drained to zero: %v", g)
+	}
+}
