@@ -30,12 +30,24 @@ func main() {
 	log.SetPrefix("hetgraph-bench: ")
 	var (
 		scaleName = flag.String("scale", "full", "workload scale: small | full")
-		only      = flag.String("only", "", "comma-separated artifact list (5a,5b,5c,5d,5e,5f,6,t2,ablation); empty = all")
+		only      = flag.String("only", "", "comma-separated artifact list (5a,5b,5c,5d,5e,5f,6,t2,dir,ablation); empty = all")
 		outDir    = flag.String("out", "", "directory to write per-artifact text files (optional)")
 		report    = flag.String("report", "", "write a versioned JSON run report with per-artifact wall timing to this path")
+		artifact  = flag.String("artifact", "", "write the direction ablation (A8) as a versioned BENCH JSON perf artifact to this path")
+		checkPath = flag.String("check-artifact", "", "read and validate a BENCH JSON perf artifact, then exit")
 		debugAddr = flag.String("debug-addr", "", `serve /debug/pprof/, /debug/vars, and /metrics on this address while the suite runs`)
 	)
 	flag.Parse()
+
+	if *checkPath != "" {
+		a, err := bench.ReadArtifact(*checkPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid (schema v%d, figure %s, %d rows, scale %s)\n",
+			*checkPath, a.SchemaVersion, a.Figure.ID, len(a.Figure.Rows), a.Scale)
+		return
+	}
 
 	suiteStart := time.Now()
 	var col *hetgraph.MetricsCollector
@@ -133,6 +145,24 @@ func main() {
 		emit(bench.AblationChunkSize(pr))
 		emit(bench.AblationRatioSweep(pr))
 		emit(bench.AblationGenScheme(pr))
+	}
+	if sel("dir") || *artifact != "" {
+		bfs, err := bench.SpecByName(specs, "BFS")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig, err := bench.AblationDirection(bfs)
+		emit(fig, err)
+		if *artifact != "" {
+			a := bench.NewArtifact(fig, "hetgraph-bench -only dir -artifact", scale.Name)
+			if err := a.Validate(); err != nil {
+				log.Fatalf("direction ablation failed its acceptance check: %v", err)
+			}
+			if err := bench.WriteArtifact(*artifact, a); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("perf artifact written to %s\n", *artifact)
+		}
 	}
 	if col != nil && *report != "" {
 		rep := col.Report()

@@ -167,6 +167,11 @@ type (
 	InsertMode = csb.InsertMode
 	// AppF32 is a float32-message vertex program.
 	AppF32 = core.AppF32
+	// Direction selects the traversal direction (push, pull, or auto).
+	Direction = core.Direction
+	// PullerF32 is optionally implemented by AppF32 programs that support
+	// pull/bottom-up traversal.
+	PullerF32 = core.PullerF32
 	// VecArrayF32 is an aligned SIMD vector array (used by ReduceVec).
 	VecArrayF32 = vec.ArrayF32
 	// OMPResult reports an OpenMP-baseline run.
@@ -183,6 +188,15 @@ const (
 const (
 	CSBDynamic  = csb.Dynamic
 	CSBOneToOne = csb.OneToOne
+)
+
+// Traversal directions for Options.Direction. DirectionAuto switches between
+// top-down (push) and bottom-up (pull) per superstep per rank using a
+// frontier-occupancy heuristic; see docs/architecture.md.
+const (
+	DirectionPush = core.DirectionPush
+	DirectionPull = core.DirectionPull
+	DirectionAuto = core.DirectionAuto
 )
 
 // DefaultGenBatch is the recommended Options.GenBatchSize for batched

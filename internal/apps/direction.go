@@ -1,0 +1,48 @@
+package apps
+
+import "hetgraph/internal/graph"
+
+// Direction-optimizing hooks (core.PullerF32) for the traversal apps, and the
+// order-sensitivity declaration (core.OrderSensitiveReduction) for PageRank.
+//
+// BFS and SSSP are min-fold traversals: the value a frontier parent u pushes
+// along u→v is a pure function of u's state and the edge weight, so a pull
+// sweep can recompute it from the transposed adjacency and reduce the exact
+// multiset the push schedule would have delivered. PageRank stays push-only —
+// with a fixed active set every vertex messages every superstep, so a pull
+// sweep scans the same edges without saving work — but its float32 sum is not
+// exactly associative, so it opts into the engine's canonical-order
+// reductions instead.
+
+// PullTarget reports whether v is still unvisited and worth an in-edge scan.
+func (b *BFS) PullTarget(v graph.VertexID) bool { return b.Levels[v] < 0 }
+
+// PullFrom recomputes the message a frontier parent would have pushed:
+// its level plus one. The edge weight is ignored, as in Generate.
+func (b *BFS) PullFrom(u graph.VertexID, _ float32) float32 {
+	return float32(b.Levels[u] + 1)
+}
+
+// PullEarlyExit is true: every frontier parent offers the same level+1, so
+// the first hit decides the minimum.
+func (b *BFS) PullEarlyExit() bool { return true }
+
+// PullTarget is always true for SSSP: any vertex's distance may still
+// improve from a relaxed in-edge.
+func (s *SSSP) PullTarget(_ graph.VertexID) bool { return true }
+
+// PullFrom recomputes the relaxation a frontier parent would have pushed:
+// its tentative distance plus the edge weight.
+func (s *SSSP) PullFrom(u graph.VertexID, w float32) float32 {
+	return s.Dist[u] + w
+}
+
+// PullEarlyExit is false: frontier parents offer different distances and the
+// minimum needs them all.
+func (s *SSSP) PullEarlyExit() bool { return false }
+
+// OrderSensitiveReduction is true: float32 summation differs in the last bit
+// across fold orders, so the engine canonicalizes reduction order (sorted
+// lane folds, sorting remote combiner) to make repeated and crash-resumed
+// runs byte-identical.
+func (p *PageRank) OrderSensitiveReduction() bool { return true }

@@ -191,6 +191,46 @@ func AblationGenScheme(spec AppSpec) (Figure, error) {
 	return fig, nil
 }
 
+// AblationDirection compares the three traversal directions — push, pull,
+// and the auto switch — for a source-rooted traversal on the power-law
+// graph, on the CPU with the locking scheme. The message column is the
+// headline: a hub-dominated frontier makes push insert millions of soon-
+// discarded messages, while pull scans in-edges and writes one delivery per
+// vertex; auto should match push's narrow early supersteps and pull's wide
+// middle, generating no more messages than either extreme. This figure
+// seeds the repo's BENCH_* perf artifacts (see WriteArtifact).
+func AblationDirection(spec AppSpec) (Figure, error) {
+	fig := Figure{ID: "A8", Title: fmt.Sprintf("Ablation: traversal direction push vs pull vs auto (%s, CPU)", spec.Name)}
+	dirs := []core.Direction{core.DirectionPush, core.DirectionPull, core.DirectionAuto}
+	var msgs [3]float64
+	var times [3]float64
+	for i, dir := range dirs {
+		res, err := spec.RunFramework(core.Options{
+			Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true, Direction: dir,
+		})
+		if err != nil {
+			return fig, err
+		}
+		c := res.Counters
+		msgs[i] = float64(c.Messages)
+		times[i] = res.SimSeconds
+		fig.Rows = append(fig.Rows, Row{
+			Config:  dir.String(),
+			ExecSim: res.SimSeconds,
+			Wall:    res.WallSeconds,
+			Extra: map[string]float64{
+				"messages":       float64(c.Messages),
+				"pullEdges":      float64(c.PullEdgesScanned),
+				"pullSupersteps": float64(c.PullSupersteps),
+				"iterations":     float64(res.Iterations),
+			},
+		})
+	}
+	fig.note("auto generates %.2fx the messages of push (%.0f vs %.0f) in %.2fx the sim time",
+		msgs[2]/msgs[0], msgs[2], msgs[0], times[2]/times[0])
+	return fig, nil
+}
+
 // AblationRatioSweep sweeps the CPU:MIC workload ratio for one application
 // under its partitioning method, producing the balance curve behind the
 // paper's "we tried different partitioning ratios and report the best"

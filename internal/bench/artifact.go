@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ArtifactSchemaVersion is the current BENCH_*.json schema. Bump only with a
+// migration note in docs/benchmarks.md; readers reject versions they do not
+// know rather than guessing.
+const ArtifactSchemaVersion = 1
+
+// Artifact is the schema of a checked-in BENCH_*.json perf artifact: one
+// figure plus enough provenance to judge whether a regenerated run regressed
+// it. Artifacts are produced by `hetgraph-bench -artifact` and validated in
+// CI by `-check-artifact`, so a perf win claimed in a PR stays reproducible
+// and machine-checkable instead of living in a commit message.
+type Artifact struct {
+	SchemaVersion int `json:"schema_version"`
+	// Generator names the tool and flags that produced the artifact.
+	Generator string `json:"generator"`
+	// Scale is the workload scale the figure ran at ("small" | "full").
+	Scale  string `json:"scale"`
+	Figure Figure `json:"figure"`
+}
+
+// NewArtifact wraps a figure in the current schema.
+func NewArtifact(fig Figure, generator, scale string) Artifact {
+	return Artifact{SchemaVersion: ArtifactSchemaVersion, Generator: generator, Scale: scale, Figure: fig}
+}
+
+// WriteArtifact writes the artifact as indented JSON with a trailing
+// newline (diff-friendly for a checked-in file).
+func WriteArtifact(path string, a Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact reads and validates an artifact file.
+func ReadArtifact(path string) (Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Artifact{}, fmt.Errorf("bench: artifact %s: %w", path, err)
+	}
+	if err := a.Validate(); err != nil {
+		return Artifact{}, fmt.Errorf("bench: artifact %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Validate checks the schema and the figure-specific claims the artifact
+// exists to record. For the direction ablation (A8) that claim is the
+// optimization's acceptance bar: auto generates no more messages than push.
+func (a Artifact) Validate() error {
+	if a.SchemaVersion != ArtifactSchemaVersion {
+		return fmt.Errorf("schema_version %d, want %d", a.SchemaVersion, ArtifactSchemaVersion)
+	}
+	if a.Figure.ID == "" {
+		return fmt.Errorf("figure has no ID")
+	}
+	if len(a.Figure.Rows) == 0 {
+		return fmt.Errorf("figure %s has no rows", a.Figure.ID)
+	}
+	for i, r := range a.Figure.Rows {
+		if r.Config == "" {
+			return fmt.Errorf("figure %s row %d has no config name", a.Figure.ID, i)
+		}
+	}
+	if a.Figure.ID == "A8" {
+		push, okP := a.Figure.FindRow("push")
+		auto, okA := a.Figure.FindRow("auto")
+		if !okP || !okA {
+			return fmt.Errorf("direction ablation misses push/auto rows")
+		}
+		pm, am := push.Extra["messages"], auto.Extra["messages"]
+		if pm <= 0 {
+			return fmt.Errorf("direction ablation push row has no message count")
+		}
+		if am > pm {
+			return fmt.Errorf("direction ablation regressed: auto generated %.0f messages > push's %.0f", am, pm)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckedInDirectionArtifact: the repo's seeded perf artifact must parse
+// under the current schema and still claim the direction win (auto message
+// count no worse than push). If a change to the engine invalidates the
+// numbers, regenerate with:
+//
+//	go run ./cmd/hetgraph-bench -scale small -only dir -artifact results/BENCH_direction.json
+func TestCheckedInDirectionArtifact(t *testing.T) {
+	path := filepath.Join("..", "..", "results", "BENCH_direction.json")
+	a, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Figure.ID != "A8" {
+		t.Fatalf("figure ID %q, want A8", a.Figure.ID)
+	}
+	if len(a.Figure.Rows) != 3 {
+		t.Fatalf("%d rows, want push/pull/auto", len(a.Figure.Rows))
+	}
+}
+
+// TestArtifactValidate covers the rejection paths ReadArtifact relies on.
+func TestArtifactValidate(t *testing.T) {
+	good := NewArtifact(Figure{
+		ID: "A8",
+		Rows: []Row{
+			{Config: "push", Extra: map[string]float64{"messages": 100}},
+			{Config: "pull", Extra: map[string]float64{"messages": 0}},
+			{Config: "auto", Extra: map[string]float64{"messages": 50}},
+		},
+	}, "test", "small")
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(a *Artifact)
+	}{
+		{"wrong schema", func(a *Artifact) { a.SchemaVersion = 99 }},
+		{"no figure id", func(a *Artifact) { a.Figure.ID = "" }},
+		{"no rows", func(a *Artifact) { a.Figure.Rows = nil }},
+		{"unnamed row", func(a *Artifact) { a.Figure.Rows[1].Config = "" }},
+		{"missing auto row", func(a *Artifact) { a.Figure.Rows[2].Config = "other" }},
+		{"regressed direction win", func(a *Artifact) { a.Figure.Rows[2].Extra["messages"] = 101 }},
+		{"push without messages", func(a *Artifact) { a.Figure.Rows[0].Extra["messages"] = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewArtifact(Figure{
+				ID: good.Figure.ID,
+				Rows: []Row{
+					{Config: "push", Extra: map[string]float64{"messages": 100}},
+					{Config: "pull", Extra: map[string]float64{"messages": 0}},
+					{Config: "auto", Extra: map[string]float64{"messages": 50}},
+				},
+			}, "test", "small")
+			tc.mutate(&a)
+			if err := a.Validate(); err == nil {
+				t.Fatal("invalid artifact accepted")
+			}
+		})
+	}
+}

@@ -81,6 +81,49 @@ func IsFixedActive(app any) bool {
 	return ok && f.FixedActiveSet()
 }
 
+// Direction selects the traversal direction policy for applications that
+// support pull/bottom-up sweeps (those implementing PullerF32 — BFS and
+// SSSP among the bundled apps).
+type Direction int
+
+const (
+	// DirectionPush is the paper's original scheme: active vertices insert
+	// messages along their out-edges (generate → exchange → process →
+	// update). The default, and the only mode for apps without PullerF32.
+	DirectionPush Direction = iota
+	// DirectionPull runs every superstep bottom-up: instead of inserting
+	// local messages, the process phase scans candidate vertices' in-edges
+	// and reads frontier parents' state directly. Cross-rank (cut-edge)
+	// influence still travels as messages. Requires PullerF32.
+	DirectionPull
+	// DirectionAuto switches per superstep per rank with the GAS-style
+	// heuristic: push → pull when the frontier's out-edges exceed the
+	// unexplored out-edges divided by PullAlpha; pull → push when frontier
+	// occupancy falls below the rank's vertex count divided by PullBeta.
+	// Falls back to push for apps without PullerF32.
+	DirectionAuto
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirectionPush:
+		return "push"
+	case DirectionPull:
+		return "pull"
+	case DirectionAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Default thresholds of the auto direction switch (Beamer's α and β;
+// tunable via Options.PullAlpha / Options.PullBeta).
+const (
+	DefaultPullAlpha = 14.0
+	DefaultPullBeta  = 24.0
+)
+
 // Scheme selects the message-generation scheme of §IV-C.
 type Scheme int
 
@@ -127,6 +170,21 @@ type Options struct {
 	// CSBMode selects dynamic column allocation (default) or the
 	// one-to-one ablation mapping.
 	CSBMode csb.InsertMode
+	// Direction selects push (default), pull, or automatic per-superstep
+	// push/pull switching for traversal apps implementing PullerF32.
+	// DirectionPull with a push-only app is an InvalidOptionsError;
+	// DirectionAuto silently runs push for push-only apps. Per-rank
+	// decisions in a device group are autonomous and compose with the
+	// degrade/rejoin lifecycle (see docs/architecture.md).
+	Direction Direction
+	// PullAlpha tunes the auto push→pull switch threshold: pull when
+	// frontier out-edges > unexplored out-edges / PullAlpha. 0 means
+	// DefaultPullAlpha.
+	PullAlpha float64
+	// PullBeta tunes the auto pull→push switch-back threshold: push when
+	// frontier occupancy < rank vertices / PullBeta. 0 means
+	// DefaultPullBeta.
+	PullBeta float64
 	// MaxIterations bounds the BSP loop; 0 means DefaultMaxIterations.
 	MaxIterations int
 	// Threads overrides the device's hardware thread count for the real
@@ -235,6 +293,12 @@ func (o Options) withDefaults() Options {
 	if o.GenBatchSize == 0 {
 		o.GenBatchSize = 1
 	}
+	if o.PullAlpha == 0 {
+		o.PullAlpha = DefaultPullAlpha
+	}
+	if o.PullBeta == 0 {
+		o.PullBeta = DefaultPullBeta
+	}
 	return o
 }
 
@@ -274,6 +338,15 @@ func (o Options) validate() error {
 	}
 	if o.MaxIterations < 1 {
 		return &InvalidOptionsError{Field: "MaxIterations", Reason: fmt.Sprintf("%d < 1", o.MaxIterations)}
+	}
+	if o.Direction != DirectionPush && o.Direction != DirectionPull && o.Direction != DirectionAuto {
+		return &InvalidOptionsError{Field: "Direction", Reason: fmt.Sprintf("unknown direction %d (want push | pull | auto)", int(o.Direction))}
+	}
+	if o.PullAlpha <= 0 {
+		return &InvalidOptionsError{Field: "PullAlpha", Reason: fmt.Sprintf("%g <= 0", o.PullAlpha)}
+	}
+	if o.PullBeta <= 0 {
+		return &InvalidOptionsError{Field: "PullBeta", Reason: fmt.Sprintf("%g <= 0", o.PullBeta)}
 	}
 	if o.CheckpointEvery < 0 {
 		return &InvalidOptionsError{Field: "CheckpointEvery", Reason: fmt.Sprintf("%d < 0", o.CheckpointEvery)}

@@ -43,11 +43,29 @@ type deviceF32 struct {
 	wall phaseWallNS
 
 	remoteMu sync.Mutex
-	remote   *comm.Combiner[float32]
+	remote   remoteCombinerF32
 	remCount atomic.Int64
 
 	fillScratch []int32
 	pipe        *pipeline.Pipelined[float32]
+
+	// din holds the direction-optimizing state (transpose, bitmap
+	// frontiers, switch heuristic); nil for push-only configurations, which
+	// keeps the original hot path branch-free beyond one nil check.
+	din *directionState
+	// sortLanes canonicalizes reduction order for order-sensitive apps
+	// (float32 sums): each CSB lane is sorted ascending before folding, so
+	// repeated runs reduce identical multisets in identical order.
+	sortLanes bool
+}
+
+// remoteCombinerF32 is the remote message buffer contract the engine needs:
+// the eager comm.Combiner for exactly-associative reductions, or the
+// order-canonicalizing comm.SortingCombiner for order-sensitive ones.
+type remoteCombinerF32 interface {
+	Add(dst graph.VertexID, v float32)
+	DrainRouted(out [][]comm.Msg[float32], rankOf func(graph.VertexID) int) [][]comm.Msg[float32]
+	Len() int
 }
 
 func newDeviceF32(app AppF32, g *graph.CSR, opt Options, rank int, assign []int32, ep *comm.Endpoint[float32]) (*deviceF32, error) {
@@ -76,7 +94,19 @@ func newDeviceF32(app AppF32, g *graph.CSR, opt Options, rank int, assign []int3
 		}
 	}
 	if assign != nil {
-		d.remote = comm.NewCombiner(g.NumVertices(), app.ReduceScalar)
+		if IsOrderSensitive(app) {
+			d.remote = comm.NewSortingCombiner[float32](g.NumVertices(), app.ReduceScalar)
+		} else {
+			d.remote = comm.NewCombiner(g.NumVertices(), app.ReduceScalar)
+		}
+	}
+	d.sortLanes = IsOrderSensitive(app)
+	if opt.Direction != DirectionPush {
+		if p, ok := app.(PullerF32); ok {
+			d.din = newDirectionState(p, g, rank, assign)
+		} else if opt.Direction == DirectionPull {
+			return nil, &InvalidOptionsError{Field: "Direction", Reason: fmt.Sprintf("pull requires the application to implement core.PullerF32; %T does not (auto falls back to push)", app)}
+		}
 	}
 	return d, nil
 }
@@ -123,9 +153,17 @@ func (d *deviceF32) routeOwnedBatch(dsts []graph.VertexID, vals []float32) {
 	}
 }
 
-// generate runs the configured message-generation scheme for the active
-// vertices and fills in the generation counters.
+// generate runs the superstep's generate phase: it resolves the traversal
+// direction (when the app supports pulling), then either runs the
+// configured message-generation scheme (push) or emits only cut-edge
+// messages (pull; see generatePull).
 func (d *deviceF32) generate(active []graph.VertexID, c *machine.Counters) error {
+	if d.din != nil {
+		d.decideDirection(active)
+		if d.din.mode == DirectionPull {
+			return d.generatePull(active, c)
+		}
+	}
 	gen := func(v graph.VertexID, emit func(graph.VertexID, float32)) {
 		if d.opt.Fault.PanicNow(d.rank, d.step, fault.PhaseGenerate) {
 			panic(fmt.Sprintf("fault: injected panic, rank %d superstep %d phase generate", d.rank, d.step))
@@ -197,10 +235,20 @@ func (d *deviceF32) exchange(activeLocal int64, c *machine.Counters, pt *PhaseTi
 	return activeRemote, nil
 }
 
-// process runs message processing over the CSB task units with dynamic
+// process dispatches the superstep's process phase: the CSB reduction for
+// push supersteps, or the bottom-up sweep (which also reduces the CSB's
+// remote deliveries first) for pull supersteps.
+func (d *deviceF32) process(c *machine.Counters) ([]delivery, error) {
+	if d.din != nil && d.din.mode == DirectionPull {
+		return d.processPull(c)
+	}
+	return d.processPush(c)
+}
+
+// processPush runs message processing over the CSB task units with dynamic
 // scheduling, on the vectorized or scalar path, and returns the reduced
 // deliveries.
-func (d *deviceF32) process(c *machine.Counters) ([]delivery, error) {
+func (d *deviceF32) processPush(c *machine.Counters) ([]delivery, error) {
 	nTasks := int64(d.buf.NumTasks())
 	s, err := sched.New(nTasks, sched.ChunkFor(nTasks, d.opt.Threads))
 	if err != nil {
@@ -221,6 +269,7 @@ func (d *deviceF32) process(c *machine.Counters) ([]delivery, error) {
 			}
 			var out []delivery
 			var lanes []csb.Lane
+			var sortScratch []float32
 			var localRows, localReduced int64
 			for {
 				lo, hi, ok := s.Next()
@@ -233,6 +282,17 @@ func (d *deviceF32) process(c *machine.Counters) ([]delivery, error) {
 						continue
 					}
 					lanes = d.buf.Lanes(int(task), lanes[:0])
+					if d.sortLanes {
+						// Canonicalize each lane's fold order: the lane holds a
+						// deterministic multiset (insertion order varies with
+						// thread interleaving), so sorting it makes the
+						// subsequent reduction — vectorized or scalar —
+						// byte-deterministic. Identity padding is untouched and
+						// exact under the fold.
+						for _, l := range lanes {
+							sortScratch = arr.SortLane(l.Lane, int(l.Count), sortScratch)
+						}
+					}
 					if vectorized {
 						d.app.ReduceVec(arr, rows)
 						localRows += int64(rows)
@@ -335,6 +395,9 @@ func (d *deviceF32) phaseTimes(c machine.Counters) PhaseTimes {
 		pt.Generate = d.cm.GenerateLocking(c, d.opt.Dev.Threads())
 	}
 	pt.Process = d.cm.Process(c, d.opt.Dev.Threads(), d.opt.Vectorized)
+	// Pull supersteps add the bottom-up in-edge sweep to the process phase;
+	// zero when no edges were scanned.
+	pt.Process += d.cm.Pull(c, d.opt.Dev.Threads())
 	pt.Update = d.cm.Update(c, d.opt.Dev.Threads())
 	return pt
 }
@@ -374,12 +437,13 @@ func (d *deviceF32) recordMetrics(iter int64, c machine.Counters, pt PhaseTimes)
 		return
 	}
 	dev := d.opt.traceLabel()
-	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseGenerate, WallNS: d.wall.generate, SimSeconds: pt.Generate, Events: c.Messages})
+	dir := d.direction()
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseGenerate, Direction: dir, WallNS: d.wall.generate, SimSeconds: pt.Generate, Events: c.Messages})
 	if c.Exchanges > 0 {
-		sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseExchange, WallNS: d.wall.exchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
+		sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseExchange, Direction: dir, WallNS: d.wall.exchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
 	}
-	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseProcess, WallNS: d.wall.process, SimSeconds: pt.Process, Events: c.ReducedMessages})
-	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseUpdate, WallNS: d.wall.update, SimSeconds: pt.Update, Events: c.UpdatedVertices})
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseProcess, Direction: dir, WallNS: d.wall.process, SimSeconds: pt.Process, Events: c.ReducedMessages})
+	sink.RecordPhase(metrics.PhaseSample{Device: dev, Rank: d.rank, Superstep: iter, Phase: metrics.PhaseUpdate, Direction: dir, WallNS: d.wall.update, SimSeconds: pt.Update, Events: c.UpdatedVertices})
 	d.wall = phaseWallNS{}
 }
 
@@ -391,12 +455,13 @@ func (d *deviceF32) recordTrace(iter int64, c machine.Counters, pt PhaseTimes) {
 		return
 	}
 	dev := d.opt.traceLabel()
-	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseGenerate, SimSeconds: pt.Generate, Events: c.Messages})
+	dir := d.direction()
+	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseGenerate, Direction: dir, SimSeconds: pt.Generate, Events: c.Messages})
 	if c.Exchanges > 0 {
-		r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseExchange, SimSeconds: pt.Exchange, Events: c.BytesSent})
+		r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseExchange, Direction: dir, SimSeconds: pt.Exchange, Events: c.BytesSent})
 	}
-	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseProcess, SimSeconds: pt.Process, Events: c.ReducedMessages})
-	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseUpdate, SimSeconds: pt.Update, Events: c.UpdatedVertices})
+	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseProcess, Direction: dir, SimSeconds: pt.Process, Events: c.ReducedMessages})
+	r.Record(trace.Sample{Device: dev, Iteration: iter, Phase: trace.PhaseUpdate, Direction: dir, SimSeconds: pt.Update, Events: c.UpdatedVertices})
 }
 
 // runIteration executes one full superstep (without exchange) and returns

@@ -52,6 +52,12 @@ func newDeviceGeneric[T any](app AppGeneric[T], g *graph.CSR, opt Options, rank 
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	// The generic engine is push-only: structured messages carry data the
+	// pull sweep cannot recompute from parent state alone. Explicit pull is
+	// rejected; auto falls back to push.
+	if opt.Direction == DirectionPull {
+		return nil, &InvalidOptionsError{Field: "Direction", Reason: "pull traversal requires a float32 application implementing core.PullerF32; the generic engine is push-only"}
+	}
 	cm, err := machine.NewCostModel(opt.Dev, app.Profile())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,65 @@
+// Package frontier provides the bitmap frontier representation used by the
+// engine's direction-optimizing traversal (push/pull switching, after
+// Beamer's hybrid BFS and the Xeon Phi vectorized-BFS line of work in
+// PAPERS.md): O(1) membership tests during the bottom-up sweep and
+// popcount-based occupancy for the switch heuristic.
+package frontier
+
+import (
+	"math/bits"
+
+	"hetgraph/internal/graph"
+)
+
+// Bitmap is a fixed-capacity vertex set over [0, n) backed by one uint64
+// word per 64 vertices. It is not synchronized: the engine writes it
+// single-threaded at the superstep boundary and reads it concurrently
+// (read-only) during the pull sweep.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap creates an empty bitmap over n vertices.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the capacity n the bitmap was created with.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set adds v to the set.
+func (b *Bitmap) Set(v graph.VertexID) { b.words[v>>6] |= 1 << (uint(v) & 63) }
+
+// Clear removes v from the set.
+func (b *Bitmap) Clear(v graph.VertexID) { b.words[v>>6] &^= 1 << (uint(v) & 63) }
+
+// Has reports whether v is in the set.
+func (b *Bitmap) Has(v graph.VertexID) bool { return b.words[v>>6]&(1<<(uint(v)&63)) != 0 }
+
+// Count returns the set's occupancy via word-wise popcount.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ClearAll empties the set in O(n/64).
+func (b *Bitmap) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// FillFrom empties the set and inserts every vertex of vs.
+func (b *Bitmap) FillFrom(vs []graph.VertexID) {
+	b.ClearAll()
+	for _, v := range vs {
+		b.Set(v)
+	}
+}

@@ -1,0 +1,82 @@
+package frontier
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgraph/internal/graph"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(200)
+	if b.Len() != 200 || b.Count() != 0 {
+		t.Fatalf("fresh bitmap: len %d count %d", b.Len(), b.Count())
+	}
+	for _, v := range []graph.VertexID{0, 63, 64, 127, 199} {
+		b.Set(v)
+		if !b.Has(v) {
+			t.Fatalf("Has(%d) false after Set", v)
+		}
+	}
+	if b.Count() != 5 {
+		t.Fatalf("count %d, want 5", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 4 {
+		t.Fatalf("Clear(64): has=%v count=%d", b.Has(64), b.Count())
+	}
+	// Setting twice is idempotent.
+	b.Set(0)
+	if b.Count() != 4 {
+		t.Fatalf("double Set changed count to %d", b.Count())
+	}
+	b.ClearAll()
+	if b.Count() != 0 || b.Has(0) || b.Has(199) {
+		t.Fatal("ClearAll left members behind")
+	}
+}
+
+func TestBitmapAgainstMapModel(t *testing.T) {
+	const n = 1000
+	b := NewBitmap(n)
+	model := map[graph.VertexID]bool{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := graph.VertexID(rng.Intn(n))
+		if rng.Intn(3) == 0 {
+			b.Clear(v)
+			delete(model, v)
+		} else {
+			b.Set(v)
+			model[v] = true
+		}
+	}
+	if b.Count() != len(model) {
+		t.Fatalf("count %d, model %d", b.Count(), len(model))
+	}
+	for v := graph.VertexID(0); v < n; v++ {
+		if b.Has(v) != model[v] {
+			t.Fatalf("Has(%d)=%v, model=%v", v, b.Has(v), model[v])
+		}
+	}
+}
+
+func TestBitmapFillFrom(t *testing.T) {
+	b := NewBitmap(128)
+	b.Set(5)
+	b.FillFrom([]graph.VertexID{1, 64, 127, 1})
+	if b.Has(5) {
+		t.Fatal("FillFrom did not clear previous contents")
+	}
+	if b.Count() != 3 || !b.Has(1) || !b.Has(64) || !b.Has(127) {
+		t.Fatalf("FillFrom: count %d", b.Count())
+	}
+}
+
+func TestBitmapZeroLength(t *testing.T) {
+	b := NewBitmap(0)
+	if b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("zero-length bitmap not empty")
+	}
+	b.ClearAll()
+}

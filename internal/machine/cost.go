@@ -137,6 +137,23 @@ func (m CostModel) Process(c Counters, threads int, vectorized bool) float64 {
 	return compute + m.launchSeconds(1)
 }
 
+// Pull returns the simulated time of one bottom-up (pull) sweep: each
+// scanned in-edge costs one frontier-bitmap membership test plus, bounded
+// above, the generate-grade arithmetic of the message it replaces; the
+// memory side is the edge walk plus the gather of parent state. There is
+// no lock traffic and no message-buffer store — that is the entire point
+// of pulling — so dense supersteps trade Messages*LockNS for a plain
+// bandwidth-bound scan.
+func (m CostModel) Pull(c Counters, threads int) float64 {
+	if c.PullEdgesScanned == 0 {
+		return 0
+	}
+	t := float64(threads)
+	compute := float64(c.PullEdgesScanned) * (m.App.GenOps + 1) * m.scalarNS() * 1e-9 / t
+	mem := m.memSeconds(float64(c.PullEdgesScanned) * 12) // 8B edge walk + 4B parent-state gather
+	return roof(compute, mem) + m.launchSeconds(1)
+}
+
 // Update returns the simulated time of one vertex-updating step.
 func (m CostModel) Update(c Counters, threads int) float64 {
 	t := float64(threads)

@@ -54,6 +54,12 @@ type Counters struct {
 	UpdatedVertices int64
 	// TaskFetches counts dynamic-scheduler task retrievals.
 	TaskFetches int64
+	// PullEdgesScanned counts in-edges examined by pull/bottom-up sweeps
+	// (each is one frontier-membership test, plus the message arithmetic
+	// when the parent is in the frontier).
+	PullEdgesScanned int64
+	// PullSupersteps counts supersteps executed in the pull direction.
+	PullSupersteps int64
 	// BytesSent is the total payload exchanged with the other device.
 	BytesSent int64
 	// Exchanges is the number of cross-device exchange rounds.
@@ -80,6 +86,8 @@ func (c *Counters) Add(o Counters) {
 	c.ReducedMessages += o.ReducedMessages
 	c.UpdatedVertices += o.UpdatedVertices
 	c.TaskFetches += o.TaskFetches
+	c.PullEdgesScanned += o.PullEdgesScanned
+	c.PullSupersteps += o.PullSupersteps
 	c.BytesSent += o.BytesSent
 	c.Exchanges += o.Exchanges
 }

@@ -112,6 +112,10 @@ type PhaseSample struct {
 	Superstep int64 `json:"superstep"`
 	// Phase is one of the Phase* constants.
 	Phase string `json:"phase"`
+	// Direction is the traversal direction the superstep ran in ("push" or
+	// "pull"); empty for applications without direction switching. Additive
+	// within report version 1.
+	Direction string `json:"direction,omitempty"`
 	// WallNS is the measured host wall-clock duration in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
 	// SimSeconds is the phase's simulated device time.

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"hetgraph/internal/core"
 )
 
 // Algorithms servable by the daemon: exactly the bundled apps that implement
@@ -36,6 +38,9 @@ const (
 	MaxIterations = 1_000_000
 	// DefaultTenant is used when a spec names no tenant.
 	DefaultTenant = "default"
+	// DefaultPageRankIterations is the iteration count a pagerank job runs
+	// when its spec leaves Iterations at 0.
+	DefaultPageRankIterations = 10
 )
 
 // JobSpec is the client-supplied description of one job, decoded from the
@@ -125,15 +130,61 @@ func (s JobSpec) Validate() error {
 	return nil
 }
 
+// Canonical resolves every defaulted or result-irrelevant field to the value
+// the executor actually runs with: pagerank and cc ignore Source (zeroed),
+// pagerank's Iterations default is DefaultPageRankIterations, and the
+// convergence-bounded algorithms run to the engine's DefaultMaxIterations
+// when Iterations is 0. Execution and the workload fingerprint both go
+// through Canonical, so specs that compute the same result share one
+// cache entry instead of fragmenting on spelling (e.g. pagerank
+// {iterations: 0} vs {iterations: 10}).
+func (s JobSpec) Canonical() JobSpec {
+	switch s.Algorithm {
+	case AlgoPageRank:
+		s.Source = 0
+		if s.Iterations == 0 {
+			s.Iterations = DefaultPageRankIterations
+		}
+	case AlgoCC:
+		s.Source = 0
+		if s.Iterations == 0 {
+			s.Iterations = core.DefaultMaxIterations
+		}
+	case AlgoBFS, AlgoSSSP:
+		if s.Iterations == 0 {
+			s.Iterations = core.DefaultMaxIterations
+		}
+	}
+	return s
+}
+
 // WorkloadFingerprint is the result-cache key: an FNV-1a hash over the
-// graph signature and every result-determining spec field (tenant and
-// timeout excluded — they do not change the answer). Two jobs with equal
+// graph signature and every result-determining spec field of the canonical
+// spec (tenant and timeout excluded — they do not change the answer; see
+// Canonical for the default/ignored-field resolution). Two jobs with equal
 // fingerprints compute the same deterministic result, which is also what
 // the crash-recovery smoke asserts across a kill -9.
 func (s JobSpec) WorkloadFingerprint(graphSig string) string {
+	c := s.Canonical()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%d|%d", graphSig, s.Algorithm, s.Source, s.Iterations)
+	fmt.Fprintf(h, "%s|%s|%d|%d", graphSig, c.Algorithm, c.Source, c.Iterations)
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// validateSourceBounds rejects a bfs or sssp spec whose source vertex does
+// not exist in the resident graph. It is scoped to the source-rooted
+// algorithms — pagerank and cc ignore Source entirely (Canonical zeroes it),
+// so an out-of-range value there is inert rather than an index panic waiting
+// inside the worker's app constructor. Surfaced as a *SpecError (HTTP 400)
+// naming the valid range.
+func validateSourceBounds(spec JobSpec, numVertices int) error {
+	switch spec.Algorithm {
+	case AlgoBFS, AlgoSSSP:
+		if spec.Source >= int64(numVertices) {
+			return &SpecError{Field: "source", Reason: fmt.Sprintf("source %d outside the resident graph's valid range [0, %d)", spec.Source, numVertices)}
+		}
+	}
+	return nil
 }
 
 // Job states, in lifecycle order. Queued and running jobs survive a crash:

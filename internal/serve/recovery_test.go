@@ -9,9 +9,10 @@ import (
 
 // baselineFingerprint runs the spec uninterrupted on its own state dir and
 // returns the result fingerprint — the ground truth the recovery tests
-// compare against. Only deterministic algorithms (min-combining bfs, sssp,
-// cc) make this a meaningful oracle: PageRank's float32 sums vary with
-// message insertion order, so even two uninterrupted runs disagree.
+// compare against. Every served algorithm is a meaningful oracle here: the
+// min-combining ones (bfs, sssp, cc) are order-insensitive, and PageRank's
+// float32 sums are folded in canonical sorted order by the engine, so even
+// its repeated runs are byte-identical.
 func baselineFingerprint(t *testing.T, spec serve.JobSpec) string {
 	t.Helper()
 	srv, err := serve.New(fastConfig(t, recoveryGraph(t)))
@@ -31,12 +32,22 @@ func baselineFingerprint(t *testing.T, spec serve.JobSpec) string {
 	return st.Result.ResultFingerprint
 }
 
-// TestServeCrashRecoveryResumesAndMatches is the PR's core invariant: a
-// daemon killed cold mid-job restarts on the same state dir, replays the
-// journal, resumes the job from its newest durable checkpoint, and produces
-// a result byte-identical to an uninterrupted run.
+// TestServeCrashRecoveryResumesAndMatches is the core invariant: a daemon
+// killed cold mid-job restarts on the same state dir, replays the journal,
+// resumes the job from its newest durable checkpoint, and produces a result
+// byte-identical to an uninterrupted run. It runs once per algorithm class:
+// sssp (order-insensitive min fold) and pagerank (order-sensitive float32
+// sum, byte-deterministic through the engine's canonical-order reductions).
 func TestServeCrashRecoveryResumesAndMatches(t *testing.T) {
-	spec := serve.JobSpec{Algorithm: serve.AlgoSSSP}
+	for _, spec := range []serve.JobSpec{
+		{Algorithm: serve.AlgoSSSP},
+		{Algorithm: serve.AlgoPageRank, Iterations: 40},
+	} {
+		t.Run(spec.Algorithm, func(t *testing.T) { testCrashRecovery(t, spec) })
+	}
+}
+
+func testCrashRecovery(t *testing.T, spec serve.JobSpec) {
 	want := baselineFingerprint(t, spec)
 
 	cfg := fastConfig(t, recoveryGraph(t))

@@ -345,6 +345,21 @@ func (s *Server) replay() ([]*Job, error) {
 			tb, _ := json.Marshal(term)
 			compacted = append(compacted, tb)
 		default: // queued, running, interrupted: resume
+			// Re-validate source bounds against the graph the daemon restarted
+			// with: a journaled job admitted against a larger graph would
+			// otherwise re-queue and panic inside the worker's app
+			// constructor. Such jobs fail terminally instead of resuming.
+			if err := validateSourceBounds(job.spec, s.cfg.Graph.NumVertices()); err != nil {
+				job.state = StateFailed
+				job.errText = err.Error()
+				job.finished = f.last
+				close(job.done)
+				term := journalRecord{ID: id, State: StateFailed, Attempt: f.attempts, Error: job.errText, UnixNano: f.last}
+				tb, _ := json.Marshal(term)
+				compacted = append(compacted, tb)
+				s.event(metrics.EventJobFailed, id)
+				break
+			}
 			job.state = StateQueued
 			job.resumed = true
 			s.queued++
@@ -384,8 +399,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if v := int64(s.cfg.Graph.NumVertices()); spec.Source >= v {
-		return nil, &SpecError{Field: "source", Reason: fmt.Sprintf("%d outside the graph's %d vertices", spec.Source, v)}
+	if err := validateSourceBounds(spec, s.cfg.Graph.NumVertices()); err != nil {
+		return nil, err
 	}
 	fp := spec.WorkloadFingerprint(s.graphSig)
 	now := time.Now().UnixNano()
@@ -793,21 +808,21 @@ func (s *Server) finalize(job *Job, state, errText string, res *JobResult, reque
 // execute runs one engine attempt of the job against the resident graph.
 func (s *Server) execute(job *Job, resume bool) (*JobResult, error) {
 	var app core.AppF32
-	iters := job.spec.Iterations
-	switch job.spec.Algorithm {
+	// Canonical resolves the same defaults the fingerprint hashed, so the
+	// cache key and the executed workload can never drift apart.
+	spec := job.spec.Canonical()
+	iters := spec.Iterations
+	switch spec.Algorithm {
 	case AlgoPageRank:
 		app = apps.NewPageRank()
-		if iters == 0 {
-			iters = 10
-		}
 	case AlgoBFS:
-		app = apps.NewBFS(graph.VertexID(job.spec.Source))
+		app = apps.NewBFS(graph.VertexID(spec.Source))
 	case AlgoSSSP:
-		app = apps.NewSSSP(graph.VertexID(job.spec.Source))
+		app = apps.NewSSSP(graph.VertexID(spec.Source))
 	case AlgoCC:
 		app = apps.NewConnectedComponents()
 	default:
-		return nil, &SpecError{Field: "algorithm", Reason: fmt.Sprintf("unknown algorithm %q", job.spec.Algorithm)}
+		return nil, &SpecError{Field: "algorithm", Reason: fmt.Sprintf("unknown algorithm %q", spec.Algorithm)}
 	}
 	opts := make([]core.Options, len(s.cfg.Devices))
 	for r, dev := range s.cfg.Devices {

@@ -31,10 +31,10 @@ func serveGraph(t testing.TB) *graph.CSR {
 
 // recoveryGraph is a larger weighted power-law graph for the crash/drain
 // recovery tests: SSSP on it runs ~20 fsync-checkpointed supersteps, wide
-// enough to interrupt a job mid-flight reliably. SSSP is the long-running
-// deterministic choice — its min-combining reduction is order-insensitive,
-// so result fingerprints are stable across runs, unlike PageRank's float32
-// sums whose value depends on message insertion order.
+// enough to interrupt a job mid-flight reliably. Every served algorithm is
+// fingerprint-stable across runs — the min-combining ones are
+// order-insensitive, and PageRank's float32 sums go through the engine's
+// canonical-order (sorted) reductions.
 func recoveryGraph(t testing.TB) *graph.CSR {
 	t.Helper()
 	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 8000, MeanDeg: 6, Alpha: 2.2, FrontBias: 0.7, Locality: 0.6, LocalWindow: 0.05, Seed: 33})

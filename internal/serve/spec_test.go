@@ -1,0 +1,142 @@
+package serve_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hetgraph/internal/core"
+	"hetgraph/internal/serve"
+)
+
+// TestWorkloadFingerprintCanonicalization: specs that execute the same
+// workload must share one fingerprint (one result-cache entry), however the
+// client spelled the defaults or filled ignored fields.
+func TestWorkloadFingerprintCanonicalization(t *testing.T) {
+	const sig = "feedfacefeedface"
+	same := []struct {
+		name string
+		a, b serve.JobSpec
+	}{
+		{"pagerank iteration default", serve.JobSpec{Algorithm: serve.AlgoPageRank}, serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: serve.DefaultPageRankIterations}},
+		{"pagerank ignores source", serve.JobSpec{Algorithm: serve.AlgoPageRank, Source: 7}, serve.JobSpec{Algorithm: serve.AlgoPageRank}},
+		{"cc ignores source", serve.JobSpec{Algorithm: serve.AlgoCC, Source: 3}, serve.JobSpec{Algorithm: serve.AlgoCC}},
+		{"bfs iteration default", serve.JobSpec{Algorithm: serve.AlgoBFS, Source: 1}, serve.JobSpec{Algorithm: serve.AlgoBFS, Source: 1, Iterations: core.DefaultMaxIterations}},
+		{"tenant and timeout excluded", serve.JobSpec{Algorithm: serve.AlgoSSSP, Tenant: "a", TimeoutMS: 99}, serve.JobSpec{Algorithm: serve.AlgoSSSP, Tenant: "b"}},
+	}
+	for _, tc := range same {
+		if fa, fb := tc.a.WorkloadFingerprint(sig), tc.b.WorkloadFingerprint(sig); fa != fb {
+			t.Errorf("%s: fingerprints fragment: %s != %s", tc.name, fa, fb)
+		}
+	}
+	diff := []struct {
+		name string
+		a, b serve.JobSpec
+	}{
+		{"bfs source matters", serve.JobSpec{Algorithm: serve.AlgoBFS, Source: 1}, serve.JobSpec{Algorithm: serve.AlgoBFS, Source: 2}},
+		{"pagerank iterations matter", serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 5}, serve.JobSpec{Algorithm: serve.AlgoPageRank, Iterations: 6}},
+		{"algorithm matters", serve.JobSpec{Algorithm: serve.AlgoBFS}, serve.JobSpec{Algorithm: serve.AlgoSSSP}},
+	}
+	for _, tc := range diff {
+		if fa, fb := tc.a.WorkloadFingerprint(sig), tc.b.WorkloadFingerprint(sig); fa == fb {
+			t.Errorf("%s: distinct workloads collide on %s", tc.name, fa)
+		}
+	}
+}
+
+// TestSubmitRejectsOutOfRangeSource: a bfs/sssp source beyond the resident
+// graph's vertex count is a typed *SpecError (HTTP 400) naming the valid
+// range — not an index panic inside the worker. The check is scoped to the
+// source-rooted algorithms; pagerank/cc ignore Source and stay admissible.
+func TestSubmitRejectsOutOfRangeSource(t *testing.T) {
+	g := serveGraph(t)
+	srv, err := serve.New(fastConfig(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	n := int64(g.NumVertices())
+	for _, algo := range []string{serve.AlgoBFS, serve.AlgoSSSP} {
+		_, err := srv.Submit(serve.JobSpec{Algorithm: algo, Source: n})
+		var se *serve.SpecError
+		if !errors.As(err, &se) || se.Field != "source" {
+			t.Fatalf("%s source=%d: got %v, want *SpecError on field source", algo, n, err)
+		}
+		if !strings.Contains(se.Reason, "[0,") {
+			t.Errorf("%s: reason %q does not name the valid range", algo, se.Reason)
+		}
+	}
+	// In-range boundary source is admissible.
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoBFS, Source: n - 1})
+	if err != nil {
+		t.Fatalf("boundary source %d rejected: %v", n-1, err)
+	}
+	waitDone(t, job)
+	// pagerank ignores Source, so an out-of-range value is inert.
+	job, err = srv.Submit(serve.JobSpec{Algorithm: serve.AlgoPageRank, Source: n + 100, Iterations: 2})
+	if err != nil {
+		t.Fatalf("pagerank with inert out-of-range source rejected: %v", err)
+	}
+	waitDone(t, job)
+	if st := srv.Status(job); st.State != serve.StateCompleted {
+		t.Fatalf("pagerank job state %q (error %q)", st.State, st.Error)
+	}
+}
+
+// TestReplayFailsOutOfRangeSource: a journaled in-flight job whose source
+// does not exist in the graph the daemon restarted with must fail terminally
+// at replay — never re-queue and panic in the worker.
+func TestReplayFailsOutOfRangeSource(t *testing.T) {
+	big := recoveryGraph(t) // 8000 vertices
+	cfg := fastConfig(t, big)
+	stateDir := cfg.StateDir
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(serve.JobSpec{Algorithm: serve.AlgoSSSP, Source: int64(big.NumVertices()) - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash with the job journaled but not terminal.
+	deadline := time.Now().Add(60 * time.Second)
+	for srv.Status(job).Checkpoints < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never committed a checkpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Crash()
+
+	// Restart on the same state dir with a much smaller graph: the source is
+	// now out of range.
+	cfg2 := fastConfig(t, serveGraph(t)) // 400 vertices
+	cfg2.StateDir = stateDir
+	srv2, err := serve.New(cfg2)
+	if err != nil {
+		t.Fatalf("reopen with smaller graph: %v", err)
+	}
+	defer srv2.Close()
+	revived, ok := srv2.Get(job.ID())
+	if !ok {
+		t.Fatalf("job %s lost across the restart", job.ID())
+	}
+	waitDone(t, revived)
+	st := srv2.Status(revived)
+	if st.State != serve.StateFailed {
+		t.Fatalf("replayed out-of-range job state %q, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "source") {
+		t.Errorf("failure %q does not name the source field", st.Error)
+	}
+	// The daemon itself stays healthy.
+	ok2, err := srv2.Submit(serve.JobSpec{Algorithm: serve.AlgoBFS, Source: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ok2)
+	if st := srv2.Status(ok2); st.State != serve.StateCompleted {
+		t.Fatalf("post-replay job state %q (error %q)", st.State, st.Error)
+	}
+}

@@ -36,6 +36,9 @@ type Sample struct {
 	Iteration int64
 	// Phase is one of the Phase* constants.
 	Phase string
+	// Direction is the traversal direction of the superstep ("push" or
+	// "pull"); empty for applications without direction switching.
+	Direction string
 	// SimSeconds is the phase's simulated device time.
 	SimSeconds float64
 	// Events is the phase's primary event count (messages generated,

@@ -1,6 +1,9 @@
 package vec
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // ArrayF32 is an aligned vector array: `rows` consecutive rows of `width`
 // float32 lanes backed by one contiguous allocation. This is the unit the
@@ -74,6 +77,29 @@ func (a *ArrayF32) ReduceSum(n int) []float32 {
 		AddF32(r0, r0, a.Row(i))
 	}
 	return r0
+}
+
+// SortLane sorts the first count cells of lane l ascending, staging the
+// strided column through scratch (grown as needed) and returning it for
+// reuse. The engine uses this for order-sensitive reductions (float32
+// sums): the multiset of a lane's messages is deterministic for a given
+// vertex state, so folding the sorted sequence makes the reduction
+// byte-deterministic regardless of insertion order. Identity padding above
+// count is untouched — x + 0.0 is exact, so the row-order fold over the
+// padded tail stays canonical.
+func (a *ArrayF32) SortLane(l, count int, scratch []float32) []float32 {
+	if count < 2 {
+		return scratch
+	}
+	scratch = scratch[:0]
+	for r := 0; r < count; r++ {
+		scratch = append(scratch, a.data[r*a.width+l])
+	}
+	slices.Sort(scratch)
+	for r := 0; r < count; r++ {
+		a.data[r*a.width+l] = scratch[r]
+	}
+	return scratch
 }
 
 // ArrayI32 is the int32 counterpart of ArrayF32.
