@@ -30,10 +30,11 @@ func main() {
 	log.SetPrefix("hetgraph-bench: ")
 	var (
 		scaleName = flag.String("scale", "full", "workload scale: small | full")
-		only      = flag.String("only", "", "comma-separated artifact list (5a,5b,5c,5d,5e,5f,6,t2,dir,ablation); empty = all")
+		only      = flag.String("only", "", "comma-separated artifact list (5a,5b,5c,5d,5e,5f,6,t2,dir,straggler,ablation); empty = all")
 		outDir    = flag.String("out", "", "directory to write per-artifact text files (optional)")
 		report    = flag.String("report", "", "write a versioned JSON run report with per-artifact wall timing to this path")
 		artifact  = flag.String("artifact", "", "write the direction ablation (A8) as a versioned BENCH JSON perf artifact to this path")
+		strArt    = flag.String("straggler-artifact", "", "write the straggler-mitigation ablation (A9) as a versioned BENCH JSON perf artifact to this path")
 		checkPath = flag.String("check-artifact", "", "read and validate a BENCH JSON perf artifact, then exit")
 		debugAddr = flag.String("debug-addr", "", `serve /debug/pprof/, /debug/vars, and /metrics on this address while the suite runs`)
 	)
@@ -162,6 +163,24 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("perf artifact written to %s\n", *artifact)
+		}
+	}
+	if sel("straggler") || *strArt != "" {
+		pr, err := bench.SpecByName(specs, "PageRank")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig, err := bench.AblationStraggler(pr)
+		emit(fig, err)
+		if *strArt != "" {
+			a := bench.NewArtifact(fig, "hetgraph-bench -only straggler -straggler-artifact", scale.Name)
+			if err := a.Validate(); err != nil {
+				log.Fatalf("straggler ablation failed its acceptance check: %v", err)
+			}
+			if err := bench.WriteArtifact(*strArt, a); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("perf artifact written to %s\n", *strArt)
 		}
 	}
 	if col != nil && *report != "" {

@@ -51,6 +51,10 @@ const faultGrammar = `fault plan grammar (events separated by ';' or ','):
   rank<r>:recover@<step>                  rank r recovered at <step> (pairs with an earlier failure)
   rank<r>:corrupt@<step>[x<n>]            rank r's outgoing packets corrupted in flight for <n> attempts (default 1);
                                           the receiver drops them on checksum and NACKs a retransmit
+  rank<r>:slow@<step>:<duration>          rank r's compute stalls by <duration> at <step> (gray failure: the
+                                          stall is charged to the rank, feeding the straggler detector)
+  rank<r>:gslow@<step>x<n>:<duration>     sustained gray failure: the same stall every superstep for <n>
+                                          supersteps starting at <step>
   rank<r>:dup@<step>                      rank r's packets delivered twice; duplicates are fenced by sequence
   rank<r>:reorder@<step>                  adjacent packets on rank r's links swapped; reorders are fenced
   partition@<step>:{<r>,..}|{<r>,..}      sever every link between the two rank sets; the majority side
@@ -109,6 +113,8 @@ func run(args []string) error {
 		rejoin     = fs.Bool("rejoin", false, "heal after a device failure: restart the failed rank from a checkpoint when the fault plan declares it recovered (requires -checkpoint-every or -checkpoint-dir)")
 		exTimeout  = fs.Duration("exchange-timeout", 0, "deadline per cross-device exchange round (0 = unbounded)")
 		faultPlan  = fs.String("fault-plan", "", `inject faults, e.g. "rank1:drop@3;rank0:delay@2:5ms" (see docs/robustness.md)`)
+		strThresh  = fs.Duration("straggler-threshold", 0, "EWMA superstep latency over this marks a rank suspect, sustained excess confirms a straggler (0 = health scoring off; -device both)")
+		strPolicy  = fs.String("straggler-policy", "off", "straggler mitigation: off | demote | demote-rehab (demote soft-degrades a confirmed straggler at a checkpoint barrier; demote-rehab also restores it once its latency re-normalizes; requires -straggler-threshold and -checkpoint-every)")
 		report     = fs.String("report", "", "write a versioned JSON run report (phases, counters, events) to this path")
 		debugAddr  = fs.String("debug-addr", "", `serve /debug/pprof/, /debug/vars, and /metrics on this address (e.g. "localhost:6060")`)
 		jobTimeout = fs.Duration("job-timeout", 0, "wall deadline for the run: abort at the next superstep boundary once elapsed (0 = unbounded; exit 130 with partial results, like SIGINT)")
@@ -231,6 +237,10 @@ func run(args []string) error {
 			return usagef("bad -fault-plan: %w", err)
 		}
 	}
+	policy, err := hetgraph.ParseStragglerPolicy(*strPolicy)
+	if err != nil {
+		return usagef("bad -straggler-policy: %w", err)
+	}
 	opt := hetgraph.Options{
 		Scheme:           schemeOf(*scheme),
 		Vectorized:       !*novec,
@@ -245,6 +255,9 @@ func run(args []string) error {
 		ExchangeTimeout:  *exTimeout,
 		Fault:            inj,
 		Abort:            abort,
+
+		StragglerThreshold: *strThresh,
+		StragglerPolicy:    policy,
 	}
 	if col != nil {
 		// Assign through the guard: a nil *MetricsCollector stored in the
@@ -264,6 +277,9 @@ func run(args []string) error {
 	case "cpu", "mic":
 		if *ckDir != "" || *resume || *rejoin {
 			return usagef("-checkpoint-dir/-resume/-rejoin require -device both (recovery backs the heterogeneous run)")
+		}
+		if policy != hetgraph.StragglerOff || *strThresh != 0 {
+			return usagef("-straggler-policy/-straggler-threshold require -device both (the supervisor scores ranks of a device group)")
 		}
 		opt.Dev = devOf(*device)
 		res, err := hetgraph.Run(app, g, opt)
@@ -326,6 +342,11 @@ func run(args []string) error {
 			repTotals.RejoinSuperstep = res.RejoinSuperstep
 		}
 		repTotals.DegradedSupersteps = res.DegradedSupersteps
+		repTotals.SuspectRanks = res.SuspectRanks
+		repTotals.SoftDegraded = res.SoftDegraded
+		repTotals.SoftDegradeSuperstep = res.SoftDegradeSuperstep
+		repTotals.Rehabilitated = res.Rehabilitated
+		repTotals.RehabilitateSuperstep = res.RehabilitateSuperstep
 		repTotals.CorruptDrops = res.Integrity.CorruptDrops
 		repTotals.DupDrops = res.Integrity.DupDrops
 		repTotals.StaleDrops = res.Integrity.StaleDrops
@@ -354,6 +375,12 @@ func run(args []string) error {
 		if res.Healed {
 			fmt.Printf("healed: rank %d rejoined at superstep %d after %d degraded supersteps\n",
 				res.FailedRank, res.RejoinSuperstep, res.DegradedSupersteps)
+		}
+		for _, r := range res.SoftDegraded {
+			fmt.Printf("soft_degraded: rank %d demoted at superstep %d\n", r, res.SoftDegradeSuperstep)
+		}
+		for _, r := range res.Rehabilitated {
+			fmt.Printf("rehabilitated: rank %d restored at superstep %d\n", r, res.RehabilitateSuperstep)
 		}
 		if res.Degraded {
 			at := "" // a panic failure carries no exchange superstep
@@ -505,7 +532,7 @@ func graphInfoOf(path string, g *hetgraph.Graph) hetgraph.RunReportGraph {
 
 // reportConfigOf echoes one rank's engine options into the report.
 func reportConfigOf(rank int, o hetgraph.Options, faultPlan string) hetgraph.RunReportConfig {
-	return hetgraph.RunReportConfig{
+	c := hetgraph.RunReportConfig{
 		Rank:              rank,
 		Device:            o.Dev.Name,
 		Scheme:            o.Scheme.String(),
@@ -524,6 +551,11 @@ func reportConfigOf(rank int, o hetgraph.Options, faultPlan string) hetgraph.Run
 		ExchangeTimeoutNS: int64(o.ExchangeTimeout),
 		FaultPlan:         faultPlan,
 	}
+	if o.StragglerPolicy != hetgraph.StragglerOff || o.StragglerThreshold != 0 {
+		c.StragglerThresholdNS = int64(o.StragglerThreshold)
+		c.StragglerPolicy = o.StragglerPolicy.String()
+	}
+	return c
 }
 
 // deviceReportOf folds one device's Result into the report.

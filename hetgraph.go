@@ -199,6 +199,22 @@ const (
 	DirectionAuto = core.DirectionAuto
 )
 
+// StragglerPolicy selects the gray-failure mitigation for group runs
+// (Options.StragglerPolicy): what the supervisor does when a rank's EWMA
+// superstep latency stays over Options.StragglerThreshold long enough to
+// confirm it as a straggler. See docs/robustness.md.
+type StragglerPolicy = core.StragglerPolicy
+
+// Straggler mitigation policies for Options.StragglerPolicy.
+const (
+	StragglerOff         = core.StragglerOff
+	StragglerDemote      = core.StragglerDemote
+	StragglerDemoteRehab = core.StragglerDemoteRehab
+)
+
+// ParseStragglerPolicy parses "off", "demote", or "demote-rehab".
+func ParseStragglerPolicy(s string) (StragglerPolicy, error) { return core.ParseStragglerPolicy(s) }
+
 // DefaultGenBatch is the recommended Options.GenBatchSize for batched
 // pipelined message generation; the default (0 or 1) is the paper's
 // per-element SPSC handoff. See docs/pipeline.md.
@@ -308,6 +324,8 @@ const (
 	FaultPanic     = fault.KindPanic
 	FaultFlaky     = fault.KindFlaky
 	FaultRecover   = fault.KindRecover
+	FaultSlow      = fault.KindSlow
+	FaultGSlow     = fault.KindGSlow
 	FaultCorrupt   = fault.KindCorrupt
 	FaultDup       = fault.KindDup
 	FaultReorder   = fault.KindReorder

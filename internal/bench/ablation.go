@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"hetgraph/internal/core"
 	"hetgraph/internal/csb"
+	"hetgraph/internal/fault"
 	"hetgraph/internal/machine"
 	"hetgraph/internal/metis"
 	"hetgraph/internal/partition"
@@ -261,5 +263,100 @@ func AblationRatioSweep(spec AppSpec) (Figure, error) {
 		}
 	}
 	fig.note("best ratio %s at %.6f sim s (spec default %d:%d)", best.Config, best.Total(), spec.Ratio.A, spec.Ratio.B)
+	return fig, nil
+}
+
+// AblationStraggler measures the payoff of gray-failure mitigation (A9): a
+// four-rank group whose rank 1 stalls every superstep for the first six
+// supersteps (the stall is calibrated below), run once with straggler
+// handling off — the whole group
+// waits behind the stall for the entire window — and once under
+// demote-rehab, where the supervisor soft-degrades the straggler at a
+// checkpoint barrier and restores it once its latency re-normalizes. The
+// simulated exec column is the headline: the mitigated run stops paying the
+// stall after the demotion barrier, and the artifact's acceptance check
+// (Artifact.Validate) holds that gap as the optimization's bar.
+func AblationStraggler(spec AppSpec) (Figure, error) {
+	fig := Figure{ID: "A9", Title: fmt.Sprintf("Ablation: straggler mitigation off vs demote-rehab (%s, 4 ranks)", spec.Name)}
+	if spec.IsGeneric() {
+		return fig, fmt.Errorf("bench: straggler ablation needs a float32 app, %s is generic", spec.Name)
+	}
+	const ranks = 4
+	weights := make([]int, ranks)
+	for i := range weights {
+		weights[i] = 1
+	}
+	assign, err := partition.MakeN(partition.MethodRoundRobin, spec.Graph, weights)
+	if err != nil {
+		return fig, err
+	}
+	iters := spec.MaxIters
+	if iters == 0 || iters > 12 {
+		iters = 12 // enough supersteps for demote (~3) and rehab (~8) to land
+	}
+	groupOpts := func(inj *fault.Injector, threshold time.Duration, policy core.StragglerPolicy) []core.Options {
+		opts := make([]core.Options, ranks)
+		opts[0] = core.Options{Dev: machine.CPU(), Scheme: core.SchemeLocking, Vectorized: true,
+			MaxIterations: iters, CheckpointEvery: 1, Fault: inj,
+			StragglerThreshold: threshold, StragglerPolicy: policy}
+		for r := 1; r < ranks; r++ {
+			opts[r] = core.Options{Dev: machine.MIC(), Scheme: core.SchemePipelined, Vectorized: true,
+				MaxIterations: iters}
+		}
+		return opts
+	}
+
+	// Calibrate against the workload: one fault-free run measures the
+	// per-superstep charged exec time — the same modeled quantity the
+	// health scorer consumes — then the injected stall is set to dominate
+	// healthy compute (8x) and the threshold to separate the two (4x), so
+	// the straggler — and only the straggler — crosses it at any scale.
+	base, err := core.RunF32Hetero(spec.newF32(), spec.Graph, assign, groupOpts(nil, 0, core.StragglerOff)...)
+	if err != nil {
+		return fig, err
+	}
+	baseIters := base.Iterations
+	if baseIters < 1 {
+		baseIters = 1
+	}
+	stall := time.Duration(8 * base.ExecSeconds / float64(baseIters) * float64(time.Second))
+	if stall < 40*time.Millisecond {
+		stall = 40 * time.Millisecond
+	}
+
+	for _, policy := range []core.StragglerPolicy{core.StragglerOff, core.StragglerDemoteRehab} {
+		plan, err := fault.Parse(fmt.Sprintf("rank1:gslow@0x6:%s", stall))
+		if err != nil {
+			return fig, err
+		}
+		inj, err := fault.NewInjector(plan)
+		if err != nil {
+			return fig, err
+		}
+		threshold := stall / 2
+		if policy == core.StragglerOff {
+			threshold = 0
+		}
+		res, err := core.RunF32Hetero(spec.newF32(), spec.Graph, assign, groupOpts(inj, threshold, policy)...)
+		if err != nil {
+			return fig, err
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Config:  policy.String(),
+			ExecSim: res.ExecSeconds,
+			CommSim: res.CommSeconds,
+			Wall:    res.WallSeconds,
+			Extra: map[string]float64{
+				"softDegraded":    float64(len(res.SoftDegraded)),
+				"rehabilitated":   float64(len(res.Rehabilitated)),
+				"demoteSuperstep": float64(res.SoftDegradeSuperstep),
+				"rehabSuperstep":  float64(res.RehabilitateSuperstep),
+				"iterations":      float64(res.Iterations),
+			},
+		})
+	}
+	off, mit := fig.Rows[0], fig.Rows[1]
+	fig.note("demote-rehab cut simulated exec %.3fs -> %.3fs (demoted at %d, rehabilitated at %d)",
+		off.ExecSim, mit.ExecSim, int64(mit.Extra["demoteSuperstep"]), int64(mit.Extra["rehabSuperstep"]))
 	return fig, nil
 }

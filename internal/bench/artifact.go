@@ -57,8 +57,10 @@ func ReadArtifact(path string) (Artifact, error) {
 }
 
 // Validate checks the schema and the figure-specific claims the artifact
-// exists to record. For the direction ablation (A8) that claim is the
-// optimization's acceptance bar: auto generates no more messages than push.
+// exists to record — each figure's acceptance bar. For the direction
+// ablation (A8): auto generates no more messages than push. For the
+// straggler ablation (A9): the demote-rehab run actually demoted and spent
+// less simulated exec time than the unmitigated run.
 func (a Artifact) Validate() error {
 	if a.SchemaVersion != ArtifactSchemaVersion {
 		return fmt.Errorf("schema_version %d, want %d", a.SchemaVersion, ArtifactSchemaVersion)
@@ -86,6 +88,20 @@ func (a Artifact) Validate() error {
 		}
 		if am > pm {
 			return fmt.Errorf("direction ablation regressed: auto generated %.0f messages > push's %.0f", am, pm)
+		}
+	}
+	if a.Figure.ID == "A9" {
+		off, okO := a.Figure.FindRow("off")
+		mit, okM := a.Figure.FindRow("demote-rehab")
+		if !okO || !okM {
+			return fmt.Errorf("straggler ablation misses off/demote-rehab rows")
+		}
+		if mit.Extra["softDegraded"] < 1 {
+			return fmt.Errorf("straggler ablation never demoted: mitigation was not exercised")
+		}
+		if mit.ExecSim >= off.ExecSim {
+			return fmt.Errorf("straggler mitigation regressed: demote-rehab exec %.3fs >= off's %.3fs",
+				mit.ExecSim, off.ExecSim)
 		}
 	}
 	return nil

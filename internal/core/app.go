@@ -124,6 +124,54 @@ const (
 	DefaultPullBeta  = 24.0
 )
 
+// StragglerPolicy selects how a heterogeneous run responds when the health
+// scorer confirms a rank as a straggler (alive but persistently slow — a
+// gray failure, distinct from the dead-rank exchange-deadline path).
+type StragglerPolicy int
+
+const (
+	// StragglerOff disables gray-failure mitigation: the health scorer
+	// still classifies ranks (surfaced in HeteroResult.SuspectRanks when a
+	// threshold is set), but the group keeps waiting for stragglers at
+	// every barrier. The default.
+	StragglerOff StragglerPolicy = iota
+	// StragglerDemote soft-degrades a confirmed straggler at the next
+	// checkpoint barrier: its vertices move to the healthy survivors and it
+	// becomes a non-owning member, but it is never re-admitted.
+	StragglerDemote
+	// StragglerDemoteRehab soft-degrades like StragglerDemote and then
+	// rehabilitates the rank — restores its vertices via the rejoin/replay
+	// path — once its latency has stayed normal for the probation window.
+	StragglerDemoteRehab
+)
+
+func (p StragglerPolicy) String() string {
+	switch p {
+	case StragglerOff:
+		return "off"
+	case StragglerDemote:
+		return "demote"
+	case StragglerDemoteRehab:
+		return "demote-rehab"
+	default:
+		return fmt.Sprintf("StragglerPolicy(%d)", int(p))
+	}
+}
+
+// ParseStragglerPolicy parses a policy name as used by the CLI flag.
+func ParseStragglerPolicy(s string) (StragglerPolicy, error) {
+	switch s {
+	case "off", "":
+		return StragglerOff, nil
+	case "demote":
+		return StragglerDemote, nil
+	case "demote-rehab":
+		return StragglerDemoteRehab, nil
+	default:
+		return 0, fmt.Errorf("core: unknown straggler policy %q (want off|demote|demote-rehab)", s)
+	}
+}
+
 // Scheme selects the message-generation scheme of §IV-C.
 type Scheme int
 
@@ -259,6 +307,23 @@ type Options struct {
 	// final checkpoint when checkpointing is configured, and returns the
 	// partial Result alongside a *RunAbortedError.
 	Abort <-chan struct{}
+	// StragglerThreshold arms the per-rank health scorer of heterogeneous
+	// runs: a rank whose EWMA per-superstep time exceeds the threshold
+	// turns suspect, and after a few consecutive over-threshold supersteps
+	// is confirmed a straggler (see internal/core/health.go for the
+	// hysteresis). 0 disables scoring. Hetero runs use the first non-zero
+	// value across the device options.
+	StragglerThreshold time.Duration
+	// StragglerPolicy selects the mitigation applied to confirmed
+	// stragglers: off (observe only), demote (soft-degrade at a checkpoint
+	// barrier, reassigning the straggler's vertices to healthy survivors
+	// while it stays a heartbeating non-owning member), or demote-rehab
+	// (demote, then restore the rank via the rejoin path once its latency
+	// re-normalizes). Demotion replays state from a checkpoint, so a
+	// non-off policy requires CheckpointEvery > 0, and a
+	// StragglerThreshold to detect stragglers with. Hetero runs use the
+	// first non-off value across the device options.
+	StragglerPolicy StragglerPolicy
 }
 
 // DefaultMaxIterations guards against non-terminating vertex programs.
@@ -368,6 +433,21 @@ func (o Options) validate() error {
 	}
 	if o.Rejoin && o.CheckpointEvery == 0 && o.CheckpointDir == "" {
 		return &InvalidOptionsError{Field: "Rejoin", Reason: "requires CheckpointEvery > 0 or CheckpointDir: rejoin replays the restarted rank from a checkpoint, and a run that never captures one cannot heal"}
+	}
+	if o.StragglerThreshold < 0 {
+		return &InvalidOptionsError{Field: "StragglerThreshold", Reason: fmt.Sprintf("%s < 0", o.StragglerThreshold)}
+	}
+	switch o.StragglerPolicy {
+	case StragglerOff:
+	case StragglerDemote, StragglerDemoteRehab:
+		if o.StragglerThreshold == 0 {
+			return &InvalidOptionsError{Field: "StragglerPolicy", Reason: fmt.Sprintf("%s requires StragglerThreshold > 0: there is no straggler definition to act on", o.StragglerPolicy)}
+		}
+		if o.CheckpointEvery == 0 {
+			return &InvalidOptionsError{Field: "StragglerPolicy", Reason: fmt.Sprintf("%s requires CheckpointEvery > 0: soft-degrade and rehabilitation act at checkpoint barriers", o.StragglerPolicy)}
+		}
+	default:
+		return &InvalidOptionsError{Field: "StragglerPolicy", Reason: fmt.Sprintf("unknown policy %d (want off|demote|demote-rehab)", int(o.StragglerPolicy))}
 	}
 	return nil
 }

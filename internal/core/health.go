@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rank health as scored by the heterogeneous supervisor. Gray failures —
+// a rank that is alive but persistently slow — are classified separately
+// from the dead-rank deadline path: the exchange timeout convicts a rank
+// that stopped responding, while the health scorer watches ranks that keep
+// responding, just too slowly, and lets the supervisor demote them at a
+// checkpoint barrier instead of stalling every superstep behind them.
+type rankHealth int
+
+const (
+	// rankHealthy: EWMA superstep latency at or under the threshold.
+	rankHealthy rankHealth = iota
+	// rankSuspect: latency over the threshold, but not yet long enough to
+	// act on (hysteresis: transient spikes must not trigger a demotion).
+	rankSuspect
+	// rankStraggler: latency stayed over the threshold for
+	// stragglerConfirmSupersteps consecutive observations; the supervisor
+	// may soft-degrade the rank at the next barrier.
+	rankStraggler
+)
+
+func (s rankHealth) String() string {
+	switch s {
+	case rankHealthy:
+		return "healthy"
+	case rankSuspect:
+		return "suspect"
+	case rankStraggler:
+		return "straggler"
+	default:
+		return fmt.Sprintf("rankHealth(%d)", int(s))
+	}
+}
+
+// Hysteresis constants of the health state machine. The EWMA smooths
+// superstep-to-superstep noise; the confirm/rehabilitate streaks make both
+// transitions deliberately sticky, so one slow superstep cannot demote a
+// rank and one fast probe cannot restore it.
+const (
+	// healthEWMAAlpha weights the newest observation in the moving average.
+	healthEWMAAlpha = 0.5
+	// stragglerConfirmSupersteps is how many consecutive over-threshold
+	// observations turn a suspect into a confirmed straggler.
+	stragglerConfirmSupersteps = 3
+	// rehabilitateSupersteps is how many consecutive normal observations
+	// (or heartbeat probes, for a demoted rank) clear a suspect or make a
+	// demoted rank eligible for rehabilitation.
+	rehabilitateSupersteps = 2
+)
+
+// healthScorer tracks per-rank EWMA superstep time against a fixed
+// threshold and classifies ranks healthy → suspect → straggler with
+// hysteresis in both directions. It is driven single-threaded by the
+// supervisor between lockstep segments; the per-rank samples it consumes
+// (injected stall plus modeled compute, the time the runtime charges a
+// superstep) are collected race-free inside the segment (each rank
+// goroutine writes only its own slice).
+type healthScorer struct {
+	threshold float64 // seconds
+	ewma      []float64
+	seeded    []bool
+	state     []rankHealth
+	over      []int // consecutive over-threshold observations
+	normal    []int // consecutive normal observations/probes
+}
+
+// newHealthScorer builds a scorer for n ranks with every rank healthy.
+func newHealthScorer(n int, threshold time.Duration) *healthScorer {
+	return &healthScorer{
+		threshold: threshold.Seconds(),
+		ewma:      make([]float64, n),
+		seeded:    make([]bool, n),
+		state:     make([]rankHealth, n),
+		over:      make([]int, n),
+		normal:    make([]int, n),
+	}
+}
+
+// Observe folds one charged superstep time (stall plus modeled compute,
+// excluding the lockstep exchange wait — which would smear one rank's
+// slowness onto every peer) into the rank's EWMA and advances its state
+// machine. It returns the state before and after the observation.
+func (h *healthScorer) Observe(rank int, sampleSeconds float64) (prev, now rankHealth) {
+	prev = h.state[rank]
+	if !h.seeded[rank] {
+		h.ewma[rank] = sampleSeconds
+		h.seeded[rank] = true
+	} else {
+		h.ewma[rank] = healthEWMAAlpha*sampleSeconds + (1-healthEWMAAlpha)*h.ewma[rank]
+	}
+	// The streak counters run on the raw sample, not the EWMA: a single
+	// large spike decays through the EWMA over several supersteps and would
+	// otherwise count as "consecutively over", defeating the hysteresis.
+	// The smoothed average still gates straggler confirmation, so a rank
+	// whose raw samples barely flicker over the line is not demoted unless
+	// its sustained latency really is over the threshold.
+	if sampleSeconds > h.threshold {
+		h.over[rank]++
+		h.normal[rank] = 0
+		switch {
+		case h.state[rank] == rankHealthy:
+			h.state[rank] = rankSuspect
+		case h.state[rank] == rankSuspect &&
+			h.over[rank] >= stragglerConfirmSupersteps && h.ewma[rank] > h.threshold:
+			h.state[rank] = rankStraggler
+		}
+	} else {
+		h.over[rank] = 0
+		h.normal[rank]++
+		if h.state[rank] != rankHealthy && h.normal[rank] >= rehabilitateSupersteps {
+			h.state[rank] = rankHealthy
+		}
+	}
+	return prev, h.state[rank]
+}
+
+// Probe feeds one heartbeat of a demoted (non-running) rank: normal reports
+// whether the rank's latency looked nominal for that superstep. Probes drive
+// the same streak counters as Observe, so rehabilitation eligibility uses
+// the same hysteresis as every other transition.
+func (h *healthScorer) Probe(rank int, normal bool) {
+	if normal {
+		h.normal[rank]++
+		h.over[rank] = 0
+	} else {
+		h.normal[rank] = 0
+		h.over[rank]++
+	}
+}
+
+// Rehabilitatable reports whether the rank's latency has stayed normal for
+// rehabilitateSupersteps consecutive probes.
+func (h *healthScorer) Rehabilitatable(rank int) bool {
+	return h.normal[rank] >= rehabilitateSupersteps
+}
+
+// Reset returns the rank to a fresh healthy state with an unseeded EWMA —
+// used at rehabilitation (and heal), so the stale pre-demotion average
+// cannot instantly re-convict a rank that has genuinely recovered.
+func (h *healthScorer) Reset(rank int) {
+	h.state[rank] = rankHealthy
+	h.ewma[rank] = 0
+	h.seeded[rank] = false
+	h.over[rank] = 0
+	h.normal[rank] = 0
+}
+
+// State returns the rank's current classification.
+func (h *healthScorer) State(rank int) rankHealth { return h.state[rank] }
+
+// EWMA returns the rank's current EWMA superstep time in seconds
+// (zero before the first observation).
+func (h *healthScorer) EWMA(rank int) float64 {
+	if !h.seeded[rank] {
+		return 0
+	}
+	return h.ewma[rank]
+}

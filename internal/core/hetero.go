@@ -98,6 +98,29 @@ type HeteroResult struct {
 	PartitionMajority []int
 	PartitionMinority []int
 
+	// SuspectRanks lists every rank the health scorer ever classified
+	// suspect or worse (EWMA superstep latency over
+	// Options.StragglerThreshold), sorted ascending; nil when scoring was
+	// off or every rank stayed healthy.
+	SuspectRanks []int
+	// SoftDegraded lists the ranks demoted as confirmed stragglers, sorted
+	// ascending: their vertices were reassigned to the healthy owners at a
+	// checkpoint barrier, but unlike hard degradation they stayed in the
+	// group as non-owning members and their failure was never recorded. A
+	// rank that was later rehabilitated stays listed — the list records
+	// that the demotion happened.
+	SoftDegraded []int
+	// SoftDegradeSuperstep is the barrier the latest soft-degrade acted at
+	// (zero unless SoftDegraded is non-empty).
+	SoftDegradeSuperstep int64
+	// Rehabilitated lists the soft-degraded ranks restored to ownership
+	// after their latency re-normalized for K consecutive supersteps,
+	// sorted ascending (StragglerDemoteRehab only).
+	Rehabilitated []int
+	// RehabilitateSuperstep is the barrier the latest rehabilitation acted
+	// at (zero unless Rehabilitated is non-empty).
+	RehabilitateSuperstep int64
+
 	// Links is the per-link traffic observed on the interconnect (message
 	// and byte counts, plus wire-level retransmissions), covering every
 	// epoch of the run.
@@ -168,6 +191,11 @@ type robustnessConfig struct {
 	resume  bool
 	rejoin  bool
 	abort   <-chan struct{}
+	// stragglerThreshold arms the per-rank health scorer; stragglerPolicy
+	// decides what the supervisor does with its verdicts (see
+	// Options.StragglerPolicy).
+	stragglerThreshold time.Duration
+	stragglerPolicy    StragglerPolicy
 	// sink receives run-level events (checkpoints, failures, degradation,
 	// resume); per-rank phase samples go to each option's own sink.
 	sink metrics.Sink
@@ -196,6 +224,12 @@ func resolveFaultConfig(opts ...Options) robustnessConfig {
 		}
 		c.resume = c.resume || o.Resume
 		c.rejoin = c.rejoin || o.Rejoin
+		if c.stragglerThreshold == 0 {
+			c.stragglerThreshold = o.StragglerThreshold
+		}
+		if c.stragglerPolicy == StragglerOff {
+			c.stragglerPolicy = o.StragglerPolicy
+		}
 		if c.abort == nil {
 			c.abort = o.Abort
 		}
@@ -314,6 +348,20 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, deviceOpts ...Option
 			Reason: "requires CheckpointEvery > 0 or CheckpointDir: rejoin replays the restarted rank from a checkpoint, and a run that never captures one cannot heal",
 		}
 	}
+	if cfg.stragglerPolicy != StragglerOff {
+		if cfg.stragglerThreshold == 0 {
+			return HeteroResult{}, &InvalidOptionsError{
+				Field:  "StragglerPolicy",
+				Reason: fmt.Sprintf("%s requires StragglerThreshold > 0: there is no straggler definition to act on", cfg.stragglerPolicy),
+			}
+		}
+		if cfg.every == 0 {
+			return HeteroResult{}, &InvalidOptionsError{
+				Field:  "StragglerPolicy",
+				Reason: fmt.Sprintf("%s requires CheckpointEvery > 0: soft-degrade and rehabilitation act at checkpoint barriers", cfg.stragglerPolicy),
+			}
+		}
+	}
 	net.SetTimeout(cfg.timeout)
 	net.SetInjector(cfg.inj)
 	// The merged robustness settings govern the whole run; propagate them
@@ -329,6 +377,8 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, deviceOpts ...Option
 		opts[r].Resume = cfg.resume
 		opts[r].Rejoin = cfg.rejoin
 		opts[r].Abort = cfg.abort
+		opts[r].StragglerThreshold = cfg.stragglerThreshold
+		opts[r].StragglerPolicy = cfg.stragglerPolicy
 	}
 	resolveTraceLabels(opts)
 	devs := make([]*deviceF32, n)
@@ -427,7 +477,11 @@ func RunF32Hetero(app AppF32, g *graph.CSR, assign []int32, deviceOpts ...Option
 		app: app, g: g, assign: assign, net: net, cfg: cfg, opts: opts,
 		snapper: snapper, coord: coord, store: store,
 		n: n, members: allRanks(n), downStep: map[int]int64{},
+		softDown: map[int]int64{}, suspects: map[int]bool{},
 		maxIter: maxIter, start: start, lastRejoin: -1,
+	}
+	if cfg.stragglerThreshold > 0 {
+		h.health = newHealthScorer(n, cfg.stragglerThreshold)
 	}
 	h.res.Dev = make([]Result, n)
 	h.res.FailedRank = -1
@@ -471,8 +525,16 @@ type heteroF32 struct {
 	start   time.Time
 
 	n        int
-	members  []int         // live ranks, ascending
+	members  []int         // live owning ranks, ascending
 	downStep map[int]int64 // failure superstep per down rank
+	// Gray-failure state: health scores per-rank superstep latency when
+	// Options.StragglerThreshold is set (nil otherwise); softDown maps each
+	// soft-degraded rank to its demotion superstep — such ranks are alive
+	// (never in downStep) but own no vertices; suspects accumulates every
+	// rank the scorer ever classified suspect or worse.
+	health   *healthScorer
+	softDown map[int]int64
+	suspects map[int]bool
 
 	res  HeteroResult
 	exec float64 // accumulated compute seconds (lockstep maxes + degraded windows)
@@ -498,12 +560,226 @@ func (h *heteroF32) down() []int {
 	return d
 }
 
+// softRanks returns the currently soft-degraded ranks, sorted ascending.
+func (h *heteroF32) softRanks() []int {
+	var d []int
+	for r := range h.softDown {
+		d = append(d, r)
+	}
+	sort.Ints(d)
+	return d
+}
+
+// recomputeMembers rebuilds the owning membership: every rank that is
+// neither dead nor soft-degraded, ascending.
+func (h *heteroF32) recomputeMembers() {
+	h.members = nil
+	for r := 0; r < h.n; r++ {
+		if _, dead := h.downStep[r]; dead {
+			continue
+		}
+		if _, soft := h.softDown[r]; soft {
+			continue
+		}
+		h.members = append(h.members, r)
+	}
+}
+
+// ownerAssign returns the effective vertex-ownership vector: h.assign with
+// every vertex of a dead or soft-degraded rank reassigned round-robin to the
+// current owning members. At full ownership it is h.assign itself.
+func (h *heteroF32) ownerAssign() []int32 {
+	if len(h.downStep) == 0 && len(h.softDown) == 0 {
+		return h.assign
+	}
+	sub := make([]int32, len(h.assign))
+	for v, a := range h.assign {
+		_, dead := h.downStep[int(a)]
+		_, soft := h.softDown[int(a)]
+		if dead || soft {
+			sub[v] = int32(h.members[v%len(h.members)])
+		} else {
+			sub[v] = a
+		}
+	}
+	return sub
+}
+
+// nextBarrier returns the first checkpoint-cadence boundary strictly after
+// `from` — where the supervisor examines health verdicts under an active
+// straggler policy (cfg.every > 0 is validated up front).
+func (h *heteroF32) nextBarrier(from int64) int64 {
+	every := int64(h.cfg.every)
+	return (from/every + 1) * every
+}
+
+// observeHealth folds a clean segment's charged per-rank superstep times
+// into the health scorer, surfacing state transitions as events and the
+// current classification as gauges.
+func (h *heteroF32) observeHealth(seg segmentOutcome, from int64) {
+	if h.health == nil {
+		return
+	}
+	for _, r := range h.members {
+		for i, ns := range seg.healthNS[r] {
+			prev, now := h.health.Observe(r, float64(ns)/1e9)
+			if now == prev {
+				continue
+			}
+			step := from + int64(i)
+			switch now {
+			case rankSuspect:
+				h.suspects[r] = true
+				emitEvent(h.cfg.sink, metrics.Event{
+					Kind: metrics.EventRankSuspect, Rank: r, Superstep: step,
+					Detail: fmt.Sprintf("rank %d EWMA superstep time %.3fms over threshold %.3fms", r, h.health.EWMA(r)*1e3, h.cfg.stragglerThreshold.Seconds()*1e3),
+				})
+			case rankStraggler:
+				h.suspects[r] = true
+				emitEvent(h.cfg.sink, metrics.Event{
+					Kind: metrics.EventRankStraggler, Rank: r, Superstep: step,
+					Detail: fmt.Sprintf("rank %d confirmed straggler: EWMA %.3fms over threshold for %d consecutive supersteps", r, h.health.EWMA(r)*1e3, stragglerConfirmSupersteps),
+				})
+			}
+		}
+	}
+	h.recordHealthGauges()
+}
+
+// confirmedStragglers returns the owning ranks the scorer has confirmed as
+// stragglers and the active policy allows demoting — never the whole
+// membership, since someone has to own the vertices.
+func (h *heteroF32) confirmedStragglers() []int {
+	if h.health == nil || h.cfg.stragglerPolicy == StragglerOff {
+		return nil
+	}
+	var out []int
+	for _, r := range h.members {
+		if h.health.State(r) == rankStraggler {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 || len(out) >= len(h.members) {
+		return nil
+	}
+	return out
+}
+
+// rehabReady feeds the demoted ranks' heartbeats over the executed window
+// [from, endStep) into the scorer — a demoted rank is not running, so its
+// heartbeat latency signal is the fault plan's stall for each superstep —
+// and reports whether every soft-degraded rank has stayed normal long
+// enough to rehabilitate. Partial returns are not attempted: the group
+// restores to full membership in one barrier.
+func (h *heteroF32) rehabReady(from, endStep int64) bool {
+	if h.cfg.stragglerPolicy != StragglerDemoteRehab || len(h.softDown) == 0 {
+		return false
+	}
+	for r := range h.softDown {
+		for s := from; s < endStep; s++ {
+			h.health.Probe(r, h.cfg.inj.Slow(r, s) == 0)
+		}
+	}
+	for r := range h.softDown {
+		if !h.health.Rehabilitatable(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// recordHealthGauges exports each rank's health classification and EWMA
+// superstep latency as live gauges (hetgraph_rank_health_<r>: 0 healthy,
+// 1 suspect, 2 straggler; hetgraph_rank_ewma_ns_<r>).
+func (h *heteroF32) recordHealthGauges() {
+	if h.health == nil {
+		return
+	}
+	gr, ok := h.cfg.sink.(metrics.GaugeRecorder)
+	if !ok {
+		return
+	}
+	for r := 0; r < h.n; r++ {
+		gr.SetGauge(fmt.Sprintf("rank_health_%d", r), int64(h.health.State(r)))
+		gr.SetGauge(fmt.Sprintf("rank_ewma_ns_%d", r), int64(h.health.EWMA(r)*1e9))
+	}
+}
+
+// softDegrade demotes confirmed stragglers at the superstep barrier `step`:
+// their vertices are reassigned round-robin to the healthy owners (the same
+// re-partition machinery as hard degradation), but unlike a hard degrade
+// the demoted ranks stay in the group as non-owning members — no failure is
+// recorded, they keep heartbeating through the fault plan, and (policy
+// demote-rehab) they are rehabilitated once their latency re-normalizes.
+// The fault injector stays armed: the demoted stretch runs forward from the
+// barrier, not a checkpoint replay, so the plan's remaining events must
+// still fire.
+func (h *heteroF32) softDegrade(stragglers []int, step int64, frontier []graph.VertexID) ([]*deviceF32, func(*deviceF32) error, error) {
+	for _, s := range stragglers {
+		h.softDown[s] = step
+	}
+	h.recomputeMembers()
+	// Anchor the demotion at a durable barrier: the demoted stretch stays
+	// recoverable, and rehabilitation replays from a descendant of this
+	// snapshot.
+	if err := h.coord.InitialAt(step, splitActiveN(frontier, h.assign, h.n)...); err != nil {
+		return nil, nil, fmt.Errorf("soft-degrade checkpoint at superstep %d: %w", step, err)
+	}
+	sub := h.ownerAssign()
+	h.net.NewEpoch()
+	h.net.SetMembers(h.members)
+	h.coord.Reopen()
+	h.coord.SetMembers(h.members)
+	devs := make([]*deviceF32, h.n)
+	for _, r := range h.members {
+		ep, err := h.net.Endpoint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		devs[r], err = newDeviceF32(h.app, h.g, h.opts[r], r, sub, ep)
+		if err != nil {
+			return nil, nil, fmt.Errorf("soft-degrade engine restart, rank %d: %w", r, err)
+		}
+	}
+	resume := step
+	handshake := func(d *deviceF32) error {
+		d.ep.SetStep(resume)
+		return nil
+	}
+	for _, s := range stragglers {
+		emitEvent(h.cfg.sink, metrics.Event{
+			Kind: metrics.EventSoftDegraded, Rank: s, Superstep: step,
+			Detail: fmt.Sprintf("rank %d demoted at superstep %d: vertices reassigned to ranks %v, rank stays a non-owning member", s, step, h.members),
+		})
+		if !containsInt(h.res.SoftDegraded, s) {
+			h.res.SoftDegraded = append(h.res.SoftDegraded, s)
+		}
+	}
+	sort.Ints(h.res.SoftDegraded)
+	h.res.SoftDegradeSuperstep = step
+	h.recordHealthGauges()
+	return devs, handshake, nil
+}
+
+// containsInt reports whether xs contains x.
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
 // run is the supervisor loop: lockstep segments over the live membership,
 // separated by quorum failure attribution, degraded continuation on the
 // surviving subset, and (in rejoin mode) heals back to full membership.
 func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int64, handshake func(*deviceF32) error) (HeteroResult, error) {
 	for {
-		degraded := len(h.members) < h.n
+		// A soft-degraded run (stragglers demoted, membership reduced but no
+		// rank dead) is NOT degraded in the hard sense: it keeps recording
+		// into the per-rank Dev results and never replays checkpoints.
+		degraded := len(h.downStep) > 0
 		lead := h.members[0]
 		until := h.maxIter
 		healable := false
@@ -514,6 +790,13 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 			}
 			h.segRec = make([]Result, h.n)
 			h.recBase = h.res.Recovery.Iterations
+		} else if h.cfg.stragglerPolicy != StragglerOff && h.health != nil {
+			// Bound the segment at the next checkpoint barrier: demotion and
+			// rehabilitation both act at barriers, so health verdicts must be
+			// examined there rather than once at the end of the run.
+			if b := h.nextBarrier(from); b < int64(until) {
+				until = int(b)
+			}
 		}
 		seg := h.runSegment(h.members, devs, actives, from, until, handshake, degraded)
 		handshake = nil
@@ -559,17 +842,75 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 		}
 		if clean {
 			if !degraded {
-				// Clean finish: all loops ran to convergence or maxIter.
+				// Clean segment end: convergence, maxIter, or a
+				// straggler-policy checkpoint barrier.
 				h.exec += lockstepSeconds(seg.iterTimes, lead, len(seg.iterTimes[lead]))
-				h.res.Iterations = from + seg.iters[lead]
+				endStep := from + seg.iters[lead]
+				h.observeHealth(seg, from)
 				conv := true
 				for _, r := range h.members {
 					if !h.res.Dev[r].Converged {
 						conv = false
 					}
 				}
-				h.res.Converged = conv
-				return h.finalize(), nil
+				if conv || int(endStep) >= h.maxIter {
+					h.res.Iterations = endStep
+					h.res.Converged = conv
+					return h.finalize(), nil
+				}
+				// The segment stopped at a straggler-policy barrier: act on
+				// the scorer's verdicts, then continue lockstep.
+				var merged []graph.VertexID
+				for _, r := range h.members {
+					merged = append(merged, seg.frontier[r]...)
+				}
+				if sl := h.confirmedStragglers(); len(sl) > 0 {
+					devs2, hs, err := h.softDegrade(sl, endStep, merged)
+					if err != nil {
+						var serr *checkpoint.StoreError
+						if errors.As(err, &serr) {
+							aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
+							emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
+							return HeteroResult{}, aerr
+						}
+						return HeteroResult{}, fmt.Errorf("core: soft-degrade at superstep %d failed: %w", endStep, err)
+					}
+					devs = devs2
+					actives = splitActiveN(merged, h.ownerAssign(), h.n)
+					from = endStep
+					handshake = hs
+					continue
+				}
+				if h.rehabReady(from, endStep) {
+					devs2, hs, err := h.rehabilitate(endStep, merged)
+					if err != nil {
+						var serr *checkpoint.StoreError
+						if errors.As(err, &serr) {
+							aerr := fmt.Errorf("core: run aborted, durable checkpoint store failed (restart with Options.Resume to recover): %w", err)
+							emitEvent(h.cfg.sink, metrics.Event{Kind: metrics.EventRunAborted, Rank: 0, Superstep: -1, Detail: aerr.Error()})
+							return HeteroResult{}, aerr
+						}
+						for s := range h.softDown {
+							emitEvent(h.cfg.sink, metrics.Event{
+								Kind: metrics.EventRejoinFailed, Rank: s, Superstep: endStep,
+								Detail: fmt.Sprintf("rehabilitation failed: %v", err),
+							})
+						}
+						// Carry on soft-degraded; the next barrier retries.
+						actives = seg.frontier
+						from = endStep
+						continue
+					}
+					devs = devs2
+					actives = splitActiveN(merged, h.assign, h.n)
+					from = endStep
+					handshake = hs
+					continue
+				}
+				actives = seg.frontier
+				from = endStep
+				handshake = nil
+				continue
 			}
 			executed := seg.iters[lead]
 			conv := h.foldDegraded(seg, lead)
@@ -717,12 +1058,7 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 			h.downStep[c] = stepOf(c)
 		}
 		downs := h.down()
-		h.members = nil
-		for r := 0; r < h.n; r++ {
-			if _, dead := h.downStep[r]; !dead {
-				h.members = append(h.members, r)
-			}
-		}
+		h.recomputeMembers()
 		h.res.FailedRank = convicted[0]
 		h.res.FailedSuperstep = stepOf(convicted[0])
 		h.res.ResumedSuperstep = snap.Superstep
@@ -801,19 +1137,12 @@ func (h *heteroF32) run(devs []*deviceF32, actives [][]graph.VertexID, from int6
 			continue
 		}
 
-		// Two or more survivors: re-partition the dead ranks' vertices
-		// across the survivors and continue lockstep among them. The
-		// injector is suspended while degraded — the surviving subset
-		// replays checkpointed supersteps, and re-firing the plan's events
-		// against it would kill recovery; it is re-armed on heal.
-		subAssign := make([]int32, len(h.assign))
-		for v, a := range h.assign {
-			if _, dead := h.downStep[int(a)]; dead {
-				subAssign[v] = int32(h.members[v%len(h.members)])
-			} else {
-				subAssign[v] = a
-			}
-		}
+		// Two or more survivors: re-partition the dead (and soft-degraded)
+		// ranks' vertices across the survivors and continue lockstep among
+		// them. The injector is suspended while degraded — the surviving
+		// subset replays checkpointed supersteps, and re-firing the plan's
+		// events against it would kill recovery; it is re-armed on heal.
+		subAssign := h.ownerAssign()
 		h.net.NewEpoch()
 		h.net.SetMembers(h.members)
 		h.net.SetInjector(nil)
@@ -1034,6 +1363,13 @@ type segmentOutcome struct {
 	iters     []int64
 	frontier  [][]graph.VertexID
 	abortStep []int64
+	// healthNS holds each rank's charged per-superstep time (injected stall
+	// plus modeled compute — the same quantity charged into iterTimes, and
+	// deliberately not the host wall clock, so health verdicts are
+	// deterministic and immune to runner noise), index-aligned with
+	// iterTimes; collected only when the health scorer is armed. Each rank
+	// goroutine appends only to its own slice.
+	healthNS [][]int64
 }
 
 // segmentAbortStep reports the boundary a cooperative abort stopped the
@@ -1064,6 +1400,7 @@ func (h *heteroF32) runSegment(members []int, devs []*deviceF32, actives [][]gra
 		iters:     make([]int64, h.n),
 		frontier:  make([][]graph.VertexID, h.n),
 		abortStep: make([]int64, h.n),
+		healthNS:  make([][]int64, h.n),
 	}
 	for r := range out.abortStep {
 		out.abortStep[r] = -1
@@ -1109,12 +1446,28 @@ func (h *heteroF32) runSegment(members []int, devs []*deviceF32, actives [][]gra
 			fixed := IsFixedActive(d.app)
 			initial := active
 			measured := d.opt.Metrics != nil
+			scored := h.health != nil && !degraded
 			for iter := int(from); iter < until; iter++ {
 				if abortRequested(d.opt.Abort) {
 					out.abortStep[r] = int64(iter)
 					out.frontier[r] = active
 					out.runErr[r] = &RunAbortedError{Superstep: int64(iter)}
 					return
+				}
+				// Gray-fault injection: a slow/gslow event stalls this rank
+				// before its local compute. The stall is charged into the
+				// rank's superstep time below, so lockstep makes the whole
+				// group wait — exactly the signal the health scorer feeds on
+				// — while its own exchange deadline only starts afterwards, so
+				// a stall under the timeout is never misdiagnosed as death.
+				// Like the rest of the plan, suspended during checkpoint
+				// replay (degraded segments).
+				var stallSec float64
+				if !degraded {
+					if stall := h.cfg.inj.Slow(r, int64(iter)); stall > 0 {
+						time.Sleep(stall)
+						stallSec = stall.Seconds()
+					}
 				}
 				d.step = int64(iter)
 				var c machine.Counters
@@ -1183,7 +1536,23 @@ func (h *heteroF32) runSegment(members []int, devs []*deviceF32, actives [][]gra
 				d.recordTrace(traceBase+rec(r).Iterations, c, pt)
 				d.recordMetrics(d.step, c, pt)
 				d.recordIter(rec(r), c, pt)
-				out.iterTimes[r] = append(out.iterTimes[r], pt.Generate+pt.Process+pt.Update)
+				// An injected stall is real superstep time on this rank: it
+				// flows into the lockstep max, so mitigation (demoting the
+				// straggler) shows up as a simulated-time win. Float32 results
+				// are untouched — the stall never enters the reductions.
+				charged := stallSec + pt.Generate + pt.Process + pt.Update
+				out.iterTimes[r] = append(out.iterTimes[r], charged)
+				// The health sample is this same charged time, not a host
+				// wall measurement: modeled compute is a deterministic
+				// function of the work counts, so identical runs reach
+				// identical verdicts at identical supersteps — and a loaded
+				// runner (or the race detector) can never fake a straggler.
+				// The lockstep exchange wait is excluded either way: it
+				// reflects the slowest peer, and folding it in would smear
+				// one rank's slowness onto every healthy rank's score.
+				if scored {
+					out.healthNS[r] = append(out.healthNS[r], int64(charged*1e9))
+				}
 				if fixed {
 					active = initial
 				} else {
@@ -1292,32 +1661,33 @@ func (h *heteroF32) runDegradedWindow(sd *deviceF32, failed int, failedStep int6
 	}
 }
 
-// rejoin restarts the down ranks for re-admission at superstep `step`: it
-// captures a fresh checkpoint at the rejoin boundary, replays the restarted
+// restoreFullMembership re-admits every rank at superstep `step`: it
+// captures a fresh checkpoint at the boundary, replays the restarted
 // engines from it (state is partitioned by ownership, so the restored arrays
-// carry exactly the supersteps the dead ranks missed), opens a new comm
-// epoch so packets from before the failure are fenced off, restores full
-// membership on the interconnect and the checkpoint barrier, re-arms the
-// fault injector, and rebuilds every rank engine. The returned handshake
-// runs RejoinHandshake on each rank before the next segment.
-func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID) ([]*deviceF32, func(*deviceF32) error, error) {
-	devs := make([]*deviceF32, h.n)
+// carry exactly the supersteps the returning ranks missed), opens a new comm
+// epoch so packets from before the membership change are fenced off,
+// restores full membership on the interconnect and the checkpoint barrier,
+// re-arms the fault injector, and rebuilds every rank engine against the
+// original assignment. The returned handshake runs RejoinHandshake on each
+// rank before the next segment. Shared by rejoin (dead ranks healing) and
+// rehabilitate (soft-degraded stragglers returning).
+func (h *heteroF32) restoreFullMembership(step int64, frontier []graph.VertexID) (devs []*deviceF32, handshake func(*deviceF32) error, gen uint64, epoch uint64, err error) {
+	devs = make([]*deviceF32, h.n)
 	if err := h.coord.InitialAt(step, splitActiveN(frontier, h.assign, h.n)...); err != nil {
-		return devs, nil, fmt.Errorf("rejoin checkpoint at superstep %d: %w", step, err)
+		return devs, nil, 0, 0, fmt.Errorf("rejoin checkpoint at superstep %d: %w", step, err)
 	}
-	// The replay: the restarted ranks load the rejoin snapshot. The arrays
+	// The replay: the restarted ranks load the boundary snapshot. The arrays
 	// are shared in-process, so this also re-verifies the snapshot decodes.
 	snap := h.coord.Latest()
 	if err := h.snapper.Restore(snap.State); err != nil {
-		return devs, nil, fmt.Errorf("rejoin replay at superstep %d: %w", step, err)
+		return devs, nil, 0, 0, fmt.Errorf("rejoin replay at superstep %d: %w", step, err)
 	}
-	var gen uint64
 	if h.store != nil {
 		if gens := h.store.Generations(); len(gens) > 0 {
 			gen = gens[0].Gen
 		}
 	}
-	epoch := h.net.NewEpoch()
+	epoch = h.net.NewEpoch()
 	h.net.SetMembers(allRanks(h.n))
 	h.net.SetInjector(h.cfg.inj)
 	h.coord.Reopen()
@@ -1325,19 +1695,29 @@ func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID) ([]*deviceF32,
 	for r := 0; r < h.n; r++ {
 		ep, err := h.net.Endpoint(r)
 		if err != nil {
-			return devs, nil, err
+			return devs, nil, 0, 0, err
 		}
 		devs[r], err = newDeviceF32(h.app, h.g, h.opts[r], r, h.assign, ep)
 		if err != nil {
-			return devs, nil, fmt.Errorf("rejoin engine restart, rank %d: %w", r, err)
+			return devs, nil, 0, 0, fmt.Errorf("rejoin engine restart, rank %d: %w", r, err)
 		}
 	}
-	handshake := func(d *deviceF32) error {
+	handshake = func(d *deviceF32) error {
 		if err := d.ep.RejoinHandshake(epoch, gen, step); err != nil {
 			return err
 		}
 		d.ep.SetStep(step)
 		return nil
+	}
+	return devs, handshake, gen, epoch, nil
+}
+
+// rejoin restarts the down ranks for re-admission at superstep `step`,
+// returning the run to full-group lockstep.
+func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID) ([]*deviceF32, func(*deviceF32) error, error) {
+	devs, handshake, gen, epoch, err := h.restoreFullMembership(step, frontier)
+	if err != nil {
+		return devs, nil, err
 	}
 	for _, c := range h.down() {
 		emitEvent(h.cfg.sink, metrics.Event{
@@ -1350,7 +1730,46 @@ func (h *heteroF32) rejoin(step int64, frontier []graph.VertexID) ([]*deviceF32,
 	h.res.FailedRanks = nil
 	h.lastRejoin = step
 	h.downStep = map[int]int64{}
-	h.members = allRanks(h.n)
+	// A heal restores the whole group, soft-demotions included: re-admitting
+	// a still-on-probation rank here keeps the membership invariant (owners
+	// + down + soft-degraded = all ranks) simple, and the scorer will simply
+	// re-demote it if it is still slow.
+	for s := range h.softDown {
+		delete(h.softDown, s)
+		if h.health != nil {
+			h.health.Reset(s)
+		}
+	}
+	h.recomputeMembers()
+	return devs, handshake, nil
+}
+
+// rehabilitate restores the soft-degraded ranks to ownership at superstep
+// `step` after their latency re-normalized: the same replay machinery as
+// rejoin, but the outcome is recorded as a rehabilitation — the ranks never
+// failed, so Healed and FailedRanks stay untouched.
+func (h *heteroF32) rehabilitate(step int64, frontier []graph.VertexID) ([]*deviceF32, func(*deviceF32) error, error) {
+	ranks := h.softRanks()
+	devs, handshake, gen, epoch, err := h.restoreFullMembership(step, frontier)
+	if err != nil {
+		return devs, nil, err
+	}
+	for _, s := range ranks {
+		emitEvent(h.cfg.sink, metrics.Event{
+			Kind: metrics.EventRehabilitated, Rank: s, Superstep: step,
+			Detail: fmt.Sprintf("rank %d latency re-normalized for %d supersteps; restored from generation %d at superstep %d (epoch %d)", s, rehabilitateSupersteps, gen, step, epoch),
+		})
+		if !containsInt(h.res.Rehabilitated, s) {
+			h.res.Rehabilitated = append(h.res.Rehabilitated, s)
+		}
+		h.health.Reset(s)
+	}
+	sort.Ints(h.res.Rehabilitated)
+	h.res.RehabilitateSuperstep = step
+	h.lastRejoin = step
+	h.softDown = map[int]int64{}
+	h.recomputeMembers()
+	h.recordHealthGauges()
 	return devs, handshake, nil
 }
 
@@ -1432,6 +1851,10 @@ func recordLinks(sink metrics.Sink, links []comm.LinkStat, integ comm.IntegrityS
 // finalize stamps the run-level times and the interconnect's link/integrity
 // record into the accumulated result.
 func (h *heteroF32) finalize() HeteroResult {
+	for r := range h.suspects {
+		h.res.SuspectRanks = append(h.res.SuspectRanks, r)
+	}
+	sort.Ints(h.res.SuspectRanks)
 	h.res.Links = h.net.LinkStats()
 	h.res.Integrity = h.net.Integrity()
 	recordLinks(h.cfg.sink, h.res.Links, h.res.Integrity)

@@ -1,0 +1,334 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hetgraph/internal/apps"
+	"hetgraph/internal/core"
+	"hetgraph/internal/metrics"
+	"hetgraph/internal/seqref"
+)
+
+// stragglerOpts builds a 4-rank option set with health scoring armed: a
+// 60ms straggler threshold against sustained 200ms gslow stalls, acting at
+// every checkpoint barrier so demotion and rehabilitation timing is exact.
+func stragglerOpts(t testing.TB, iters int, plan string, policy core.StragglerPolicy) []core.Options {
+	t.Helper()
+	opts := nrankOpts(t, 4, iters, 1, plan)
+	for r := range opts {
+		opts[r].StragglerThreshold = 60 * time.Millisecond
+		opts[r].StragglerPolicy = policy
+	}
+	return opts
+}
+
+// TestStragglerDemoteRehabLifecycle is the gray-failure acceptance property:
+// a rank stalled 200ms per superstep for supersteps 0..5 must be detected
+// (suspect, then straggler), soft-degraded at a barrier, probed while the
+// stall plan is still live, rehabilitated once its latency re-normalizes for
+// two consecutive supersteps, and the mitigated run must still match the
+// fault-free sequential oracle.
+func TestStragglerDemoteRehabLifecycle(t *testing.T) {
+	g := chaosGraph(t)
+	assign := nrankAssign(t, g, 4)
+	const iters = 12
+	want := seqref.ClassicPageRank(g, 0.85, iters)
+
+	app := apps.NewPageRank()
+	col := metrics.NewCollector()
+	opts := stragglerOpts(t, iters, "rank1:gslow@0x6:200ms", core.StragglerDemoteRehab)
+	for r := range opts {
+		opts[r].Metrics = col
+	}
+	res, err := core.RunF32Hetero(app, g, assign, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection and mitigation surface on the result.
+	if len(res.SoftDegraded) != 1 || res.SoftDegraded[0] != 1 {
+		t.Fatalf("SoftDegraded = %v, want [1]", res.SoftDegraded)
+	}
+	if len(res.Rehabilitated) != 1 || res.Rehabilitated[0] != 1 {
+		t.Fatalf("Rehabilitated = %v, want [1]", res.Rehabilitated)
+	}
+	if !containsRank(res.SuspectRanks, 1) {
+		t.Fatalf("SuspectRanks = %v, want to contain 1", res.SuspectRanks)
+	}
+	if res.SoftDegradeSuperstep <= 0 || res.RehabilitateSuperstep <= res.SoftDegradeSuperstep {
+		t.Fatalf("SoftDegradeSuperstep=%d RehabilitateSuperstep=%d, want 0 < demote < rehab",
+			res.SoftDegradeSuperstep, res.RehabilitateSuperstep)
+	}
+
+	// Soft-degrade is not the dead-rank path: no conviction, no hard
+	// degradation, and the run completes every superstep.
+	if res.Degraded {
+		t.Fatal("Degraded = true: soft-degrade must not take the dead-rank path")
+	}
+	if res.FailedRank != -1 {
+		t.Fatalf("FailedRank = %d, want -1 (no conviction)", res.FailedRank)
+	}
+	if res.Iterations != iters {
+		t.Fatalf("Iterations = %d, want %d", res.Iterations, iters)
+	}
+
+	// Event ordering: suspect before straggler before soft-degrade before
+	// rehabilitation.
+	events := col.Events()
+	si := eventIndex(events, metrics.EventRankSuspect)
+	gi := eventIndex(events, metrics.EventRankStraggler)
+	di := eventIndex(events, metrics.EventSoftDegraded)
+	ri := eventIndex(events, metrics.EventRehabilitated)
+	if si < 0 || gi < 0 || di < 0 || ri < 0 {
+		t.Fatalf("missing lifecycle events: suspect@%d straggler@%d soft-degraded@%d rehabilitated@%d",
+			si, gi, di, ri)
+	}
+	if !(si < gi && gi < di && di < ri) {
+		t.Fatalf("lifecycle events out of order: suspect@%d straggler@%d soft-degraded@%d rehabilitated@%d",
+			si, gi, di, ri)
+	}
+
+	// The mitigated run still answers the fault-free oracle.
+	for v := range want {
+		diff := math.Abs(float64(app.Ranks[v] - want[v]))
+		if diff > 2e-3*math.Max(1, float64(want[v])) {
+			t.Fatalf("rank[%d] = %v, want %v (diff %v)", v, app.Ranks[v], want[v], diff)
+		}
+	}
+}
+
+// TestStragglerDemoteRehabOracleBFSSSSP: the moving-frontier apps fold with
+// min, which is insensitive to how contributions are grouped across owners,
+// so the demote-rehab run must land exactly on the classic answers in every
+// traversal direction.
+func TestStragglerDemoteRehabOracleBFSSSSP(t *testing.T) {
+	g := chaosGraph(t)
+	assign := nrankAssign(t, g, 4)
+	wantBFS := seqref.ClassicBFS(g, 0)
+	wantSSSP := seqref.ClassicSSSP(g, 0)
+
+	for _, dir := range directions() {
+		t.Run(dir.String(), func(t *testing.T) {
+			opts := stragglerOpts(t, core.DefaultMaxIterations, "rank1:gslow@0x6:200ms", core.StragglerDemoteRehab)
+			for r := range opts {
+				opts[r].Direction = dir
+			}
+			bfs := apps.NewBFS(0)
+			if _, err := core.RunF32Hetero(bfs, g, assign, opts...); err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantBFS {
+				if bfs.Levels[v] != wantBFS[v] {
+					t.Fatalf("bfs level[%d] = %d, want %d", v, bfs.Levels[v], wantBFS[v])
+				}
+			}
+			sssp := apps.NewSSSP(0)
+			res, err := core.RunF32Hetero(sssp, g, assign, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.SoftDegraded) == 0 {
+				t.Fatal("SSSP run never soft-degraded: the scenario did not exercise mitigation")
+			}
+			for v := range wantSSSP {
+				if sssp.Dist[v] != wantSSSP[v] {
+					t.Fatalf("sssp dist[%d] = %v, want %v", v, sssp.Dist[v], wantSSSP[v])
+				}
+			}
+		})
+	}
+}
+
+// TestStragglerMitigationByteDeterminism: two identical demote-rehab
+// PageRank runs must produce bit-identical float32 ranks — mitigation
+// re-partitions mid-run, but it does so deterministically, so the canonical
+// fold order is reproducible run to run.
+func TestStragglerMitigationByteDeterminism(t *testing.T) {
+	g := chaosGraph(t)
+	assign := nrankAssign(t, g, 4)
+	const iters = 12
+
+	run := func() *apps.PageRank {
+		app := apps.NewPageRank()
+		opts := stragglerOpts(t, iters, "rank1:gslow@0x6:200ms", core.StragglerDemoteRehab)
+		res, err := core.RunF32Hetero(app, g, assign, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.SoftDegraded) == 0 || len(res.Rehabilitated) == 0 {
+			t.Fatalf("run did not demote and rehabilitate (SoftDegraded=%v Rehabilitated=%v)",
+				res.SoftDegraded, res.Rehabilitated)
+		}
+		return app
+	}
+	a, b := run(), run()
+	for v := range a.Ranks {
+		if math.Float32bits(a.Ranks[v]) != math.Float32bits(b.Ranks[v]) {
+			t.Fatalf("rank[%d] differs across identical mitigated runs: %x vs %x",
+				v, math.Float32bits(a.Ranks[v]), math.Float32bits(b.Ranks[v]))
+		}
+	}
+}
+
+// TestSlowUnderDeadlineNotMisdiagnosed is the misdiagnosis regression: a
+// one-off stall well under the exchange deadline must never be convicted as
+// a dead rank (no DeviceFailedError, no degradation) — with scoring off, and
+// with scoring on, where a single spike may raise suspicion but hysteresis
+// must prevent demotion.
+func TestSlowUnderDeadlineNotMisdiagnosed(t *testing.T) {
+	g := chaosGraph(t)
+	assign := nrankAssign(t, g, 4)
+	const iters = 8
+	want := seqref.ClassicPageRank(g, 0.85, iters)
+
+	check := func(t *testing.T, arm func(opts []core.Options)) {
+		app := apps.NewPageRank()
+		opts := nrankOpts(t, 4, iters, 1, "rank1:slow@3:200ms")
+		for r := range opts {
+			opts[r].ExchangeTimeout = 2 * time.Second
+		}
+		arm(opts)
+		res, err := core.RunF32Hetero(app, g, assign, opts...)
+		if err != nil {
+			t.Fatalf("slow rank under the deadline produced an error: %v", err)
+		}
+		if res.Degraded || res.FailedRank != -1 || len(res.FailedRanks) != 0 {
+			t.Fatalf("slow rank misdiagnosed as dead: Degraded=%v FailedRank=%d FailedRanks=%v",
+				res.Degraded, res.FailedRank, res.FailedRanks)
+		}
+		if len(res.SoftDegraded) != 0 {
+			t.Fatalf("one-off stall demoted a rank: SoftDegraded=%v", res.SoftDegraded)
+		}
+		for v := range want {
+			diff := math.Abs(float64(app.Ranks[v] - want[v]))
+			if diff > 2e-3*math.Max(1, float64(want[v])) {
+				t.Fatalf("rank[%d] = %v, want %v (diff %v)", v, app.Ranks[v], want[v], diff)
+			}
+		}
+	}
+
+	t.Run("scoring-off", func(t *testing.T) {
+		check(t, func(opts []core.Options) {})
+	})
+	t.Run("scoring-on", func(t *testing.T) {
+		check(t, func(opts []core.Options) {
+			for r := range opts {
+				opts[r].StragglerThreshold = 60 * time.Millisecond
+				opts[r].StragglerPolicy = core.StragglerDemoteRehab
+			}
+		})
+	})
+}
+
+// TestStragglerDemoteOnlyStaysDemoted: under the demote-only policy a
+// confirmed straggler is never restored, even after its stall plan would
+// have ended — the result records the demotion and no rehabilitation, and
+// the answer still matches the oracle.
+func TestStragglerDemoteOnlyStaysDemoted(t *testing.T) {
+	g := chaosGraph(t)
+	assign := nrankAssign(t, g, 4)
+	const iters = 12
+	want := seqref.ClassicPageRank(g, 0.85, iters)
+
+	app := apps.NewPageRank()
+	opts := stragglerOpts(t, iters, "rank1:gslow@0x6:200ms", core.StragglerDemote)
+	res, err := core.RunF32Hetero(app, g, assign, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SoftDegraded) != 1 || res.SoftDegraded[0] != 1 {
+		t.Fatalf("SoftDegraded = %v, want [1]", res.SoftDegraded)
+	}
+	if len(res.Rehabilitated) != 0 {
+		t.Fatalf("Rehabilitated = %v, want none under %s", res.Rehabilitated, core.StragglerDemote)
+	}
+	if res.Iterations != iters {
+		t.Fatalf("Iterations = %d, want %d", res.Iterations, iters)
+	}
+	for v := range want {
+		diff := math.Abs(float64(app.Ranks[v] - want[v]))
+		if diff > 2e-3*math.Max(1, float64(want[v])) {
+			t.Fatalf("rank[%d] = %v, want %v (diff %v)", v, app.Ranks[v], want[v], diff)
+		}
+	}
+}
+
+// TestStragglerMitigationSimSpeedup: demoting a sustained straggler must pay
+// off on simulated time. With the stall charged into per-superstep compute,
+// the unmitigated run carries 40ms of extra critical path per superstep for
+// the whole run; the mitigated run stops paying it after the demotion
+// barrier.
+func TestStragglerMitigationSimSpeedup(t *testing.T) {
+	g := chaosGraph(t)
+	assign := nrankAssign(t, g, 4)
+	const iters = 12
+	const plan = "rank1:gslow@0x12:200ms"
+
+	run := func(policy core.StragglerPolicy) core.HeteroResult {
+		app := apps.NewPageRank()
+		opts := stragglerOpts(t, iters, plan, policy)
+		res, err := core.RunF32Hetero(app, g, assign, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(core.StragglerOff)
+	mit := run(core.StragglerDemote)
+	if len(off.SoftDegraded) != 0 {
+		t.Fatalf("policy off soft-degraded ranks: %v", off.SoftDegraded)
+	}
+	if len(mit.SoftDegraded) != 1 {
+		t.Fatalf("mitigated run did not demote: SoftDegraded=%v", mit.SoftDegraded)
+	}
+	// Demotion at barrier 3 saves at least 9 stalled supersteps x 200ms of
+	// simulated exec; 0.5s leaves generous slack for scheduling noise.
+	if mit.ExecSeconds >= off.ExecSeconds-0.5 {
+		t.Fatalf("mitigation did not pay off: mitigated ExecSeconds=%v, unmitigated=%v",
+			mit.ExecSeconds, off.ExecSeconds)
+	}
+}
+
+// TestStragglerPolicyValidation: a non-off policy with no threshold has no
+// straggler definition to act on, and one with no checkpoint cadence has no
+// barrier to act at — both must be rejected as invalid options.
+func TestStragglerPolicyValidation(t *testing.T) {
+	g := chaosGraph(t)
+	assign := nrankAssign(t, g, 4)
+
+	t.Run("no-threshold", func(t *testing.T) {
+		opts := nrankOpts(t, 4, 4, 1, "")
+		for r := range opts {
+			opts[r].StragglerPolicy = core.StragglerDemote
+		}
+		_, err := core.RunF32Hetero(apps.NewPageRank(), g, assign, opts...)
+		var ioe *core.InvalidOptionsError
+		if !asInvalidOptions(err, &ioe) || ioe.Field != "StragglerPolicy" {
+			t.Fatalf("err = %v, want InvalidOptionsError on StragglerPolicy", err)
+		}
+	})
+	t.Run("no-checkpoint-cadence", func(t *testing.T) {
+		opts := nrankOpts(t, 4, 4, 0, "")
+		for r := range opts {
+			opts[r].StragglerThreshold = 60 * time.Millisecond
+			opts[r].StragglerPolicy = core.StragglerDemoteRehab
+		}
+		_, err := core.RunF32Hetero(apps.NewPageRank(), g, assign, opts...)
+		var ioe *core.InvalidOptionsError
+		if !asInvalidOptions(err, &ioe) || ioe.Field != "StragglerPolicy" {
+			t.Fatalf("err = %v, want InvalidOptionsError on StragglerPolicy", err)
+		}
+	})
+}
+
+// containsRank reports whether xs contains r.
+func containsRank(xs []int, r int) bool {
+	for _, x := range xs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}

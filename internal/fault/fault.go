@@ -162,6 +162,17 @@ const (
 	// KindHeal ends the most recent partition (and declares any felled
 	// rank recovered) at superstep Step. Group-level: Rank is -1.
 	KindHeal
+	// KindSlow stalls the rank's superstep Step by Delay before its local
+	// compute, modeling a transient gray failure (a thermal-throttle spike,
+	// a contended bus) that slows the rank without killing it. Unlike
+	// KindDelay — which stalls only the exchange call — the stall is charged
+	// to the rank's superstep time, so lockstep makes the whole group wait:
+	// the signal the straggler detector feeds on.
+	KindSlow
+	// KindGSlow is the sustained form of KindSlow: the rank stalls by Delay
+	// on every superstep in [Step, Step+Times), modeling persistent gray
+	// degradation (a sick device). Times 0 means 1.
+	KindGSlow
 )
 
 func (k Kind) String() string {
@@ -192,6 +203,10 @@ func (k Kind) String() string {
 		return "partition"
 	case KindHeal:
 		return "heal"
+	case KindSlow:
+		return "slow"
+	case KindGSlow:
+		return "gslow"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -260,6 +275,14 @@ func (e Event) String() string {
 		return fmt.Sprintf("partition@%d:%s|%s", e.Step, sideString(e.SideA), sideString(e.SideB))
 	case KindHeal:
 		return fmt.Sprintf("heal@%d", e.Step)
+	case KindSlow:
+		return fmt.Sprintf("rank%d:slow@%d:%s", e.Rank, e.Step, e.Delay)
+	case KindGSlow:
+		t := e.Times
+		if t == 0 {
+			t = 1
+		}
+		return fmt.Sprintf("rank%d:gslow@%dx%d:%s", e.Rank, e.Step, t, e.Delay)
 	default:
 		return fmt.Sprintf("rank%d:%s@%d", e.Rank, e.Kind, e.Step)
 	}
@@ -331,6 +354,17 @@ func (e Event) Validate() error {
 			seen[r] = true
 		}
 	case KindHeal:
+	case KindSlow:
+		if e.Delay < 0 {
+			return fmt.Errorf("fault: negative slow stall %s", e.Delay)
+		}
+	case KindGSlow:
+		if e.Delay < 0 {
+			return fmt.Errorf("fault: negative gslow stall %s", e.Delay)
+		}
+		if e.Times < 0 {
+			return fmt.Errorf("fault: negative gslow window %d", e.Times)
+		}
 	default:
 		return fmt.Errorf("fault: unknown kind %d", uint8(e.Kind))
 	}
@@ -376,6 +410,8 @@ func (p Plan) String() string {
 //	rank<r>:corrupt@<step>[x<times>]
 //	rank<r>:dup@<step>
 //	rank<r>:reorder@<step>
+//	rank<r>:slow@<step>:<duration>
+//	rank<r>:gslow@<step>x<supersteps>:<duration>
 //	partition@<step>:{<r>,...}|{<r>,...}
 //	heal@<step>
 //
@@ -391,7 +427,12 @@ func (p Plan) String() string {
 // "partition@3:{0,1}|{2,3}" severs every link between the two rank sets
 // from superstep 3 until the first later "heal@<n>", which also readmits
 // the fenced side under rejoin-enabled runs. Sides should jointly cover
-// the run's ranks for a clean quorum/minority fence.
+// the run's ranks for a clean quorum/minority fence. Gray faults: slow
+// stalls the rank's compute at one superstep by <duration> — charged to
+// its superstep time, so the whole lockstep group waits (delay, by
+// contrast, stalls only the exchange call of a rank that already finished
+// computing); gslow sustains the same per-superstep stall for
+// <supersteps> consecutive supersteps, the straggler detector's target.
 func Parse(spec string) (Plan, error) {
 	var p Plan
 	spec = strings.TrimSpace(spec)
@@ -470,13 +511,14 @@ func parseEvent(tok string) (Event, error) {
 	// The step may carry a suffix: ":<duration>", ":<phase>", ":<op>", or
 	// "x<times>".
 	stepStr, extra := at, ""
-	if i := strings.IndexAny(at, ":x"); i >= 0 && kind != "delay" && kind != "panic" && kind != "iofail" {
-		// fail@<step>x<times>
+	if i := strings.IndexAny(at, ":x"); i >= 0 && kind != "delay" && kind != "panic" && kind != "iofail" && kind != "slow" {
+		// fail@<step>x<times> (gslow@<step>x<n>:<dur> rides the same split;
+		// its case cuts the duration back out of extra)
 		if at[i] == 'x' {
 			stepStr, extra = at[:i], at[i+1:]
 		}
 	}
-	if kind == "delay" || kind == "panic" || kind == "iofail" {
+	if kind == "delay" || kind == "panic" || kind == "iofail" || kind == "slow" {
 		if s, x, ok := strings.Cut(at, ":"); ok {
 			stepStr, extra = s, x
 		}
@@ -557,6 +599,32 @@ func parseEvent(tok string) (Event, error) {
 		e.Kind = KindDup
 	case "reorder":
 		e.Kind = KindReorder
+	case "slow":
+		e.Kind = KindSlow
+		if extra == "" {
+			return e, fmt.Errorf("fault: event %q: slow needs ':<duration>'", tok)
+		}
+		d, err := time.ParseDuration(extra)
+		if err != nil {
+			return e, fmt.Errorf("fault: event %q: bad duration: %w", tok, err)
+		}
+		e.Delay = d
+	case "gslow":
+		e.Kind = KindGSlow
+		cnt, dur, ok := strings.Cut(extra, ":")
+		if !ok || cnt == "" || dur == "" {
+			return e, fmt.Errorf("fault: event %q: gslow needs 'x<supersteps>:<duration>'", tok)
+		}
+		t, err := strconv.Atoi(cnt)
+		if err != nil {
+			return e, fmt.Errorf("fault: event %q: bad gslow window: %w", tok, err)
+		}
+		e.Times = t
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return e, fmt.Errorf("fault: event %q: bad duration: %w", tok, err)
+		}
+		e.Delay = d
 	default:
 		return e, fmt.Errorf("fault: event %q: unknown kind %q", tok, kind)
 	}
@@ -650,13 +718,16 @@ func Random(seed, maxStep int64, n int) Plan {
 // RandomGroup derives a plan of n events for a device group of the given
 // size, deterministically from the seed. It mixes every event kind —
 // fail-stop (drop, flaky, panic), link noise (delay, fail, corrupt, dup,
-// reorder), storage (iofail, torn), and split-brain (partition with a
-// paired heal covering all ranks) — under constraints that keep outcomes
-// classifiable for chaos oracles: fatal rank faults (drop, flaky, panic,
-// and persistent corrupt/fail bursts) all target one designated victim
-// rank so a quorum of survivors always exists, and partition steps avoid
-// the victim's fatal steps so the supervisor sees a clean cut. Transient
-// noise stays under the default retry budget.
+// reorder), gray failures (slow, gslow), storage (iofail, torn), and
+// split-brain (partition with a paired heal covering all ranks) — under
+// constraints that keep outcomes classifiable for chaos oracles: fatal rank
+// faults (drop, flaky, panic, and persistent corrupt/fail bursts) all
+// target one designated victim rank so a quorum of survivors always exists,
+// every fatal fault is paired with a recover@N one to three supersteps
+// later so rejoin-enabled sweeps exercise the heal path, and partition
+// steps avoid the victim's fatal steps so the supervisor sees a clean cut.
+// Transient noise stays under the default retry budget, and injected stalls
+// stay well under the default exchange deadline.
 func RandomGroup(seed, maxStep int64, n, ranks int) Plan {
 	rng := rand.New(rand.NewSource(seed))
 	if maxStep < 3 {
@@ -674,11 +745,12 @@ func RandomGroup(seed, maxStep int64, n, ranks int) Plan {
 			Rank: rng.Intn(ranks),
 			Step: rng.Int63n(maxStep),
 		}
-		switch rng.Intn(12) {
+		fatal := false
+		switch rng.Intn(14) {
 		case 0:
 			e.Kind = KindDrop
 			e.Rank = victim
-			fatalSteps[e.Step] = true
+			fatal = true
 		case 1:
 			e.Kind = KindDelay
 			e.Delay = time.Duration(rng.Intn(2000)) * time.Microsecond
@@ -689,7 +761,7 @@ func RandomGroup(seed, maxStep int64, n, ranks int) Plan {
 			e.Kind = KindPanic
 			e.Rank = victim
 			e.Phase = Phase(1 + rng.Intn(3))
-			fatalSteps[e.Step] = true
+			fatal = true
 		case 4:
 			e.Kind = KindIOFail
 			e.Rank = 0 // the host owns the storage path
@@ -712,7 +784,7 @@ func RandomGroup(seed, maxStep int64, n, ranks int) Plan {
 				// sender — fatal, so it must hit the victim.
 				e.Rank = victim
 				e.Times = 10
-				fatalSteps[e.Step] = true
+				fatal = true
 			} else {
 				e.Times = 1 + rng.Intn(3)
 			}
@@ -720,6 +792,13 @@ func RandomGroup(seed, maxStep int64, n, ranks int) Plan {
 			e.Kind = KindDup
 		case 10:
 			e.Kind = KindReorder
+		case 11:
+			e.Kind = KindSlow
+			e.Delay = time.Duration(500+rng.Intn(1500)) * time.Microsecond
+		case 12:
+			e.Kind = KindGSlow
+			e.Times = 1 + rng.Intn(3)
+			e.Delay = time.Duration(200+rng.Intn(800)) * time.Microsecond
 		default:
 			// Defer partitions to a second pass so they can avoid every
 			// fatal step (a simultaneous cut and device death is not
@@ -729,6 +808,16 @@ func RandomGroup(seed, maxStep int64, n, ranks int) Plan {
 			continue
 		}
 		p.Events = append(p.Events, e)
+		if fatal {
+			// Pair every fatal fault with an explicit recovery shortly
+			// after, so rejoin-enabled sweeps exercise the degrade→heal
+			// path instead of only the permanent-degrade one. (Flaky
+			// events carry their own recovery window and need no pair.)
+			fatalSteps[e.Step] = true
+			p.Events = append(p.Events, Event{
+				Rank: victim, Step: e.Step + 1 + rng.Int63n(3), Kind: KindRecover,
+			})
+		}
 	}
 	if partitions > 0 {
 		e := Event{Rank: -1, Kind: KindPartition}
@@ -865,6 +954,39 @@ func (in *Injector) Delay(rank int, step int64) time.Duration {
 	for _, e := range in.events {
 		if e.Kind == KindDelay && e.Rank == rank && e.Step == step {
 			d += e.Delay
+		}
+	}
+	return d
+}
+
+// Slow returns the injected compute stall for rank's superstep step (0 if
+// none): the sum of matching slow events plus every gslow window covering
+// step. The supervisor applies the stall before the rank's local compute and
+// charges it to the rank's superstep time, so unlike Delay it slows the
+// whole lockstep group — the gray-failure signal the straggler detector
+// consumes.
+func (in *Injector) Slow(rank int, step int64) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, e := range in.events {
+		if e.Rank != rank {
+			continue
+		}
+		switch e.Kind {
+		case KindSlow:
+			if e.Step == step {
+				d += e.Delay
+			}
+		case KindGSlow:
+			times := int64(e.Times)
+			if times < 1 {
+				times = 1
+			}
+			if step >= e.Step && step < e.Step+times {
+				d += e.Delay
+			}
 		}
 	}
 	return d

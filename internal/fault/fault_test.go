@@ -539,3 +539,105 @@ func TestRandomGroupPlanDeterministicAndValid(t *testing.T) {
 		}
 	}
 }
+
+func TestParseGrayFaults(t *testing.T) {
+	for _, spec := range []string{
+		"rank1:slow@3:50ms",
+		"rank1:gslow@3x4:20ms",
+		"rank2:gslow@0x1:1ms;rank1:slow@2:500us",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", spec, p.String(), err)
+		}
+		if !reflect.DeepEqual(p.Events, again.Events) {
+			t.Errorf("round trip of %q: %+v != %+v", spec, p.Events, again.Events)
+		}
+	}
+}
+
+func TestParseGrayFaultGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"rank1:slow@3",          // no duration
+		"rank1:slow@3:banana",   // bad duration
+		"rank1:slow@3x2:50ms",   // slow takes no window
+		"rank1:gslow@3:50ms",    // gslow needs a window
+		"rank1:gslow@3x2",       // gslow without duration
+		"rank1:gslow@3xq:50ms",  // bad window
+		"rank1:gslow@3x2:-50ms", // negative stall
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", spec)
+		}
+	}
+}
+
+// TestInjectorSlowWindows: slow fires on its exact superstep, gslow over its
+// whole window, overlapping events sum, and the nil injector is inert.
+func TestInjectorSlowWindows(t *testing.T) {
+	p, err := Parse("rank1:slow@3:50ms;rank1:gslow@2x3:20ms;rank0:gslow@5x2:7ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]map[int64]time.Duration{
+		1: {2: 20 * time.Millisecond, 3: 70 * time.Millisecond, 4: 20 * time.Millisecond},
+		0: {5: 7 * time.Millisecond, 6: 7 * time.Millisecond},
+	}
+	for rank := 0; rank < 3; rank++ {
+		for step := int64(0); step < 9; step++ {
+			if got := in.Slow(rank, step); got != want[rank][step] {
+				t.Errorf("Slow(%d, %d) = %s, want %s", rank, step, got, want[rank][step])
+			}
+		}
+	}
+	var nilInj *Injector
+	if got := nilInj.Slow(1, 3); got != 0 {
+		t.Errorf("nil injector Slow = %s, want 0", got)
+	}
+}
+
+// TestRandomGroupPairsFatalWithRecover: every fatal fault a random group
+// plan draws (drop, panic, persistent corrupt) must be paired with a later
+// recover for the same rank, so rejoin-enabled chaos sweeps exercise the
+// degrade-and-heal path instead of only permanent degradation.
+func TestRandomGroupPairsFatalWithRecover(t *testing.T) {
+	sawFatal, sawGray := false, false
+	for seed := int64(0); seed < 64; seed++ {
+		p := RandomGroup(seed, 8, 6, 4)
+		for _, e := range p.Events {
+			fatal := e.Kind == KindDrop || e.Kind == KindPanic ||
+				(e.Kind == KindCorrupt && e.Times >= 10)
+			if e.Kind == KindSlow || e.Kind == KindGSlow {
+				sawGray = true
+			}
+			if !fatal {
+				continue
+			}
+			sawFatal = true
+			paired := false
+			for _, r := range p.Events {
+				if r.Kind == KindRecover && r.Rank == e.Rank && r.Step > e.Step {
+					paired = true
+					break
+				}
+			}
+			if !paired {
+				t.Fatalf("seed %d: fatal %s has no later recover in %q", seed, e, p)
+			}
+		}
+	}
+	if !sawFatal {
+		t.Fatal("no fatal faults drawn across 64 seeds: pairing property untested")
+	}
+	if !sawGray {
+		t.Fatal("no gray faults drawn across 64 seeds: slow/gslow arms unreachable")
+	}
+}

@@ -74,6 +74,20 @@ const (
 	// exactly two sides, the quorum side continues degraded, and the
 	// minority side is cut off (Detail names both sides).
 	EventPartitioned = "partitioned"
+	// EventRankSuspect is the health scorer moving a rank from healthy to
+	// suspect: its EWMA superstep latency crossed the straggler threshold
+	// (a gray failure in the making, distinct from the dead-rank path).
+	EventRankSuspect = "rank-suspect"
+	// EventRankStraggler is the scorer confirming a suspect rank as a
+	// straggler after sustained over-threshold latency.
+	EventRankStraggler = "rank-straggler"
+	// EventSoftDegraded is a confirmed straggler demoted at a checkpoint
+	// barrier: its vertices are reassigned to the healthy owners while the
+	// rank stays in the group as a non-owning member.
+	EventSoftDegraded = "soft-degraded"
+	// EventRehabilitated is a soft-degraded rank restored to vertex
+	// ownership after its latency re-normalized.
+	EventRehabilitated = "rehabilitated"
 )
 
 // Job-lifecycle event kinds emitted by the serve daemon (see internal/serve
@@ -346,6 +360,9 @@ type RunConfig struct {
 	Rejoin            bool   `json:"rejoin,omitempty"`
 	ExchangeTimeoutNS int64  `json:"exchange_timeout_ns,omitempty"`
 	FaultPlan         string `json:"fault_plan,omitempty"`
+	// Gray-failure mitigation knobs (additive within report version 1).
+	StragglerThresholdNS int64  `json:"straggler_threshold_ns,omitempty"`
+	StragglerPolicy      string `json:"straggler_policy,omitempty"`
 }
 
 // PhaseSeconds is a simulated per-phase time breakdown (the report-local
@@ -413,6 +430,16 @@ type Totals struct {
 	PartitionSuperstep int64 `json:"partition_superstep,omitempty"`
 	PartitionMajority  []int `json:"partition_majority,omitempty"`
 	PartitionMinority  []int `json:"partition_minority,omitempty"`
+	// Gray-failure outcome (all additive within ReportVersion 1): the ranks
+	// the health scorer flagged suspect or worse, the ranks soft-degraded
+	// as confirmed stragglers (with the latest demotion barrier), and the
+	// ranks rehabilitated after their latency re-normalized (with the
+	// latest restoration barrier).
+	SuspectRanks          []int `json:"suspect_ranks,omitempty"`
+	SoftDegraded          []int `json:"soft_degraded,omitempty"`
+	SoftDegradeSuperstep  int64 `json:"soft_degrade_superstep,omitempty"`
+	Rehabilitated         []int `json:"rehabilitated,omitempty"`
+	RehabilitateSuperstep int64 `json:"rehabilitate_superstep,omitempty"`
 }
 
 // LinkActivity is one directed link's whole-run traffic: the message and

@@ -15,7 +15,10 @@ import (
 //	GET    /jobs          list job statuses
 //	GET    /jobs/{id}     one job's status (state, attempts, result, ...)
 //	POST   /jobs/{id}/cancel  cancel a queued or running job
-//	GET    /healthz       "ok" (200) or "draining" (503)
+//	GET    /healthz       liveness: "ok" (200) while the process serves at all
+//	GET    /readyz        readiness: "ok" (200) when a submission would be
+//	                      admitted; "draining" or "saturated" (503) when it
+//	                      would be shed
 //
 // Admission rejections surface as 429 with a Retry-After header; malformed
 // specs as 400 with the offending field; unknown jobs as 404. Mount it on
@@ -27,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
@@ -98,9 +102,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Status(job))
 }
 
+// handleHealth is pure liveness: as long as the process answers, it is
+// alive — a draining or saturated daemon must NOT be restarted by an
+// orchestrator probing this endpoint. Routing decisions belong to /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is readiness: 503 whenever a submission arriving now would be
+// shed — during a drain, and while the admission queue is saturated — so a
+// load balancer stops routing new work here before it is rejected.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !s.Ready() {
+		http.Error(w, "saturated", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ok")

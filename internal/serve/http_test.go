@@ -165,6 +165,15 @@ func TestServeHTTPOverloadIs429(t *testing.T) {
 			t.Fatal("429 without a Retry-After header")
 		}
 	}
+
+	// Readiness mirrors admission: with the queue saturated, /readyz answers
+	// 503 so a balancer stops routing here — while liveness stays green.
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated readyz %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("saturated healthz %d, want 200", code)
+	}
 }
 
 func mustGet(t *testing.T, srv *serve.Server, id string) *serve.Job {
@@ -186,8 +195,13 @@ func TestServeHTTPDrainingHealthAndShed(t *testing.T) {
 	if err := srv.Drain(0); err != nil {
 		t.Fatal(err)
 	}
-	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz %d, want 503", code)
+	// Liveness stays green through the drain — only readiness goes red, so
+	// an orchestrator routes around the draining daemon without restarting it.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("draining healthz %d, want 200 (liveness, not readiness)", code)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz %d, want 503", code)
 	}
 	resp, _ := postJSON(t, ts.URL+"/jobs", `{"algorithm":"cc"}`)
 	if resp.StatusCode != http.StatusTooManyRequests {

@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitteredBounds: the jitter spreads a duration uniformly over
+// [0.8d, 1.2d] — never outside it — and passes zero through unchanged, so
+// an unset hint stays unset.
+func TestJitteredBounds(t *testing.T) {
+	const d = time.Second
+	lo, hi := 8*d/10, 12*d/10
+	var sawLow, sawHigh bool
+	for i := 0; i < 10_000; i++ {
+		got := jittered(d)
+		if got < lo || got > hi {
+			t.Fatalf("jittered(%s) = %s, outside [%s, %s]", d, got, lo, hi)
+		}
+		if got < d {
+			sawLow = true
+		}
+		if got > d {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Errorf("jitter never spread both ways (low=%v high=%v)", sawLow, sawHigh)
+	}
+	if got := jittered(0); got != 0 {
+		t.Errorf("jittered(0) = %s, want 0", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -411,7 +412,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.publishGaugesLocked()
 		s.mu.Unlock()
 		s.event(metrics.EventJobShed, spec.Tenant+"/draining")
-		return nil, &AdmissionRejectedError{Reason: "draining", Tenant: spec.Tenant, RetryAfter: s.cfg.RetryAfterHint}
+		return nil, &AdmissionRejectedError{Reason: "draining", Tenant: spec.Tenant, RetryAfter: jittered(s.cfg.RetryAfterHint)}
 	}
 	if cached, ok := s.cache[fp]; ok {
 		job := s.newJobLocked(spec, fp, now)
@@ -437,14 +438,14 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.publishGaugesLocked()
 		s.mu.Unlock()
 		s.event(metrics.EventJobShed, spec.Tenant+"/tenant-limit")
-		return nil, &AdmissionRejectedError{Reason: "tenant-limit", Tenant: spec.Tenant, RetryAfter: s.cfg.RetryAfterHint}
+		return nil, &AdmissionRejectedError{Reason: "tenant-limit", Tenant: spec.Tenant, RetryAfter: jittered(s.cfg.RetryAfterHint)}
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.shed++
 		s.publishGaugesLocked()
 		s.mu.Unlock()
 		s.event(metrics.EventJobShed, spec.Tenant+"/queue-full")
-		return nil, &AdmissionRejectedError{Reason: "queue-full", Tenant: spec.Tenant, RetryAfter: s.cfg.RetryAfterHint}
+		return nil, &AdmissionRejectedError{Reason: "queue-full", Tenant: spec.Tenant, RetryAfter: jittered(s.cfg.RetryAfterHint)}
 	}
 	job := s.newJobLocked(spec, fp, now)
 	job.state = StateQueued
@@ -556,6 +557,26 @@ func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Ready reports whether the server would admit a job right now: it is not
+// draining (or crash-simulating) and the queue has room. Distinct from
+// liveness — a saturated server is alive but not ready, and a load balancer
+// should route around it rather than restart it.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.crashed && s.queued < s.cfg.QueueDepth
+}
+
+// jittered spreads d uniformly over [0.8d, 1.2d], so clients shed or failed
+// at the same instant do not come back in lockstep and re-overload the
+// server (thundering herd). Zero and negative durations pass through.
+func jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
 // log journals a record through the daemon fault hook.
@@ -726,7 +747,7 @@ func (s *Server) runJob(job *Job) {
 		}
 		select {
 		case <-job.ctl.Channel():
-		case <-time.After(backoff):
+		case <-time.After(jittered(backoff)):
 		}
 		if herr := s.cfg.Faults.At(fault.PointJobRetry); herr != nil {
 			s.finalize(job, StateFailed, herr.Error(), nil, false)
